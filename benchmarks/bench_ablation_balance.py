@@ -1,0 +1,76 @@
+"""Experiment ``thresh-balance`` — training balance vs threshold position.
+
+Paper 3.2: "If the training set has equal amount of right and wrong
+samples the measure would lead to a threshold s ~ 0.5"; the imbalanced
+(mostly right) AwarePen data pushes s toward 1.  This bench sweeps the
+right:wrong ratio of the quality-FIS training data and reports where the
+calibrated threshold lands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (ConstructionConfig, QualityAugmentedClassifier,
+                        build_quality_measure, calibrate)
+
+
+def _resampled_material(material, classifier, right_fraction, rng):
+    """Subsample quality_train to the requested right:wrong mix."""
+    predicted = classifier.predict_indices(material.quality_train.cues)
+    correct = predicted == material.quality_train.labels
+    right_idx = np.flatnonzero(correct)
+    wrong_idx = np.flatnonzero(~correct)
+    n_wrong = len(wrong_idx)
+    n_right = int(round(n_wrong * right_fraction / (1.0 - right_fraction)))
+    n_right = min(n_right, len(right_idx))
+    keep = np.sort(np.concatenate([
+        rng.choice(right_idx, n_right, replace=False), wrong_idx]))
+    return material.quality_train.subset(keep)
+
+
+def _threshold_for(material, classifier, right_fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    train = _resampled_material(material, classifier, right_fraction, rng)
+    result = build_quality_measure(
+        classifier, train, material.quality_check,
+        config=ConstructionConfig(epochs=30))
+    augmented = QualityAugmentedClassifier(classifier, result.quality)
+    return calibrate(augmented, material.analysis).s
+
+
+def test_balanced_training_centers_threshold(benchmark, experiment, report):
+    material = experiment.material
+    classifier = experiment.classifier
+
+    balanced = benchmark(_threshold_for, material, classifier, 0.5)
+    report.row("thresh-balance", "s (balanced 50:50)", "~0.5",
+               balanced)
+    assert 0.2 < balanced < 0.8
+
+
+@pytest.mark.parametrize("right_fraction", [0.5, 0.65, 0.8])
+def test_threshold_tracks_imbalance(benchmark, experiment, report,
+                                    right_fraction):
+    material = experiment.material
+    classifier = experiment.classifier
+    s = benchmark.pedantic(_threshold_for,
+                           args=(material, classifier, right_fraction),
+                           rounds=1, iterations=1)
+    report.row("thresh-balance", f"s (right fraction {right_fraction})",
+               "grows toward 1 with imbalance", s)
+    assert 0.0 < s < 1.0
+
+
+def test_natural_imbalance_above_balanced(benchmark, experiment, report):
+    """The paper's actual condition: mostly-right training data shifts s
+    above the balanced-case threshold."""
+    material = experiment.material
+    classifier = experiment.classifier
+    balanced = benchmark.pedantic(
+        _threshold_for, args=(material, classifier, 0.5),
+        rounds=1, iterations=1)
+    natural = experiment.threshold
+    report.row("thresh-balance", "s natural vs balanced",
+               "natural closer to 1",
+               f"{natural:.3f} vs {balanced:.3f}")
+    assert natural >= balanced - 0.1

@@ -1,0 +1,67 @@
+"""Experiment ``const-q`` — CQM vs the constant-quality baseline.
+
+Paper section 4: related work "restricts itself to constant probabilistic
+measures for algorithmic errors or sensor failure".  The baseline assigns
+each context class one constant quality (its training accuracy), so it can
+only accept or reject whole classes.  The CQM's per-classification value
+retains far more correct decisions at comparable residual accuracy.
+"""
+
+from repro.core.filtering import (evaluate_constant_baseline,
+                                  evaluate_filtering)
+
+
+def test_cqm_beats_constant_baseline(benchmark, experiment, report):
+    material = experiment.material
+
+    cqm = benchmark(evaluate_filtering, experiment.augmented,
+                    material.analysis, experiment.threshold)
+    const = evaluate_constant_baseline(
+        experiment.augmented, material.quality_train, material.analysis)
+
+    cqm_right_kept = cqm.n_kept - cqm.n_wrong_kept
+    const_right_kept = const.n_kept - const.n_wrong_kept
+
+    report.row("const-q", "right decisions kept (CQM)",
+               "per-classification granularity",
+               f"{cqm_right_kept}/{cqm.n_total}")
+    report.row("const-q", "right decisions kept (constant)",
+               "whole-class granularity only",
+               f"{const_right_kept}/{const.n_total}")
+    report.row("const-q", "accuracy after (CQM)", "improved",
+               cqm.accuracy_after)
+    report.row("const-q", "accuracy after (constant)", "-",
+               const.accuracy_after)
+    report.row("const-q", "coverage (CQM vs constant)",
+               "CQM higher",
+               f"{cqm.n_kept / cqm.n_total:.2f} vs "
+               f"{const.n_kept / const.n_total:.2f}")
+
+    assert cqm_right_kept > const_right_kept
+    assert cqm.accuracy_after > cqm.accuracy_before
+
+
+def test_constant_baseline_cannot_flag_within_class(benchmark, experiment,
+                                                    report):
+    """The structural weakness: inside one predicted class the constant
+    baseline assigns identical quality to right and wrong decisions, so
+    its within-class AUC is exactly 0.5 (chance)."""
+    import numpy as np
+
+    from repro.core.filtering import ConstantQualityBaseline
+
+    material = experiment.material
+    classifier = experiment.classifier
+    train_pred = classifier.predict_indices(material.quality_train.cues)
+    baseline = benchmark.pedantic(
+        ConstantQualityBaseline.from_training,
+        args=(train_pred, train_pred == material.quality_train.labels),
+        rounds=1, iterations=1)
+
+    test_pred = classifier.predict_indices(material.analysis.cues)
+    qualities = baseline.qualities_for(test_pred)
+    # Within any single predicted class all constants coincide.
+    spread = [np.ptp(qualities[test_pred == c]) for c in np.unique(test_pred)]
+    report.row("const-q", "within-class quality spread (constant)",
+               "0 (cannot discriminate)", f"{max(spread):.4f}")
+    assert max(spread) == 0.0

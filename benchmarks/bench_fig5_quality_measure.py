@@ -1,0 +1,54 @@
+"""Experiment ``fig5`` — quality measure over the 24-point test set.
+
+Paper Fig. 5 plots the CQM ``q`` of 24 test windows, marking right (o) and
+wrong (+) classifications and the per-population statistical means.  This
+bench regenerates that series, reports the population means, and times the
+real-time quality evaluation the figure's data requires.
+"""
+
+import numpy as np
+
+
+def test_fig5_quality_series(benchmark, experiment, report):
+    material = experiment.material
+    cues = material.evaluation.cues
+    classifier = experiment.classifier
+    quality = experiment.augmented.quality
+
+    def produce_series():
+        predicted = classifier.predict_indices(cues)
+        return quality.measure_batch(cues, predicted.astype(float))
+
+    q = benchmark(produce_series)
+    correct = experiment.evaluation_correct
+    usable = ~np.isnan(q)
+
+    report.row("fig5", "n_test_points", "24", str(len(cues)))
+    report.row("fig5", "n_wrong", "8 (33%)",
+               f"{int(np.sum(~correct))} "
+               f"({np.mean(~correct) * 100:.0f}%)")
+    report.row("fig5", "mean_q_right", "~high (dashed grey)",
+               float(np.mean(q[usable & correct])))
+    report.row("fig5", "mean_q_wrong", "~low (dashed black)",
+               float(np.mean(q[usable & ~correct])))
+    report.row("fig5", "n_epsilon", "0",
+               str(int(np.sum(~usable))),
+               "error-state windows excluded from the figure")
+    report.series("fig5", "q(right)",
+                  [v for v, c in zip(q, correct) if c])
+    report.series("fig5", "q(wrong)",
+                  [v for v, c in zip(q, correct) if not c])
+
+    # The figure's separability: right mean clearly above wrong mean.
+    assert np.mean(q[usable & correct]) > np.mean(q[usable & ~correct])
+
+
+def test_fig5_single_window_latency(benchmark, experiment, report):
+    """Real-time claim: one window classified + qualified per call."""
+    cues = experiment.material.evaluation.cues[0]
+    augmented = experiment.augmented
+
+    result = benchmark(augmented.classify, cues)
+    assert result.quality is None or 0.0 <= result.quality <= 1.0
+    report.row("fig5", "per-window pipeline", "real time",
+               "see benchmark table", "classify + CQM, single window")

@@ -1,0 +1,67 @@
+"""Experiment ``fig6`` — Gaussian densities and the optimal threshold.
+
+Paper Fig. 6 shows the MLE-fitted right/wrong densities, the threshold
+s = 0.81 at their intersection, and the hatched median cuts.  This bench
+regenerates the densities, solves for the intersection, and samples both
+curves the way the figure plots them.
+"""
+
+import numpy as np
+
+from repro.core.calibration import calibrate
+
+
+def test_fig6_densities_and_threshold(benchmark, experiment, report):
+    material = experiment.material
+    augmented = experiment.augmented
+
+    calibration = benchmark(calibrate, augmented, material.analysis)
+
+    est = calibration.estimates
+    report.row("fig6", "mu_right", "high (grey curve)", est.right.mu)
+    report.row("fig6", "sigma_right", "narrow", est.right.sigma)
+    report.row("fig6", "mu_wrong", "low (black curve)", est.wrong.mu)
+    report.row("fig6", "sigma_wrong", "broad", est.wrong.sigma)
+    report.row("fig6", "threshold s", "0.81", calibration.s,
+               f"method={calibration.threshold.method}")
+
+    # The density curves of the figure, sampled on [0, 1].
+    grid = np.linspace(0.0, 1.0, 11)
+    report.series("fig6", "phi_right[0..1]", est.right.pdf(grid))
+    report.series("fig6", "phi_wrong[0..1]", est.wrong.pdf(grid))
+
+    # Figure property: at the intersection both densities agree.
+    if calibration.threshold.method == "intersection":
+        s = calibration.s
+        assert float(est.right.pdf(s)) == float(est.wrong.pdf(s)) or (
+            abs(float(est.right.pdf(s)) - float(est.wrong.pdf(s))) < 1e-6)
+    # The threshold separates the means.
+    assert est.wrong.mu < calibration.s < est.right.mu
+
+
+def test_fig6_threshold_closer_to_one(benchmark, experiment, report):
+    """Paper 3.2: the threshold 'is not in-between the highest (one) and
+    the lowest (zero) measure but closer to the highest', reflecting the
+    imbalanced training data."""
+    s = benchmark.pedantic(lambda: experiment.threshold,
+                           rounds=1, iterations=1)
+    report.row("fig6", "s above midpoint", "yes (0.81 > 0.5)",
+               f"{'yes' if s > 0.5 else 'no'} ({s:.3f})")
+    assert s > 0.5
+
+
+def test_per_class_thresholds(benchmark, experiment, report):
+    """Extension of the Fig. 6 analysis: per-predicted-class operating
+    points (the paper uses one global s)."""
+    from repro.core.calibration import calibrate_per_class
+
+    per = benchmark.pedantic(
+        calibrate_per_class,
+        args=(experiment.augmented, experiment.material.analysis),
+        rounds=1, iterations=1)
+    rendered = ", ".join(
+        f"{idx}:{cal.threshold:.2f}{'*' if cal.fallback_used else ''}"
+        for idx, cal in sorted(per.items()))
+    report.row("fig6", "per-class thresholds (class:s, *=fallback)",
+               "single global s = 0.81", rendered)
+    assert all(0.0 < cal.threshold < 1.0 for cal in per.values())

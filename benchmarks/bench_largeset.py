@@ -1,0 +1,74 @@
+"""Experiment ``largeset`` — separation quality vs test-set size.
+
+Paper 3.2: "The separation has not always to be that clear.  For a large
+set of data the odds for separating the data are worse."  This bench
+scales the evaluation material from the paper's 24 windows up to
+adversarial rapid-switching scenarios and tracks how the separation
+degrades.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import evaluate_filtering
+from repro.datasets import generate_dataset, evaluation_script, stress_script
+from repro.stats.metrics import auc
+from repro.stats.mle import estimate_populations
+
+
+def _separation_on(experiment, dataset):
+    predicted = experiment.classifier.predict_indices(dataset.cues)
+    q = experiment.augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    usable = ~np.isnan(q)
+    est = estimate_populations(q[usable], correct[usable])
+    score = auc(q[usable], correct[usable])
+    outcome = evaluate_filtering(experiment.augmented, dataset,
+                                 threshold=experiment.threshold)
+    return est.separation, score, outcome
+
+
+def test_small_set_separates_cleanly(benchmark, experiment, report):
+    sep, score, outcome = benchmark.pedantic(
+        _separation_on, args=(experiment, experiment.material.evaluation),
+        rounds=1, iterations=1)
+    report.row("largeset", "24-point set: d' / AUC / wrong removed",
+               "fully separable",
+               f"{sep:.2f} / {score:.3f} / "
+               f"{outcome.wrong_elimination * 100:.0f}%")
+    assert score > 0.75
+
+
+@pytest.mark.parametrize("blocks,seed", [(8, 31), (16, 32)])
+def test_larger_realistic_sets(benchmark, experiment, report, blocks, seed):
+    dataset = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=blocks), seed=seed)
+    sep, score, outcome = benchmark.pedantic(
+        _separation_on, args=(experiment, dataset), rounds=1, iterations=1)
+    report.row("largeset",
+               f"{len(dataset)}-window realistic set: d'/AUC/wrong removed",
+               "odds get worse with size",
+               f"{sep:.2f} / {score:.3f} / "
+               f"{outcome.wrong_elimination * 100:.0f}%")
+    assert score > 0.6
+
+
+def test_adversarial_large_set_degrades(benchmark, experiment, report):
+    """Rapid random switching floods the data with transition windows:
+    separation must visibly degrade versus the 24-point set — the paper's
+    caveat, reproduced."""
+    small_sep, small_auc, small_outcome = _separation_on(
+        experiment, experiment.material.evaluation)
+    stress = generate_dataset(
+        lambda rng: stress_script(rng, n_segments=60), seed=41)
+    stress_sep, stress_auc, stress_outcome = benchmark.pedantic(
+        _separation_on, args=(experiment, stress), rounds=1, iterations=1)
+    report.row("largeset", "adversarial set AUC vs 24-point AUC",
+               "worse on large/hard data",
+               f"{stress_auc:.3f} vs {small_auc:.3f}")
+    report.row("largeset", "adversarial wrong removed",
+               "< 100%",
+               f"{stress_outcome.wrong_elimination * 100:.0f}%")
+    assert stress_auc <= small_auc + 0.02
+    assert stress_outcome.wrong_elimination < 1.0

@@ -1,0 +1,57 @@
+"""Experiment ``probs`` — the four selection probabilities (paper 3.2).
+
+Paper values at the optimal threshold s = 0.81:
+
+* P(right | q > s) = P(wrong | q < s) = 0.8112
+* P(wrong | q > s) = 0.0217
+* P(right | q < s) = 0.0846
+"""
+
+from repro.stats.probabilities import selection_probabilities
+from repro.stats.threshold import equal_error_threshold
+
+
+def test_probabilities_at_intersection(benchmark, experiment, report):
+    est = experiment.calibration.estimates
+    s = experiment.calibration.s
+
+    p = benchmark(selection_probabilities, est.right, est.wrong, s)
+
+    report.row("probs", "P(right|q>s)", "0.8112", p.right_given_above)
+    report.row("probs", "P(wrong|q<s)", "0.8112", p.wrong_given_below)
+    report.row("probs", "P(wrong|q>s)", "0.0217", p.wrong_given_above)
+    report.row("probs", "P(right|q<s)", "0.0846", p.right_given_below)
+
+    # Shape: high main diagonals, low confusions.
+    assert p.right_given_above > 0.6
+    assert p.wrong_given_below > 0.6
+    assert p.wrong_given_above < 0.4
+    assert p.right_given_below < 0.4
+
+
+def test_equal_error_property(benchmark, experiment, report):
+    """At the paper's optimum the two selection probabilities coincide;
+    the equal-error solver recovers that point from the densities."""
+    est = experiment.calibration.estimates
+    result = benchmark(equal_error_threshold, est.right, est.wrong)
+    p = selection_probabilities(est.right, est.wrong, result.threshold)
+    report.row("probs", "equal-error threshold", "0.81", result.threshold)
+    report.row("probs", "P at equal-error point", "0.8112",
+               p.right_given_above)
+    assert abs(p.right_given_above - p.wrong_given_below) < 5e-3
+
+
+def test_empirical_vs_density_probabilities(benchmark, experiment, report):
+    """The density-based and the empirically counted probabilities must
+    agree in direction on the analysis set (Fig. 5/6 consistency)."""
+    cal = benchmark.pedantic(lambda: experiment.calibration,
+                             rounds=1, iterations=1)
+    density = cal.probabilities
+    empirical = cal.empirical
+    report.row("probs", "empirical P(right|q>s)", "~0.81",
+               empirical.right_given_above)
+    report.row("probs", "empirical P(wrong|q>s)", "~0.02",
+               empirical.wrong_given_above)
+    assert empirical.right_given_above > 0.7
+    assert (density.right_given_above > 0.5) == (
+        empirical.right_given_above > 0.5)

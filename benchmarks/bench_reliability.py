@@ -1,0 +1,57 @@
+"""Extension bench ``reliability`` — is the CQM a calibrated probability?
+
+The paper treats q ordinally ("it also shows how right or wrong the
+classification was") and thresholds it.  This bench asks the stronger
+question: among decisions with q ≈ x, are x of them right?  It reports
+the expected calibration error of the raw measure and of a
+histogram-recalibrated variant fitted on the analysis set.
+"""
+
+import numpy as np
+
+from repro.stats.reliability import (apply_recalibration,
+                                     recalibration_map,
+                                     reliability_diagram)
+
+
+def _labeled(experiment, dataset):
+    predicted = experiment.classifier.predict_indices(dataset.cues)
+    q = experiment.augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    return q, correct
+
+
+def test_raw_quality_calibration(benchmark, experiment, report):
+    material = experiment.material
+    q, correct = _labeled(experiment, material.analysis)
+
+    diagram = benchmark(reliability_diagram, q, correct, 6)
+    report.row("reliability", "ECE of raw q (analysis set)",
+               "q treated ordinally in the paper",
+               f"{diagram.expected_calibration_error:.3f}")
+    report.row("reliability", "MCE of raw q",
+               "-", f"{diagram.max_calibration_error:.3f}")
+    # Ordinal sanity: the top occupied bin is at least as accurate as
+    # the bottom one.
+    occupied = [b for b in diagram.bins if b.n >= 5]
+    assert occupied[-1].empirical_accuracy >= occupied[0].empirical_accuracy
+
+
+def test_recalibrated_quality(benchmark, experiment, report):
+    """Histogram recalibration fitted on the analysis set, evaluated on
+    an independent hold-out (the evaluation role)."""
+    material = experiment.material
+    q_fit, c_fit = _labeled(experiment, material.analysis)
+    q_test, c_test = _labeled(experiment, material.evaluation)
+
+    table = benchmark.pedantic(recalibration_map, args=(q_fit, c_fit),
+                               kwargs={"n_bins": 6}, rounds=1, iterations=1)
+    raw = reliability_diagram(q_test, c_test, n_bins=4)
+    fixed = reliability_diagram(apply_recalibration(q_test, table),
+                                c_test, n_bins=4)
+    report.row("reliability", "hold-out ECE raw vs recalibrated",
+               "recalibration makes q a probability",
+               f"{raw.expected_calibration_error:.3f} vs "
+               f"{fixed.expected_calibration_error:.3f}")
+    assert np.isfinite(fixed.expected_calibration_error)

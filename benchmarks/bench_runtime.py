@@ -1,0 +1,109 @@
+"""Experiment ``realtime`` — real-time capability of the quality system.
+
+Paper section 1: "the first context system which gives quantitative
+measures ... in real time".  The AwarePen emits one cue window every 0.5 s
+(100 Hz sampling, hop 50); the whole classify-and-qualify step must finish
+far inside that budget.  This bench times each pipeline stage.
+"""
+
+import numpy as np
+
+from repro.core import ConstructionConfig, build_quality_measure
+from repro.sensors.cues import AWAREPEN_CUES
+
+#: The sensor-node real-time budget per window (seconds).
+WINDOW_BUDGET_S = 0.5
+
+
+def test_cue_extraction_latency(benchmark, experiment, report):
+    rng = np.random.default_rng(0)
+    window = rng.normal(size=(100, 3))
+    cues = benchmark(AWAREPEN_CUES.extract, window)
+    assert cues.shape == (3,)
+    stats = benchmark.stats.stats
+    report.row("realtime", "cue extraction / window",
+               "on-node real time", f"{stats.mean * 1e6:.1f} us")
+    assert stats.mean < WINDOW_BUDGET_S
+
+
+def test_classification_latency(benchmark, experiment, report):
+    cues = experiment.material.evaluation.cues[0]
+    idx = benchmark(experiment.classifier.predict_indices,
+                    cues.reshape(1, -1))
+    assert idx.shape == (1,)
+    stats = benchmark.stats.stats
+    report.row("realtime", "TSK classification / window",
+               "real time", f"{stats.mean * 1e6:.1f} us")
+    assert stats.mean < WINDOW_BUDGET_S
+
+
+def test_quality_measure_latency(benchmark, experiment, report):
+    """The paper's addition: the CQM itself must also be real-time."""
+    cues = experiment.material.evaluation.cues[0]
+    predicted = int(experiment.classifier.predict_indices(
+        cues.reshape(1, -1))[0])
+    q = benchmark(experiment.augmented.quality.measure, cues, predicted)
+    assert q is None or 0.0 <= q <= 1.0
+    stats = benchmark.stats.stats
+    report.row("realtime", "CQM evaluation / window",
+               "real time (the paper's claim)",
+               f"{stats.mean * 1e6:.1f} us")
+    assert stats.mean < WINDOW_BUDGET_S
+
+
+def test_offline_construction_time(benchmark, experiment, report):
+    """Construction is offline in the paper (pre-trained FIS); still
+    report it so deployments can plan re-training."""
+    material = experiment.material
+
+    result = benchmark.pedantic(
+        build_quality_measure,
+        args=(experiment.classifier, material.quality_train,
+              material.quality_check),
+        kwargs={"config": ConstructionConfig(epochs=30)},
+        rounds=3, iterations=1)
+    assert result.n_rules >= 1
+    stats = benchmark.stats.stats
+    report.row("realtime", "automated construction (offline)",
+               "offline step", f"{stats.mean * 1e3:.0f} ms")
+
+
+def test_batch_throughput(benchmark, experiment, report):
+    """Vectorized throughput for office-scale event volumes."""
+    material = experiment.material
+    cues = np.tile(material.analysis.cues, (10, 1))
+    predicted = np.tile(
+        experiment.classifier.predict_indices(material.analysis.cues), 10)
+
+    q = benchmark(experiment.augmented.quality.measure_batch,
+                  cues, predicted.astype(float))
+    assert q.shape == (cues.shape[0],)
+    stats = benchmark.stats.stats
+    per_window = stats.mean / cues.shape[0]
+    report.row("realtime", "CQM batch throughput",
+               "scales to many appliances",
+               f"{per_window * 1e6:.2f} us/window "
+               f"({cues.shape[0]} windows/call)")
+
+
+def test_deployment_footprint(benchmark, experiment, report):
+    """The Particle Computer is a microcontroller-class device; report
+    the deployable artifact's size (parameters and serialized bytes)."""
+    import json
+
+    from repro.anfis.network import ANFISNetwork
+    from repro.core.persistence import QualityPackage
+
+    package = QualityPackage.from_calibration(
+        experiment.augmented.quality, experiment.calibration)
+
+    payload = benchmark(lambda: json.dumps(package.to_dict()))
+    n_params = ANFISNetwork(
+        experiment.augmented.quality.system).n_adaptive_parameters
+    report.row("realtime", "quality FIS parameters",
+               "fits a Particle-class node", str(n_params))
+    report.row("realtime", "serialized quality package",
+               "flashable artifact", f"{len(payload)} bytes JSON "
+               f"(~{n_params * 8} bytes of float64 parameters)")
+    assert n_params < 1000
+    assert len(payload) < 64 * 1024

@@ -1,0 +1,133 @@
+"""Extension bench ``situations`` — §5 higher-level context fusion.
+
+Paper section 5: higher-level context processors "require a measure to
+decide which of the simpler context information to believe".  Two
+quality-aware appliances (AwarePen + AwareChair) feed a rule-based
+situation detector over a scripted office morning with known ground-truth
+situations; the bench compares believing everything (min_quality = 0)
+against gating at the pen's calibrated threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.appliances import AwareChair, AwarePen, EventBus
+from repro.appliances.situation import DEFAULT_RULES, SituationDetector
+from repro.classifiers import NearestCentroidClassifier
+from repro.core import (ConstructionConfig, QualityAugmentedClassifier,
+                        build_quality_measure)
+from repro.datasets.generator import generate_dataset
+from repro.sensors.accelerometer import ACTIVITY_MODELS, ERRATIC_STYLE
+from repro.sensors.chair import AWARECHAIR_CLASSES, CHAIR_MODELS
+from repro.sensors.node import Segment, SensorNode
+
+#: Scripted office morning with per-segment ground truth.
+DURATIONS = [8, 6, 10, 6, 8, 10, 6, 8, 9, 7]
+PEN_SCRIPT = ["lying", "lying", "writing", "playing", "writing", "lying",
+              "writing", "playing", "writing", "lying"]
+CHAIR_SCRIPT = ["empty", "fidgeting", "sitting", "sitting", "sitting",
+                "sitting", "sitting", "fidgeting", "sitting", "empty"]
+
+
+@pytest.fixture(scope="module")
+def chair_augmented():
+    def chair_script(rng, repetitions=4):
+        return [Segment(CHAIR_MODELS[n], duration_s=float(rng.uniform(4, 7)))
+                for _ in range(repetitions)
+                for n in ("empty", "sitting", "fidgeting")]
+
+    train = generate_dataset(chair_script, seed=90,
+                             classes=AWARECHAIR_CLASSES)
+    quality_train = generate_dataset(chair_script, seed=91,
+                                     classes=AWARECHAIR_CLASSES)
+    check = generate_dataset(lambda r: chair_script(r, 2), seed=92,
+                             classes=AWARECHAIR_CLASSES)
+    classifier = NearestCentroidClassifier(AWARECHAIR_CLASSES)
+    classifier.fit(train.cues, train.labels)
+    result = build_quality_measure(classifier, quality_train, check,
+                                   config=ConstructionConfig(epochs=20))
+    return QualityAugmentedClassifier(classifier, result.quality)
+
+
+@pytest.fixture(scope="module")
+def office_streams(experiment):
+    node = SensorNode()
+    pen_script = [Segment(ACTIVITY_MODELS[p], duration_s=float(d),
+                          style=ERRATIC_STYLE)
+                  for p, d in zip(PEN_SCRIPT, DURATIONS)]
+    chair_script = [Segment(CHAIR_MODELS[c], duration_s=float(d))
+                    for c, d in zip(CHAIR_SCRIPT, DURATIONS)]
+    pen_windows = node.collect(pen_script, np.random.default_rng(5),
+                               experiment.augmented.classes)
+    chair_windows = node.collect(chair_script, np.random.default_rng(6),
+                                 AWARECHAIR_CLASSES)
+    return pen_windows, chair_windows
+
+
+def run_detector(experiment, chair_augmented, office_streams, min_quality):
+    pen_windows, chair_windows = office_streams
+    bus = EventBus()
+    pen = AwarePen(bus, experiment.augmented)
+    chair = AwareChair(bus, chair_augmented)
+    detector = SituationDetector(bus, min_quality=min_quality, decay=0.6)
+    right = total = flips = 0
+    previous = None
+    for pw, cw in zip(pen_windows, chair_windows):
+        pen.process_window(pw.cues, pw.time_s)
+        chair.process_window(cw.cues, cw.time_s)
+        truth = DEFAULT_RULES.get((pw.true_context.name,
+                                   cw.true_context.name))
+        current = detector.current
+        if truth is None or current is None:
+            continue
+        total += 1
+        right += int(current.situation.index == truth.index)
+        if previous is not None and current.situation.index != previous:
+            flips += 1
+        previous = current.situation.index
+    return right / total, flips, detector.ignored_events
+
+
+def test_quality_gated_fusion(benchmark, experiment, chair_augmented,
+                              office_streams, report):
+    gated_acc, gated_flips, ignored = benchmark.pedantic(
+        run_detector,
+        args=(experiment, chair_augmented, office_streams,
+              experiment.threshold),
+        rounds=1, iterations=1)
+    naive_acc, naive_flips, _ = run_detector(
+        experiment, chair_augmented, office_streams, 0.0)
+
+    report.row("situations", "situation accuracy (gated vs believe-all)",
+               "quality decides what to believe (§5)",
+               f"{gated_acc:.3f} vs {naive_acc:.3f}")
+    report.row("situations", "spurious situation flips (gated vs naive)",
+               "fewer with quality gate",
+               f"{gated_flips} vs {naive_flips}")
+    report.row("situations", "low-quality events ignored",
+               "-", str(ignored))
+
+    assert gated_acc >= naive_acc - 0.02
+    assert gated_flips <= naive_flips
+    assert ignored > 0
+
+
+def test_situation_detection_latency(benchmark, experiment, chair_augmented,
+                                     office_streams, report):
+    """Per-window cost of the full two-appliance + fusion pipeline."""
+    pen_windows, chair_windows = office_streams
+    bus = EventBus()
+    pen = AwarePen(bus, experiment.augmented)
+    chair = AwareChair(bus, chair_augmented)
+    SituationDetector(bus, min_quality=0.3, decay=0.6)
+    pw, cw = pen_windows[0], chair_windows[0]
+
+    def step():
+        pen.process_window(pw.cues, pw.time_s)
+        chair.process_window(cw.cues, cw.time_s)
+
+    benchmark(step)
+    stats = benchmark.stats.stats
+    report.row("situations", "office step latency (2 appliances + fusion)",
+               "real time", f"{stats.mean * 1e6:.0f} us")
+    assert stats.mean < 0.5

@@ -1,0 +1,88 @@
+"""Scaling bench ``scaling`` — construction cost and quality vs data size.
+
+The automated construction is offline, but deployments re-train as data
+accumulates; this bench measures how construction time and the resulting
+measure's quality scale with the training-set size (the subtractive
+clustering is O(n²) in the window count — the practical ceiling).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (ConstructionConfig, QualityAugmentedClassifier,
+                        build_quality_measure, calibrate)
+from repro.datasets import evaluation_script, generate_dataset
+from repro.evaluation import concatenate_datasets
+from repro.stats.metrics import auc
+
+SIZES = [100, 300, 600]
+
+
+@pytest.fixture(scope="module")
+def big_pool(experiment):
+    """A large pool of quality-training windows to subsample from."""
+    pieces = [generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=6), seed=500 + k)
+        for k in range(4)]
+    return concatenate_datasets(pieces)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_construction_scaling(benchmark, experiment, big_pool, report, n):
+    material = experiment.material
+    rng = np.random.default_rng(n)
+    keep = np.sort(rng.choice(len(big_pool), size=min(n, len(big_pool)),
+                              replace=False))
+    train = big_pool.subset(keep)
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        build_quality_measure,
+        args=(experiment.classifier, train, material.quality_check),
+        kwargs={"config": ConstructionConfig(epochs=30)},
+        rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    augmented = QualityAugmentedClassifier(experiment.classifier,
+                                           result.quality)
+    cal = calibrate(augmented, material.analysis)
+    usable = cal.data.usable
+    score = auc(cal.data.qualities[usable], cal.data.correct[usable])
+    report.row("scaling", f"n_train={len(train)}",
+               "construction is offline",
+               f"{elapsed * 1e3:.0f} ms, rules={result.n_rules}, "
+               f"AUC={score:.3f}")
+    assert score > 0.6
+
+
+def test_quality_grows_or_saturates_with_data(benchmark, experiment,
+                                              big_pool, report):
+    """More training data must not systematically hurt the measure."""
+    material = experiment.material
+
+    def sweep():
+        out = {}
+        for n in (100, 600):
+            out[n] = _score_for(experiment, big_pool, material, n)
+        return out
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.row("scaling", "AUC 100 -> 600 training windows",
+               "saturates", f"{scores[100]:.3f} -> {scores[600]:.3f}")
+    assert scores[600] >= scores[100] - 0.08
+
+
+def _score_for(experiment, big_pool, material, n):
+    rng = np.random.default_rng(n)
+    keep = np.sort(rng.choice(len(big_pool), size=n, replace=False))
+    result = build_quality_measure(
+        experiment.classifier, big_pool.subset(keep),
+        material.quality_check,
+        config=ConstructionConfig(epochs=30))
+    augmented = QualityAugmentedClassifier(experiment.classifier,
+                                           result.quality)
+    cal = calibrate(augmented, material.analysis)
+    usable = cal.data.usable
+    return auc(cal.data.qualities[usable], cal.data.correct[usable])

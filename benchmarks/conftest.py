@@ -1,0 +1,72 @@
+"""Shared fixtures and paper-vs-measured reporting for the benches.
+
+Every bench records comparison rows through the ``report`` fixture; a
+``pytest_terminal_summary`` hook prints the collected table after the
+pytest-benchmark output, so the paper-reproduction numbers are visible
+even with output capturing enabled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core import ConstructionConfig
+from repro.datasets import make_awarepen_material
+from repro.experiment import run_awarepen_experiment
+
+_ROWS: List[tuple] = []
+
+
+class PaperReport:
+    """Collector for experiment-id / metric / paper / measured rows."""
+
+    def row(self, experiment_id: str, metric: str, paper: str,
+            measured: object, note: str = "") -> None:
+        """Record one comparison row for the end-of-run table."""
+        if isinstance(measured, float):
+            measured = f"{measured:.4f}"
+        _ROWS.append((experiment_id, metric, paper, str(measured), note))
+
+    def series(self, experiment_id: str, name: str,
+               values, fmt: str = "{:.3f}") -> None:
+        """Record a whole data series (e.g. Fig. 5's 24 q values)."""
+        rendered = ", ".join(
+            "eps" if v is None or v != v else fmt.format(v) for v in values)
+        _ROWS.append((experiment_id, f"series:{name}", "-", rendered, ""))
+
+
+@pytest.fixture(scope="session")
+def report() -> PaperReport:
+    return PaperReport()
+
+
+@pytest.fixture(scope="session")
+def material():
+    """The paper's data material (same seed as the test suite)."""
+    return make_awarepen_material(seed=7)
+
+
+@pytest.fixture(scope="session")
+def experiment(material):
+    """End-to-end pipeline result shared by all benches."""
+    return run_awarepen_experiment(material=material,
+                                   config=ConstructionConfig())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    tr = terminalreporter
+    tr.ensure_newline()
+    tr.section("paper vs measured (CQM reproduction)", sep="=")
+    width_id = max(len(r[0]) for r in _ROWS)
+    width_metric = max(len(r[1]) for r in _ROWS)
+    width_paper = max(len(r[2]) for r in _ROWS)
+    for exp_id, metric, paper, measured, note in _ROWS:
+        line = (f"{exp_id:<{width_id}}  {metric:<{width_metric}}  "
+                f"paper={paper:<{width_paper}}  measured={measured}")
+        if note:
+            line += f"  ({note})"
+        tr.write_line(line)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Future-work features: context-change prediction and quality fusion.
+
+Paper section 5 sketches two extensions the CQM enables:
+
+* **context prediction** — "the measure can i.e. indicate that a context
+  classification changes in direction to another context": a declining
+  quality trend warns of an impending context switch before it happens;
+* **fusion/aggregation for higher-level contexts** — "higher level
+  context processors require a measure to decide which of the simpler
+  context information to believe": quality-weighted voting across
+  multiple sensing appliances.
+
+Run:  python examples/context_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import (ContextChangePredictor, QualityWeightedFusion,
+                        TemporalAggregator)
+from repro.datasets.activities import evaluation_script
+from repro.experiment import run_awarepen_experiment
+from repro.sensors.node import SensorNode
+
+
+def demo_change_prediction(experiment) -> None:
+    print("=== context-change prediction from the quality trend ===")
+    node = SensorNode()
+    rng = np.random.default_rng(11)
+    windows = node.collect(evaluation_script(rng, blocks=2), rng,
+                           experiment.augmented.classes)
+    predictor = ContextChangePredictor(window=6,
+                                       threshold=experiment.threshold,
+                                       slope_alert=-0.04)
+    alerts = 0
+    for window in windows:
+        qualified = experiment.augmented.classify(window.cues)
+        prediction = predictor.observe(qualified)
+        if prediction.change_likely:
+            alerts += 1
+            truth = window.true_context.name
+            print(f"  t={window.time_s:6.1f}s  predicted="
+                  f"{qualified.context.name:<8} true={truth:<8} "
+                  f"ALERT: {prediction.reason}")
+    print(f"  {alerts} change alerts over {len(windows)} windows\n")
+
+
+def demo_fusion(experiment) -> None:
+    print("=== quality-weighted fusion of two pens ===")
+    node = SensorNode()
+    # Two pens observe the same scenario through independent sensor noise.
+    streams = []
+    for pen_seed in (21, 22):
+        rng = np.random.default_rng(pen_seed)
+        script = evaluation_script(np.random.default_rng(33), blocks=1)
+        windows = node.collect(script, rng, experiment.augmented.classes)
+        streams.append([(w, experiment.augmented.classify(w.cues))
+                        for w in windows])
+
+    fuser = QualityWeightedFusion(min_quality=0.1)
+    n = min(len(s) for s in streams)
+    single_right = 0
+    fused_right = 0
+    for t in range(n):
+        window, first = streams[0][t]
+        _, second = streams[1][t]
+        fused = fuser.fuse([first, second])
+        truth = window.true_context.index
+        single_right += int(first.context.index == truth)
+        if fused is not None:
+            fused_right += int(fused.context.index == truth)
+    print(f"  single pen accuracy : {single_right / n:.2f}")
+    print(f"  fused accuracy      : {fused_right / n:.2f}  "
+          "(quality-weighted vote over two pens)\n")
+
+
+def demo_session_aggregation(experiment) -> None:
+    print("=== higher-level context via temporal aggregation ===")
+    node = SensorNode()
+    rng = np.random.default_rng(44)
+    windows = node.collect(evaluation_script(rng, blocks=1), rng,
+                           experiment.augmented.classes)
+    aggregator = TemporalAggregator(decay=0.7)
+    current = None
+    for window in windows:
+        qualified = experiment.augmented.classify(window.cues)
+        state = aggregator.update(qualified)
+        if state is None:
+            continue
+        context, share = state
+        if context.name != current and share > 0.6:
+            current = context.name
+            print(f"  t={window.time_s:6.1f}s  session context -> "
+                  f"{current} (share {share:.2f})")
+    print()
+
+
+def main() -> None:
+    experiment = run_awarepen_experiment(seed=7)
+    demo_change_prediction(experiment)
+    demo_fusion(experiment)
+    demo_session_aggregation(experiment)
+
+
+if __name__ == "__main__":
+    main()

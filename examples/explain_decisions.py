@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Why did the quality system reject that classification?
+
+Because the CQM is a rule-based TSK FIS, every q value decomposes exactly
+into per-rule contributions.  This example runs the evaluation set
+through the pipeline, then explains the *lowest*- and *highest*-quality
+decisions rule by rule, and shows the reliability diagram ("is q an
+honest probability?") on the analysis set.
+
+Run:  python examples/explain_decisions.py
+"""
+
+import numpy as np
+
+from repro.core import explain
+from repro.experiment import run_awarepen_experiment
+from repro.stats.reliability import reliability_diagram
+
+CUE_NAMES = ["std_x", "std_y", "std_z"]
+
+
+def main() -> None:
+    experiment = run_awarepen_experiment(seed=7)
+    material = experiment.material
+    quality = experiment.augmented.quality
+    classifier = experiment.classifier
+
+    cues = material.evaluation.cues
+    predicted = classifier.predict_indices(cues)
+    q = quality.measure_batch(cues, predicted.astype(float))
+    correct = predicted == material.evaluation.labels
+    usable = ~np.isnan(q)
+
+    worst = int(np.nanargmin(np.where(usable, q, np.nan)))
+    best = int(np.nanargmax(np.where(usable, q, np.nan)))
+
+    for title, idx in (("lowest-quality decision", worst),
+                       ("highest-quality decision", best)):
+        name = classifier.class_for_index(int(predicted[idx])).name
+        truth = material.evaluation.classes[0].__class__  # noqa: F841
+        true_name = next(c.name for c in material.classes
+                         if c.index == material.evaluation.labels[idx])
+        verdict = "RIGHT" if correct[idx] else "WRONG"
+        print(f"=== {title}: window {idx + 1}, classified '{name}' "
+              f"(truth '{true_name}', {verdict}) ===")
+        explanation = explain(quality, cues[idx], int(predicted[idx]))
+        print(explanation.to_text(cue_names=CUE_NAMES))
+        print()
+
+    print("=== is q an honest probability? (analysis set) ===")
+    analysis_pred = classifier.predict_indices(material.analysis.cues)
+    analysis_q = quality.measure_batch(material.analysis.cues,
+                                       analysis_pred.astype(float))
+    analysis_correct = analysis_pred == material.analysis.labels
+    print(reliability_diagram(analysis_q, analysis_correct,
+                              n_bins=6).to_text())
+
+
+if __name__ == "__main__":
+    main()

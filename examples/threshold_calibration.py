@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Statistical analysis walkthrough: Fig. 5 and Fig. 6 in ASCII.
+
+Reproduces the paper's evaluation figures on the console using the
+library renderers in :mod:`repro.viz`: the per-window quality series with
+right/wrong markers (Fig. 5) and the two MLE Gaussian densities with the
+intersection threshold (Fig. 6), plus the four selection probabilities of
+section 2.3.3.
+
+Run:  python examples/threshold_calibration.py
+"""
+
+import numpy as np
+
+from repro.experiment import run_awarepen_experiment
+from repro.viz import comparison_table, density_plot, quality_series
+
+
+def main() -> None:
+    experiment = run_awarepen_experiment(seed=7)
+    cal = experiment.calibration
+
+    print("=== Fig. 5: quality measure for the 24-point test set ===")
+    print(quality_series(experiment.evaluation_qualities,
+                         experiment.evaluation_correct))
+    q = experiment.evaluation_qualities
+    usable = ~np.isnan(q)
+    right_mean = np.mean(q[usable & experiment.evaluation_correct])
+    wrong_mean = np.mean(q[usable & ~experiment.evaluation_correct])
+    print(f"\n  mean(right) = {right_mean:.3f}   "
+          f"mean(wrong) = {wrong_mean:.3f}")
+
+    print("\n=== Fig. 6: Gaussian densities, threshold at the "
+          "intersection ===")
+    est = cal.estimates
+    print(f"  right: N({est.right.mu:.3f}, {est.right.sigma:.3f}^2)   "
+          f"wrong: N({est.wrong.mu:.3f}, {est.wrong.sigma:.3f}^2)\n")
+    print(density_plot(est.right, est.wrong, threshold=cal.s))
+
+    print("\n=== Section 2.3.3: selection probabilities ===")
+    paper = {"P(right|q>s)": "0.8112", "P(wrong|q<s)": "0.8112",
+             "P(right|q<s)": "0.0846", "P(wrong|q>s)": "0.0217",
+             "s": "0.81"}
+    rows = [(key, paper[key], f"{value:.4f}")
+            for key, value in cal.probabilities.as_dict().items()]
+    print(comparison_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `python setup.py develop` in offline
+environments lacking the `wheel` package (configuration lives in
+pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""Analytic gradients for the ANFIS backward pass.
+
+The backward pass (paper section 2.2.4) backpropagates the squared error
+between designated and actual output to the Gaussian membership layer and
+descends its gradient with respect to the premise parameters ``mu_ij`` and
+``sigma_ij``.
+
+With weighted-sum-average output ``S(x) = sum_j wbar_j f_j`` and product
+t-norm weights ``w_j = prod_i F_ij(x_i)``:
+
+.. math::
+
+    \\frac{\\partial S}{\\partial w_j} = \\frac{f_j - S}{\\sum_k w_k},
+    \\qquad
+    \\frac{\\partial w_j}{\\partial \\mu_{ij}}
+        = w_j \\frac{x_i - \\mu_{ij}}{\\sigma_{ij}^2},
+    \\qquad
+    \\frac{\\partial w_j}{\\partial \\sigma_{ij}}
+        = w_j \\frac{(x_i - \\mu_{ij})^2}{\\sigma_{ij}^3}.
+
+Everything is vectorized over samples, rules and inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..fuzzy.tsk import TSKSystem
+
+_WEIGHT_FLOOR = 1e-300
+
+
+@dataclasses.dataclass(frozen=True)
+class PremiseGradients:
+    """Gradients of the half-SSE loss with respect to premise parameters."""
+
+    d_means: np.ndarray
+    d_sigmas: np.ndarray
+    loss: float
+
+
+def premise_gradients(system: TSKSystem, x: np.ndarray,
+                      y: np.ndarray) -> PremiseGradients:
+    """Gradient of ``0.5 * mean((S(x) - y)^2)`` w.r.t. means and sigmas.
+
+    Parameters
+    ----------
+    system:
+        The TSK system whose premise parameters are being tuned.
+    x:
+        Inputs of shape ``(n_samples, n_inputs)``.
+    y:
+        Designated outputs of shape ``(n_samples,)`` — 1 for a right and 0
+        for a wrong contextual classification in the quality use case.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if x.ndim != 2 or x.shape[1] != system.n_inputs:
+        raise DimensionError(
+            f"x must have shape (n, {system.n_inputs}), got {x.shape}")
+    if y.shape[0] != x.shape[0]:
+        raise DimensionError(
+            f"y must have {x.shape[0]} entries, got {y.shape[0]}")
+    n = x.shape[0]
+
+    w = system.firing_strengths(x)                     # (N, m)
+    f = system.rule_outputs(x)                         # (N, m)
+    total = np.maximum(np.sum(w, axis=1), _WEIGHT_FLOOR)  # (N,)
+    s = np.sum(w * f, axis=1) / total                  # (N,)
+    err = s - y                                        # (N,)
+
+    # dL/dw_j for every sample and rule: err * (f_j - S) / total.
+    dl_dw = (err / total)[:, None] * (f - s[:, None])  # (N, m)
+
+    diff = x[:, None, :] - system.means[None, :, :]    # (N, m, d)
+    inv_sig_sq = 1.0 / (system.sigmas ** 2)            # (m, d)
+    # dw_j/dmu_ij = w_j * diff / sigma^2 ; dw_j/dsigma_ij = w_j * diff^2/sigma^3
+    w3 = w[:, :, None]                                 # (N, m, 1)
+    dw_dmu = w3 * diff * inv_sig_sq[None, :, :]
+    dw_dsigma = w3 * (diff ** 2) * (inv_sig_sq / system.sigmas)[None, :, :]
+
+    dl3 = dl_dw[:, :, None]                            # (N, m, 1)
+    d_means = np.sum(dl3 * dw_dmu, axis=0) / n
+    d_sigmas = np.sum(dl3 * dw_dsigma, axis=0) / n
+    loss = float(0.5 * np.mean(err ** 2))
+    return PremiseGradients(d_means=d_means, d_sigmas=d_sigmas, loss=loss)
+
+
+def apply_gradient_step(system: TSKSystem, grads: PremiseGradients,
+                        learning_rate: float,
+                        min_sigma: float = 1e-4) -> None:
+    """Descend the premise gradients in place.
+
+    Sigmas are floored at *min_sigma* to keep the Gaussians well defined —
+    the paper's hybrid learning otherwise risks collapsing a membership
+    function onto a single training point.
+    """
+    if learning_rate <= 0:
+        raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+    system.means -= learning_rate * grads.d_means
+    system.sigmas -= learning_rate * grads.d_sigmas
+    np.maximum(system.sigmas, min_sigma, out=system.sigmas)
+
+
+def numeric_premise_gradients(system: TSKSystem, x: np.ndarray,
+                              y: np.ndarray,
+                              eps: float = 1e-6
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Finite-difference gradients (testing aid, O(m*d) forward passes)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+
+    def loss() -> float:
+        err = system.evaluate(x) - y
+        return float(0.5 * np.mean(err ** 2))
+
+    d_means = np.zeros_like(system.means)
+    d_sigmas = np.zeros_like(system.sigmas)
+    for j in range(system.n_rules):
+        for i in range(system.n_inputs):
+            orig = system.means[j, i]
+            system.means[j, i] = orig + eps
+            hi = loss()
+            system.means[j, i] = orig - eps
+            lo = loss()
+            system.means[j, i] = orig
+            d_means[j, i] = (hi - lo) / (2 * eps)
+
+            orig = system.sigmas[j, i]
+            system.sigmas[j, i] = orig + eps
+            hi = loss()
+            system.sigmas[j, i] = orig - eps
+            lo = loss()
+            system.sigmas[j, i] = orig
+            d_sigmas[j, i] = (hi - lo) / (2 * eps)
+    return d_means, d_sigmas

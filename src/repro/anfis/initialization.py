@@ -1,0 +1,78 @@
+"""FIS structure identification from subtractive clustering.
+
+Paper section 2.2.1: "The subtractive clustering is used to determine the
+number m of rules, the antecedent weights w_j and the shape of the initial
+membership functions F_ij.  Based on the initial membership functions a
+linear regression can provide the consequent functions."
+
+This module converts a :class:`SubtractiveClusteringResult` over the joint
+input space into an initial :class:`TSKSystem` — one rule per cluster, each
+rule's Gaussian means at the cluster center and per-dimension sigmas from
+the cluster radius — and optionally fits the initial consequents by LSE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..clustering.subtractive import (SubtractiveClustering,
+                                      SubtractiveClusteringResult)
+from ..exceptions import DimensionError, TrainingError
+from ..fuzzy.tsk import TSKSystem
+from .lse import fit_consequents
+
+
+def fis_from_clusters(result: SubtractiveClusteringResult,
+                      order: int = 1) -> TSKSystem:
+    """Build the initial TSK system implied by a clustering result.
+
+    Consequent coefficients start at zero; run
+    :func:`repro.anfis.lse.fit_consequents` (or
+    :func:`initial_fis_from_data`) to obtain the regression-fitted initial
+    consequents the paper describes.
+    """
+    centers = np.asarray(result.centers, dtype=float)
+    if centers.ndim != 2:
+        raise DimensionError(
+            f"cluster centers must be 2-D, got shape {centers.shape}")
+    m, d = centers.shape
+    sigmas = np.tile(np.asarray(result.sigmas, dtype=float), (m, 1))
+    if sigmas.shape != (m, d):
+        raise DimensionError(
+            f"sigma layout mismatch: expected {(m, d)}, got {sigmas.shape}")
+    # Guard against zero-width dimensions (constant cue columns).
+    np.maximum(sigmas, 1e-4, out=sigmas)
+    coefficients = np.zeros((m, d + 1))
+    return TSKSystem(means=centers, sigmas=sigmas,
+                     coefficients=coefficients, order=order)
+
+
+def initial_fis_from_data(x: np.ndarray, y: np.ndarray,
+                          radius: float = 0.5, order: int = 1,
+                          clusterer: Optional[SubtractiveClustering] = None
+                          ) -> TSKSystem:
+    """One-call structure identification + initial consequent regression.
+
+    This mirrors MATLAB's ``genfis2``: subtractive clustering over the
+    input space determines the rule structure, then an SVD least-squares
+    solve fits the linear consequents to the designated outputs *y*.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if x.ndim != 2:
+        raise DimensionError(f"x must be 2-D, got shape {x.shape}")
+    if y.shape[0] != x.shape[0]:
+        raise DimensionError(
+            f"y must have {x.shape[0]} entries, got {y.shape[0]}")
+    if x.shape[0] < 2:
+        raise TrainingError("need at least two samples to identify structure")
+
+    algorithm = clusterer if clusterer is not None else SubtractiveClustering(
+        radius=radius)
+    clusters = algorithm.fit(x)
+    system = fis_from_clusters(clusters, order=order)
+    coefficients, _ = fit_consequents(system, x, y)
+    system.coefficients = coefficients
+    return system

@@ -1,0 +1,81 @@
+"""Layer-wise ANFIS view of a TSK system (paper Fig. 3).
+
+The ANFIS of Jang (1993) is "a functional identical representation of a
+FIS as neural network" (paper section 2.2.3).  :class:`ANFISNetwork` wraps
+a :class:`TSKSystem` and exposes the five canonical layers:
+
+1. adaptive Gaussian membership neurons ``F_ij(v_i)``,
+2. product neurons computing rule weights ``w_j``,
+3. normalization neurons ``wbar_j = w_j / sum_k w_k``,
+4. adaptive consequent neurons ``wbar_j f_j(v_Q)``,
+5. the output sum.
+
+Only layers 1 and 4 hold adaptable parameters ("squared functions" in the
+paper's figure); training happens through
+:class:`repro.anfis.training.HybridTrainer` on the shared parameter arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..fuzzy.tsk import TSKSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerOutputs:
+    """All intermediate activations for a batch of inputs."""
+
+    memberships: np.ndarray          # layer 1: (N, m, d)
+    firing_strengths: np.ndarray     # layer 2: (N, m)
+    normalized_strengths: np.ndarray  # layer 3: (N, m)
+    weighted_consequents: np.ndarray  # layer 4: (N, m)
+    output: np.ndarray               # layer 5: (N,)
+
+
+class ANFISNetwork:
+    """Neural-network view over the parameters of a TSK system."""
+
+    def __init__(self, system: TSKSystem) -> None:
+        self.system = system
+
+    @property
+    def n_adaptive_parameters(self) -> int:
+        """Count of tunable parameters: premises (2 m d) + consequents."""
+        m, d = self.system.means.shape
+        premise = 2 * m * d
+        consequent = m if self.system.order == 0 else m * (d + 1)
+        return premise + consequent
+
+    def forward(self, x: np.ndarray) -> LayerOutputs:
+        """Full forward pass returning every layer's activations."""
+        system = self.system
+        memberships = system.memberships(x)
+        w = np.prod(memberships, axis=2)
+        wbar = system.normalized_firing_strengths(
+            np.atleast_2d(np.asarray(x, dtype=float)))
+        f = system.rule_outputs(np.atleast_2d(np.asarray(x, dtype=float)))
+        weighted = wbar * f
+        output = np.sum(weighted, axis=1)
+        return LayerOutputs(
+            memberships=memberships,
+            firing_strengths=w,
+            normalized_strengths=wbar,
+            weighted_consequents=weighted,
+            output=output,
+        )
+
+    def parameter_summary(self) -> Dict[str, int]:
+        """Breakdown of the adaptable parameter counts (for reporting)."""
+        m, d = self.system.means.shape
+        return {
+            "rules": m,
+            "inputs": d,
+            "premise_parameters": 2 * m * d,
+            "consequent_parameters": (
+                m if self.system.order == 0 else m * (d + 1)),
+            "total": self.n_adaptive_parameters,
+        }

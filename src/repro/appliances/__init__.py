@@ -1,0 +1,28 @@
+"""Simulated AwareOffice appliances: pen, camera, event bus, office."""
+
+from .awarepen import PEN_TOPIC, AwarePen
+from .base import Appliance
+from .bus import DeliveryError, EventBus
+from .camera import Snapshot, WhiteboardCamera
+from .chair import CHAIR_TOPIC, AwareChair
+from .display import OfficeDisplay
+from .lossy import LossyBus
+from .situation import (DEFAULT_RULES, DISCUSSION, IDLE, SITUATION_TOPIC,
+                        SITUATIONS, SituationDetector, SituationState,
+                        WRITING_SESSION)
+from .messages import ContextEvent
+from .office import AwareOffice, OfficeRunReport
+
+__all__ = [
+    "ContextEvent",
+    "EventBus", "DeliveryError",
+    "Appliance",
+    "AwarePen", "PEN_TOPIC",
+    "WhiteboardCamera", "Snapshot",
+    "AwareOffice", "OfficeRunReport",
+    "AwareChair", "CHAIR_TOPIC",
+    "LossyBus",
+    "OfficeDisplay",
+    "SituationDetector", "SituationState", "SITUATION_TOPIC", "SITUATIONS",
+    "WRITING_SESSION", "DISCUSSION", "IDLE", "DEFAULT_RULES",
+]

@@ -1,0 +1,76 @@
+"""The AwarePen appliance (paper section 3.1 and Fig. 4).
+
+Processing pipeline, exactly as in the paper's schematic::
+
+    sensors (adxl x/y/z)
+      -> cue values (standard deviation per axis)
+      -> mapping TSK-FIS -> contextual class identifier
+      -> quality TSK-FIS (normalized) -> quality measure q
+
+The pen consumes sensor windows (from a live :class:`SensorNode` stream or
+pre-extracted cue vectors), classifies them, attaches the CQM, and
+publishes qualified context events on the office bus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.interconnection import QualityAugmentedClassifier
+from ..sensors.node import CueWindow
+from ..types import QualifiedClassification
+from .base import Appliance
+from .bus import EventBus
+from .messages import ContextEvent
+
+#: Topic the pen publishes on.
+PEN_TOPIC = "context.pen"
+
+
+class AwarePen(Appliance):
+    """Context-aware whiteboard pen with an attached quality system."""
+
+    def __init__(self, bus: EventBus,
+                 augmented: QualityAugmentedClassifier,
+                 name: str = "awarepen", topic: str = PEN_TOPIC) -> None:
+        super().__init__(name=name, bus=bus)
+        self.augmented = augmented
+        self.topic = topic
+        self._qualified: List[QualifiedClassification] = []
+
+    # ------------------------------------------------------------------
+    def process_window(self, cues: np.ndarray,
+                       time_s: float = 0.0) -> ContextEvent:
+        """Classify one cue window, qualify it, and publish the event."""
+        qualified = self.augmented.classify(cues)
+        self._qualified.append(qualified)
+        return self.publish_context(
+            topic=self.topic,
+            context=qualified.context,
+            quality=qualified.quality,
+            time_s=time_s,
+        )
+
+    def process_stream(self, windows: Iterable[CueWindow]
+                       ) -> List[ContextEvent]:
+        """Process a stream of sensor windows (simulation driver)."""
+        return [self.process_window(w.cues, time_s=w.time_s)
+                for w in windows]
+
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> List[QualifiedClassification]:
+        """All qualified classifications the pen has produced."""
+        return list(self._qualified)
+
+    def last_quality(self) -> Optional[float]:
+        """Quality of the most recent classification (None = epsilon/none)."""
+        if not self._qualified:
+            return None
+        return self._qualified[-1].quality
+
+    def describe(self) -> str:
+        return (f"AwarePen({self.name}): TSK classifier + CQM, "
+                f"publishing on {self.topic!r}")

@@ -1,0 +1,50 @@
+"""Appliance base class.
+
+A smart appliance is "a small computing device integrated into an everyday
+object" (paper section 1).  In this simulation an appliance has a name, a
+reference to the office event bus, and hooks for publishing and receiving
+:class:`ContextEvent` messages.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..exceptions import ConfigurationError
+from ..types import ContextClass
+from .bus import EventBus
+from .messages import ContextEvent
+
+
+class Appliance(abc.ABC):
+    """Base class for all simulated AwareOffice appliances."""
+
+    def __init__(self, name: str, bus: EventBus) -> None:
+        if not name:
+            raise ConfigurationError("appliance name must be non-empty")
+        self.name = name
+        self.bus = bus
+        self._published: List[ContextEvent] = []
+
+    # ------------------------------------------------------------------
+    def publish_context(self, topic: str, context: ContextClass,
+                        quality: Optional[float], time_s: float
+                        ) -> ContextEvent:
+        """Publish one qualified context observation on the bus."""
+        event = ContextEvent.create(source=self.name, topic=topic,
+                                    context=context, quality=quality,
+                                    time_s=time_s)
+        self._published.append(event)
+        self.bus.publish(event)
+        return event
+
+    @property
+    def published_events(self) -> List[ContextEvent]:
+        """All events this appliance has published."""
+        return list(self._published)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description of the appliance."""

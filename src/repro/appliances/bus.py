@@ -1,0 +1,105 @@
+"""In-process publish/subscribe event bus.
+
+Substitute for the Particle RF network of the AwareOffice (see DESIGN.md):
+appliances publish :class:`ContextEvent` objects on topics; subscribers
+receive them synchronously in publication order.  Topic patterns support a
+trailing ``*`` wildcard (``"context.*"``).
+
+Delivery failures in one subscriber are isolated: they are recorded on the
+bus and do not prevent delivery to other subscribers — a lost radio packet
+must not take the office down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from ..exceptions import ConfigurationError
+from .messages import ContextEvent
+
+Handler = Callable[[ContextEvent], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryError:
+    """Record of a subscriber callback that raised during delivery."""
+
+    topic: str
+    event_id: int
+    subscriber: str
+    error: str
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub with wildcard subscriptions."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Tuple[str, str, Handler]] = []
+        self._delivery_errors: List[DeliveryError] = []
+        self._published: int = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, pattern: str, handler: Handler,
+                  name: str = "anonymous") -> None:
+        """Register *handler* for topics matching *pattern*.
+
+        A pattern is either an exact topic or a prefix ending in ``*``.
+        """
+        if not pattern:
+            raise ConfigurationError("pattern must be non-empty")
+        self._subscribers.append((pattern, name, handler))
+
+    def unsubscribe(self, handler: Handler) -> int:
+        """Remove every subscription using *handler*; returns the count.
+
+        Equality (not identity) comparison is used so bound methods — which
+        are recreated on each attribute access — unsubscribe correctly.
+        """
+        before = len(self._subscribers)
+        self._subscribers = [s for s in self._subscribers if s[2] != handler]
+        return before - len(self._subscribers)
+
+    @staticmethod
+    def _matches(pattern: str, topic: str) -> bool:
+        if pattern.endswith("*"):
+            return topic.startswith(pattern[:-1])
+        return topic == pattern
+
+    # ------------------------------------------------------------------
+    def publish(self, event: ContextEvent) -> int:
+        """Deliver *event* to all matching subscribers.
+
+        Returns the number of successful deliveries.
+        """
+        self._published += 1
+        delivered = 0
+        for pattern, name, handler in list(self._subscribers):
+            if not self._matches(pattern, event.topic):
+                continue
+            try:
+                handler(event)
+                delivered += 1
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                self._delivery_errors.append(DeliveryError(
+                    topic=event.topic, event_id=event.event_id,
+                    subscriber=name, error=repr(exc)))
+        return delivered
+
+    # ------------------------------------------------------------------
+    @property
+    def n_published(self) -> int:
+        """Total events published on this bus."""
+        return self._published
+
+    @property
+    def delivery_errors(self) -> List[DeliveryError]:
+        """Errors raised by subscriber callbacks (isolated, recorded)."""
+        return list(self._delivery_errors)
+
+    def subscriber_names(self) -> Dict[str, List[str]]:
+        """Mapping pattern -> subscriber names (diagnostics)."""
+        out: Dict[str, List[str]] = {}
+        for pattern, name, _ in self._subscribers:
+            out.setdefault(pattern, []).append(name)
+        return out

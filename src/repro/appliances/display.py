@@ -1,0 +1,112 @@
+"""The office display appliance: a live context/quality dashboard.
+
+A consuming appliance with no sensor of its own: it subscribes to every
+context and situation topic, keeps a short history per source, and
+renders a terminal dashboard (sparklines of recent quality, the current
+context per source, and the current office situation).  It demonstrates a
+pure *consumer* of qualified context — the role most appliances in a
+smart space play.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..viz import sparkline
+from .base import Appliance
+from .bus import EventBus
+from .messages import ContextEvent
+
+
+@dataclasses.dataclass
+class SourcePanel:
+    """Rolling state for one event source."""
+
+    history: Deque[float]
+    last_context: Optional[str] = None
+    last_time_s: float = 0.0
+    n_events: int = 0
+    n_epsilon: int = 0
+
+
+class OfficeDisplay(Appliance):
+    """Dashboard appliance subscribed to ``context.*`` and ``situation.*``.
+
+    Parameters
+    ----------
+    bus:
+        The office event bus.
+    history:
+        Ring-buffer length of per-source quality history.
+    """
+
+    def __init__(self, bus: EventBus, history: int = 30,
+                 name: str = "office-display") -> None:
+        super().__init__(name=name, bus=bus)
+        if history < 2:
+            raise ConfigurationError(f"history must be >= 2, got {history}")
+        self.history = int(history)
+        self._panels: Dict[str, SourcePanel] = {}
+        self._situation: Optional[str] = None
+        self._situation_confidence: Optional[float] = None
+        bus.subscribe("context.*", self.on_context, name=name)
+        bus.subscribe("situation.*", self.on_situation, name=name)
+
+    # ------------------------------------------------------------------
+    def on_context(self, event: ContextEvent) -> None:
+        """Record one qualified low-level context event."""
+        panel = self._panels.setdefault(
+            event.topic,
+            SourcePanel(history=collections.deque(maxlen=self.history)))
+        panel.n_events += 1
+        panel.last_context = event.context.name
+        panel.last_time_s = event.time_s
+        if event.quality is None:
+            panel.n_epsilon += 1
+            panel.history.append(np.nan)
+        else:
+            panel.history.append(float(event.quality))
+
+    def on_situation(self, event: ContextEvent) -> None:
+        """Record the current office situation."""
+        self._situation = event.context.name
+        self._situation_confidence = event.quality
+
+    # ------------------------------------------------------------------
+    def mean_quality(self, topic: str) -> Optional[float]:
+        """Mean recent quality of one source (None if unknown/empty)."""
+        panel = self._panels.get(topic)
+        if panel is None or not panel.history:
+            return None
+        values = np.array(panel.history, dtype=float)
+        finite = values[~np.isnan(values)]
+        return float(np.mean(finite)) if finite.size else None
+
+    def render(self) -> str:
+        """The dashboard as a multi-line string."""
+        lines = [f"[{self.name}]"]
+        if self._situation is not None:
+            conf = ("" if self._situation_confidence is None
+                    else f" (confidence {self._situation_confidence:.2f})")
+            lines.append(f"  situation: {self._situation}{conf}")
+        else:
+            lines.append("  situation: (none yet)")
+        for topic in sorted(self._panels):
+            panel = self._panels[topic]
+            spark = sparkline(list(panel.history)) if panel.history else ""
+            mean_q = self.mean_quality(topic)
+            mean_text = "-" if mean_q is None else f"{mean_q:.2f}"
+            lines.append(
+                f"  {topic:<16} {panel.last_context or '?':<10} "
+                f"q[{spark}] mean {mean_text} "
+                f"({panel.n_events} events, {panel.n_epsilon} eps)")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return (f"OfficeDisplay({self.name}): {len(self._panels)} sources, "
+                f"history {self.history}")

@@ -1,0 +1,66 @@
+"""Lossy radio channel simulation for the office event bus.
+
+The physical AwareOffice distributed context over a Particle RF network —
+a best-effort broadcast medium that drops and occasionally duplicates
+packets.  :class:`LossyBus` injects those faults at publish time so the
+consuming appliances (camera, situation detector) can be tested for
+robustness against realistic delivery semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .bus import EventBus
+from .messages import ContextEvent
+
+
+class LossyBus(EventBus):
+    """Event bus with per-publish packet loss and duplication.
+
+    Parameters
+    ----------
+    drop_rate:
+        Probability an event is silently lost before delivery.
+    duplicate_rate:
+        Probability a delivered event is delivered twice (RF
+        retransmission after a missed ACK).
+    seed:
+        RNG seed for reproducible loss patterns.
+    """
+
+    def __init__(self, drop_rate: float = 0.1,
+                 duplicate_rate: float = 0.0,
+                 seed: Optional[int] = 0) -> None:
+        super().__init__()
+        if not 0.0 <= drop_rate < 1.0:
+            raise ConfigurationError(
+                f"drop_rate must be in [0, 1), got {drop_rate}")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ConfigurationError(
+                f"duplicate_rate must be in [0, 1), got {duplicate_rate}")
+        self.drop_rate = float(drop_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self._rng = np.random.default_rng(seed)
+        self.n_dropped = 0
+        self.n_duplicated = 0
+
+    def publish(self, event: ContextEvent) -> int:
+        """Publish with channel faults; returns successful deliveries."""
+        if self._rng.random() < self.drop_rate:
+            self.n_dropped += 1
+            return 0
+        delivered = super().publish(event)
+        if self._rng.random() < self.duplicate_rate:
+            self.n_duplicated += 1
+            delivered += super().publish(event)
+        return delivered
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed fraction of publish attempts that were dropped."""
+        attempts = self.n_published + self.n_dropped
+        return self.n_dropped / attempts if attempts else 0.0

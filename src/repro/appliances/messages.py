@@ -1,0 +1,58 @@
+"""Context-event messages exchanged between appliances.
+
+"The detected situation information is then distributed to other
+appliances in the AwareOffice environment" (paper section 1).  A
+:class:`ContextEvent` is the unit of that distribution: the source
+appliance, the classified context and — the paper's contribution — the
+attached Context Quality Measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Optional
+
+from ..types import ContextClass
+
+_event_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextEvent:
+    """One published context observation.
+
+    Attributes
+    ----------
+    event_id:
+        Monotonic identifier (per process).
+    source:
+        Name of the publishing appliance, e.g. ``"awarepen"``.
+    topic:
+        Routing topic, e.g. ``"context.pen"``.
+    context:
+        The classified context.
+    quality:
+        The CQM ``q``; ``None`` means the error state epsilon.
+    time_s:
+        Simulation timestamp of the underlying sensor window.
+    """
+
+    event_id: int
+    source: str
+    topic: str
+    context: ContextClass
+    quality: Optional[float]
+    time_s: float
+
+    @classmethod
+    def create(cls, source: str, topic: str, context: ContextClass,
+               quality: Optional[float], time_s: float) -> "ContextEvent":
+        """Build an event with a fresh identifier."""
+        return cls(event_id=next(_event_counter), source=source, topic=topic,
+                   context=context, quality=quality, time_s=time_s)
+
+    @property
+    def has_quality(self) -> bool:
+        """False when the quality is the epsilon error state."""
+        return self.quality is not None

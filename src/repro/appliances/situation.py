@@ -1,0 +1,165 @@
+"""Higher-level situation detection from fused qualified contexts.
+
+Paper section 5: "Our research will also look into how to support fusion
+and aggregation for higher level contexts that may be able to classify
+complex situations ... higher level context processors require a measure
+to decide which of the simpler context information to believe."
+
+:class:`SituationDetector` realizes that processor: it subscribes to the
+low-level context topics (pen, chair, ...), keeps a quality-decayed
+belief per source, combines the per-source dominant contexts through a
+rule table into an office *situation*, and publishes situation events —
+each weighted by the quality mass that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.fusion import TemporalAggregator
+from ..exceptions import ConfigurationError
+from ..types import ContextClass
+from .base import Appliance
+from .bus import EventBus
+from .messages import ContextEvent
+
+#: Canonical office situations.
+WRITING_SESSION = ContextClass(index=0, name="writing-session")
+DISCUSSION = ContextClass(index=1, name="discussion")
+IDLE = ContextClass(index=2, name="idle")
+
+SITUATIONS: Tuple[ContextClass, ...] = (WRITING_SESSION, DISCUSSION, IDLE)
+
+#: Default rule table over (pen context, chair context) pairs.
+#: A writing pen always signals a writing session; an occupied chair
+#: without pen activity signals a discussion; everything still is idle.
+DEFAULT_RULES: Dict[Tuple[str, str], ContextClass] = {
+    ("writing", "empty"): WRITING_SESSION,
+    ("writing", "sitting"): WRITING_SESSION,
+    ("writing", "fidgeting"): WRITING_SESSION,
+    ("playing", "sitting"): DISCUSSION,
+    ("playing", "fidgeting"): DISCUSSION,
+    ("lying", "sitting"): DISCUSSION,
+    ("lying", "fidgeting"): DISCUSSION,
+    ("lying", "empty"): IDLE,
+    ("playing", "empty"): IDLE,
+}
+
+#: Topic situation events are published on.
+SITUATION_TOPIC = "situation.office"
+
+
+@dataclasses.dataclass(frozen=True)
+class SituationState:
+    """The detector's current belief."""
+
+    situation: ContextClass
+    confidence: float                 # min of the source shares in [0, 1]
+    source_contexts: Mapping[str, str]
+
+
+class SituationDetector(Appliance):
+    """Rule-based higher-level context processor over qualified events.
+
+    Parameters
+    ----------
+    bus:
+        The office event bus.
+    source_topics:
+        Mapping of a role name (``"pen"``, ``"chair"``) to the topic that
+        role's appliance publishes on.  The rule table is keyed by role
+        order ``(pen, chair)``.
+    rules:
+        Rule table mapping ``(pen context name, chair context name)`` to
+        a situation; defaults to :data:`DEFAULT_RULES`.
+    min_quality:
+        Events below this quality (or epsilon events) do not update the
+        source beliefs — the "decide which ... to believe" gate.
+    decay:
+        Per-event exponential decay of accumulated per-source belief.
+    """
+
+    def __init__(self, bus: EventBus,
+                 source_topics: Optional[Mapping[str, str]] = None,
+                 rules: Optional[Mapping[Tuple[str, str],
+                                         ContextClass]] = None,
+                 min_quality: float = 0.0, decay: float = 0.7,
+                 name: str = "situation-detector") -> None:
+        super().__init__(name=name, bus=bus)
+        topics = dict(source_topics) if source_topics is not None else {
+            "pen": "context.pen", "chair": "context.chair"}
+        if set(topics) != {"pen", "chair"}:
+            raise ConfigurationError(
+                f"source_topics must define 'pen' and 'chair', got "
+                f"{sorted(topics)}")
+        if not 0.0 <= min_quality <= 1.0:
+            raise ConfigurationError(
+                f"min_quality must be in [0, 1], got {min_quality}")
+        self.rules = dict(rules) if rules is not None else dict(DEFAULT_RULES)
+        self.min_quality = float(min_quality)
+        self._beliefs: Dict[str, TemporalAggregator] = {
+            role: TemporalAggregator(decay=decay) for role in topics}
+        self._shares: Dict[str, float] = {}
+        self.states: List[SituationState] = []
+        self.ignored_events = 0
+        self._topic_to_role = {topic: role for role, topic in topics.items()}
+        for topic in topics.values():
+            bus.subscribe(topic, self.on_event, name=name)
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: ContextEvent) -> None:
+        """Bus callback: update the source belief and re-evaluate rules."""
+        role = self._topic_to_role.get(event.topic)
+        if role is None:
+            return
+        if event.quality is None or event.quality < self.min_quality:
+            self.ignored_events += 1
+            return
+        from ..types import Classification, QualifiedClassification
+        import numpy as np
+
+        qualified = QualifiedClassification(
+            classification=Classification(cues=np.empty(0),
+                                          context=event.context),
+            quality=event.quality)
+        state = self._beliefs[role].update(qualified)
+        if state is not None:
+            self._shares[role] = state[1]
+        self._evaluate(event.time_s)
+
+    def _evaluate(self, time_s: float) -> None:
+        contexts = {}
+        for role, aggregator in self._beliefs.items():
+            dominant = aggregator.dominant()
+            if dominant is None:
+                return  # not enough evidence from every source yet
+            contexts[role] = dominant.name
+        key = (contexts["pen"], contexts["chair"])
+        situation = self.rules.get(key)
+        if situation is None:
+            return
+        confidence = min(self._shares.get(role, 0.0)
+                         for role in self._beliefs)
+        state = SituationState(situation=situation, confidence=confidence,
+                               source_contexts=dict(contexts))
+        previous = self.states[-1].situation if self.states else None
+        self.states.append(state)
+        if previous is None or previous.index != situation.index:
+            self.publish_context(topic=SITUATION_TOPIC, context=situation,
+                                 quality=confidence, time_s=time_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[SituationState]:
+        """The most recent situation belief, if any."""
+        return self.states[-1] if self.states else None
+
+    def situation_history(self) -> List[ContextClass]:
+        """Situations in publication order (changes only)."""
+        return [e.context for e in self.published_events]
+
+    def describe(self) -> str:
+        return (f"SituationDetector({self.name}): fuses "
+                f"{sorted(self._topic_to_role.values())} at "
+                f"min_quality={self.min_quality}")

@@ -1,0 +1,15 @@
+"""Black-box context classifiers: the AwarePen TSK-FIS and baselines."""
+
+from .base import ContextClassifier
+from .centroid import NearestCentroidClassifier
+from .fuzzy_classifier import TSKClassifier
+from .knn import KNNClassifier
+from .mlp import MLPClassifier
+
+__all__ = [
+    "ContextClassifier",
+    "TSKClassifier",
+    "NearestCentroidClassifier",
+    "KNNClassifier",
+    "MLPClassifier",
+]

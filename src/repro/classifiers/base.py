@@ -1,0 +1,96 @@
+"""The black-box context-classifier interface.
+
+The paper "considers the context algorithm as a black box" (section 2):
+the quality system only sees the cue vector and the produced class
+identifier.  Everything in :mod:`repro.core` therefore depends solely on
+this interface, never on a concrete classifier — that is the property the
+``blackbox`` generality bench exercises.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..types import Classification, ContextClass, as_cue_matrix
+
+
+class ContextClassifier(abc.ABC):
+    """Abstract supervised classifier over cue vectors.
+
+    Subclasses implement :meth:`fit` and :meth:`predict_indices`; the base
+    class provides class bookkeeping and the :class:`Classification`
+    producing convenience API used by appliances and the quality layer.
+    """
+
+    def __init__(self, classes: Sequence[ContextClass]) -> None:
+        if len(classes) < 2:
+            raise ConfigurationError(
+                f"a classifier needs >= 2 classes, got {len(classes)}")
+        indices = [c.index for c in classes]
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError("class indices must be unique")
+        self.classes: Tuple[ContextClass, ...] = tuple(classes)
+        self._by_index = {c.index: c for c in self.classes}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ContextClassifier":
+        """Train on cues *x* of shape ``(n, d)`` and class indices *y*."""
+
+    @abc.abstractmethod
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch of cue vectors."""
+
+    # ------------------------------------------------------------------
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction")
+
+    def _validate_training(self, x: np.ndarray,
+                           y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x = as_cue_matrix(x)
+        y = np.asarray(y, dtype=int).ravel()
+        if y.shape[0] != x.shape[0]:
+            raise ConfigurationError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        unknown = set(np.unique(y)) - set(self._by_index)
+        if unknown:
+            raise ConfigurationError(
+                f"training labels {sorted(unknown)} are not registered "
+                f"classes {sorted(self._by_index)}")
+        return x, y
+
+    def class_for_index(self, index: int) -> ContextClass:
+        """Resolve a class index to its :class:`ContextClass`."""
+        try:
+            return self._by_index[int(index)]
+        except KeyError:
+            raise KeyError(
+                f"index {index} is not one of {sorted(self._by_index)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def classify(self, cues: np.ndarray) -> Classification:
+        """Classify a single cue vector into a :class:`Classification`."""
+        self._require_fitted()
+        cues = np.asarray(cues, dtype=float).ravel()
+        index = int(self.predict_indices(cues.reshape(1, -1))[0])
+        return Classification(cues=cues, context=self.class_for_index(index))
+
+    def classify_batch(self, x: np.ndarray) -> List[Classification]:
+        """Classify a batch of cue vectors."""
+        self._require_fitted()
+        x = as_cue_matrix(x)
+        indices = self.predict_indices(x)
+        return [Classification(cues=row.copy(),
+                               context=self.class_for_index(int(idx)))
+                for row, idx in zip(x, indices)]

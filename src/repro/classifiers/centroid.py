@@ -1,0 +1,71 @@
+"""Nearest-centroid baseline classifier.
+
+A deliberately simple black box: the quality layer must work regardless of
+what produced the context decision (paper section 1: "applicable as an
+add-on to any context recognition system").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..types import ContextClass
+from .base import ContextClassifier
+
+
+class NearestCentroidClassifier(ContextClassifier):
+    """Classify a cue vector to the class with the closest training centroid.
+
+    Parameters
+    ----------
+    classes:
+        Registered context classes.
+    standardize:
+        When True (default) distances are computed in a per-feature
+        z-scored space derived from the training data, so high-variance
+        cues do not dominate.
+    """
+
+    def __init__(self, classes: Sequence[ContextClass],
+                 standardize: bool = True) -> None:
+        super().__init__(classes)
+        self.standardize = bool(standardize)
+        self._centroids: Dict[int, np.ndarray] = {}
+        self._scale: Optional[np.ndarray] = None
+        self._offset: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NearestCentroidClassifier":
+        x, y = self._validate_training(x, y)
+        if self.standardize:
+            self._offset = np.mean(x, axis=0)
+            std = np.std(x, axis=0)
+            self._scale = np.where(std > 0, std, 1.0)
+        else:
+            self._offset = np.zeros(x.shape[1])
+            self._scale = np.ones(x.shape[1])
+        xs = (x - self._offset) / self._scale
+        self._centroids = {}
+        for cls in self.classes:
+            members = xs[y == cls.index]
+            if len(members) == 0:
+                raise TrainingError(
+                    f"class {cls.name!r} has no training samples")
+            self._centroids[cls.index] = np.mean(members, axis=0)
+        self._mark_fitted()
+        return self
+
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        xs = (x - self._offset) / self._scale
+        indices = np.array(sorted(self._centroids))
+        centroids = np.vstack([self._centroids[i] for i in indices])
+        d = (np.sum(xs * xs, axis=1)[:, None]
+             + np.sum(centroids * centroids, axis=1)[None, :]
+             - 2.0 * (xs @ centroids.T))
+        return indices[np.argmin(d, axis=1)]

@@ -1,0 +1,149 @@
+"""The AwarePen's TSK-FIS context classifier.
+
+Paper section 3.1: "For contextual classification a TSK-FIS is used that
+maps standard deviations from three acceleration sensor outputs onto
+context classes."  Two construction modes are provided:
+
+* ``"index"`` — one TSK system regresses the numeric class identifier and
+  the prediction is the nearest valid index (the paper's single-FIS
+  reading);
+* ``"one-vs-rest"`` — one TSK system per class regresses a 0/1 indicator
+  and the prediction is the arg-max (a more robust variant used in the
+  follow-up AwarePen paper).
+
+Both are built with the same automated construction used for the quality
+FIS: subtractive clustering, LSE, and optional ANFIS hybrid refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..anfis.initialization import initial_fis_from_data
+from ..anfis.training import HybridTrainer, TrainingReport
+from ..clustering.subtractive import SubtractiveClustering
+from ..exceptions import ConfigurationError, TrainingError
+from ..fuzzy.tsk import TSKSystem
+from ..types import ContextClass
+from .base import ContextClassifier
+
+
+class TSKClassifier(ContextClassifier):
+    """Context classifier backed by TSK fuzzy inference.
+
+    Parameters
+    ----------
+    classes:
+        The context classes the classifier can emit.
+    mode:
+        ``"index"`` or ``"one-vs-rest"`` (see module docstring).
+    radius:
+        Subtractive-clustering radius for structure identification.
+    order:
+        TSK consequent order (0 constant, 1 linear).
+    refine_epochs:
+        When > 0, run ANFIS hybrid learning for this many epochs after the
+        initial LSE fit (without a check set — the classifier is the black
+        box, not the subject of early stopping).
+    """
+
+    def __init__(self, classes: Sequence[ContextClass], mode: str = "index",
+                 radius: float = 0.5, order: int = 1,
+                 refine_epochs: int = 0) -> None:
+        super().__init__(classes)
+        if mode not in ("index", "one-vs-rest"):
+            raise ConfigurationError(
+                f"mode must be 'index' or 'one-vs-rest', got {mode!r}")
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be > 0, got {radius}")
+        if refine_epochs < 0:
+            raise ConfigurationError(
+                f"refine_epochs must be >= 0, got {refine_epochs}")
+        self.mode = mode
+        self.radius = float(radius)
+        self.order = int(order)
+        self.refine_epochs = int(refine_epochs)
+        self._index_fis: Optional[TSKSystem] = None
+        self._ovr_fis: Dict[int, TSKSystem] = {}
+        self.training_reports: List[TrainingReport] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "TSKClassifier":
+        x, y = self._validate_training(x, y)
+        if len(np.unique(y)) < 2:
+            raise TrainingError(
+                "training data covers fewer than two classes")
+        self.training_reports = []
+        if self.mode == "index":
+            self._index_fis = self._build(x, y.astype(float))
+        else:
+            self._ovr_fis = {}
+            for cls in self.classes:
+                target = (y == cls.index).astype(float)
+                self._ovr_fis[cls.index] = self._build(x, target)
+        self._mark_fitted()
+        return self
+
+    def _build(self, x: np.ndarray, target: np.ndarray) -> TSKSystem:
+        system = initial_fis_from_data(
+            x, target, order=self.order,
+            clusterer=SubtractiveClustering(radius=self.radius))
+        if self.refine_epochs > 0:
+            trainer = HybridTrainer(epochs=self.refine_epochs,
+                                    learning_rate=0.02)
+            self.training_reports.append(trainer.train(system, x, target))
+        return system
+
+    # ------------------------------------------------------------------
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if self.mode == "index":
+            assert self._index_fis is not None
+            raw = self._index_fis.evaluate(x)
+            valid = np.array(sorted(c.index for c in self.classes))
+            # Snap to the nearest valid class identifier.
+            nearest = np.argmin(
+                np.abs(raw[:, None] - valid[None, :]), axis=1)
+            return valid[nearest]
+        scores = self.decision_scores(x)
+        order = np.array([c.index for c in self.classes])
+        return order[np.argmax(scores, axis=1)]
+
+    def decision_scores(self, x: np.ndarray) -> np.ndarray:
+        """Per-class scores, shape ``(n, n_classes)`` (one-vs-rest only)."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if self.mode == "index":
+            raise ConfigurationError(
+                "decision_scores requires mode='one-vs-rest'")
+        return np.column_stack(
+            [self._ovr_fis[c.index].evaluate(x) for c in self.classes])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rules(self) -> int:
+        """Total rule count across the internal TSK systems."""
+        self._require_fitted()
+        if self.mode == "index":
+            assert self._index_fis is not None
+            return self._index_fis.n_rules
+        return sum(fis.n_rules for fis in self._ovr_fis.values())
+
+    def describe(self) -> str:
+        """Readable dump of the rule bases (diagnostics)."""
+        self._require_fitted()
+        if self.mode == "index":
+            assert self._index_fis is not None
+            return self._index_fis.describe()
+        parts = []
+        for cls in self.classes:
+            parts.append(f"[class {cls.name}]")
+            parts.append(self._ovr_fis[cls.index].describe())
+        return "\n".join(parts)

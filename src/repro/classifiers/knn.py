@@ -1,0 +1,90 @@
+"""k-nearest-neighbours baseline classifier.
+
+Second black-box baseline for the classifier-independence bench; k-NN has
+a very different error geometry from the TSK classifier, so a CQM that
+works on both demonstrates the paper's generality claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+from ..types import ContextClass
+from .base import ContextClassifier
+
+
+class KNNClassifier(ContextClassifier):
+    """Plain Euclidean k-NN with majority vote (ties break to nearer mean).
+
+    Parameters
+    ----------
+    classes:
+        Registered context classes.
+    k:
+        Neighbourhood size; clipped to the training-set size at fit time.
+    standardize:
+        Z-score features using training statistics before distance
+        computation.
+    """
+
+    def __init__(self, classes: Sequence[ContextClass], k: int = 5,
+                 standardize: bool = True) -> None:
+        super().__init__(classes)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.standardize = bool(standardize)
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._offset: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x, y = self._validate_training(x, y)
+        if x.shape[0] < 1:
+            raise TrainingError("k-NN needs at least one training sample")
+        if self.standardize:
+            self._offset = np.mean(x, axis=0)
+            std = np.std(x, axis=0)
+            self._scale = np.where(std > 0, std, 1.0)
+        else:
+            self._offset = np.zeros(x.shape[1])
+            self._scale = np.ones(x.shape[1])
+        self._x = (x - self._offset) / self._scale
+        self._y = y
+        self._mark_fitted()
+        return self
+
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        assert self._x is not None and self._y is not None
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        xs = (x - self._offset) / self._scale
+        k = min(self.k, self._x.shape[0])
+        d = (np.sum(xs * xs, axis=1)[:, None]
+             + np.sum(self._x * self._x, axis=1)[None, :]
+             - 2.0 * (xs @ self._x.T))
+        nearest = np.argpartition(d, kth=k - 1, axis=1)[:, :k]
+        out = np.empty(xs.shape[0], dtype=int)
+        for row in range(xs.shape[0]):
+            votes = self._y[nearest[row]]
+            counts = np.bincount(votes)
+            winners = np.flatnonzero(counts == counts.max())
+            if len(winners) == 1:
+                out[row] = winners[0]
+            else:
+                # Tie break: pick the tied class with the smallest mean
+                # distance among the k neighbours.
+                dists = d[row, nearest[row]]
+                best, best_mean = winners[0], np.inf
+                for w in winners:
+                    mean_d = float(np.mean(dists[votes == w]))
+                    if mean_d < best_mean:
+                        best, best_mean = w, mean_d
+                out[row] = best
+        return out

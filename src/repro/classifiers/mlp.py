@@ -1,0 +1,148 @@
+"""A small multilayer perceptron classifier (numpy, from scratch).
+
+Fourth black box for the classifier-independence story: a neural network
+has a completely different decision geometry and failure profile from the
+TSK/centroid/k-NN family, so a CQM that still separates its right from
+its wrong decisions is strong evidence for the paper's generality claim
+(the related work [6] the paper cites uses neural networks for context
+recognition).
+
+Single hidden layer with tanh activations, softmax output, cross-entropy
+loss, full-batch gradient descent with momentum — deliberately simple and
+fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+from ..types import ContextClass
+from .base import ContextClassifier
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - np.max(z, axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=1, keepdims=True)
+
+
+class MLPClassifier(ContextClassifier):
+    """One-hidden-layer perceptron over standardized cues.
+
+    Parameters
+    ----------
+    classes:
+        Registered context classes.
+    hidden:
+        Hidden layer width.
+    epochs:
+        Full-batch gradient steps.
+    learning_rate, momentum:
+        Optimizer parameters.
+    l2:
+        Weight decay coefficient.
+    seed:
+        Weight initialization seed (deterministic training).
+    """
+
+    def __init__(self, classes: Sequence[ContextClass], hidden: int = 16,
+                 epochs: int = 300, learning_rate: float = 0.1,
+                 momentum: float = 0.9, l2: float = 1e-4,
+                 seed: int = 0) -> None:
+        super().__init__(classes)
+        if hidden < 1:
+            raise ConfigurationError(f"hidden must be >= 1, got {hidden}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}")
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.l2 = float(l2)
+        self.seed = int(seed)
+        self._w1: Optional[np.ndarray] = None
+        self._b1: Optional[np.ndarray] = None
+        self._w2: Optional[np.ndarray] = None
+        self._b2: Optional[np.ndarray] = None
+        self._offset: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._index_order: Optional[np.ndarray] = None
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        x, y = self._validate_training(x, y)
+        if len(np.unique(y)) < 2:
+            raise TrainingError("training data covers fewer than 2 classes")
+        self._offset = np.mean(x, axis=0)
+        std = np.std(x, axis=0)
+        self._scale = np.where(std > 0, std, 1.0)
+        xs = (x - self._offset) / self._scale
+
+        self._index_order = np.array(sorted(c.index for c in self.classes))
+        col = {idx: k for k, idx in enumerate(self._index_order)}
+        targets = np.zeros((len(y), len(self._index_order)))
+        for row, label in enumerate(y):
+            targets[row, col[label]] = 1.0
+
+        rng = np.random.default_rng(self.seed)
+        d, k = xs.shape[1], targets.shape[1]
+        self._w1 = rng.normal(0, 1.0 / np.sqrt(d), size=(d, self.hidden))
+        self._b1 = np.zeros(self.hidden)
+        self._w2 = rng.normal(0, 1.0 / np.sqrt(self.hidden),
+                              size=(self.hidden, k))
+        self._b2 = np.zeros(k)
+
+        velocity = [np.zeros_like(p) for p in
+                    (self._w1, self._b1, self._w2, self._b2)]
+        n = xs.shape[0]
+        self.loss_history = []
+        for _ in range(self.epochs):
+            hidden = np.tanh(xs @ self._w1 + self._b1)
+            probs = _softmax(hidden @ self._w2 + self._b2)
+            loss = float(-np.mean(np.sum(
+                targets * np.log(np.clip(probs, 1e-12, 1.0)), axis=1)))
+            self.loss_history.append(loss)
+
+            d_logits = (probs - targets) / n
+            d_w2 = hidden.T @ d_logits + self.l2 * self._w2
+            d_b2 = np.sum(d_logits, axis=0)
+            d_hidden = (d_logits @ self._w2.T) * (1.0 - hidden ** 2)
+            d_w1 = xs.T @ d_hidden + self.l2 * self._w1
+            d_b1 = np.sum(d_hidden, axis=0)
+
+            grads = (d_w1, d_b1, d_w2, d_b2)
+            params = (self._w1, self._b1, self._w2, self._b2)
+            for v, g, p in zip(velocity, grads, params):
+                v *= self.momentum
+                v -= self.learning_rate * g
+                p += v
+        self._mark_fitted()
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities in the sorted-index column order."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        xs = (x - self._offset) / self._scale
+        hidden = np.tanh(xs @ self._w1 + self._b1)
+        return _softmax(hidden @ self._w2 + self._b2)
+
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        assert self._index_order is not None
+        return self._index_order[np.argmax(probs, axis=1)]

@@ -1,0 +1,196 @@
+"""Command-line interface for the CQM reproduction.
+
+Usage::
+
+    python -m repro experiment [--seed N] [--eval-size N] [--radius R]
+                               [--save PACKAGE.json]
+    python -m repro report     [--seed N]
+    python -m repro office     [--seed N] [--blocks N] [--ungated]
+    python -m repro inspect    PACKAGE.json
+
+``experiment`` runs the full pipeline and prints the evaluation summary;
+``report`` prints the paper-style statistics (populations, threshold,
+probabilities); ``office`` simulates the AwareOffice with a gated (or
+ungated) camera; ``inspect`` describes a saved quality package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import ConstructionConfig, QualityFilter
+from .core.persistence import QualityPackage
+from .experiment import run_awarepen_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context Quality Measure (CQM) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment",
+                         help="run the full AwarePen experiment")
+    exp.add_argument("--seed", type=int, default=7)
+    exp.add_argument("--eval-size", type=int, default=24)
+    exp.add_argument("--radius", type=float,
+                     default=ConstructionConfig().radius)
+    exp.add_argument("--save", metavar="PACKAGE.json",
+                     help="write the trained quality package to this path")
+
+    rep = sub.add_parser("report",
+                         help="print the paper-style statistical report")
+    rep.add_argument("--seed", type=int, default=7)
+    rep.add_argument("--figures", action="store_true",
+                     help="render Fig. 5 / Fig. 6 as ASCII")
+
+    off = sub.add_parser("office", help="simulate the AwareOffice")
+    off.add_argument("--seed", type=int, default=7)
+    off.add_argument("--blocks", type=int, default=3)
+    off.add_argument("--ungated", action="store_true",
+                     help="disable the camera's quality gate")
+    off.add_argument("--script", metavar="DSL",
+                     help="scenario DSL, e.g. 'writing:8 playing:2@erratic'"
+                          " (default: the built-in evaluation scenario)")
+
+    ins = sub.add_parser("inspect", help="describe a saved quality package")
+    ins.add_argument("package", metavar="PACKAGE.json")
+
+    rep_full = sub.add_parser(
+        "full-report", help="write the full markdown experiment report")
+    rep_full.add_argument("--seed", type=int, default=7)
+    rep_full.add_argument("--out", metavar="REPORT.md",
+                          help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = ConstructionConfig(radius=args.radius)
+    result = run_awarepen_experiment(seed=args.seed,
+                                     evaluation_size=args.eval_size,
+                                     config=config)
+    outcome = result.evaluation_outcome
+    print(f"seed {args.seed}: quality FIS with "
+          f"{result.construction.n_rules} rules")
+    print(f"threshold s = {result.threshold:.4f} "
+          f"({result.calibration.threshold.method})")
+    print(f"evaluation ({outcome.n_total} windows, "
+          f"{outcome.n_wrong_total} wrong):")
+    print(f"  discarded {outcome.n_discarded} "
+          f"({outcome.discard_fraction * 100:.0f}%), of which "
+          f"{outcome.n_discarded - outcome.n_right_discarded} were wrong")
+    print(f"  accuracy {outcome.accuracy_before:.3f} -> "
+          f"{outcome.accuracy_after:.3f} "
+          f"(improvement +{outcome.improvement:.3f})")
+    if args.save:
+        package = QualityPackage.from_calibration(
+            result.augmented.quality, result.calibration)
+        package.save(args.save)
+        print(f"quality package written to {args.save}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = run_awarepen_experiment(seed=args.seed)
+    cal = result.calibration
+    est = cal.estimates
+    print("population estimates (MLE):")
+    print(f"  right: mu={est.right.mu:.4f} sigma={est.right.sigma:.4f} "
+          f"(n={est.n_right})")
+    print(f"  wrong: mu={est.wrong.mu:.4f} sigma={est.wrong.sigma:.4f} "
+          f"(n={est.n_wrong})")
+    print(f"  separation d' = {est.separation:.3f}")
+    print(f"threshold s = {cal.s:.4f} ({cal.threshold.method}; "
+          f"paper: 0.81)")
+    print("selection probabilities (paper: 0.8112 / 0.8112 / "
+          "0.0217 / 0.0846):")
+    for key, value in cal.probabilities.as_dict().items():
+        if key != "s":
+            print(f"  {key:<14} = {value:.4f}")
+    print(f"epsilon windows on the analysis set: {cal.data.n_epsilon}")
+    if args.figures:
+        from .viz import density_plot, quality_series
+        print("\nFig. 5 (24-point evaluation set):")
+        print(quality_series(result.evaluation_qualities,
+                             result.evaluation_correct))
+        print("\nFig. 6 (densities and threshold):")
+        print(density_plot(est.right, est.wrong, threshold=cal.s))
+    return 0
+
+
+def _cmd_office(args: argparse.Namespace) -> int:
+    from .appliances import AwareOffice
+    from .datasets.activities import evaluation_script
+
+    result = run_awarepen_experiment(seed=args.seed)
+    gate = None if args.ungated else QualityFilter(result.threshold)
+    office = AwareOffice(result.augmented, gate=gate)
+    rng = np.random.default_rng(args.seed + 100)
+    if args.script:
+        from .datasets.dsl import parse_scenario
+        script = parse_scenario(args.script)
+    else:
+        script = evaluation_script(np.random.default_rng(args.seed + 100),
+                                   blocks=args.blocks)
+    run = office.run_scenario(script, rng)
+    mode = "ungated" if args.ungated else f"gated at s={result.threshold:.3f}"
+    print(f"office run ({mode}): {run.n_windows} windows, raw pen "
+          f"accuracy {run.pen_accuracy:.2f}")
+    print(f"camera: accepted {run.accepted_events}, rejected "
+          f"{run.rejected_events}, snapshots {run.n_snapshots}")
+    for snap in office.camera.snapshots:
+        print(f"  snapshot at t={snap.time_s:7.1f}s "
+              f"(session from {snap.session_start_s:.1f}s, "
+              f"{snap.n_writing_events} writing events)")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    package = QualityPackage.load(args.package)
+    system = package.quality.system
+    print(f"quality package: {args.package}")
+    print(f"  FIS: {system.n_rules} rules, {system.n_inputs} inputs "
+          f"({package.quality.n_cues} cues + class id), "
+          f"order {system.order}")
+    print(f"  threshold s = {package.threshold:.4f}")
+    print(f"  right population: N({package.right.mu:.4f}, "
+          f"{package.right.sigma:.4f}^2)")
+    print(f"  wrong population: N({package.wrong.mu:.4f}, "
+          f"{package.wrong.sigma:.4f}^2)")
+    return 0
+
+
+def _cmd_full_report(args: argparse.Namespace) -> int:
+    from .evaluation.report import generate_report
+
+    text = generate_report(seed=args.seed)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "office": _cmd_office,
+    "inspect": _cmd_inspect,
+    "full-report": _cmd_full_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

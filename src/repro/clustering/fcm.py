@@ -1,0 +1,155 @@
+"""Fuzzy c-means clustering (Bezdek).
+
+Part of the paper's "several algorithms of fuzzy clustering" landscape
+(section 2.2.1).  FCM needs the cluster count up front — the reason the
+paper prefers subtractive clustering — but it is useful to refine centers
+found by subtractive clustering and as a general substrate utility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+
+
+@dataclasses.dataclass(frozen=True)
+class FCMResult:
+    """Outcome of a fuzzy c-means run.
+
+    Attributes
+    ----------
+    centers:
+        ``(c, d)`` cluster centers.
+    memberships:
+        ``(n, c)`` partition matrix; rows sum to one.
+    objective:
+        Final value of the FCM objective function.
+    n_iterations:
+        Iterations actually performed.
+    converged:
+        Whether the tolerance was reached before ``max_iter``.
+    """
+
+    centers: np.ndarray
+    memberships: np.ndarray
+    objective: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def hard_labels(self) -> np.ndarray:
+        """Crisp assignment: argmax membership per sample."""
+        return np.argmax(self.memberships, axis=1)
+
+
+class FuzzyCMeans:
+    """Standard FCM with fuzzifier *m* and random or provided initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``c`` (>= 1).
+    m:
+        Fuzzifier exponent (> 1); 2.0 is the common default.
+    max_iter:
+        Iteration cap.
+    tol:
+        Convergence threshold on the max membership change per iteration.
+    seed:
+        Seed for the random initial partition when no initial centers are
+        given.
+    """
+
+    def __init__(self, n_clusters: int, m: float = 2.0, max_iter: int = 300,
+                 tol: float = 1e-5, seed: Optional[int] = None) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError(
+                f"n_clusters must be >= 1, got {n_clusters}")
+        if m <= 1.0:
+            raise ConfigurationError(f"fuzzifier m must be > 1, got {m}")
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if tol <= 0:
+            raise ConfigurationError(f"tol must be > 0, got {tol}")
+        self.n_clusters = int(n_clusters)
+        self.m = float(m)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+
+    def fit(self, x: np.ndarray,
+            initial_centers: Optional[np.ndarray] = None) -> FCMResult:
+        """Cluster *x* of shape ``(n_samples, d)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError(f"data must be 2-D, got shape {x.shape}")
+        n, d = x.shape
+        if n < self.n_clusters:
+            raise TrainingError(
+                f"need at least n_clusters={self.n_clusters} samples, got {n}")
+
+        rng = np.random.default_rng(self.seed)
+        if initial_centers is not None:
+            centers = np.asarray(initial_centers, dtype=float)
+            if centers.shape != (self.n_clusters, d):
+                raise ConfigurationError(
+                    f"initial_centers must have shape "
+                    f"{(self.n_clusters, d)}, got {centers.shape}")
+            u = self._memberships_from_centers(x, centers)
+        else:
+            u = rng.dirichlet(np.ones(self.n_clusters), size=n)
+
+        exponent = 2.0 / (self.m - 1.0)
+        converged = False
+        objective = np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            um = u ** self.m
+            centers = (um.T @ x) / np.maximum(
+                np.sum(um, axis=0)[:, None], 1e-12)
+            dist_sq = self._sq_distances(x, centers)
+            new_u = self._update_memberships(dist_sq, exponent)
+            objective = float(np.sum((new_u ** self.m) * dist_sq))
+            shift = float(np.max(np.abs(new_u - u)))
+            u = new_u
+            if shift < self.tol:
+                converged = True
+                break
+
+        return FCMResult(centers=centers, memberships=u, objective=objective,
+                         n_iterations=iteration, converged=converged)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        x_norm = np.sum(x * x, axis=1)[:, None]
+        c_norm = np.sum(centers * centers, axis=1)[None, :]
+        d = x_norm + c_norm - 2.0 * (x @ centers.T)
+        return np.maximum(d, 0.0)
+
+    @classmethod
+    def _update_memberships(cls, dist_sq: np.ndarray,
+                            exponent: float) -> np.ndarray:
+        # Points that coincide with a center get full membership there.
+        zero_mask = dist_sq <= 1e-18
+        safe = np.maximum(dist_sq, 1e-18)
+        inv = safe ** (-exponent / 2.0)
+        u = inv / np.sum(inv, axis=1, keepdims=True)
+        rows_with_zero = np.any(zero_mask, axis=1)
+        if np.any(rows_with_zero):
+            u[rows_with_zero] = 0.0
+            u[rows_with_zero] = zero_mask[rows_with_zero] / np.sum(
+                zero_mask[rows_with_zero], axis=1, keepdims=True)
+        return u
+
+    def _memberships_from_centers(self, x: np.ndarray,
+                                  centers: np.ndarray) -> np.ndarray:
+        return self._update_memberships(
+            self._sq_distances(x, centers), 2.0 / (self.m - 1.0))

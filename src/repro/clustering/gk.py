@@ -1,0 +1,142 @@
+"""Gustafson-Kessel clustering (fuzzy covariance).
+
+A further member of the paper's "several algorithms of fuzzy clustering"
+landscape (section 2.2.1): FCM with an adaptive Mahalanobis metric per
+cluster, so clusters may be ellipsoidal.  Useful when cue distributions
+are strongly anisotropic (e.g. the writing cluster of the AwarePen, which
+is elongated along the stroke-energy axis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+
+
+@dataclasses.dataclass(frozen=True)
+class GKResult:
+    """Outcome of a Gustafson-Kessel run."""
+
+    centers: np.ndarray          # (c, d)
+    memberships: np.ndarray      # (n, c)
+    covariances: np.ndarray      # (c, d, d) normalized fuzzy covariances
+    objective: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def hard_labels(self) -> np.ndarray:
+        """Crisp assignment: argmax membership per sample."""
+        return np.argmax(self.memberships, axis=1)
+
+
+class GustafsonKessel:
+    """GK clustering with volume-constrained cluster covariances.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    m:
+        Fuzzifier (> 1).
+    max_iter, tol:
+        Iteration cap and membership-change convergence threshold.
+    regularization:
+        Ridge added to each fuzzy covariance before inversion; keeps the
+        Mahalanobis metric defined for nearly flat clusters.
+    seed:
+        Seed for the random initial partition.
+    """
+
+    def __init__(self, n_clusters: int, m: float = 2.0, max_iter: int = 200,
+                 tol: float = 1e-5, regularization: float = 1e-8,
+                 seed: Optional[int] = None) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError(
+                f"n_clusters must be >= 1, got {n_clusters}")
+        if m <= 1.0:
+            raise ConfigurationError(f"fuzzifier m must be > 1, got {m}")
+        if regularization < 0:
+            raise ConfigurationError(
+                f"regularization must be >= 0, got {regularization}")
+        self.n_clusters = int(n_clusters)
+        self.m = float(m)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.regularization = float(regularization)
+        self.seed = seed
+
+    def fit(self, x: np.ndarray) -> GKResult:
+        """Cluster *x* of shape ``(n_samples, d)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError(f"data must be 2-D, got {x.shape}")
+        n, d = x.shape
+        if n < self.n_clusters:
+            raise TrainingError(
+                f"need >= n_clusters={self.n_clusters} samples, got {n}")
+
+        rng = np.random.default_rng(self.seed)
+        u = rng.dirichlet(np.ones(self.n_clusters), size=n)
+        exponent = 2.0 / (self.m - 1.0)
+
+        centers = np.zeros((self.n_clusters, d))
+        covariances = np.tile(np.eye(d), (self.n_clusters, 1, 1))
+        objective = np.inf
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            um = u ** self.m
+            weights = np.maximum(np.sum(um, axis=0), 1e-12)
+            centers = (um.T @ x) / weights[:, None]
+
+            dist_sq = np.empty((n, self.n_clusters))
+            for k in range(self.n_clusters):
+                diff = x - centers[k]
+                cov = (um[:, k][:, None, None]
+                       * np.einsum("ni,nj->nij", diff, diff)).sum(axis=0)
+                cov = cov / weights[k]
+                cov += self.regularization * np.eye(d)
+                det = np.linalg.det(cov)
+                if det <= 0:
+                    cov += 1e-6 * np.eye(d)
+                    det = np.linalg.det(cov)
+                # Volume-normalized metric: det(A_k) = 1.
+                a_k = (det ** (1.0 / d)) * np.linalg.inv(cov)
+                covariances[k] = cov
+                diff = x - centers[k]
+                dist_sq[:, k] = np.maximum(
+                    np.einsum("ni,ij,nj->n", diff, a_k, diff), 0.0)
+
+            new_u = self._update_memberships(dist_sq, exponent)
+            objective = float(np.sum((new_u ** self.m) * dist_sq))
+            shift = float(np.max(np.abs(new_u - u)))
+            u = new_u
+            if shift < self.tol:
+                converged = True
+                break
+
+        return GKResult(centers=centers, memberships=u,
+                        covariances=covariances, objective=objective,
+                        n_iterations=iteration, converged=converged)
+
+    @staticmethod
+    def _update_memberships(dist_sq: np.ndarray,
+                            exponent: float) -> np.ndarray:
+        zero_mask = dist_sq <= 1e-18
+        safe = np.maximum(dist_sq, 1e-18)
+        inv = safe ** (-exponent / 2.0)
+        u = inv / np.sum(inv, axis=1, keepdims=True)
+        rows = np.any(zero_mask, axis=1)
+        if np.any(rows):
+            u[rows] = 0.0
+            u[rows] = zero_mask[rows] / np.sum(zero_mask[rows], axis=1,
+                                               keepdims=True)
+        return u

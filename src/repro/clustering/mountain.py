@@ -1,0 +1,136 @@
+"""Mountain clustering (Yager & Filev 1994).
+
+The paper considers mountain clustering for structure identification but
+rejects it because the result is "highly dependent on the grid structure"
+(section 2.2.1).  We implement it anyway: it serves as the rejected
+baseline in the structure-identification ablation and demonstrates the
+grid-dependence the paper criticizes.
+
+A regular grid is laid over the (unit-normalized) data space; each grid
+vertex ``g`` receives a mountain value
+
+.. math::
+
+    M(g) = \\sum_j e^{-\\lVert g - x_j \\rVert / \\sigma^{?}}  \\; —
+
+we follow the original formulation with squared distances,
+``M(g) = sum_j exp(-||g - x_j||^2 / (2 sigma^2))``, and destruct accepted
+peaks with width ``beta``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+
+
+@dataclasses.dataclass(frozen=True)
+class MountainClusteringResult:
+    """Outcome of a mountain-clustering run."""
+
+    centers: np.ndarray
+    mountain_values: np.ndarray
+    grid_points_per_dim: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+class MountainClustering:
+    """Grid-based mountain clustering.
+
+    Parameters
+    ----------
+    grid_points_per_dim:
+        Vertices per dimension; total grid size grows exponentially with the
+        dimensionality (the method's practical limitation).
+    sigma:
+        Width of the mountain-building kernel in normalized space.
+    beta:
+        Width of the mountain-destruction kernel; Yager & Filev suggest
+        ``beta`` slightly larger than ``sigma``.
+    stop_ratio:
+        Stop once the next peak is below ``stop_ratio`` times the first.
+    max_clusters:
+        Optional hard cap on the number of centers.
+    """
+
+    def __init__(self, grid_points_per_dim: int = 10, sigma: float = 0.1,
+                 beta: float = 0.15, stop_ratio: float = 0.2,
+                 max_clusters: Optional[int] = None) -> None:
+        if grid_points_per_dim < 2:
+            raise ConfigurationError(
+                f"grid_points_per_dim must be >= 2, got {grid_points_per_dim}")
+        if sigma <= 0 or beta <= 0:
+            raise ConfigurationError("sigma and beta must be > 0")
+        if not 0.0 < stop_ratio < 1.0:
+            raise ConfigurationError(
+                f"stop_ratio must be in (0, 1), got {stop_ratio}")
+        self.grid_points_per_dim = int(grid_points_per_dim)
+        self.sigma = float(sigma)
+        self.beta = float(beta)
+        self.stop_ratio = float(stop_ratio)
+        self.max_clusters = max_clusters
+
+    def fit(self, x: np.ndarray) -> MountainClusteringResult:
+        """Run the clustering on data *x* of shape ``(n_samples, d)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError(
+                f"data must be 2-D, got shape {x.shape}")
+        n, d = x.shape
+        if n < 1:
+            raise TrainingError("cannot cluster an empty data set")
+        if self.grid_points_per_dim ** d > 2_000_000:
+            raise ConfigurationError(
+                f"grid of {self.grid_points_per_dim}^{d} vertices is too "
+                "large — this is exactly the scalability problem the paper "
+                "cites; reduce grid_points_per_dim or dimensionality")
+
+        data_min = np.min(x, axis=0)
+        data_max = np.max(x, axis=0)
+        span = np.where(data_max - data_min > 0, data_max - data_min, 1.0)
+        xn = (x - data_min) / span
+
+        axes = [np.linspace(0.0, 1.0, self.grid_points_per_dim)] * d
+        grid = np.array(list(itertools.product(*axes)))
+
+        # Mountain building.
+        diffs = grid[:, None, :] - xn[None, :, :]
+        sq = np.sum(diffs * diffs, axis=2)
+        mountain = np.sum(np.exp(-sq / (2.0 * self.sigma ** 2)), axis=1)
+
+        centers_idx: List[int] = []
+        values: List[float] = []
+        first = float(np.max(mountain))
+        if first <= 0:
+            raise TrainingError("degenerate data: zero mountain function")
+        limit = self.max_clusters if self.max_clusters is not None else len(grid)
+
+        work = mountain.copy()
+        while len(centers_idx) < limit:
+            peak = int(np.argmax(work))
+            value = float(work[peak])
+            if value < self.stop_ratio * first or value <= 0:
+                break
+            centers_idx.append(peak)
+            values.append(value)
+            # Mountain destruction around the accepted peak.
+            dist_sq = np.sum((grid - grid[peak]) ** 2, axis=1)
+            work = work - value * np.exp(-dist_sq / (2.0 * self.beta ** 2))
+
+        if not centers_idx:
+            raise TrainingError("mountain clustering found no peaks")
+
+        centers = grid[np.array(centers_idx)] * span + data_min
+        return MountainClusteringResult(
+            centers=centers,
+            mountain_values=np.array(values),
+            grid_points_per_dim=self.grid_points_per_dim,
+        )

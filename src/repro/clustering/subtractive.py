@@ -1,0 +1,196 @@
+"""Subtractive clustering (Chiu 1994/1996).
+
+This is the structure-identification method the paper picks over mountain
+clustering (section 2.2.1): every data point is a candidate cluster center,
+so no grid and no prior cluster count are needed.  The parameterization
+follows Chiu's recommendations as cited by the paper ([2], [3]).
+
+Each point ``x_i`` receives a potential
+
+.. math::
+
+    P_i = \\sum_j e^{-4 \\lVert x_i - x_j \\rVert^2 / r_a^2}
+
+computed in a unit-normalized data space.  The highest-potential point
+becomes the first center; after accepting a center ``x_c`` with potential
+``P_c`` the potential field is reduced by
+
+.. math::
+
+    P_i \\leftarrow P_i - P_c\\, e^{-4 \\lVert x_i - x_c \\rVert^2 / r_b^2},
+    \\qquad r_b = \\eta\\, r_a
+
+(the *squash factor* ``eta`` defaults to Chiu's 1.25).  Candidates are
+accepted while their potential exceeds ``accept_ratio * P_1``; below
+``reject_ratio * P_1`` they are rejected; in between, Chiu's distance
+criterion ``d_min / r_a + P / P_1 >= 1`` decides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+
+
+@dataclasses.dataclass(frozen=True)
+class SubtractiveClusteringResult:
+    """Outcome of a subtractive-clustering run.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centers in the *original* data space, ``(n_clusters, d)``.
+    potentials:
+        Potential of each accepted center at the time it was accepted.
+    radius:
+        The (relative) neighborhood radius ``r_a`` used.
+    sigmas:
+        Per-dimension Gaussian widths suitable as initial membership
+        function sigmas: ``r_a * range_i / sqrt(8)``.
+    data_min, data_max:
+        Per-dimension bounds used for unit normalization.
+    """
+
+    centers: np.ndarray
+    potentials: np.ndarray
+    radius: float
+    sigmas: np.ndarray
+    data_min: np.ndarray
+    data_max: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+class SubtractiveClustering:
+    """Subtractive clustering with Chiu's accept/reject criteria.
+
+    Parameters
+    ----------
+    radius:
+        Neighborhood radius ``r_a`` relative to the unit-normalized data
+        space, in ``(0, 1]`` typically; Chiu suggests 0.2-0.5.
+    squash_factor:
+        ``eta`` such that ``r_b = eta * r_a``; default 1.25.
+    accept_ratio:
+        Potentials above ``accept_ratio * P_1`` are always accepted (0.5).
+    reject_ratio:
+        Potentials below ``reject_ratio * P_1`` always end the search (0.15).
+    max_clusters:
+        Optional hard cap on the number of centers.
+    """
+
+    def __init__(self, radius: float = 0.5, squash_factor: float = 1.25,
+                 accept_ratio: float = 0.5, reject_ratio: float = 0.15,
+                 max_clusters: Optional[int] = None) -> None:
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be > 0, got {radius}")
+        if squash_factor <= 0:
+            raise ConfigurationError(
+                f"squash_factor must be > 0, got {squash_factor}")
+        if not 0.0 < reject_ratio <= accept_ratio <= 1.0:
+            raise ConfigurationError(
+                "need 0 < reject_ratio <= accept_ratio <= 1, got "
+                f"reject={reject_ratio}, accept={accept_ratio}")
+        if max_clusters is not None and max_clusters < 1:
+            raise ConfigurationError(
+                f"max_clusters must be >= 1, got {max_clusters}")
+        self.radius = float(radius)
+        self.squash_factor = float(squash_factor)
+        self.accept_ratio = float(accept_ratio)
+        self.reject_ratio = float(reject_ratio)
+        self.max_clusters = max_clusters
+
+    # ------------------------------------------------------------------
+    def _normalize(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        data_min = np.min(x, axis=0)
+        data_max = np.max(x, axis=0)
+        span = np.where(data_max - data_min > 0, data_max - data_min, 1.0)
+        return (x - data_min) / span, data_min, data_max
+
+    def fit(self, x: np.ndarray) -> SubtractiveClusteringResult:
+        """Run the clustering on data *x* of shape ``(n_samples, d)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError(
+                f"data must be 2-D (samples x features), got shape {x.shape}")
+        n, d = x.shape
+        if n < 1:
+            raise TrainingError("cannot cluster an empty data set")
+
+        xn, data_min, data_max = self._normalize(x)
+        alpha = 4.0 / (self.radius ** 2)
+        beta = 4.0 / ((self.squash_factor * self.radius) ** 2)
+
+        # Initial potentials: pairwise squared distances in normalized space,
+        # via the ||a||^2 + ||b||^2 - 2 a.b identity to avoid a 3-D temporary.
+        sq_norms = np.sum(xn * xn, axis=1)
+        sq_dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (xn @ xn.T)
+        np.maximum(sq_dists, 0.0, out=sq_dists)
+        potentials = np.sum(np.exp(-alpha * sq_dists), axis=1)
+
+        first_potential = float(np.max(potentials))
+        if first_potential <= 0:
+            raise TrainingError("degenerate data: all potentials are zero")
+
+        centers_idx: List[int] = []
+        center_potentials: List[float] = []
+        potentials = potentials.copy()
+        limit = self.max_clusters if self.max_clusters is not None else n
+
+        while len(centers_idx) < limit:
+            candidate = int(np.argmax(potentials))
+            p = float(potentials[candidate])
+            if p <= 0:
+                break
+            ratio = p / first_potential
+            accept = False
+            if ratio >= self.accept_ratio:
+                accept = True
+            elif ratio < self.reject_ratio:
+                break
+            else:
+                # Chiu's gray-zone distance criterion.
+                d_min = float(np.min([
+                    np.linalg.norm(xn[candidate] - xn[idx])
+                    for idx in centers_idx])) if centers_idx else np.inf
+                if d_min / self.radius + ratio >= 1.0:
+                    accept = True
+                else:
+                    # Kill this candidate and keep searching.
+                    potentials[candidate] = 0.0
+                    continue
+            if accept:
+                centers_idx.append(candidate)
+                center_potentials.append(p)
+                reduction = p * np.exp(-beta * sq_dists[candidate])
+                potentials = potentials - reduction
+                potentials[candidate] = 0.0
+
+        if not centers_idx:
+            raise TrainingError(
+                "subtractive clustering found no acceptable centers; "
+                "try a larger radius or lower reject_ratio")
+
+        centers = x[np.array(centers_idx, dtype=int)]
+        span = np.where(data_max - data_min > 0, data_max - data_min, 1.0)
+        sigmas = self.radius * span / np.sqrt(8.0)
+        return SubtractiveClusteringResult(
+            centers=centers,
+            potentials=np.array(center_potentials),
+            radius=self.radius,
+            sigmas=sigmas,
+            data_min=data_min,
+            data_max=data_max,
+        )
+
+
+def subclust(x: np.ndarray, radius: float = 0.5,
+             **kwargs: object) -> SubtractiveClusteringResult:
+    """Functional shortcut mirroring MATLAB's ``subclust``."""
+    return SubtractiveClustering(radius=radius, **kwargs).fit(x)  # type: ignore[arg-type]

@@ -1,0 +1,92 @@
+"""Cluster-validity indices.
+
+Used by the radius-sweep ablation (experiment ``radius`` in DESIGN.md) to
+judge the structures that subtractive clustering identifies for different
+``r_a`` values, and by tests as an independent sanity check on all three
+clustering algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def _check(x: np.ndarray, labels: np.ndarray) -> None:
+    if x.ndim != 2:
+        raise ConfigurationError(f"data must be 2-D, got shape {x.shape}")
+    if labels.shape != (x.shape[0],):
+        raise ConfigurationError(
+            f"labels must have shape ({x.shape[0]},), got {labels.shape}")
+
+
+def assign_nearest(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Hard-assign each sample to its nearest center (Euclidean)."""
+    x = np.asarray(x, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    d = (np.sum(x * x, axis=1)[:, None]
+         + np.sum(centers * centers, axis=1)[None, :]
+         - 2.0 * (x @ centers.T))
+    return np.argmin(d, axis=1)
+
+
+def within_cluster_scatter(x: np.ndarray, centers: np.ndarray,
+                           labels: np.ndarray) -> float:
+    """Mean squared distance of samples to their assigned center."""
+    x = np.asarray(x, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    _check(x, labels)
+    assigned = np.asarray(centers, dtype=float)[labels]
+    return float(np.mean(np.sum((x - assigned) ** 2, axis=1)))
+
+
+def davies_bouldin(x: np.ndarray, centers: np.ndarray,
+                   labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better); requires >= 2 clusters."""
+    x = np.asarray(x, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    _check(x, labels)
+    k = centers.shape[0]
+    if k < 2:
+        raise ConfigurationError("Davies-Bouldin needs >= 2 clusters")
+    spreads = np.zeros(k)
+    for j in range(k):
+        members = x[labels == j]
+        if len(members) == 0:
+            spreads[j] = 0.0
+        else:
+            spreads[j] = float(np.mean(
+                np.linalg.norm(members - centers[j], axis=1)))
+    worst = 0.0
+    total = 0.0
+    for i in range(k):
+        ratios = []
+        for j in range(k):
+            if i == j:
+                continue
+            sep = float(np.linalg.norm(centers[i] - centers[j]))
+            ratios.append((spreads[i] + spreads[j]) / max(sep, 1e-12))
+        worst = max(ratios) if ratios else 0.0
+        total += worst
+    return total / k
+
+
+def partition_coefficient(memberships: np.ndarray) -> float:
+    """Bezdek's partition coefficient in ``[1/c, 1]`` (higher = crisper)."""
+    u = np.asarray(memberships, dtype=float)
+    if u.ndim != 2:
+        raise ConfigurationError(
+            f"memberships must be 2-D, got shape {u.shape}")
+    return float(np.mean(np.sum(u * u, axis=1)))
+
+
+def partition_entropy(memberships: np.ndarray) -> float:
+    """Bezdek's partition entropy (lower = crisper)."""
+    u = np.asarray(memberships, dtype=float)
+    if u.ndim != 2:
+        raise ConfigurationError(
+            f"memberships must be 2-D, got shape {u.shape}")
+    safe = np.clip(u, 1e-12, 1.0)
+    return float(-np.mean(np.sum(u * np.log(safe), axis=1)))

@@ -1,0 +1,58 @@
+"""The paper's contribution: the Context Quality Measure (CQM).
+
+Typical usage::
+
+    from repro.classifiers import TSKClassifier
+    from repro.core import (ConstructionConfig, build_quality_measure,
+                            QualityAugmentedClassifier, calibrate,
+                            QualityFilter)
+
+    classifier = TSKClassifier(classes).fit(x_train, y_train)
+    result = build_quality_measure(classifier, quality_train, quality_check)
+    augmented = QualityAugmentedClassifier(classifier, result.quality)
+    calibration = calibrate(augmented, analysis_set)
+    gate = QualityFilter(threshold=calibration.s)
+"""
+
+from .calibration import (Calibration, CalibrationData, ClassCalibration,
+                          calibrate, calibrate_per_class,
+                          calibrate_unlabeled, collect_calibration_data)
+from .construction import (ConstructionConfig, ConstructionResult,
+                           build_quality_measure, quality_training_data)
+from .filtering import (ConstantQualityBaseline, EpsilonPolicy,
+                        HysteresisGate, QualityFilter,
+                        evaluate_constant_baseline, evaluate_filtering)
+from .fusion import (FusedContext, QualityWeightedFusion, TemporalAggregator,
+                     fuse_streams)
+from .interconnection import QualityAugmentedClassifier
+from .explanation import QualityExplanation, RuleContribution, explain
+from .online import (FeedbackRecord, OnlineQualityAdapter,
+                     OnlineThresholdTracker)
+from .persistence import (FORMAT_VERSION, QualityPackage, quality_from_dict,
+                          quality_to_dict, tsk_from_dict, tsk_to_dict)
+from .normalization import (EPSILON, LOWER_LIMIT, UPPER_LIMIT, is_error_state,
+                            mapping_error, normalize_array, normalize_scalar)
+from .prediction import (ChangePrediction, ContextChangePredictor,
+                         TrendEstimate)
+from .quality import QualityMeasure
+
+__all__ = [
+    "EPSILON", "LOWER_LIMIT", "UPPER_LIMIT",
+    "normalize_scalar", "normalize_array", "is_error_state", "mapping_error",
+    "QualityMeasure",
+    "ConstructionConfig", "ConstructionResult", "build_quality_measure",
+    "quality_training_data",
+    "QualityAugmentedClassifier",
+    "Calibration", "CalibrationData", "calibrate", "calibrate_unlabeled",
+    "collect_calibration_data", "calibrate_per_class", "ClassCalibration",
+    "QualityFilter", "EpsilonPolicy", "HysteresisGate",
+    "evaluate_filtering",
+    "ConstantQualityBaseline", "evaluate_constant_baseline",
+    "ContextChangePredictor", "ChangePrediction", "TrendEstimate",
+    "QualityWeightedFusion", "FusedContext", "TemporalAggregator",
+    "fuse_streams",
+    "OnlineQualityAdapter", "FeedbackRecord", "OnlineThresholdTracker",
+    "explain", "QualityExplanation", "RuleContribution",
+    "QualityPackage", "FORMAT_VERSION",
+    "tsk_to_dict", "tsk_from_dict", "quality_to_dict", "quality_from_dict",
+]

@@ -1,0 +1,171 @@
+"""Threshold calibration on a secondary analysis set (paper section 2.3).
+
+Given an augmented classifier and a labeled data set *disjoint from
+training*, this module produces the complete statistical analysis: MLE
+Gaussians of the right/wrong quality populations, the acceptance threshold
+at their density intersection, and the four selection probabilities —
+everything behind the paper's Fig. 5, Fig. 6 and the reported numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.generator import WindowDataset
+from ..exceptions import CalibrationError
+from ..stats.mle import (PopulationEstimates, estimate_populations,
+                         fit_two_component_mixture)
+from ..stats.probabilities import (QualityProbabilities,
+                                   empirical_probabilities,
+                                   selection_probabilities)
+from ..stats.threshold import ThresholdResult, intersection_threshold
+from .interconnection import QualityAugmentedClassifier
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationData:
+    """Per-window raw material of a calibration run (Fig. 5's series)."""
+
+    qualities: np.ndarray      # CQM values (NaN = epsilon)
+    correct: np.ndarray        # ground-truth rightness of each decision
+    predicted: np.ndarray      # predicted class indices
+    labels: np.ndarray         # true class indices
+    n_epsilon: int             # windows whose quality was the error state
+
+    @property
+    def usable(self) -> np.ndarray:
+        """Mask of windows with a defined (non-epsilon) quality."""
+        return ~np.isnan(self.qualities)
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """Result of the statistical analysis at the optimal threshold."""
+
+    data: CalibrationData
+    estimates: PopulationEstimates
+    threshold: ThresholdResult
+    probabilities: QualityProbabilities
+    empirical: QualityProbabilities
+
+    @property
+    def s(self) -> float:
+        """The acceptance threshold ``s``."""
+        return self.threshold.threshold
+
+
+def collect_calibration_data(augmented: QualityAugmentedClassifier,
+                             dataset: WindowDataset) -> CalibrationData:
+    """Classify and qualify every window of the analysis set."""
+    predicted = augmented.classifier.predict_indices(dataset.cues)
+    qualities = augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    return CalibrationData(
+        qualities=qualities,
+        correct=correct,
+        predicted=predicted,
+        labels=dataset.labels.copy(),
+        n_epsilon=int(np.sum(np.isnan(qualities))),
+    )
+
+
+def calibrate(augmented: QualityAugmentedClassifier,
+              dataset: WindowDataset,
+              prior_right: Optional[float] = None) -> Calibration:
+    """Full calibration: populations, intersection threshold, probabilities.
+
+    Epsilon-valued windows are excluded from the statistics (they carry no
+    quality information by definition); their count is reported in the
+    calibration data.
+    """
+    data = collect_calibration_data(augmented, dataset)
+    mask = data.usable
+    if int(np.sum(mask)) < 4:
+        raise CalibrationError(
+            "fewer than 4 usable (non-epsilon) windows — cannot calibrate")
+    q = data.qualities[mask]
+    correct = data.correct[mask]
+    estimates = estimate_populations(q, correct)
+    threshold = intersection_threshold(estimates.right, estimates.wrong)
+    probabilities = selection_probabilities(
+        estimates.right, estimates.wrong, threshold.threshold,
+        prior_right=prior_right)
+    empirical = empirical_probabilities(q, correct, threshold.threshold)
+    return Calibration(data=data, estimates=estimates, threshold=threshold,
+                       probabilities=probabilities, empirical=empirical)
+
+
+def calibrate_unlabeled(augmented: QualityAugmentedClassifier,
+                        dataset: WindowDataset) -> float:
+    """Threshold from *unlabeled* data via a two-component mixture MLE.
+
+    Paper section 2.3.2: "The threshold value s ... can also be determined
+    via a MLE for a data set without secondary knowledge."  The returned
+    threshold is the intersection of the two mixture components.
+    """
+    data = collect_calibration_data(augmented, dataset)
+    q = data.qualities[data.usable]
+    if q.size < 4:
+        raise CalibrationError(
+            "fewer than 4 usable windows — cannot fit a mixture")
+    mixture = fit_two_component_mixture(q)
+    result = intersection_threshold(mixture.upper, mixture.lower)
+    return result.threshold
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassCalibration:
+    """Calibration restricted to one predicted context class."""
+
+    class_index: int
+    n_windows: int
+    estimates: Optional[PopulationEstimates]
+    threshold: Optional[float]
+    fallback_used: bool
+
+
+def calibrate_per_class(augmented: QualityAugmentedClassifier,
+                        dataset: WindowDataset,
+                        min_per_population: int = 3
+                        ) -> "dict[int, ClassCalibration]":
+    """Per-predicted-class population estimates and thresholds.
+
+    The paper calibrates one global threshold; in practice some contexts
+    are systematically easier than others, so a per-class threshold can
+    gate each context at its own operating point.  Classes whose data
+    lacks enough right or wrong samples (fewer than *min_per_population*
+    of either) fall back to the global intersection threshold.
+    """
+    data = collect_calibration_data(augmented, dataset)
+    usable = data.usable
+    global_cal = calibrate(augmented, dataset)
+    out: "dict[int, ClassCalibration]" = {}
+    for class_index in np.unique(data.predicted):
+        mask = usable & (data.predicted == class_index)
+        q = data.qualities[mask]
+        correct = data.correct[mask]
+        n_right = int(np.sum(correct))
+        n_wrong = int(np.sum(~correct))
+        if n_right < min_per_population or n_wrong < min_per_population:
+            out[int(class_index)] = ClassCalibration(
+                class_index=int(class_index), n_windows=int(np.sum(mask)),
+                estimates=None, threshold=global_cal.s, fallback_used=True)
+            continue
+        estimates = estimate_populations(q, correct)
+        if estimates.right.mu <= estimates.wrong.mu:
+            out[int(class_index)] = ClassCalibration(
+                class_index=int(class_index), n_windows=int(np.sum(mask)),
+                estimates=estimates, threshold=global_cal.s,
+                fallback_used=True)
+            continue
+        threshold = intersection_threshold(estimates.right,
+                                           estimates.wrong).threshold
+        out[int(class_index)] = ClassCalibration(
+            class_index=int(class_index), n_windows=int(np.sum(mask)),
+            estimates=estimates, threshold=float(threshold),
+            fallback_used=False)
+    return out

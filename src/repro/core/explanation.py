@@ -1,0 +1,106 @@
+"""Explaining individual quality values.
+
+A rejected context classification is an *actionable* event — the camera
+skips a snapshot, an operator may ask why.  Because the quality system is
+a rule-based TSK FIS, every value decomposes exactly into per-rule
+contributions: ``q_raw = Σ_j wbar_j · f_j(v_Q)``.  This module exposes
+that decomposition plus a linguistic rendering, giving the CQM the
+interpretability that black-box confidence scores lack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from .normalization import normalize_scalar
+from .quality import QualityMeasure
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleContribution:
+    """One rule's share of a quality value."""
+
+    rule_index: int
+    firing_strength: float       # w_j
+    normalized_strength: float   # wbar_j
+    consequent: float            # f_j(v_Q)
+    contribution: float          # wbar_j * f_j
+
+    @property
+    def dominant(self) -> bool:
+        """Whether this rule carries the majority of the weight."""
+        return self.normalized_strength > 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityExplanation:
+    """Full decomposition of one CQM evaluation."""
+
+    v_q: np.ndarray
+    raw_output: float
+    quality: Optional[float]
+    contributions: List[RuleContribution]
+
+    @property
+    def dominant_rule(self) -> RuleContribution:
+        """The rule with the largest normalized firing strength."""
+        return max(self.contributions,
+                   key=lambda c: c.normalized_strength)
+
+    @property
+    def is_error_state(self) -> bool:
+        return self.quality is None
+
+    def to_text(self, cue_names: Optional[Sequence[str]] = None) -> str:
+        """Readable multi-line explanation."""
+        n_cues = len(self.v_q) - 1
+        names = (list(cue_names) if cue_names is not None
+                 else [f"v_{i + 1}" for i in range(n_cues)])
+        if len(names) != n_cues:
+            raise DimensionError(
+                f"need {n_cues} cue names, got {len(names)}")
+        parts = [f"{name}={value:.3f}"
+                 for name, value in zip(names, self.v_q[:-1])]
+        parts.append(f"c={int(self.v_q[-1])}")
+        lines = [f"v_Q = ({', '.join(parts)})"]
+        q_text = ("epsilon (unmappable)" if self.quality is None
+                  else f"{self.quality:.3f}")
+        lines.append(f"raw FIS output {self.raw_output:.3f} -> q = {q_text}")
+        for c in sorted(self.contributions,
+                        key=lambda c: -c.normalized_strength):
+            marker = " <== dominant" if c.dominant else ""
+            lines.append(
+                f"  rule {c.rule_index + 1}: weight {c.normalized_strength:.3f}"
+                f" x consequent {c.consequent:+.3f}"
+                f" = {c.contribution:+.3f}{marker}")
+        return "\n".join(lines)
+
+
+def explain(quality: QualityMeasure, cues: np.ndarray,
+            class_index: int) -> QualityExplanation:
+    """Decompose one quality evaluation into rule contributions."""
+    cues = np.asarray(cues, dtype=float).ravel()
+    if cues.shape[0] != quality.n_cues:
+        raise DimensionError(
+            f"expected {quality.n_cues} cues, got {cues.shape[0]}")
+    v_q = np.append(cues, float(class_index))
+    system = quality.system
+    x = v_q.reshape(1, -1)
+    w = system.firing_strengths(x)[0]
+    wbar = system.normalized_firing_strengths(x)[0]
+    f = system.rule_outputs(x)[0]
+    raw = float(np.sum(wbar * f))
+    contributions = [
+        RuleContribution(rule_index=j,
+                         firing_strength=float(w[j]),
+                         normalized_strength=float(wbar[j]),
+                         consequent=float(f[j]),
+                         contribution=float(wbar[j] * f[j]))
+        for j in range(system.n_rules)]
+    return QualityExplanation(v_q=v_q, raw_output=raw,
+                              quality=normalize_scalar(raw),
+                              contributions=contributions)

@@ -1,0 +1,151 @@
+"""Quality-weighted fusion of multiple context sources (paper section 5).
+
+Future work in the paper: "support fusion and aggregation for higher level
+contexts ... higher level context processors require a measure to decide
+which of the simpler context information to believe."  The fusers here
+combine :class:`QualifiedClassification` reports from several appliances
+into one aggregate decision, weighting each vote by its CQM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import ContextClass, QualifiedClassification
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedContext:
+    """Aggregate decision over several qualified reports."""
+
+    context: ContextClass
+    support: float            # total quality mass behind the winner
+    total_mass: float         # total quality mass of all usable reports
+    n_reports: int
+    n_epsilon: int
+
+    @property
+    def confidence(self) -> float:
+        """Winner mass over total mass (1.0 = unanimous)."""
+        return self.support / self.total_mass if self.total_mass > 0 else 0.0
+
+
+class QualityWeightedFusion:
+    """Weighted majority vote with quality weights.
+
+    Parameters
+    ----------
+    min_quality:
+        Reports below this quality contribute nothing (pre-gate).
+    epsilon_weight:
+        Weight assigned to epsilon reports; 0 (default) discards them.
+    """
+
+    def __init__(self, min_quality: float = 0.0,
+                 epsilon_weight: float = 0.0) -> None:
+        if not 0.0 <= min_quality <= 1.0:
+            raise ConfigurationError(
+                f"min_quality must be in [0, 1], got {min_quality}")
+        if epsilon_weight < 0:
+            raise ConfigurationError(
+                f"epsilon_weight must be >= 0, got {epsilon_weight}")
+        self.min_quality = float(min_quality)
+        self.epsilon_weight = float(epsilon_weight)
+
+    def fuse(self, reports: Iterable[QualifiedClassification]
+             ) -> Optional[FusedContext]:
+        """Combine reports; returns None when nothing is usable."""
+        mass: Dict[int, float] = {}
+        contexts: Dict[int, ContextClass] = {}
+        n_reports = 0
+        n_epsilon = 0
+        for report in reports:
+            n_reports += 1
+            if report.quality is None:
+                n_epsilon += 1
+                weight = self.epsilon_weight
+            else:
+                weight = report.quality if report.quality >= self.min_quality else 0.0
+            if weight <= 0:
+                continue
+            idx = report.context.index
+            mass[idx] = mass.get(idx, 0.0) + weight
+            contexts[idx] = report.context
+        if not mass:
+            return None
+        winner = max(mass, key=lambda k: mass[k])
+        total = float(sum(mass.values()))
+        return FusedContext(context=contexts[winner],
+                            support=float(mass[winner]),
+                            total_mass=total,
+                            n_reports=n_reports,
+                            n_epsilon=n_epsilon)
+
+
+class TemporalAggregator:
+    """Aggregate a stream of qualified reports over a sliding horizon.
+
+    Higher-level context ("a writing session is in progress") emerges from
+    many low-level windows; the aggregator maintains exponentially decayed
+    quality mass per class and reports the current dominant context.
+    """
+
+    def __init__(self, decay: float = 0.8) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        self.decay = float(decay)
+        self._mass: Dict[int, float] = {}
+        self._contexts: Dict[int, ContextClass] = {}
+
+    def reset(self) -> None:
+        """Forget all accumulated evidence."""
+        self._mass.clear()
+        self._contexts.clear()
+
+    def update(self, report: QualifiedClassification
+               ) -> Optional[Tuple[ContextClass, float]]:
+        """Consume one report; returns the current ``(context, share)``."""
+        for key in list(self._mass):
+            self._mass[key] *= self.decay
+        if report.quality is not None and report.quality > 0:
+            idx = report.context.index
+            self._mass[idx] = self._mass.get(idx, 0.0) + report.quality
+            self._contexts[idx] = report.context
+        if not self._mass:
+            return None
+        winner = max(self._mass, key=lambda k: self._mass[k])
+        total = sum(self._mass.values())
+        share = self._mass[winner] / total if total > 0 else 0.0
+        return self._contexts[winner], share
+
+    def dominant(self) -> Optional[ContextClass]:
+        """The currently dominant context, if any evidence exists."""
+        if not self._mass:
+            return None
+        winner = max(self._mass, key=lambda k: self._mass[k])
+        return self._contexts[winner]
+
+
+def fuse_streams(streams: List[List[QualifiedClassification]],
+                 fusion: Optional[QualityWeightedFusion] = None
+                 ) -> List[Optional[FusedContext]]:
+    """Fuse several time-aligned report streams step by step.
+
+    All streams must have equal length; step ``t`` fuses the ``t``-th
+    report of every stream.
+    """
+    if not streams:
+        return []
+    lengths = {len(s) for s in streams}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"streams must be time-aligned (equal length), got {lengths}")
+    fuser = fusion if fusion is not None else QualityWeightedFusion()
+    out: List[Optional[FusedContext]] = []
+    for step in range(lengths.pop()):
+        out.append(fuser.fuse(stream[step] for stream in streams))
+    return out

@@ -1,0 +1,53 @@
+"""Interconnection of context recognition and quality measure (paper 2.1.1).
+
+"Each time the contextual classification gets a new input ``v_C``, the
+classification result is combined with this vector in a new vector
+``v_Q``" — :class:`QualityAugmentedClassifier` performs exactly that
+plumbing: it runs the black box, forms ``v_Q = (v_C, c)``, evaluates the
+quality FIS and returns a :class:`QualifiedClassification`.
+
+The black box is never introspected; only its emitted class identifier is
+used.  This is what makes the CQM "applicable as an add-on to any context
+recognition system".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..classifiers.base import ContextClassifier
+from ..types import QualifiedClassification, as_cue_matrix
+from .quality import QualityMeasure
+
+
+class QualityAugmentedClassifier:
+    """A black-box classifier wrapped with its Context Quality Measure."""
+
+    def __init__(self, classifier: ContextClassifier,
+                 quality: QualityMeasure) -> None:
+        self.classifier = classifier
+        self.quality = quality
+
+    def classify(self, cues: np.ndarray) -> QualifiedClassification:
+        """Classify one cue vector and attach its CQM."""
+        classification = self.classifier.classify(cues)
+        return self.quality.qualify(classification)
+
+    def classify_batch(self, x: np.ndarray) -> List[QualifiedClassification]:
+        """Classify a batch of cue vectors with CQMs."""
+        x = as_cue_matrix(x)
+        classifications = self.classifier.classify_batch(x)
+        return self.quality.qualify_batch(classifications)
+
+    def qualities(self, x: np.ndarray) -> np.ndarray:
+        """Only the quality values for a batch (NaN marks epsilon)."""
+        x = as_cue_matrix(x)
+        predicted = self.classifier.predict_indices(x)
+        return self.quality.measure_batch(x, predicted.astype(float))
+
+    @property
+    def classes(self):
+        """The underlying classifier's context classes."""
+        return self.classifier.classes

@@ -1,0 +1,200 @@
+"""Online refinement of a deployed quality system.
+
+The paper trains the quality FIS offline; in a long-lived AwareOffice
+deployment, however, delayed ground truth trickles in (the user corrects
+the camera, a second appliance confirms a context).  This module adapts
+the *consequent* parameters of the deployed quality FIS with recursive
+least squares as that feedback arrives — the premise structure stays
+fixed, so adaptation is cheap enough for an appliance-class device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..anfis.lse import RecursiveLSE, design_matrix
+from ..exceptions import ConfigurationError, DimensionError
+from .quality import QualityMeasure
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedbackRecord:
+    """One piece of delayed ground truth for a past classification."""
+
+    cues: np.ndarray
+    class_index: int
+    was_correct: bool
+
+
+class OnlineQualityAdapter:
+    """RLS adaptation of a quality FIS's consequents from feedback.
+
+    Parameters
+    ----------
+    quality:
+        The deployed quality measure; its FIS consequents are updated in
+        place on every :meth:`feedback` call.
+    forgetting:
+        RLS forgetting factor in ``(0, 1]``; below 1 old evidence decays,
+        letting the measure track drifting users.
+    warmup:
+        Number of feedback items absorbed before the adapter starts
+        writing updated coefficients into the FIS (guards against a few
+        early samples swinging a freshly initialized RLS state).
+    initial_covariance:
+        Initial RLS covariance scale; smaller values trust the deployed
+        offline solution more and adapt more cautiously.
+    """
+
+    def __init__(self, quality: QualityMeasure, forgetting: float = 0.995,
+                 warmup: int = 10,
+                 initial_covariance: float = 1e4) -> None:
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self.quality = quality
+        system = quality.system
+        if system.order == 0:
+            n_parameters = system.n_rules
+        else:
+            n_parameters = system.n_rules * (system.n_inputs + 1)
+        self._rls = RecursiveLSE(n_parameters=n_parameters, lam=forgetting,
+                                 initial_covariance=initial_covariance)
+        # Seed the RLS state with the deployed coefficients so adaptation
+        # starts from the offline solution instead of zero.
+        if system.order == 0:
+            self._rls.theta = system.coefficients[:, -1].copy()
+        else:
+            self._rls.theta = system.coefficients.reshape(-1).copy()
+        self.warmup = int(warmup)
+        self.n_feedback = 0
+        self._residuals: List[float] = []
+
+    # ------------------------------------------------------------------
+    def feedback(self, record: FeedbackRecord) -> float:
+        """Absorb one ground-truth record; returns the pre-update residual.
+
+        The designated output is 1.0 for a correct and 0.0 for a wrong
+        classification, exactly as in offline construction.
+        """
+        cues = np.asarray(record.cues, dtype=float).ravel()
+        if cues.shape[0] != self.quality.n_cues:
+            raise DimensionError(
+                f"expected {self.quality.n_cues} cues, got {cues.shape[0]}")
+        v_q = np.append(cues, float(record.class_index)).reshape(1, -1)
+        row = design_matrix(self.quality.system, v_q)[0]
+        target = 1.0 if record.was_correct else 0.0
+        residual = self._rls.update(row, target)
+        self.n_feedback += 1
+        self._residuals.append(abs(residual))
+        if self.n_feedback >= self.warmup:
+            self.quality.system.coefficients = self._rls.coefficients_for(
+                self.quality.system)
+        return residual
+
+    def feedback_batch(self, records: List[FeedbackRecord]) -> np.ndarray:
+        """Absorb several records; returns their residuals."""
+        return np.array([self.feedback(r) for r in records])
+
+    # ------------------------------------------------------------------
+    def recent_residual(self, window: int = 50) -> Optional[float]:
+        """Mean absolute residual over the last *window* feedback items."""
+        if not self._residuals:
+            return None
+        tail = self._residuals[-window:]
+        return float(np.mean(tail))
+
+    @property
+    def adapting(self) -> bool:
+        """Whether updates are being written into the FIS yet."""
+        return self.n_feedback >= self.warmup
+
+
+class OnlineThresholdTracker:
+    """Exponentially weighted tracking of the acceptance threshold.
+
+    The companion to :class:`OnlineQualityAdapter`: while the adapter
+    refits the quality FIS, this tracker maintains running estimates of
+    the right/wrong quality populations from the same feedback stream and
+    re-derives the density-intersection threshold on demand — so the
+    operating point follows the (possibly drifting) measure.
+
+    Parameters
+    ----------
+    initial_right, initial_wrong:
+        Population Gaussians from offline calibration (the starting
+        belief).
+    alpha:
+        EW update rate in ``(0, 1)``; higher adapts faster.
+    min_sigma:
+        Floor on the tracked standard deviations.
+    """
+
+    def __init__(self, initial_right: "Gaussian", initial_wrong: "Gaussian",
+                 alpha: float = 0.05, min_sigma: float = 1e-3) -> None:
+        from ..stats.gaussian import Gaussian  # noqa: F401  (typing aid)
+
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        if min_sigma <= 0:
+            raise ConfigurationError(
+                f"min_sigma must be > 0, got {min_sigma}")
+        self.alpha = float(alpha)
+        self.min_sigma = float(min_sigma)
+        self._mu = {True: float(initial_right.mu),
+                    False: float(initial_wrong.mu)}
+        self._var = {True: float(initial_right.sigma) ** 2,
+                     False: float(initial_wrong.sigma) ** 2}
+        self.n_updates = 0
+
+    def observe(self, quality: Optional[float], was_correct: bool) -> None:
+        """Fold one labeled quality value into the population estimates.
+
+        Epsilon (None) qualities carry no population information and are
+        ignored.
+        """
+        if quality is None:
+            return
+        q = float(quality)
+        mu = self._mu[was_correct]
+        var = self._var[was_correct]
+        delta = q - mu
+        mu += self.alpha * delta
+        var = (1.0 - self.alpha) * (var + self.alpha * delta * delta)
+        self._mu[was_correct] = mu
+        self._var[was_correct] = max(var, self.min_sigma ** 2)
+        self.n_updates += 1
+
+    @property
+    def right(self):
+        """Current right-population Gaussian."""
+        from ..stats.gaussian import Gaussian
+        return Gaussian(self._mu[True],
+                        max(np.sqrt(self._var[True]), self.min_sigma))
+
+    @property
+    def wrong(self):
+        """Current wrong-population Gaussian."""
+        from ..stats.gaussian import Gaussian
+        return Gaussian(self._mu[False],
+                        max(np.sqrt(self._var[False]), self.min_sigma))
+
+    def threshold(self) -> float:
+        """The intersection threshold for the current populations.
+
+        Falls back to the midpoint when the populations have drifted out
+        of order (right below wrong) — a signal the measure itself needs
+        re-training, which the caller can detect via :meth:`healthy`.
+        """
+        from ..stats.threshold import intersection_threshold
+        if self._mu[True] <= self._mu[False]:
+            return float(np.clip(
+                0.5 * (self._mu[True] + self._mu[False]), 0.0, 1.0))
+        result = intersection_threshold(self.right, self.wrong)
+        return float(np.clip(result.threshold, 0.0, 1.0))
+
+    def healthy(self) -> bool:
+        """Whether the tracked populations are still in the right order."""
+        return self._mu[True] > self._mu[False]

@@ -1,0 +1,146 @@
+"""Serialization of trained quality systems.
+
+A deployed smart appliance carries a *pre-trained* quality FIS (the paper
+trains offline and flashes the result onto the Particle node).  This
+module round-trips the trained artifacts through plain JSON so a quality
+system built on a workstation can be shipped to and reloaded on the
+appliance.
+
+Covered artifacts: :class:`~repro.fuzzy.tsk.TSKSystem`,
+:class:`~repro.core.quality.QualityMeasure`, and a deployable
+:class:`QualityPackage` bundling the measure with its calibrated
+threshold and population statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..fuzzy.tsk import TSKSystem
+from ..stats.gaussian import Gaussian
+from .calibration import Calibration
+from .quality import QualityMeasure
+
+#: Format tag written into every serialized document.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def tsk_to_dict(system: TSKSystem) -> Dict:
+    """Plain-dict form of a TSK system (JSON-safe)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "tsk_system",
+        "order": system.order,
+        "means": system.means.tolist(),
+        "sigmas": system.sigmas.tolist(),
+        "coefficients": system.coefficients.tolist(),
+    }
+
+
+def tsk_from_dict(payload: Dict) -> TSKSystem:
+    """Rebuild a TSK system from :func:`tsk_to_dict` output."""
+    _check_kind(payload, "tsk_system")
+    return TSKSystem(
+        means=np.asarray(payload["means"], dtype=float),
+        sigmas=np.asarray(payload["sigmas"], dtype=float),
+        coefficients=np.asarray(payload["coefficients"], dtype=float),
+        order=int(payload["order"]),
+    )
+
+
+def quality_to_dict(quality: QualityMeasure) -> Dict:
+    """Plain-dict form of a quality measure."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "quality_measure",
+        "n_cues": quality.n_cues,
+        "system": tsk_to_dict(quality.system),
+    }
+
+
+def quality_from_dict(payload: Dict) -> QualityMeasure:
+    """Rebuild a quality measure from :func:`quality_to_dict` output."""
+    _check_kind(payload, "quality_measure")
+    return QualityMeasure(system=tsk_from_dict(payload["system"]),
+                          n_cues=int(payload["n_cues"]))
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityPackage:
+    """Everything an appliance needs at runtime.
+
+    Attributes
+    ----------
+    quality:
+        The trained quality measure (FIS + normalization).
+    threshold:
+        The calibrated acceptance threshold ``s``.
+    right, wrong:
+        MLE Gaussians of the two quality populations (for diagnostics and
+        re-derivation of the probabilities on the appliance).
+    """
+
+    quality: QualityMeasure
+    threshold: float
+    right: Gaussian
+    wrong: Gaussian
+
+    @classmethod
+    def from_calibration(cls, quality: QualityMeasure,
+                         calibration: Calibration) -> "QualityPackage":
+        """Bundle a measure with its calibration result."""
+        return cls(quality=quality, threshold=calibration.s,
+                   right=calibration.estimates.right,
+                   wrong=calibration.estimates.wrong)
+
+    def to_dict(self) -> Dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "quality_package",
+            "quality": quality_to_dict(self.quality),
+            "threshold": self.threshold,
+            "right": {"mu": self.right.mu, "sigma": self.right.sigma},
+            "wrong": {"mu": self.wrong.mu, "sigma": self.wrong.sigma},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "QualityPackage":
+        _check_kind(payload, "quality_package")
+        return cls(
+            quality=quality_from_dict(payload["quality"]),
+            threshold=float(payload["threshold"]),
+            right=Gaussian(**payload["right"]),
+            wrong=Gaussian(**payload["wrong"]),
+        )
+
+    def save(self, path: PathLike) -> None:
+        """Write the package as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "QualityPackage":
+        """Read a package previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _check_kind(payload: Dict, expected: str) -> None:
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"expected a dict payload, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind != expected:
+        raise ConfigurationError(
+            f"payload kind {kind!r} does not match expected {expected!r}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported format_version {version!r}; this build reads "
+            f"version {FORMAT_VERSION}")

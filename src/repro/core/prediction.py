@@ -1,0 +1,122 @@
+"""Context-change prediction from quality trends (paper section 5).
+
+Future work in the paper: "The measure can i.e. indicate that a context
+classification changes in direction to another context."  A sliding
+linear-regression trend over the recent CQM values realizes this: a
+sustained decline while the predicted class stays constant signals that
+the situation is drifting away from the recognized context.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import QualifiedClassification
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendEstimate:
+    """Linear trend over the recent quality history."""
+
+    slope: float          # quality units per observation
+    intercept: float
+    mean_quality: float
+    n_points: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChangePrediction:
+    """Output of the context-change predictor for one step."""
+
+    change_likely: bool
+    trend: Optional[TrendEstimate]
+    steps_to_threshold: Optional[float]
+    reason: str
+
+
+class ContextChangePredictor:
+    """Sliding-window quality-trend watcher.
+
+    Parameters
+    ----------
+    window:
+        Number of recent observations the trend is fitted over.
+    threshold:
+        The calibrated acceptance threshold; the predictor extrapolates
+        when the trend will cross it.
+    slope_alert:
+        Negative slope (quality per observation) beyond which a change is
+        flagged even before the threshold is crossed.
+    """
+
+    def __init__(self, window: int = 8, threshold: float = 0.5,
+                 slope_alert: float = -0.03) -> None:
+        if window < 3:
+            raise ConfigurationError(f"window must be >= 3, got {window}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}")
+        if slope_alert >= 0:
+            raise ConfigurationError(
+                f"slope_alert must be negative, got {slope_alert}")
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.slope_alert = float(slope_alert)
+        self._history: Deque[float] = collections.deque(maxlen=self.window)
+        self._last_class: Optional[int] = None
+
+    def reset(self) -> None:
+        """Clear the history (e.g. after an acknowledged context switch)."""
+        self._history.clear()
+        self._last_class = None
+
+    def observe(self, qualified: QualifiedClassification) -> ChangePrediction:
+        """Consume one qualified classification and predict."""
+        class_index = qualified.context.index
+        if self._last_class is not None and class_index != self._last_class:
+            # The class already switched — restart trend tracking.
+            self._history.clear()
+            self._last_class = class_index
+            return ChangePrediction(change_likely=False, trend=None,
+                                    steps_to_threshold=None,
+                                    reason="context switched; trend reset")
+        self._last_class = class_index
+        if qualified.quality is not None:
+            self._history.append(qualified.quality)
+
+        if len(self._history) < 3:
+            return ChangePrediction(change_likely=False, trend=None,
+                                    steps_to_threshold=None,
+                                    reason="insufficient history")
+
+        trend = self._fit_trend()
+        steps: Optional[float] = None
+        if trend.slope < 0:
+            current = trend.intercept + trend.slope * (trend.n_points - 1)
+            if current > self.threshold:
+                steps = (self.threshold - current) / trend.slope
+        likely = (trend.slope <= self.slope_alert
+                  or (steps is not None and steps <= self.window))
+        if trend.slope <= self.slope_alert:
+            reason = (f"quality declining at {trend.slope:.4f}/step "
+                      f"(alert at {self.slope_alert})")
+        elif likely:
+            reason = (f"trend crosses threshold {self.threshold:.2f} in "
+                      f"~{steps:.1f} steps")
+        else:
+            reason = "quality stable"
+        return ChangePrediction(change_likely=likely, trend=trend,
+                                steps_to_threshold=steps, reason=reason)
+
+    def _fit_trend(self) -> TrendEstimate:
+        y = np.array(self._history, dtype=float)
+        x = np.arange(len(y), dtype=float)
+        slope, intercept = np.polyfit(x, y, deg=1)
+        return TrendEstimate(slope=float(slope), intercept=float(intercept),
+                             mean_quality=float(np.mean(y)),
+                             n_points=len(y))

@@ -1,0 +1,17 @@
+"""Synthetic AwarePen datasets: scenario scripts, generation, splits."""
+
+from .activities import evaluation_script, stress_script, training_script
+from .dsl import STYLES, format_scenario, parse_scenario, parse_segment
+from .export import load_csv, load_npz, save_csv, save_npz
+from .generator import (AwarePenMaterial, WindowDataset, generate_dataset,
+                        make_awarepen_material, windows_to_dataset)
+from .splits import Split, three_way_split, train_check_split
+
+__all__ = [
+    "training_script", "evaluation_script", "stress_script",
+    "WindowDataset", "windows_to_dataset", "generate_dataset",
+    "AwarePenMaterial", "make_awarepen_material",
+    "Split", "train_check_split", "three_way_split",
+    "parse_scenario", "parse_segment", "format_scenario", "STYLES",
+    "save_npz", "load_npz", "save_csv", "load_csv",
+]

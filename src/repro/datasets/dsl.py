@@ -1,0 +1,96 @@
+"""A tiny textual scenario DSL.
+
+Scripted scenarios are the unit of experimentation; a one-line textual
+form makes them usable from the CLI and from config files::
+
+    "writing:8 playing:2.5@erratic writing:6 lying:3"
+
+Each token is ``activity:duration_s`` with an optional ``@style`` suffix.
+Activities resolve against a model registry (the pen's by default, the
+chair's via ``models=CHAIR_MODELS``); styles against a named style table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..exceptions import ConfigurationError
+from ..sensors.accelerometer import (ACTIVITY_MODELS, DEFAULT_STYLE,
+                                     ERRATIC_STYLE, ActivityModel, UserStyle)
+from ..sensors.node import Segment
+
+#: Named styles available to the DSL.
+STYLES: Dict[str, UserStyle] = {
+    "default": DEFAULT_STYLE,
+    "erratic": ERRATIC_STYLE,
+    "heavy": UserStyle(amplitude_scale=2.2, tempo_scale=0.6,
+                       tremor=0.06, pause_probability=0.05),
+    "light": UserStyle(amplitude_scale=0.5, tempo_scale=1.2,
+                       tremor=0.015, pause_probability=0.15),
+}
+
+
+def parse_segment(token: str,
+                  models: Mapping[str, ActivityModel],
+                  styles: Optional[Mapping[str, UserStyle]] = None
+                  ) -> Segment:
+    """Parse one ``activity:duration[@style]`` token."""
+    styles = styles if styles is not None else STYLES
+    token = token.strip()
+    if not token:
+        raise ConfigurationError("empty scenario token")
+    style = DEFAULT_STYLE
+    if "@" in token:
+        token, style_name = token.rsplit("@", 1)
+        try:
+            style = styles[style_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown style {style_name!r}; available: "
+                f"{sorted(styles)}") from None
+    if ":" not in token:
+        raise ConfigurationError(
+            f"token {token!r} must be 'activity:duration_s'")
+    name, duration_text = token.rsplit(":", 1)
+    try:
+        duration = float(duration_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid duration {duration_text!r} in token {token!r}"
+        ) from None
+    try:
+        model = models[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown activity {name!r}; available: "
+            f"{sorted(models)}") from None
+    return Segment(model=model, duration_s=duration, style=style)
+
+
+def parse_scenario(text: str,
+                   models: Optional[Mapping[str, ActivityModel]] = None,
+                   styles: Optional[Mapping[str, UserStyle]] = None
+                   ) -> List[Segment]:
+    """Parse a whitespace-separated scenario string into segments."""
+    models = models if models is not None else ACTIVITY_MODELS
+    tokens = text.split()
+    if not tokens:
+        raise ConfigurationError("scenario string is empty")
+    return [parse_segment(token, models, styles) for token in tokens]
+
+
+def format_scenario(segments: List[Segment]) -> str:
+    """Render segments back into DSL text (inverse of parsing).
+
+    Styles are rendered by identity lookup in :data:`STYLES`; anonymous
+    styles fall back to ``default`` rendering (lossy, documented).
+    """
+    names = {id(style): name for name, style in STYLES.items()}
+    tokens = []
+    for segment in segments:
+        token = f"{segment.model.context.name}:{segment.duration_s:g}"
+        style_name = names.get(id(segment.style))
+        if style_name and style_name != "default":
+            token += f"@{style_name}"
+        tokens.append(token)
+    return " ".join(tokens)

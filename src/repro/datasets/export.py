@@ -1,0 +1,111 @@
+"""Dataset import/export.
+
+Reproduction packages live or die by shareable data: this module
+round-trips :class:`WindowDataset` objects through NPZ (lossless, compact)
+and CSV (inspectable anywhere), including the class table, so a generated
+evaluation set can be archived next to the numbers it produced.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import ContextClass
+from .generator import WindowDataset
+
+PathLike = Union[str, Path]
+
+#: Schema tag embedded in every export.
+EXPORT_VERSION = 1
+
+
+def save_npz(dataset: WindowDataset, path: PathLike) -> None:
+    """Write a dataset as a compressed NPZ archive."""
+    class_table = json.dumps([
+        {"index": c.index, "name": c.name} for c in dataset.classes])
+    np.savez_compressed(
+        Path(path),
+        version=np.array(EXPORT_VERSION),
+        cues=dataset.cues,
+        labels=dataset.labels,
+        transition=dataset.transition,
+        classes=np.array(class_table),
+    )
+
+
+def load_npz(path: PathLike) -> WindowDataset:
+    """Read a dataset written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != EXPORT_VERSION:
+            raise ConfigurationError(
+                f"unsupported export version {version}; this build reads "
+                f"{EXPORT_VERSION}")
+        classes = tuple(
+            ContextClass(index=int(entry["index"]), name=str(entry["name"]))
+            for entry in json.loads(str(archive["classes"])))
+        return WindowDataset(
+            cues=archive["cues"].astype(float),
+            labels=archive["labels"].astype(int),
+            transition=archive["transition"].astype(bool),
+            classes=classes,
+        )
+
+
+def save_csv(dataset: WindowDataset, path: PathLike) -> None:
+    """Write a dataset as CSV with a JSON class-table header comment."""
+    n_cues = dataset.cues.shape[1]
+    class_table = json.dumps([
+        {"index": c.index, "name": c.name} for c in dataset.classes])
+    with open(Path(path), "w", newline="") as handle:
+        handle.write(f"# repro-dataset v{EXPORT_VERSION} "
+                     f"classes={class_table}\n")
+        writer = csv.writer(handle)
+        writer.writerow([f"cue_{i}" for i in range(n_cues)]
+                        + ["label", "transition"])
+        for row, label, transition in zip(dataset.cues, dataset.labels,
+                                          dataset.transition):
+            # repr of a Python float is shortest-lossless; numpy scalars
+            # must be unwrapped first (their repr is "np.float64(...)").
+            writer.writerow([repr(float(v)) for v in row]
+                            + [int(label), int(transition)])
+
+
+def load_csv(path: PathLike) -> WindowDataset:
+    """Read a dataset written by :func:`save_csv`."""
+    lines = Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("# repro-dataset"):
+        raise ConfigurationError(
+            f"{path} is not a repro dataset CSV (missing header comment)")
+    header = lines[0]
+    if f"v{EXPORT_VERSION} " not in header:
+        raise ConfigurationError(
+            f"unsupported export version in header: {header!r}")
+    class_json = header.split("classes=", 1)[1]
+    classes = tuple(ContextClass(index=int(e["index"]), name=str(e["name"]))
+                    for e in json.loads(class_json))
+
+    reader = csv.reader(lines[1:])
+    columns = next(reader)
+    n_cues = sum(1 for c in columns if c.startswith("cue_"))
+    if n_cues == 0:
+        raise ConfigurationError("CSV has no cue columns")
+    cues, labels, transition = [], [], []
+    for row in reader:
+        if not row:
+            continue
+        cues.append([float(v) for v in row[:n_cues]])
+        labels.append(int(row[n_cues]))
+        transition.append(bool(int(row[n_cues + 1])))
+    if not cues:
+        raise ConfigurationError("CSV contains no data rows")
+    return WindowDataset(cues=np.array(cues, dtype=float),
+                         labels=np.array(labels, dtype=int),
+                         transition=np.array(transition, dtype=bool),
+                         classes=classes)

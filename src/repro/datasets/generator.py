@@ -1,0 +1,161 @@
+"""Dataset generation for the AwarePen experiments.
+
+Couples the sensing substrate (scenario scripts → sensor node → cue
+windows) into plain arrays, and assembles the paper's full experimental
+material: a training set, a check set for early stopping, an *analysis*
+set with correctness labels for the MLE (the "second data set different
+from the training set", section 2.3.1), and the small evaluation set —
+24 points in the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptyDatasetError
+from ..sensors.accelerometer import AWAREPEN_CLASSES
+from ..sensors.node import CueWindow, Segment, SensorNode
+from ..types import ContextClass
+from .activities import evaluation_script, training_script
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowDataset:
+    """Plain-array dataset of cue windows with ground truth."""
+
+    cues: np.ndarray           # (n, d)
+    labels: np.ndarray         # (n,) true class indices
+    transition: np.ndarray     # (n,) bool: ambiguous/transition windows
+    classes: Sequence[ContextClass]
+
+    def __post_init__(self) -> None:
+        if self.cues.ndim != 2:
+            raise ConfigurationError(
+                f"cues must be 2-D, got shape {self.cues.shape}")
+        n = self.cues.shape[0]
+        if self.labels.shape != (n,) or self.transition.shape != (n,):
+            raise ConfigurationError("labels/transition must align with cues")
+
+    def __len__(self) -> int:
+        return self.cues.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "WindowDataset":
+        """Row-subset view (copies) of the dataset."""
+        indices = np.asarray(indices, dtype=int)
+        return WindowDataset(cues=self.cues[indices],
+                             labels=self.labels[indices],
+                             transition=self.transition[indices],
+                             classes=self.classes)
+
+    def class_counts(self) -> dict:
+        """Mapping class name -> sample count."""
+        out = {}
+        for cls in self.classes:
+            out[cls.name] = int(np.sum(self.labels == cls.index))
+        return out
+
+
+def windows_to_dataset(windows: List[CueWindow],
+                       classes: Sequence[ContextClass]) -> WindowDataset:
+    """Convert streamed :class:`CueWindow` objects into arrays."""
+    if not windows:
+        raise EmptyDatasetError("no windows to convert")
+    cues = np.vstack([w.cues for w in windows])
+    labels = np.array([w.true_context.index for w in windows], dtype=int)
+    transition = np.array([w.is_transition for w in windows], dtype=bool)
+    return WindowDataset(cues=cues, labels=labels, transition=transition,
+                         classes=tuple(classes))
+
+
+def generate_dataset(script: Callable[[np.random.Generator], List[Segment]],
+                     seed: int, node: Optional[SensorNode] = None,
+                     classes: Sequence[ContextClass] = AWAREPEN_CLASSES
+                     ) -> WindowDataset:
+    """Render one scripted scenario into a :class:`WindowDataset`."""
+    rng = np.random.default_rng(seed)
+    sensor_node = node if node is not None else SensorNode()
+    windows = sensor_node.collect(script(rng), rng, classes)
+    return windows_to_dataset(windows, classes)
+
+
+@dataclasses.dataclass(frozen=True)
+class AwarePenMaterial:
+    """All data roles of the paper's experiment, disjointly generated.
+
+    Attributes
+    ----------
+    classifier_train:
+        Clean recordings used to pre-train the context classifier.
+    quality_train:
+        Realistic scenario for training the quality FIS (inputs ``v_Q``
+        with designated outputs 1/0 come from classifying these windows).
+    quality_check:
+        Check set for hybrid-learning early stopping.
+    analysis:
+        The "second data set" for the MLE / threshold statistics.
+    evaluation:
+        The small test set (24 windows in the paper's Fig. 5).
+    """
+
+    classifier_train: WindowDataset
+    quality_train: WindowDataset
+    quality_check: WindowDataset
+    analysis: WindowDataset
+    evaluation: WindowDataset
+    classes: Sequence[ContextClass]
+
+
+def make_awarepen_material(seed: int = 7,
+                           evaluation_size: int = 24,
+                           node: Optional[SensorNode] = None,
+                           quality_blocks: int = 6,
+                           analysis_blocks: int = 4
+                           ) -> AwarePenMaterial:
+    """Generate the complete, disjoint experimental material.
+
+    Every role uses an independent seeded scenario so that no window is
+    shared between roles (the paper stresses the analysis set must differ
+    from the training set).  *evaluation_size* windows are drawn from a
+    realistic evaluation scenario; the paper used 24.
+    """
+    if evaluation_size < 4:
+        raise ConfigurationError(
+            f"evaluation_size must be >= 4, got {evaluation_size}")
+    sensor_node = node if node is not None else SensorNode()
+
+    classifier_train = generate_dataset(
+        lambda rng: training_script(rng, repetitions=6),
+        seed=seed, node=sensor_node)
+    quality_train = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=quality_blocks),
+        seed=seed + 1, node=sensor_node)
+    quality_check = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=max(2, quality_blocks // 2)),
+        seed=seed + 2, node=sensor_node)
+    analysis = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=analysis_blocks),
+        seed=seed + 3, node=sensor_node)
+
+    evaluation_full = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=4),
+        seed=seed + 4, node=sensor_node)
+    if len(evaluation_full) < evaluation_size:
+        raise EmptyDatasetError(
+            f"evaluation scenario produced {len(evaluation_full)} windows, "
+            f"need {evaluation_size}; lengthen the scenario")
+    pick_rng = np.random.default_rng(seed + 5)
+    picked = np.sort(pick_rng.choice(len(evaluation_full),
+                                     size=evaluation_size, replace=False))
+    evaluation = evaluation_full.subset(picked)
+
+    return AwarePenMaterial(
+        classifier_train=classifier_train,
+        quality_train=quality_train,
+        quality_check=quality_check,
+        analysis=analysis,
+        evaluation=evaluation,
+        classes=tuple(AWAREPEN_CLASSES),
+    )

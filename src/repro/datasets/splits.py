@@ -1,0 +1,91 @@
+"""Deterministic train/check/test splitting utilities.
+
+The automated construction (paper section 2.2) needs *three* data roles:
+a training set for clustering/LSE/backprop, a **check set** for the early
+stopping of hybrid learning, and a disjoint secondary set for the
+statistical analysis of section 2.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptyDatasetError
+
+
+@dataclasses.dataclass(frozen=True)
+class Split:
+    """Index-based two-way split of a dataset."""
+
+    first: np.ndarray
+    second: np.ndarray
+
+
+def train_check_split(n: int, check_fraction: float = 0.3,
+                      seed: int = 0, stratify_on: np.ndarray = None
+                      ) -> Split:
+    """Split ``range(n)`` into train/check index arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of samples.
+    check_fraction:
+        Fraction assigned to the check (second) set.
+    seed:
+        Shuffle seed (deterministic).
+    stratify_on:
+        Optional integer labels; when given, the split preserves the label
+        proportions in both halves (each label contributes at least one
+        sample to the training half when it has any).
+    """
+    if n < 2:
+        raise EmptyDatasetError(f"need >= 2 samples to split, got {n}")
+    if not 0.0 < check_fraction < 1.0:
+        raise ConfigurationError(
+            f"check_fraction must be in (0, 1), got {check_fraction}")
+    rng = np.random.default_rng(seed)
+    if stratify_on is None:
+        order = rng.permutation(n)
+        n_check = max(1, int(round(n * check_fraction)))
+        n_check = min(n_check, n - 1)
+        return Split(first=np.sort(order[n_check:]),
+                     second=np.sort(order[:n_check]))
+
+    labels = np.asarray(stratify_on, dtype=int).ravel()
+    if labels.shape[0] != n:
+        raise ConfigurationError(
+            f"stratify_on must have length {n}, got {labels.shape[0]}")
+    first_parts = []
+    second_parts = []
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        members = members[rng.permutation(len(members))]
+        n_check = int(round(len(members) * check_fraction))
+        n_check = min(max(n_check, 0), len(members) - 1)
+        second_parts.append(members[:n_check])
+        first_parts.append(members[n_check:])
+    return Split(first=np.sort(np.concatenate(first_parts)),
+                 second=np.sort(np.concatenate(second_parts)))
+
+
+def three_way_split(n: int, check_fraction: float = 0.25,
+                    test_fraction: float = 0.25, seed: int = 0
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``range(n)`` into train/check/test index arrays."""
+    if check_fraction + test_fraction >= 1.0:
+        raise ConfigurationError(
+            "check_fraction + test_fraction must be < 1, got "
+            f"{check_fraction} + {test_fraction}")
+    holdout = train_check_split(
+        n, check_fraction=check_fraction + test_fraction, seed=seed)
+    rest = holdout.second
+    if len(rest) < 2:
+        raise EmptyDatasetError("holdout too small to split further")
+    inner_fraction = test_fraction / (check_fraction + test_fraction)
+    inner = train_check_split(len(rest), check_fraction=inner_fraction,
+                              seed=seed + 1)
+    return holdout.first, rest[inner.first], rest[inner.second]

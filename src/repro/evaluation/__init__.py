@@ -1,0 +1,15 @@
+"""Evaluation framework: multi-seed aggregation and scenario CV."""
+
+from .crossval import (CrossValidationReport, FoldResult,
+                       ScenarioCrossValidator, concatenate_datasets)
+from .report import generate_report
+from .runner import (MetricSummary, MultiSeedReport, MultiSeedRunner,
+                     experiment_metrics)
+
+__all__ = [
+    "MultiSeedRunner", "MultiSeedReport", "MetricSummary",
+    "experiment_metrics",
+    "ScenarioCrossValidator", "CrossValidationReport", "FoldResult",
+    "concatenate_datasets",
+    "generate_report",
+]

@@ -1,0 +1,136 @@
+"""Multi-seed experiment runner.
+
+The paper evaluates one hand-collected data set; a reproduction should
+show its numbers are stable across independently generated data.  The
+runner executes the full pipeline for several seeds and aggregates every
+headline metric into mean ± std summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.construction import ConstructionConfig
+from ..exceptions import ConfigurationError
+from ..experiment import ExperimentResult, run_awarepen_experiment
+from ..stats.metrics import auc
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric across seeds."""
+
+    name: str
+    values: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def format(self) -> str:
+        """``mean ± std [min, max]`` rendering."""
+        return (f"{self.mean:.3f} ± {self.std:.3f} "
+                f"[{self.minimum:.3f}, {self.maximum:.3f}]")
+
+
+def experiment_metrics(result: ExperimentResult) -> Dict[str, float]:
+    """Extract the headline scalar metrics from one experiment run."""
+    outcome = result.evaluation_outcome
+    q = result.evaluation_qualities
+    correct = result.evaluation_correct
+    usable = ~np.isnan(q)
+    metrics = {
+        "threshold": result.threshold,
+        "mu_right": result.calibration.estimates.right.mu,
+        "mu_wrong": result.calibration.estimates.wrong.mu,
+        "separation": result.calibration.estimates.separation,
+        "p_right_above": result.calibration.probabilities.right_given_above,
+        "p_wrong_below": result.calibration.probabilities.wrong_given_below,
+        "accuracy_before": outcome.accuracy_before,
+        "accuracy_after": outcome.accuracy_after,
+        "improvement": outcome.improvement,
+        "discard_fraction": outcome.discard_fraction,
+        "wrong_elimination": outcome.wrong_elimination,
+        "n_rules": float(result.construction.n_rules),
+    }
+    if np.any(usable & correct) and np.any(usable & ~correct):
+        metrics["quality_auc"] = auc(q[usable], correct[usable])
+    return metrics
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiSeedReport:
+    """All per-seed metrics plus their aggregates."""
+
+    seeds: Sequence[int]
+    per_seed: List[Dict[str, float]]
+    summaries: Dict[str, MetricSummary]
+
+    def summary(self, name: str) -> MetricSummary:
+        try:
+            return self.summaries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; available: "
+                f"{sorted(self.summaries)}") from None
+
+    def to_text(self) -> str:
+        """Multi-line report, one aggregated metric per line."""
+        lines = [f"multi-seed report over seeds {list(self.seeds)}:"]
+        for name in sorted(self.summaries):
+            lines.append(f"  {name:<18} {self.summaries[name].format()}")
+        return "\n".join(lines)
+
+
+class MultiSeedRunner:
+    """Run the full AwarePen pipeline across several data seeds.
+
+    Parameters
+    ----------
+    seeds:
+        Data-generation seeds; each produces fully independent material.
+    config:
+        Construction configuration shared by all runs.
+    """
+
+    def __init__(self, seeds: Sequence[int] = (3, 7, 11, 19, 42),
+                 config: Optional[ConstructionConfig] = None) -> None:
+        if len(seeds) < 2:
+            raise ConfigurationError(
+                f"need >= 2 seeds for aggregation, got {len(seeds)}")
+        if len(set(seeds)) != len(seeds):
+            raise ConfigurationError("seeds must be unique")
+        self.seeds = tuple(int(s) for s in seeds)
+        self.config = config if config is not None else ConstructionConfig()
+
+    def run(self) -> MultiSeedReport:
+        """Execute all runs and aggregate their metrics."""
+        per_seed: List[Dict[str, float]] = []
+        for seed in self.seeds:
+            result = run_awarepen_experiment(seed=seed, config=self.config)
+            per_seed.append(experiment_metrics(result))
+        common = set(per_seed[0])
+        for metrics in per_seed[1:]:
+            common &= set(metrics)
+        summaries = {
+            name: MetricSummary(
+                name=name,
+                values=np.array([m[name] for m in per_seed]))
+            for name in common}
+        return MultiSeedReport(seeds=self.seeds, per_seed=per_seed,
+                               summaries=summaries)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted model was called before fitting."""
+
+
+class DimensionError(ReproError):
+    """An input array has the wrong shape or dimensionality."""
+
+
+class TrainingError(ReproError):
+    """Model training failed (e.g. degenerate data, no clusters found)."""
+
+
+class CalibrationError(ReproError):
+    """Threshold calibration failed (e.g. a population is empty)."""
+
+
+class EmptyDatasetError(ReproError):
+    """A dataset operation was attempted on an empty dataset."""

@@ -1,0 +1,126 @@
+"""End-to-end AwarePen experiment pipeline.
+
+One call reproduces the paper's entire evaluation flow: generate the data
+roles, pre-train the context classifier, automatically construct the
+quality FIS, calibrate the threshold on the analysis set, and evaluate the
+quality gate on the small test set.  The benches and examples all build on
+this module so the experimental setup stays identical across them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from .classifiers.base import ContextClassifier
+from .classifiers.fuzzy_classifier import TSKClassifier
+from .core.calibration import Calibration, calibrate
+from .core.construction import (ConstructionConfig, ConstructionResult,
+                                build_quality_measure)
+from .core.filtering import EpsilonPolicy, evaluate_filtering
+from .core.interconnection import QualityAugmentedClassifier
+from .datasets.generator import (AwarePenMaterial, WindowDataset,
+                                 make_awarepen_material)
+from .stats.metrics import FilterOutcome, accuracy
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Everything the paper's evaluation section reports, in one object."""
+
+    material: AwarePenMaterial
+    classifier: ContextClassifier
+    construction: ConstructionResult
+    augmented: QualityAugmentedClassifier
+    calibration: Calibration
+    evaluation_outcome: FilterOutcome
+    evaluation_qualities: np.ndarray
+    evaluation_correct: np.ndarray
+
+    @property
+    def threshold(self) -> float:
+        """The calibrated acceptance threshold ``s``."""
+        return self.calibration.s
+
+    @property
+    def test_accuracy_before(self) -> float:
+        """Raw classifier accuracy on the evaluation set."""
+        return self.evaluation_outcome.accuracy_before
+
+    @property
+    def test_accuracy_after(self) -> float:
+        """Accuracy among the quality-accepted classifications."""
+        return self.evaluation_outcome.accuracy_after
+
+
+def train_default_classifier(material: AwarePenMaterial,
+                             mode: str = "one-vs-rest",
+                             radius: float = 0.5) -> TSKClassifier:
+    """Pre-train the AwarePen TSK classifier on the clean recordings."""
+    classifier = TSKClassifier(material.classes, mode=mode, radius=radius)
+    classifier.fit(material.classifier_train.cues,
+                   material.classifier_train.labels)
+    return classifier
+
+
+def run_awarepen_experiment(seed: int = 7,
+                            evaluation_size: int = 24,
+                            classifier: Optional[ContextClassifier] = None,
+                            config: ConstructionConfig = ConstructionConfig(),
+                            material: Optional[AwarePenMaterial] = None
+                            ) -> ExperimentResult:
+    """Run the full pipeline; deterministic for a fixed seed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for data generation.
+    evaluation_size:
+        Size of the small test set (the paper used 24 points).
+    classifier:
+        Optional pre-fitted black-box classifier; when omitted the
+        AwarePen TSK classifier is trained on the clean recordings.
+    config:
+        Quality-FIS construction hyper-parameters.
+    material:
+        Optional pre-generated data roles (reuse across ablations).
+    """
+    if material is None:
+        material = make_awarepen_material(seed=seed,
+                                          evaluation_size=evaluation_size)
+    if classifier is None:
+        classifier = train_default_classifier(material)
+
+    construction = build_quality_measure(
+        classifier, material.quality_train, material.quality_check,
+        config=config)
+    augmented = QualityAugmentedClassifier(classifier, construction.quality)
+    calibration = calibrate(augmented, material.analysis)
+
+    outcome = evaluate_filtering(
+        augmented, material.evaluation, threshold=calibration.s,
+        epsilon_policy=EpsilonPolicy.REJECT)
+
+    predicted = classifier.predict_indices(material.evaluation.cues)
+    qualities = augmented.quality.measure_batch(
+        material.evaluation.cues, predicted.astype(float))
+    correct = predicted == material.evaluation.labels
+
+    return ExperimentResult(
+        material=material,
+        classifier=classifier,
+        construction=construction,
+        augmented=augmented,
+        calibration=calibration,
+        evaluation_outcome=outcome,
+        evaluation_qualities=qualities,
+        evaluation_correct=correct,
+    )
+
+
+def classifier_accuracy(classifier: ContextClassifier,
+                        dataset: WindowDataset) -> float:
+    """Convenience: accuracy of a classifier on a window dataset."""
+    return accuracy(dataset.labels, classifier.predict_indices(dataset.cues))

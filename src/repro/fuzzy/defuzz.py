@@ -1,0 +1,118 @@
+"""Defuzzification methods for Mamdani output fuzzy sets.
+
+These operate on a sampled output universe ``x`` and an aggregated
+membership curve ``mu`` (both 1-D arrays of equal length).  The TSK systems
+in :mod:`repro.fuzzy.tsk` do not need these — their weighted sum average is
+a built-in defuzzifier — but the Mamdani substrate and ablations do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DimensionError
+
+#: numpy renamed trapz -> trapezoid in 2.0.
+_trapz = getattr(np, "trapezoid", None) or np.trapz
+
+
+def _validate(x: np.ndarray, mu: np.ndarray) -> None:
+    x = np.asarray(x, dtype=float)
+    mu = np.asarray(mu, dtype=float)
+    if x.ndim != 1 or mu.ndim != 1:
+        raise DimensionError("x and mu must be 1-D arrays")
+    if x.shape != mu.shape:
+        raise DimensionError(
+            f"x shape {x.shape} and mu shape {mu.shape} must match")
+    if x.size < 2:
+        raise DimensionError("need at least two sample points")
+    if np.any(mu < -1e-12):
+        raise ConfigurationError("membership values must be non-negative")
+
+
+def centroid(x: np.ndarray, mu: np.ndarray) -> float:
+    """Center of area: ``integral(x mu) / integral(mu)``."""
+    _validate(x, mu)
+    x = np.asarray(x, dtype=float)
+    mu = np.clip(np.asarray(mu, dtype=float), 0.0, None)
+    area = _trapz(mu, x)
+    if area <= 0.0:
+        raise ConfigurationError(
+            "cannot defuzzify an all-zero membership curve")
+    return float(_trapz(mu * x, x) / area)
+
+
+def bisector(x: np.ndarray, mu: np.ndarray) -> float:
+    """The abscissa splitting the area under *mu* into two equal halves."""
+    _validate(x, mu)
+    x = np.asarray(x, dtype=float)
+    mu = np.clip(np.asarray(mu, dtype=float), 0.0, None)
+    # Cumulative area via trapezoids between consecutive samples.
+    seg = 0.5 * (mu[1:] + mu[:-1]) * np.diff(x)
+    total = np.sum(seg)
+    if total <= 0.0:
+        raise ConfigurationError(
+            "cannot defuzzify an all-zero membership curve")
+    cumulative = np.concatenate([[0.0], np.cumsum(seg)])
+    half = total / 2.0
+    idx = int(np.searchsorted(cumulative, half))
+    idx = min(max(idx, 1), len(x) - 1)
+    # Linearly interpolate inside the segment containing the half-area point.
+    span = cumulative[idx] - cumulative[idx - 1]
+    frac = 0.5 if span <= 0 else (half - cumulative[idx - 1]) / span
+    return float(x[idx - 1] + frac * (x[idx] - x[idx - 1]))
+
+
+def mean_of_maximum(x: np.ndarray, mu: np.ndarray) -> float:
+    """Mean of the abscissas attaining the maximal membership."""
+    _validate(x, mu)
+    mu = np.asarray(mu, dtype=float)
+    peak = np.max(mu)
+    if peak <= 0.0:
+        raise ConfigurationError(
+            "cannot defuzzify an all-zero membership curve")
+    mask = np.isclose(mu, peak)
+    return float(np.mean(np.asarray(x, dtype=float)[mask]))
+
+
+def smallest_of_maximum(x: np.ndarray, mu: np.ndarray) -> float:
+    """Smallest abscissa attaining the maximal membership."""
+    _validate(x, mu)
+    mu = np.asarray(mu, dtype=float)
+    peak = np.max(mu)
+    if peak <= 0.0:
+        raise ConfigurationError(
+            "cannot defuzzify an all-zero membership curve")
+    return float(np.asarray(x, dtype=float)[np.isclose(mu, peak)][0])
+
+
+def largest_of_maximum(x: np.ndarray, mu: np.ndarray) -> float:
+    """Largest abscissa attaining the maximal membership."""
+    _validate(x, mu)
+    mu = np.asarray(mu, dtype=float)
+    peak = np.max(mu)
+    if peak <= 0.0:
+        raise ConfigurationError(
+            "cannot defuzzify an all-zero membership curve")
+    return float(np.asarray(x, dtype=float)[np.isclose(mu, peak)][-1])
+
+
+DEFUZZIFIERS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "centroid": centroid,
+    "bisector": bisector,
+    "mom": mean_of_maximum,
+    "som": smallest_of_maximum,
+    "lom": largest_of_maximum,
+}
+
+
+def get_defuzzifier(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a defuzzifier by name."""
+    try:
+        return DEFUZZIFIERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown defuzzifier {name!r}; options: "
+            f"{sorted(DEFUZZIFIERS)}") from None

@@ -1,0 +1,102 @@
+"""Linguistic hedges (Zadeh).
+
+Hedges modify fuzzy sets the way adverbs modify adjectives: *very*
+concentrates, *somewhat* dilates, *indeed* (contrast intensification)
+sharpens.  They complete the fuzzy-set toolbox and let appliance rules be
+phrased naturally ("IF quality IS very low THEN discard").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .membership import MembershipFunction
+from .sets import FuzzySet
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def very(mu: ArrayLike) -> ArrayLike:
+    """Concentration: ``mu^2``."""
+    return np.asarray(mu, dtype=float) ** 2
+
+
+def extremely(mu: ArrayLike) -> ArrayLike:
+    """Strong concentration: ``mu^3``."""
+    return np.asarray(mu, dtype=float) ** 3
+
+
+def somewhat(mu: ArrayLike) -> ArrayLike:
+    """Dilation: ``sqrt(mu)``."""
+    return np.sqrt(np.asarray(mu, dtype=float))
+
+
+def slightly(mu: ArrayLike) -> ArrayLike:
+    """Mild dilation: ``mu^(1/3)``."""
+    return np.asarray(mu, dtype=float) ** (1.0 / 3.0)
+
+
+def indeed(mu: ArrayLike) -> ArrayLike:
+    """Contrast intensification: push memberships away from 0.5."""
+    mu = np.asarray(mu, dtype=float)
+    return np.where(mu <= 0.5, 2.0 * mu ** 2, 1.0 - 2.0 * (1.0 - mu) ** 2)
+
+
+def power_hedge(p: float) -> Callable[[ArrayLike], ArrayLike]:
+    """Generic power hedge ``mu -> mu^p`` (p > 0)."""
+    if p <= 0:
+        raise ConfigurationError(f"hedge power must be > 0, got {p}")
+
+    def hedge(mu: ArrayLike) -> ArrayLike:
+        return np.asarray(mu, dtype=float) ** p
+
+    return hedge
+
+
+HEDGES: Dict[str, Callable[[ArrayLike], ArrayLike]] = {
+    "very": very,
+    "extremely": extremely,
+    "somewhat": somewhat,
+    "slightly": slightly,
+    "indeed": indeed,
+}
+
+
+@dataclasses.dataclass
+class HedgedMF(MembershipFunction):
+    """A membership function with a hedge applied to its output."""
+
+    base: MembershipFunction
+    hedge: Callable[[ArrayLike], ArrayLike]
+    hedge_name: str = "hedged"
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        return self.hedge(self.base(x))
+
+    def parameters(self) -> Dict[str, float]:
+        params = dict(self.base.parameters())
+        params["hedge"] = self.hedge_name  # type: ignore[assignment]
+        return params
+
+    def support_center(self) -> float:
+        return self.base.support_center()
+
+
+def apply_hedge(fuzzy_set: FuzzySet, hedge_name: str) -> FuzzySet:
+    """Return a new fuzzy set with the named hedge applied.
+
+    The result is named linguistically, e.g. ``"very quality.low"``.
+    """
+    try:
+        hedge = HEDGES[hedge_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hedge {hedge_name!r}; available: "
+            f"{sorted(HEDGES)}") from None
+    return FuzzySet(name=f"{hedge_name} {fuzzy_set.name}",
+                    mf=HedgedMF(base=fuzzy_set.mf, hedge=hedge,
+                                hedge_name=hedge_name))

@@ -1,0 +1,143 @@
+"""Mamdani fuzzy inference system.
+
+The paper's systems are TSK, but related work ("systems like [4] use fuzzy
+inference on higher levels of context processing") and the standard fuzzy
+toolbox require a Mamdani engine; it also backs the fusion extension in
+:mod:`repro.core.fusion`.  Rules map fuzzy antecedents over named input
+variables to a fuzzy consequent set on one output variable; inference is
+max-min (configurable norms) with implication clipping and sampled-universe
+defuzzification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from .defuzz import get_defuzzifier
+from .norms import Norm, get_s_norm, get_t_norm, reduce_norm
+from .sets import LinguisticVariable
+
+
+@dataclasses.dataclass(frozen=True)
+class MamdaniRule:
+    """One Mamdani rule.
+
+    Attributes
+    ----------
+    antecedent:
+        Mapping of input variable name to the required term name.  Variables
+        absent from the mapping do not constrain the rule.
+    consequent:
+        ``(output term name)`` on the system's single output variable.
+    weight:
+        Optional rule weight in ``(0, 1]`` multiplied into the activation.
+    """
+
+    antecedent: Dict[str, str]
+    consequent: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise ConfigurationError("rule antecedent must not be empty")
+        if not 0.0 < self.weight <= 1.0:
+            raise ConfigurationError(
+                f"rule weight must be in (0, 1], got {self.weight}")
+
+
+class MamdaniSystem:
+    """A single-output Mamdani FIS over linguistic variables.
+
+    Parameters
+    ----------
+    inputs:
+        The input variables, keyed by name.
+    output:
+        The output variable whose terms appear in rule consequents.
+    and_norm, or_norm:
+        Names of the conjunction/disjunction norms (see
+        :mod:`repro.fuzzy.norms`).
+    defuzzifier:
+        Name of the defuzzification method (see :mod:`repro.fuzzy.defuzz`).
+    resolution:
+        Sample count for the output universe during defuzzification.
+    """
+
+    def __init__(self, inputs: Sequence[LinguisticVariable],
+                 output: LinguisticVariable,
+                 and_norm: str = "min", or_norm: str = "max",
+                 defuzzifier: str = "centroid",
+                 resolution: int = 201) -> None:
+        if not inputs:
+            raise ConfigurationError("Mamdani system needs >= 1 input variable")
+        self.inputs: Dict[str, LinguisticVariable] = {v.name: v for v in inputs}
+        if len(self.inputs) != len(inputs):
+            raise ConfigurationError("input variable names must be unique")
+        if len(output) == 0:
+            raise ConfigurationError("output variable needs at least one term")
+        self.output = output
+        self._and: Norm = get_t_norm(and_norm)
+        self._or: Norm = get_s_norm(or_norm)
+        self._defuzz = get_defuzzifier(defuzzifier)
+        self._grid = output.grid(resolution)
+        self.rules: List[MamdaniRule] = []
+
+    def add_rule(self, antecedent: Dict[str, str], consequent: str,
+                 weight: float = 1.0) -> MamdaniRule:
+        """Add a rule after validating all referenced variables and terms."""
+        for var_name, term_name in antecedent.items():
+            if var_name not in self.inputs:
+                raise ConfigurationError(
+                    f"unknown input variable {var_name!r}; "
+                    f"available: {sorted(self.inputs)}")
+            # Raises KeyError with a helpful message when the term is missing.
+            self.inputs[var_name][term_name]
+        self.output[consequent]
+        rule = MamdaniRule(dict(antecedent), consequent, weight)
+        self.rules.append(rule)
+        return rule
+
+    def rule_activations(self, crisp_inputs: Dict[str, float]) -> np.ndarray:
+        """Firing degree of each rule for the given crisp inputs."""
+        if not self.rules:
+            raise NotFittedError("no rules added to the Mamdani system")
+        missing = set().union(*(r.antecedent for r in self.rules)) - set(crisp_inputs)
+        if missing:
+            raise ConfigurationError(
+                f"missing crisp inputs for variables: {sorted(missing)}")
+        activations = np.empty(len(self.rules))
+        for k, rule in enumerate(self.rules):
+            degrees = np.array([
+                float(self.inputs[var][term](crisp_inputs[var]))
+                for var, term in rule.antecedent.items()])
+            activations[k] = rule.weight * reduce_norm(self._and, degrees)
+        return activations
+
+    def aggregate(self, crisp_inputs: Dict[str, float]
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregated output membership curve ``(grid, mu)``."""
+        activations = self.rule_activations(crisp_inputs)
+        mu = np.zeros_like(self._grid)
+        for rule, act in zip(self.rules, activations):
+            if act <= 0.0:
+                continue
+            clipped = np.minimum(self.output[rule.consequent](self._grid), act)
+            mu = self._or(mu, clipped)
+        return self._grid, mu
+
+    def evaluate(self, crisp_inputs: Dict[str, float],
+                 default: Optional[float] = None) -> float:
+        """Crisp output for the given inputs.
+
+        When no rule fires, *default* is returned if given, otherwise a
+        :class:`~repro.exceptions.ConfigurationError` propagates from the
+        defuzzifier.
+        """
+        grid, mu = self.aggregate(crisp_inputs)
+        if default is not None and float(np.max(mu)) <= 0.0:
+            return float(default)
+        return self._defuzz(grid, mu)

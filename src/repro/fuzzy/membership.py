@@ -1,0 +1,195 @@
+"""Parametric membership functions.
+
+The paper's quality FIS uses non-linear Gaussian membership functions
+(section 2.1.2):
+
+.. math::
+
+    F_{ij}(v_i) = e^{-(v_i - \\mu_{ij})^2 / (2 \\sigma_{ij}^2)}
+
+Other standard shapes (triangular, trapezoidal, generalized bell, sigmoid)
+are provided for the Mamdani substrate and for ablations.  All functions are
+vectorized over numpy arrays and return values in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class MembershipFunction(abc.ABC):
+    """Abstract base class of all membership functions."""
+
+    @abc.abstractmethod
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        """Evaluate the membership degree of *x*."""
+
+    @abc.abstractmethod
+    def parameters(self) -> Dict[str, float]:
+        """Return the parameter dictionary describing this function."""
+
+    def support_center(self) -> float:
+        """A representative point of maximal membership (used by defuzzifiers)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class GaussianMF(MembershipFunction):
+    """Gaussian membership function ``exp(-(x - mean)^2 / (2 sigma^2))``.
+
+    This is the antecedent shape used throughout the paper; its ``mean`` and
+    ``sigma`` are the parameters tuned by the ANFIS backward pass.
+    """
+
+    mean: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConfigurationError(
+                f"GaussianMF sigma must be > 0, got {self.sigma}")
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mean) / self.sigma
+        return np.exp(-0.5 * z * z)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"mean": self.mean, "sigma": self.sigma}
+
+    def support_center(self) -> float:
+        return self.mean
+
+
+@dataclasses.dataclass
+class TriangularMF(MembershipFunction):
+    """Triangular membership function with feet *a*, *c* and peak *b*."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not (self.a <= self.b <= self.c):
+            raise ConfigurationError(
+                f"TriangularMF requires a <= b <= c, got "
+                f"({self.a}, {self.b}, {self.c})")
+        if self.a == self.c:
+            raise ConfigurationError("TriangularMF must have a < c")
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        left = ((x - self.a) / (self.b - self.a)
+                if self.b > self.a else np.where(x >= self.b, 1.0, 0.0))
+        right = ((self.c - x) / (self.c - self.b)
+                 if self.c > self.b else np.where(x <= self.b, 1.0, 0.0))
+        return np.clip(np.minimum(left, right), 0.0, 1.0)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"a": self.a, "b": self.b, "c": self.c}
+
+    def support_center(self) -> float:
+        return self.b
+
+
+@dataclasses.dataclass
+class TrapezoidalMF(MembershipFunction):
+    """Trapezoidal membership function with corners ``a <= b <= c <= d``."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if not (self.a <= self.b <= self.c <= self.d):
+            raise ConfigurationError(
+                f"TrapezoidalMF requires a <= b <= c <= d, got "
+                f"({self.a}, {self.b}, {self.c}, {self.d})")
+        if self.a == self.d:
+            raise ConfigurationError("TrapezoidalMF must have a < d")
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left = np.where(self.b > self.a, (x - self.a) / max(self.b - self.a, 1e-300), 1.0)
+            right = np.where(self.d > self.c, (self.d - x) / max(self.d - self.c, 1e-300), 1.0)
+        out = np.minimum(np.minimum(left, 1.0), right)
+        return np.clip(out, 0.0, 1.0)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"a": self.a, "b": self.b, "c": self.c, "d": self.d}
+
+    def support_center(self) -> float:
+        return 0.5 * (self.b + self.c)
+
+
+@dataclasses.dataclass
+class GeneralizedBellMF(MembershipFunction):
+    """Generalized bell ``1 / (1 + |((x - c) / a)|^(2 b))`` (Jang 1993)."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ConfigurationError(f"bell width a must be > 0, got {self.a}")
+        if self.b <= 0:
+            raise ConfigurationError(f"bell slope b must be > 0, got {self.b}")
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        return 1.0 / (1.0 + np.abs((x - self.c) / self.a) ** (2.0 * self.b))
+
+    def parameters(self) -> Dict[str, float]:
+        return {"a": self.a, "b": self.b, "c": self.c}
+
+    def support_center(self) -> float:
+        return self.c
+
+
+@dataclasses.dataclass
+class SigmoidMF(MembershipFunction):
+    """Sigmoidal membership ``1 / (1 + exp(-slope (x - center)))``."""
+
+    center: float
+    slope: float
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        return 1.0 / (1.0 + np.exp(-self.slope * (x - self.center)))
+
+    def parameters(self) -> Dict[str, float]:
+        return {"center": self.center, "slope": self.slope}
+
+    def support_center(self) -> float:
+        # Point of membership 1 in the limit; use a finite representative.
+        return self.center
+
+
+def gaussian_sigma_from_radius(radius: float, value_range: float) -> float:
+    """Initial Gaussian width from a subtractive-clustering radius.
+
+    Follows the genfis2 convention: a cluster of (relative) radius ``r_a``
+    over a dimension spanning ``value_range`` yields
+
+    .. math:: \\sigma = r_a \\cdot \\text{range} / \\sqrt{8}
+
+    so that the membership drops to ``exp(-4) \\approx 0.018`` at a distance
+    of one radius — matching Chiu's potential kernel.
+    """
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be > 0, got {radius}")
+    if value_range <= 0:
+        raise ConfigurationError(
+            f"value_range must be > 0, got {value_range}")
+    return radius * value_range / np.sqrt(8.0)

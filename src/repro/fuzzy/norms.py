@@ -1,0 +1,135 @@
+"""Triangular norms and conorms (fuzzy AND / OR operators).
+
+The paper's TSK rules combine antecedent memberships with the *product*
+t-norm (the rule weight is a product of Gaussian memberships, section
+2.1.2).  The Mamdani substrate additionally supports min/max and the
+bounded and drastic families, plus standard fuzzy complements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+Norm = Callable[[ArrayLike, ArrayLike], ArrayLike]
+
+
+def t_min(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Goedel (minimum) t-norm."""
+    return np.minimum(a, b)
+
+
+def t_product(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Product t-norm — the conjunction used by the paper's TSK rules."""
+    return np.asarray(a, dtype=float) * np.asarray(b, dtype=float)
+
+
+def t_lukasiewicz(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Lukasiewicz (bounded difference) t-norm ``max(0, a + b - 1)``."""
+    return np.maximum(0.0, np.asarray(a, dtype=float) + np.asarray(b, dtype=float) - 1.0)
+
+
+def t_drastic(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Drastic t-norm: ``min(a, b)`` if ``max(a, b) == 1`` else 0."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return np.where(np.maximum(a, b) >= 1.0, np.minimum(a, b), 0.0)
+
+
+def s_max(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Maximum s-norm (dual of min)."""
+    return np.maximum(a, b)
+
+
+def s_probabilistic(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Probabilistic sum ``a + b - a b`` (dual of product)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return a + b - a * b
+
+
+def s_lukasiewicz(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Bounded sum ``min(1, a + b)`` (dual of Lukasiewicz)."""
+    return np.minimum(1.0, np.asarray(a, dtype=float) + np.asarray(b, dtype=float))
+
+
+def s_drastic(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Drastic s-norm: ``max(a, b)`` if ``min(a, b) == 0`` else 1."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return np.where(np.minimum(a, b) <= 0.0, np.maximum(a, b), 1.0)
+
+
+def complement_standard(a: ArrayLike) -> ArrayLike:
+    """Standard fuzzy complement ``1 - a``."""
+    return 1.0 - np.asarray(a, dtype=float)
+
+
+def complement_sugeno(a: ArrayLike, lam: float = 1.0) -> ArrayLike:
+    """Sugeno-class complement ``(1 - a) / (1 + lam a)``, ``lam > -1``."""
+    if lam <= -1.0:
+        raise ValueError(f"Sugeno complement requires lam > -1, got {lam}")
+    a = np.asarray(a, dtype=float)
+    return (1.0 - a) / (1.0 + lam * a)
+
+
+def complement_yager(a: ArrayLike, w: float = 2.0) -> ArrayLike:
+    """Yager-class complement ``(1 - a^w)^(1/w)``, ``w > 0``."""
+    if w <= 0:
+        raise ValueError(f"Yager complement requires w > 0, got {w}")
+    a = np.asarray(a, dtype=float)
+    return (1.0 - a ** w) ** (1.0 / w)
+
+
+def reduce_norm(norm: Norm, values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Fold *norm* along *axis* of *values* (e.g. conjoin many memberships).
+
+    For the product and min t-norms fast vectorized reductions are used; for
+    arbitrary norms a sequential fold is performed.
+    """
+    values = np.asarray(values, dtype=float)
+    if norm is t_product:
+        return np.prod(values, axis=axis)
+    if norm is t_min:
+        return np.min(values, axis=axis)
+    if norm is s_max:
+        return np.max(values, axis=axis)
+    out = np.take(values, 0, axis=axis)
+    for i in range(1, values.shape[axis]):
+        out = norm(out, np.take(values, i, axis=axis))
+    return out
+
+
+T_NORMS: Dict[str, Norm] = {
+    "min": t_min,
+    "product": t_product,
+    "lukasiewicz": t_lukasiewicz,
+    "drastic": t_drastic,
+}
+
+S_NORMS: Dict[str, Norm] = {
+    "max": s_max,
+    "probabilistic": s_probabilistic,
+    "lukasiewicz": s_lukasiewicz,
+    "drastic": s_drastic,
+}
+
+
+def get_t_norm(name: str) -> Norm:
+    """Look up a t-norm by name; raises ``KeyError`` with options on miss."""
+    try:
+        return T_NORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown t-norm {name!r}; options: {sorted(T_NORMS)}") from None
+
+
+def get_s_norm(name: str) -> Norm:
+    """Look up an s-norm by name; raises ``KeyError`` with options on miss."""
+    try:
+        return S_NORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown s-norm {name!r}; options: {sorted(S_NORMS)}") from None

@@ -1,0 +1,114 @@
+"""Grid-partition structure identification (genfis1 / Jang 1993).
+
+Jang's original ANFIS identifies structure by *grid partition*: each input
+dimension gets a fixed number of evenly spaced membership functions and
+every combination forms one rule.  The paper replaces this with
+subtractive clustering because the grid explodes combinatorially
+(``mfs_per_input ** n_inputs`` rules) and ignores the data distribution —
+this module exists to make that trade-off measurable (see the
+``structure`` ablation bench).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DimensionError, TrainingError
+from .tsk import TSKSystem
+
+#: Hard cap on the rule count a grid partition may produce.
+MAX_GRID_RULES = 4096
+
+
+def grid_membership_centers(low: float, high: float,
+                            n_mfs: int) -> np.ndarray:
+    """Evenly spaced Gaussian centers covering ``[low, high]``."""
+    if n_mfs < 1:
+        raise ConfigurationError(f"n_mfs must be >= 1, got {n_mfs}")
+    if not low < high:
+        raise ConfigurationError(
+            f"need low < high, got ({low}, {high})")
+    if n_mfs == 1:
+        return np.array([0.5 * (low + high)])
+    return np.linspace(low, high, n_mfs)
+
+
+def grid_partition_fis(x: np.ndarray, n_mfs: int = 2, order: int = 1,
+                       overlap: float = 0.5,
+                       bounds: Optional[Sequence[Tuple[float, float]]] = None
+                       ) -> TSKSystem:
+    """Build a grid-partition TSK system over the data range of *x*.
+
+    Parameters
+    ----------
+    x:
+        Training inputs ``(n_samples, d)``; only used for the per-dimension
+        ranges unless *bounds* is given.
+    n_mfs:
+        Membership functions per input dimension.
+    order:
+        Consequent order (0 or 1); coefficients start at zero — fit them
+        with :func:`repro.anfis.lse.fit_consequents`.
+    overlap:
+        Gaussian width as a fraction of the spacing between adjacent
+        centers (0.5 gives the classic half-overlapping partition).
+    bounds:
+        Optional explicit ``(low, high)`` per dimension.
+
+    Raises
+    ------
+    repro.exceptions.TrainingError
+        When the grid would exceed :data:`MAX_GRID_RULES` rules — the
+        combinatorial explosion that motivates subtractive clustering.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise DimensionError(f"x must be 2-D, got shape {x.shape}")
+    if overlap <= 0:
+        raise ConfigurationError(f"overlap must be > 0, got {overlap}")
+    n_inputs = x.shape[1]
+    n_rules = n_mfs ** n_inputs
+    if n_rules > MAX_GRID_RULES:
+        raise TrainingError(
+            f"grid partition of {n_mfs}^{n_inputs} = {n_rules} rules "
+            f"exceeds the cap of {MAX_GRID_RULES} — this is the "
+            "combinatorial explosion the paper avoids via subtractive "
+            "clustering")
+
+    if bounds is not None:
+        if len(bounds) != n_inputs:
+            raise ConfigurationError(
+                f"bounds must have {n_inputs} entries, got {len(bounds)}")
+        lows = np.array([b[0] for b in bounds], dtype=float)
+        highs = np.array([b[1] for b in bounds], dtype=float)
+    else:
+        lows = np.min(x, axis=0)
+        highs = np.max(x, axis=0)
+    spans = highs - lows
+    degenerate = spans <= 0
+    if np.any(degenerate):
+        # Constant columns get a token span so the grid stays valid.
+        lows = np.where(degenerate, lows - 0.5, lows)
+        highs = np.where(degenerate, highs + 0.5, highs)
+        spans = highs - lows
+
+    per_dim_centers = [grid_membership_centers(lows[i], highs[i], n_mfs)
+                       for i in range(n_inputs)]
+    spacing = np.where(n_mfs > 1, spans / max(n_mfs - 1, 1), spans)
+    sigmas_per_dim = np.maximum(overlap * spacing, 1e-4)
+
+    means = np.array(list(itertools.product(*per_dim_centers)))
+    sigmas = np.tile(sigmas_per_dim, (n_rules, 1))
+    coefficients = np.zeros((n_rules, n_inputs + 1))
+    return TSKSystem(means=means, sigmas=sigmas,
+                     coefficients=coefficients, order=order)
+
+
+def grid_rule_count(n_inputs: int, n_mfs: int) -> int:
+    """The rule count a grid partition implies (for cost reporting)."""
+    if n_inputs < 1 or n_mfs < 1:
+        raise ConfigurationError("n_inputs and n_mfs must be >= 1")
+    return n_mfs ** n_inputs

@@ -1,0 +1,152 @@
+"""Fuzzy sets and linguistic variables.
+
+A :class:`FuzzySet` pairs a name with a membership function over one
+universe of discourse; a :class:`LinguisticVariable` groups the terms that
+partition one input dimension (e.g. the ``adxl-x standard deviation`` cue of
+the AwarePen with terms *low*, *medium*, *high*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .membership import MembershipFunction
+from .norms import complement_standard, s_max, t_min
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclasses.dataclass
+class FuzzySet:
+    """A named fuzzy set over a scalar universe."""
+
+    name: str
+    mf: MembershipFunction
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        """Membership degree of *x* in this set."""
+        return self.mf(x)
+
+    def alpha_cut(self, x: np.ndarray, alpha: float) -> np.ndarray:
+        """Boolean mask of the points of *x* with membership >= *alpha*."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        return np.asarray(self.mf(x)) >= alpha
+
+    def union(self, other: "FuzzySet") -> "CompositeFuzzySet":
+        """Pointwise max-union with *other*."""
+        return CompositeFuzzySet(f"({self.name} OR {other.name})",
+                                 [self, other], op="or")
+
+    def intersection(self, other: "FuzzySet") -> "CompositeFuzzySet":
+        """Pointwise min-intersection with *other*."""
+        return CompositeFuzzySet(f"({self.name} AND {other.name})",
+                                 [self, other], op="and")
+
+    def complement(self) -> "ComplementFuzzySet":
+        """Standard complement ``1 - membership``."""
+        return ComplementFuzzySet(self)
+
+
+@dataclasses.dataclass
+class ComplementFuzzySet:
+    """The standard complement of a fuzzy set."""
+
+    base: FuzzySet
+
+    @property
+    def name(self) -> str:
+        return f"NOT {self.base.name}"
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        return complement_standard(self.base(x))
+
+
+class CompositeFuzzySet:
+    """Union or intersection of several fuzzy sets over the same universe."""
+
+    def __init__(self, name: str, members: List[FuzzySet], op: str) -> None:
+        if op not in ("and", "or"):
+            raise ConfigurationError(f"op must be 'and' or 'or', got {op!r}")
+        if not members:
+            raise ConfigurationError("composite set needs at least one member")
+        self.name = name
+        self.members = list(members)
+        self.op = op
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        combine = t_min if self.op == "and" else s_max
+        out = self.members[0](x)
+        for member in self.members[1:]:
+            out = combine(out, member(x))
+        return out
+
+
+class LinguisticVariable:
+    """A named input dimension with a collection of fuzzy terms.
+
+    Parameters
+    ----------
+    name:
+        Variable name, e.g. ``"std_x"``.
+    universe:
+        Inclusive ``(low, high)`` range of meaningful values.
+    terms:
+        Optional initial mapping of term name to membership function.
+    """
+
+    def __init__(self, name: str,
+                 universe: Tuple[float, float],
+                 terms: Optional[Dict[str, MembershipFunction]] = None) -> None:
+        low, high = universe
+        if not low < high:
+            raise ConfigurationError(
+                f"universe must satisfy low < high, got {universe}")
+        self.name = name
+        self.universe = (float(low), float(high))
+        self._terms: Dict[str, FuzzySet] = {}
+        for term_name, mf in (terms or {}).items():
+            self.add_term(term_name, mf)
+
+    def add_term(self, term_name: str, mf: MembershipFunction) -> FuzzySet:
+        """Register a new term; returns the created :class:`FuzzySet`."""
+        if term_name in self._terms:
+            raise ConfigurationError(
+                f"term {term_name!r} already exists on variable {self.name!r}")
+        fuzzy_set = FuzzySet(f"{self.name}.{term_name}", mf)
+        self._terms[term_name] = fuzzy_set
+        return fuzzy_set
+
+    def __getitem__(self, term_name: str) -> FuzzySet:
+        try:
+            return self._terms[term_name]
+        except KeyError:
+            raise KeyError(
+                f"variable {self.name!r} has no term {term_name!r}; "
+                f"available: {sorted(self._terms)}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    @property
+    def term_names(self) -> List[str]:
+        """Names of all registered terms, in insertion order."""
+        return list(self._terms)
+
+    def fuzzify(self, x: ArrayLike) -> Dict[str, ArrayLike]:
+        """Membership of *x* in every term of this variable."""
+        return {name: fs(x) for name, fs in self._terms.items()}
+
+    def grid(self, resolution: int = 201) -> np.ndarray:
+        """An evenly spaced sample grid over the universe (for defuzz/plots)."""
+        if resolution < 2:
+            raise ConfigurationError(
+                f"resolution must be >= 2, got {resolution}")
+        return np.linspace(self.universe[0], self.universe[1], resolution)

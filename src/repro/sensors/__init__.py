@@ -1,0 +1,28 @@
+"""Simulated sensing substrate: accelerometer, degradation, cues, node."""
+
+from .accelerometer import (ACTIVITY_MODELS, AWAREPEN_CLASSES, DEFAULT_STYLE,
+                            ERRATIC_STYLE, LYING, PLAYING, WRITING,
+                            ActivityModel, LyingStillModel, PlayingModel,
+                            UserStyle, WritingModel, blend, model_for)
+from .chair import (AWARECHAIR_CLASSES, CHAIR_MODELS, EMPTY, FIDGETING,
+                    SITTING, EmptyChairModel, FidgetingModel, SittingModel)
+from .cues import (AWAREPEN_CUES, CueExtractor, CuePipeline, EnergyCue,
+                   MeanCrossingRateCue, MeanCue, RangeCue, StdCue,
+                   sliding_windows)
+from .node import CueWindow, Segment, SensorNode
+from .signal import (ADXL_SENSOR, IDEAL_SENSOR, FaultySensorModel,
+                     SensorModel)
+
+__all__ = [
+    "LYING", "WRITING", "PLAYING", "AWAREPEN_CLASSES",
+    "ActivityModel", "LyingStillModel", "WritingModel", "PlayingModel",
+    "ACTIVITY_MODELS", "model_for", "blend",
+    "UserStyle", "DEFAULT_STYLE", "ERRATIC_STYLE",
+    "SensorModel", "ADXL_SENSOR", "IDEAL_SENSOR", "FaultySensorModel",
+    "CueExtractor", "StdCue", "MeanCue", "EnergyCue", "RangeCue",
+    "MeanCrossingRateCue", "CuePipeline", "AWAREPEN_CUES",
+    "sliding_windows",
+    "SensorNode", "Segment", "CueWindow",
+    "EMPTY", "SITTING", "FIDGETING", "AWARECHAIR_CLASSES", "CHAIR_MODELS",
+    "EmptyChairModel", "SittingModel", "FidgetingModel",
+]

@@ -1,0 +1,239 @@
+"""Synthetic 3-axis accelerometer motion models for the AwarePen activities.
+
+The paper's AwarePen detects three contextual states — *lying still*,
+*writing* and *playing around* — from a pen-mounted accelerometer.  This
+module substitutes the physical pen with parametric motion models whose
+windowed per-axis standard deviations (the paper's cues, Fig. 4) have the
+same qualitative structure as the real signals:
+
+* **lying still** — constant gravity projection, near-zero variance;
+* **writing** — small quasi-periodic stroke oscillations (a few Hz) on the
+  pen-tip axes with occasional stroke pauses;
+* **playing** — large erratic low-frequency swings (twirling, tapping)
+  with broadband energy on all axes.
+
+A :class:`UserStyle` scales amplitudes and timing so that "other users
+having a different style of using the pen" produce harder-to-classify
+cues, which is the paper's main source of classification error.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import ContextClass
+
+#: Canonical AwarePen context classes (indices are the ``c`` identifiers).
+LYING = ContextClass(index=0, name="lying")
+WRITING = ContextClass(index=1, name="writing")
+PLAYING = ContextClass(index=2, name="playing")
+
+AWAREPEN_CLASSES: Tuple[ContextClass, ...] = (LYING, WRITING, PLAYING)
+
+
+@dataclasses.dataclass(frozen=True)
+class UserStyle:
+    """Per-user writing/handling style parameters.
+
+    Attributes
+    ----------
+    amplitude_scale:
+        Multiplies all motion amplitudes (heavy- vs light-handed users).
+    tempo_scale:
+        Multiplies stroke/gesture frequencies.
+    tremor:
+        Extra broadband hand tremor in g.
+    pause_probability:
+        Chance per second that writing pauses briefly (thinking) — this is
+        the behaviour the paper singles out as hard to classify.
+    """
+
+    amplitude_scale: float = 1.0
+    tempo_scale: float = 1.0
+    tremor: float = 0.01
+    pause_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.amplitude_scale <= 0 or self.tempo_scale <= 0:
+            raise ConfigurationError(
+                "amplitude_scale and tempo_scale must be > 0")
+        if self.tremor < 0:
+            raise ConfigurationError(f"tremor must be >= 0, got {self.tremor}")
+        if not 0.0 <= self.pause_probability <= 1.0:
+            raise ConfigurationError(
+                "pause_probability must be in [0, 1], got "
+                f"{self.pause_probability}")
+
+
+DEFAULT_STYLE = UserStyle()
+
+#: A deliberately atypical user: light, fast strokes with long pauses —
+#: produces the ambiguous writing windows discussed in the paper's intro.
+ERRATIC_STYLE = UserStyle(amplitude_scale=0.55, tempo_scale=1.5,
+                          tremor=0.03, pause_probability=0.3)
+
+
+def _gravity(rng: np.random.Generator) -> np.ndarray:
+    """A random unit gravity direction, mildly biased toward resting flat."""
+    tilt = rng.normal(0.0, 0.25)
+    azimuth = rng.uniform(0.0, 2.0 * math.pi)
+    z = math.cos(tilt)
+    r = math.sin(tilt)
+    return np.array([r * math.cos(azimuth), r * math.sin(azimuth), z])
+
+
+class ActivityModel(abc.ABC):
+    """Generator of ideal (noise-free) acceleration for one activity."""
+
+    #: The context class this model realizes.
+    context: ContextClass
+
+    @abc.abstractmethod
+    def generate(self, n_samples: int, rate_hz: float,
+                 rng: np.random.Generator,
+                 style: UserStyle = DEFAULT_STYLE) -> np.ndarray:
+        """Produce an ``(n_samples, 3)`` ideal acceleration trace in g."""
+
+    def _check(self, n_samples: int, rate_hz: float) -> None:
+        if n_samples < 1:
+            raise ConfigurationError(
+                f"n_samples must be >= 1, got {n_samples}")
+        if rate_hz <= 0:
+            raise ConfigurationError(f"rate_hz must be > 0, got {rate_hz}")
+
+
+class LyingStillModel(ActivityModel):
+    """Pen resting on the whiteboard tray: gravity only."""
+
+    context = LYING
+
+    def generate(self, n_samples: int, rate_hz: float,
+                 rng: np.random.Generator,
+                 style: UserStyle = DEFAULT_STYLE) -> np.ndarray:
+        self._check(n_samples, rate_hz)
+        g = _gravity(rng)
+        trace = np.tile(g, (n_samples, 1))
+        # A still pen shows only the faintest structural vibration.
+        trace += rng.normal(0.0, 0.002, size=(n_samples, 3))
+        return trace
+
+
+class WritingModel(ActivityModel):
+    """Writing strokes: quasi-periodic oscillation with thinking pauses."""
+
+    context = WRITING
+
+    def generate(self, n_samples: int, rate_hz: float,
+                 rng: np.random.Generator,
+                 style: UserStyle = DEFAULT_STYLE) -> np.ndarray:
+        self._check(n_samples, rate_hz)
+        t = np.arange(n_samples) / rate_hz
+        g = _gravity(rng)
+        trace = np.tile(g, (n_samples, 1))
+
+        # Two stroke harmonics per planar axis; writing happens mostly in
+        # the board plane (x, y) with light pressure modulation on z.
+        base_freq = rng.uniform(2.0, 4.5) * style.tempo_scale
+        amp = 0.22 * style.amplitude_scale
+        for axis, scale in ((0, 1.0), (1, 0.8), (2, 0.25)):
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            freq = base_freq * rng.uniform(0.9, 1.1)
+            second = 2.0 * freq * rng.uniform(0.95, 1.05)
+            trace[:, axis] += amp * scale * (
+                np.sin(2.0 * math.pi * freq * t + phase)
+                + 0.35 * np.sin(2.0 * math.pi * second * t))
+
+        # Thinking pauses: per-second Bernoulli gates that suppress motion,
+        # leaving near-still stretches inside a writing segment.
+        envelope = np.ones(n_samples)
+        second_len = max(int(rate_hz), 1)
+        for start in range(0, n_samples, second_len):
+            if rng.random() < style.pause_probability:
+                stop = min(start + second_len, n_samples)
+                envelope[start:stop] = rng.uniform(0.02, 0.12)
+        motion = trace - g
+        trace = g + motion * envelope[:, None]
+
+        if style.tremor > 0:
+            trace += rng.normal(0.0, style.tremor, size=(n_samples, 3))
+        return trace
+
+
+class PlayingModel(ActivityModel):
+    """Playing around: twirling/tapping with large erratic swings."""
+
+    context = PLAYING
+
+    def generate(self, n_samples: int, rate_hz: float,
+                 rng: np.random.Generator,
+                 style: UserStyle = DEFAULT_STYLE) -> np.ndarray:
+        self._check(n_samples, rate_hz)
+        t = np.arange(n_samples) / rate_hz
+        g = _gravity(rng)
+        trace = np.tile(g, (n_samples, 1))
+
+        # Slow large rotations (twirling) change the gravity projection.
+        twirl_freq = rng.uniform(0.5, 1.6) * style.tempo_scale
+        amp = 0.9 * style.amplitude_scale
+        for axis in range(3):
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            freq = twirl_freq * rng.uniform(0.7, 1.3)
+            trace[:, axis] += amp * rng.uniform(0.6, 1.0) * np.sin(
+                2.0 * math.pi * freq * t + phase)
+
+        # Tap bursts: short high-amplitude impulses.
+        n_bursts = max(1, int(len(t) / rate_hz * rng.uniform(0.5, 2.0)))
+        for _ in range(n_bursts):
+            center = rng.integers(0, n_samples)
+            width = max(int(0.05 * rate_hz), 1)
+            lo = max(center - width, 0)
+            hi = min(center + width, n_samples)
+            impulse = rng.normal(0.0, 1.2 * style.amplitude_scale,
+                                 size=(hi - lo, 3))
+            trace[lo:hi] += impulse
+
+        # Broadband hand motion.
+        trace += rng.normal(0.0, 0.12 * style.amplitude_scale,
+                            size=(n_samples, 3))
+        return trace
+
+
+#: Registry of the canonical AwarePen activity models by class name.
+ACTIVITY_MODELS: Dict[str, ActivityModel] = {
+    LYING.name: LyingStillModel(),
+    WRITING.name: WritingModel(),
+    PLAYING.name: PlayingModel(),
+}
+
+
+def model_for(context: ContextClass) -> ActivityModel:
+    """Look up the activity model realizing *context*."""
+    try:
+        return ACTIVITY_MODELS[context.name]
+    except KeyError:
+        raise KeyError(
+            f"no activity model for context {context.name!r}; "
+            f"available: {sorted(ACTIVITY_MODELS)}") from None
+
+
+def blend(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Linearly crossfade two equal-length traces (transition windows).
+
+    Transitions between activities — "writing, then for some seconds
+    playing with the pen when thinking and then continuing writing" — are
+    the movement patterns that are "difficult to classify"; crossfaded
+    windows realize them synthetically.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"cannot blend traces of shapes {a.shape} and {b.shape}")
+    alpha = np.linspace(0.0, 1.0, a.shape[0])[:, None]
+    return (1.0 - alpha) * a + alpha * b

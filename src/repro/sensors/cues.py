@@ -1,0 +1,170 @@
+"""Cue extraction: from raw sensor windows to the classifier inputs.
+
+Paper Fig. 4: the AwarePen computes the **standard deviation** of each
+acceleration axis over a window; those three values are the cue vector
+``v_C`` feeding both the context classifier and the quality system.
+Additional cue types (mean, RMS energy, mean-crossing rate, range) are
+provided for extended classifiers and ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DimensionError
+
+
+def sliding_windows(signal: np.ndarray, window: int,
+                    hop: int) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(start_index, window_view)`` pairs over a 2-D signal.
+
+    Windows shorter than *window* at the tail are dropped, mirroring a
+    fixed-size on-node buffer.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 2:
+        raise DimensionError(
+            f"signal must be 2-D (samples x axes), got {signal.shape}")
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if hop < 1:
+        raise ConfigurationError(f"hop must be >= 1, got {hop}")
+    for start in range(0, signal.shape[0] - window + 1, hop):
+        yield start, signal[start:start + window]
+
+
+class CueExtractor(abc.ABC):
+    """Maps one sensor window to one or more scalar cues."""
+
+    @abc.abstractmethod
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        """Cues for a ``(window_len, n_axes)`` array, shape ``(n_cues,)``."""
+
+    @abc.abstractmethod
+    def cue_names(self, n_axes: int) -> List[str]:
+        """Human-readable cue names for *n_axes* input axes."""
+
+
+class StdCue(CueExtractor):
+    """Per-axis standard deviation — the paper's AwarePen cue."""
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2 or window.shape[0] < 2:
+            raise DimensionError(
+                "window must be 2-D with >= 2 samples for a std cue")
+        return np.std(window, axis=0)
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        return [f"std_{axis}" for axis in _axis_names(n_axes)]
+
+
+class MeanCue(CueExtractor):
+    """Per-axis mean — captures static gravity orientation."""
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2:
+            raise DimensionError("window must be 2-D")
+        return np.mean(window, axis=0)
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        return [f"mean_{axis}" for axis in _axis_names(n_axes)]
+
+
+class EnergyCue(CueExtractor):
+    """Per-axis RMS of the mean-removed signal (AC energy)."""
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2 or window.shape[0] < 2:
+            raise DimensionError("window must be 2-D with >= 2 samples")
+        centered = window - np.mean(window, axis=0, keepdims=True)
+        return np.sqrt(np.mean(centered ** 2, axis=0))
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        return [f"rms_{axis}" for axis in _axis_names(n_axes)]
+
+
+class RangeCue(CueExtractor):
+    """Per-axis peak-to-peak range."""
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2:
+            raise DimensionError("window must be 2-D")
+        return np.max(window, axis=0) - np.min(window, axis=0)
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        return [f"range_{axis}" for axis in _axis_names(n_axes)]
+
+
+class MeanCrossingRateCue(CueExtractor):
+    """Per-axis rate of crossings through the window mean."""
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 2 or window.shape[0] < 2:
+            raise DimensionError("window must be 2-D with >= 2 samples")
+        centered = window - np.mean(window, axis=0, keepdims=True)
+        signs = np.signbit(centered)
+        crossings = np.sum(signs[1:] != signs[:-1], axis=0)
+        return crossings / (window.shape[0] - 1)
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        return [f"mcr_{axis}" for axis in _axis_names(n_axes)]
+
+
+@dataclasses.dataclass
+class CuePipeline:
+    """Ordered composition of cue extractors applied to every window."""
+
+    extractors: Sequence[CueExtractor]
+
+    def __post_init__(self) -> None:
+        if not self.extractors:
+            raise ConfigurationError("cue pipeline needs >= 1 extractor")
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        """Concatenated cue vector for one window."""
+        return np.concatenate(
+            [np.atleast_1d(e.extract(window)) for e in self.extractors])
+
+    def cue_names(self, n_axes: int) -> List[str]:
+        names: List[str] = []
+        for e in self.extractors:
+            names.extend(e.cue_names(n_axes))
+        return names
+
+    def extract_all(self, signal: np.ndarray, window: int,
+                    hop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cues for every sliding window of *signal*.
+
+        Returns ``(starts, cue_matrix)`` with ``cue_matrix`` of shape
+        ``(n_windows, n_cues)``.
+        """
+        starts: List[int] = []
+        rows: List[np.ndarray] = []
+        for start, win in sliding_windows(signal, window, hop):
+            starts.append(start)
+            rows.append(self.extract(win))
+        if not rows:
+            raise DimensionError(
+                f"signal of {np.asarray(signal).shape[0]} samples is shorter "
+                f"than one window of {window}")
+        return np.array(starts, dtype=int), np.vstack(rows)
+
+
+def _axis_names(n_axes: int) -> List[str]:
+    base = ["x", "y", "z"]
+    if n_axes <= 3:
+        return base[:n_axes]
+    return base + [f"a{i}" for i in range(3, n_axes)]
+
+
+#: The paper's AwarePen cue pipeline: per-axis standard deviation only.
+AWAREPEN_CUES = CuePipeline(extractors=(StdCue(),))

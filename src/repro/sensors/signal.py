@@ -1,0 +1,148 @@
+"""Sensor-signal degradation models.
+
+The paper's AwarePen reads a 3-axis ADXL accelerometer on a Particle
+Computer node.  Real MEMS accelerometers add white noise, slowly drifting
+bias, saturation and ADC quantization to the true motion signal; this
+module models those effects so the synthetic substrate exercises the same
+robustness the physical deployment needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SensorModel:
+    """Parametric imperfection model applied to an ideal acceleration signal.
+
+    Parameters
+    ----------
+    noise_std:
+        White Gaussian noise standard deviation in g.
+    bias_walk_std:
+        Per-sample standard deviation of the random-walk bias drift in g.
+    full_scale:
+        Saturation magnitude in g (ADXL202-style parts clip near +-2 g).
+    resolution_bits:
+        ADC resolution; quantization maps the ``[-full_scale, full_scale]``
+        range onto ``2**resolution_bits`` steps.  ``None`` disables
+        quantization.
+    """
+
+    noise_std: float = 0.02
+    bias_walk_std: float = 0.0005
+    full_scale: float = 2.0
+    resolution_bits: Optional[int] = 10
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ConfigurationError(
+                f"noise_std must be >= 0, got {self.noise_std}")
+        if self.bias_walk_std < 0:
+            raise ConfigurationError(
+                f"bias_walk_std must be >= 0, got {self.bias_walk_std}")
+        if self.full_scale <= 0:
+            raise ConfigurationError(
+                f"full_scale must be > 0, got {self.full_scale}")
+        if self.resolution_bits is not None and self.resolution_bits < 2:
+            raise ConfigurationError(
+                f"resolution_bits must be >= 2, got {self.resolution_bits}")
+
+    def apply(self, ideal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Degrade an ideal ``(n_samples, n_axes)`` signal.
+
+        The input array is not modified.
+        """
+        ideal = np.asarray(ideal, dtype=float)
+        if ideal.ndim != 2:
+            raise ConfigurationError(
+                f"signal must be 2-D (samples x axes), got {ideal.shape}")
+        n, axes = ideal.shape
+        out = ideal.copy()
+        if self.noise_std > 0:
+            out += rng.normal(0.0, self.noise_std, size=(n, axes))
+        if self.bias_walk_std > 0:
+            steps = rng.normal(0.0, self.bias_walk_std, size=(n, axes))
+            out += np.cumsum(steps, axis=0)
+        np.clip(out, -self.full_scale, self.full_scale, out=out)
+        if self.resolution_bits is not None:
+            levels = 2 ** self.resolution_bits
+            step = 2.0 * self.full_scale / levels
+            out = np.round(out / step) * step
+        return out
+
+
+#: A noise-free pass-through model, useful in unit tests.
+IDEAL_SENSOR = SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                           resolution_bits=None)
+
+#: Default model approximating the AwarePen's ADXL part.
+ADXL_SENSOR = SensorModel()
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultySensorModel:
+    """Fault injector wrapping a base :class:`SensorModel`.
+
+    Models the two classic MEMS failure modes the Quality-of-Context
+    literature worries about (paper section 4 notes related work focuses
+    on "algorithmic errors or sensor failure"):
+
+    * **stuck-at** — from :attr:`stuck_from` on, :attr:`stuck_axes` hold
+      their last healthy value (a frozen ADC or broken solder joint);
+    * **dropout** — each sample is lost with probability
+      :attr:`dropout_rate` and replaced by the previous delivered value
+      (sample-and-hold behaviour of a lossy sensor bus).
+
+    Parameters
+    ----------
+    base:
+        The healthy degradation model applied first.
+    stuck_from:
+        Sample index at which the stuck fault begins; ``None`` disables.
+    stuck_axes:
+        Axes affected by the stuck fault (default: all).
+    dropout_rate:
+        Per-sample loss probability in ``[0, 1)``.
+    """
+
+    base: SensorModel = ADXL_SENSOR
+    stuck_from: Optional[int] = None
+    stuck_axes: Optional[tuple] = None
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stuck_from is not None and self.stuck_from < 0:
+            raise ConfigurationError(
+                f"stuck_from must be >= 0, got {self.stuck_from}")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ConfigurationError(
+                f"dropout_rate must be in [0, 1), got {self.dropout_rate}")
+
+    def apply(self, ideal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Degrade and then fault-inject an ideal signal."""
+        out = self.base.apply(ideal, rng)
+        n, axes = out.shape
+        if self.dropout_rate > 0:
+            lost = rng.random(size=n) < self.dropout_rate
+            lost[0] = False  # the first sample is always delivered
+            for i in range(1, n):
+                if lost[i]:
+                    out[i] = out[i - 1]
+        if self.stuck_from is not None and self.stuck_from < n:
+            affected = (tuple(range(axes)) if self.stuck_axes is None
+                        else tuple(self.stuck_axes))
+            for axis in affected:
+                if not 0 <= axis < axes:
+                    raise ConfigurationError(
+                        f"stuck axis {axis} outside 0..{axes - 1}")
+                out[self.stuck_from:, axis] = out[self.stuck_from, axis]
+        return out

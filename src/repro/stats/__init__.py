@@ -1,0 +1,40 @@
+"""Statistical analysis substrate for the CQM (paper section 2.3)."""
+
+from .bootstrap import (BootstrapInterval, bootstrap_improvement,
+                        bootstrap_probability, bootstrap_statistic,
+                        bootstrap_threshold)
+from .gaussian import Gaussian
+from .metrics import (ConfusionMatrix, FilterOutcome, accuracy, auc,
+                      confusion_matrix, filter_outcome, roc_curve)
+from .mle import (MixtureFit, PopulationEstimates, estimate_populations,
+                  fit_gaussian_mle, fit_two_component_mixture)
+from .significance import (PermutationResult, auc_permutation_test,
+                           mcnemar_exact, paired_permutation_test)
+from .reliability import (ReliabilityBin, ReliabilityDiagram,
+                          apply_recalibration, recalibration_map,
+                          reliability_diagram)
+from .probabilities import (QualityProbabilities, empirical_probabilities,
+                            probabilities_from_estimates,
+                            selection_probabilities)
+from .threshold import (ThresholdResult, density_intersections,
+                        equal_error_threshold, intersection_threshold,
+                        max_accuracy_threshold, youden_threshold)
+
+__all__ = [
+    "Gaussian",
+    "BootstrapInterval", "bootstrap_statistic", "bootstrap_threshold",
+    "bootstrap_probability", "bootstrap_improvement",
+    "fit_gaussian_mle", "estimate_populations", "PopulationEstimates",
+    "fit_two_component_mixture", "MixtureFit",
+    "density_intersections", "intersection_threshold",
+    "equal_error_threshold", "ThresholdResult",
+    "youden_threshold", "max_accuracy_threshold",
+    "selection_probabilities", "probabilities_from_estimates",
+    "empirical_probabilities", "QualityProbabilities",
+    "accuracy", "confusion_matrix", "ConfusionMatrix",
+    "roc_curve", "auc", "filter_outcome", "FilterOutcome",
+    "reliability_diagram", "ReliabilityDiagram", "ReliabilityBin",
+    "recalibration_map", "apply_recalibration",
+    "paired_permutation_test", "auc_permutation_test", "mcnemar_exact",
+    "PermutationResult",
+]

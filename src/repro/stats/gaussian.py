@@ -1,0 +1,85 @@
+"""Gaussian density utilities used by the CQM statistical analysis.
+
+Paper section 2.3.1 defines the density
+
+.. math::
+
+    \\varphi_{\\mu,\\sigma}(x) = \\frac{1}{\\sigma\\sqrt{2\\pi}}
+        e^{-(x-\\mu)^2 / (2\\sigma^2)}
+
+and section 2.3.3 uses its median cuts
+``Phi(s) = integral_{-inf}^{s} phi`` and the complementary
+``Phi^c(s) = integral_{s}^{inf} phi``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+try:
+    from scipy.special import erf as _erf_impl
+except ImportError:  # pragma: no cover - scipy is an install dependency
+    _erf_impl = np.vectorize(math.erf)
+
+
+@dataclasses.dataclass(frozen=True)
+class Gaussian:
+    """A univariate normal distribution N(mu, sigma^2)."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConfigurationError(
+                f"Gaussian sigma must be > 0, got {self.sigma}")
+        if not math.isfinite(self.mu):
+            raise ConfigurationError(f"Gaussian mu must be finite, got {self.mu}")
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        """Density ``phi_{mu,sigma}(x)``."""
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * _SQRT2PI)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        """Lower median cut ``Phi_{mu,sigma}(x)`` (paper section 2.3.3)."""
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / (self.sigma * _SQRT2)
+        # vectorized erf via numpy's ufunc-compatible math
+        return 0.5 * (1.0 + _erf(z))
+
+    def survival(self, x: ArrayLike) -> ArrayLike:
+        """Upper median cut ``integral_x^inf phi`` (the complementary cut)."""
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mu) / (self.sigma * _SQRT2)
+        return 0.5 * (1.0 - _erf(z))
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        """Sum of log densities of *data* under this Gaussian."""
+        data = np.asarray(data, dtype=float)
+        z = (data - self.mu) / self.sigma
+        return float(np.sum(-0.5 * z * z
+                            - math.log(self.sigma) - 0.5 * math.log(2 * math.pi)))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *n* samples using the supplied generator."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return rng.normal(self.mu, self.sigma, size=n)
+
+
+def _erf(z: np.ndarray) -> np.ndarray:
+    """Vectorized error function (scipy when available)."""
+    return _erf_impl(z)

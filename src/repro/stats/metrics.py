@@ -1,0 +1,167 @@
+"""Classification and separation metrics.
+
+Supports the evaluation benches: accuracy/confusion for the context
+classifiers, ROC/AUC over the quality measure (how well ``q`` ranks right
+above wrong classifications), and the discard/improvement accounting the
+paper's headline "33%" result uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+_trapz = getattr(np, "trapezoid", None) or getattr(np, "trapz")
+
+from ..exceptions import CalibrationError, DimensionError
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise DimensionError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise DimensionError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionMatrix:
+    """Dense confusion matrix with label bookkeeping."""
+
+    labels: Tuple[int, ...]
+    matrix: np.ndarray  # rows: true, cols: predicted
+
+    @property
+    def n_samples(self) -> int:
+        return int(np.sum(self.matrix))
+
+    def rate(self, true_label: int, predicted_label: int) -> float:
+        """P(predicted | true) for one cell."""
+        i = self.labels.index(true_label)
+        j = self.labels.index(predicted_label)
+        row_total = float(np.sum(self.matrix[i]))
+        return float(self.matrix[i, j]) / row_total if row_total else 0.0
+
+    def per_class_recall(self) -> Dict[int, float]:
+        """Recall (diagonal rate) for every label."""
+        return {lbl: self.rate(lbl, lbl) for lbl in self.labels}
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     labels: Sequence[int] = ()) -> ConfusionMatrix:
+    """Build a confusion matrix; labels default to the union observed."""
+    y_true = np.asarray(y_true, dtype=int).ravel()
+    y_pred = np.asarray(y_pred, dtype=int).ravel()
+    if y_true.shape != y_pred.shape:
+        raise DimensionError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    label_list: List[int] = (list(labels) if labels
+                             else sorted(set(y_true) | set(y_pred)))
+    index = {lbl: k for k, lbl in enumerate(label_list)}
+    matrix = np.zeros((len(label_list), len(label_list)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        if t not in index or p not in index:
+            raise DimensionError(
+                f"label outside the provided label set: true={t}, pred={p}")
+        matrix[index[t], index[p]] += 1
+    return ConfusionMatrix(labels=tuple(label_list), matrix=matrix)
+
+
+def roc_curve(scores: np.ndarray, positive: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC of using ``score > threshold`` to select positives.
+
+    Returns ``(false_positive_rates, true_positive_rates, thresholds)``
+    sorted by descending threshold.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    positive = np.asarray(positive, dtype=bool).ravel()
+    if scores.shape != positive.shape:
+        raise DimensionError("scores and positive must align")
+    n_pos = int(np.sum(positive))
+    n_neg = int(np.sum(~positive))
+    if n_pos == 0 or n_neg == 0:
+        raise CalibrationError(
+            "ROC needs at least one positive and one negative sample")
+    order = np.argsort(-scores, kind="stable")
+    sorted_pos = positive[order]
+    tps = np.cumsum(sorted_pos)
+    fps = np.cumsum(~sorted_pos)
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], scores[order]])
+    return fpr, tpr, thresholds
+
+
+def auc(scores: np.ndarray, positive: np.ndarray) -> float:
+    """Area under the ROC curve (probability q ranks right above wrong)."""
+    fpr, tpr, _ = roc_curve(scores, positive)
+    return float(_trapz(tpr, fpr))
+
+
+@dataclasses.dataclass(frozen=True)
+class FilterOutcome:
+    """Result of filtering classifications with ``q > s``.
+
+    The paper's headline: "the appliance can discard 33% of the
+    classifications, which equals all wrong contextual classifications".
+    """
+
+    n_total: int
+    n_kept: int
+    n_discarded: int
+    n_wrong_total: int
+    n_wrong_kept: int
+    n_right_discarded: int
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def discard_fraction(self) -> float:
+        """Fraction of classifications rejected by the quality gate."""
+        return self.n_discarded / self.n_total if self.n_total else 0.0
+
+    @property
+    def wrong_elimination(self) -> float:
+        """Fraction of wrong classifications removed by the gate."""
+        if self.n_wrong_total == 0:
+            return 1.0
+        return 1.0 - self.n_wrong_kept / self.n_wrong_total
+
+    @property
+    def improvement(self) -> float:
+        """Absolute accuracy gain from filtering."""
+        return self.accuracy_after - self.accuracy_before
+
+
+def filter_outcome(correct: np.ndarray, qualities: np.ndarray,
+                   threshold: float) -> FilterOutcome:
+    """Account for the effect of the quality gate on labeled data."""
+    correct = np.asarray(correct, dtype=bool).ravel()
+    qualities = np.asarray(qualities, dtype=float).ravel()
+    if correct.shape != qualities.shape:
+        raise DimensionError("correct and qualities must align")
+    if correct.size == 0:
+        raise DimensionError("cannot filter an empty evaluation set")
+    kept = qualities > threshold
+    n_total = int(correct.size)
+    n_kept = int(np.sum(kept))
+    accuracy_before = float(np.mean(correct))
+    accuracy_after = (float(np.mean(correct[kept])) if n_kept
+                      else accuracy_before)
+    return FilterOutcome(
+        n_total=n_total,
+        n_kept=n_kept,
+        n_discarded=n_total - n_kept,
+        n_wrong_total=int(np.sum(~correct)),
+        n_wrong_kept=int(np.sum(~correct & kept)),
+        n_right_discarded=int(np.sum(correct & ~kept)),
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+    )

@@ -1,0 +1,168 @@
+"""Maximum likelihood estimation of the right/wrong quality populations.
+
+Paper section 2.3.1: the normal distributions of the quality measure for
+right and for wrong classified data points are estimated by maximum
+likelihood, which "requires knowledge for each data point, if its
+classification was correct or wrong" — i.e. a second labeled data set
+disjoint from the training set.
+
+For a Gaussian the MLE of the mean is the sample mean and of the variance
+the (biased, 1/N) sample variance; both are provided, along with a
+two-component Gaussian mixture EM fit used for threshold determination on
+*unlabeled* data (paper section 2.3.2: "the threshold value s ... can also
+be determined via a MLE for a data set without secondary knowledge").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import CalibrationError
+from .gaussian import Gaussian
+
+#: Variance floor so degenerate populations (all-identical q values, as in
+#: tiny test sets) still yield a usable density.
+_MIN_SIGMA = 1e-3
+
+
+def fit_gaussian_mle(data: np.ndarray, min_sigma: float = _MIN_SIGMA
+                     ) -> Gaussian:
+    """MLE Gaussian fit of 1-D *data* (mean, 1/N variance)."""
+    data = np.asarray(data, dtype=float).ravel()
+    if data.size == 0:
+        raise CalibrationError("cannot fit a Gaussian to an empty sample")
+    mu = float(np.mean(data))
+    sigma = float(np.sqrt(np.mean((data - mu) ** 2)))
+    return Gaussian(mu=mu, sigma=max(sigma, min_sigma))
+
+
+@dataclasses.dataclass(frozen=True)
+class PopulationEstimates:
+    """MLE Gaussians for the right- and wrong-classification populations."""
+
+    right: Gaussian
+    wrong: Gaussian
+    n_right: int
+    n_wrong: int
+
+    @property
+    def separation(self) -> float:
+        """Standardized mean distance (a d'-like separability score)."""
+        pooled = np.sqrt(0.5 * (self.right.sigma ** 2 + self.wrong.sigma ** 2))
+        return abs(self.right.mu - self.wrong.mu) / max(pooled, 1e-12)
+
+
+def estimate_populations(qualities: np.ndarray, correct: np.ndarray,
+                         min_sigma: float = _MIN_SIGMA) -> PopulationEstimates:
+    """Fit the right/wrong Gaussians from labeled quality values.
+
+    Parameters
+    ----------
+    qualities:
+        CQM values ``q`` of the secondary (analysis) data set.
+    correct:
+        Boolean array: True where the underlying classification was right.
+    """
+    qualities = np.asarray(qualities, dtype=float).ravel()
+    correct = np.asarray(correct, dtype=bool).ravel()
+    if qualities.shape != correct.shape:
+        raise CalibrationError(
+            f"qualities {qualities.shape} and correct {correct.shape} "
+            "must have the same shape")
+    right_data = qualities[correct]
+    wrong_data = qualities[~correct]
+    if right_data.size == 0:
+        raise CalibrationError(
+            "no correctly classified points — cannot estimate the right "
+            "population")
+    if wrong_data.size == 0:
+        raise CalibrationError(
+            "no wrongly classified points — cannot estimate the wrong "
+            "population")
+    return PopulationEstimates(
+        right=fit_gaussian_mle(right_data, min_sigma),
+        wrong=fit_gaussian_mle(wrong_data, min_sigma),
+        n_right=int(right_data.size),
+        n_wrong=int(wrong_data.size),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MixtureFit:
+    """Two-component 1-D Gaussian mixture fitted by EM."""
+
+    components: Tuple[Gaussian, Gaussian]
+    weights: Tuple[float, float]
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def lower(self) -> Gaussian:
+        """The component with the smaller mean (the 'wrong' population)."""
+        return min(self.components, key=lambda g: g.mu)
+
+    @property
+    def upper(self) -> Gaussian:
+        """The component with the larger mean (the 'right' population)."""
+        return max(self.components, key=lambda g: g.mu)
+
+
+def fit_two_component_mixture(data: np.ndarray, max_iter: int = 500,
+                              tol: float = 1e-8,
+                              seed: Optional[int] = 0) -> MixtureFit:
+    """EM fit of a two-component Gaussian mixture to unlabeled q values.
+
+    This is the "MLE without secondary knowledge" route to the threshold
+    (paper section 2.3.2); with infinite data it converges to the same
+    populations as :func:`estimate_populations`.
+    """
+    data = np.asarray(data, dtype=float).ravel()
+    if data.size < 2:
+        raise CalibrationError(
+            "need at least two points for a mixture fit")
+
+    # Deterministic quantile-based initialization (seed kept for API
+    # stability; initialization does not need randomness).
+    q25, q75 = np.percentile(data, [25.0, 75.0])
+    mus = np.array([q25, q75], dtype=float)
+    if np.isclose(mus[0], mus[1]):
+        mus[1] = mus[0] + max(np.std(data), _MIN_SIGMA)
+    sigmas = np.full(2, max(float(np.std(data)), _MIN_SIGMA))
+    weights = np.array([0.5, 0.5])
+
+    log_likelihood = -np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        # E step.
+        dens = np.stack([
+            Gaussian(mus[k], max(sigmas[k], _MIN_SIGMA)).pdf(data)
+            for k in range(2)], axis=1)
+        weighted = dens * weights[None, :]
+        totals = np.maximum(np.sum(weighted, axis=1, keepdims=True), 1e-300)
+        resp = weighted / totals
+        new_ll = float(np.sum(np.log(totals)))
+        # M step.
+        nk = np.maximum(np.sum(resp, axis=0), 1e-12)
+        weights = nk / data.size
+        mus = (resp.T @ data) / nk
+        sigmas = np.sqrt(
+            np.maximum((resp * (data[:, None] - mus[None, :]) ** 2).sum(axis=0)
+                       / nk, _MIN_SIGMA ** 2))
+        if abs(new_ll - log_likelihood) < tol:
+            log_likelihood = new_ll
+            converged = True
+            break
+        log_likelihood = new_ll
+
+    components = (Gaussian(float(mus[0]), float(max(sigmas[0], _MIN_SIGMA))),
+                  Gaussian(float(mus[1]), float(max(sigmas[1], _MIN_SIGMA))))
+    return MixtureFit(components=components,
+                      weights=(float(weights[0]), float(weights[1])),
+                      log_likelihood=log_likelihood,
+                      n_iterations=iteration,
+                      converged=converged)

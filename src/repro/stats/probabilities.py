@@ -1,0 +1,130 @@
+"""The four selection probabilities of the CQM analysis (paper 2.3.3).
+
+With the fitted densities and a threshold ``s``:
+
+* ``P(c = right | q > s)``  — probability a measure above the threshold
+  indicates an actually right classification,
+* ``P(c = wrong | q < s)``  — true-negative selection,
+* ``P(c = right | q < s)``  — false negative (right classifications lost),
+* ``P(c = wrong | q > s)``  — false positive (wrong classifications kept).
+
+Following the paper the conditioning normalizes over the two *median cuts*
+of the right and wrong densities on the respective side of ``s``; class
+priors can optionally be mixed in for the prior-weighted variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import CalibrationError
+from .gaussian import Gaussian
+from .mle import PopulationEstimates
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityProbabilities:
+    """The four probabilities of paper section 2.3.3 at threshold ``s``."""
+
+    threshold: float
+    right_given_above: float   # P(c = right | q > s)
+    wrong_given_below: float   # P(c = wrong | q < s)
+    right_given_below: float   # P(c = right | q < s) — false negative
+    wrong_given_above: float   # P(c = wrong | q > s) — false positive
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports and benches."""
+        return {
+            "s": self.threshold,
+            "P(right|q>s)": self.right_given_above,
+            "P(wrong|q<s)": self.wrong_given_below,
+            "P(right|q<s)": self.right_given_below,
+            "P(wrong|q>s)": self.wrong_given_above,
+        }
+
+
+def selection_probabilities(right: Gaussian, wrong: Gaussian,
+                            threshold: float,
+                            prior_right: Optional[float] = None
+                            ) -> QualityProbabilities:
+    """Compute the four probabilities from the fitted densities.
+
+    Parameters
+    ----------
+    right, wrong:
+        MLE Gaussians of the two populations.
+    threshold:
+        Acceptance threshold ``s``.
+    prior_right:
+        Optional prior probability of a right classification.  The paper's
+        formulas (section 2.3.3) normalize the median cuts *without*
+        priors — ``P(right|q>s) = Phi^c_r(s) / (Phi^c_r(s) + Phi^c_w(s))``
+        — which corresponds to equal priors; pass the empirical prior for
+        the Bayes-weighted variant.
+    """
+    if prior_right is not None and not 0.0 < prior_right < 1.0:
+        raise CalibrationError(
+            f"prior_right must be in (0, 1), got {prior_right}")
+    w_r = 0.5 if prior_right is None else float(prior_right)
+    w_w = 1.0 - w_r
+
+    right_above = w_r * float(right.survival(threshold))
+    wrong_above = w_w * float(wrong.survival(threshold))
+    right_below = w_r * float(right.cdf(threshold))
+    wrong_below = w_w * float(wrong.cdf(threshold))
+
+    above = right_above + wrong_above
+    below = right_below + wrong_below
+    if above <= 0 or below <= 0:
+        raise CalibrationError(
+            f"threshold {threshold} leaves an empty side of the split")
+
+    return QualityProbabilities(
+        threshold=float(threshold),
+        right_given_above=right_above / above,
+        wrong_given_below=wrong_below / below,
+        right_given_below=right_below / below,
+        wrong_given_above=wrong_above / above,
+    )
+
+
+def probabilities_from_estimates(estimates: PopulationEstimates,
+                                 threshold: float,
+                                 use_empirical_prior: bool = False
+                                 ) -> QualityProbabilities:
+    """Convenience wrapper operating on :class:`PopulationEstimates`."""
+    prior = None
+    if use_empirical_prior:
+        total = estimates.n_right + estimates.n_wrong
+        prior = estimates.n_right / total if total else None
+    return selection_probabilities(estimates.right, estimates.wrong,
+                                   threshold, prior_right=prior)
+
+
+def empirical_probabilities(qualities: np.ndarray, correct: np.ndarray,
+                            threshold: float) -> QualityProbabilities:
+    """The same four quantities measured directly on labeled data.
+
+    Useful to validate the density-based numbers against ground truth on
+    the analysis set (the paper's Fig. 5 data supports both views).
+    """
+    qualities = np.asarray(qualities, dtype=float).ravel()
+    correct = np.asarray(correct, dtype=bool).ravel()
+    if qualities.shape != correct.shape:
+        raise CalibrationError("qualities and correct must align")
+    above = qualities > threshold
+    n_above = int(np.sum(above))
+    n_below = int(np.sum(~above))
+    if n_above == 0 or n_below == 0:
+        raise CalibrationError(
+            f"threshold {threshold} leaves an empty side of the data split")
+    return QualityProbabilities(
+        threshold=float(threshold),
+        right_given_above=float(np.sum(correct & above)) / n_above,
+        wrong_given_below=float(np.sum(~correct & ~above)) / n_below,
+        right_given_below=float(np.sum(correct & ~above)) / n_below,
+        wrong_given_above=float(np.sum(~correct & above)) / n_above,
+    )

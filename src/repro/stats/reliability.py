@@ -1,0 +1,139 @@
+"""Reliability analysis: is the CQM a calibrated probability?
+
+The paper interprets ``q`` ordinally (higher = more trustworthy) and
+thresholds it.  A stronger property would be *probability calibration*:
+among decisions with ``q ≈ 0.8``, are ~80% actually right?  This module
+computes the reliability diagram and the expected calibration error (ECE)
+so that claim can be tested rather than assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ..exceptions import CalibrationError, ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    n: int
+    mean_quality: float
+    empirical_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """Calibration gap |accuracy - mean quality| (0 = calibrated)."""
+        return abs(self.empirical_accuracy - self.mean_quality)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityDiagram:
+    """Binned calibration summary of a quality measure."""
+
+    bins: List[ReliabilityBin]
+    n_total: int
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """ECE: bin-weight-averaged |accuracy - confidence|."""
+        if self.n_total == 0:
+            return 0.0
+        return float(sum(b.n * b.gap for b in self.bins) / self.n_total)
+
+    @property
+    def max_calibration_error(self) -> float:
+        """Largest per-bin gap (MCE)."""
+        occupied = [b.gap for b in self.bins if b.n > 0]
+        return float(max(occupied)) if occupied else 0.0
+
+    def to_text(self) -> str:
+        """Readable diagram: one line per occupied bin."""
+        lines = ["reliability diagram (q bin -> empirical accuracy):"]
+        for b in self.bins:
+            if b.n == 0:
+                continue
+            bar = "#" * int(round(b.empirical_accuracy * 30))
+            lines.append(
+                f"  [{b.lower:.2f}, {b.upper:.2f})  n={b.n:>4}  "
+                f"acc={b.empirical_accuracy:.2f} "
+                f"(mean q {b.mean_quality:.2f})  {bar}")
+        lines.append(f"  ECE = {self.expected_calibration_error:.4f}, "
+                     f"MCE = {self.max_calibration_error:.4f}")
+        return "\n".join(lines)
+
+
+def reliability_diagram(qualities: np.ndarray, correct: np.ndarray,
+                        n_bins: int = 10) -> ReliabilityDiagram:
+    """Bin quality values and compare mean q against empirical accuracy.
+
+    NaN (epsilon) qualities are excluded; the final bin is right-closed
+    so ``q = 1.0`` is counted.
+    """
+    if n_bins < 2:
+        raise ConfigurationError(f"n_bins must be >= 2, got {n_bins}")
+    qualities = np.asarray(qualities, dtype=float).ravel()
+    correct = np.asarray(correct, dtype=bool).ravel()
+    if qualities.shape != correct.shape:
+        raise CalibrationError("qualities and correct must align")
+    usable = ~np.isnan(qualities)
+    q = qualities[usable]
+    c = correct[usable]
+    if q.size == 0:
+        raise CalibrationError("no usable quality values")
+    if np.any((q < 0) | (q > 1)):
+        raise CalibrationError("qualities must lie in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: List[ReliabilityBin] = []
+    for k in range(n_bins):
+        lower, upper = float(edges[k]), float(edges[k + 1])
+        if k == n_bins - 1:
+            mask = (q >= lower) & (q <= upper)
+        else:
+            mask = (q >= lower) & (q < upper)
+        n = int(np.sum(mask))
+        bins.append(ReliabilityBin(
+            lower=lower, upper=upper, n=n,
+            mean_quality=float(np.mean(q[mask])) if n else 0.0,
+            empirical_accuracy=float(np.mean(c[mask])) if n else 0.0))
+    return ReliabilityDiagram(bins=bins, n_total=int(q.size))
+
+
+def recalibration_map(qualities: np.ndarray, correct: np.ndarray,
+                      n_bins: int = 10) -> np.ndarray:
+    """Histogram-binning recalibration table.
+
+    Returns an array of per-bin empirical accuracies; applying
+    ``table[bin(q)]`` in place of ``q`` yields a histogram-calibrated
+    measure (empty bins inherit their mean-q value as a neutral choice).
+    """
+    diagram = reliability_diagram(qualities, correct, n_bins=n_bins)
+    table = np.empty(len(diagram.bins))
+    for k, b in enumerate(diagram.bins):
+        if b.n > 0:
+            table[k] = b.empirical_accuracy
+        else:
+            table[k] = 0.5 * (b.lower + b.upper)
+    return table
+
+
+def apply_recalibration(qualities: np.ndarray,
+                        table: np.ndarray) -> np.ndarray:
+    """Map raw qualities through a recalibration table (NaN passes)."""
+    qualities = np.asarray(qualities, dtype=float)
+    table = np.asarray(table, dtype=float)
+    if table.ndim != 1 or table.size < 2:
+        raise ConfigurationError("table must be 1-D with >= 2 bins")
+    out = np.full(qualities.shape, np.nan)
+    usable = ~np.isnan(qualities)
+    idx = np.clip((qualities[usable] * table.size).astype(int),
+                  0, table.size - 1)
+    out[usable] = table[idx]
+    return out

@@ -1,0 +1,120 @@
+"""Significance testing for reproduction claims.
+
+"The CQM improves accuracy" is a comparison of paired observations on the
+same windows — it deserves a p-value, not just a point difference.  This
+module provides permutation tests for paired accuracy differences and for
+AUC differences, plus a sign-flip test for per-seed metric deltas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import CalibrationError, ConfigurationError
+from .metrics import auc
+
+
+@dataclasses.dataclass(frozen=True)
+class PermutationResult:
+    """Outcome of a permutation test."""
+
+    observed: float
+    p_value: float
+    n_permutations: int
+    greater_is_better: bool
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 verdict."""
+        return self.p_value < 0.05
+
+
+def paired_permutation_test(a: np.ndarray, b: np.ndarray,
+                            statistic: Optional[
+                                Callable[[np.ndarray], float]] = None,
+                            n_permutations: int = 5000,
+                            seed: Optional[int] = 0) -> PermutationResult:
+    """Paired sign-flip permutation test on ``a - b``.
+
+    Tests the one-sided hypothesis ``mean(statistic(a - b)) > 0`` by
+    randomly flipping the sign of each paired difference.  *statistic*
+    defaults to the mean.
+    """
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ConfigurationError("paired samples must align")
+    if a.size < 2:
+        raise CalibrationError("need >= 2 pairs")
+    if n_permutations < 100:
+        raise ConfigurationError(
+            f"n_permutations must be >= 100, got {n_permutations}")
+    stat = statistic if statistic is not None else (
+        lambda d: float(np.mean(d)))
+    diff = a - b
+    observed = stat(diff)
+    rng = np.random.default_rng(seed)
+    count = 0
+    for _ in range(n_permutations):
+        signs = rng.choice([-1.0, 1.0], size=diff.size)
+        if stat(diff * signs) >= observed:
+            count += 1
+    # Add-one smoothing keeps p strictly positive.
+    p = (count + 1) / (n_permutations + 1)
+    return PermutationResult(observed=float(observed), p_value=float(p),
+                             n_permutations=n_permutations,
+                             greater_is_better=True)
+
+
+def auc_permutation_test(scores_a: np.ndarray, scores_b: np.ndarray,
+                         positive: np.ndarray,
+                         n_permutations: int = 2000,
+                         seed: Optional[int] = 0) -> PermutationResult:
+    """Permutation test for ``AUC(a) > AUC(b)`` on the same labels.
+
+    Under the null the two scorers are exchangeable; each permutation
+    swaps the two scores on a random subset of samples.
+    """
+    scores_a = np.asarray(scores_a, dtype=float).ravel()
+    scores_b = np.asarray(scores_b, dtype=float).ravel()
+    positive = np.asarray(positive, dtype=bool).ravel()
+    if not (scores_a.shape == scores_b.shape == positive.shape):
+        raise ConfigurationError("scores and labels must align")
+    if n_permutations < 100:
+        raise ConfigurationError(
+            f"n_permutations must be >= 100, got {n_permutations}")
+    observed = auc(scores_a, positive) - auc(scores_b, positive)
+    rng = np.random.default_rng(seed)
+    count = 0
+    n = positive.size
+    for _ in range(n_permutations):
+        swap = rng.random(n) < 0.5
+        perm_a = np.where(swap, scores_b, scores_a)
+        perm_b = np.where(swap, scores_a, scores_b)
+        if auc(perm_a, positive) - auc(perm_b, positive) >= observed:
+            count += 1
+    p = (count + 1) / (n_permutations + 1)
+    return PermutationResult(observed=float(observed), p_value=float(p),
+                             n_permutations=n_permutations,
+                             greater_is_better=True)
+
+
+def mcnemar_exact(only_a_right: int, only_b_right: int) -> float:
+    """Exact McNemar p-value (two-sided) from the discordant counts.
+
+    *only_a_right* counts windows system A got right and B wrong;
+    *only_b_right* the converse.  Under the null the discordant pairs are
+    Binomial(n, 0.5).
+    """
+    if only_a_right < 0 or only_b_right < 0:
+        raise ConfigurationError("discordant counts must be >= 0")
+    n = only_a_right + only_b_right
+    if n == 0:
+        return 1.0
+    from math import comb
+    k = min(only_a_right, only_b_right)
+    tail = sum(comb(n, i) for i in range(0, k + 1)) / (2.0 ** n)
+    return float(min(1.0, 2.0 * tail))

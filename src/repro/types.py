@@ -1,0 +1,144 @@
+"""Shared dataclasses and type aliases used across the :mod:`repro` package.
+
+The vocabulary follows the paper:
+
+* a *cue vector* ``v_C = (v_1, ..., v_n)`` holds the sensor cues that feed
+  the context classifier (paper section 2.1.1);
+* a *quality input vector* ``v_Q = (v_C, c)`` appends the numeric identifier
+  of the classified context ``c``;
+* a :class:`Classification` couples the cue vector with the classifier's
+  decision; a :class:`QualifiedClassification` additionally carries the
+  Context Quality Measure ``q``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Array of cue vectors, shape ``(n_samples, n_cues)``.
+CueMatrix = np.ndarray
+
+#: A single cue vector, shape ``(n_cues,)``.
+CueVector = np.ndarray
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextClass:
+    """A context class known to a classifier.
+
+    Parameters
+    ----------
+    index:
+        Numeric identifier ``c`` used in the quality input vector ``v_Q``.
+    name:
+        Human-readable label, e.g. ``"writing"``.
+    """
+
+    index: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"class index must be >= 0, got {self.index}")
+        if not self.name:
+            raise ValueError("class name must be non-empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """Result of one black-box context classification.
+
+    Attributes
+    ----------
+    cues:
+        The cue vector ``v_C`` the decision was based on.
+    context:
+        The predicted :class:`ContextClass`.
+    """
+
+    cues: CueVector
+    context: ContextClass
+
+    @property
+    def quality_input(self) -> np.ndarray:
+        """The quality input vector ``v_Q = (v_1, ..., v_n, c)``."""
+        return np.append(np.asarray(self.cues, dtype=float),
+                         float(self.context.index))
+
+
+@dataclasses.dataclass(frozen=True)
+class QualifiedClassification:
+    """A classification together with its Context Quality Measure.
+
+    Attributes
+    ----------
+    classification:
+        The underlying black-box decision.
+    quality:
+        The CQM value ``q`` in ``[0, 1]``, or ``None`` when the raw quality
+        FIS output fell into the error state epsilon (paper section 2.1.3).
+    """
+
+    classification: Classification
+    quality: Optional[float]
+
+    @property
+    def is_error_state(self) -> bool:
+        """Whether the normalization mapped the FIS output to epsilon."""
+        return self.quality is None
+
+    @property
+    def context(self) -> ContextClass:
+        """Shortcut to the classified context."""
+        return self.classification.context
+
+
+@dataclasses.dataclass(frozen=True)
+class LabeledWindow:
+    """A sensor window with ground truth, used for training and evaluation.
+
+    Attributes
+    ----------
+    cues:
+        Cue vector ``v_C`` extracted from the window.
+    true_context:
+        Ground-truth context class of the window.
+    """
+
+    cues: CueVector
+    true_context: ContextClass
+
+
+def as_cue_matrix(cues: Sequence[Sequence[float]]) -> CueMatrix:
+    """Coerce *cues* to a 2-D float array of shape ``(n_samples, n_cues)``.
+
+    Raises
+    ------
+    repro.exceptions.DimensionError
+        If the input cannot be interpreted as a 2-D matrix.
+    """
+    from .exceptions import DimensionError
+
+    arr = np.asarray(cues, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DimensionError(
+            f"cue matrix must be 2-D, got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise DimensionError("cue matrix must have at least one cue column")
+    return arr
+
+
+def split_xy(windows: Sequence[LabeledWindow]) -> Tuple[CueMatrix, np.ndarray]:
+    """Split labeled windows into a cue matrix and an integer label vector."""
+    from .exceptions import EmptyDatasetError
+
+    if not windows:
+        raise EmptyDatasetError("cannot split an empty window sequence")
+    x = np.vstack([np.asarray(w.cues, dtype=float) for w in windows])
+    y = np.array([w.true_context.index for w in windows], dtype=int)
+    return x, y

@@ -1,0 +1,149 @@
+"""Terminal (ASCII) visualization of the CQM artifacts.
+
+Smart appliances don't ship matplotlib; a deployment console does ship a
+terminal.  These renderers draw the paper's figures as text: the Fig. 5
+quality series with right (``o``) / wrong (``+``) markers, the Fig. 6
+density curves with the threshold column, plus generic histograms and
+sparklines used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+from .stats.gaussian import Gaussian
+
+#: Unicode block characters for sparklines, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def quality_series(qualities: Sequence[float],
+                   correct: Sequence[bool],
+                   width: int = 50) -> str:
+    """Fig. 5 as text: one row per sample, position encodes ``q``.
+
+    ``o`` marks right, ``+`` wrong classifications; epsilon samples show
+    an ``e`` in the margin.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    qualities = np.asarray(qualities, dtype=float)
+    correct = np.asarray(correct, dtype=bool)
+    if qualities.shape != correct.shape:
+        raise ConfigurationError("qualities and correct must align")
+    lines = [f"      0{' ' * (width - 6)}1"]
+    for i, (q, ok) in enumerate(zip(qualities, correct)):
+        if np.isnan(q):
+            bar = " " * width
+            value = "eps"
+            marker_note = " e"
+        else:
+            pos = int(round(float(q) * (width - 1)))
+            marker = "o" if ok else "+"
+            bar = " " * pos + marker + " " * (width - 1 - pos)
+            value = f"{q:.2f}"
+            marker_note = ""
+        lines.append(f"  {i + 1:>3} |{bar}| q={value}{marker_note}")
+    return "\n".join(lines)
+
+
+def density_plot(right: Gaussian, wrong: Gaussian,
+                 threshold: Optional[float] = None,
+                 width: int = 60, rows: int = 12) -> str:
+    """Fig. 6 as text: both densities over [0, 1], ``|`` at the threshold.
+
+    ``r`` marks the right density, ``w`` the wrong one, ``#`` overlap.
+    """
+    if width < 10 or rows < 3:
+        raise ConfigurationError("width must be >= 10 and rows >= 3")
+    grid = np.linspace(0.0, 1.0, width)
+    r = np.asarray(right.pdf(grid))
+    w = np.asarray(wrong.pdf(grid))
+    top = max(float(r.max()), float(w.max()))
+    if top <= 0:
+        raise ConfigurationError("densities are zero on [0, 1]")
+    s_col = (int(round(float(threshold) * (width - 1)))
+             if threshold is not None else None)
+    lines = []
+    for row in range(rows, 0, -1):
+        level = top * row / rows
+        chars = []
+        for i in range(width):
+            if s_col is not None and i == s_col:
+                chars.append("|")
+            elif r[i] >= level and w[i] >= level:
+                chars.append("#")
+            elif r[i] >= level:
+                chars.append("r")
+            elif w[i] >= level:
+                chars.append("w")
+            else:
+                chars.append(" ")
+        lines.append("  " + "".join(chars))
+    lines.append("  0" + "-" * (width - 2) + "1")
+    legend = "  r=right density, w=wrong density, #=overlap"
+    if threshold is not None:
+        legend += f", |=threshold s={threshold:.3f}"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(values: Iterable[float], bins: int = 10,
+              width: int = 40,
+              value_range: Optional[tuple] = None) -> str:
+    """Horizontal-bar histogram of *values*."""
+    values = np.asarray([v for v in values if v == v], dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("histogram needs at least one value")
+    if bins < 1 or width < 5:
+        raise ConfigurationError("bins must be >= 1 and width >= 5")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{lo:6.3f}, {hi:6.3f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline (NaNs render as spaces)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("sparkline needs at least one value")
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return " " * values.size
+    lo, hi = float(np.min(finite)), float(np.max(finite))
+    span = hi - lo if hi > lo else 1.0
+    chars = []
+    for v in values:
+        if np.isnan(v):
+            chars.append(" ")
+        else:
+            level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def comparison_table(rows: Sequence[tuple],
+                     headers: tuple = ("metric", "paper", "measured")
+                     ) -> str:
+    """Fixed-width table for paper-vs-measured rows."""
+    if not rows:
+        raise ConfigurationError("table needs at least one row")
+    str_rows = [tuple(str(c) for c in row) for row in rows]
+    n_cols = len(headers)
+    if any(len(r) != n_cols for r in str_rows):
+        raise ConfigurationError(
+            f"every row must have {n_cols} columns")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows))
+              for i in range(n_cols)]
+    def fmt(row):
+        return "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Tests for repro.anfis.bell — generalized-bell TSK systems."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.bell import (BellHybridTrainer, BellTSKSystem,
+                              apply_bell_gradient_step,
+                              bell_fis_from_clusters,
+                              bell_premise_gradients,
+                              numeric_bell_gradients)
+from repro.anfis.lse import fit_consequents
+from repro.exceptions import ConfigurationError, DimensionError
+
+
+def small_bell(seed=1):
+    rng = np.random.default_rng(seed)
+    m, d = 3, 2
+    a = rng.uniform(0.5, 1.5, size=(m, d))
+    b = rng.uniform(1.5, 3.0, size=(m, d))
+    c = rng.normal(size=(m, d))
+    coefficients = rng.normal(size=(m, d + 1))
+    return BellTSKSystem(a, b, c, coefficients, order=1)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BellTSKSystem(np.zeros((1, 1)), np.ones((1, 1)),
+                          np.zeros((1, 1)), np.zeros((1, 2)))  # a <= 0
+        with pytest.raises(ConfigurationError):
+            BellTSKSystem(np.ones((1, 1)), np.full((1, 1), 0.5),
+                          np.zeros((1, 1)), np.zeros((1, 2)))  # b < 1
+        with pytest.raises(DimensionError):
+            BellTSKSystem(np.ones((1, 1)), np.ones((2, 1)),
+                          np.zeros((1, 1)), np.zeros((1, 2)))
+        with pytest.raises(ConfigurationError):
+            BellTSKSystem(np.ones((1, 1)), np.ones((1, 1)),
+                          np.zeros((1, 1)), np.zeros((1, 2)), order=3)
+
+    def test_from_clusters(self):
+        centers = np.array([[0.0, 1.0], [2.0, 3.0]])
+        widths = np.array([0.5, 0.8])
+        system = bell_fis_from_clusters(centers, widths)
+        assert system.n_rules == 2
+        np.testing.assert_allclose(system.c, centers)
+        assert np.all(system.b >= 1.0)
+
+
+class TestInference:
+    def test_membership_peak_at_center(self):
+        system = small_bell()
+        peak = system.memberships(system.c[0].reshape(1, -1))[0, 0]
+        np.testing.assert_allclose(peak, 1.0)
+
+    def test_membership_half_at_a(self):
+        system = BellTSKSystem(np.full((1, 1), 2.0), np.full((1, 1), 3.0),
+                               np.zeros((1, 1)), np.zeros((1, 2)))
+        value = system.memberships(np.array([[2.0]]))[0, 0, 0]
+        assert value == pytest.approx(0.5)
+
+    def test_normalized_strengths_sum_to_one(self, rng):
+        system = small_bell()
+        wbar = system.normalized_firing_strengths(rng.normal(size=(10, 2)))
+        np.testing.assert_allclose(wbar.sum(axis=1), 1.0)
+
+    def test_far_input_finite(self):
+        system = small_bell()
+        out = system.evaluate(np.array([[1e6, -1e6]]))
+        assert np.all(np.isfinite(out))
+
+    def test_copy_independent(self):
+        system = small_bell()
+        clone = system.copy()
+        clone.a[0, 0] = 99.0
+        assert system.a[0, 0] != 99.0
+
+
+class TestLSECompatibility:
+    def test_fit_consequents_works(self, rng):
+        """The LSE layer is duck-typed over the system interface."""
+        system = small_bell()
+        x = rng.normal(size=(80, 2))
+        y = 1.2 * x[:, 0] - 0.4 * x[:, 1] + 0.1
+        coefficients, diag = fit_consequents(system, x, y)
+        system.coefficients = coefficients
+        rmse = np.sqrt(np.mean((system.evaluate(x) - y) ** 2))
+        assert rmse < 0.05
+
+
+class TestGradients:
+    def test_matches_finite_differences(self, rng):
+        system = small_bell()
+        x = rng.normal(size=(25, 2))
+        y = rng.normal(size=25)
+        grads = bell_premise_gradients(system, x, y)
+        num_a, num_b, num_c = numeric_bell_gradients(system, x, y)
+        np.testing.assert_allclose(grads.d_a, num_a, rtol=1e-3, atol=1e-6)
+        np.testing.assert_allclose(grads.d_b, num_b, rtol=1e-3, atol=1e-6)
+        np.testing.assert_allclose(grads.d_c, num_c, rtol=1e-3, atol=1e-6)
+
+    def test_zero_at_perfect_fit(self, rng):
+        system = small_bell()
+        x = rng.normal(size=(15, 2))
+        y = system.evaluate(x)
+        grads = bell_premise_gradients(system, x, y)
+        np.testing.assert_allclose(grads.d_a, 0.0, atol=1e-12)
+        np.testing.assert_allclose(grads.d_c, 0.0, atol=1e-12)
+
+    def test_input_at_center_is_finite(self):
+        """x exactly on a rule center must not produce NaN gradients."""
+        system = small_bell()
+        x = system.c[1].reshape(1, -1)
+        grads = bell_premise_gradients(system, x, np.array([0.5]))
+        assert np.all(np.isfinite(grads.d_a))
+        assert np.all(np.isfinite(grads.d_b))
+        assert np.all(np.isfinite(grads.d_c))
+
+    def test_step_descends(self, rng):
+        system = small_bell()
+        x = rng.normal(size=(60, 2))
+        y = np.sin(x[:, 0]) + 0.3 * x[:, 1]
+        before = bell_premise_gradients(system, x, y).loss
+        for _ in range(5):
+            grads = bell_premise_gradients(system, x, y)
+            apply_bell_gradient_step(system, grads, learning_rate=0.05)
+        after = bell_premise_gradients(system, x, y).loss
+        assert after < before
+
+    def test_step_respects_floors(self, rng):
+        system = small_bell()
+        grads = bell_premise_gradients(system, rng.normal(size=(5, 2)),
+                                       np.zeros(5))
+        apply_bell_gradient_step(system, grads, learning_rate=1e9)
+        assert np.all(system.a > 0)
+        assert np.all(system.b >= 1.0)
+
+
+class TestTrainer:
+    def test_training_improves_fit(self, rng):
+        x = rng.uniform(-2, 2, size=(150, 2))
+        y = np.sin(2 * x[:, 0]) * np.exp(-0.2 * x[:, 1] ** 2)
+        centers = np.array([[-1.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        system = bell_fis_from_clusters(centers, np.array([0.8, 1.5]))
+        trainer = BellHybridTrainer(epochs=20, learning_rate=0.05)
+        history = trainer.train(system, x, y)
+        assert history[-1] <= history[0] + 1e-9
+
+    def test_early_stopping_restores_best(self, rng):
+        x = rng.uniform(-2, 2, size=(120, 2))
+        y = np.sin(2 * x[:, 0])
+        x_check = rng.uniform(-2, 2, size=(50, 2))
+        y_check = np.sin(2 * x_check[:, 0])
+        centers = np.array([[-1.0, 0.0], [1.0, 0.0]])
+        system = bell_fis_from_clusters(centers, np.array([0.8, 1.5]))
+        BellHybridTrainer(epochs=25, learning_rate=0.1, patience=3).train(
+            system, x, y, x_check, y_check)
+        rmse = np.sqrt(np.mean((system.evaluate(x_check) - y_check) ** 2))
+        assert np.isfinite(rmse)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BellHybridTrainer(epochs=0)
+        with pytest.raises(ConfigurationError):
+            BellHybridTrainer(learning_rate=0.0)

@@ -1,0 +1,96 @@
+"""Tests for repro.anfis.gradient — analytic vs numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.gradient import (apply_gradient_step,
+                                  numeric_premise_gradients,
+                                  premise_gradients)
+from repro.exceptions import DimensionError
+from repro.fuzzy.tsk import TSKSystem
+
+
+def small_system():
+    rng = np.random.default_rng(11)
+    means = rng.normal(size=(3, 2))
+    sigmas = rng.uniform(0.5, 1.5, size=(3, 2))
+    coefficients = rng.normal(size=(3, 3))
+    return TSKSystem(means, sigmas, coefficients, order=1)
+
+
+class TestAnalyticGradients:
+    def test_matches_finite_differences(self, rng):
+        sys = small_system()
+        x = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        analytic = premise_gradients(sys, x, y)
+        num_means, num_sigmas = numeric_premise_gradients(sys, x, y)
+        np.testing.assert_allclose(analytic.d_means, num_means,
+                                   rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(analytic.d_sigmas, num_sigmas,
+                                   rtol=1e-4, atol=1e-7)
+
+    def test_zero_order_gradients_match(self, rng):
+        sys = small_system()
+        sys = TSKSystem(sys.means, sys.sigmas, sys.coefficients, order=0)
+        x = rng.normal(size=(15, 2))
+        y = rng.normal(size=15)
+        analytic = premise_gradients(sys, x, y)
+        num_means, num_sigmas = numeric_premise_gradients(sys, x, y)
+        np.testing.assert_allclose(analytic.d_means, num_means,
+                                   rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(analytic.d_sigmas, num_sigmas,
+                                   rtol=1e-4, atol=1e-7)
+
+    def test_loss_value(self, rng):
+        sys = small_system()
+        x = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        grads = premise_gradients(sys, x, y)
+        expected = 0.5 * np.mean((sys.evaluate(x) - y) ** 2)
+        assert grads.loss == pytest.approx(expected)
+
+    def test_zero_gradient_at_perfect_fit(self, rng):
+        # If the system already matches y exactly, gradients vanish.
+        sys = small_system()
+        x = rng.normal(size=(10, 2))
+        y = sys.evaluate(x)
+        grads = premise_gradients(sys, x, y)
+        np.testing.assert_allclose(grads.d_means, 0.0, atol=1e-12)
+        np.testing.assert_allclose(grads.d_sigmas, 0.0, atol=1e-12)
+        assert grads.loss == pytest.approx(0.0, abs=1e-18)
+
+    def test_dimension_validation(self, rng):
+        sys = small_system()
+        with pytest.raises(DimensionError):
+            premise_gradients(sys, rng.normal(size=(5, 3)), np.zeros(5))
+        with pytest.raises(DimensionError):
+            premise_gradients(sys, rng.normal(size=(5, 2)), np.zeros(4))
+
+
+class TestGradientStep:
+    def test_descends_loss(self, rng):
+        sys = small_system()
+        x = rng.normal(size=(40, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        before = premise_gradients(sys, x, y).loss
+        for _ in range(5):
+            grads = premise_gradients(sys, x, y)
+            apply_gradient_step(sys, grads, learning_rate=0.05)
+        after = premise_gradients(sys, x, y).loss
+        assert after < before
+
+    def test_sigma_floor(self, rng):
+        sys = small_system()
+        x = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        grads = premise_gradients(sys, x, y)
+        # Huge step would drive sigmas negative without the floor.
+        apply_gradient_step(sys, grads, learning_rate=1e9, min_sigma=1e-4)
+        assert np.all(sys.sigmas >= 1e-4)
+
+    def test_rejects_bad_learning_rate(self, rng):
+        sys = small_system()
+        grads = premise_gradients(sys, rng.normal(size=(5, 2)), np.zeros(5))
+        with pytest.raises(ValueError):
+            apply_gradient_step(sys, grads, learning_rate=0.0)

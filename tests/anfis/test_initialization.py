@@ -1,0 +1,84 @@
+"""Tests for repro.anfis.initialization — genfis2-style structure ID."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.initialization import fis_from_clusters, initial_fis_from_data
+from repro.clustering.subtractive import SubtractiveClustering
+from repro.exceptions import DimensionError, TrainingError
+
+
+@pytest.fixture
+def xor_like(rng):
+    """Data needing at least two rules: y high near two distinct centers."""
+    a = rng.normal((0, 0), 0.15, size=(40, 2))
+    b = rng.normal((2, 2), 0.15, size=(40, 2))
+    x = np.vstack([a, b])
+    y = np.concatenate([np.zeros(40), np.ones(40)])
+    return x, y
+
+
+class TestFisFromClusters:
+    def test_one_rule_per_cluster(self, xor_like):
+        x, _ = xor_like
+        clusters = SubtractiveClustering(radius=0.5).fit(x)
+        fis = fis_from_clusters(clusters)
+        assert fis.n_rules == clusters.n_clusters
+        assert fis.n_inputs == 2
+
+    def test_means_are_cluster_centers(self, xor_like):
+        x, _ = xor_like
+        clusters = SubtractiveClustering(radius=0.5).fit(x)
+        fis = fis_from_clusters(clusters)
+        np.testing.assert_allclose(fis.means, clusters.centers)
+
+    def test_sigmas_broadcast_per_dimension(self, xor_like):
+        x, _ = xor_like
+        clusters = SubtractiveClustering(radius=0.5).fit(x)
+        fis = fis_from_clusters(clusters)
+        for j in range(fis.n_rules):
+            np.testing.assert_allclose(fis.sigmas[j],
+                                       np.maximum(clusters.sigmas, 1e-4))
+
+    def test_coefficients_start_zero(self, xor_like):
+        x, _ = xor_like
+        clusters = SubtractiveClustering(radius=0.5).fit(x)
+        fis = fis_from_clusters(clusters)
+        assert np.all(fis.coefficients == 0.0)
+
+    def test_order_passthrough(self, xor_like):
+        x, _ = xor_like
+        clusters = SubtractiveClustering(radius=0.5).fit(x)
+        assert fis_from_clusters(clusters, order=0).order == 0
+
+
+class TestInitialFisFromData:
+    def test_fits_separable_targets(self, xor_like):
+        x, y = xor_like
+        fis = initial_fis_from_data(x, y, radius=0.5)
+        predictions = fis.evaluate(x)
+        rmse = np.sqrt(np.mean((predictions - y) ** 2))
+        assert rmse < 0.15
+
+    def test_respects_custom_clusterer(self, xor_like):
+        x, y = xor_like
+        clusterer = SubtractiveClustering(radius=0.3, max_clusters=2)
+        fis = initial_fis_from_data(x, y, clusterer=clusterer)
+        assert fis.n_rules <= 2
+
+    def test_validation(self, rng):
+        with pytest.raises(DimensionError):
+            initial_fis_from_data(np.zeros(5), np.zeros(5))
+        with pytest.raises(DimensionError):
+            initial_fis_from_data(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(TrainingError):
+            initial_fis_from_data(np.zeros((1, 2)), np.zeros(1))
+
+    def test_constant_column_does_not_break(self, rng):
+        # A constant cue column would give sigma 0 without the guard.
+        x = rng.normal(size=(30, 2))
+        x[:, 1] = 1.0
+        y = x[:, 0]
+        fis = initial_fis_from_data(x, y, radius=0.5)
+        assert np.all(fis.sigmas > 0)
+        assert np.all(np.isfinite(fis.evaluate(x)))

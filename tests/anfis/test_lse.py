@@ -1,0 +1,137 @@
+"""Tests for repro.anfis.lse — forward-pass least squares."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.lse import (RecursiveLSE, design_matrix, fit_consequents)
+from repro.exceptions import DimensionError, TrainingError
+from repro.fuzzy.tsk import TSKSystem
+
+
+def wide_system(order=1, n_rules=2, n_inputs=2):
+    """Rules with huge sigmas: behaves almost like a global linear model."""
+    rng = np.random.default_rng(3)
+    means = rng.normal(size=(n_rules, n_inputs))
+    sigmas = np.full((n_rules, n_inputs), 50.0)
+    coefficients = np.zeros((n_rules, n_inputs + 1))
+    return TSKSystem(means, sigmas, coefficients, order=order)
+
+
+class TestDesignMatrix:
+    def test_shape_first_order(self, rng):
+        sys = wide_system()
+        x = rng.normal(size=(10, 2))
+        a = design_matrix(sys, x)
+        assert a.shape == (10, 2 * 3)
+
+    def test_shape_zero_order(self, rng):
+        sys = wide_system(order=0)
+        x = rng.normal(size=(7, 2))
+        a = design_matrix(sys, x)
+        assert a.shape == (7, 2)
+
+    def test_rows_reproduce_prediction(self, rng):
+        sys = wide_system()
+        sys.coefficients = rng.normal(size=sys.coefficients.shape)
+        x = rng.normal(size=(5, 2))
+        a = design_matrix(sys, x)
+        manual = a @ sys.coefficients.reshape(-1)
+        np.testing.assert_allclose(manual, sys.evaluate(x), rtol=1e-10)
+
+    def test_input_validation(self):
+        sys = wide_system()
+        with pytest.raises(DimensionError):
+            design_matrix(sys, np.zeros((3, 5)))
+
+
+class TestFitConsequents:
+    def test_recovers_linear_function(self, rng):
+        # y = 2 x1 - x2 + 0.5 is exactly representable.
+        sys = wide_system()
+        x = rng.normal(size=(50, 2))
+        y = 2.0 * x[:, 0] - x[:, 1] + 0.5
+        coeffs, diag = fit_consequents(sys, x, y)
+        sys.coefficients = coeffs
+        np.testing.assert_allclose(sys.evaluate(x), y, atol=1e-8)
+        assert diag.residual_rmse < 1e-8
+
+    def test_zero_order_fits_constant(self, rng):
+        sys = wide_system(order=0)
+        x = rng.normal(size=(30, 2))
+        y = np.full(30, 0.7)
+        coeffs, diag = fit_consequents(sys, x, y)
+        sys.coefficients = coeffs
+        np.testing.assert_allclose(sys.evaluate(x), y, atol=1e-8)
+        # Zero-order layout keeps the input columns zero.
+        assert np.all(coeffs[:, :-1] == 0.0)
+
+    def test_diagnostics_rank(self, rng):
+        sys = wide_system()
+        x = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        _, diag = fit_consequents(sys, x, y)
+        assert diag.n_parameters == 6
+        assert 1 <= diag.rank <= 6
+
+    def test_sample_count_mismatch(self, rng):
+        sys = wide_system()
+        with pytest.raises(DimensionError):
+            fit_consequents(sys, rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_does_not_mutate_system(self, rng):
+        sys = wide_system()
+        before = sys.coefficients.copy()
+        fit_consequents(sys, rng.normal(size=(10, 2)), rng.normal(size=10))
+        np.testing.assert_array_equal(sys.coefficients, before)
+
+
+class TestRecursiveLSE:
+    def test_converges_to_batch_solution(self, rng):
+        # The wide-rule design is nearly collinear, so individual
+        # coefficients are not identifiable — compare *predictions*.
+        sys = wide_system()
+        x = rng.normal(size=(200, 2))
+        y = 1.5 * x[:, 0] + 0.3 * x[:, 1] - 0.2
+        batch, _ = fit_consequents(sys, x, y)
+        rls = RecursiveLSE(n_parameters=6)
+        a = design_matrix(sys, x)
+        for row, target in zip(a, y):
+            rls.update(row, target)
+        batch_sys = sys.copy()
+        batch_sys.coefficients = batch
+        rls_sys = sys.copy()
+        rls_sys.coefficients = rls.coefficients_for(sys)
+        np.testing.assert_allclose(rls_sys.evaluate(x),
+                                   batch_sys.evaluate(x), atol=1e-4)
+
+    def test_residual_shrinks(self, rng):
+        sys = wide_system()
+        x = rng.normal(size=(100, 2))
+        y = x[:, 0] - x[:, 1]
+        a = design_matrix(sys, x)
+        rls = RecursiveLSE(n_parameters=6)
+        residuals = [abs(rls.update(row, t)) for row, t in zip(a, y)]
+        assert np.mean(residuals[-20:]) < np.mean(residuals[:20])
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            RecursiveLSE(n_parameters=0)
+        with pytest.raises(TrainingError):
+            RecursiveLSE(n_parameters=3, lam=0.0)
+        rls = RecursiveLSE(n_parameters=3)
+        with pytest.raises(DimensionError):
+            rls.update(np.zeros(4), 1.0)
+
+    def test_coefficients_for_zero_order(self):
+        sys = wide_system(order=0)
+        rls = RecursiveLSE(n_parameters=2)
+        rls.theta = np.array([0.3, 0.7])
+        coeffs = rls.coefficients_for(sys)
+        assert coeffs.shape == sys.coefficients.shape
+        np.testing.assert_allclose(coeffs[:, -1], [0.3, 0.7])
+
+    def test_coefficients_for_wrong_size(self):
+        sys = wide_system(order=1)
+        rls = RecursiveLSE(n_parameters=2)
+        with pytest.raises(DimensionError):
+            rls.coefficients_for(sys)

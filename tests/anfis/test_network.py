@@ -1,0 +1,69 @@
+"""Tests for repro.anfis.network — the layer-wise ANFIS view (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.network import ANFISNetwork
+from repro.fuzzy.tsk import TSKSystem
+
+
+@pytest.fixture
+def system(rng):
+    means = rng.normal(size=(4, 3))
+    sigmas = rng.uniform(0.5, 1.5, size=(4, 3))
+    coefficients = rng.normal(size=(4, 4))
+    return TSKSystem(means, sigmas, coefficients, order=1)
+
+
+class TestForward:
+    def test_layer_shapes(self, system, rng):
+        net = ANFISNetwork(system)
+        x = rng.normal(size=(6, 3))
+        out = net.forward(x)
+        assert out.memberships.shape == (6, 4, 3)
+        assert out.firing_strengths.shape == (6, 4)
+        assert out.normalized_strengths.shape == (6, 4)
+        assert out.weighted_consequents.shape == (6, 4)
+        assert out.output.shape == (6,)
+
+    def test_output_matches_system(self, system, rng):
+        net = ANFISNetwork(system)
+        x = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(net.forward(x).output,
+                                   system.evaluate(x), rtol=1e-12)
+
+    def test_layer2_is_product_of_layer1(self, system, rng):
+        net = ANFISNetwork(system)
+        x = rng.normal(size=(5, 3))
+        out = net.forward(x)
+        np.testing.assert_allclose(out.firing_strengths,
+                                   np.prod(out.memberships, axis=2))
+
+    def test_layer3_normalizes(self, system, rng):
+        net = ANFISNetwork(system)
+        out = net.forward(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(out.normalized_strengths.sum(axis=1), 1.0)
+
+    def test_layer5_sums_layer4(self, system, rng):
+        net = ANFISNetwork(system)
+        out = net.forward(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(out.output,
+                                   out.weighted_consequents.sum(axis=1))
+
+
+class TestParameterCounts:
+    def test_first_order(self, system):
+        net = ANFISNetwork(system)
+        # premises 2*4*3 = 24, consequents 4*(3+1) = 16
+        assert net.n_adaptive_parameters == 40
+        summary = net.parameter_summary()
+        assert summary["premise_parameters"] == 24
+        assert summary["consequent_parameters"] == 16
+        assert summary["total"] == 40
+
+    def test_zero_order(self, rng):
+        sys0 = TSKSystem(rng.normal(size=(2, 2)),
+                         np.ones((2, 2)), np.zeros((2, 3)), order=0)
+        net = ANFISNetwork(sys0)
+        # premises 2*2*2 = 8, consequents 2
+        assert net.n_adaptive_parameters == 10

@@ -1,0 +1,60 @@
+"""Tests for repro.appliances.awarepen."""
+
+import numpy as np
+import pytest
+
+from repro.appliances.awarepen import PEN_TOPIC, AwarePen
+from repro.appliances.bus import EventBus
+
+
+@pytest.fixture
+def pen(experiment):
+    return AwarePen(EventBus(), experiment.augmented)
+
+
+class TestAwarePen:
+    def test_process_window_publishes(self, pen, material):
+        received = []
+        pen.bus.subscribe(PEN_TOPIC, received.append)
+        event = pen.process_window(material.evaluation.cues[0], time_s=1.5)
+        assert len(received) == 1
+        assert received[0] is event
+        assert event.source == "awarepen"
+        assert event.time_s == 1.5
+
+    def test_event_matches_augmented_classifier(self, pen, material,
+                                                experiment):
+        cues = material.evaluation.cues[0]
+        event = pen.process_window(cues)
+        direct = experiment.augmented.classify(cues)
+        assert event.context.index == direct.context.index
+        if direct.quality is None:
+            assert event.quality is None
+        else:
+            assert event.quality == pytest.approx(direct.quality)
+
+    def test_history_accumulates(self, pen, material):
+        for cues in material.evaluation.cues[:5]:
+            pen.process_window(cues)
+        assert len(pen.history) == 5
+        assert len(pen.published_events) == 5
+
+    def test_last_quality(self, pen, material):
+        assert pen.last_quality() is None
+        pen.process_window(material.evaluation.cues[0])
+        last = pen.last_quality()
+        assert last is None or 0.0 <= last <= 1.0
+
+    def test_process_stream(self, pen, material, rng):
+        from repro.datasets.activities import evaluation_script
+        from repro.sensors.node import SensorNode
+        node = SensorNode()
+        windows = node.collect(evaluation_script(rng, blocks=1), rng,
+                               pen.augmented.classes)
+        events = pen.process_stream(windows)
+        assert len(events) == len(windows)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_describe(self, pen):
+        assert "AwarePen" in pen.describe()

@@ -1,0 +1,101 @@
+"""Tests for repro.appliances.bus and messages."""
+
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.messages import ContextEvent
+from repro.exceptions import ConfigurationError
+from repro.types import ContextClass
+
+CTX = ContextClass(1, "writing")
+
+
+def make_event(topic="context.pen", quality=0.9):
+    return ContextEvent.create(source="pen", topic=topic, context=CTX,
+                               quality=quality, time_s=1.0)
+
+
+class TestContextEvent:
+    def test_ids_monotonic(self):
+        a = make_event()
+        b = make_event()
+        assert b.event_id > a.event_id
+
+    def test_has_quality(self):
+        assert make_event(quality=0.5).has_quality
+        assert not make_event(quality=None).has_quality
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("context.pen", received.append, name="camera")
+        delivered = bus.publish(make_event())
+        assert delivered == 1
+        assert len(received) == 1
+
+    def test_no_delivery_on_other_topic(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("context.chair", received.append)
+        assert bus.publish(make_event()) == 0
+        assert received == []
+
+    def test_wildcard_prefix(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("context.*", received.append)
+        bus.publish(make_event("context.pen"))
+        bus.publish(make_event("context.chair"))
+        bus.publish(make_event("status.pen"))
+        assert len(received) == 2
+
+    def test_multiple_subscribers(self):
+        bus = EventBus()
+        a, b = [], []
+        bus.subscribe("context.pen", a.append)
+        bus.subscribe("context.*", b.append)
+        assert bus.publish(make_event()) == 2
+        assert len(a) == 1 and len(b) == 1
+
+    def test_failure_isolation(self):
+        """A raising subscriber must not block other deliveries."""
+        bus = EventBus()
+        received = []
+
+        def broken(event):
+            raise RuntimeError("camera offline")
+
+        bus.subscribe("context.pen", broken, name="broken-camera")
+        bus.subscribe("context.pen", received.append, name="good-camera")
+        delivered = bus.publish(make_event())
+        assert delivered == 1
+        assert len(received) == 1
+        errors = bus.delivery_errors
+        assert len(errors) == 1
+        assert errors[0].subscriber == "broken-camera"
+        assert "camera offline" in errors[0].error
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("context.pen", received.append)
+        assert bus.unsubscribe(received.append) == 1
+        bus.publish(make_event())
+        assert received == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventBus().subscribe("", lambda e: None)
+
+    def test_counters(self):
+        bus = EventBus()
+        bus.publish(make_event())
+        bus.publish(make_event())
+        assert bus.n_published == 2
+
+    def test_subscriber_names(self):
+        bus = EventBus()
+        bus.subscribe("context.*", lambda e: None, name="camera")
+        assert bus.subscriber_names() == {"context.*": ["camera"]}

@@ -1,0 +1,116 @@
+"""Tests for repro.appliances.camera — the q-gated whiteboard camera."""
+
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.camera import WhiteboardCamera
+from repro.appliances.messages import ContextEvent
+from repro.core.filtering import EpsilonPolicy, QualityFilter
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import LYING, PLAYING, WRITING
+
+
+def publish(bus, context, quality, time_s):
+    bus.publish(ContextEvent.create(source="pen", topic="context.pen",
+                                    context=context, quality=quality,
+                                    time_s=time_s))
+
+
+class TestUngatedCamera:
+    def test_snapshot_after_writing_session(self):
+        bus = EventBus()
+        camera = WhiteboardCamera(bus, gate=None, min_session_events=2)
+        publish(bus, WRITING, 0.9, 0.0)
+        publish(bus, WRITING, 0.9, 1.0)
+        publish(bus, WRITING, 0.9, 2.0)
+        publish(bus, LYING, 0.9, 3.0)  # session over -> snapshot
+        assert len(camera.snapshots) == 1
+        snap = camera.snapshots[0]
+        assert snap.session_start_s == 0.0
+        assert snap.time_s == 3.0
+        assert snap.n_writing_events == 3
+
+    def test_short_session_debounced(self):
+        bus = EventBus()
+        camera = WhiteboardCamera(bus, gate=None, min_session_events=3)
+        publish(bus, WRITING, 0.9, 0.0)
+        publish(bus, LYING, 0.9, 1.0)
+        assert camera.snapshots == []
+
+    def test_spurious_detection_triggers_false_snapshot(self):
+        """The paper's before-case: a wrong 'writing burst' fools the
+        ungated camera."""
+        bus = EventBus()
+        camera = WhiteboardCamera(bus, gate=None, min_session_events=2)
+        # The pen is actually lying; two wrong low-quality writing events
+        # sneak in and then the correct lying resumes -> bogus snapshot.
+        publish(bus, WRITING, 0.1, 0.0)
+        publish(bus, WRITING, 0.15, 1.0)
+        publish(bus, LYING, 0.9, 2.0)
+        assert len(camera.snapshots) == 1
+
+
+class TestGatedCamera:
+    def test_gate_blocks_low_quality_session(self):
+        bus = EventBus()
+        gate = QualityFilter(threshold=0.6)
+        camera = WhiteboardCamera(bus, gate=gate, min_session_events=2)
+        publish(bus, WRITING, 0.1, 0.0)
+        publish(bus, WRITING, 0.15, 1.0)
+        publish(bus, LYING, 0.9, 2.0)
+        assert camera.snapshots == []
+        assert camera.rejected_events == 2
+
+    def test_gate_passes_high_quality_session(self):
+        bus = EventBus()
+        gate = QualityFilter(threshold=0.6)
+        camera = WhiteboardCamera(bus, gate=gate, min_session_events=2)
+        publish(bus, WRITING, 0.9, 0.0)
+        publish(bus, WRITING, 0.95, 1.0)
+        publish(bus, PLAYING, 0.9, 2.0)
+        assert len(camera.snapshots) == 1
+        assert camera.accepted_events == 3
+
+    def test_epsilon_rejected_by_default(self):
+        bus = EventBus()
+        gate = QualityFilter(threshold=0.6,
+                             epsilon_policy=EpsilonPolicy.REJECT)
+        camera = WhiteboardCamera(bus, gate=gate)
+        publish(bus, WRITING, None, 0.0)
+        assert camera.rejected_events == 1
+
+    def test_epsilon_accepted_with_policy(self):
+        bus = EventBus()
+        gate = QualityFilter(threshold=0.6,
+                             epsilon_policy=EpsilonPolicy.ACCEPT)
+        camera = WhiteboardCamera(bus, gate=gate)
+        publish(bus, WRITING, None, 0.0)
+        assert camera.accepted_events == 1
+
+
+class TestFlush:
+    def test_open_session_closed_at_flush(self):
+        bus = EventBus()
+        camera = WhiteboardCamera(bus, gate=None, min_session_events=2)
+        publish(bus, WRITING, 0.9, 0.0)
+        publish(bus, WRITING, 0.9, 1.0)
+        camera.flush(time_s=2.0)
+        assert len(camera.snapshots) == 1
+        assert camera.snapshots[0].trigger_event_id == -1
+
+    def test_flush_respects_debounce(self):
+        bus = EventBus()
+        camera = WhiteboardCamera(bus, gate=None, min_session_events=5)
+        publish(bus, WRITING, 0.9, 0.0)
+        camera.flush(time_s=1.0)
+        assert camera.snapshots == []
+
+
+class TestValidation:
+    def test_min_session_events(self):
+        with pytest.raises(ConfigurationError):
+            WhiteboardCamera(EventBus(), min_session_events=0)
+
+    def test_describe(self):
+        cam = WhiteboardCamera(EventBus(), gate=QualityFilter(threshold=0.5))
+        assert "gated at s=0.500" in cam.describe()

@@ -1,0 +1,83 @@
+"""Tests for repro.appliances.display — the dashboard appliance."""
+
+import numpy as np
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.display import OfficeDisplay
+from repro.appliances.messages import ContextEvent
+from repro.appliances.situation import WRITING_SESSION
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import WRITING
+from repro.sensors.chair import SITTING
+
+
+def publish(bus, topic, context, quality, time_s=0.0):
+    bus.publish(ContextEvent.create(source=topic.split(".")[-1],
+                                    topic=topic, context=context,
+                                    quality=quality, time_s=time_s))
+
+
+class TestOfficeDisplay:
+    def test_history_validated(self):
+        with pytest.raises(ConfigurationError):
+            OfficeDisplay(EventBus(), history=1)
+
+    def test_records_context_events(self):
+        bus = EventBus()
+        display = OfficeDisplay(bus)
+        publish(bus, "context.pen", WRITING, 0.9, 1.0)
+        publish(bus, "context.chair", SITTING, 0.7, 1.0)
+        assert display.mean_quality("context.pen") == pytest.approx(0.9)
+        assert display.mean_quality("context.chair") == pytest.approx(0.7)
+
+    def test_epsilon_counted_but_excluded_from_mean(self):
+        bus = EventBus()
+        display = OfficeDisplay(bus)
+        publish(bus, "context.pen", WRITING, None)
+        publish(bus, "context.pen", WRITING, 0.8)
+        assert display.mean_quality("context.pen") == pytest.approx(0.8)
+        assert display._panels["context.pen"].n_epsilon == 1
+
+    def test_unknown_source_mean_is_none(self):
+        display = OfficeDisplay(EventBus())
+        assert display.mean_quality("context.nothing") is None
+
+    def test_history_ring_buffer(self):
+        bus = EventBus()
+        display = OfficeDisplay(bus, history=5)
+        for k in range(10):
+            publish(bus, "context.pen", WRITING, k / 10.0)
+        panel = display._panels["context.pen"]
+        assert len(panel.history) == 5
+        np.testing.assert_allclose(list(panel.history),
+                                   [0.5, 0.6, 0.7, 0.8, 0.9])
+
+    def test_situation_tracked(self):
+        bus = EventBus()
+        display = OfficeDisplay(bus)
+        bus.publish(ContextEvent.create(
+            source="detector", topic="situation.office",
+            context=WRITING_SESSION, quality=0.8, time_s=3.0))
+        assert display._situation == "writing-session"
+
+    def test_render_contains_everything(self):
+        bus = EventBus()
+        display = OfficeDisplay(bus)
+        publish(bus, "context.pen", WRITING, 0.9)
+        bus.publish(ContextEvent.create(
+            source="detector", topic="situation.office",
+            context=WRITING_SESSION, quality=0.8, time_s=3.0))
+        text = display.render()
+        assert "situation: writing-session" in text
+        assert "context.pen" in text
+        assert "writing" in text
+        assert "mean 0.90" in text
+
+    def test_render_before_any_events(self):
+        display = OfficeDisplay(EventBus())
+        assert "(none yet)" in display.render()
+
+    def test_describe(self):
+        display = OfficeDisplay(EventBus())
+        assert "OfficeDisplay" in display.describe()

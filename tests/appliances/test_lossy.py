@@ -1,0 +1,99 @@
+"""Tests for repro.appliances.lossy — RF-channel loss simulation."""
+
+import numpy as np
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.lossy import LossyBus
+from repro.appliances.messages import ContextEvent
+from repro.appliances.situation import SituationDetector, WRITING_SESSION
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import WRITING
+from repro.sensors.chair import SITTING
+from repro.types import ContextClass
+
+CTX = ContextClass(1, "writing")
+
+
+def make_event(topic="context.pen", quality=0.9, time_s=0.0):
+    return ContextEvent.create(source="pen", topic=topic, context=CTX,
+                               quality=quality, time_s=time_s)
+
+
+class TestValidation:
+    def test_rates(self):
+        with pytest.raises(ConfigurationError):
+            LossyBus(drop_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LossyBus(duplicate_rate=-0.1)
+
+
+class TestLossSemantics:
+    def test_zero_loss_behaves_like_event_bus(self):
+        bus = LossyBus(drop_rate=0.0)
+        received = []
+        bus.subscribe("context.pen", received.append)
+        for _ in range(20):
+            bus.publish(make_event())
+        assert len(received) == 20
+        assert bus.n_dropped == 0
+
+    def test_loss_rate_approximated(self):
+        bus = LossyBus(drop_rate=0.3, seed=1)
+        received = []
+        bus.subscribe("context.pen", received.append)
+        for _ in range(2000):
+            bus.publish(make_event())
+        assert 0.25 < bus.loss_fraction < 0.35
+        assert len(received) == bus.n_published
+
+    def test_duplicates(self):
+        bus = LossyBus(drop_rate=0.0, duplicate_rate=0.5, seed=2)
+        received = []
+        bus.subscribe("context.pen", received.append)
+        for _ in range(400):
+            bus.publish(make_event())
+        assert bus.n_duplicated > 100
+        assert len(received) == 400 + bus.n_duplicated
+
+    def test_deterministic_given_seed(self):
+        def run():
+            bus = LossyBus(drop_rate=0.4, seed=7)
+            count = []
+            bus.subscribe("context.pen", count.append)
+            for _ in range(100):
+                bus.publish(make_event())
+            return len(count)
+
+        assert run() == run()
+
+
+class TestDetectorUnderLoss:
+    def test_situation_detection_survives_packet_loss(self):
+        """The situation detector's belief aggregation must tolerate a
+        lossy RF channel — consistent evidence eventually dominates even
+        when a third of the packets vanish."""
+        bus = LossyBus(drop_rate=0.35, seed=11)
+        detector = SituationDetector(bus, decay=0.7)
+        for step in range(40):
+            bus.publish(ContextEvent.create(
+                source="pen", topic="context.pen", context=WRITING,
+                quality=0.9, time_s=float(step)))
+            bus.publish(ContextEvent.create(
+                source="chair", topic="context.chair", context=SITTING,
+                quality=0.9, time_s=float(step)))
+        assert detector.current is not None
+        assert detector.current.situation is WRITING_SESSION
+        assert bus.n_dropped > 0
+
+    def test_duplicates_do_not_flip_situation(self):
+        bus = LossyBus(drop_rate=0.0, duplicate_rate=0.5, seed=3)
+        detector = SituationDetector(bus, decay=0.7)
+        for step in range(20):
+            bus.publish(ContextEvent.create(
+                source="pen", topic="context.pen", context=WRITING,
+                quality=0.9, time_s=float(step)))
+            bus.publish(ContextEvent.create(
+                source="chair", topic="context.chair", context=SITTING,
+                quality=0.9, time_s=float(step)))
+        assert detector.current.situation is WRITING_SESSION

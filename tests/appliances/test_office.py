@@ -1,0 +1,80 @@
+"""Tests for repro.appliances.office — the integrated AwareOffice."""
+
+import numpy as np
+import pytest
+
+from repro.appliances.base import Appliance
+from repro.appliances.office import AwareOffice
+from repro.core.filtering import QualityFilter
+from repro.datasets.activities import evaluation_script
+from repro.exceptions import ConfigurationError
+
+
+class RecorderAppliance(Appliance):
+    """Test appliance: records every pen event."""
+
+    def __init__(self, bus, name="recorder"):
+        super().__init__(name=name, bus=bus)
+        self.events = []
+        bus.subscribe("context.*", self.events.append, name=name)
+
+    def describe(self):
+        return "recorder"
+
+
+class TestAwareOffice:
+    def test_run_scenario(self, experiment, rng):
+        office = AwareOffice(experiment.augmented,
+                             gate=QualityFilter(experiment.threshold))
+        report = office.run_scenario(evaluation_script(rng, blocks=2), rng)
+        assert report.n_windows > 0
+        assert (report.correct_decisions + report.wrong_decisions
+                == report.n_windows)
+        assert (report.accepted_events + report.rejected_events
+                == report.n_windows)
+
+    def test_gated_office_rejects_some_events(self, experiment, rng):
+        office = AwareOffice(experiment.augmented,
+                             gate=QualityFilter(experiment.threshold))
+        report = office.run_scenario(evaluation_script(rng, blocks=3), rng)
+        assert report.rejected_events > 0
+
+    def test_ungated_office_accepts_everything(self, experiment, rng):
+        office = AwareOffice(experiment.augmented, gate=None)
+        report = office.run_scenario(evaluation_script(rng, blocks=2), rng)
+        assert report.rejected_events == 0
+        assert report.accepted_events == report.n_windows
+
+    def test_writing_sessions_photographed(self, experiment, rng):
+        office = AwareOffice(experiment.augmented,
+                             gate=QualityFilter(experiment.threshold))
+        report = office.run_scenario(evaluation_script(rng, blocks=3), rng)
+        # The scenario contains real writing sessions; at least one must
+        # survive the gate and be photographed.
+        assert report.n_snapshots >= 1
+
+    def test_extra_appliances(self, experiment, rng):
+        office = AwareOffice(experiment.augmented)
+        recorder = RecorderAppliance(office.bus)
+        office.add_appliance(recorder)
+        assert recorder in office.appliances()
+        office.run_scenario(evaluation_script(rng, blocks=1), rng)
+        assert len(recorder.events) > 0
+
+    def test_duplicate_appliance_name_rejected(self, experiment):
+        office = AwareOffice(experiment.augmented)
+        office.add_appliance(RecorderAppliance(office.bus, name="r"))
+        with pytest.raises(ConfigurationError):
+            office.add_appliance(RecorderAppliance(office.bus, name="r"))
+
+    def test_pen_accuracy_reported(self, experiment, rng):
+        office = AwareOffice(experiment.augmented)
+        report = office.run_scenario(evaluation_script(rng, blocks=2), rng)
+        assert 0.0 <= report.pen_accuracy <= 1.0
+
+
+class TestApplianceBase:
+    def test_name_required(self, experiment):
+        office = AwareOffice(experiment.augmented)
+        with pytest.raises(ConfigurationError):
+            RecorderAppliance(office.bus, name="")

@@ -1,0 +1,191 @@
+"""Tests for repro.appliances.situation — higher-level fusion (paper §5)."""
+
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.messages import ContextEvent
+from repro.appliances.situation import (DISCUSSION, IDLE, SITUATION_TOPIC,
+                                        SituationDetector, WRITING_SESSION)
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import LYING, PLAYING, WRITING
+from repro.sensors.chair import EMPTY, FIDGETING, SITTING
+
+
+def publish(bus, topic, context, quality, time_s=0.0):
+    bus.publish(ContextEvent.create(source=topic.split(".")[-1],
+                                    topic=topic, context=context,
+                                    quality=quality, time_s=time_s))
+
+
+@pytest.fixture
+def office_bus():
+    bus = EventBus()
+    detector = SituationDetector(bus, decay=0.5)
+    return bus, detector
+
+
+class TestConfiguration:
+    def test_requires_pen_and_chair(self):
+        with pytest.raises(ConfigurationError):
+            SituationDetector(EventBus(), source_topics={"pen": "context.pen"})
+
+    def test_min_quality_validated(self):
+        with pytest.raises(ConfigurationError):
+            SituationDetector(EventBus(), min_quality=1.5)
+
+    def test_describe(self, office_bus):
+        _, detector = office_bus
+        assert "SituationDetector" in detector.describe()
+
+
+class TestRuleEvaluation:
+    def test_writing_plus_sitting_is_writing_session(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", WRITING, 0.9)
+        publish(bus, "context.chair", SITTING, 0.9)
+        assert detector.current is not None
+        assert detector.current.situation.name == "writing-session"
+
+    def test_occupied_chair_quiet_pen_is_discussion(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", LYING, 0.9)
+        publish(bus, "context.chair", FIDGETING, 0.9)
+        assert detector.current.situation is DISCUSSION
+
+    def test_everything_still_is_idle(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", LYING, 0.9)
+        publish(bus, "context.chair", EMPTY, 0.9)
+        assert detector.current.situation is IDLE
+
+    def test_no_decision_before_both_sources_report(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", WRITING, 0.9)
+        assert detector.current is None
+
+    def test_situation_changes_follow_evidence(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", LYING, 0.9)
+        publish(bus, "context.chair", EMPTY, 0.9)
+        assert detector.current.situation is IDLE
+        # Someone sits down and starts writing.
+        for _ in range(4):
+            publish(bus, "context.chair", SITTING, 0.9)
+            publish(bus, "context.pen", WRITING, 0.9)
+        assert detector.current.situation is WRITING_SESSION
+        history = [c.name for c in detector.situation_history()]
+        # A transient 'discussion' may appear while the chair has flipped
+        # to sitting but the pen's belief still says lying.
+        assert history[0] == "idle"
+        assert history[-1] == "writing-session"
+        assert set(history) <= {"idle", "discussion", "writing-session"}
+
+
+class TestQualityGate:
+    def test_low_quality_events_ignored(self):
+        """The §5 point: the processor believes only trustworthy input."""
+        bus = EventBus()
+        detector = SituationDetector(bus, min_quality=0.6, decay=0.5)
+        publish(bus, "context.pen", LYING, 0.9)
+        publish(bus, "context.chair", EMPTY, 0.9)
+        assert detector.current.situation is IDLE
+        # A burst of *low-quality* wrong writing detections must not
+        # flip the situation.
+        for _ in range(5):
+            publish(bus, "context.pen", WRITING, 0.2)
+        assert detector.current.situation is IDLE
+        assert detector.ignored_events == 5
+
+    def test_epsilon_events_ignored(self):
+        bus = EventBus()
+        detector = SituationDetector(bus, decay=0.5)
+        publish(bus, "context.pen", WRITING, None)
+        publish(bus, "context.chair", SITTING, 0.9)
+        assert detector.current is None
+        assert detector.ignored_events == 1
+
+    def test_confidence_reflects_source_shares(self, office_bus):
+        bus, detector = office_bus
+        publish(bus, "context.pen", WRITING, 0.9)
+        publish(bus, "context.chair", SITTING, 0.9)
+        unanimous = detector.current.confidence
+        # Conflicting chair evidence lowers the chair share.
+        publish(bus, "context.chair", EMPTY, 0.9)
+        publish(bus, "context.chair", SITTING, 0.9)
+        assert detector.current.confidence <= unanimous + 1e-9
+
+
+class TestPublication:
+    def test_publishes_only_on_change(self, office_bus):
+        bus, detector = office_bus
+        received = []
+        bus.subscribe(SITUATION_TOPIC, received.append, name="display")
+        for _ in range(3):
+            publish(bus, "context.pen", WRITING, 0.9)
+            publish(bus, "context.chair", SITTING, 0.9)
+        assert len(received) == 1
+        assert received[0].context is WRITING_SESSION
+        assert received[0].quality is not None
+
+
+class TestEndToEndWithRealAppliances:
+    def test_office_with_pen_and_chair(self, experiment, rng):
+        """Full pipeline: two sensing appliances with their own CQMs feed
+        the situation detector."""
+        import numpy as np
+
+        from repro.appliances.awarepen import AwarePen
+        from repro.appliances.chair import AwareChair
+        from repro.classifiers import NearestCentroidClassifier
+        from repro.core import (ConstructionConfig,
+                                QualityAugmentedClassifier,
+                                build_quality_measure)
+        from repro.datasets.generator import generate_dataset
+        from repro.sensors.chair import AWARECHAIR_CLASSES, CHAIR_MODELS
+        from repro.sensors.node import Segment, SensorNode
+
+        def chair_script(script_rng, repetitions=4):
+            segments = []
+            for _ in range(repetitions):
+                for name in ("empty", "sitting", "fidgeting"):
+                    segments.append(Segment(
+                        CHAIR_MODELS[name],
+                        duration_s=float(script_rng.uniform(4, 7))))
+            return segments
+
+        chair_train = generate_dataset(chair_script, seed=70,
+                                       classes=AWARECHAIR_CLASSES)
+        chair_quality_train = generate_dataset(chair_script, seed=71,
+                                               classes=AWARECHAIR_CLASSES)
+        chair_check = generate_dataset(
+            lambda r: chair_script(r, repetitions=2), seed=72,
+            classes=AWARECHAIR_CLASSES)
+
+        chair_clf = NearestCentroidClassifier(AWARECHAIR_CLASSES)
+        chair_clf.fit(chair_train.cues, chair_train.labels)
+        chair_cqm = build_quality_measure(
+            chair_clf, chair_quality_train, chair_check,
+            config=ConstructionConfig(epochs=15))
+        chair_augmented = QualityAugmentedClassifier(chair_clf,
+                                                     chair_cqm.quality)
+
+        bus = EventBus()
+        pen = AwarePen(bus, experiment.augmented)
+        chair = AwareChair(bus, chair_augmented)
+        detector = SituationDetector(bus, min_quality=0.3, decay=0.6)
+
+        node = SensorNode()
+        # A writing session: pen writes, someone sits.
+        from repro.sensors.accelerometer import ACTIVITY_MODELS
+        pen_windows = node.collect(
+            [Segment(ACTIVITY_MODELS["writing"], duration_s=10.0)],
+            np.random.default_rng(1), experiment.augmented.classes)
+        chair_windows = node.collect(
+            [Segment(CHAIR_MODELS["sitting"], duration_s=10.0)],
+            np.random.default_rng(2), AWARECHAIR_CLASSES)
+        for pw, cw in zip(pen_windows, chair_windows):
+            pen.process_window(pw.cues, time_s=pw.time_s)
+            chair.process_window(cw.cues, time_s=cw.time_s)
+
+        assert detector.current is not None
+        assert detector.current.situation is WRITING_SESSION

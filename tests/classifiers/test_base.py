@@ -1,0 +1,87 @@
+"""Tests for repro.classifiers.base — the black-box interface."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import ContextClassifier
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.types import Classification, ContextClass
+
+
+class ThresholdClassifier(ContextClassifier):
+    """Test double: class 1 when the first cue exceeds 0.5, else class 0."""
+
+    def fit(self, x, y):
+        self._validate_training(x, y)
+        self._mark_fitted()
+        return self
+
+    def predict_indices(self, x):
+        self._require_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return (x[:, 0] > 0.5).astype(int)
+
+
+@pytest.fixture
+def classes():
+    return (ContextClass(0, "low"), ContextClass(1, "high"))
+
+
+@pytest.fixture
+def fitted(classes):
+    clf = ThresholdClassifier(classes)
+    return clf.fit(np.array([[0.1], [0.9]]), np.array([0, 1]))
+
+
+class TestRegistration:
+    def test_needs_two_classes(self, classes):
+        with pytest.raises(ConfigurationError):
+            ThresholdClassifier(classes[:1])
+
+    def test_unique_indices(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClassifier((ContextClass(0, "a"), ContextClass(0, "b")))
+
+    def test_class_lookup(self, fitted, classes):
+        assert fitted.class_for_index(1) is fitted.classes[1]
+        with pytest.raises(KeyError):
+            fitted.class_for_index(9)
+
+
+class TestFitValidation:
+    def test_label_outside_classes(self, classes):
+        clf = ThresholdClassifier(classes)
+        with pytest.raises(ConfigurationError):
+            clf.fit(np.array([[0.1]]), np.array([7]))
+
+    def test_xy_mismatch(self, classes):
+        clf = ThresholdClassifier(classes)
+        with pytest.raises(ConfigurationError):
+            clf.fit(np.zeros((3, 1)), np.zeros(2, dtype=int))
+
+
+class TestClassify:
+    def test_requires_fit(self, classes):
+        clf = ThresholdClassifier(classes)
+        with pytest.raises(NotFittedError):
+            clf.classify(np.array([0.3]))
+
+    def test_classification_object(self, fitted):
+        result = fitted.classify(np.array([0.9]))
+        assert isinstance(result, Classification)
+        assert result.context.name == "high"
+        np.testing.assert_allclose(result.cues, [0.9])
+
+    def test_quality_input_appends_class(self, fitted):
+        result = fitted.classify(np.array([0.9]))
+        np.testing.assert_allclose(result.quality_input, [0.9, 1.0])
+
+    def test_batch(self, fitted):
+        results = fitted.classify_batch(np.array([[0.1], [0.9], [0.6]]))
+        assert [r.context.index for r in results] == [0, 1, 1]
+
+    def test_batch_copies_cues(self, fitted):
+        x = np.array([[0.1], [0.9]])
+        results = fitted.classify_batch(x)
+        x[0, 0] = 99.0
+        assert results[0].cues[0] == 0.1

@@ -1,0 +1,61 @@
+"""Tests for repro.classifiers.centroid."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.centroid import NearestCentroidClassifier
+from repro.exceptions import NotFittedError, TrainingError
+
+
+class TestNearestCentroid:
+    def test_separates_blobs(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = NearestCentroidClassifier(three_classes).fit(x, y)
+        assert np.mean(clf.predict_indices(x) == y) > 0.95
+
+    def test_requires_fit(self, three_classes):
+        clf = NearestCentroidClassifier(three_classes)
+        with pytest.raises(NotFittedError):
+            clf.predict_indices(np.zeros((1, 3)))
+
+    def test_every_class_needs_samples(self, three_classes, rng):
+        clf = NearestCentroidClassifier(three_classes)
+        x = rng.normal(size=(10, 3))
+        y = np.array([0] * 5 + [1] * 5)  # class 2 missing
+        with pytest.raises(TrainingError):
+            clf.fit(x, y)
+
+    def test_standardization_changes_geometry(self, three_classes, rng):
+        # One dominating feature: standardization must rescale it.
+        x = np.vstack([
+            np.column_stack([rng.normal(0, 1, 30),
+                             rng.normal(0, 1000, 30),
+                             rng.normal(0, 1, 30)]),
+            np.column_stack([rng.normal(4, 1, 30),
+                             rng.normal(0, 1000, 30),
+                             rng.normal(4, 1, 30)]),
+            np.column_stack([rng.normal(-4, 1, 30),
+                             rng.normal(0, 1000, 30),
+                             rng.normal(-4, 1, 30)]),
+        ])
+        y = np.repeat([0, 1, 2], 30)
+        std = NearestCentroidClassifier(three_classes,
+                                        standardize=True).fit(x, y)
+        raw = NearestCentroidClassifier(three_classes,
+                                        standardize=False).fit(x, y)
+        acc_std = np.mean(std.predict_indices(x) == y)
+        acc_raw = np.mean(raw.predict_indices(x) == y)
+        assert acc_std > acc_raw
+
+    def test_single_vector(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = NearestCentroidClassifier(three_classes).fit(x, y)
+        assert clf.predict_indices(x[0]).shape == (1,)
+
+    def test_constant_feature_no_nan(self, three_classes, rng):
+        x = rng.normal(size=(60, 3))
+        x[:, 2] = 5.0  # zero-variance column
+        y = np.repeat([0, 1, 2], 20)
+        clf = NearestCentroidClassifier(three_classes).fit(x, y)
+        predictions = clf.predict_indices(x)
+        assert np.all(np.isin(predictions, [0, 1, 2]))

@@ -1,0 +1,106 @@
+"""Tests for repro.classifiers.fuzzy_classifier — the AwarePen TSK-FIS."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.fuzzy_classifier import TSKClassifier
+from repro.exceptions import ConfigurationError, NotFittedError, TrainingError
+from repro.types import ContextClass
+
+
+@pytest.fixture
+def classes(three_classes):
+    return three_classes
+
+
+class TestConfiguration:
+    def test_mode_validated(self, classes):
+        with pytest.raises(ConfigurationError):
+            TSKClassifier(classes, mode="softmax")
+
+    def test_radius_positive(self, classes):
+        with pytest.raises(ConfigurationError):
+            TSKClassifier(classes, radius=0.0)
+
+    def test_refine_epochs_nonnegative(self, classes):
+        with pytest.raises(ConfigurationError):
+            TSKClassifier(classes, refine_epochs=-1)
+
+
+@pytest.mark.parametrize("mode", ["index", "one-vs-rest"])
+class TestBothModes:
+    def test_fits_and_separates_blobs(self, classes, blob_data, mode):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode=mode).fit(x, y)
+        predictions = clf.predict_indices(x)
+        assert np.mean(predictions == y) > 0.95
+
+    def test_predict_before_fit(self, classes, mode):
+        clf = TSKClassifier(classes, mode=mode)
+        with pytest.raises(NotFittedError):
+            clf.predict_indices(np.zeros((1, 3)))
+
+    def test_single_vector_prediction(self, classes, blob_data, mode):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode=mode).fit(x, y)
+        idx = clf.predict_indices(x[0])
+        assert idx.shape == (1,)
+
+    def test_predictions_are_valid_indices(self, classes, blob_data, mode):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode=mode).fit(x, y)
+        rng = np.random.default_rng(0)
+        wild = rng.normal(0, 10, size=(50, 3))
+        predictions = clf.predict_indices(wild)
+        assert set(predictions) <= {0, 1, 2}
+
+    def test_n_rules_positive(self, classes, blob_data, mode):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode=mode).fit(x, y)
+        assert clf.n_rules >= 1
+
+    def test_describe(self, classes, blob_data, mode):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode=mode).fit(x, y)
+        assert "IF " in clf.describe()
+
+
+class TestModeSpecific:
+    def test_single_class_training_rejected(self, classes, rng):
+        clf = TSKClassifier(classes)
+        x = rng.normal(size=(10, 3))
+        with pytest.raises(TrainingError):
+            clf.fit(x, np.zeros(10, dtype=int))
+
+    def test_decision_scores_shape(self, classes, blob_data):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode="one-vs-rest").fit(x, y)
+        scores = clf.decision_scores(x[:5])
+        assert scores.shape == (5, 3)
+        # The winning score column matches the prediction.
+        order = np.array([c.index for c in clf.classes])
+        np.testing.assert_array_equal(order[np.argmax(scores, axis=1)],
+                                      clf.predict_indices(x[:5]))
+
+    def test_decision_scores_index_mode_rejected(self, classes, blob_data):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode="index").fit(x, y)
+        with pytest.raises(ConfigurationError):
+            clf.decision_scores(x[:2])
+
+    def test_index_mode_snaps_to_valid_indices(self, classes, blob_data):
+        # With non-contiguous class indices the regression output must
+        # snap to the nearest *registered* index, never an in-between int.
+        sparse = (ContextClass(0, "a"), ContextClass(5, "b"),
+                  ContextClass(9, "c"))
+        x, y = blob_data
+        y_sparse = np.array([0, 5, 9])[y]
+        clf = TSKClassifier(sparse, mode="index").fit(x, y_sparse)
+        predictions = clf.predict_indices(x)
+        assert set(predictions) <= {0, 5, 9}
+
+    def test_refinement_runs(self, classes, blob_data):
+        x, y = blob_data
+        clf = TSKClassifier(classes, mode="index", refine_epochs=3).fit(x, y)
+        assert len(clf.training_reports) == 1
+        assert clf.training_reports[0].n_epochs == 3

@@ -1,0 +1,53 @@
+"""Tests for repro.classifiers.knn."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.knn import KNNClassifier
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestKNN:
+    def test_k_validated(self, three_classes):
+        with pytest.raises(ConfigurationError):
+            KNNClassifier(three_classes, k=0)
+
+    def test_requires_fit(self, three_classes):
+        with pytest.raises(NotFittedError):
+            KNNClassifier(three_classes).predict_indices(np.zeros((1, 3)))
+
+    def test_separates_blobs(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = KNNClassifier(three_classes, k=5).fit(x, y)
+        assert np.mean(clf.predict_indices(x) == y) > 0.95
+
+    def test_k_one_memorizes_training_data(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = KNNClassifier(three_classes, k=1).fit(x, y)
+        np.testing.assert_array_equal(clf.predict_indices(x), y)
+
+    def test_k_clipped_to_dataset(self, three_classes):
+        x = np.array([[0.0, 0, 0], [5.0, 5, 5], [0.1, 0, 0]])
+        y = np.array([0, 1, 0])
+        clf = KNNClassifier(three_classes, k=50).fit(x, y)
+        # k clipped to 3; majority of all three votes is class 0.
+        assert clf.predict_indices(np.array([[0.0, 0.0, 0.0]]))[0] == 0
+
+    def test_tie_break_prefers_nearer_class(self, three_classes):
+        # Two votes each at k=2: class of the nearer neighbour wins.
+        x = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        y = np.array([0, 1])
+        clf = KNNClassifier(three_classes, k=2, standardize=False).fit(x, y)
+        assert clf.predict_indices(np.array([[0.2, 0.0, 0.0]]))[0] == 0
+        assert clf.predict_indices(np.array([[0.8, 0.0, 0.0]]))[0] == 1
+
+    def test_single_vector(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = KNNClassifier(three_classes).fit(x, y)
+        assert clf.predict_indices(x[0]).shape == (1,)
+
+    def test_deterministic(self, three_classes, blob_data):
+        x, y = blob_data
+        a = KNNClassifier(three_classes).fit(x, y).predict_indices(x)
+        b = KNNClassifier(three_classes).fit(x, y).predict_indices(x)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,98 @@
+"""Tests for repro.classifiers.mlp."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.mlp import MLPClassifier
+from repro.exceptions import (ConfigurationError, NotFittedError,
+                              TrainingError)
+
+
+class TestValidation:
+    def test_parameters(self, three_classes):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(three_classes, hidden=0)
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(three_classes, epochs=0)
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(three_classes, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(three_classes, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(three_classes, l2=-0.1)
+
+    def test_requires_fit(self, three_classes):
+        with pytest.raises(NotFittedError):
+            MLPClassifier(three_classes).predict_indices(np.zeros((1, 3)))
+
+    def test_single_class_rejected(self, three_classes, rng):
+        clf = MLPClassifier(three_classes)
+        with pytest.raises(TrainingError):
+            clf.fit(rng.normal(size=(10, 3)), np.zeros(10, dtype=int))
+
+
+class TestLearning:
+    def test_separates_blobs(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = MLPClassifier(three_classes, epochs=200).fit(x, y)
+        assert np.mean(clf.predict_indices(x) == y) > 0.95
+
+    def test_loss_decreases(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = MLPClassifier(three_classes, epochs=100).fit(x, y)
+        assert clf.loss_history[-1] < clf.loss_history[0]
+
+    def test_probabilities_sum_to_one(self, three_classes, blob_data):
+        x, y = blob_data
+        clf = MLPClassifier(three_classes).fit(x, y)
+        probs = clf.predict_proba(x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_deterministic_given_seed(self, three_classes, blob_data):
+        x, y = blob_data
+        a = MLPClassifier(three_classes, seed=5).fit(x, y)
+        b = MLPClassifier(three_classes, seed=5).fit(x, y)
+        np.testing.assert_array_equal(a.predict_indices(x),
+                                      b.predict_indices(x))
+
+    def test_learns_nonlinear_boundary(self, rng):
+        """XOR-style problem no linear classifier can solve."""
+        from repro.types import ContextClass
+        classes = (ContextClass(0, "a"), ContextClass(1, "b"))
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(classes, hidden=24, epochs=800,
+                            learning_rate=0.3).fit(x, y)
+        assert np.mean(clf.predict_indices(x) == y) > 0.9
+
+    def test_sparse_class_indices(self, blob_data):
+        from repro.types import ContextClass
+        sparse = (ContextClass(2, "a"), ContextClass(7, "b"),
+                  ContextClass(11, "c"))
+        x, y = blob_data
+        y_sparse = np.array([2, 7, 11])[y]
+        clf = MLPClassifier(sparse).fit(x, y_sparse)
+        assert set(clf.predict_indices(x)) <= {2, 7, 11}
+
+
+class TestCQMCompatibility:
+    def test_quality_attaches_to_mlp(self, material):
+        """The CQM pipeline treats the MLP as just another black box."""
+        from repro.core import (ConstructionConfig,
+                                QualityAugmentedClassifier,
+                                build_quality_measure, calibrate)
+        from repro.stats.metrics import auc
+
+        clf = MLPClassifier(material.classes, epochs=200)
+        clf.fit(material.classifier_train.cues,
+                material.classifier_train.labels)
+        result = build_quality_measure(
+            clf, material.quality_train, material.quality_check,
+            config=ConstructionConfig(epochs=20))
+        augmented = QualityAugmentedClassifier(clf, result.quality)
+        calibration = calibrate(augmented, material.analysis)
+        usable = calibration.data.usable
+        score = auc(calibration.data.qualities[usable],
+                    calibration.data.correct[usable])
+        assert score > 0.65

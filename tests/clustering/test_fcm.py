@@ -1,0 +1,97 @@
+"""Tests for repro.clustering.fcm (fuzzy c-means)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.fcm import FuzzyCMeans
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+def make_blobs(rng, centers, n=40, spread=0.15):
+    return np.vstack([rng.normal(c, spread, size=(n, len(c)))
+                      for c in centers])
+
+
+class TestValidation:
+    def test_n_clusters_positive(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyCMeans(n_clusters=0)
+
+    def test_fuzzifier_above_one(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyCMeans(n_clusters=2, m=1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(TrainingError):
+            FuzzyCMeans(n_clusters=5, seed=0).fit(np.zeros((3, 2)))
+
+    def test_bad_initial_centers_shape(self, rng):
+        x = rng.normal(size=(20, 2))
+        with pytest.raises(ConfigurationError):
+            FuzzyCMeans(n_clusters=2, seed=0).fit(
+                x, initial_centers=np.zeros((3, 2)))
+
+
+class TestClustering:
+    def test_memberships_are_a_partition(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 4)])
+        result = FuzzyCMeans(n_clusters=2, seed=0).fit(x)
+        np.testing.assert_allclose(result.memberships.sum(axis=1), 1.0)
+        assert np.all(result.memberships >= 0)
+
+    def test_finds_blob_centers(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (4.0, 4.0)])
+        result = FuzzyCMeans(n_clusters=2, seed=0).fit(x)
+        for true in [(0.0, 0.0), (4.0, 4.0)]:
+            d = np.linalg.norm(result.centers - np.array(true), axis=1)
+            assert np.min(d) < 0.3
+
+    def test_hard_labels_separate_blobs(self, rng):
+        x = make_blobs(rng, [(0, 0), (5, 5)], n=30)
+        result = FuzzyCMeans(n_clusters=2, seed=0).fit(x)
+        labels = result.hard_labels()
+        first = labels[:30]
+        second = labels[30:]
+        # Each blob gets a single consistent label.
+        assert len(np.unique(first)) == 1
+        assert len(np.unique(second)) == 1
+        assert first[0] != second[0]
+
+    def test_converges(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 4)])
+        result = FuzzyCMeans(n_clusters=2, seed=0, max_iter=300).fit(x)
+        assert result.converged
+        assert result.n_iterations < 300
+
+    def test_deterministic_given_seed(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 4)])
+        a = FuzzyCMeans(n_clusters=2, seed=42).fit(x)
+        b = FuzzyCMeans(n_clusters=2, seed=42).fit(x)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+    def test_initial_centers_respected(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 4)])
+        init = np.array([[0.0, 0.0], [4.0, 4.0]])
+        result = FuzzyCMeans(n_clusters=2, seed=0).fit(x,
+                                                       initial_centers=init)
+        # With perfect initialization order is preserved.
+        assert np.linalg.norm(result.centers[0] - init[0]) < 0.5
+
+    def test_point_on_center_gets_full_membership(self):
+        x = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0], [5.0, 5.0]])
+        result = FuzzyCMeans(n_clusters=2, seed=1).fit(x)
+        top = result.memberships.max(axis=1)
+        np.testing.assert_allclose(top, 1.0, atol=1e-6)
+
+    def test_objective_is_finite_and_nonnegative(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 4)])
+        result = FuzzyCMeans(n_clusters=2, seed=0).fit(x)
+        assert np.isfinite(result.objective)
+        assert result.objective >= 0
+
+    def test_higher_fuzzifier_softer_partition(self, rng):
+        x = make_blobs(rng, [(0, 0), (2, 2)], spread=0.4)
+        crisp = FuzzyCMeans(n_clusters=2, m=1.5, seed=0).fit(x)
+        soft = FuzzyCMeans(n_clusters=2, m=4.0, seed=0).fit(x)
+        assert soft.memberships.max(axis=1).mean() <= (
+            crisp.memberships.max(axis=1).mean() + 1e-9)

@@ -1,0 +1,92 @@
+"""Tests for repro.clustering.gk — Gustafson-Kessel clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.gk import GustafsonKessel
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+def elongated_blobs(rng):
+    """Two ellipsoidal clusters that plain FCM's spherical metric blurs."""
+    cov = np.array([[2.0, 0.0], [0.0, 0.02]])
+    a = rng.multivariate_normal([0, 0], cov, size=60)
+    b = rng.multivariate_normal([0, 2.0], cov, size=60)
+    return np.vstack([a, b])
+
+
+class TestValidation:
+    def test_n_clusters(self):
+        with pytest.raises(ConfigurationError):
+            GustafsonKessel(n_clusters=0)
+
+    def test_fuzzifier(self):
+        with pytest.raises(ConfigurationError):
+            GustafsonKessel(n_clusters=2, m=1.0)
+
+    def test_regularization(self):
+        with pytest.raises(ConfigurationError):
+            GustafsonKessel(n_clusters=2, regularization=-1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(TrainingError):
+            GustafsonKessel(n_clusters=5, seed=0).fit(np.zeros((2, 2)))
+
+    def test_data_2d(self):
+        with pytest.raises(ConfigurationError):
+            GustafsonKessel(n_clusters=2, seed=0).fit(np.zeros(5))
+
+
+class TestClustering:
+    def test_partition_property(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        np.testing.assert_allclose(result.memberships.sum(axis=1), 1.0)
+
+    def test_separates_elongated_clusters(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        labels = result.hard_labels()
+        first, second = labels[:60], labels[60:]
+        purity_a = max(np.mean(first == 0), np.mean(first == 1))
+        purity_b = max(np.mean(second == 0), np.mean(second == 1))
+        assert purity_a > 0.9
+        assert purity_b > 0.9
+
+    def test_centers_near_truth(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        for true in ([0.0, 0.0], [0.0, 2.0]):
+            d = np.linalg.norm(result.centers - np.array(true), axis=1)
+            assert np.min(d) < 0.5
+
+    def test_covariances_capture_anisotropy(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        for cov in result.covariances:
+            eigenvalues = np.sort(np.linalg.eigvalsh(cov))
+            assert eigenvalues[-1] > 10 * eigenvalues[0]
+
+    def test_converges(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        assert result.converged
+
+    def test_deterministic(self, rng):
+        x = elongated_blobs(rng)
+        a = GustafsonKessel(n_clusters=2, seed=3).fit(x)
+        b = GustafsonKessel(n_clusters=2, seed=3).fit(x)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+    def test_objective_finite(self, rng):
+        x = elongated_blobs(rng)
+        result = GustafsonKessel(n_clusters=2, seed=0).fit(x)
+        assert np.isfinite(result.objective)
+        assert result.objective >= 0
+
+    def test_degenerate_duplicate_points(self):
+        x = np.vstack([np.tile([0.0, 0.0], (5, 1)),
+                       np.tile([1.0, 1.0], (5, 1))])
+        result = GustafsonKessel(n_clusters=2, seed=1).fit(x)
+        assert result.n_clusters == 2
+        assert np.all(np.isfinite(result.centers))

@@ -1,0 +1,79 @@
+"""Tests for repro.clustering.mountain (Yager & Filev)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.mountain import MountainClustering
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+def make_blobs(rng, centers, n=30, spread=0.1):
+    return np.vstack([rng.normal(c, spread, size=(n, len(c)))
+                      for c in centers])
+
+
+class TestValidation:
+    def test_grid_points(self):
+        with pytest.raises(ConfigurationError):
+            MountainClustering(grid_points_per_dim=1)
+
+    def test_sigma_beta(self):
+        with pytest.raises(ConfigurationError):
+            MountainClustering(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            MountainClustering(beta=-1.0)
+
+    def test_stop_ratio(self):
+        with pytest.raises(ConfigurationError):
+            MountainClustering(stop_ratio=1.0)
+
+    def test_empty_data(self):
+        with pytest.raises(TrainingError):
+            MountainClustering().fit(np.zeros((0, 2)))
+
+    def test_grid_explosion_guard(self):
+        # The scalability problem the paper cites: exponential grids.
+        x = np.zeros((5, 10))
+        with pytest.raises(ConfigurationError, match="grid"):
+            MountainClustering(grid_points_per_dim=10).fit(x)
+
+
+class TestDiscovery:
+    def test_two_blobs(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        result = MountainClustering(grid_points_per_dim=15,
+                                    sigma=0.1, beta=0.15).fit(x)
+        assert result.n_clusters >= 2
+        for true in [(0.0, 0.0), (5.0, 5.0)]:
+            d = np.linalg.norm(result.centers - np.array(true), axis=1)
+            assert np.min(d) < 0.6
+
+    def test_centers_on_grid(self, rng):
+        # The paper's criticism: results are grid vertices, not data points.
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        g = 11
+        result = MountainClustering(grid_points_per_dim=g).fit(x)
+        span = x.max(axis=0) - x.min(axis=0)
+        rel = (result.centers - x.min(axis=0)) / span
+        steps = rel * (g - 1)
+        np.testing.assert_allclose(steps, np.round(steps), atol=1e-8)
+
+    def test_grid_dependence(self, rng):
+        # Coarse vs fine grids may disagree — the documented weakness.
+        x = make_blobs(rng, [(0, 0), (1.2, 1.2), (5, 5)], spread=0.15)
+        coarse = MountainClustering(grid_points_per_dim=3).fit(x)
+        fine = MountainClustering(grid_points_per_dim=25).fit(x)
+        # No assertion of equality: just verify both run and the fine grid
+        # resolves at least as many structures.
+        assert fine.n_clusters >= coarse.n_clusters
+
+    def test_mountain_values_decreasing(self, rng):
+        x = make_blobs(rng, [(0, 0), (5, 5)])
+        result = MountainClustering(grid_points_per_dim=12).fit(x)
+        assert np.all(np.diff(result.mountain_values) <= 1e-9)
+
+    def test_max_clusters(self, rng):
+        x = make_blobs(rng, [(0, 0), (3, 0), (0, 3)])
+        result = MountainClustering(grid_points_per_dim=12,
+                                    max_clusters=1).fit(x)
+        assert result.n_clusters == 1

@@ -1,0 +1,138 @@
+"""Tests for repro.clustering.subtractive (Chiu's algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.subtractive import SubtractiveClustering, subclust
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+def make_blobs(rng, centers, n=30, spread=0.1):
+    return np.vstack([rng.normal(c, spread, size=(n, len(c)))
+                      for c in centers])
+
+
+class TestParameterValidation:
+    def test_radius_positive(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveClustering(radius=0.0)
+
+    def test_ratios_ordered(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveClustering(accept_ratio=0.1, reject_ratio=0.5)
+
+    def test_squash_positive(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveClustering(squash_factor=0.0)
+
+    def test_max_clusters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveClustering(max_clusters=0)
+
+    def test_data_must_be_2d(self):
+        with pytest.raises(ConfigurationError):
+            SubtractiveClustering().fit(np.zeros(5))
+
+    def test_empty_data(self):
+        with pytest.raises(TrainingError):
+            SubtractiveClustering().fit(np.zeros((0, 2)))
+
+
+class TestClusterDiscovery:
+    def test_two_blobs_found(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        result = SubtractiveClustering(radius=0.5).fit(x)
+        assert result.n_clusters == 2
+        # Each true center has a discovered center nearby.
+        for true in [(0.0, 0.0), (5.0, 5.0)]:
+            d = np.linalg.norm(result.centers - np.array(true), axis=1)
+            assert np.min(d) < 0.5
+
+    def test_three_blobs_found(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 0), (0, 4)])
+        result = SubtractiveClustering(radius=0.4).fit(x)
+        assert result.n_clusters == 3
+
+    def test_centers_are_data_points(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        result = SubtractiveClustering(radius=0.5).fit(x)
+        for center in result.centers:
+            assert np.any(np.all(np.isclose(x, center), axis=1))
+
+    def test_single_point(self):
+        result = SubtractiveClustering().fit(np.array([[1.0, 2.0]]))
+        assert result.n_clusters == 1
+        np.testing.assert_allclose(result.centers[0], [1.0, 2.0])
+
+    def test_identical_points(self):
+        x = np.tile([1.0, 2.0], (10, 1))
+        result = SubtractiveClustering().fit(x)
+        assert result.n_clusters == 1
+
+    def test_smaller_radius_finds_more_clusters(self, rng):
+        # Paper section 2.2.1 design knob: the radius controls granularity.
+        x = make_blobs(rng, [(0, 0), (1.5, 0), (3, 0), (4.5, 0)], spread=0.08)
+        coarse = SubtractiveClustering(radius=0.9).fit(x)
+        fine = SubtractiveClustering(radius=0.2).fit(x)
+        assert fine.n_clusters >= coarse.n_clusters
+
+    def test_max_clusters_cap(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 0), (0, 4)])
+        result = SubtractiveClustering(radius=0.3, max_clusters=2).fit(x)
+        assert result.n_clusters == 2
+
+    def test_first_center_has_highest_potential(self, rng):
+        x = make_blobs(rng, [(0, 0), (5, 5)])
+        result = SubtractiveClustering(radius=0.5).fit(x)
+        assert result.potentials[0] == pytest.approx(
+            np.max(result.potentials))
+
+    def test_potentials_decreasing(self, rng):
+        x = make_blobs(rng, [(0, 0), (4, 0), (0, 4)])
+        result = SubtractiveClustering(radius=0.4).fit(x)
+        assert np.all(np.diff(result.potentials) <= 1e-9)
+
+
+class TestSigmas:
+    def test_sigma_formula(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        radius = 0.5
+        result = SubtractiveClustering(radius=radius).fit(x)
+        span = x.max(axis=0) - x.min(axis=0)
+        np.testing.assert_allclose(result.sigmas,
+                                   radius * span / np.sqrt(8.0))
+
+    def test_bounds_recorded(self, rng):
+        x = make_blobs(rng, [(0.0, 0.0), (5.0, 5.0)])
+        result = SubtractiveClustering().fit(x)
+        np.testing.assert_allclose(result.data_min, x.min(axis=0))
+        np.testing.assert_allclose(result.data_max, x.max(axis=0))
+
+
+class TestFunctionalShortcut:
+    def test_subclust_matches_class(self, rng):
+        x = make_blobs(rng, [(0, 0), (5, 5)])
+        a = subclust(x, radius=0.5)
+        b = SubtractiveClustering(radius=0.5).fit(x)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(5, 60))
+    def test_always_at_least_one_center(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        result = SubtractiveClustering(radius=0.5).fit(x)
+        assert 1 <= result.n_clusters <= n
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_scale_invariance_of_structure(self, seed):
+        # Unit normalization makes the cluster count scale-invariant.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(40, 2))
+        a = SubtractiveClustering(radius=0.5).fit(x)
+        b = SubtractiveClustering(radius=0.5).fit(x * 1000.0)
+        assert a.n_clusters == b.n_clusters

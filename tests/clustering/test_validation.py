@@ -1,0 +1,93 @@
+"""Tests for repro.clustering.validation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.validation import (assign_nearest, davies_bouldin,
+                                         partition_coefficient,
+                                         partition_entropy,
+                                         within_cluster_scatter)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def blobs(rng):
+    a = rng.normal((0, 0), 0.1, size=(20, 2))
+    b = rng.normal((5, 5), 0.1, size=(20, 2))
+    x = np.vstack([a, b])
+    centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+    labels = np.array([0] * 20 + [1] * 20)
+    return x, centers, labels
+
+
+class TestAssignNearest:
+    def test_assigns_to_closest(self, blobs):
+        x, centers, labels = blobs
+        np.testing.assert_array_equal(assign_nearest(x, centers), labels)
+
+    def test_single_center(self):
+        x = np.array([[0.0, 0.0], [9.0, 9.0]])
+        out = assign_nearest(x, np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(out, [0, 0])
+
+
+class TestScatter:
+    def test_tight_clusters_low_scatter(self, blobs):
+        x, centers, labels = blobs
+        assert within_cluster_scatter(x, centers, labels) < 0.1
+
+    def test_wrong_assignment_increases_scatter(self, blobs):
+        x, centers, labels = blobs
+        flipped = 1 - labels
+        good = within_cluster_scatter(x, centers, labels)
+        bad = within_cluster_scatter(x, centers, flipped)
+        assert bad > good * 10
+
+    def test_shape_mismatch(self, blobs):
+        x, centers, labels = blobs
+        with pytest.raises(ConfigurationError):
+            within_cluster_scatter(x, centers, labels[:-1])
+
+
+class TestDaviesBouldin:
+    def test_separated_blobs_score_low(self, blobs):
+        x, centers, labels = blobs
+        assert davies_bouldin(x, centers, labels) < 0.2
+
+    def test_overlapping_blobs_score_higher(self, rng):
+        a = rng.normal((0, 0), 1.0, size=(30, 2))
+        b = rng.normal((1, 1), 1.0, size=(30, 2))
+        x = np.vstack([a, b])
+        centers = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = np.array([0] * 30 + [1] * 30)
+        assert davies_bouldin(x, centers, labels) > 0.5
+
+    def test_needs_two_clusters(self, blobs):
+        x, _, labels = blobs
+        with pytest.raises(ConfigurationError):
+            davies_bouldin(x, np.array([[0.0, 0.0]]),
+                           np.zeros(len(x), dtype=int))
+
+
+class TestPartitionIndices:
+    def test_crisp_partition_coefficient_is_one(self):
+        u = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert partition_coefficient(u) == pytest.approx(1.0)
+
+    def test_uniform_partition_coefficient_is_inverse_c(self):
+        u = np.full((10, 4), 0.25)
+        assert partition_coefficient(u) == pytest.approx(0.25)
+
+    def test_crisp_partition_entropy_is_zero(self):
+        u = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert partition_entropy(u) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_partition_entropy_is_log_c(self):
+        u = np.full((10, 3), 1.0 / 3.0)
+        assert partition_entropy(u) == pytest.approx(np.log(3.0), rel=1e-6)
+
+    def test_dimension_checks(self):
+        with pytest.raises(ConfigurationError):
+            partition_coefficient(np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            partition_entropy(np.zeros(4))

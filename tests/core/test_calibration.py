@@ -1,0 +1,159 @@
+"""Tests for repro.core.calibration — MLE, threshold, probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (calibrate, calibrate_unlabeled,
+                                    collect_calibration_data)
+from repro.exceptions import CalibrationError
+
+
+class TestCollectCalibrationData:
+    def test_fields_align(self, material, experiment):
+        data = collect_calibration_data(experiment.augmented,
+                                        material.analysis)
+        n = len(material.analysis)
+        assert data.qualities.shape == (n,)
+        assert data.correct.shape == (n,)
+        assert data.predicted.shape == (n,)
+        np.testing.assert_array_equal(data.labels, material.analysis.labels)
+
+    def test_epsilon_count_matches_nans(self, material, experiment):
+        data = collect_calibration_data(experiment.augmented,
+                                        material.analysis)
+        assert data.n_epsilon == int(np.sum(np.isnan(data.qualities)))
+        assert np.sum(data.usable) == len(material.analysis) - data.n_epsilon
+
+    def test_correctness_against_ground_truth(self, material, experiment):
+        data = collect_calibration_data(experiment.augmented,
+                                        material.analysis)
+        np.testing.assert_array_equal(
+            data.correct, data.predicted == material.analysis.labels)
+
+
+class TestCalibrate:
+    def test_threshold_between_population_means(self, experiment):
+        cal = experiment.calibration
+        assert cal.estimates.wrong.mu < cal.s < cal.estimates.right.mu
+
+    def test_threshold_in_unit_interval(self, experiment):
+        assert 0.0 < experiment.calibration.s < 1.0
+
+    def test_right_population_above_wrong(self, experiment):
+        est = experiment.calibration.estimates
+        assert est.right.mu > est.wrong.mu
+
+    def test_probabilities_sensible(self, experiment):
+        p = experiment.calibration.probabilities
+        assert p.right_given_above > 0.6
+        assert p.wrong_given_below > 0.6
+        assert p.wrong_given_above < 0.4
+        assert p.right_given_below < 0.4
+
+    def test_empirical_consistent_with_threshold(self, experiment):
+        # The empirical acceptance accuracy at s should beat the raw
+        # classifier accuracy on the analysis set.
+        cal = experiment.calibration
+        usable = cal.data.usable
+        raw_acc = float(np.mean(cal.data.correct[usable]))
+        assert cal.empirical.right_given_above > raw_acc
+
+    def test_population_counts(self, experiment):
+        cal = experiment.calibration
+        n_usable = int(np.sum(cal.data.usable))
+        assert cal.estimates.n_right + cal.estimates.n_wrong == n_usable
+
+    def test_prior_passthrough(self, material, experiment):
+        neutral = calibrate(experiment.augmented, material.analysis)
+        skewed = calibrate(experiment.augmented, material.analysis,
+                           prior_right=0.9)
+        assert (skewed.probabilities.right_given_above
+                >= neutral.probabilities.right_given_above)
+
+    def test_too_small_dataset_raises(self, material, experiment):
+        tiny = material.analysis.subset(np.array([0, 1]))
+        with pytest.raises(CalibrationError):
+            calibrate(experiment.augmented, tiny)
+
+
+class TestUnlabeledCalibration:
+    def test_converges_on_gaussian_populations(self, experiment):
+        """Paper 2.3.2: 'For a infinite data set the MLE without secondary
+        knowledge and the intersection method converges.'  The claim holds
+        when the populations really are Gaussian — sample the fitted
+        densities and verify the mixture route recovers the intersection."""
+        import numpy as np
+
+        from repro.stats.mle import fit_two_component_mixture
+        from repro.stats.threshold import intersection_threshold
+
+        est = experiment.calibration.estimates
+        rng = np.random.default_rng(5)
+        data = np.concatenate([est.right.sample(4000, rng),
+                               est.wrong.sample(1000, rng)])
+        mixture = fit_two_component_mixture(data)
+        unlabeled = intersection_threshold(mixture.upper,
+                                           mixture.lower).threshold
+        labeled = experiment.calibration.s
+        assert abs(labeled - unlabeled) < 0.1
+
+    def test_biased_on_skewed_real_data(self, material, experiment):
+        """On the real (skewed, imbalanced) quality populations the
+        unlabeled route lands in (0, 1) but sits above the labeled
+        threshold — a documented limitation of the paper's shortcut."""
+        labeled = experiment.calibration.s
+        unlabeled = calibrate_unlabeled(experiment.augmented,
+                                        material.analysis)
+        assert 0.0 < unlabeled < 1.0
+        assert unlabeled >= labeled - 0.1
+
+    def test_threshold_in_range(self, material, experiment):
+        s = calibrate_unlabeled(experiment.augmented, material.analysis)
+        assert 0.0 < s < 1.0
+
+
+class TestPerClassCalibration:
+    def test_every_predicted_class_covered(self, material, experiment):
+        from repro.core.calibration import calibrate_per_class
+        per = calibrate_per_class(experiment.augmented, material.analysis)
+        predicted = set(experiment.classifier.predict_indices(
+            material.analysis.cues))
+        assert set(per) == predicted
+
+    def test_thresholds_in_unit_interval(self, material, experiment):
+        from repro.core.calibration import calibrate_per_class
+        per = calibrate_per_class(experiment.augmented, material.analysis)
+        for cal in per.values():
+            assert 0.0 < cal.threshold < 1.0
+
+    def test_window_counts_sum_to_usable(self, material, experiment):
+        from repro.core.calibration import (calibrate_per_class,
+                                            collect_calibration_data)
+        per = calibrate_per_class(experiment.augmented, material.analysis)
+        data = collect_calibration_data(experiment.augmented,
+                                        material.analysis)
+        assert sum(c.n_windows for c in per.values()) == int(
+            data.usable.sum())
+
+    def test_sparse_class_falls_back(self, material, experiment):
+        from repro.core.calibration import calibrate_per_class
+        # With an absurd minimum every class must fall back globally.
+        per = calibrate_per_class(experiment.augmented, material.analysis,
+                                  min_per_population=10_000)
+        assert all(c.fallback_used for c in per.values())
+        global_s = experiment.calibration.s
+        import numpy as np
+        # Fallback thresholds equal the global one (recomputed on the
+        # same data, so identical).
+        for c in per.values():
+            assert c.threshold == pytest.approx(global_s)
+
+    def test_class_thresholds_differ(self, material, experiment):
+        """The motivation: different contexts get different operating
+        points (writing is systematically easier than lying/playing)."""
+        from repro.core.calibration import calibrate_per_class
+        per = calibrate_per_class(experiment.augmented, material.analysis)
+        thresholds = [c.threshold for c in per.values()
+                      if not c.fallback_used]
+        if len(thresholds) >= 2:
+            assert max(thresholds) - min(thresholds) > 0.05

@@ -1,0 +1,108 @@
+"""Tests for repro.core.construction — automated quality-FIS building."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.centroid import NearestCentroidClassifier
+from repro.core.construction import (ConstructionConfig,
+                                     build_quality_measure,
+                                     quality_training_data)
+from repro.datasets.generator import WindowDataset
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.sensors.accelerometer import AWAREPEN_CLASSES
+from repro.stats.metrics import auc
+
+
+class TestConfig:
+    def test_defaults_are_papers_choices(self):
+        config = ConstructionConfig()
+        assert config.order == 1  # linear consequents
+        assert config.radius > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstructionConfig(radius=0.0)
+        with pytest.raises(ConfigurationError):
+            ConstructionConfig(order=2)
+        with pytest.raises(ConfigurationError):
+            ConstructionConfig(epochs=-1)
+
+
+class TestQualityTrainingData:
+    def test_vq_layout(self, material, experiment):
+        classifier = experiment.classifier
+        v_q, targets, acc = quality_training_data(
+            classifier, material.quality_train)
+        n, d = material.quality_train.cues.shape
+        assert v_q.shape == (n, d + 1)
+        # Last column holds the *predicted* class identifier.
+        predicted = classifier.predict_indices(material.quality_train.cues)
+        np.testing.assert_allclose(v_q[:, -1], predicted.astype(float))
+
+    def test_targets_are_rightness(self, material, experiment):
+        classifier = experiment.classifier
+        _, targets, acc = quality_training_data(
+            classifier, material.quality_train)
+        predicted = classifier.predict_indices(material.quality_train.cues)
+        correct = predicted == material.quality_train.labels
+        np.testing.assert_allclose(targets, correct.astype(float))
+        assert acc == pytest.approx(np.mean(correct))
+
+    def test_targets_binary(self, material, experiment):
+        _, targets, _ = quality_training_data(
+            experiment.classifier, material.quality_train)
+        assert set(np.unique(targets)) <= {0.0, 1.0}
+
+
+class TestBuildQualityMeasure:
+    def test_end_to_end_result(self, experiment):
+        result = experiment.construction
+        assert result.n_rules >= 1
+        assert result.quality.n_cues == 3
+        assert result.training_report is not None
+        assert 0.0 < result.train_accuracy < 1.0
+
+    def test_quality_discriminates(self, material, experiment):
+        """The constructed CQM must rank right above wrong decisions."""
+        augmented = experiment.augmented
+        predicted = experiment.classifier.predict_indices(
+            material.analysis.cues)
+        q = augmented.quality.measure_batch(material.analysis.cues,
+                                            predicted.astype(float))
+        correct = predicted == material.analysis.labels
+        usable = ~np.isnan(q)
+        score = auc(q[usable], correct[usable])
+        assert score > 0.8
+
+    def test_no_epochs_skips_training(self, material, experiment):
+        config = ConstructionConfig(epochs=0)
+        result = build_quality_measure(
+            experiment.classifier, material.quality_train,
+            material.quality_check, config=config)
+        assert result.training_report is None
+        assert result.n_rules >= 1
+
+    def test_order_zero_supported(self, material, experiment):
+        config = ConstructionConfig(order=0, epochs=5)
+        result = build_quality_measure(
+            experiment.classifier, material.quality_train,
+            material.quality_check, config=config)
+        assert result.quality.system.order == 0
+
+    def test_degenerate_classifier_rejected(self, material):
+        class AlwaysRight(NearestCentroidClassifier):
+            def predict_indices(self, x):
+                # Cheats by returning the labels themselves.
+                return material.quality_train.labels[:len(np.atleast_2d(x))]
+
+        clf = AlwaysRight(AWAREPEN_CLASSES)
+        clf.fit(material.classifier_train.cues,
+                material.classifier_train.labels)
+        with pytest.raises(TrainingError):
+            build_quality_measure(clf, material.quality_train,
+                                  material.quality_train)
+
+    def test_early_stopping_engages_or_completes(self, experiment):
+        report = experiment.construction.training_report
+        assert report.best_check_rmse is not None
+        assert report.n_epochs >= report.best_epoch

@@ -1,0 +1,87 @@
+"""Tests for repro.core.explanation — quality-value decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import explain
+from repro.exceptions import DimensionError
+
+
+class TestDecomposition:
+    def test_contributions_sum_to_raw(self, experiment, material):
+        quality = experiment.augmented.quality
+        cues = material.evaluation.cues[0]
+        predicted = int(experiment.classifier.predict_indices(
+            cues.reshape(1, -1))[0])
+        exp = explain(quality, cues, predicted)
+        total = sum(c.contribution for c in exp.contributions)
+        assert total == pytest.approx(exp.raw_output, abs=1e-12)
+
+    def test_quality_matches_measure(self, experiment, material):
+        quality = experiment.augmented.quality
+        for cues in material.evaluation.cues[:8]:
+            predicted = int(experiment.classifier.predict_indices(
+                cues.reshape(1, -1))[0])
+            exp = explain(quality, cues, predicted)
+            direct = quality.measure(cues, predicted)
+            if direct is None:
+                assert exp.quality is None
+            else:
+                assert exp.quality == pytest.approx(direct)
+
+    def test_normalized_strengths_partition(self, experiment, material):
+        quality = experiment.augmented.quality
+        cues = material.evaluation.cues[3]
+        exp = explain(quality, cues, 1)
+        total = sum(c.normalized_strength for c in exp.contributions)
+        assert total == pytest.approx(1.0)
+
+    def test_one_contribution_per_rule(self, experiment, material):
+        quality = experiment.augmented.quality
+        exp = explain(quality, material.evaluation.cues[0], 0)
+        assert len(exp.contributions) == quality.n_rules
+
+    def test_dominant_rule(self, experiment, material):
+        quality = experiment.augmented.quality
+        exp = explain(quality, material.evaluation.cues[0], 0)
+        dom = exp.dominant_rule
+        assert dom.normalized_strength == max(
+            c.normalized_strength for c in exp.contributions)
+
+    def test_cue_arity_validated(self, experiment):
+        with pytest.raises(DimensionError):
+            explain(experiment.augmented.quality, np.zeros(5), 0)
+
+
+class TestTextRendering:
+    def test_contains_structure(self, experiment, material):
+        quality = experiment.augmented.quality
+        cues = material.evaluation.cues[0]
+        exp = explain(quality, cues, 1)
+        text = exp.to_text(cue_names=["std_x", "std_y", "std_z"])
+        assert "std_x=" in text
+        assert "c=1" in text
+        assert "rule 1" in text
+        assert "q =" in text
+
+    def test_default_names(self, experiment, material):
+        quality = experiment.augmented.quality
+        exp = explain(quality, material.evaluation.cues[0], 0)
+        assert "v_1=" in exp.to_text()
+
+    def test_name_count_validated(self, experiment, material):
+        quality = experiment.augmented.quality
+        exp = explain(quality, material.evaluation.cues[0], 0)
+        with pytest.raises(DimensionError):
+            exp.to_text(cue_names=["only_one"])
+
+    def test_dominant_marker(self, experiment, material):
+        quality = experiment.augmented.quality
+        # Find an input with a clearly dominant rule.
+        for cues in material.evaluation.cues:
+            exp = explain(quality, cues, 0)
+            if exp.dominant_rule.normalized_strength > 0.5:
+                assert "<== dominant" in exp.to_text()
+                break
+        else:
+            pytest.skip("no dominant-rule input in the evaluation set")

@@ -1,0 +1,194 @@
+"""Tests for repro.core.filtering — quality gates and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import (ConstantQualityBaseline, EpsilonPolicy,
+                                  QualityFilter, evaluate_constant_baseline,
+                                  evaluate_filtering)
+from repro.exceptions import ConfigurationError
+from repro.types import Classification, ContextClass, QualifiedClassification
+
+
+def qualified(quality, index=0):
+    return QualifiedClassification(
+        classification=Classification(cues=np.zeros(3),
+                                      context=ContextClass(index, f"c{index}")),
+        quality=quality)
+
+
+class TestQualityFilter:
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            QualityFilter(threshold=1.5)
+
+    def test_accept_above_threshold(self):
+        gate = QualityFilter(threshold=0.6)
+        assert gate.accepts(qualified(0.7))
+        assert not gate.accepts(qualified(0.6))  # strict >
+        assert not gate.accepts(qualified(0.5))
+
+    def test_epsilon_policies(self):
+        reject = QualityFilter(threshold=0.5,
+                               epsilon_policy=EpsilonPolicy.REJECT)
+        accept = QualityFilter(threshold=0.5,
+                               epsilon_policy=EpsilonPolicy.ACCEPT)
+        assert not reject.accepts(qualified(None))
+        assert accept.accepts(qualified(None))
+
+    def test_split(self):
+        gate = QualityFilter(threshold=0.5)
+        items = [qualified(0.9), qualified(0.1), qualified(None)]
+        accepted, rejected = gate.split(items)
+        assert len(accepted) == 1
+        assert len(rejected) == 2
+
+    def test_accept_mask(self):
+        gate = QualityFilter(threshold=0.5)
+        mask = gate.accept_mask(np.array([0.9, 0.1, np.nan]))
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+    def test_accept_mask_epsilon_accept(self):
+        gate = QualityFilter(threshold=0.5,
+                             epsilon_policy=EpsilonPolicy.ACCEPT)
+        mask = gate.accept_mask(np.array([0.1, np.nan]))
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestEvaluateFiltering:
+    def test_improves_accuracy(self, material, experiment):
+        outcome = evaluate_filtering(experiment.augmented,
+                                     material.evaluation,
+                                     threshold=experiment.threshold)
+        assert outcome.accuracy_after >= outcome.accuracy_before
+        assert outcome.n_total == len(material.evaluation)
+
+    def test_zero_threshold_keeps_everything_defined(self, material,
+                                                     experiment):
+        outcome = evaluate_filtering(experiment.augmented,
+                                     material.evaluation, threshold=0.0,
+                                     epsilon_policy=EpsilonPolicy.ACCEPT)
+        assert outcome.n_kept == outcome.n_total
+
+    def test_large_threshold_discards_everything(self, material, experiment):
+        outcome = evaluate_filtering(experiment.augmented,
+                                     material.evaluation, threshold=1.0)
+        assert outcome.n_kept == 0
+
+
+class TestConstantBaseline:
+    def test_from_training(self):
+        predicted = np.array([0, 0, 0, 1, 1])
+        correct = np.array([True, True, False, True, False])
+        baseline = ConstantQualityBaseline.from_training(predicted, correct)
+        assert baseline.class_quality[0] == pytest.approx(2 / 3)
+        assert baseline.class_quality[1] == pytest.approx(0.5)
+
+    def test_qualities_for_unseen_class(self):
+        baseline = ConstantQualityBaseline(class_quality={0: 0.9})
+        out = baseline.qualities_for(np.array([0, 5]))
+        np.testing.assert_allclose(out, [0.9, 0.5])
+
+    def test_alignment_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConstantQualityBaseline.from_training(np.zeros(3, int),
+                                                  np.zeros(2, bool))
+
+    def test_constant_baseline_weaker_than_cqm(self, material, experiment):
+        """The paper's core motivation: per-classification quality beats a
+        constant per-class quality.
+
+        The constant baseline can only drop *entire classes*, so it buys
+        accuracy by destroying coverage.  The fair comparison is the
+        number of correct classifications retained: the CQM keeps more
+        right decisions while still improving accuracy.
+        """
+        cqm = evaluate_filtering(experiment.augmented, material.analysis,
+                                 threshold=experiment.threshold)
+        const = evaluate_constant_baseline(
+            experiment.augmented, material.quality_train,
+            material.analysis)
+        cqm_right_kept = cqm.n_kept - cqm.n_wrong_kept
+        const_right_kept = const.n_kept - const.n_wrong_kept
+        assert cqm_right_kept > const_right_kept
+        assert cqm.accuracy_after > cqm.accuracy_before
+
+    def test_uniform_constants_cannot_filter(self, material, experiment):
+        outcome = evaluate_constant_baseline(
+            experiment.augmented, material.quality_train,
+            material.evaluation, threshold=0.0)
+        assert outcome.n_kept == outcome.n_total
+
+
+class TestHysteresisGate:
+    def make(self, **kwargs):
+        from repro.core.filtering import HysteresisGate
+        defaults = dict(high=0.7, low=0.4, k_enter=2, k_exit=2)
+        defaults.update(kwargs)
+        return HysteresisGate(**defaults)
+
+    def test_validation(self):
+        from repro.core.filtering import HysteresisGate
+        with pytest.raises(ConfigurationError):
+            HysteresisGate(high=0.3, low=0.5)
+        with pytest.raises(ConfigurationError):
+            HysteresisGate(high=0.7, low=0.4, k_enter=0)
+
+    def test_opens_after_k_consecutive(self):
+        gate = self.make()
+        assert not gate.update(0.9)
+        assert gate.update(0.9)
+        assert gate.is_open
+
+    def test_single_spike_does_not_open(self):
+        gate = self.make()
+        gate.update(0.9)
+        gate.update(0.5)  # breaks the streak (not > high)
+        gate.update(0.9)
+        assert not gate.is_open
+
+    def test_closes_after_k_consecutive_low(self):
+        gate = self.make()
+        gate.update(0.9)
+        gate.update(0.9)
+        assert gate.is_open
+        gate.update(0.2)
+        assert gate.is_open  # one low event is not enough
+        gate.update(0.2)
+        assert not gate.is_open
+
+    def test_mid_band_maintains_state(self):
+        # Between low and high: no evidence in either direction.
+        gate = self.make()
+        gate.update(0.9)
+        gate.update(0.9)
+        for _ in range(10):
+            gate.update(0.55)
+        assert gate.is_open
+
+    def test_epsilon_counts_as_closing(self):
+        gate = self.make(k_exit=1)
+        gate.update(0.9)
+        gate.update(0.9)
+        gate.update(None)
+        assert not gate.is_open
+
+    def test_reset(self):
+        gate = self.make()
+        gate.update(0.9)
+        gate.update(0.9)
+        gate.reset()
+        assert not gate.is_open
+
+    def test_less_churn_than_plain_gate(self, rng):
+        """The design goal: on noisy qualities the hysteresis gate flips
+        far less often than the memoryless threshold."""
+        from repro.core.filtering import HysteresisGate
+        qualities = np.clip(0.55 + rng.normal(0, 0.25, size=400), 0, 1)
+        plain_flips = int(np.sum(np.diff(
+            (qualities > 0.55).astype(int)) != 0))
+        gate = HysteresisGate(high=0.7, low=0.4, k_enter=2, k_exit=2)
+        states = [gate.update(q) for q in qualities]
+        hysteresis_flips = int(np.sum(np.diff(
+            np.array(states).astype(int)) != 0))
+        assert hysteresis_flips < plain_flips / 2

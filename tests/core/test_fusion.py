@@ -1,0 +1,120 @@
+"""Tests for repro.core.fusion — quality-weighted aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import (QualityWeightedFusion, TemporalAggregator,
+                               fuse_streams)
+from repro.exceptions import ConfigurationError
+from repro.types import Classification, ContextClass, QualifiedClassification
+
+A = ContextClass(0, "a")
+B = ContextClass(1, "b")
+
+
+def report(context, quality):
+    return QualifiedClassification(
+        classification=Classification(cues=np.zeros(2), context=context),
+        quality=quality)
+
+
+class TestQualityWeightedFusion:
+    def test_majority_by_quality_mass(self):
+        fuser = QualityWeightedFusion()
+        out = fuser.fuse([report(A, 0.9), report(B, 0.4), report(B, 0.4)])
+        assert out.context is A  # 0.9 > 0.8
+        assert out.support == pytest.approx(0.9)
+        assert out.total_mass == pytest.approx(1.7)
+
+    def test_many_weak_beat_one_strong(self):
+        fuser = QualityWeightedFusion()
+        out = fuser.fuse([report(A, 0.9)] + [report(B, 0.5)] * 3)
+        assert out.context is B
+
+    def test_confidence(self):
+        fuser = QualityWeightedFusion()
+        out = fuser.fuse([report(A, 0.5), report(B, 0.5)])
+        assert out.confidence == pytest.approx(0.5)
+
+    def test_min_quality_pre_gate(self):
+        fuser = QualityWeightedFusion(min_quality=0.6)
+        out = fuser.fuse([report(A, 0.5), report(B, 0.7)])
+        assert out.context is B
+        assert out.total_mass == pytest.approx(0.7)
+
+    def test_epsilon_discarded_by_default(self):
+        fuser = QualityWeightedFusion()
+        out = fuser.fuse([report(A, None), report(B, 0.2)])
+        assert out.context is B
+        assert out.n_epsilon == 1
+
+    def test_epsilon_weight(self):
+        fuser = QualityWeightedFusion(epsilon_weight=0.3)
+        out = fuser.fuse([report(A, None), report(A, None), report(B, 0.5)])
+        assert out.context is A  # 0.6 vs 0.5
+
+    def test_nothing_usable_returns_none(self):
+        fuser = QualityWeightedFusion()
+        assert fuser.fuse([report(A, None), report(B, 0.0)]) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QualityWeightedFusion(min_quality=2.0)
+        with pytest.raises(ConfigurationError):
+            QualityWeightedFusion(epsilon_weight=-1.0)
+
+
+class TestTemporalAggregator:
+    def test_dominant_follows_evidence(self):
+        agg = TemporalAggregator(decay=0.5)
+        for _ in range(5):
+            agg.update(report(A, 0.9))
+        assert agg.dominant() is A
+        for _ in range(10):
+            agg.update(report(B, 0.9))
+        assert agg.dominant() is B
+
+    def test_update_returns_share(self):
+        agg = TemporalAggregator()
+        context, share = agg.update(report(A, 0.8))
+        assert context is A
+        assert share == pytest.approx(1.0)
+
+    def test_decay_forgets(self):
+        agg = TemporalAggregator(decay=0.1)
+        agg.update(report(A, 1.0))
+        for _ in range(3):
+            out = agg.update(report(B, 0.5))
+        context, share = out
+        assert context is B
+
+    def test_empty_returns_none(self):
+        agg = TemporalAggregator()
+        assert agg.dominant() is None
+        assert agg.update(report(A, None)) is None
+
+    def test_reset(self):
+        agg = TemporalAggregator()
+        agg.update(report(A, 0.9))
+        agg.reset()
+        assert agg.dominant() is None
+
+    def test_decay_validated(self):
+        with pytest.raises(ConfigurationError):
+            TemporalAggregator(decay=1.0)
+
+
+class TestFuseStreams:
+    def test_stepwise_fusion(self):
+        stream1 = [report(A, 0.9), report(A, 0.2)]
+        stream2 = [report(B, 0.3), report(B, 0.8)]
+        out = fuse_streams([stream1, stream2])
+        assert out[0].context is A
+        assert out[1].context is B
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            fuse_streams([[report(A, 0.5)], []])
+
+    def test_empty_streams(self):
+        assert fuse_streams([]) == []

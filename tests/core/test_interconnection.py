@@ -1,0 +1,55 @@
+"""Tests for repro.core.interconnection — vQ plumbing (paper 2.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interconnection import QualityAugmentedClassifier
+from repro.types import QualifiedClassification
+
+
+class TestQualityAugmentedClassifier:
+    def test_classify_returns_qualified(self, material, experiment):
+        augmented = experiment.augmented
+        out = augmented.classify(material.evaluation.cues[0])
+        assert isinstance(out, QualifiedClassification)
+        assert out.quality is None or 0.0 <= out.quality <= 1.0
+
+    def test_classification_matches_black_box(self, material, experiment):
+        augmented = experiment.augmented
+        cues = material.evaluation.cues
+        direct = experiment.classifier.predict_indices(cues)
+        wrapped = [augmented.classify(c).context.index for c in cues]
+        np.testing.assert_array_equal(wrapped, direct)
+
+    def test_batch_matches_single(self, material, experiment):
+        augmented = experiment.augmented
+        cues = material.evaluation.cues[:8]
+        batch = augmented.classify_batch(cues)
+        singles = [augmented.classify(c) for c in cues]
+        for b, s in zip(batch, singles):
+            assert b.context.index == s.context.index
+            if b.quality is None:
+                assert s.quality is None
+            else:
+                assert b.quality == pytest.approx(s.quality)
+
+    def test_qualities_vector(self, material, experiment):
+        augmented = experiment.augmented
+        q = augmented.qualities(material.evaluation.cues)
+        assert q.shape == (len(material.evaluation),)
+        defined = q[~np.isnan(q)]
+        assert np.all((defined >= 0.0) & (defined <= 1.0))
+
+    def test_classes_exposed(self, experiment):
+        assert experiment.augmented.classes == experiment.classifier.classes
+
+    def test_quality_uses_predicted_class_not_truth(self, material,
+                                                    experiment):
+        """The quality input appends the *classifier's* decision c."""
+        augmented = experiment.augmented
+        cues = material.evaluation.cues
+        predicted = experiment.classifier.predict_indices(cues)
+        expected = augmented.quality.measure_batch(cues,
+                                                   predicted.astype(float))
+        actual = augmented.qualities(cues)
+        np.testing.assert_allclose(actual, expected, equal_nan=True)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.normalization — the L function (paper 2.1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.normalization import (EPSILON, LOWER_LIMIT, UPPER_LIMIT,
+                                      is_error_state, mapping_error,
+                                      normalize_array, normalize_scalar)
+
+
+class TestScalarL:
+    def test_identity_inside_unit_interval(self):
+        for x in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert normalize_scalar(x) == x
+
+    def test_reflection_below_zero(self):
+        # "values [-0.5, 0) belong to zero with an error of mapping"
+        assert normalize_scalar(-0.2) == pytest.approx(0.2)
+        assert normalize_scalar(-0.5) == pytest.approx(0.5)
+
+    def test_reflection_above_one(self):
+        # Symmetric semantics at the other designated output.
+        assert normalize_scalar(1.2) == pytest.approx(0.8)
+        assert normalize_scalar(1.5) == pytest.approx(0.5)
+
+    def test_epsilon_outside_bands(self):
+        assert normalize_scalar(-0.51) is EPSILON
+        assert normalize_scalar(1.51) is EPSILON
+        assert normalize_scalar(5.0) is EPSILON
+        assert normalize_scalar(-3.0) is EPSILON
+
+    def test_nan_is_epsilon(self):
+        assert normalize_scalar(float("nan")) is EPSILON
+
+    def test_band_limits(self):
+        assert LOWER_LIMIT == -0.5
+        assert UPPER_LIMIT == 1.5
+
+    @given(x=st.floats(min_value=-0.5, max_value=1.5,
+                       allow_nan=False))
+    def test_mappable_band_yields_unit_interval(self, x):
+        q = normalize_scalar(x)
+        assert q is not None
+        assert 0.0 <= q <= 1.0
+
+    @given(x=st.floats(allow_nan=False, allow_infinity=False))
+    def test_codomain_invariant(self, x):
+        q = normalize_scalar(x)
+        assert q is None or 0.0 <= q <= 1.0
+
+    def test_continuity_at_zero(self):
+        # L is continuous at the band joints.
+        assert normalize_scalar(-1e-9) == pytest.approx(
+            normalize_scalar(1e-9), abs=1e-8)
+
+    def test_continuity_at_one(self):
+        assert normalize_scalar(1.0 - 1e-9) == pytest.approx(
+            normalize_scalar(1.0 + 1e-9), abs=1e-8)
+
+
+class TestArrayL:
+    def test_matches_scalar(self):
+        xs = np.array([-0.7, -0.3, 0.0, 0.4, 1.0, 1.3, 1.7])
+        out = normalize_array(xs)
+        for x, q in zip(xs, out):
+            scalar = normalize_scalar(float(x))
+            if scalar is None:
+                assert np.isnan(q)
+            else:
+                assert q == pytest.approx(scalar)
+
+    def test_epsilon_is_nan(self):
+        out = normalize_array(np.array([2.0, -1.0]))
+        assert np.all(np.isnan(out))
+
+    def test_is_error_state(self):
+        out = normalize_array(np.array([0.5, 2.0]))
+        mask = is_error_state(out)
+        assert not mask[0]
+        assert mask[1]
+
+    def test_is_error_state_scalar_none(self):
+        assert bool(is_error_state(None))
+
+    def test_preserves_shape(self):
+        out = normalize_array(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+
+class TestMappingError:
+    def test_zero_inside_interval(self):
+        np.testing.assert_allclose(
+            mapping_error(np.array([0.0, 0.5, 1.0])), 0.0)
+
+    def test_reflection_distance(self):
+        assert float(mapping_error(np.array([-0.2]))[0]) == pytest.approx(0.4)
+        assert float(mapping_error(np.array([1.3]))[0]) == pytest.approx(0.6)
+
+    def test_epsilon_nan(self):
+        assert np.isnan(mapping_error(np.array([9.0]))[0])

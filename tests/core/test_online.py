@@ -1,0 +1,225 @@
+"""Tests for repro.core.online — RLS adaptation from delayed feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import FeedbackRecord, OnlineQualityAdapter
+from repro.core.persistence import quality_from_dict, quality_to_dict
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.stats.metrics import auc
+
+
+def records_from(material, classifier, dataset):
+    predicted = classifier.predict_indices(dataset.cues)
+    correct = predicted == dataset.labels
+    return [FeedbackRecord(cues=dataset.cues[i],
+                           class_index=int(predicted[i]),
+                           was_correct=bool(correct[i]))
+            for i in range(len(dataset))]
+
+
+@pytest.fixture
+def fresh_quality(experiment):
+    """An independent copy of the trained quality measure."""
+    return quality_from_dict(quality_to_dict(experiment.augmented.quality))
+
+
+class TestValidation:
+    def test_warmup(self, fresh_quality):
+        with pytest.raises(ConfigurationError):
+            OnlineQualityAdapter(fresh_quality, warmup=-1)
+
+    def test_cue_arity(self, fresh_quality):
+        adapter = OnlineQualityAdapter(fresh_quality)
+        with pytest.raises(DimensionError):
+            adapter.feedback(FeedbackRecord(cues=np.zeros(5),
+                                            class_index=0,
+                                            was_correct=True))
+
+
+class TestAdaptation:
+    def test_warmup_gates_updates(self, fresh_quality, material, experiment):
+        before = fresh_quality.system.coefficients.copy()
+        adapter = OnlineQualityAdapter(fresh_quality, warmup=5)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        for record in records[:4]:
+            adapter.feedback(record)
+        assert not adapter.adapting
+        np.testing.assert_array_equal(fresh_quality.system.coefficients,
+                                      before)
+        adapter.feedback(records[4])
+        assert adapter.adapting
+
+    def test_seeded_from_deployed_solution(self, fresh_quality, material,
+                                           experiment):
+        """Early residuals must be small: the RLS starts at the offline
+        coefficients, not at zero."""
+        adapter = OnlineQualityAdapter(fresh_quality, warmup=0)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        first_residual = abs(adapter.feedback(records[0]))
+        # The offline system's RMSE on its own targets is ~0.3; the first
+        # online residual must be in that regime, not ~1.0 (zero start).
+        assert first_residual < 1.0
+
+    def test_feedback_preserves_ranking_quality(self, fresh_quality,
+                                                material, experiment):
+        """Adapting on in-distribution feedback must not destroy the
+        measure's ability to rank right above wrong."""
+        adapter = OnlineQualityAdapter(fresh_quality, warmup=0,
+                                       forgetting=0.999)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        adapter.feedback_batch(records)
+
+        eval_set = material.evaluation
+        predicted = experiment.classifier.predict_indices(eval_set.cues)
+        q = fresh_quality.measure_batch(eval_set.cues,
+                                        predicted.astype(float))
+        correct = predicted == eval_set.labels
+        usable = ~np.isnan(q)
+        assert auc(q[usable], correct[usable]) > 0.7
+
+    def test_adapts_to_inverted_feedback(self, fresh_quality, material,
+                                         experiment):
+        """Extreme drift: if feedback systematically says the opposite,
+        the consequents must follow (outputs move toward the new truth)."""
+        adapter = OnlineQualityAdapter(fresh_quality, warmup=0,
+                                       forgetting=0.9)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        inverted = [FeedbackRecord(r.cues, r.class_index,
+                                   not r.was_correct) for r in records]
+        # Feed the inverted stream several times.
+        for _ in range(5):
+            adapter.feedback_batch(inverted)
+        v_q = np.hstack([material.analysis.cues,
+                         experiment.classifier.predict_indices(
+                             material.analysis.cues)[:, None].astype(float)])
+        outputs = fresh_quality.system.evaluate(v_q)
+        targets = np.array([1.0 if r.was_correct else 0.0
+                            for r in inverted])
+        rmse = np.sqrt(np.mean((outputs - targets) ** 2))
+        assert rmse < 0.5
+
+    def test_residual_tracking(self, fresh_quality, material, experiment):
+        adapter = OnlineQualityAdapter(fresh_quality, warmup=0)
+        assert adapter.recent_residual() is None
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        adapter.feedback_batch(records[:20])
+        assert adapter.recent_residual() is not None
+        assert adapter.n_feedback == 20
+
+
+class TestUserShiftRecovery:
+    def test_adaptation_recovers_shifted_user(self, experiment):
+        """The headline online-adaptation property: a user style far
+        outside the factory training distribution degrades the shipped
+        CQM; feedback-driven RLS recovers most of the ranking quality."""
+        from repro.datasets import generate_dataset
+        from repro.sensors.accelerometer import ACTIVITY_MODELS, UserStyle
+        from repro.sensors.node import Segment
+
+        heavy = UserStyle(amplitude_scale=2.2, tempo_scale=0.6,
+                          tremor=0.06, pause_probability=0.05)
+
+        def script(rng, blocks):
+            segments = []
+            for _ in range(blocks):
+                for name, lo, hi in (("writing", 5, 8), ("playing", 1.5, 3),
+                                     ("writing", 4, 6), ("lying", 2, 4)):
+                    segments.append(Segment(
+                        ACTIVITY_MODELS[name],
+                        duration_s=rng.uniform(lo, hi), style=heavy))
+            return segments
+
+        field = generate_dataset(lambda rng: script(rng, 8), seed=404)
+        holdout = generate_dataset(lambda rng: script(rng, 4), seed=405)
+        classifier = experiment.classifier
+
+        def score(quality):
+            predicted = classifier.predict_indices(holdout.cues)
+            q = quality.measure_batch(holdout.cues,
+                                      predicted.astype(float))
+            correct = predicted == holdout.labels
+            usable = ~np.isnan(q)
+            return auc(q[usable], correct[usable])
+
+        shipped = quality_from_dict(
+            quality_to_dict(experiment.augmented.quality))
+        before = score(shipped)
+
+        adapter = OnlineQualityAdapter(shipped, forgetting=0.999,
+                                       warmup=10)
+        predicted = classifier.predict_indices(field.cues)
+        correct = predicted == field.labels
+        for i in range(len(field)):
+            adapter.feedback(FeedbackRecord(cues=field.cues[i],
+                                            class_index=int(predicted[i]),
+                                            was_correct=bool(correct[i])))
+        after = score(shipped)
+        assert after > before + 0.1
+
+
+class TestOnlineThresholdTracker:
+    def make(self, experiment, alpha=0.05):
+        from repro.core.online import OnlineThresholdTracker
+        est = experiment.calibration.estimates
+        return OnlineThresholdTracker(est.right, est.wrong, alpha=alpha)
+
+    def test_initial_threshold_close_to_offline(self, experiment):
+        tracker = self.make(experiment)
+        assert abs(tracker.threshold() - experiment.threshold) < 0.02
+
+    def test_tracks_population_shift(self, experiment, rng):
+        tracker = self.make(experiment, alpha=0.2)
+        # The wrong population drifts upward (errors look better now):
+        # the separating threshold must follow it above the new wrong
+        # mean while staying below the right mean.
+        for _ in range(200):
+            tracker.observe(float(np.clip(
+                rng.normal(0.6, 0.1), 0, 1)), was_correct=False)
+        after = tracker.threshold()
+        assert tracker.wrong.mu > 0.5  # the drift was absorbed
+        assert tracker.wrong.mu < after < tracker.right.mu
+
+    def test_epsilon_ignored(self, experiment):
+        tracker = self.make(experiment)
+        before = tracker.threshold()
+        tracker.observe(None, was_correct=True)
+        assert tracker.threshold() == before
+        assert tracker.n_updates == 0
+
+    def test_health_flag(self, experiment):
+        tracker = self.make(experiment, alpha=0.3)
+        assert tracker.healthy()
+        # Catastrophic drift: right decisions now get LOW quality.
+        for _ in range(200):
+            tracker.observe(0.05, was_correct=True)
+            tracker.observe(0.95, was_correct=False)
+        assert not tracker.healthy()
+        # The fallback threshold stays defined and bounded.
+        assert 0.0 <= tracker.threshold() <= 1.0
+
+    def test_validation(self, experiment):
+        from repro.core.online import OnlineThresholdTracker
+        est = experiment.calibration.estimates
+        with pytest.raises(ConfigurationError):
+            OnlineThresholdTracker(est.right, est.wrong, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            OnlineThresholdTracker(est.right, est.wrong, min_sigma=0.0)
+
+    def test_stationary_feedback_keeps_threshold(self, experiment, rng):
+        """Feedback drawn from the calibrated populations themselves must
+        leave the threshold near its offline value."""
+        est = experiment.calibration.estimates
+        tracker = self.make(experiment, alpha=0.02)
+        for _ in range(500):
+            tracker.observe(float(np.clip(est.right.sample(1, rng)[0],
+                                          0, 1)), True)
+            if rng.random() < 0.3:
+                tracker.observe(float(np.clip(est.wrong.sample(1, rng)[0],
+                                              0, 1)), False)
+        assert abs(tracker.threshold() - experiment.threshold) < 0.15

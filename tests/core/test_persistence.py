@@ -1,0 +1,147 @@
+"""Tests for repro.core.persistence — JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (FORMAT_VERSION, QualityPackage,
+                                    quality_from_dict, quality_to_dict,
+                                    tsk_from_dict, tsk_to_dict)
+from repro.core.quality import QualityMeasure
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.tsk import TSKSystem
+
+
+@pytest.fixture
+def system(rng):
+    return TSKSystem(rng.normal(size=(3, 4)),
+                     rng.uniform(0.2, 1.0, size=(3, 4)),
+                     rng.normal(size=(3, 5)), order=1)
+
+
+class TestTSKRoundTrip:
+    def test_roundtrip_preserves_outputs(self, system, rng):
+        restored = tsk_from_dict(tsk_to_dict(system))
+        x = rng.normal(size=(20, 4))
+        np.testing.assert_allclose(restored.evaluate(x), system.evaluate(x))
+
+    def test_json_safe(self, system):
+        payload = tsk_to_dict(system)
+        restored = tsk_from_dict(json.loads(json.dumps(payload)))
+        np.testing.assert_allclose(restored.means, system.means)
+
+    def test_order_preserved(self, rng):
+        zero = TSKSystem(rng.normal(size=(2, 2)), np.ones((2, 2)),
+                         np.zeros((2, 3)), order=0)
+        assert tsk_from_dict(tsk_to_dict(zero)).order == 0
+
+    def test_kind_checked(self, system):
+        payload = tsk_to_dict(system)
+        payload["kind"] = "something_else"
+        with pytest.raises(ConfigurationError, match="kind"):
+            tsk_from_dict(payload)
+
+    def test_version_checked(self, system):
+        payload = tsk_to_dict(system)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="format_version"):
+            tsk_from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tsk_from_dict(["nope"])  # type: ignore[arg-type]
+
+
+class TestQualityRoundTrip:
+    def test_roundtrip(self, system, rng):
+        quality = QualityMeasure(system, n_cues=3)
+        restored = quality_from_dict(quality_to_dict(quality))
+        cues = rng.normal(size=(5, 3))
+        indices = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        np.testing.assert_allclose(
+            restored.measure_batch(cues, indices),
+            quality.measure_batch(cues, indices), equal_nan=True)
+        assert restored.n_cues == 3
+
+
+class TestQualityPackage:
+    def test_from_calibration(self, experiment):
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        assert package.threshold == pytest.approx(experiment.threshold)
+        assert package.right.mu == pytest.approx(
+            experiment.calibration.estimates.right.mu)
+
+    def test_save_load_roundtrip(self, experiment, tmp_path):
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        path = tmp_path / "pen.json"
+        package.save(path)
+        restored = QualityPackage.load(path)
+        assert restored.threshold == pytest.approx(package.threshold)
+        cues = experiment.material.evaluation.cues
+        indices = experiment.classifier.predict_indices(cues).astype(float)
+        np.testing.assert_allclose(
+            restored.quality.measure_batch(cues, indices),
+            package.quality.measure_batch(cues, indices),
+            equal_nan=True)
+
+    def test_loaded_package_filters_identically(self, experiment, tmp_path):
+        """A round-tripped package must make identical gate decisions —
+        the property a deployed appliance relies on."""
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        path = tmp_path / "pen.json"
+        package.save(path)
+        restored = QualityPackage.load(path)
+
+        cues = experiment.material.evaluation.cues
+        indices = experiment.classifier.predict_indices(cues).astype(float)
+        q_orig = package.quality.measure_batch(cues, indices)
+        q_rest = restored.quality.measure_batch(cues, indices)
+        accept_orig = q_orig > package.threshold
+        accept_rest = q_rest > restored.threshold
+        np.testing.assert_array_equal(accept_orig, accept_rest)
+
+    def test_bad_kind_rejected(self, experiment, tmp_path):
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        payload = package.to_dict()
+        payload["kind"] = "tsk_system"
+        with pytest.raises(ConfigurationError):
+            QualityPackage.from_dict(payload)
+
+
+class TestPropertyRoundTrips:
+    """Hypothesis: serialization is lossless for arbitrary valid systems."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_tsk_roundtrip(self, data):
+        import numpy as np
+        from hypothesis import strategies as st
+
+        m = data.draw(st.integers(1, 5))
+        d = data.draw(st.integers(1, 4))
+        order = data.draw(st.sampled_from([0, 1]))
+        finite = st.floats(-100, 100, allow_nan=False)
+        positive = st.floats(0.01, 50, allow_nan=False)
+
+        def draw_matrix(rows, cols, strategy):
+            return np.array([[data.draw(strategy) for _ in range(cols)]
+                             for _ in range(rows)])
+
+        system = TSKSystem(
+            means=draw_matrix(m, d, finite),
+            sigmas=draw_matrix(m, d, positive),
+            coefficients=draw_matrix(m, d + 1, finite),
+            order=order)
+        restored = tsk_from_dict(json.loads(json.dumps(
+            tsk_to_dict(system))))
+        x = draw_matrix(4, d, finite)
+        np.testing.assert_allclose(restored.evaluate(x),
+                                   system.evaluate(x),
+                                   rtol=1e-12, atol=1e-12)

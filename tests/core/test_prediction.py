@@ -1,0 +1,94 @@
+"""Tests for repro.core.prediction — quality-trend change prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import ContextChangePredictor
+from repro.exceptions import ConfigurationError
+from repro.types import Classification, ContextClass, QualifiedClassification
+
+
+def report(quality, index=1):
+    return QualifiedClassification(
+        classification=Classification(cues=np.zeros(3),
+                                      context=ContextClass(index, f"c{index}")),
+        quality=quality)
+
+
+class TestValidation:
+    def test_window(self):
+        with pytest.raises(ConfigurationError):
+            ContextChangePredictor(window=2)
+
+    def test_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ContextChangePredictor(threshold=1.2)
+
+    def test_slope(self):
+        with pytest.raises(ConfigurationError):
+            ContextChangePredictor(slope_alert=0.0)
+
+
+class TestPrediction:
+    def test_insufficient_history(self):
+        predictor = ContextChangePredictor()
+        out = predictor.observe(report(0.9))
+        assert not out.change_likely
+        assert out.reason == "insufficient history"
+
+    def test_stable_quality_no_alarm(self):
+        predictor = ContextChangePredictor(slope_alert=-0.05)
+        for _ in range(8):
+            out = predictor.observe(report(0.9))
+        assert not out.change_likely
+        assert out.trend is not None
+        assert out.trend.slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_declining_quality_alarms(self):
+        """Paper section 5: a quality decline indicates the context is
+        changing in the direction of another context."""
+        predictor = ContextChangePredictor(window=6, slope_alert=-0.03)
+        qualities = [0.95, 0.88, 0.80, 0.71, 0.63, 0.55]
+        for q in qualities:
+            out = predictor.observe(report(q))
+        assert out.change_likely
+        assert out.trend.slope < -0.03
+
+    def test_steps_to_threshold_extrapolation(self):
+        predictor = ContextChangePredictor(window=8, threshold=0.5,
+                                           slope_alert=-0.5)
+        for q in (0.95, 0.9, 0.85, 0.8, 0.75):
+            out = predictor.observe(report(q))
+        # slope -0.05/step, current ~0.75 -> ~5 steps to 0.5.
+        assert out.steps_to_threshold == pytest.approx(5.0, abs=1.5)
+
+    def test_class_switch_resets(self):
+        predictor = ContextChangePredictor()
+        for q in (0.9, 0.7, 0.5):
+            predictor.observe(report(q, index=1))
+        out = predictor.observe(report(0.4, index=2))
+        assert not out.change_likely
+        assert "reset" in out.reason
+
+    def test_epsilon_reports_skipped(self):
+        predictor = ContextChangePredictor()
+        predictor.observe(report(0.9))
+        predictor.observe(report(None))
+        out = predictor.observe(report(0.9))
+        # Only two defined qualities -> still insufficient history.
+        assert out.reason == "insufficient history"
+
+    def test_reset(self):
+        predictor = ContextChangePredictor()
+        for q in (0.9, 0.8, 0.7, 0.6):
+            predictor.observe(report(q))
+        predictor.reset()
+        out = predictor.observe(report(0.5))
+        assert out.reason == "insufficient history"
+
+    def test_trend_fields(self):
+        predictor = ContextChangePredictor()
+        for q in (0.8, 0.8, 0.8, 0.8):
+            out = predictor.observe(report(q))
+        assert out.trend.mean_quality == pytest.approx(0.8)
+        assert out.trend.n_points == 4

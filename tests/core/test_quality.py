@@ -1,0 +1,114 @@
+"""Tests for repro.core.quality — the CQM evaluation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import QualityMeasure
+from repro.exceptions import DimensionError
+from repro.fuzzy.tsk import TSKSystem
+from repro.types import Classification, ContextClass
+
+
+def identity_quality(n_cues=2, offset=0.0):
+    """Quality FIS whose raw output equals the class identifier + offset.
+
+    One wide rule with f = c + offset makes expected q values trivial.
+    """
+    n_inputs = n_cues + 1
+    means = np.zeros((1, n_inputs))
+    sigmas = np.full((1, n_inputs), 100.0)
+    coefficients = np.zeros((1, n_inputs + 1))
+    coefficients[0, n_cues] = 1.0  # weight on the class-identifier input
+    coefficients[0, -1] = offset
+    return QualityMeasure(TSKSystem(means, sigmas, coefficients, order=1),
+                          n_cues=n_cues)
+
+
+class TestConstruction:
+    def test_input_arity_enforced(self):
+        sys = TSKSystem(np.zeros((1, 3)), np.ones((1, 3)),
+                        np.zeros((1, 4)), order=1)
+        QualityMeasure(sys, n_cues=2)  # OK
+        with pytest.raises(DimensionError):
+            QualityMeasure(sys, n_cues=3)
+
+    def test_n_cues_positive(self):
+        sys = TSKSystem(np.zeros((1, 2)), np.ones((1, 2)),
+                        np.zeros((1, 3)), order=1)
+        with pytest.raises(DimensionError):
+            QualityMeasure(sys, n_cues=0)
+
+
+class TestMeasure:
+    def test_scalar_measure(self):
+        qm = identity_quality()
+        assert qm.measure(np.array([0.1, 0.2]), 1) == pytest.approx(1.0)
+        assert qm.measure(np.array([0.1, 0.2]), 0) == pytest.approx(0.0)
+
+    def test_reflection_band(self):
+        qm = identity_quality(offset=-0.3)
+        # class 0 -> raw -0.3 -> reflected to 0.3
+        assert qm.measure(np.zeros(2), 0) == pytest.approx(0.3)
+
+    def test_epsilon(self):
+        qm = identity_quality()
+        # class 2 -> raw 2.0 -> outside [-0.5, 1.5] -> epsilon
+        assert qm.measure(np.zeros(2), 2) is None
+
+    def test_cue_arity_checked(self):
+        qm = identity_quality()
+        with pytest.raises(DimensionError):
+            qm.measure(np.zeros(3), 0)
+
+    def test_batch_matches_scalar(self):
+        qm = identity_quality(offset=0.1)
+        cues = np.random.default_rng(0).normal(size=(5, 2))
+        indices = np.array([0, 1, 0, 1, 0])
+        batch = qm.measure_batch(cues, indices)
+        for i in range(5):
+            scalar = qm.measure(cues[i], int(indices[i]))
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_batch_epsilon_is_nan(self):
+        qm = identity_quality()
+        out = qm.measure_batch(np.zeros((2, 2)), np.array([2, 1]))
+        assert np.isnan(out[0])
+        assert out[1] == pytest.approx(1.0)
+
+    def test_batch_alignment_checked(self):
+        qm = identity_quality()
+        with pytest.raises(DimensionError):
+            qm.measure_batch(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestQualify:
+    def make_classification(self, index):
+        return Classification(cues=np.array([0.1, 0.2]),
+                              context=ContextClass(index, f"c{index}"))
+
+    def test_qualify(self):
+        qm = identity_quality()
+        qc = qm.qualify(self.make_classification(1))
+        assert qc.quality == pytest.approx(1.0)
+        assert not qc.is_error_state
+        assert qc.context.index == 1
+
+    def test_qualify_epsilon(self):
+        qm = identity_quality()
+        qc = qm.qualify(self.make_classification(2))
+        assert qc.quality is None
+        assert qc.is_error_state
+
+    def test_qualify_batch(self):
+        qm = identity_quality()
+        items = [self.make_classification(i) for i in (0, 1, 2)]
+        out = qm.qualify_batch(items)
+        assert out[0].quality == pytest.approx(0.0)
+        assert out[1].quality == pytest.approx(1.0)
+        assert out[2].quality is None
+
+    def test_qualify_batch_empty(self):
+        assert identity_quality().qualify_batch([]) == []
+
+    def test_n_rules(self):
+        assert identity_quality().n_rules == 1

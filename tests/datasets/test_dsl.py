@@ -1,0 +1,81 @@
+"""Tests for repro.datasets.dsl — the textual scenario language."""
+
+import pytest
+
+from repro.datasets.dsl import (STYLES, format_scenario, parse_scenario,
+                                parse_segment)
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import ACTIVITY_MODELS, ERRATIC_STYLE
+from repro.sensors.chair import CHAIR_MODELS
+
+
+class TestParseSegment:
+    def test_basic(self):
+        segment = parse_segment("writing:8", ACTIVITY_MODELS)
+        assert segment.model.context.name == "writing"
+        assert segment.duration_s == 8.0
+        assert segment.style is STYLES["default"]
+
+    def test_float_duration(self):
+        segment = parse_segment("playing:2.5", ACTIVITY_MODELS)
+        assert segment.duration_s == 2.5
+
+    def test_style_suffix(self):
+        segment = parse_segment("writing:8@erratic", ACTIVITY_MODELS)
+        assert segment.style is ERRATIC_STYLE
+
+    def test_unknown_activity(self):
+        with pytest.raises(ConfigurationError, match="juggling"):
+            parse_segment("juggling:3", ACTIVITY_MODELS)
+
+    def test_unknown_style(self):
+        with pytest.raises(ConfigurationError, match="martian"):
+            parse_segment("writing:3@martian", ACTIVITY_MODELS)
+
+    def test_missing_duration(self):
+        with pytest.raises(ConfigurationError):
+            parse_segment("writing", ACTIVITY_MODELS)
+
+    def test_bad_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            parse_segment("writing:soon", ACTIVITY_MODELS)
+
+    def test_nonpositive_duration_propagates(self):
+        with pytest.raises(ConfigurationError):
+            parse_segment("writing:0", ACTIVITY_MODELS)
+
+    def test_chair_registry(self):
+        segment = parse_segment("sitting:5", CHAIR_MODELS)
+        assert segment.model.context.name == "sitting"
+
+
+class TestParseScenario:
+    def test_multi_token(self):
+        segments = parse_scenario("writing:8 playing:2 writing:6 lying:3")
+        assert [s.model.context.name for s in segments] == [
+            "writing", "playing", "writing", "lying"]
+        assert sum(s.duration_s for s in segments) == 19.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_scenario("   ")
+
+    def test_default_registry_is_pen(self):
+        segments = parse_scenario("lying:3")
+        assert segments[0].model is ACTIVITY_MODELS["lying"]
+
+    def test_roundtrip_through_format(self):
+        text = "writing:8 playing:2.5@erratic lying:3@heavy"
+        segments = parse_scenario(text)
+        assert format_scenario(segments) == text
+
+    def test_scenario_renders_and_streams(self, rng):
+        """DSL scenarios drive the sensor node end to end."""
+        from repro.sensors.accelerometer import AWAREPEN_CLASSES
+        from repro.sensors.node import SensorNode
+
+        segments = parse_scenario("lying:3 playing:3")
+        windows = SensorNode().collect(segments, rng, AWAREPEN_CLASSES)
+        assert len(windows) > 5
+        names = {w.true_context.name for w in windows}
+        assert "lying" in names and "playing" in names

@@ -1,0 +1,84 @@
+"""Tests for repro.datasets.export — NPZ/CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.export import (EXPORT_VERSION, load_csv, load_npz,
+                                   save_csv, save_npz)
+from repro.exceptions import ConfigurationError
+
+
+class TestNPZ:
+    def test_roundtrip_lossless(self, material, tmp_path):
+        path = tmp_path / "eval.npz"
+        save_npz(material.evaluation, path)
+        restored = load_npz(path)
+        np.testing.assert_array_equal(restored.cues,
+                                      material.evaluation.cues)
+        np.testing.assert_array_equal(restored.labels,
+                                      material.evaluation.labels)
+        np.testing.assert_array_equal(restored.transition,
+                                      material.evaluation.transition)
+        assert [c.name for c in restored.classes] == [
+            c.name for c in material.evaluation.classes]
+
+    def test_version_checked(self, material, tmp_path):
+        path = tmp_path / "eval.npz"
+        save_npz(material.evaluation, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array(EXPORT_VERSION + 1)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ConfigurationError, match="version"):
+            load_npz(path)
+
+    def test_restored_dataset_usable_in_pipeline(self, material,
+                                                 experiment, tmp_path):
+        path = tmp_path / "analysis.npz"
+        save_npz(material.analysis, path)
+        restored = load_npz(path)
+        from repro.core import calibrate
+        cal = calibrate(experiment.augmented, restored)
+        assert cal.s == pytest.approx(experiment.calibration.s)
+
+
+class TestCSV:
+    def test_roundtrip(self, material, tmp_path):
+        path = tmp_path / "eval.csv"
+        save_csv(material.evaluation, path)
+        restored = load_csv(path)
+        np.testing.assert_allclose(restored.cues,
+                                   material.evaluation.cues)
+        np.testing.assert_array_equal(restored.labels,
+                                      material.evaluation.labels)
+        np.testing.assert_array_equal(restored.transition,
+                                      material.evaluation.transition)
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "notes.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            load_csv(path)
+
+    def test_empty_data_rejected(self, material, tmp_path):
+        path = tmp_path / "eval.csv"
+        save_csv(material.evaluation, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        with pytest.raises(ConfigurationError, match="no data rows"):
+            load_csv(path)
+
+    def test_class_table_preserved(self, material, tmp_path):
+        path = tmp_path / "eval.csv"
+        save_csv(material.evaluation, path)
+        restored = load_csv(path)
+        assert {c.index for c in restored.classes} == {0, 1, 2}
+        assert {c.name for c in restored.classes} == {
+            "lying", "writing", "playing"}
+
+    def test_csv_float_precision(self, material, tmp_path):
+        """repr-based serialization keeps full float64 precision."""
+        path = tmp_path / "eval.csv"
+        save_csv(material.evaluation, path)
+        restored = load_csv(path)
+        np.testing.assert_array_equal(restored.cues,
+                                      material.evaluation.cues)

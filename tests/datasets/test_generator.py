@@ -1,0 +1,111 @@
+"""Tests for repro.datasets.generator and activities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.activities import (evaluation_script, stress_script,
+                                       training_script)
+from repro.datasets.generator import (WindowDataset, generate_dataset,
+                                      make_awarepen_material,
+                                      windows_to_dataset)
+from repro.exceptions import (ConfigurationError, EmptyDatasetError)
+from repro.sensors.accelerometer import AWAREPEN_CLASSES
+
+
+class TestScripts:
+    def test_training_script_covers_all_activities(self, rng):
+        segments = training_script(rng, repetitions=2)
+        names = {s.model.context.name for s in segments}
+        assert names == {"lying", "writing", "playing"}
+        assert len(segments) == 6
+
+    def test_training_script_mixes_styles(self, rng):
+        segments = training_script(rng, repetitions=4)
+        styles = {s.style for s in segments}
+        assert len(styles) == 2
+
+    def test_evaluation_script_contains_thinking_pauses(self, rng):
+        segments = evaluation_script(rng, blocks=2)
+        # Pattern per block: writing, playing (thinking), writing, lying.
+        names = [s.model.context.name for s in segments]
+        assert names[:4] == ["writing", "playing", "writing", "lying"]
+
+    def test_stress_script_never_repeats_consecutively(self, rng):
+        segments = stress_script(rng, n_segments=40)
+        names = [s.model.context.name for s in segments]
+        assert all(a != b for a, b in zip(names, names[1:]))
+
+    def test_scripts_deterministic(self):
+        a = training_script(np.random.default_rng(5))
+        b = training_script(np.random.default_rng(5))
+        assert [s.duration_s for s in a] == [s.duration_s for s in b]
+
+
+class TestWindowDataset:
+    def test_validation(self, rng):
+        cues = rng.normal(size=(5, 3))
+        with pytest.raises(ConfigurationError):
+            WindowDataset(cues=cues, labels=np.zeros(4, dtype=int),
+                          transition=np.zeros(5, bool),
+                          classes=AWAREPEN_CLASSES)
+
+    def test_subset(self, material):
+        sub = material.analysis.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels,
+                                      material.analysis.labels[[0, 2, 4]])
+
+    def test_class_counts_sum(self, material):
+        counts = material.analysis.class_counts()
+        assert sum(counts.values()) == len(material.analysis)
+
+    def test_windows_to_dataset_empty(self):
+        with pytest.raises(EmptyDatasetError):
+            windows_to_dataset([], AWAREPEN_CLASSES)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_dataset(lambda r: training_script(r, repetitions=1),
+                             seed=11)
+        b = generate_dataset(lambda r: training_script(r, repetitions=1),
+                             seed=11)
+        np.testing.assert_array_equal(a.cues, b.cues)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(lambda r: training_script(r, repetitions=1),
+                             seed=1)
+        b = generate_dataset(lambda r: training_script(r, repetitions=1),
+                             seed=2)
+        assert not np.array_equal(a.cues, b.cues)
+
+    def test_cue_dimensionality(self, material):
+        assert material.classifier_train.cues.shape[1] == 3
+
+
+class TestMaterial:
+    def test_all_roles_present(self, material):
+        assert len(material.classifier_train) > 50
+        assert len(material.quality_train) > 50
+        assert len(material.quality_check) > 20
+        assert len(material.analysis) > 30
+        assert len(material.evaluation) == 24
+
+    def test_roles_are_disjoint_data(self, material):
+        # Different seeded scenarios: no identical cue rows across roles.
+        train_set = {tuple(row) for row in material.quality_train.cues}
+        analysis_set = {tuple(row) for row in material.analysis.cues}
+        assert not train_set & analysis_set
+
+    def test_evaluation_size_configurable(self):
+        m = make_awarepen_material(seed=3, evaluation_size=12)
+        assert len(m.evaluation) == 12
+
+    def test_evaluation_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_awarepen_material(evaluation_size=2)
+
+    def test_all_classes_in_training(self, material):
+        counts = material.classifier_train.class_counts()
+        assert all(v > 0 for v in counts.values())

@@ -1,0 +1,72 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import three_way_split, train_check_split
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+
+
+class TestTrainCheckSplit:
+    def test_partition(self):
+        split = train_check_split(10, check_fraction=0.3, seed=0)
+        merged = np.sort(np.concatenate([split.first, split.second]))
+        np.testing.assert_array_equal(merged, np.arange(10))
+
+    def test_fraction_respected(self):
+        split = train_check_split(100, check_fraction=0.25, seed=1)
+        assert len(split.second) == 25
+
+    def test_deterministic(self):
+        a = train_check_split(50, seed=7)
+        b = train_check_split(50, seed=7)
+        np.testing.assert_array_equal(a.first, b.first)
+
+    def test_different_seeds_differ(self):
+        a = train_check_split(50, seed=1)
+        b = train_check_split(50, seed=2)
+        assert not np.array_equal(a.first, b.first)
+
+    def test_validation(self):
+        with pytest.raises(EmptyDatasetError):
+            train_check_split(1)
+        with pytest.raises(ConfigurationError):
+            train_check_split(10, check_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_check_split(10, check_fraction=1.0)
+
+    def test_stratified_preserves_proportions(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        split = train_check_split(100, check_fraction=0.25, seed=0,
+                                  stratify_on=labels)
+        check_labels = labels[split.second]
+        assert np.sum(check_labels == 0) == 20
+        assert np.sum(check_labels == 1) == 5
+
+    def test_stratified_keeps_rare_class_in_train(self):
+        labels = np.array([0] * 98 + [1] * 2)
+        split = train_check_split(100, check_fraction=0.5, seed=0,
+                                  stratify_on=labels)
+        assert np.sum(labels[split.first] == 1) >= 1
+
+    def test_stratified_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            train_check_split(10, stratify_on=np.zeros(5, dtype=int))
+
+
+class TestThreeWaySplit:
+    def test_partition(self):
+        train, check, test = three_way_split(40, seed=3)
+        merged = np.sort(np.concatenate([train, check, test]))
+        np.testing.assert_array_equal(merged, np.arange(40))
+
+    def test_fractions(self):
+        train, check, test = three_way_split(100, check_fraction=0.2,
+                                             test_fraction=0.3, seed=0)
+        assert len(train) == 50
+        assert abs(len(check) - 20) <= 1
+        assert abs(len(test) - 30) <= 1
+
+    def test_fraction_sum_validated(self):
+        with pytest.raises(ConfigurationError):
+            three_way_split(10, check_fraction=0.5, test_fraction=0.5)

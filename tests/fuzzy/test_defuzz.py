@@ -1,0 +1,89 @@
+"""Tests for repro.fuzzy.defuzz."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.fuzzy import defuzz
+
+
+@pytest.fixture
+def symmetric_triangle():
+    x = np.linspace(0.0, 2.0, 401)
+    mu = np.maximum(0.0, 1.0 - np.abs(x - 1.0))
+    return x, mu
+
+
+class TestCentroid:
+    def test_symmetric_shape_centers(self, symmetric_triangle):
+        x, mu = symmetric_triangle
+        assert defuzz.centroid(x, mu) == pytest.approx(1.0, abs=1e-6)
+
+    def test_asymmetric_shifts_toward_mass(self):
+        x = np.linspace(0.0, 1.0, 201)
+        mu = x  # ramp: more mass to the right
+        assert defuzz.centroid(x, mu) > 0.5
+
+    def test_all_zero_raises(self):
+        x = np.linspace(0, 1, 11)
+        with pytest.raises(ConfigurationError):
+            defuzz.centroid(x, np.zeros_like(x))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            defuzz.centroid(np.zeros(4), np.zeros(5))
+
+
+class TestBisector:
+    def test_symmetric_shape(self, symmetric_triangle):
+        x, mu = symmetric_triangle
+        assert defuzz.bisector(x, mu) == pytest.approx(1.0, abs=1e-3)
+
+    def test_uniform_curve(self):
+        x = np.linspace(0.0, 4.0, 101)
+        mu = np.ones_like(x)
+        assert defuzz.bisector(x, mu) == pytest.approx(2.0, abs=1e-6)
+
+    def test_halves_have_equal_area(self):
+        x = np.linspace(0.0, 1.0, 501)
+        mu = x ** 2
+        b = defuzz.bisector(x, mu)
+        left = np.trapezoid(np.where(x <= b, mu, 0.0), x)
+        right = np.trapezoid(np.where(x > b, mu, 0.0), x)
+        assert left == pytest.approx(right, rel=0.02)
+
+
+class TestMaximumFamily:
+    def test_mom_plateau(self):
+        x = np.linspace(0.0, 3.0, 301)
+        mu = np.where((x >= 1.0) & (x <= 2.0), 1.0, 0.0)
+        assert defuzz.mean_of_maximum(x, mu) == pytest.approx(1.5, abs=1e-2)
+        assert defuzz.smallest_of_maximum(x, mu) == pytest.approx(1.0, abs=1e-2)
+        assert defuzz.largest_of_maximum(x, mu) == pytest.approx(2.0, abs=1e-2)
+
+    def test_single_peak(self, symmetric_triangle):
+        x, mu = symmetric_triangle
+        assert defuzz.mean_of_maximum(x, mu) == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_curve_raises(self):
+        x = np.linspace(0, 1, 11)
+        for fn in (defuzz.mean_of_maximum, defuzz.smallest_of_maximum,
+                   defuzz.largest_of_maximum):
+            with pytest.raises(ConfigurationError):
+                fn(x, np.zeros_like(x))
+
+
+class TestLookup:
+    def test_all_registered(self):
+        for name in ("centroid", "bisector", "mom", "som", "lom"):
+            assert callable(defuzz.get_defuzzifier(name))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="centroid"):
+            defuzz.get_defuzzifier("unknown")
+
+    def test_negative_membership_rejected(self):
+        x = np.linspace(0, 1, 11)
+        mu = np.full_like(x, -0.1)
+        with pytest.raises(ConfigurationError):
+            defuzz.centroid(x, mu)

@@ -1,0 +1,90 @@
+"""Tests for repro.fuzzy.hedges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.hedges import (HEDGES, apply_hedge, extremely, indeed,
+                                power_hedge, slightly, somewhat, very)
+from repro.fuzzy.membership import GaussianMF
+from repro.fuzzy.sets import FuzzySet
+
+unit = st.floats(0.0, 1.0)
+
+
+class TestHedgeMath:
+    @given(mu=unit)
+    def test_very_concentrates(self, mu):
+        assert float(very(mu)) <= mu + 1e-12
+
+    @given(mu=unit)
+    def test_somewhat_dilates(self, mu):
+        assert float(somewhat(mu)) >= mu - 1e-12
+
+    @given(mu=unit)
+    def test_order(self, mu):
+        assert (float(extremely(mu)) <= float(very(mu)) + 1e-12
+                <= mu + 2e-12)
+        assert (mu <= float(somewhat(mu)) + 1e-12
+                <= float(slightly(mu)) + 2e-12)
+
+    @given(mu=unit)
+    def test_all_preserve_unit_interval(self, mu):
+        for hedge in HEDGES.values():
+            v = float(hedge(mu))
+            assert -1e-12 <= v <= 1.0 + 1e-12
+
+    def test_indeed_fixed_points(self):
+        assert float(indeed(0.0)) == pytest.approx(0.0)
+        assert float(indeed(0.5)) == pytest.approx(0.5)
+        assert float(indeed(1.0)) == pytest.approx(1.0)
+
+    @given(mu=st.floats(0.0, 0.49))
+    def test_indeed_suppresses_low(self, mu):
+        assert float(indeed(mu)) <= mu + 1e-12
+
+    @given(mu=st.floats(0.51, 1.0))
+    def test_indeed_boosts_high(self, mu):
+        assert float(indeed(mu)) >= mu - 1e-12
+
+    def test_power_hedge(self):
+        cube = power_hedge(3.0)
+        assert float(cube(0.5)) == pytest.approx(0.125)
+        with pytest.raises(ConfigurationError):
+            power_hedge(0.0)
+
+
+class TestHedgedSets:
+    def test_apply_hedge_names(self):
+        low = FuzzySet("quality.low", GaussianMF(mean=0.0, sigma=0.2))
+        very_low = apply_hedge(low, "very")
+        assert very_low.name == "very quality.low"
+
+    def test_apply_hedge_membership(self):
+        low = FuzzySet("low", GaussianMF(mean=0.0, sigma=0.2))
+        very_low = apply_hedge(low, "very")
+        x = 0.15
+        assert float(very_low(x)) == pytest.approx(float(low(x)) ** 2)
+
+    def test_unknown_hedge(self):
+        low = FuzzySet("low", GaussianMF(mean=0.0, sigma=0.2))
+        with pytest.raises(KeyError, match="very"):
+            apply_hedge(low, "immensely")
+
+    def test_hedged_mf_parameters(self):
+        low = FuzzySet("low", GaussianMF(mean=0.0, sigma=0.2))
+        very_low = apply_hedge(low, "very")
+        params = very_low.mf.parameters()
+        assert params["hedge"] == "very"
+        assert params["mean"] == 0.0
+
+    def test_support_center_passthrough(self):
+        low = FuzzySet("low", GaussianMF(mean=0.3, sigma=0.2))
+        assert apply_hedge(low, "very").mf.support_center() == 0.3
+
+    def test_stacking_hedges(self):
+        low = FuzzySet("low", GaussianMF(mean=0.0, sigma=0.2))
+        very_very_low = apply_hedge(apply_hedge(low, "very"), "very")
+        x = 0.1
+        assert float(very_very_low(x)) == pytest.approx(float(low(x)) ** 4)

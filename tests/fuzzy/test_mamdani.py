@@ -1,0 +1,123 @@
+"""Tests for repro.fuzzy.mamdani."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.fuzzy.mamdani import MamdaniRule, MamdaniSystem
+from repro.fuzzy.membership import TriangularMF
+from repro.fuzzy.sets import LinguisticVariable
+
+
+def build_system():
+    """A tiny quality-advice system: low activity -> low trust."""
+    activity = LinguisticVariable("activity", (0.0, 1.0), terms={
+        "low": TriangularMF(a=0.0, b=0.0, c=0.6),
+        "high": TriangularMF(a=0.4, b=1.0, c=1.0),
+    })
+    trust = LinguisticVariable("trust", (0.0, 1.0), terms={
+        "low": TriangularMF(a=0.0, b=0.0, c=0.5),
+        "high": TriangularMF(a=0.5, b=1.0, c=1.0),
+    })
+    system = MamdaniSystem(inputs=[activity], output=trust)
+    system.add_rule({"activity": "low"}, "low")
+    system.add_rule({"activity": "high"}, "high")
+    return system
+
+
+class TestRuleValidation:
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MamdaniRule(antecedent={}, consequent="x")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MamdaniRule(antecedent={"a": "low"}, consequent="x", weight=0.0)
+
+    def test_unknown_variable_rejected(self):
+        system = build_system()
+        with pytest.raises(ConfigurationError):
+            system.add_rule({"nope": "low"}, "low")
+
+    def test_unknown_term_rejected(self):
+        system = build_system()
+        with pytest.raises(KeyError):
+            system.add_rule({"activity": "nope"}, "low")
+
+    def test_unknown_consequent_rejected(self):
+        system = build_system()
+        with pytest.raises(KeyError):
+            system.add_rule({"activity": "low"}, "nope")
+
+
+class TestInference:
+    def test_extremes(self):
+        system = build_system()
+        assert system.evaluate({"activity": 0.0}) < 0.35
+        assert system.evaluate({"activity": 1.0}) > 0.65
+
+    def test_monotone_in_input(self):
+        system = build_system()
+        outputs = [system.evaluate({"activity": v})
+                   for v in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(outputs, outputs[1:]))
+
+    def test_rule_activations(self):
+        system = build_system()
+        acts = system.rule_activations({"activity": 0.0})
+        assert acts[0] == pytest.approx(1.0)
+        assert acts[1] == pytest.approx(0.0)
+
+    def test_missing_input_raises(self):
+        system = build_system()
+        with pytest.raises(ConfigurationError, match="activity"):
+            system.evaluate({})
+
+    def test_no_rules_raises(self):
+        activity = LinguisticVariable("a", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        out = LinguisticVariable("o", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        system = MamdaniSystem(inputs=[activity], output=out)
+        with pytest.raises(NotFittedError):
+            system.evaluate({"a": 0.5})
+
+    def test_default_when_nothing_fires(self):
+        activity = LinguisticVariable("a", (0.0, 10.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        out = LinguisticVariable("o", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        system = MamdaniSystem(inputs=[activity], output=out)
+        system.add_rule({"a": "low"}, "low")
+        assert system.evaluate({"a": 9.0}, default=0.5) == 0.5
+
+    def test_rule_weight_scales_activation(self):
+        system = build_system()
+        weighted = MamdaniSystem(
+            inputs=[system.inputs["activity"]], output=system.output)
+        weighted.add_rule({"activity": "low"}, "low", weight=0.5)
+        full = system.rule_activations({"activity": 0.0})[0]
+        half = weighted.rule_activations({"activity": 0.0})[0]
+        assert half == pytest.approx(0.5 * full)
+
+
+class TestConstruction:
+    def test_duplicate_input_names_rejected(self):
+        v = LinguisticVariable("a", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        out = LinguisticVariable("o", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        with pytest.raises(ConfigurationError):
+            MamdaniSystem(inputs=[v, v], output=out)
+
+    def test_needs_input(self):
+        out = LinguisticVariable("o", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        with pytest.raises(ConfigurationError):
+            MamdaniSystem(inputs=[], output=out)
+
+    def test_output_needs_terms(self):
+        v = LinguisticVariable("a", (0.0, 1.0), terms={
+            "low": TriangularMF(a=0.0, b=0.0, c=1.0)})
+        out = LinguisticVariable("o", (0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            MamdaniSystem(inputs=[v], output=out)

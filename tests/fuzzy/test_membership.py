@@ -1,0 +1,165 @@
+"""Tests for repro.fuzzy.membership."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.membership import (GaussianMF, GeneralizedBellMF, SigmoidMF,
+                                    TrapezoidalMF, TriangularMF,
+                                    gaussian_sigma_from_radius)
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestGaussianMF:
+    def test_peak_at_mean(self):
+        mf = GaussianMF(mean=2.0, sigma=0.5)
+        assert mf(2.0) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        mf = GaussianMF(mean=1.0, sigma=0.7)
+        assert mf(1.0 + 0.3) == pytest.approx(mf(1.0 - 0.3))
+
+    def test_one_sigma_value(self):
+        mf = GaussianMF(mean=0.0, sigma=1.0)
+        assert mf(1.0) == pytest.approx(np.exp(-0.5))
+
+    def test_vectorized(self):
+        mf = GaussianMF(mean=0.0, sigma=1.0)
+        out = mf(np.array([0.0, 1.0, 2.0]))
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_paper_formula(self):
+        # F(v) = exp(-(v - mu)^2 / (2 sigma^2))
+        mf = GaussianMF(mean=0.3, sigma=0.2)
+        v = 0.55
+        expected = np.exp(-((v - 0.3) ** 2) / (2 * 0.2 ** 2))
+        assert mf(v) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMF(mean=0.0, sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            GaussianMF(mean=0.0, sigma=-1.0)
+
+    def test_parameters_roundtrip(self):
+        mf = GaussianMF(mean=1.5, sigma=0.25)
+        assert mf.parameters() == {"mean": 1.5, "sigma": 0.25}
+        assert mf.support_center() == 1.5
+
+    @given(x=finite, mean=finite,
+           sigma=st.floats(min_value=1e-3, max_value=1e3))
+    def test_range_invariant(self, x, mean, sigma):
+        value = float(GaussianMF(mean=mean, sigma=sigma)(x))
+        assert 0.0 <= value <= 1.0
+
+
+class TestTriangularMF:
+    def test_peak_and_feet(self):
+        mf = TriangularMF(a=0.0, b=1.0, c=2.0)
+        assert mf(1.0) == pytest.approx(1.0)
+        assert mf(0.0) == pytest.approx(0.0)
+        assert mf(2.0) == pytest.approx(0.0)
+        assert mf(0.5) == pytest.approx(0.5)
+
+    def test_outside_support_is_zero(self):
+        mf = TriangularMF(a=0.0, b=1.0, c=2.0)
+        assert mf(-1.0) == 0.0
+        assert mf(3.0) == 0.0
+
+    def test_left_shoulder(self):
+        mf = TriangularMF(a=0.0, b=0.0, c=1.0)
+        assert mf(0.0) == pytest.approx(1.0)
+        assert mf(0.5) == pytest.approx(0.5)
+
+    def test_right_shoulder(self):
+        mf = TriangularMF(a=0.0, b=1.0, c=1.0)
+        assert mf(1.0) == pytest.approx(1.0)
+        assert float(mf(1.2)) == pytest.approx(0.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            TriangularMF(a=2.0, b=1.0, c=0.0)
+        with pytest.raises(ConfigurationError):
+            TriangularMF(a=1.0, b=1.0, c=1.0)
+
+    @given(x=finite)
+    def test_range_invariant(self, x):
+        value = float(TriangularMF(a=-1.0, b=0.5, c=2.0)(x))
+        assert 0.0 <= value <= 1.0
+
+
+class TestTrapezoidalMF:
+    def test_plateau(self):
+        mf = TrapezoidalMF(a=0.0, b=1.0, c=2.0, d=3.0)
+        assert mf(1.0) == pytest.approx(1.0)
+        assert mf(1.5) == pytest.approx(1.0)
+        assert mf(2.0) == pytest.approx(1.0)
+
+    def test_slopes(self):
+        mf = TrapezoidalMF(a=0.0, b=1.0, c=2.0, d=3.0)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(2.5) == pytest.approx(0.5)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            TrapezoidalMF(a=0.0, b=2.0, c=1.0, d=3.0)
+
+    def test_support_center(self):
+        mf = TrapezoidalMF(a=0.0, b=1.0, c=2.0, d=3.0)
+        assert mf.support_center() == pytest.approx(1.5)
+
+
+class TestGeneralizedBellMF:
+    def test_peak_at_center(self):
+        mf = GeneralizedBellMF(a=1.0, b=2.0, c=3.0)
+        assert mf(3.0) == pytest.approx(1.0)
+
+    def test_half_height_at_a(self):
+        mf = GeneralizedBellMF(a=2.0, b=3.0, c=0.0)
+        assert mf(2.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GeneralizedBellMF(a=0.0, b=1.0, c=0.0)
+        with pytest.raises(ConfigurationError):
+            GeneralizedBellMF(a=1.0, b=-1.0, c=0.0)
+
+
+class TestSigmoidMF:
+    def test_half_at_center(self):
+        mf = SigmoidMF(center=1.0, slope=4.0)
+        assert mf(1.0) == pytest.approx(0.5)
+
+    def test_monotone_increasing(self):
+        mf = SigmoidMF(center=0.0, slope=2.0)
+        xs = np.linspace(-3, 3, 20)
+        ys = np.asarray(mf(xs))
+        assert np.all(np.diff(ys) > 0)
+
+    def test_negative_slope_decreasing(self):
+        mf = SigmoidMF(center=0.0, slope=-2.0)
+        assert mf(-2.0) > mf(2.0)
+
+
+class TestGaussianSigmaFromRadius:
+    def test_genfis2_convention(self):
+        # sigma = r * range / sqrt(8)
+        assert gaussian_sigma_from_radius(0.5, 2.0) == pytest.approx(
+            0.5 * 2.0 / np.sqrt(8))
+
+    def test_membership_at_radius_matches_chiu_kernel(self):
+        # At distance r*range, membership should be exp(-4).
+        radius, rng_span = 0.4, 1.0
+        sigma = gaussian_sigma_from_radius(radius, rng_span)
+        mf = GaussianMF(mean=0.0, sigma=sigma)
+        assert mf(radius * rng_span) == pytest.approx(np.exp(-4.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_sigma_from_radius(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            gaussian_sigma_from_radius(0.5, 0.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.fuzzy.norms — t-norm/s-norm axioms and lookups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fuzzy import norms
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+ALL_T = list(norms.T_NORMS.items())
+ALL_S = list(norms.S_NORMS.items())
+
+
+@pytest.mark.parametrize("name,t", ALL_T)
+class TestTNormAxioms:
+    @given(a=unit)
+    def test_identity_one(self, name, t, a):
+        assert float(t(a, 1.0)) == pytest.approx(a, abs=1e-12)
+
+    @given(a=unit, b=unit)
+    def test_commutative(self, name, t, a, b):
+        assert float(t(a, b)) == pytest.approx(float(t(b, a)))
+
+    @given(a=unit, b=unit)
+    def test_bounded(self, name, t, a, b):
+        v = float(t(a, b))
+        assert -1e-12 <= v <= min(a, b) + 1e-12
+
+    @given(a=unit, b=unit, c=unit)
+    def test_monotone(self, name, t, a, b, c):
+        lo, hi = min(b, c), max(b, c)
+        assert float(t(a, lo)) <= float(t(a, hi)) + 1e-12
+
+
+@pytest.mark.parametrize("name,s", ALL_S)
+class TestSNormAxioms:
+    @given(a=unit)
+    def test_identity_zero(self, name, s, a):
+        assert float(s(a, 0.0)) == pytest.approx(a, abs=1e-12)
+
+    @given(a=unit, b=unit)
+    def test_commutative(self, name, s, a, b):
+        assert float(s(a, b)) == pytest.approx(float(s(b, a)))
+
+    @given(a=unit, b=unit)
+    def test_bounded(self, name, s, a, b):
+        v = float(s(a, b))
+        assert max(a, b) - 1e-12 <= v <= 1.0 + 1e-12
+
+
+class TestSpecificValues:
+    def test_product(self):
+        assert norms.t_product(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_lukasiewicz_t(self):
+        assert norms.t_lukasiewicz(0.5, 0.4) == pytest.approx(0.0)
+        assert norms.t_lukasiewicz(0.8, 0.7) == pytest.approx(0.5)
+
+    def test_drastic_t(self):
+        assert float(norms.t_drastic(1.0, 0.3)) == pytest.approx(0.3)
+        assert float(norms.t_drastic(0.9, 0.9)) == pytest.approx(0.0)
+
+    def test_probabilistic_sum(self):
+        assert norms.s_probabilistic(0.5, 0.5) == pytest.approx(0.75)
+
+    def test_drastic_s(self):
+        assert float(norms.s_drastic(0.0, 0.3)) == pytest.approx(0.3)
+        assert float(norms.s_drastic(0.1, 0.1)) == pytest.approx(1.0)
+
+
+class TestComplements:
+    @given(a=unit)
+    def test_standard_involution(self, a):
+        assert norms.complement_standard(
+            norms.complement_standard(a)) == pytest.approx(a)
+
+    @given(a=unit)
+    def test_sugeno_boundaries(self, a):
+        c = float(norms.complement_sugeno(a, lam=2.0))
+        assert 0.0 - 1e-12 <= c <= 1.0 + 1e-12
+
+    def test_sugeno_lambda_zero_is_standard(self):
+        assert norms.complement_sugeno(0.3, lam=0.0) == pytest.approx(0.7)
+
+    def test_sugeno_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            norms.complement_sugeno(0.5, lam=-1.0)
+
+    def test_yager_w1_is_standard(self):
+        assert norms.complement_yager(0.3, w=1.0) == pytest.approx(0.7)
+
+    def test_yager_rejects_bad_w(self):
+        with pytest.raises(ValueError):
+            norms.complement_yager(0.5, w=0.0)
+
+
+class TestReduceNorm:
+    def test_product_reduction(self):
+        values = np.array([[0.5, 0.5, 0.5], [1.0, 0.2, 0.1]])
+        out = norms.reduce_norm(norms.t_product, values)
+        assert out == pytest.approx([0.125, 0.02])
+
+    def test_min_reduction(self):
+        values = np.array([[0.5, 0.9], [0.3, 0.2]])
+        out = norms.reduce_norm(norms.t_min, values)
+        assert out == pytest.approx([0.5, 0.2])
+
+    def test_generic_fold_matches_fast_path(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(size=(10, 4))
+        fast = norms.reduce_norm(norms.t_product, values)
+        slow = norms.reduce_norm(lambda a, b: a * b, values)
+        np.testing.assert_allclose(fast, slow)
+
+
+class TestLookups:
+    def test_get_t_norm(self):
+        assert norms.get_t_norm("product") is norms.t_product
+
+    def test_get_s_norm(self):
+        assert norms.get_s_norm("max") is norms.s_max
+
+    def test_unknown_names_raise_with_options(self):
+        with pytest.raises(KeyError, match="product"):
+            norms.get_t_norm("nope")
+        with pytest.raises(KeyError, match="max"):
+            norms.get_s_norm("nope")

@@ -1,0 +1,96 @@
+"""Tests for repro.fuzzy.partition — grid-partition structure (genfis1)."""
+
+import numpy as np
+import pytest
+
+from repro.anfis.lse import fit_consequents
+from repro.exceptions import (ConfigurationError, DimensionError,
+                              TrainingError)
+from repro.fuzzy.partition import (MAX_GRID_RULES, grid_membership_centers,
+                                   grid_partition_fis, grid_rule_count)
+
+
+class TestCenters:
+    def test_even_spacing(self):
+        centers = grid_membership_centers(0.0, 1.0, 3)
+        np.testing.assert_allclose(centers, [0.0, 0.5, 1.0])
+
+    def test_single_mf_at_midpoint(self):
+        np.testing.assert_allclose(grid_membership_centers(0.0, 2.0, 1),
+                                   [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grid_membership_centers(0.0, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            grid_membership_centers(1.0, 1.0, 2)
+
+
+class TestGridPartition:
+    def test_rule_count(self, rng):
+        x = rng.uniform(size=(50, 3))
+        fis = grid_partition_fis(x, n_mfs=2)
+        assert fis.n_rules == 8
+        assert fis.n_inputs == 3
+
+    def test_rule_count_helper(self):
+        assert grid_rule_count(3, 2) == 8
+        assert grid_rule_count(4, 3) == 81
+        with pytest.raises(ConfigurationError):
+            grid_rule_count(0, 2)
+
+    def test_explosion_guard(self, rng):
+        x = rng.uniform(size=(10, 13))
+        with pytest.raises(TrainingError, match="combinatorial"):
+            grid_partition_fis(x, n_mfs=2)
+        assert 2 ** 13 > MAX_GRID_RULES
+
+    def test_covers_data_range(self, rng):
+        x = rng.uniform(-2.0, 5.0, size=(100, 2))
+        fis = grid_partition_fis(x, n_mfs=3)
+        assert fis.means.min() == pytest.approx(x.min(axis=0).min(), abs=0.1)
+        assert fis.means.max() == pytest.approx(x.max(axis=0).max(), abs=0.1)
+
+    def test_explicit_bounds(self, rng):
+        x = rng.uniform(size=(20, 2))
+        fis = grid_partition_fis(x, n_mfs=2, bounds=[(0.0, 1.0), (-1.0, 1.0)])
+        assert set(np.round(np.unique(fis.means[:, 1]), 6)) == {-1.0, 1.0}
+
+    def test_bounds_length_validated(self, rng):
+        x = rng.uniform(size=(20, 2))
+        with pytest.raises(ConfigurationError):
+            grid_partition_fis(x, bounds=[(0.0, 1.0)])
+
+    def test_constant_column_handled(self, rng):
+        x = rng.uniform(size=(30, 2))
+        x[:, 1] = 3.0
+        fis = grid_partition_fis(x, n_mfs=2)
+        assert np.all(fis.sigmas > 0)
+        assert np.all(np.isfinite(fis.evaluate(x)))
+
+    def test_validation(self, rng):
+        with pytest.raises(DimensionError):
+            grid_partition_fis(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            grid_partition_fis(rng.uniform(size=(10, 2)), overlap=0.0)
+
+    def test_fits_nonlinear_function_after_lse(self, rng):
+        """A grid partition plus LSE approximates a smooth 2-D surface."""
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = np.sin(2 * x[:, 0]) + 0.5 * x[:, 1] ** 2
+        fis = grid_partition_fis(x, n_mfs=4)
+        coeffs, _ = fit_consequents(fis, x, y)
+        fis.coefficients = coeffs
+        rmse = np.sqrt(np.mean((fis.evaluate(x) - y) ** 2))
+        assert rmse < 0.1
+
+    def test_more_mfs_more_capacity(self, rng):
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = np.sin(3 * x[:, 0]) * np.cos(2 * x[:, 1])
+        errors = {}
+        for n_mfs in (2, 5):
+            fis = grid_partition_fis(x, n_mfs=n_mfs)
+            coeffs, _ = fit_consequents(fis, x, y)
+            fis.coefficients = coeffs
+            errors[n_mfs] = np.sqrt(np.mean((fis.evaluate(x) - y) ** 2))
+        assert errors[5] < errors[2]

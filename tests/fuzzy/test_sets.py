@@ -1,0 +1,114 @@
+"""Tests for repro.fuzzy.sets — fuzzy sets and linguistic variables."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fuzzy.membership import GaussianMF, TriangularMF
+from repro.fuzzy.sets import (CompositeFuzzySet, FuzzySet, LinguisticVariable)
+
+
+@pytest.fixture
+def low_high():
+    low = FuzzySet("low", TriangularMF(a=0.0, b=0.0, c=0.5))
+    high = FuzzySet("high", TriangularMF(a=0.5, b=1.0, c=1.0))
+    return low, high
+
+
+class TestFuzzySet:
+    def test_callable(self, low_high):
+        low, _ = low_high
+        assert low(0.0) == pytest.approx(1.0)
+        assert low(0.25) == pytest.approx(0.5)
+
+    def test_alpha_cut(self, low_high):
+        low, _ = low_high
+        x = np.linspace(0, 1, 11)
+        mask = low.alpha_cut(x, 0.5)
+        assert mask[0]          # x = 0.0, membership 1.0
+        assert not mask[-1]     # x = 1.0, membership 0.0
+
+    def test_alpha_cut_validates_alpha(self, low_high):
+        low, _ = low_high
+        with pytest.raises(ConfigurationError):
+            low.alpha_cut(np.array([0.0]), 1.5)
+
+    def test_union_is_pointwise_max(self, low_high):
+        low, high = low_high
+        u = low.union(high)
+        x = 0.25
+        assert u(x) == pytest.approx(max(float(low(x)), float(high(x))))
+
+    def test_intersection_is_pointwise_min(self, low_high):
+        low, high = low_high
+        i = low.intersection(high)
+        x = 0.5
+        assert i(x) == pytest.approx(min(float(low(x)), float(high(x))))
+
+    def test_complement(self, low_high):
+        low, _ = low_high
+        c = low.complement()
+        assert c(0.0) == pytest.approx(0.0)
+        assert c.name == "NOT low"
+
+
+class TestCompositeFuzzySet:
+    def test_rejects_bad_op(self, low_high):
+        with pytest.raises(ConfigurationError):
+            CompositeFuzzySet("x", list(low_high), op="xor")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CompositeFuzzySet("x", [], op="and")
+
+
+class TestLinguisticVariable:
+    def test_add_and_get_terms(self):
+        var = LinguisticVariable("std_x", (0.0, 2.0))
+        var.add_term("low", GaussianMF(mean=0.0, sigma=0.2))
+        var.add_term("high", GaussianMF(mean=1.5, sigma=0.3))
+        assert len(var) == 2
+        assert var["low"](0.0) == pytest.approx(1.0)
+        assert var.term_names == ["low", "high"]
+
+    def test_duplicate_term_rejected(self):
+        var = LinguisticVariable("v", (0.0, 1.0))
+        var.add_term("low", GaussianMF(mean=0.0, sigma=0.2))
+        with pytest.raises(ConfigurationError):
+            var.add_term("low", GaussianMF(mean=0.5, sigma=0.2))
+
+    def test_missing_term_error_lists_options(self):
+        var = LinguisticVariable("v", (0.0, 1.0))
+        var.add_term("low", GaussianMF(mean=0.0, sigma=0.2))
+        with pytest.raises(KeyError, match="low"):
+            var["missing"]
+
+    def test_invalid_universe(self):
+        with pytest.raises(ConfigurationError):
+            LinguisticVariable("v", (1.0, 1.0))
+
+    def test_fuzzify(self):
+        var = LinguisticVariable("v", (0.0, 1.0), terms={
+            "low": GaussianMF(mean=0.0, sigma=0.3),
+            "high": GaussianMF(mean=1.0, sigma=0.3),
+        })
+        memberships = var.fuzzify(0.0)
+        assert memberships["low"] == pytest.approx(1.0)
+        assert memberships["high"] < 0.1
+
+    def test_grid(self):
+        var = LinguisticVariable("v", (0.0, 2.0))
+        g = var.grid(5)
+        np.testing.assert_allclose(g, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_grid_resolution_validated(self):
+        var = LinguisticVariable("v", (0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            var.grid(1)
+
+    def test_iteration(self):
+        var = LinguisticVariable("v", (0.0, 1.0), terms={
+            "a": GaussianMF(mean=0.0, sigma=0.1),
+            "b": GaussianMF(mean=1.0, sigma=0.1),
+        })
+        assert sorted(var) == ["a", "b"]

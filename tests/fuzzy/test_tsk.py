@@ -1,0 +1,150 @@
+"""Tests for repro.fuzzy.tsk — the TSK inference engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.fuzzy.tsk import TSKSystem
+
+
+def single_rule_system(order=1):
+    """One rule centered at the origin with unit sigmas."""
+    means = np.zeros((1, 2))
+    sigmas = np.ones((1, 2))
+    coefficients = np.array([[1.0, 2.0, 3.0]])  # f = x1 + 2 x2 + 3
+    return TSKSystem(means, sigmas, coefficients, order=order)
+
+
+def two_rule_system():
+    """Two well-separated rules with constant-ish linear consequents."""
+    means = np.array([[0.0, 0.0], [5.0, 5.0]])
+    sigmas = np.ones((2, 2)) * 0.8
+    coefficients = np.array([[0.0, 0.0, 0.0],   # f1 = 0
+                             [0.0, 0.0, 1.0]])  # f2 = 1
+    return TSKSystem(means, sigmas, coefficients, order=1)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            TSKSystem(np.zeros((2, 2)), np.ones((3, 2)), np.zeros((2, 3)))
+        with pytest.raises(DimensionError):
+            TSKSystem(np.zeros((2, 2)), np.ones((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(DimensionError):
+            TSKSystem(np.zeros(3), np.ones(3), np.zeros(4))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            TSKSystem(np.zeros((1, 1)), np.ones((1, 1)),
+                      np.zeros((1, 2)), order=2)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            TSKSystem(np.zeros((1, 1)), np.zeros((1, 1)), np.zeros((1, 2)))
+
+    def test_properties(self):
+        sys = two_rule_system()
+        assert sys.n_rules == 2
+        assert sys.n_inputs == 2
+
+
+class TestInference:
+    def test_single_rule_output_equals_consequent(self):
+        # With one rule the weighted sum average is exactly f_1(x).
+        sys = single_rule_system()
+        x = np.array([0.5, -0.5])
+        assert sys.evaluate_scalar(x) == pytest.approx(0.5 - 1.0 + 3.0)
+
+    def test_zero_order_ignores_input_coefficients(self):
+        sys = single_rule_system(order=0)
+        assert sys.evaluate_scalar([10.0, 10.0]) == pytest.approx(3.0)
+
+    def test_interpolation_between_rules(self):
+        sys = two_rule_system()
+        near_first = sys.evaluate_scalar([0.0, 0.0])
+        near_second = sys.evaluate_scalar([5.0, 5.0])
+        middle = sys.evaluate_scalar([2.5, 2.5])
+        assert near_first == pytest.approx(0.0, abs=1e-6)
+        assert near_second == pytest.approx(1.0, abs=1e-6)
+        assert middle == pytest.approx(0.5, abs=1e-6)  # symmetric blend
+
+    def test_firing_strengths_are_products(self):
+        sys = two_rule_system()
+        x = np.array([[1.0, 2.0]])
+        memberships = sys.memberships(x)
+        w = sys.firing_strengths(x)
+        np.testing.assert_allclose(w, np.prod(memberships, axis=2))
+
+    def test_normalized_strengths_sum_to_one(self):
+        sys = two_rule_system()
+        x = np.array([[1.0, 1.0], [4.0, 4.0]])
+        wbar = sys.normalized_firing_strengths(x)
+        np.testing.assert_allclose(np.sum(wbar, axis=1), [1.0, 1.0])
+
+    def test_far_input_does_not_produce_nan(self):
+        sys = two_rule_system()
+        out = sys.evaluate_scalar([1e3, -1e3])
+        assert np.isfinite(out)
+
+    def test_batch_matches_scalar(self):
+        sys = two_rule_system()
+        xs = np.array([[0.5, 1.0], [3.0, 2.0], [5.0, 5.0]])
+        batch = sys.evaluate(xs)
+        singles = [sys.evaluate_scalar(x) for x in xs]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_input_dimension_validated(self):
+        sys = two_rule_system()
+        with pytest.raises(DimensionError):
+            sys.evaluate(np.zeros((3, 5)))
+
+    @settings(max_examples=50)
+    @given(x1=st.floats(-10, 10), x2=st.floats(-10, 10))
+    def test_output_bounded_by_consequents(self, x1, x2):
+        # Weighted average of rule outputs lies within their convex hull.
+        sys = two_rule_system()
+        f = sys.rule_outputs(np.array([[x1, x2]]))[0]
+        out = sys.evaluate_scalar([x1, x2])
+        assert min(f) - 1e-9 <= out <= max(f) + 1e-9
+
+
+class TestRuleViews:
+    def test_rules_roundtrip_inference(self):
+        sys = two_rule_system()
+        rules = sys.rules()
+        x = np.array([1.0, 2.0])
+        manual_num = sum(r.firing_strength(x) * r.consequent(x) for r in rules)
+        manual_den = sum(r.firing_strength(x) for r in rules)
+        assert sys.evaluate_scalar(x) == pytest.approx(manual_num / manual_den)
+
+    def test_verbalize_mentions_if_then(self):
+        rule = two_rule_system().rules()[0]
+        text = rule.verbalize()
+        assert text.startswith("IF ")
+        assert " THEN " in text
+
+    def test_verbalize_with_names(self):
+        rule = two_rule_system().rules()[0]
+        text = rule.verbalize(["std_x", "std_y"])
+        assert "std_x" in text and "std_y" in text
+
+    def test_describe(self):
+        text = two_rule_system().describe()
+        assert "2 rules" in text
+        assert text.count("IF ") == 2
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        sys = two_rule_system()
+        clone = sys.copy()
+        clone.means[0, 0] = 99.0
+        assert sys.means[0, 0] == 0.0
+
+    def test_copy_preserves_output(self):
+        sys = two_rule_system()
+        clone = sys.copy()
+        x = [1.2, 3.4]
+        assert clone.evaluate_scalar(x) == pytest.approx(
+            sys.evaluate_scalar(x))

@@ -1,0 +1,79 @@
+"""Documentation-code consistency guards.
+
+DESIGN.md's experiment index and README's example list are promises;
+these tests keep them true as the code evolves.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestDesignDocument:
+    def test_every_bench_target_exists(self):
+        text = (REPO / "DESIGN.md").read_text()
+        targets = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+        assert targets, "DESIGN.md must reference bench targets"
+        for target in sorted(targets):
+            assert (REPO / "benchmarks" / target).exists(), (
+                f"DESIGN.md references missing bench {target}")
+
+    def test_every_bench_file_is_indexed(self):
+        text = (REPO / "DESIGN.md").read_text()
+        on_disk = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        indexed = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+        missing = on_disk - indexed
+        assert not missing, (
+            f"benches missing from the DESIGN.md index: {sorted(missing)}")
+
+    def test_paper_check_recorded(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "Paper-text check" in text
+
+    def test_inventory_modules_exist(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for dotted in set(re.findall(r"`repro\.([a-z_.]+)`", text)):
+            path = REPO / "src" / "repro" / Path(*dotted.split("."))
+            assert (path.with_suffix(".py").exists()
+                    or (path / "__init__.py").exists()), (
+                f"DESIGN.md references missing module repro.{dotted}")
+
+
+class TestReadme:
+    def test_every_listed_example_exists(self):
+        text = (REPO / "README.md").read_text()
+        examples = set(re.findall(r"examples/(\w+\.py)", text))
+        assert examples
+        for example in sorted(examples):
+            assert (REPO / "examples" / example).exists(), (
+                f"README references missing example {example}")
+
+    def test_every_example_file_is_listed(self):
+        text = (REPO / "README.md").read_text()
+        on_disk = {p.name for p in (REPO / "examples").glob("*.py")}
+        listed = set(re.findall(r"examples/(\w+\.py)", text))
+        missing = on_disk - listed
+        assert not missing, (
+            f"examples missing from the README: {sorted(missing)}")
+
+    def test_cli_commands_documented_and_real(self):
+        from repro.cli import _COMMANDS
+        text = (REPO / "README.md").read_text()
+        for command in _COMMANDS:
+            assert f"python -m repro {command}" in text, (
+                f"CLI command {command!r} missing from the README")
+
+
+class TestExperimentsDocument:
+    def test_references_every_headline_bench(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for bench in ("bench_fig5_quality_measure", "bench_fig6_densities",
+                      "bench_probabilities", "bench_improvement",
+                      "bench_multiseed"):
+            assert bench in text, f"EXPERIMENTS.md must discuss {bench}"
+
+    def test_quotes_paper_flagship_numbers(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for number in ("0.8112", "0.81", "0.0217", "0.0846", "33%"):
+            assert number in text

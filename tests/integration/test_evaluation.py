@@ -1,0 +1,113 @@
+"""Tests for repro.evaluation — multi-seed runner and scenario CV."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstructionConfig
+from repro.datasets import evaluation_script, generate_dataset
+from repro.evaluation import (MetricSummary, MultiSeedRunner,
+                              ScenarioCrossValidator, concatenate_datasets,
+                              experiment_metrics)
+from repro.exceptions import ConfigurationError
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        summary = MetricSummary("x", np.array([1.0, 2.0, 3.0]))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert "2.000" in summary.format()
+
+
+class TestExperimentMetrics:
+    def test_keys_and_ranges(self, experiment):
+        metrics = experiment_metrics(experiment)
+        for key in ("threshold", "accuracy_before", "accuracy_after",
+                    "discard_fraction", "quality_auc"):
+            assert key in metrics
+        assert 0.0 < metrics["threshold"] < 1.0
+        assert 0.0 <= metrics["discard_fraction"] <= 1.0
+
+
+class TestMultiSeedRunner:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiSeedRunner(seeds=(7,))
+        with pytest.raises(ConfigurationError):
+            MultiSeedRunner(seeds=(7, 7))
+
+    def test_aggregates_across_seeds(self):
+        report = MultiSeedRunner(seeds=(7, 11, 19)).run()
+        assert len(report.per_seed) == 3
+        threshold = report.summary("threshold")
+        assert 0.0 < threshold.minimum <= threshold.maximum < 1.0
+        improvement = report.summary("improvement")
+        # The headline result must hold on average, not per lucky seed.
+        assert improvement.mean > 0.0
+
+    def test_unknown_metric_raises(self):
+        report = MultiSeedRunner(seeds=(7, 11)).run()
+        with pytest.raises(KeyError, match="threshold"):
+            report.summary("nope")
+
+    def test_to_text(self):
+        report = MultiSeedRunner(seeds=(7, 11)).run()
+        text = report.to_text()
+        assert "threshold" in text
+        assert "±" in text
+
+
+class TestConcatenate:
+    def test_stacks(self, material):
+        merged = concatenate_datasets([material.analysis,
+                                       material.quality_check])
+        assert len(merged) == (len(material.analysis)
+                               + len(material.quality_check))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concatenate_datasets([])
+
+    def test_class_mismatch_rejected(self, material):
+        from repro.sensors.chair import AWARECHAIR_CLASSES
+        from repro.datasets.generator import WindowDataset
+        other = WindowDataset(cues=material.analysis.cues,
+                              labels=material.analysis.labels,
+                              transition=material.analysis.transition,
+                              classes=AWARECHAIR_CLASSES)
+        # Same indices -> compatible; force an incompatible set instead.
+        from repro.types import ContextClass
+        incompatible = WindowDataset(
+            cues=material.analysis.cues,
+            labels=material.analysis.labels,
+            transition=material.analysis.transition,
+            classes=(ContextClass(5, "a"), ContextClass(6, "b"),
+                     ContextClass(7, "c")))
+        with pytest.raises(ConfigurationError):
+            concatenate_datasets([material.analysis, incompatible])
+
+
+class TestScenarioCrossValidation:
+    def test_validation(self, experiment):
+        with pytest.raises(ConfigurationError):
+            ScenarioCrossValidator(
+                experiment.classifier,
+                lambda seed: None, n_folds=1)  # type: ignore[arg-type]
+
+    def test_folds_generalize(self, experiment):
+        def factory(seed):
+            return generate_dataset(
+                lambda rng: evaluation_script(rng, blocks=3), seed=seed)
+
+        cv = ScenarioCrossValidator(
+            experiment.classifier, factory, n_folds=3,
+            config=ConstructionConfig(epochs=15))
+        report = cv.run()
+        assert len(report.folds) == 3
+        # Held-out generalization: the measure ranks usefully on every
+        # unseen scenario.
+        assert report.mean_auc > 0.7
+        assert report.mean_improvement > -0.05
+        text = report.to_text()
+        assert "fold 0" in text and "mean AUC" in text

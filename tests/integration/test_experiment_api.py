@@ -1,0 +1,80 @@
+"""Tests for repro.experiment and repro.evaluation.report."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import KNNClassifier
+from repro.core import ConstructionConfig
+from repro.evaluation import generate_report
+from repro.experiment import (classifier_accuracy, run_awarepen_experiment,
+                              train_default_classifier)
+
+
+class TestRunExperimentAPI:
+    def test_material_reuse_is_deterministic(self, material):
+        a = run_awarepen_experiment(material=material)
+        b = run_awarepen_experiment(material=material)
+        assert a.threshold == b.threshold
+
+    def test_custom_classifier(self, material):
+        classifier = KNNClassifier(material.classes, k=5)
+        classifier.fit(material.classifier_train.cues,
+                       material.classifier_train.labels)
+        result = run_awarepen_experiment(material=material,
+                                         classifier=classifier)
+        assert result.classifier is classifier
+        assert 0.0 < result.threshold < 1.0
+
+    def test_custom_config(self, material):
+        result = run_awarepen_experiment(
+            material=material, config=ConstructionConfig(radius=0.3,
+                                                         epochs=5))
+        assert result.construction.n_rules >= 1
+
+    def test_evaluation_size(self):
+        result = run_awarepen_experiment(seed=11, evaluation_size=16)
+        assert result.evaluation_outcome.n_total == 16
+        assert result.evaluation_qualities.shape == (16,)
+
+    def test_result_accessors(self, experiment):
+        assert experiment.threshold == experiment.calibration.s
+        assert (experiment.test_accuracy_before
+                == experiment.evaluation_outcome.accuracy_before)
+        assert (experiment.test_accuracy_after
+                == experiment.evaluation_outcome.accuracy_after)
+
+    def test_train_default_classifier(self, material):
+        classifier = train_default_classifier(material)
+        acc = classifier_accuracy(classifier, material.classifier_train)
+        assert acc > 0.85
+
+    def test_correct_flags_match_outcome(self, experiment):
+        outcome = experiment.evaluation_outcome
+        assert int(np.sum(~experiment.evaluation_correct)) == (
+            outcome.n_wrong_total)
+
+
+class TestGeneratedReport:
+    def test_contains_all_sections(self, experiment):
+        text = generate_report(result=experiment)
+        for section in ("Populations and threshold",
+                        "Selection probabilities",
+                        "Evaluation set",
+                        "Per-class thresholds",
+                        "Reliability"):
+            assert section in text
+
+    def test_quotes_paper_values(self, experiment):
+        text = generate_report(result=experiment)
+        assert "0.8112" in text
+        assert "0.81" in text
+
+    def test_markdown_tables_well_formed(self, experiment):
+        text = generate_report(result=experiment)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_fresh_run_by_seed(self):
+        text = generate_report(seed=11)
+        assert "# CQM experiment report" in text

@@ -1,0 +1,85 @@
+"""Deployment-lifecycle integration test.
+
+The full story a real deployment would follow, end to end:
+
+1. factory: train classifier + quality FIS, calibrate, package to JSON;
+2. appliance: load the package, wire the office, run a scenario with a
+   quality-gated camera over a lossy radio channel;
+3. field: absorb delayed ground truth through the online adapter;
+4. maintenance: re-package the adapted measure and verify the round trip.
+"""
+
+import numpy as np
+
+from repro.appliances import AwarePen, WhiteboardCamera
+from repro.appliances.lossy import LossyBus
+from repro.core import (FeedbackRecord, OnlineQualityAdapter, QualityFilter,
+                        QualityAugmentedClassifier)
+from repro.core.persistence import QualityPackage
+from repro.datasets import generate_dataset
+from repro.datasets.activities import evaluation_script
+from repro.sensors.node import SensorNode
+
+
+class TestDeploymentLifecycle:
+    def test_full_lifecycle(self, experiment, tmp_path, rng):
+        # -- 1. factory -------------------------------------------------
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        path = tmp_path / "awarepen-v1.json"
+        package.save(path)
+
+        # -- 2. appliance boot: load and wire ---------------------------
+        loaded = QualityPackage.load(path)
+        augmented = QualityAugmentedClassifier(experiment.classifier,
+                                               loaded.quality)
+        bus = LossyBus(drop_rate=0.15, seed=4)
+        pen = AwarePen(bus, augmented)
+        camera = WhiteboardCamera(
+            bus, gate=QualityFilter(loaded.threshold))
+
+        node = SensorNode()
+        windows = node.collect(
+            evaluation_script(np.random.default_rng(60), blocks=3),
+            np.random.default_rng(60), augmented.classes)
+        for window in windows:
+            pen.process_window(window.cues, time_s=window.time_s)
+        camera.flush(windows[-1].time_s)
+
+        assert bus.n_dropped > 0                      # the radio was lossy
+        assert camera.accepted_events > 0             # yet the office ran
+        assert len(pen.history) == len(windows)
+
+        # -- 3. field feedback ------------------------------------------
+        field = generate_dataset(
+            lambda r: evaluation_script(r, blocks=4), seed=61)
+        adapter = OnlineQualityAdapter(loaded.quality, warmup=5)
+        predicted = experiment.classifier.predict_indices(field.cues)
+        correct = predicted == field.labels
+        for i in range(len(field)):
+            adapter.feedback(FeedbackRecord(
+                cues=field.cues[i], class_index=int(predicted[i]),
+                was_correct=bool(correct[i])))
+        assert adapter.adapting
+
+        # -- 4. maintenance: re-package the adapted measure --------------
+        v2_path = tmp_path / "awarepen-v2.json"
+        QualityPackage(quality=loaded.quality,
+                       threshold=loaded.threshold,
+                       right=loaded.right,
+                       wrong=loaded.wrong).save(v2_path)
+        v2 = QualityPackage.load(v2_path)
+        # The adapted coefficients survived the round trip.
+        np.testing.assert_allclose(
+            v2.quality.system.coefficients,
+            loaded.quality.system.coefficients)
+        # And the adapted measure still separates on fresh data.
+        holdout = generate_dataset(
+            lambda r: evaluation_script(r, blocks=2), seed=62)
+        pred = experiment.classifier.predict_indices(holdout.cues)
+        q = v2.quality.measure_batch(holdout.cues, pred.astype(float))
+        ok = pred == holdout.labels
+        usable = ~np.isnan(q)
+        if np.any(usable & ok) and np.any(usable & ~ok):
+            assert (np.mean(q[usable & ok])
+                    > np.mean(q[usable & ~ok]))

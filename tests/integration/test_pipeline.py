@@ -1,0 +1,76 @@
+"""Integration tests: full pipeline behaviour across modules."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (KNNClassifier, NearestCentroidClassifier,
+                               TSKClassifier)
+from repro.core import (ConstructionConfig, QualityAugmentedClassifier,
+                        build_quality_measure, calibrate)
+from repro.experiment import run_awarepen_experiment
+from repro.stats.metrics import auc
+
+
+class TestEndToEnd:
+    def test_deterministic_given_seed(self, material):
+        a = run_awarepen_experiment(material=material)
+        b = run_awarepen_experiment(material=material)
+        assert a.threshold == pytest.approx(b.threshold)
+        np.testing.assert_allclose(a.evaluation_qualities,
+                                   b.evaluation_qualities, equal_nan=True)
+
+    def test_filtering_improves_accuracy(self, experiment):
+        outcome = experiment.evaluation_outcome
+        assert outcome.accuracy_after > outcome.accuracy_before
+
+    def test_filter_removes_mostly_wrong(self, experiment):
+        outcome = experiment.evaluation_outcome
+        # More than half of what the gate removes must actually be wrong.
+        removed_wrong = outcome.n_wrong_total - outcome.n_wrong_kept
+        if outcome.n_discarded > 0:
+            assert removed_wrong / outcome.n_discarded > 0.5
+
+    def test_paper_shape_on_24_points(self, experiment):
+        """The paper's evaluation shape: ~1/3 errors, most discarded."""
+        outcome = experiment.evaluation_outcome
+        assert outcome.n_total == 24
+        assert 3 <= outcome.n_wrong_total <= 12
+        assert 0.05 <= outcome.discard_fraction <= 0.5
+        assert outcome.wrong_elimination >= 0.5
+
+    def test_threshold_shifted_toward_one(self, experiment):
+        """Paper 3.2: with more right than wrong training samples the
+        threshold lies above the midpoint of the two designated outputs."""
+        assert experiment.construction.train_accuracy > 0.5
+        assert experiment.threshold > 0.5
+
+    def test_quality_auc_on_unseen_data(self, experiment):
+        q = experiment.evaluation_qualities
+        correct = experiment.evaluation_correct
+        usable = ~np.isnan(q)
+        assert auc(q[usable], correct[usable]) > 0.7
+
+
+class TestBlackBoxIndependence:
+    """Paper section 2: the CQM attaches to ANY recognition algorithm."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda classes: TSKClassifier(classes, mode="index"),
+        lambda classes: NearestCentroidClassifier(classes),
+        lambda classes: KNNClassifier(classes, k=5),
+    ])
+    def test_cqm_works_for_any_classifier(self, material, factory):
+        classifier = factory(material.classes)
+        classifier.fit(material.classifier_train.cues,
+                       material.classifier_train.labels)
+        result = build_quality_measure(
+            classifier, material.quality_train, material.quality_check,
+            config=ConstructionConfig(epochs=20))
+        augmented = QualityAugmentedClassifier(classifier, result.quality)
+        calibration = calibrate(augmented, material.analysis)
+        # Separation must be meaningful for every black box.
+        assert calibration.estimates.right.mu > calibration.estimates.wrong.mu
+        usable = calibration.data.usable
+        score = auc(calibration.data.qualities[usable],
+                    calibration.data.correct[usable])
+        assert score > 0.65

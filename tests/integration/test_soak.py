@@ -1,0 +1,94 @@
+"""Soak test: a long office day through the full appliance stack.
+
+Streams a long multi-style scenario through pen + chair + camera +
+situation detector + display over a lossy bus, asserting the system-level
+invariants hold continuously: no exceptions, bounded memory (ring
+buffers), consistent event accounting, and a sane final dashboard.
+"""
+
+import numpy as np
+
+from repro.appliances import (AwareChair, AwarePen, OfficeDisplay,
+                              WhiteboardCamera)
+from repro.appliances.lossy import LossyBus
+from repro.appliances.situation import SituationDetector
+from repro.classifiers import NearestCentroidClassifier
+from repro.core import (ConstructionConfig, QualityAugmentedClassifier,
+                        QualityFilter, build_quality_measure)
+from repro.datasets import generate_dataset, stress_script
+from repro.sensors.chair import AWARECHAIR_CLASSES, CHAIR_MODELS
+from repro.sensors.node import Segment, SensorNode
+
+
+def build_chair(material_seed=300):
+    def chair_script(rng, repetitions=4):
+        return [Segment(CHAIR_MODELS[n], duration_s=float(rng.uniform(4, 7)))
+                for _ in range(repetitions)
+                for n in ("empty", "sitting", "fidgeting")]
+
+    train = generate_dataset(chair_script, seed=material_seed,
+                             classes=AWARECHAIR_CLASSES)
+    quality_train = generate_dataset(chair_script, seed=material_seed + 1,
+                                     classes=AWARECHAIR_CLASSES)
+    check = generate_dataset(lambda r: chair_script(r, 2),
+                             seed=material_seed + 2,
+                             classes=AWARECHAIR_CLASSES)
+    clf = NearestCentroidClassifier(AWARECHAIR_CLASSES)
+    clf.fit(train.cues, train.labels)
+    result = build_quality_measure(clf, quality_train, check,
+                                   config=ConstructionConfig(epochs=10))
+    return QualityAugmentedClassifier(clf, result.quality)
+
+
+class TestOfficeSoak:
+    def test_long_day_stays_healthy(self, experiment):
+        bus = LossyBus(drop_rate=0.1, duplicate_rate=0.05, seed=9)
+        pen = AwarePen(bus, experiment.augmented)
+        chair = AwareChair(bus, build_chair())
+        camera = WhiteboardCamera(
+            bus, gate=QualityFilter(experiment.threshold))
+        detector = SituationDetector(bus, min_quality=0.3, decay=0.7)
+        display = OfficeDisplay(bus, history=20)
+
+        node = SensorNode()
+        # A long adversarial pen day plus a calmer chair day.
+        pen_windows = node.collect(
+            stress_script(np.random.default_rng(70), n_segments=40),
+            np.random.default_rng(70), experiment.augmented.classes)
+        chair_script = [Segment(CHAIR_MODELS[name],
+                                duration_s=float(d))
+                        for name, d in
+                        [("empty", 30), ("sitting", 40), ("fidgeting", 20),
+                         ("sitting", 20), ("empty", 20)]]
+        chair_windows = node.collect(chair_script,
+                                     np.random.default_rng(71),
+                                     AWARECHAIR_CLASSES)
+
+        steps = min(len(pen_windows), len(chair_windows))
+        assert steps > 150  # genuinely long run
+        for k in range(steps):
+            pen.process_window(pen_windows[k].cues,
+                               time_s=pen_windows[k].time_s)
+            chair.process_window(chair_windows[k].cues,
+                                 time_s=chair_windows[k].time_s)
+        camera.flush(pen_windows[steps - 1].time_s)
+
+        # -- system-level invariants ------------------------------------
+        # 1. Nothing blew up inside a subscriber.
+        assert bus.delivery_errors == []
+        # 2. Event accounting is consistent under loss + duplication.
+        published = len(pen.published_events) + len(chair.published_events)
+        assert bus.n_published + bus.n_dropped == published + len(
+            detector.published_events) + bus.n_duplicated
+        # 3. Ring buffers stayed bounded.
+        for panel in display._panels.values():
+            assert len(panel.history) <= 20
+        # 4. The camera made *some* gated decisions, not all or nothing.
+        assert camera.accepted_events > 0
+        assert camera.rejected_events > 0
+        # 5. The dashboard renders and knows both sources.
+        text = display.render()
+        assert "context.pen" in text and "context.chair" in text
+        # 6. The detector produced situations and remained responsive.
+        assert detector.current is not None
+        assert len(detector.states) > 50

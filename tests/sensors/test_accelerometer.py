@@ -1,0 +1,123 @@
+"""Tests for repro.sensors.accelerometer — activity motion models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import (ACTIVITY_MODELS, AWAREPEN_CLASSES,
+                                         DEFAULT_STYLE, ERRATIC_STYLE, LYING,
+                                         PLAYING, WRITING, LyingStillModel,
+                                         PlayingModel, UserStyle,
+                                         WritingModel, blend, model_for)
+
+RATE = 100.0
+
+
+def variance_of(model, rng, n=2000, style=DEFAULT_STYLE):
+    trace = model.generate(n, RATE, rng, style=style)
+    return float(np.mean(np.std(trace, axis=0)))
+
+
+class TestClasses:
+    def test_canonical_classes(self):
+        assert [c.index for c in AWAREPEN_CLASSES] == [0, 1, 2]
+        assert {c.name for c in AWAREPEN_CLASSES} == {
+            "lying", "writing", "playing"}
+
+    def test_model_for(self):
+        assert isinstance(model_for(LYING), LyingStillModel)
+        assert isinstance(model_for(WRITING), WritingModel)
+        assert isinstance(model_for(PLAYING), PlayingModel)
+
+    def test_model_for_unknown(self):
+        from repro.types import ContextClass
+        with pytest.raises(KeyError):
+            model_for(ContextClass(9, "juggling"))
+
+
+class TestUserStyle:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UserStyle(amplitude_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            UserStyle(tremor=-0.1)
+        with pytest.raises(ConfigurationError):
+            UserStyle(pause_probability=1.5)
+
+
+class TestActivitySignatures:
+    def test_variance_ordering(self, rng):
+        """The core property the cues rely on: lying << writing < playing."""
+        lying = variance_of(ACTIVITY_MODELS["lying"], rng)
+        writing = variance_of(ACTIVITY_MODELS["writing"], rng)
+        playing = variance_of(ACTIVITY_MODELS["playing"], rng)
+        assert lying < 0.05
+        assert writing > 3 * lying
+        assert playing > 1.5 * writing
+
+    def test_lying_magnitude_near_one_g(self, rng):
+        trace = ACTIVITY_MODELS["lying"].generate(500, RATE, rng)
+        magnitudes = np.linalg.norm(trace, axis=1)
+        assert np.mean(magnitudes) == pytest.approx(1.0, abs=0.05)
+
+    def test_writing_has_periodic_energy(self, rng):
+        trace = ACTIVITY_MODELS["writing"].generate(
+            4096, RATE, rng, style=UserStyle(pause_probability=0.0))
+        x = trace[:, 0] - np.mean(trace[:, 0])
+        spectrum = np.abs(np.fft.rfft(x))
+        freqs = np.fft.rfftfreq(len(x), d=1.0 / RATE)
+        peak_freq = freqs[np.argmax(spectrum[1:]) + 1]
+        # Stroke frequencies live in the 1.5-10 Hz band.
+        assert 1.0 < peak_freq < 12.0
+
+    def test_erratic_style_reduces_writing_energy(self, rng):
+        default = variance_of(ACTIVITY_MODELS["writing"],
+                              np.random.default_rng(1), style=DEFAULT_STYLE)
+        erratic = variance_of(ACTIVITY_MODELS["writing"],
+                              np.random.default_rng(1), style=ERRATIC_STYLE)
+        assert erratic < default
+
+    def test_pauses_create_quiet_stretches(self):
+        rng = np.random.default_rng(3)
+        style = UserStyle(pause_probability=1.0)  # always pausing
+        trace = ACTIVITY_MODELS["writing"].generate(1000, RATE, rng,
+                                                    style=style)
+        paused_var = float(np.mean(np.std(trace, axis=0)))
+        rng = np.random.default_rng(3)
+        style = UserStyle(pause_probability=0.0)
+        trace = ACTIVITY_MODELS["writing"].generate(1000, RATE, rng,
+                                                    style=style)
+        active_var = float(np.mean(np.std(trace, axis=0)))
+        assert paused_var < 0.5 * active_var
+
+    def test_shapes_and_validation(self, rng):
+        for model in ACTIVITY_MODELS.values():
+            assert model.generate(50, RATE, rng).shape == (50, 3)
+            with pytest.raises(ConfigurationError):
+                model.generate(0, RATE, rng)
+            with pytest.raises(ConfigurationError):
+                model.generate(10, 0.0, rng)
+
+    def test_deterministic_given_rng(self):
+        for name, model in ACTIVITY_MODELS.items():
+            a = model.generate(100, RATE, np.random.default_rng(9))
+            b = model.generate(100, RATE, np.random.default_rng(9))
+            np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+class TestBlend:
+    def test_endpoints(self):
+        a = np.zeros((100, 3))
+        b = np.ones((100, 3))
+        mix = blend(a, b)
+        np.testing.assert_allclose(mix[0], 0.0)
+        np.testing.assert_allclose(mix[-1], 1.0)
+
+    def test_midpoint(self):
+        a = np.zeros((101, 3))
+        b = np.ones((101, 3))
+        np.testing.assert_allclose(blend(a, b)[50], 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            blend(np.zeros((5, 3)), np.zeros((6, 3)))

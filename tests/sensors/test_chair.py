@@ -1,0 +1,81 @@
+"""Tests for repro.sensors.chair — AwareChair motion models."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.chair import (AWARECHAIR_CLASSES, CHAIR_MODELS, EMPTY,
+                                 FIDGETING, SITTING)
+
+RATE = 100.0
+
+
+def variance_of(model, rng, n=2000):
+    trace = model.generate(n, RATE, rng)
+    return float(np.mean(np.std(trace, axis=0)))
+
+
+class TestClasses:
+    def test_canonical_classes(self):
+        assert [c.index for c in AWARECHAIR_CLASSES] == [0, 1, 2]
+        assert {c.name for c in AWARECHAIR_CLASSES} == {
+            "empty", "sitting", "fidgeting"}
+
+    def test_registry_complete(self):
+        assert set(CHAIR_MODELS) == {"empty", "sitting", "fidgeting"}
+        for name, model in CHAIR_MODELS.items():
+            assert model.context.name == name
+
+
+class TestSignatures:
+    def test_variance_ordering(self, rng):
+        empty = variance_of(CHAIR_MODELS["empty"], rng)
+        sitting = variance_of(CHAIR_MODELS["sitting"], rng)
+        fidgeting = variance_of(CHAIR_MODELS["fidgeting"], rng)
+        assert empty < sitting < fidgeting
+        assert empty < 0.01
+        assert fidgeting > 3 * sitting
+
+    def test_magnitudes_near_one_g(self, rng):
+        for name in ("empty", "sitting"):
+            trace = CHAIR_MODELS[name].generate(500, RATE, rng)
+            magnitude = np.mean(np.linalg.norm(trace, axis=1))
+            assert magnitude == pytest.approx(1.0, abs=0.1), name
+
+    def test_fidgeting_has_bounce_band_energy(self, rng):
+        trace = CHAIR_MODELS["fidgeting"].generate(4096, RATE, rng)
+        z = trace[:, 2] - np.mean(trace[:, 2])
+        spectrum = np.abs(np.fft.rfft(z))
+        freqs = np.fft.rfftfreq(len(z), d=1.0 / RATE)
+        band = (freqs >= 2.5) & (freqs <= 7.0)
+        outside = (freqs > 10.0)
+        assert np.max(spectrum[band]) > 3 * np.max(spectrum[outside])
+
+    def test_shapes(self, rng):
+        for model in CHAIR_MODELS.values():
+            assert model.generate(64, RATE, rng).shape == (64, 3)
+
+    def test_deterministic(self):
+        for name, model in CHAIR_MODELS.items():
+            a = model.generate(128, RATE, np.random.default_rng(4))
+            b = model.generate(128, RATE, np.random.default_rng(4))
+            np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+class TestClassifiability:
+    def test_std_cues_separate_chair_states(self, rng):
+        """The chair's windowed std cues must be linearly separable
+        enough for a simple classifier — the premise of reusing the
+        whole pen pipeline."""
+        from repro.classifiers import NearestCentroidClassifier
+        from repro.sensors.cues import AWAREPEN_CUES
+
+        cues, labels = [], []
+        for cls in AWARECHAIR_CLASSES:
+            trace = CHAIR_MODELS[cls.name].generate(3000, RATE, rng)
+            _, rows = AWAREPEN_CUES.extract_all(trace, window=100, hop=100)
+            cues.append(rows)
+            labels.append(np.full(len(rows), cls.index))
+        x = np.vstack(cues)
+        y = np.concatenate(labels)
+        clf = NearestCentroidClassifier(AWARECHAIR_CLASSES).fit(x, y)
+        assert np.mean(clf.predict_indices(x) == y) > 0.9

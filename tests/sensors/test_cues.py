@@ -1,0 +1,108 @@
+"""Tests for repro.sensors.cues — cue extraction pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.sensors.cues import (AWAREPEN_CUES, CuePipeline, EnergyCue,
+                                MeanCrossingRateCue, MeanCue, RangeCue,
+                                StdCue, sliding_windows)
+
+
+class TestSlidingWindows:
+    def test_counts_and_starts(self):
+        signal = np.zeros((10, 2))
+        windows = list(sliding_windows(signal, window=4, hop=2))
+        assert [s for s, _ in windows] == [0, 2, 4, 6]
+        assert all(w.shape == (4, 2) for _, w in windows)
+
+    def test_tail_dropped(self):
+        signal = np.zeros((7, 1))
+        windows = list(sliding_windows(signal, window=4, hop=4))
+        assert len(windows) == 1
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            list(sliding_windows(np.zeros(5), 2, 1))
+        with pytest.raises(ConfigurationError):
+            list(sliding_windows(np.zeros((5, 1)), 0, 1))
+        with pytest.raises(ConfigurationError):
+            list(sliding_windows(np.zeros((5, 1)), 2, 0))
+
+
+class TestStdCue:
+    def test_matches_numpy(self, rng):
+        window = rng.normal(size=(50, 3))
+        np.testing.assert_allclose(StdCue().extract(window),
+                                   np.std(window, axis=0))
+
+    def test_constant_window_is_zero(self):
+        window = np.ones((20, 3))
+        np.testing.assert_allclose(StdCue().extract(window), 0.0)
+
+    def test_names(self):
+        assert StdCue().cue_names(3) == ["std_x", "std_y", "std_z"]
+
+    def test_too_short_window(self):
+        with pytest.raises(DimensionError):
+            StdCue().extract(np.zeros((1, 3)))
+
+
+class TestOtherCues:
+    def test_mean(self, rng):
+        window = rng.normal(2.0, 1.0, size=(100, 2))
+        out = MeanCue().extract(window)
+        np.testing.assert_allclose(out, np.mean(window, axis=0))
+
+    def test_energy_is_std_for_zero_mean(self, rng):
+        window = rng.normal(size=(200, 3))
+        np.testing.assert_allclose(EnergyCue().extract(window),
+                                   np.std(window, axis=0), rtol=1e-10)
+
+    def test_range(self):
+        window = np.array([[0.0, -1.0], [2.0, 3.0], [1.0, 1.0]])
+        np.testing.assert_allclose(RangeCue().extract(window), [2.0, 4.0])
+
+    def test_mcr_alternating(self):
+        window = np.array([[1.0], [-1.0], [1.0], [-1.0], [1.0]])
+        out = MeanCrossingRateCue().extract(window)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_mcr_constant_signal(self):
+        window = np.zeros((10, 2))
+        out = MeanCrossingRateCue().extract(window)
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestCuePipeline:
+    def test_concatenation(self, rng):
+        pipeline = CuePipeline(extractors=(StdCue(), MeanCue()))
+        window = rng.normal(size=(50, 3))
+        out = pipeline.extract(window)
+        assert out.shape == (6,)
+        np.testing.assert_allclose(out[:3], np.std(window, axis=0))
+        np.testing.assert_allclose(out[3:], np.mean(window, axis=0))
+
+    def test_names(self):
+        pipeline = CuePipeline(extractors=(StdCue(), RangeCue()))
+        assert pipeline.cue_names(2) == ["std_x", "std_y",
+                                         "range_x", "range_y"]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuePipeline(extractors=())
+
+    def test_extract_all(self, rng):
+        pipeline = AWAREPEN_CUES
+        signal = rng.normal(size=(100, 3))
+        starts, cues = pipeline.extract_all(signal, window=20, hop=10)
+        assert len(starts) == 9
+        assert cues.shape == (9, 3)
+
+    def test_extract_all_signal_too_short(self, rng):
+        with pytest.raises(DimensionError):
+            AWAREPEN_CUES.extract_all(rng.normal(size=(5, 3)),
+                                      window=20, hop=10)
+
+    def test_awarepen_default_is_std_only(self):
+        assert AWAREPEN_CUES.cue_names(3) == ["std_x", "std_y", "std_z"]

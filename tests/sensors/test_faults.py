@@ -1,0 +1,130 @@
+"""Tests for sensor fault injection and the CQM's behaviour under faults.
+
+The last class probes an honest limitation: a fully stuck accelerometer
+produces exactly the cue signature of a still pen, so the CQM — which
+sees only cues and the emitted class — *cannot* flag that failure.  This
+distinguishes the paper's quality-of-context from sensor-fault detection
+(related work handles the latter with constant measures, paper §4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import ACTIVITY_MODELS
+from repro.sensors.signal import (ADXL_SENSOR, FaultySensorModel,
+                                  SensorModel)
+
+
+class TestValidation:
+    def test_stuck_from_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            FaultySensorModel(stuck_from=-1)
+
+    def test_dropout_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultySensorModel(dropout_rate=1.0)
+
+    def test_bad_axis(self, rng):
+        model = FaultySensorModel(stuck_from=0, stuck_axes=(5,))
+        with pytest.raises(ConfigurationError):
+            model.apply(np.zeros((10, 3)), rng)
+
+
+class TestStuckFault:
+    def test_signal_frozen_after_onset(self, rng):
+        model = FaultySensorModel(
+            base=SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                             resolution_bits=None, full_scale=100.0),
+            stuck_from=50)
+        signal = rng.normal(size=(100, 3))
+        out = model.apply(signal, rng)
+        np.testing.assert_array_equal(out[:50], signal[:50])
+        for i in range(50, 100):
+            np.testing.assert_array_equal(out[i], out[50])
+
+    def test_single_axis_stuck(self, rng):
+        model = FaultySensorModel(
+            base=SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                             resolution_bits=None, full_scale=100.0),
+            stuck_from=0, stuck_axes=(1,))
+        signal = rng.normal(size=(100, 3))
+        out = model.apply(signal, rng)
+        assert np.all(out[:, 1] == out[0, 1])
+        np.testing.assert_array_equal(out[:, 0], signal[:, 0])
+
+    def test_stuck_beyond_signal_is_noop(self, rng):
+        model = FaultySensorModel(
+            base=SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                             resolution_bits=None, full_scale=100.0),
+            stuck_from=1000)
+        signal = rng.normal(size=(100, 3))
+        np.testing.assert_array_equal(model.apply(signal, rng), signal)
+
+
+class TestDropout:
+    def test_dropout_repeats_previous_sample(self):
+        model = FaultySensorModel(
+            base=SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                             resolution_bits=None, full_scale=1e6),
+            dropout_rate=0.5)
+        rng = np.random.default_rng(0)
+        signal = np.arange(300, dtype=float).reshape(-1, 1) * np.ones((1, 3))
+        out = model.apply(signal, rng)
+        repeats = np.sum(np.all(out[1:] == out[:-1], axis=1))
+        assert 100 < repeats < 200  # ~50% of samples held
+
+    def test_dropout_creates_held_samples(self, rng):
+        base = SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                           resolution_bits=None, full_scale=100.0)
+        trace = ACTIVITY_MODELS["writing"].generate(2000, 100.0, rng)
+        healthy = base.apply(trace, np.random.default_rng(1))
+        lossy = FaultySensorModel(base=base, dropout_rate=0.8).apply(
+            trace, np.random.default_rng(1))
+        healthy_holds = np.sum(np.all(np.diff(healthy, axis=0) == 0, axis=1))
+        lossy_holds = np.sum(np.all(np.diff(lossy, axis=0) == 0, axis=1))
+        assert healthy_holds == 0
+        assert lossy_holds > 1000  # ~80% of 2000 samples held
+
+
+class TestCQMUnderFaults:
+    def test_stuck_sensor_masquerades_as_lying(self, experiment, rng):
+        """Honest limitation: a stuck sensor during writing produces the
+        exact cue signature of a still pen; the classifier reports
+        'lying' and the CQM assigns it *high* quality — quality of
+        context is not sensor-fault detection."""
+        from repro.sensors.cues import AWAREPEN_CUES
+
+        trace = ACTIVITY_MODELS["writing"].generate(1000, 100.0, rng)
+        stuck = FaultySensorModel(base=ADXL_SENSOR, stuck_from=0).apply(
+            trace, rng)
+        _, cues = AWAREPEN_CUES.extract_all(stuck, window=100, hop=100)
+        qualified = [experiment.augmented.classify(c) for c in cues]
+        # Every window is (wrongly, relative to the user's activity)
+        # classified as lying...
+        assert all(q.context.name == "lying" for q in qualified)
+        # ...and carries high quality: the cue evidence genuinely
+        # supports 'lying'.
+        defined = [q.quality for q in qualified if q.quality is not None]
+        assert np.mean(defined) > 0.5
+
+    def test_partial_fault_lowers_quality(self, experiment, rng):
+        """A *single* stuck axis leaves an inconsistent cue pattern
+        (two live axes, one dead) that the quality FIS has never seen
+        associated with a right classification — mean q must drop
+        relative to the healthy signal."""
+        from repro.sensors.cues import AWAREPEN_CUES
+
+        trace = ACTIVITY_MODELS["writing"].generate(2000, 100.0, rng)
+        healthy = ADXL_SENSOR.apply(trace, np.random.default_rng(3))
+        faulty = FaultySensorModel(base=ADXL_SENSOR, stuck_from=0,
+                                   stuck_axes=(0,)).apply(
+            trace, np.random.default_rng(3))
+
+        def mean_quality(signal):
+            _, cues = AWAREPEN_CUES.extract_all(signal, window=100, hop=100)
+            q = experiment.augmented.qualities(cues)
+            defined = q[~np.isnan(q)]
+            return float(np.mean(defined)) if defined.size else 0.0
+
+        assert mean_quality(faulty) < mean_quality(healthy)

@@ -1,0 +1,117 @@
+"""Tests for repro.sensors.node — scenario rendering and streaming."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.accelerometer import (ACTIVITY_MODELS, AWAREPEN_CLASSES,
+                                         LYING, PLAYING, WRITING)
+from repro.sensors.node import CueWindow, Segment, SensorNode
+
+
+def two_segment_scenario():
+    return [Segment(ACTIVITY_MODELS["lying"], duration_s=3.0),
+            Segment(ACTIVITY_MODELS["playing"], duration_s=3.0)]
+
+
+class TestSegment:
+    def test_duration_positive(self):
+        with pytest.raises(ConfigurationError):
+            Segment(ACTIVITY_MODELS["lying"], duration_s=0.0)
+
+
+class TestNodeValidation:
+    def test_rate_positive(self):
+        with pytest.raises(ConfigurationError):
+            SensorNode(rate_hz=0.0)
+
+    def test_window_min(self):
+        with pytest.raises(ConfigurationError):
+            SensorNode(window=1)
+
+    def test_hop_min(self):
+        with pytest.raises(ConfigurationError):
+            SensorNode(hop=0)
+
+    def test_transition_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            SensorNode(transition_s=-1.0)
+
+    def test_empty_scenario(self, rng):
+        with pytest.raises(ConfigurationError):
+            SensorNode().render_scenario([], rng)
+
+
+class TestRenderScenario:
+    def test_shapes(self, rng):
+        node = SensorNode(rate_hz=100.0)
+        signal, labels, transition = node.render_scenario(
+            two_segment_scenario(), rng)
+        assert signal.shape == (600, 3)
+        assert labels.shape == (600,)
+        assert transition.shape == (600,)
+
+    def test_labels_follow_segments(self, rng):
+        node = SensorNode(rate_hz=100.0, transition_s=0.0)
+        _, labels, _ = node.render_scenario(two_segment_scenario(), rng)
+        assert set(labels[:300]) == {LYING.index}
+        assert set(labels[300:]) == {PLAYING.index}
+
+    def test_transition_marked(self, rng):
+        node = SensorNode(rate_hz=100.0, transition_s=0.5)
+        _, _, transition = node.render_scenario(two_segment_scenario(), rng)
+        # The crossfade lives at the start of the second segment.
+        assert np.any(transition[300:350])
+        assert not np.any(transition[:300])
+
+    def test_short_segment_padded_to_window(self, rng):
+        node = SensorNode(rate_hz=100.0, window=100)
+        segments = [Segment(ACTIVITY_MODELS["lying"], duration_s=0.1)]
+        signal, _, _ = node.render_scenario(segments, rng)
+        assert signal.shape[0] >= 100
+
+
+class TestStream:
+    def test_window_objects(self, rng):
+        node = SensorNode(rate_hz=100.0, window=100, hop=50)
+        windows = node.collect(two_segment_scenario(), rng, AWAREPEN_CLASSES)
+        assert len(windows) == (600 - 100) // 50 + 1
+        assert all(isinstance(w, CueWindow) for w in windows)
+        assert all(w.cues.shape == (3,) for w in windows)
+
+    def test_majority_labels(self, rng):
+        node = SensorNode(rate_hz=100.0, window=100, hop=50,
+                          transition_s=0.0)
+        windows = node.collect(two_segment_scenario(), rng, AWAREPEN_CLASSES)
+        assert windows[0].true_context.index == LYING.index
+        assert windows[-1].true_context.index == PLAYING.index
+
+    def test_boundary_window_flagged_as_transition(self, rng):
+        node = SensorNode(rate_hz=100.0, window=100, hop=50,
+                          transition_s=0.0)
+        windows = node.collect(two_segment_scenario(), rng, AWAREPEN_CLASSES)
+        boundary = [w for w in windows if 200 < w.start_sample < 300]
+        assert any(w.is_transition for w in boundary)
+
+    def test_time_stamps(self, rng):
+        node = SensorNode(rate_hz=100.0, window=100, hop=50)
+        windows = node.collect(two_segment_scenario(), rng, AWAREPEN_CLASSES)
+        assert windows[0].time_s == 0.0
+        assert windows[1].time_s == pytest.approx(0.5)
+
+    def test_missing_class_registration(self, rng):
+        node = SensorNode()
+        with pytest.raises(ConfigurationError):
+            node.collect(two_segment_scenario(), rng, (WRITING,))
+
+    def test_cue_separation_between_activities(self, rng):
+        # Windowed std must separate lying from playing clearly.
+        node = SensorNode(rate_hz=100.0, window=100, hop=100,
+                          transition_s=0.0)
+        windows = node.collect(two_segment_scenario(), rng, AWAREPEN_CLASSES)
+        lying_cues = np.array([w.cues for w in windows
+                               if w.true_context.index == LYING.index])
+        playing_cues = np.array([w.cues for w in windows
+                                 if w.true_context.index == PLAYING.index])
+        assert lying_cues.mean() < 0.1
+        assert playing_cues.mean() > 0.3

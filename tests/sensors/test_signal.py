@@ -1,0 +1,89 @@
+"""Tests for repro.sensors.signal — sensor degradation models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.signal import ADXL_SENSOR, IDEAL_SENSOR, SensorModel
+
+
+class TestValidation:
+    def test_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            SensorModel(noise_std=-0.1)
+
+    def test_negative_walk(self):
+        with pytest.raises(ConfigurationError):
+            SensorModel(bias_walk_std=-0.1)
+
+    def test_full_scale_positive(self):
+        with pytest.raises(ConfigurationError):
+            SensorModel(full_scale=0.0)
+
+    def test_resolution_bits(self):
+        with pytest.raises(ConfigurationError):
+            SensorModel(resolution_bits=1)
+
+    def test_signal_must_be_2d(self, rng):
+        with pytest.raises(ConfigurationError):
+            ADXL_SENSOR.apply(np.zeros(10), rng)
+
+
+class TestIdealSensor:
+    def test_passthrough(self, rng):
+        signal = rng.normal(size=(100, 3)) * 0.5
+        out = IDEAL_SENSOR.apply(signal, rng)
+        np.testing.assert_array_equal(out, signal)
+
+    def test_does_not_mutate_input(self, rng):
+        signal = rng.normal(size=(50, 3))
+        copy = signal.copy()
+        ADXL_SENSOR.apply(signal, rng)
+        np.testing.assert_array_equal(signal, copy)
+
+
+class TestDegradation:
+    def test_noise_added(self, rng):
+        signal = np.zeros((2000, 3))
+        model = SensorModel(noise_std=0.05, bias_walk_std=0.0,
+                            resolution_bits=None)
+        out = model.apply(signal, rng)
+        assert np.std(out) == pytest.approx(0.05, abs=0.005)
+
+    def test_bias_walk_drifts(self, rng):
+        signal = np.zeros((5000, 1))
+        model = SensorModel(noise_std=0.0, bias_walk_std=0.01,
+                            resolution_bits=None)
+        out = model.apply(signal, rng)
+        # A random walk's late spread exceeds its early spread.
+        assert np.std(out[-500:]) > np.std(out[:500])
+
+    def test_saturation(self, rng):
+        signal = np.full((10, 3), 5.0)
+        out = SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                          full_scale=2.0, resolution_bits=None
+                          ).apply(signal, rng)
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_quantization_levels(self, rng):
+        signal = rng.uniform(-1, 1, size=(500, 3))
+        model = SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                            full_scale=2.0, resolution_bits=4)
+        out = model.apply(signal, rng)
+        step = 2.0 * 2.0 / 16
+        np.testing.assert_allclose(out / step, np.round(out / step),
+                                   atol=1e-10)
+
+    def test_quantization_bounded_error(self, rng):
+        signal = rng.uniform(-1, 1, size=(500, 3))
+        model = SensorModel(noise_std=0.0, bias_walk_std=0.0,
+                            full_scale=2.0, resolution_bits=10)
+        out = model.apply(signal, rng)
+        step = 2.0 * 2.0 / 1024
+        assert np.max(np.abs(out - signal)) <= step / 2 + 1e-12
+
+    def test_deterministic_given_rng(self):
+        signal = np.zeros((100, 3))
+        a = ADXL_SENSOR.apply(signal, np.random.default_rng(5))
+        b = ADXL_SENSOR.apply(signal, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

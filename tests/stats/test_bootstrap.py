@@ -1,0 +1,119 @@
+"""Tests for repro.stats.bootstrap — small-sample uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.stats.bootstrap import (bootstrap_improvement,
+                                   bootstrap_probability,
+                                   bootstrap_statistic, bootstrap_threshold)
+
+
+@pytest.fixture
+def labeled_q(rng):
+    q = np.concatenate([rng.normal(0.85, 0.08, 60),
+                        rng.normal(0.3, 0.15, 30)])
+    correct = np.concatenate([np.ones(60, bool), np.zeros(30, bool)])
+    return np.clip(q, 0, 1), correct
+
+
+class TestBootstrapStatistic:
+    def test_mean_interval_contains_point(self, labeled_q):
+        q, correct = labeled_q
+        interval = bootstrap_statistic(
+            q, correct, lambda qq, cc: float(np.mean(qq)),
+            n_resamples=300)
+        assert interval.low <= interval.point <= interval.high
+        assert interval.contains(interval.point)
+
+    def test_confidence_widens_interval(self, labeled_q):
+        q, correct = labeled_q
+        narrow = bootstrap_statistic(
+            q, correct, lambda qq, cc: float(np.mean(qq)),
+            n_resamples=400, confidence=0.5, seed=1)
+        wide = bootstrap_statistic(
+            q, correct, lambda qq, cc: float(np.mean(qq)),
+            n_resamples=400, confidence=0.99, seed=1)
+        assert wide.width > narrow.width
+
+    def test_deterministic_given_seed(self, labeled_q):
+        q, correct = labeled_q
+        a = bootstrap_statistic(q, correct,
+                                lambda qq, cc: float(np.mean(qq)),
+                                n_resamples=100, seed=9)
+        b = bootstrap_statistic(q, correct,
+                                lambda qq, cc: float(np.mean(qq)),
+                                n_resamples=100, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self, labeled_q):
+        q, correct = labeled_q
+        with pytest.raises(ConfigurationError):
+            bootstrap_statistic(q, correct, lambda a, b: 0.0,
+                                confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_statistic(q, correct, lambda a, b: 0.0,
+                                n_resamples=5)
+        with pytest.raises(CalibrationError):
+            bootstrap_statistic(np.zeros(2), np.zeros(2, bool),
+                                lambda a, b: 0.0)
+
+    def test_all_failing_statistic_raises(self, labeled_q):
+        q, correct = labeled_q
+
+        def broken(qq, cc):
+            raise RuntimeError("always fails")
+
+        with pytest.raises(CalibrationError, match="bootstrap failed"):
+            bootstrap_statistic(q, correct, broken, n_resamples=50)
+
+
+class TestThresholdBootstrap:
+    def test_interval_brackets_full_sample_threshold(self, labeled_q):
+        q, correct = labeled_q
+        interval = bootstrap_threshold(q, correct, n_resamples=300)
+        assert 0.0 < interval.low <= interval.point <= interval.high < 1.0
+
+    def test_small_sample_wider_than_large(self, rng):
+        def make(n):
+            q = np.concatenate([rng.normal(0.85, 0.08, 2 * n),
+                                rng.normal(0.3, 0.15, n)])
+            c = np.concatenate([np.ones(2 * n, bool), np.zeros(n, bool)])
+            return np.clip(q, 0, 1), c
+
+        q_small, c_small = make(8)   # paper-sized: 24 points
+        q_large, c_large = make(200)
+        small = bootstrap_threshold(q_small, c_small, n_resamples=300)
+        large = bootstrap_threshold(q_large, c_large, n_resamples=300)
+        assert small.width > large.width
+
+    def test_degenerate_resamples_counted(self, rng):
+        # Only 2 wrong points: many resamples miss them entirely.
+        q = np.concatenate([rng.normal(0.9, 0.05, 20), [0.1, 0.2]])
+        correct = np.concatenate([np.ones(20, bool), [False, False]])
+        interval = bootstrap_threshold(np.clip(q, 0, 1), correct,
+                                       n_resamples=300)
+        assert interval.n_failed > 0
+
+
+class TestProbabilityBootstrap:
+    def test_probability_in_unit_interval(self, labeled_q):
+        q, correct = labeled_q
+        interval = bootstrap_probability(q, correct,
+                                         which="right_given_above",
+                                         n_resamples=200)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_unknown_which_rejected(self, labeled_q):
+        q, correct = labeled_q
+        with pytest.raises(ConfigurationError):
+            bootstrap_probability(q, correct, which="nonsense")
+
+
+class TestImprovementBootstrap:
+    def test_returns_two_intervals(self, labeled_q):
+        q, correct = labeled_q
+        after, discard = bootstrap_improvement(q, correct, threshold=0.6,
+                                               n_resamples=200)
+        assert after.point > np.mean(correct)  # filtering helps
+        assert 0.0 <= discard.point <= 1.0

@@ -1,0 +1,87 @@
+"""Tests for repro.stats.gaussian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.stats.gaussian import Gaussian
+
+
+class TestValidation:
+    def test_sigma_positive(self):
+        with pytest.raises(ConfigurationError):
+            Gaussian(mu=0.0, sigma=0.0)
+
+    def test_mu_finite(self):
+        with pytest.raises(ConfigurationError):
+            Gaussian(mu=float("inf"), sigma=1.0)
+
+
+class TestPdf:
+    def test_peak_value(self):
+        g = Gaussian(mu=0.0, sigma=1.0)
+        assert g.pdf(0.0) == pytest.approx(1.0 / np.sqrt(2 * np.pi))
+
+    def test_symmetry(self):
+        g = Gaussian(mu=2.0, sigma=0.5)
+        assert g.pdf(2.3) == pytest.approx(g.pdf(1.7))
+
+    def test_integrates_to_one(self):
+        g = Gaussian(mu=1.0, sigma=0.4)
+        x = np.linspace(-4, 6, 20001)
+        area = np.trapezoid(g.pdf(x), x)
+        assert area == pytest.approx(1.0, abs=1e-6)
+
+    @given(mu=st.floats(-10, 10), sigma=st.floats(0.01, 10),
+           x=st.floats(-50, 50))
+    def test_pdf_nonnegative(self, mu, sigma, x):
+        assert float(Gaussian(mu, sigma).pdf(x)) >= 0.0
+
+
+class TestCdf:
+    def test_median(self):
+        g = Gaussian(mu=3.0, sigma=2.0)
+        assert g.cdf(3.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        g = Gaussian(mu=0.0, sigma=1.0)
+        assert float(g.cdf(1.0)) == pytest.approx(0.8413, abs=1e-4)
+
+    def test_survival_complements_cdf(self):
+        g = Gaussian(mu=0.5, sigma=0.2)
+        for x in (-1.0, 0.3, 0.5, 0.9, 2.0):
+            assert float(g.cdf(x) + g.survival(x)) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        g = Gaussian(mu=0.0, sigma=1.0)
+        xs = np.linspace(-3, 3, 50)
+        cdf = np.asarray(g.cdf(xs))
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_median_cut_semantics(self):
+        # Paper 2.3.3: Phi(s) is the mass below s, complementary above.
+        g = Gaussian(mu=0.8, sigma=0.1)
+        s = 0.81
+        below = float(g.cdf(s))
+        above = float(g.survival(s))
+        assert below + above == pytest.approx(1.0)
+        assert below > 0.5  # threshold just above the mean
+
+
+class TestLikelihoodAndSampling:
+    def test_log_likelihood_maximized_at_true_mean(self, rng):
+        data = rng.normal(1.0, 0.5, size=500)
+        at_true = Gaussian(1.0, 0.5).log_likelihood(data)
+        at_wrong = Gaussian(2.0, 0.5).log_likelihood(data)
+        assert at_true > at_wrong
+
+    def test_sample_statistics(self, rng):
+        g = Gaussian(mu=2.0, sigma=0.3)
+        samples = g.sample(20000, rng)
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_sample_negative_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            Gaussian(0.0, 1.0).sample(-1, rng)

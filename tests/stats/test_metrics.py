@@ -1,0 +1,116 @@
+"""Tests for repro.stats.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError, DimensionError
+from repro.stats.metrics import (accuracy, auc, confusion_matrix,
+                                 filter_outcome, roc_curve)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == (
+            pytest.approx(2 / 3))
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = confusion_matrix(np.array([0, 0, 1, 1, 2]),
+                              np.array([0, 1, 1, 1, 0]))
+        assert cm.n_samples == 5
+        assert cm.matrix[0, 0] == 1
+        assert cm.matrix[0, 1] == 1
+        assert cm.matrix[1, 1] == 2
+        assert cm.matrix[2, 0] == 1
+
+    def test_rates(self):
+        cm = confusion_matrix(np.array([0, 0, 1, 1]),
+                              np.array([0, 1, 1, 1]))
+        assert cm.rate(0, 0) == pytest.approx(0.5)
+        assert cm.per_class_recall() == {0: 0.5, 1: 1.0}
+
+    def test_explicit_labels(self):
+        cm = confusion_matrix(np.array([0]), np.array([0]),
+                              labels=[0, 1, 2])
+        assert cm.matrix.shape == (3, 3)
+
+    def test_label_outside_set(self):
+        with pytest.raises(DimensionError):
+            confusion_matrix(np.array([5]), np.array([0]), labels=[0, 1])
+
+
+class TestROC:
+    def test_perfect_ranking_auc_one(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        positive = np.array([True, True, False, False])
+        assert auc(scores, positive) == pytest.approx(1.0)
+
+    def test_reverse_ranking_auc_zero(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        positive = np.array([True, True, False, False])
+        assert auc(scores, positive) == pytest.approx(0.0)
+
+    def test_random_ranking_near_half(self, rng):
+        scores = rng.uniform(size=4000)
+        positive = rng.uniform(size=4000) > 0.5
+        assert auc(scores, positive) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        scores = np.array([0.9, 0.3, 0.6, 0.1])
+        positive = np.array([True, False, True, False])
+        fpr, tpr, thresholds = roc_curve(scores, positive)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_needs_both_classes(self):
+        with pytest.raises(CalibrationError):
+            roc_curve(np.array([0.5, 0.6]), np.array([True, True]))
+
+
+class TestFilterOutcome:
+    def test_paper_headline_case(self):
+        # 24 points, 8 wrong; a perfect gate discards exactly the wrong
+        # third -> 33% discard, accuracy 0.67 -> 1.0.
+        correct = np.array([True] * 16 + [False] * 8)
+        qualities = np.where(correct, 0.9, 0.2)
+        outcome = filter_outcome(correct, qualities, threshold=0.81)
+        assert outcome.n_discarded == 8
+        assert outcome.discard_fraction == pytest.approx(1 / 3)
+        assert outcome.wrong_elimination == 1.0
+        assert outcome.accuracy_before == pytest.approx(2 / 3)
+        assert outcome.accuracy_after == 1.0
+        assert outcome.improvement == pytest.approx(1 / 3)
+
+    def test_partial_filter(self):
+        correct = np.array([True, True, False, False])
+        qualities = np.array([0.9, 0.4, 0.7, 0.1])
+        outcome = filter_outcome(correct, qualities, threshold=0.5)
+        assert outcome.n_kept == 2
+        assert outcome.n_wrong_kept == 1
+        assert outcome.n_right_discarded == 1
+        assert outcome.accuracy_after == pytest.approx(0.5)
+
+    def test_nothing_kept_keeps_before_accuracy(self):
+        correct = np.array([True, False])
+        outcome = filter_outcome(correct, np.array([0.1, 0.1]), 0.5)
+        assert outcome.n_kept == 0
+        assert outcome.accuracy_after == outcome.accuracy_before
+
+    def test_all_right_elimination_is_one(self):
+        correct = np.ones(5, bool)
+        outcome = filter_outcome(correct, np.full(5, 0.9), 0.5)
+        assert outcome.wrong_elimination == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionError):
+            filter_outcome(np.array([], bool), np.array([]), 0.5)

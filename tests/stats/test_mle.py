@@ -1,0 +1,106 @@
+"""Tests for repro.stats.mle — population estimation and mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.stats.mle import (estimate_populations, fit_gaussian_mle,
+                             fit_two_component_mixture)
+
+
+class TestGaussianMLE:
+    def test_recovers_parameters(self, rng):
+        data = rng.normal(0.8, 0.1, size=5000)
+        g = fit_gaussian_mle(data)
+        assert g.mu == pytest.approx(0.8, abs=0.01)
+        assert g.sigma == pytest.approx(0.1, abs=0.01)
+
+    def test_uses_biased_variance(self):
+        # MLE variance divides by N, not N-1.
+        data = np.array([0.0, 1.0])
+        g = fit_gaussian_mle(data, min_sigma=0.0)
+        assert g.sigma == pytest.approx(0.5)
+
+    def test_degenerate_data_gets_floor(self):
+        g = fit_gaussian_mle(np.full(10, 0.7))
+        assert g.sigma > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_gaussian_mle(np.array([]))
+
+
+class TestPopulationEstimates:
+    def test_separated_populations(self, rng):
+        q = np.concatenate([rng.normal(0.9, 0.05, 100),
+                            rng.normal(0.2, 0.1, 50)])
+        correct = np.concatenate([np.ones(100, bool), np.zeros(50, bool)])
+        est = estimate_populations(q, correct)
+        assert est.right.mu == pytest.approx(0.9, abs=0.02)
+        assert est.wrong.mu == pytest.approx(0.2, abs=0.04)
+        assert est.n_right == 100
+        assert est.n_wrong == 50
+        assert est.separation > 3.0
+
+    def test_requires_both_populations(self, rng):
+        q = rng.uniform(size=10)
+        with pytest.raises(CalibrationError):
+            estimate_populations(q, np.ones(10, bool))
+        with pytest.raises(CalibrationError):
+            estimate_populations(q, np.zeros(10, bool))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            estimate_populations(np.zeros(5), np.zeros(4, bool))
+
+    def test_paper_small_set(self):
+        # A 24-point set like the paper's Fig. 5: 16 right near 1, 8 wrong
+        # near 0; means must straddle, separation must be clear.
+        q = np.array([0.95, 0.9, 0.92, 0.88, 0.97, 0.91, 0.9, 0.93,
+                      0.89, 0.94, 0.96, 0.9, 0.92, 0.91, 0.95, 0.9,
+                      0.1, 0.2, 0.15, 0.3, 0.25, 0.05, 0.12, 0.22])
+        correct = np.array([True] * 16 + [False] * 8)
+        est = estimate_populations(q, correct)
+        assert est.right.mu > 0.85
+        assert est.wrong.mu < 0.35
+
+
+class TestMixture:
+    def test_recovers_two_modes(self, rng):
+        data = np.concatenate([rng.normal(0.9, 0.05, 300),
+                               rng.normal(0.2, 0.08, 150)])
+        fit = fit_two_component_mixture(data)
+        assert fit.upper.mu == pytest.approx(0.9, abs=0.03)
+        assert fit.lower.mu == pytest.approx(0.2, abs=0.05)
+        assert fit.weights[0] + fit.weights[1] == pytest.approx(1.0)
+
+    def test_converges(self, rng):
+        data = np.concatenate([rng.normal(0.8, 0.05, 200),
+                               rng.normal(0.3, 0.05, 200)])
+        fit = fit_two_component_mixture(data)
+        assert fit.converged
+
+    def test_log_likelihood_improves_over_single(self, rng):
+        data = np.concatenate([rng.normal(0.9, 0.03, 200),
+                               rng.normal(0.1, 0.03, 200)])
+        mixture = fit_two_component_mixture(data)
+        single = fit_gaussian_mle(data)
+        assert mixture.log_likelihood > single.log_likelihood(data)
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fit_two_component_mixture(np.array([0.5]))
+
+    def test_identical_data_does_not_crash(self):
+        fit = fit_two_component_mixture(np.full(20, 0.5))
+        assert np.isfinite(fit.log_likelihood)
+
+    def test_unlabeled_threshold_route(self, rng):
+        # Paper 2.3.2: MLE without secondary knowledge converges to the
+        # labeled estimate for large data.
+        right = rng.normal(0.85, 0.06, 2000)
+        wrong = rng.normal(0.25, 0.1, 1000)
+        data = np.concatenate([right, wrong])
+        fit = fit_two_component_mixture(data)
+        assert fit.upper.mu == pytest.approx(np.mean(right), abs=0.02)
+        assert fit.lower.mu == pytest.approx(np.mean(wrong), abs=0.04)

@@ -1,0 +1,105 @@
+"""Tests for repro.stats.probabilities — the four CQM probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.stats.gaussian import Gaussian
+from repro.stats.mle import estimate_populations
+from repro.stats.probabilities import (empirical_probabilities,
+                                       probabilities_from_estimates,
+                                       selection_probabilities)
+from repro.stats.threshold import equal_error_threshold
+
+
+@pytest.fixture
+def populations():
+    return Gaussian(0.85, 0.08), Gaussian(0.3, 0.15)
+
+
+class TestSelectionProbabilities:
+    def test_conditional_complements(self, populations):
+        right, wrong = populations
+        p = selection_probabilities(right, wrong, 0.6)
+        assert p.right_given_above + p.wrong_given_above == pytest.approx(1.0)
+        assert p.right_given_below + p.wrong_given_below == pytest.approx(1.0)
+
+    def test_good_threshold_gives_high_probabilities(self, populations):
+        right, wrong = populations
+        p = selection_probabilities(right, wrong, 0.6)
+        assert p.right_given_above > 0.8
+        assert p.wrong_given_below > 0.8
+        assert p.wrong_given_above < 0.2
+        assert p.right_given_below < 0.2
+
+    def test_equal_error_point_equalizes(self, populations):
+        # The paper reports P(right|q>s) == P(wrong|q<s) at the optimum.
+        right, wrong = populations
+        s = equal_error_threshold(right, wrong).threshold
+        p = selection_probabilities(right, wrong, s)
+        assert p.right_given_above == pytest.approx(p.wrong_given_below,
+                                                    abs=1e-3)
+
+    def test_prior_shifts_probabilities(self, populations):
+        right, wrong = populations
+        neutral = selection_probabilities(right, wrong, 0.6)
+        skewed = selection_probabilities(right, wrong, 0.6,
+                                         prior_right=0.9)
+        assert skewed.right_given_above > neutral.right_given_above
+
+    def test_invalid_prior(self, populations):
+        right, wrong = populations
+        with pytest.raises(CalibrationError):
+            selection_probabilities(right, wrong, 0.6, prior_right=1.0)
+
+    def test_extreme_threshold_raises(self, populations):
+        right, wrong = populations
+        with pytest.raises(CalibrationError):
+            selection_probabilities(right, wrong, 1e9)
+
+    def test_as_dict_keys(self, populations):
+        right, wrong = populations
+        d = selection_probabilities(right, wrong, 0.6).as_dict()
+        assert set(d) == {"s", "P(right|q>s)", "P(wrong|q<s)",
+                          "P(right|q<s)", "P(wrong|q>s)"}
+
+
+class TestFromEstimates:
+    def test_empirical_prior_used(self, rng):
+        q = np.concatenate([rng.normal(0.9, 0.05, 90),
+                            rng.normal(0.2, 0.1, 10)])
+        correct = np.concatenate([np.ones(90, bool), np.zeros(10, bool)])
+        est = estimate_populations(q, correct)
+        no_prior = probabilities_from_estimates(est, 0.6)
+        with_prior = probabilities_from_estimates(est, 0.6,
+                                                  use_empirical_prior=True)
+        # 90% right prior boosts P(right | q > s).
+        assert with_prior.right_given_above > no_prior.right_given_above
+
+
+class TestEmpirical:
+    def test_perfect_separation(self):
+        q = np.array([0.9, 0.95, 0.85, 0.1, 0.2, 0.15])
+        correct = np.array([True, True, True, False, False, False])
+        p = empirical_probabilities(q, correct, 0.5)
+        assert p.right_given_above == 1.0
+        assert p.wrong_given_below == 1.0
+        assert p.wrong_given_above == 0.0
+        assert p.right_given_below == 0.0
+
+    def test_counts(self):
+        q = np.array([0.9, 0.6, 0.4, 0.1])
+        correct = np.array([True, False, True, False])
+        p = empirical_probabilities(q, correct, 0.5)
+        assert p.right_given_above == pytest.approx(0.5)
+        assert p.wrong_given_below == pytest.approx(0.5)
+
+    def test_degenerate_split_raises(self):
+        q = np.array([0.9, 0.8])
+        correct = np.array([True, True])
+        with pytest.raises(CalibrationError):
+            empirical_probabilities(q, correct, 0.1)
+
+    def test_alignment_checked(self):
+        with pytest.raises(CalibrationError):
+            empirical_probabilities(np.zeros(3), np.zeros(2, bool), 0.5)

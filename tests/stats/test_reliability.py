@@ -1,0 +1,105 @@
+"""Tests for repro.stats.reliability — calibration of the CQM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError, ConfigurationError
+from repro.stats.reliability import (apply_recalibration,
+                                     recalibration_map,
+                                     reliability_diagram)
+
+
+def perfectly_calibrated(rng, n=4000):
+    """q values whose empirical accuracy matches q by construction."""
+    q = rng.uniform(0.0, 1.0, size=n)
+    correct = rng.uniform(size=n) < q
+    return q, correct
+
+
+class TestReliabilityDiagram:
+    def test_calibrated_data_has_low_ece(self, rng):
+        q, correct = perfectly_calibrated(rng)
+        diagram = reliability_diagram(q, correct, n_bins=10)
+        assert diagram.expected_calibration_error < 0.05
+
+    def test_overconfident_data_has_high_ece(self, rng):
+        # Reported q ~ 0.95, actual accuracy 0.5.
+        q = np.full(1000, 0.95)
+        correct = rng.uniform(size=1000) < 0.5
+        diagram = reliability_diagram(q, correct)
+        assert diagram.expected_calibration_error > 0.3
+
+    def test_bin_counts_sum(self, rng):
+        q, correct = perfectly_calibrated(rng, n=500)
+        diagram = reliability_diagram(q, correct, n_bins=8)
+        assert sum(b.n for b in diagram.bins) == 500
+        assert diagram.n_total == 500
+
+    def test_q_equal_one_counted(self):
+        q = np.array([1.0, 1.0, 0.0])
+        correct = np.array([True, True, False])
+        diagram = reliability_diagram(q, correct, n_bins=5)
+        assert diagram.bins[-1].n == 2
+        assert diagram.bins[0].n == 1
+
+    def test_nan_excluded(self):
+        q = np.array([0.9, np.nan])
+        correct = np.array([True, False])
+        diagram = reliability_diagram(q, correct)
+        assert diagram.n_total == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reliability_diagram(np.array([0.5]), np.array([True]), n_bins=1)
+        with pytest.raises(CalibrationError):
+            reliability_diagram(np.array([1.5]), np.array([True]))
+        with pytest.raises(CalibrationError):
+            reliability_diagram(np.array([np.nan]), np.array([True]))
+
+    def test_to_text(self, rng):
+        q, correct = perfectly_calibrated(rng, n=200)
+        text = reliability_diagram(q, correct).to_text()
+        assert "ECE" in text
+        assert "acc=" in text
+
+
+class TestRecalibration:
+    def test_fixes_overconfidence(self, rng):
+        q = rng.uniform(0.7, 1.0, size=3000)
+        correct = rng.uniform(size=3000) < 0.5  # always ~50% right
+        table = recalibration_map(q, correct, n_bins=10)
+        fixed = apply_recalibration(q, table)
+        diagram = reliability_diagram(fixed, correct, n_bins=10)
+        assert diagram.expected_calibration_error < 0.1
+
+    def test_nan_passthrough(self, rng):
+        q, correct = perfectly_calibrated(rng, n=300)
+        table = recalibration_map(q, correct)
+        out = apply_recalibration(np.array([np.nan, 0.5]), table)
+        assert np.isnan(out[0])
+        assert not np.isnan(out[1])
+
+    def test_table_shape(self, rng):
+        q, correct = perfectly_calibrated(rng, n=300)
+        table = recalibration_map(q, correct, n_bins=7)
+        assert table.shape == (7,)
+        assert np.all((table >= 0) & (table <= 1))
+
+    def test_apply_validates_table(self):
+        with pytest.raises(ConfigurationError):
+            apply_recalibration(np.array([0.5]), np.array([0.5]))
+
+
+class TestCQMCalibration:
+    def test_cqm_is_roughly_ordered(self, experiment, material):
+        """The pipeline's q need not be perfectly calibrated, but higher
+        bins must not be systematically *less* accurate than lower ones
+        (monotone trend on the analysis set)."""
+        data_q = experiment.augmented.qualities(material.analysis.cues)
+        predicted = experiment.classifier.predict_indices(
+            material.analysis.cues)
+        correct = predicted == material.analysis.labels
+        diagram = reliability_diagram(data_q, correct, n_bins=4)
+        occupied = [b for b in diagram.bins if b.n >= 5]
+        accuracies = [b.empirical_accuracy for b in occupied]
+        assert accuracies[-1] >= accuracies[0]

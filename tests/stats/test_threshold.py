@@ -1,0 +1,156 @@
+"""Tests for repro.stats.threshold — density intersections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import CalibrationError
+from repro.stats.gaussian import Gaussian
+from repro.stats.threshold import (density_intersections,
+                                   equal_error_threshold,
+                                   intersection_threshold)
+
+
+class TestDensityIntersections:
+    def test_equal_sigma_midpoint(self):
+        a = Gaussian(0.0, 1.0)
+        b = Gaussian(2.0, 1.0)
+        points = density_intersections(a, b)
+        assert points == [pytest.approx(1.0)]
+
+    def test_intersections_satisfy_equality(self):
+        a = Gaussian(0.8, 0.1)
+        b = Gaussian(0.3, 0.25)
+        for x in density_intersections(a, b):
+            assert float(a.pdf(x)) == pytest.approx(float(b.pdf(x)),
+                                                    rel=1e-6)
+
+    def test_identical_densities_raise(self):
+        g = Gaussian(0.5, 0.1)
+        with pytest.raises(CalibrationError):
+            density_intersections(g, Gaussian(0.5, 0.1))
+
+    @settings(max_examples=50)
+    @given(mu1=st.floats(-5, 5), mu2=st.floats(-5, 5),
+           s1=st.floats(0.05, 2), s2=st.floats(0.05, 2))
+    def test_solutions_are_real_roots(self, mu1, mu2, s1, s2):
+        a, b = Gaussian(mu1, s1), Gaussian(mu2, s2)
+        if abs(mu1 - mu2) < 1e-6 and abs(s1 - s2) < 1e-6:
+            return
+        try:
+            points = density_intersections(a, b)
+        except CalibrationError:
+            return
+        for x in points:
+            assert float(a.pdf(x)) == pytest.approx(float(b.pdf(x)),
+                                                    rel=1e-4, abs=1e-12)
+
+
+class TestIntersectionThreshold:
+    def test_between_the_means(self):
+        right = Gaussian(0.9, 0.08)
+        wrong = Gaussian(0.3, 0.15)
+        result = intersection_threshold(right, wrong)
+        assert wrong.mu < result.threshold < right.mu
+        assert result.method == "intersection"
+
+    def test_paperlike_threshold_near_081(self):
+        # Construct populations that give the paper's s ~= 0.81: tight
+        # right mass near 0.93, broad wrong mass near 0.45.
+        right = Gaussian(0.93, 0.05)
+        wrong = Gaussian(0.45, 0.18)
+        result = intersection_threshold(right, wrong)
+        assert 0.75 < result.threshold < 0.88
+
+    def test_requires_right_above_wrong(self):
+        with pytest.raises(CalibrationError):
+            intersection_threshold(Gaussian(0.2, 0.1), Gaussian(0.8, 0.1))
+
+    def test_equal_variance_gives_midpoint(self):
+        result = intersection_threshold(Gaussian(0.8, 0.1),
+                                        Gaussian(0.2, 0.1))
+        assert result.threshold == pytest.approx(0.5)
+
+    def test_balanced_error_symmetric_case(self):
+        # Paper 3.2: equal right/wrong training -> threshold ~ 0.5.
+        result = intersection_threshold(Gaussian(0.95, 0.12),
+                                        Gaussian(0.05, 0.12))
+        assert result.threshold == pytest.approx(0.5, abs=1e-9)
+
+
+class TestEqualErrorThreshold:
+    def test_probabilities_match_at_threshold(self):
+        right = Gaussian(0.85, 0.1)
+        wrong = Gaussian(0.3, 0.2)
+        result = equal_error_threshold(right, wrong)
+        s = result.threshold
+        assert float(right.survival(s)) == pytest.approx(
+            float(wrong.cdf(s)), abs=1e-3)
+
+    def test_symmetric_case(self):
+        result = equal_error_threshold(Gaussian(0.9, 0.1),
+                                       Gaussian(0.1, 0.1))
+        assert result.threshold == pytest.approx(0.5, abs=1e-3)
+
+    def test_order_enforced(self):
+        with pytest.raises(CalibrationError):
+            equal_error_threshold(Gaussian(0.1, 0.1), Gaussian(0.9, 0.1))
+
+    def test_close_to_intersection_for_similar_sigmas(self):
+        right = Gaussian(0.85, 0.1)
+        wrong = Gaussian(0.25, 0.12)
+        a = intersection_threshold(right, wrong).threshold
+        b = equal_error_threshold(right, wrong).threshold
+        assert abs(a - b) < 0.1
+
+
+class TestEmpiricalThresholds:
+    def make_data(self):
+        q = np.array([0.95, 0.9, 0.88, 0.85, 0.8, 0.75,
+                      0.6, 0.45, 0.3, 0.2, 0.1, 0.05])
+        correct = np.array([True] * 6 + [False] * 6)
+        return q, correct
+
+    def test_youden_separates_perfectly_separable(self):
+        from repro.stats.threshold import youden_threshold
+        q, correct = self.make_data()
+        result = youden_threshold(q, correct)
+        assert result.method == "youden-j"
+        assert 0.6 <= result.threshold < 0.75
+        kept = q > result.threshold
+        assert np.all(correct[kept])
+        assert np.all(~correct[~kept])
+
+    def test_youden_needs_both_populations(self):
+        from repro.stats.threshold import youden_threshold
+        with pytest.raises(CalibrationError):
+            youden_threshold(np.array([0.5, 0.6]),
+                             np.array([True, True]))
+
+    def test_youden_ignores_nan(self):
+        from repro.stats.threshold import youden_threshold
+        q = np.array([0.9, np.nan, 0.1])
+        correct = np.array([True, True, False])
+        result = youden_threshold(q, correct)
+        assert 0.1 <= result.threshold < 0.9
+
+    def test_max_accuracy_reaches_one_when_separable(self):
+        from repro.stats.threshold import max_accuracy_threshold
+        q, correct = self.make_data()
+        result = max_accuracy_threshold(q, correct)
+        kept = q > result.threshold
+        assert np.mean(correct[kept]) == 1.0
+
+    def test_max_accuracy_degenerate(self):
+        from repro.stats.threshold import max_accuracy_threshold
+        with pytest.raises(CalibrationError):
+            max_accuracy_threshold(np.array([0.5, 0.5]),
+                                   np.array([True, False]))
+
+    def test_alignment_validated(self):
+        from repro.stats.threshold import (max_accuracy_threshold,
+                                           youden_threshold)
+        with pytest.raises(CalibrationError):
+            youden_threshold(np.zeros(3), np.zeros(2, bool))
+        with pytest.raises(CalibrationError):
+            max_accuracy_threshold(np.zeros(3), np.zeros(2, bool))

@@ -1,0 +1,102 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["experiment", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold s" in out
+        assert "accuracy" in out
+
+    def test_save_package(self, capsys, tmp_path):
+        path = tmp_path / "pkg.json"
+        assert main(["experiment", "--seed", "7",
+                     "--save", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "written" in out
+
+
+class TestReportCommand:
+    def test_prints_statistics(self, capsys):
+        assert main(["report", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "population estimates" in out
+        assert "P(right|q>s)" in out
+        assert "paper: 0.81" in out
+
+
+class TestOfficeCommand:
+    def test_gated_run(self, capsys):
+        assert main(["office", "--seed", "7", "--blocks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gated at" in out
+        assert "camera" in out
+
+    def test_ungated_run(self, capsys):
+        assert main(["office", "--seed", "7", "--blocks", "1",
+                     "--ungated"]) == 0
+        out = capsys.readouterr().out
+        assert "ungated" in out
+
+
+class TestInspectCommand:
+    def test_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "pkg.json"
+        main(["experiment", "--seed", "7", "--save", str(path)])
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rules" in out
+        assert "threshold" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportFigures:
+    def test_figures_rendered(self, capsys):
+        assert main(["report", "--seed", "7", "--figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "Fig. 6" in out
+        assert "|" in out  # threshold column
+
+
+class TestOfficeScript:
+    def test_dsl_scenario(self, capsys):
+        assert main(["office", "--script",
+                     "writing:6 playing:2@erratic lying:3"]) == 0
+        out = capsys.readouterr().out
+        assert "office run" in out
+
+    def test_bad_dsl_raises(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["office", "--script", "juggling:3"])
+
+
+class TestFullReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["full-report", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "# CQM experiment report" in out
+        assert "0.8112" in out
+
+    def test_file_output(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["full-report", "--seed", "7",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        assert "Per-class thresholds" in path.read_text()

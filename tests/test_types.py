@@ -1,0 +1,97 @@
+"""Tests for repro.types and repro.exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (CalibrationError, ConfigurationError,
+                              DimensionError, EmptyDatasetError,
+                              NotFittedError, ReproError, TrainingError)
+from repro.types import (Classification, ContextClass, LabeledWindow,
+                         QualifiedClassification, as_cue_matrix, split_xy)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [ConfigurationError, NotFittedError,
+                                     DimensionError, TrainingError,
+                                     CalibrationError, EmptyDatasetError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestContextClass:
+    def test_valid(self):
+        c = ContextClass(1, "writing")
+        assert c.index == 1
+        assert c.name == "writing"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ContextClass(-1, "x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ContextClass(0, "")
+
+    def test_hashable_and_frozen(self):
+        c = ContextClass(1, "writing")
+        assert hash(c) == hash(ContextClass(1, "writing"))
+        with pytest.raises(Exception):
+            c.index = 2  # type: ignore[misc]
+
+
+class TestClassification:
+    def test_quality_input_appends_class_identifier(self):
+        c = Classification(cues=np.array([0.1, 0.2, 0.3]),
+                           context=ContextClass(2, "playing"))
+        np.testing.assert_allclose(c.quality_input, [0.1, 0.2, 0.3, 2.0])
+
+    def test_quality_input_is_float(self):
+        c = Classification(cues=np.array([1, 2]),
+                           context=ContextClass(1, "x"))
+        assert c.quality_input.dtype == np.float64
+
+
+class TestQualifiedClassification:
+    def test_error_state(self):
+        base = Classification(cues=np.zeros(2),
+                              context=ContextClass(0, "a"))
+        with_q = QualifiedClassification(base, quality=0.7)
+        without_q = QualifiedClassification(base, quality=None)
+        assert not with_q.is_error_state
+        assert without_q.is_error_state
+        assert with_q.context.name == "a"
+
+
+class TestCueMatrix:
+    def test_1d_promoted(self):
+        out = as_cue_matrix([1.0, 2.0])
+        assert out.shape == (1, 2)
+
+    def test_2d_passthrough(self):
+        out = as_cue_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(DimensionError):
+            as_cue_matrix(np.zeros((2, 2, 2)))
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(DimensionError):
+            as_cue_matrix(np.zeros((3, 0)))
+
+
+class TestSplitXY:
+    def test_split(self):
+        windows = [LabeledWindow(cues=np.array([1.0, 2.0]),
+                                 true_context=ContextClass(0, "a")),
+                   LabeledWindow(cues=np.array([3.0, 4.0]),
+                                 true_context=ContextClass(1, "b"))]
+        x, y = split_xy(windows)
+        assert x.shape == (2, 2)
+        np.testing.assert_array_equal(y, [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            split_xy([])

@@ -1,0 +1,110 @@
+"""Tests for repro.viz — ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.stats.gaussian import Gaussian
+from repro.viz import (comparison_table, density_plot, histogram,
+                       quality_series, sparkline)
+
+
+class TestQualitySeries:
+    def test_markers(self):
+        out = quality_series([0.9, 0.1, np.nan], [True, False, True])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "o" in lines[1]
+        assert "+" in lines[2]
+        assert "eps" in lines[3]
+
+    def test_position_encodes_quality(self):
+        out = quality_series([1.0, 0.0], [True, True], width=20)
+        high, low = out.splitlines()[1:3]
+        assert high.index("o") > low.index("o")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            quality_series([0.5], [True], width=5)
+        with pytest.raises(ConfigurationError):
+            quality_series([0.5, 0.6], [True])
+
+
+class TestDensityPlot:
+    def test_structure(self):
+        out = density_plot(Gaussian(0.85, 0.1), Gaussian(0.3, 0.2),
+                           threshold=0.6, rows=8, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 10  # 8 rows + axis + legend
+        assert "r" in out and "w" in out
+        assert "|" in out
+        assert "s=0.600" in out
+
+    def test_threshold_optional(self):
+        out = density_plot(Gaussian(0.85, 0.1), Gaussian(0.3, 0.2))
+        assert "threshold" not in out
+
+    def test_threshold_column_position(self):
+        out = density_plot(Gaussian(0.9, 0.05), Gaussian(0.1, 0.05),
+                           threshold=0.5, width=41, rows=5)
+        first_row = out.splitlines()[0]
+        # Column 2 offsets the leading margin; the mid column holds '|'.
+        assert first_row[2 + 20] == "|"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            density_plot(Gaussian(0.8, 0.1), Gaussian(0.2, 0.1), rows=1)
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        out = histogram([0.1, 0.1, 0.9], bins=2, value_range=(0.0, 1.0))
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("2")
+        assert lines[1].endswith("1")
+
+    def test_nan_filtered(self):
+        out = histogram([0.5, float("nan")], bins=1)
+        assert out.splitlines()[0].endswith("1")
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            histogram([])
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        out = sparkline([0.0, 0.5, 1.0])
+        assert len(out) == 3
+        assert out[0] < out[1] < out[2]
+
+    def test_nan_gap(self):
+        out = sparkline([0.0, np.nan, 1.0])
+        assert out[1] == " "
+
+    def test_constant_series(self):
+        out = sparkline([0.5, 0.5])
+        assert len(out) == 2
+        assert out[0] == out[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestComparisonTable:
+    def test_alignment(self):
+        out = comparison_table([("s", "0.81", "0.63"),
+                                ("P(right|q>s)", "0.8112", "0.786")])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("paper") == lines[2].index("0.81")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            comparison_table([("only", "two")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparison_table([])
