@@ -1,0 +1,225 @@
+"""Experiment ``throughput`` — batched and parallel hot-path performance.
+
+The runtime bench (`bench_runtime.py`) guards the paper's per-window
+real-time claim; this bench guards the *production* claim layered on top
+of it: batched cue extraction, batched CQM queries and the parallel
+execution backends must beat their per-sample/serial ancestors — and the
+parallel backends must do so while returning bit-identical results.
+
+Every measurement lands in ``BENCH_throughput.json`` at the repo root
+(via :mod:`repro.evaluation.throughput`) so the numbers are diffable
+across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation.throughput import (ThroughputReporter, best_of,
+                                         default_report_path)
+from repro.parallel import ParallelExecutor
+from repro.sensors.cues import AWAREPEN_CUES
+from repro.stats.bootstrap import bootstrap_threshold
+
+#: The acceptance workload: a 100 Hz x 60 s, 3-axis accelerometer trace
+#: cut into the AwarePen's 1 s windows with 0.5 s hop.
+SAMPLE_RATE_HZ = 100
+DURATION_S = 60
+WINDOW = 100
+HOP = 50
+
+#: Floor asserted for batched-vs-generator cue extraction.
+MIN_CUE_SPEEDUP = 5.0
+
+_MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    reporter = ThroughputReporter()
+    yield reporter
+    reporter.write(default_report_path())
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(SAMPLE_RATE_HZ * DURATION_S, 3))
+
+
+def test_batched_cue_extraction_speedup(signal, throughput, report):
+    """Vectorized sliding windows must be >= 5x the generator loop."""
+    t_generator = best_of(
+        lambda: AWAREPEN_CUES.extract_all(signal, WINDOW, HOP,
+                                          batched=False),
+        repeats=5, min_time=0.02)
+    t_batched = best_of(
+        lambda: AWAREPEN_CUES.extract_all(signal, WINDOW, HOP),
+        repeats=5, min_time=0.02)
+
+    starts, batched = AWAREPEN_CUES.extract_all(signal, WINDOW, HOP)
+    _, reference = AWAREPEN_CUES.extract_all(signal, WINDOW, HOP,
+                                             batched=False)
+    assert np.allclose(batched, reference, rtol=1e-10, atol=1e-12)
+
+    n_windows = len(starts)
+    speedup = t_generator / t_batched
+    throughput.record("cue_extraction_generator", n_windows / t_generator,
+                      "windows/s", note=f"{WINDOW}x3 window, hop {HOP}")
+    throughput.record("cue_extraction_batched", n_windows / t_batched,
+                      "windows/s", note=f"{WINDOW}x3 window, hop {HOP}")
+    throughput.record("cue_extraction_speedup", speedup, "x",
+                      note="batched vs per-window generator")
+    report.row("throughput", "batched cue extraction",
+               ">= 5x generator path", f"{speedup:.1f}x")
+    assert speedup >= MIN_CUE_SPEEDUP
+
+
+def test_batched_cue_extraction_hop1(signal, throughput):
+    """Dense (hop 1) extraction — the worst case for the generator."""
+    t_batched = best_of(
+        lambda: AWAREPEN_CUES.extract_all(signal, WINDOW, 1),
+        repeats=3, min_time=0.02)
+    n_windows = signal.shape[0] - WINDOW + 1
+    throughput.record("cue_extraction_batched_hop1",
+                      n_windows / t_batched, "windows/s",
+                      note=f"{WINDOW}x3 window, hop 1")
+
+
+def test_batched_cqm_throughput(experiment, throughput, report):
+    """measure_batch must dominate the per-sample measure loop."""
+    quality = experiment.augmented.quality
+    base = experiment.material.analysis.cues
+    reps = int(np.ceil(4096 / base.shape[0]))
+    cues = np.tile(base, (reps, 1))[:4096]
+    predicted = experiment.classifier.predict_indices(cues).astype(float)
+
+    t_batch = best_of(lambda: quality.measure_batch(cues, predicted),
+                      repeats=5, min_time=0.02)
+
+    loop_cues = cues[:256]
+    loop_pred = predicted[:256]
+
+    def per_sample_loop():
+        for row, idx in zip(loop_cues, loop_pred):
+            quality.measure(row, int(idx))
+
+    t_loop = best_of(per_sample_loop, repeats=3, min_time=0.02) / 256
+
+    batch_rate = cues.shape[0] / t_batch
+    loop_rate = 1.0 / t_loop
+    throughput.record("cqm_batched", batch_rate, "samples/s",
+                      note=f"batch of {cues.shape[0]}")
+    throughput.record("cqm_per_sample", loop_rate, "samples/s")
+    throughput.record("cqm_batch_speedup", batch_rate / loop_rate, "x")
+    report.row("throughput", "batched CQM",
+               "batch >> per-sample", f"{batch_rate / loop_rate:.0f}x")
+    assert batch_rate > loop_rate
+
+
+def _labeled(experiment):
+    dataset = experiment.material.analysis
+    predicted = experiment.classifier.predict_indices(dataset.cues)
+    q = experiment.augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    usable = ~np.isnan(q)
+    return q[usable], correct[usable]
+
+
+def test_parallel_bootstrap_speedup_and_equivalence(experiment, throughput,
+                                                    report):
+    """1000-resample bootstrap: parallel must *exactly* match serial, and
+    beat it on wall clock whenever there is more than one core."""
+    q, c = _labeled(experiment)
+
+    t0 = time.perf_counter()
+    serial = bootstrap_threshold(q, c, n_resamples=1000, seed=0,
+                                 parallel="serial")
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = bootstrap_threshold(q, c, n_resamples=1000, seed=0,
+                                   parallel="process")
+    t_parallel = time.perf_counter() - t0
+
+    # Bit-identical confidence interval, not merely close.
+    assert (serial.low, serial.high, serial.point, serial.n_failed) == \
+        (parallel.low, parallel.high, parallel.point, parallel.n_failed)
+
+    speedup = t_serial / t_parallel
+    throughput.record("bootstrap_serial_1000", t_serial, "s")
+    throughput.record("bootstrap_process_1000", t_parallel, "s",
+                      note=f"{os.cpu_count()} cores")
+    throughput.record("bootstrap_parallel_speedup", speedup, "x",
+                      note="process backend vs serial, 1000 resamples")
+    report.row("throughput", "parallel bootstrap (1000 resamples)",
+               "beats serial on >= 2 cores",
+               f"{speedup:.2f}x on {os.cpu_count()} core(s)")
+    if _MULTICORE:
+        assert speedup > 1.0
+
+
+def test_parallel_crossval_equivalence_and_wallclock(experiment, throughput,
+                                                     report):
+    """Process-backend scenario CV matches serial bit for bit."""
+    from repro.core import ConstructionConfig
+    from repro.datasets import evaluation_script, generate_dataset
+    from repro.evaluation import ScenarioCrossValidator
+
+    def factory(seed):
+        return generate_dataset(
+            lambda rng: evaluation_script(rng, blocks=2), seed=seed)
+
+    config = ConstructionConfig(epochs=10)
+
+    def run(backend):
+        cv = ScenarioCrossValidator(experiment.classifier, factory,
+                                    n_folds=2, config=config,
+                                    parallel=backend)
+        t0 = time.perf_counter()
+        out = cv.run()
+        return out, time.perf_counter() - t0
+
+    serial, t_serial = run("serial")
+    parallel, t_parallel = run("process")
+    assert serial.folds == parallel.folds
+
+    speedup = t_serial / t_parallel
+    throughput.record("crossval_serial_2folds", t_serial, "s")
+    throughput.record("crossval_process_2folds", t_parallel, "s",
+                      note=f"{os.cpu_count()} cores")
+    throughput.record("crossval_parallel_speedup", speedup, "x",
+                      note="process backend vs serial, 2 folds")
+    report.row("throughput", "parallel crossval",
+               "bit-identical folds",
+               f"{speedup:.2f}x on {os.cpu_count()} core(s)")
+
+
+def test_parallel_multiseed_equivalence_and_wallclock(throughput, report):
+    """Thread-backend multi-seed replication matches serial bit for bit."""
+    from repro.core import ConstructionConfig
+    from repro.evaluation import MultiSeedRunner
+
+    config = ConstructionConfig(epochs=10)
+    t0 = time.perf_counter()
+    serial = MultiSeedRunner(seeds=(7, 11), config=config,
+                             parallel="serial").run()
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    threaded = MultiSeedRunner(seeds=(7, 11), config=config,
+                               parallel="thread").run()
+    t_thread = time.perf_counter() - t0
+
+    assert serial.per_seed == threaded.per_seed
+    speedup = t_serial / t_thread
+    throughput.record("multiseed_serial_2seeds", t_serial, "s")
+    throughput.record("multiseed_thread_2seeds", t_thread, "s")
+    throughput.record("multiseed_thread_speedup", speedup, "x",
+                      note="thread backend vs serial, 2 seeds")
+    report.row("throughput", "parallel multiseed",
+               "bit-identical aggregates", f"{speedup:.2f}x wall clock")

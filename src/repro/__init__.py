@@ -32,7 +32,7 @@ Subpackages
 """
 
 from . import (anfis, appliances, classifiers, clustering, core, datasets,
-               fuzzy, sensors, stats)
+               fuzzy, parallel, sensors, stats)
 from .exceptions import (CalibrationError, ConfigurationError, DimensionError,
                          EmptyDatasetError, NotFittedError, ReproError,
                          TrainingError)
@@ -45,7 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "fuzzy", "clustering", "anfis", "stats", "sensors", "classifiers",
-    "datasets", "core", "appliances",
+    "datasets", "core", "appliances", "parallel",
     "ContextClass", "Classification", "QualifiedClassification",
     "LabeledWindow",
     "ReproError", "ConfigurationError", "NotFittedError", "DimensionError",

@@ -67,9 +67,11 @@ def premise_gradients(system: TSKSystem, x: np.ndarray,
             f"y must have {x.shape[0]} entries, got {y.shape[0]}")
     n = x.shape[0]
 
-    w = system.firing_strengths(x)                     # (N, m)
-    f = system.rule_outputs(x)                         # (N, m)
-    total = np.maximum(np.sum(w, axis=1), _WEIGHT_FLOOR)  # (N,)
+    # Fused forward pass: one membership evaluation instead of the two
+    # separate (and separately validated) weight + consequent passes.
+    comps = system.evaluate_components(x, validate=False)
+    w, f = comps.w, comps.f                            # (N, m) each
+    total = np.maximum(comps.total, _WEIGHT_FLOOR)     # (N,)
     s = np.sum(w * f, axis=1) / total                  # (N,)
     err = s - y                                        # (N,)
 

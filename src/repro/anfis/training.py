@@ -59,7 +59,8 @@ class TrainingReport:
 
 
 def _rmse(system: TSKSystem, x: np.ndarray, y: np.ndarray) -> float:
-    err = system.evaluate(x) - y
+    # Single fused forward pass (one validation, one membership sweep).
+    err = system.evaluate_components(x).output - y
     return float(np.sqrt(np.mean(err ** 2)))
 
 

@@ -7,11 +7,16 @@ Usage::
     python -m repro report     [--seed N]
     python -m repro office     [--seed N] [--blocks N] [--ungated]
     python -m repro inspect    PACKAGE.json
+    python -m repro multiseed  [--seeds N N ...] [--parallel BACKEND]
+                               [--workers N]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
 probabilities); ``office`` simulates the AwareOffice with a gated (or
-ungated) camera; ``inspect`` describes a saved quality package.
+ungated) camera; ``inspect`` describes a saved quality package;
+``multiseed`` replicates the experiment across seeds, optionally fanning
+the runs out over the ``thread``/``process`` execution backends
+(``--parallel``, or the ``REPRO_PARALLEL`` environment variable).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import numpy as np
 from .core import ConstructionConfig, QualityFilter
 from .core.persistence import QualityPackage
 from .experiment import run_awarepen_experiment
+from .parallel import BACKENDS, ENV_VAR
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +71,21 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_full.add_argument("--seed", type=int, default=7)
     rep_full.add_argument("--out", metavar="REPORT.md",
                           help="write to a file instead of stdout")
+
+    multi = sub.add_parser(
+        "multiseed",
+        help="replicate the experiment across seeds (optionally parallel)")
+    multi.add_argument("--seeds", type=int, nargs="+",
+                       default=[3, 7, 11, 19, 42],
+                       help="data-generation seeds (>= 2, unique)")
+    multi.add_argument("--radius", type=float,
+                       default=ConstructionConfig().radius)
+    multi.add_argument("--parallel", choices=BACKENDS, default=None,
+                       metavar="BACKEND",
+                       help=f"execution backend: {', '.join(BACKENDS)} "
+                            f"(default: ${ENV_VAR} or serial)")
+    multi.add_argument("--workers", type=int, default=None,
+                       help="pool size for thread/process backends")
     return parser
 
 
@@ -177,8 +198,28 @@ def _cmd_full_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multiseed(args: argparse.Namespace) -> int:
+    import time
+
+    from .evaluation import MultiSeedRunner
+    from .parallel import as_executor
+
+    executor = as_executor(args.parallel, max_workers=args.workers)
+    runner = MultiSeedRunner(seeds=args.seeds,
+                             config=ConstructionConfig(radius=args.radius),
+                             parallel=executor)
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+    print(report.to_text())
+    print(f"backend: {executor.backend}, {len(args.seeds)} runs "
+          f"in {elapsed:.2f}s")
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
+    "multiseed": _cmd_multiseed,
     "report": _cmd_report,
     "office": _cmd_office,
     "inspect": _cmd_inspect,

@@ -124,17 +124,26 @@ class ConstantQualityBaseline:
         correct = np.asarray(correct, dtype=bool).ravel()
         if predicted.shape != correct.shape:
             raise ConfigurationError("predicted and correct must align")
-        table = {}
-        for label in np.unique(predicted):
-            members = correct[predicted == label]
-            table[int(label)] = float(np.mean(members))
+        labels, inverse = np.unique(predicted, return_inverse=True)
+        counts = np.bincount(inverse)
+        rights = np.bincount(inverse, weights=correct.astype(float))
+        table = {int(label): float(r / c)
+                 for label, r, c in zip(labels, rights, counts)}
         return cls(class_quality=table)
 
     def qualities_for(self, predicted: np.ndarray) -> np.ndarray:
-        """Constant quality for each prediction (default 0.5 if unseen)."""
+        """Constant quality for each prediction (default 0.5 if unseen).
+
+        One sorted lookup over the whole batch instead of a per-record
+        dict probe.
+        """
         predicted = np.asarray(predicted, dtype=int).ravel()
-        return np.array([self.class_quality.get(int(p), 0.5)
-                         for p in predicted])
+        if not self.class_quality:
+            return np.full(predicted.shape, 0.5)
+        keys = np.array(sorted(self.class_quality))
+        values = np.array([self.class_quality[k] for k in keys], dtype=float)
+        pos = np.clip(np.searchsorted(keys, predicted), 0, keys.size - 1)
+        return np.where(keys[pos] == predicted, values[pos], 0.5)
 
 
 def evaluate_constant_baseline(augmented: QualityAugmentedClassifier,

@@ -95,8 +95,40 @@ class OnlineQualityAdapter:
         return residual
 
     def feedback_batch(self, records: List[FeedbackRecord]) -> np.ndarray:
-        """Absorb several records; returns their residuals."""
-        return np.array([self.feedback(r) for r in records])
+        """Absorb several records; returns their residuals.
+
+        The design-matrix rows depend only on the (fixed) premise
+        parameters, never on the consequents being adapted — so they are
+        computed for the whole batch in **one** premise evaluation
+        instead of one per record.  The RLS recursion itself stays
+        sequential (each update conditions on the previous state) and the
+        refreshed coefficients are written into the FIS once at the end;
+        both the residuals and the final FIS state are identical to
+        calling :meth:`feedback` record by record.
+        """
+        if not records:
+            return np.empty(0)
+        cue_rows = []
+        for record in records:
+            cues = np.asarray(record.cues, dtype=float).ravel()
+            if cues.shape[0] != self.quality.n_cues:
+                raise DimensionError(
+                    f"expected {self.quality.n_cues} cues, "
+                    f"got {cues.shape[0]}")
+            cue_rows.append(cues)
+        class_ids = np.array([float(r.class_index) for r in records])
+        v_q = np.hstack([np.vstack(cue_rows), class_ids[:, None]])
+        rows = design_matrix(self.quality.system, v_q)
+        targets = np.where([r.was_correct for r in records], 1.0, 0.0)
+        residuals = np.empty(len(records))
+        for i in range(len(records)):
+            residuals[i] = self._rls.update(rows[i], targets[i])
+            self._residuals.append(abs(residuals[i]))
+        self.n_feedback += len(records)
+        if self.n_feedback >= self.warmup:
+            self.quality.system.coefficients = self._rls.coefficients_for(
+                self.quality.system)
+        return residuals
 
     # ------------------------------------------------------------------
     def recent_residual(self, window: int = 50) -> Optional[float]:

@@ -49,7 +49,9 @@ class QualityMeasure:
         if v_q.shape[1] != self.n_cues + 1:
             raise DimensionError(
                 f"v_Q must have {self.n_cues + 1} columns, got {v_q.shape}")
-        return self.system.evaluate(v_q)
+        # Shape is fully checked above; the fused pass skips re-validation
+        # so a batched quality query costs exactly one membership sweep.
+        return self.system.evaluate_components(v_q, validate=False).output
 
     def measure(self, cues: np.ndarray, class_index: int) -> Optional[float]:
         """The CQM ``q`` for one classification; ``None`` is epsilon."""

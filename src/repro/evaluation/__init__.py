@@ -1,10 +1,11 @@
-"""Evaluation framework: multi-seed aggregation and scenario CV."""
+"""Evaluation framework: multi-seed aggregation, scenario CV, throughput."""
 
 from .crossval import (CrossValidationReport, FoldResult,
                        ScenarioCrossValidator, concatenate_datasets)
 from .report import generate_report
 from .runner import (MetricSummary, MultiSeedReport, MultiSeedRunner,
                      experiment_metrics)
+from .throughput import ThroughputRecord, ThroughputReporter, best_of
 
 __all__ = [
     "MultiSeedRunner", "MultiSeedReport", "MetricSummary",
@@ -12,4 +13,5 @@ __all__ = [
     "ScenarioCrossValidator", "CrossValidationReport", "FoldResult",
     "concatenate_datasets",
     "generate_report",
+    "ThroughputReporter", "ThroughputRecord", "best_of",
 ]

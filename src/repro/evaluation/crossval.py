@@ -21,6 +21,7 @@ from ..core.filtering import evaluate_filtering
 from ..core.interconnection import QualityAugmentedClassifier
 from ..datasets.generator import WindowDataset
 from ..exceptions import ConfigurationError
+from ..parallel import ParallelSpec, as_executor
 from ..sensors.accelerometer import AWAREPEN_CLASSES
 from ..stats.metrics import auc
 
@@ -82,6 +83,35 @@ class CrossValidationReport:
         return "\n".join(lines)
 
 
+def _evaluate_fold(task: tuple) -> FoldResult:
+    """Train and evaluate one fold rotation.
+
+    Module-level (picklable) worker for the process backend.  *task* is
+    ``(fold_index, train, check, held_out, classifier, config)`` — the
+    datasets are assembled by the parent so the (possibly unpicklable)
+    ``dataset_factory`` closure never crosses a process boundary.
+    """
+    k, train, check, held_out, classifier, config = task
+    result = build_quality_measure(classifier, train, check, config=config)
+    augmented = QualityAugmentedClassifier(classifier, result.quality)
+    calibration = calibrate(augmented, train)
+    outcome = evaluate_filtering(augmented, held_out,
+                                 threshold=calibration.s)
+    predicted = classifier.predict_indices(held_out.cues)
+    q = result.quality.measure_batch(held_out.cues,
+                                     predicted.astype(float))
+    correct = predicted == held_out.labels
+    usable = ~np.isnan(q)
+    fold_auc = (auc(q[usable], correct[usable])
+                if np.any(usable & correct)
+                and np.any(usable & ~correct) else float("nan"))
+    return FoldResult(
+        fold=k, threshold=calibration.s, quality_auc=fold_auc,
+        accuracy_before=outcome.accuracy_before,
+        accuracy_after=outcome.accuracy_after,
+        n_windows=len(held_out))
+
+
 class ScenarioCrossValidator:
     """K-fold cross-validation over independently generated scenarios.
 
@@ -97,12 +127,21 @@ class ScenarioCrossValidator:
         Fold ``k`` uses seed ``base_seed + k``.
     config:
         Quality-FIS construction configuration.
+    parallel:
+        Execution backend for the fold evaluations (name, executor, or
+        ``None`` for ``$REPRO_PARALLEL``).  Scenario generation stays in
+        the parent and every fold is deterministic given its datasets,
+        so all backends produce bit-identical reports.
+    max_workers:
+        Pool size for the pooled backends.
     """
 
     def __init__(self, classifier: ContextClassifier,
                  dataset_factory: Callable[[int], WindowDataset],
                  n_folds: int = 4, base_seed: int = 1000,
-                 config: Optional[ConstructionConfig] = None) -> None:
+                 config: Optional[ConstructionConfig] = None,
+                 parallel: ParallelSpec = None,
+                 max_workers: Optional[int] = None) -> None:
         if n_folds < 2:
             raise ConfigurationError(f"n_folds must be >= 2, got {n_folds}")
         self.classifier = classifier
@@ -110,12 +149,13 @@ class ScenarioCrossValidator:
         self.n_folds = int(n_folds)
         self.base_seed = int(base_seed)
         self.config = config if config is not None else ConstructionConfig()
+        self.executor = as_executor(parallel, max_workers=max_workers)
 
     def run(self) -> CrossValidationReport:
         """Train/evaluate on every fold rotation."""
         scenarios = [self.dataset_factory(self.base_seed + k)
                      for k in range(self.n_folds)]
-        folds: List[FoldResult] = []
+        tasks = []
         for k in range(self.n_folds):
             held_out = scenarios[k]
             train_pool = [s for i, s in enumerate(scenarios) if i != k]
@@ -123,24 +163,7 @@ class ScenarioCrossValidator:
             check = train_pool[-1]
             train = concatenate_datasets(train_pool[:-1]) if len(
                 train_pool) > 1 else train_pool[0]
-            result = build_quality_measure(self.classifier, train, check,
-                                           config=self.config)
-            augmented = QualityAugmentedClassifier(self.classifier,
-                                                   result.quality)
-            calibration = calibrate(augmented, train)
-            outcome = evaluate_filtering(augmented, held_out,
-                                         threshold=calibration.s)
-            predicted = self.classifier.predict_indices(held_out.cues)
-            q = result.quality.measure_batch(held_out.cues,
-                                             predicted.astype(float))
-            correct = predicted == held_out.labels
-            usable = ~np.isnan(q)
-            fold_auc = (auc(q[usable], correct[usable])
-                        if np.any(usable & correct)
-                        and np.any(usable & ~correct) else float("nan"))
-            folds.append(FoldResult(
-                fold=k, threshold=calibration.s, quality_auc=fold_auc,
-                accuracy_before=outcome.accuracy_before,
-                accuracy_after=outcome.accuracy_after,
-                n_windows=len(held_out)))
+            tasks.append((k, train, check, held_out, self.classifier,
+                          self.config))
+        folds: List[FoldResult] = self.executor.map(_evaluate_fold, tasks)
         return CrossValidationReport(folds=folds)

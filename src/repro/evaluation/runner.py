@@ -9,6 +9,7 @@ headline metric into mean ± std summaries.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -16,6 +17,7 @@ import numpy as np
 from ..core.construction import ConstructionConfig
 from ..exceptions import ConfigurationError
 from ..experiment import ExperimentResult, run_awarepen_experiment
+from ..parallel import ParallelSpec, as_executor
 from ..stats.metrics import auc
 
 
@@ -97,6 +99,18 @@ class MultiSeedReport:
         return "\n".join(lines)
 
 
+def _seed_metrics(seed: int,
+                  config: ConstructionConfig) -> Dict[str, float]:
+    """One seed's full pipeline run, reduced to its scalar metrics.
+
+    Module-level so the process backend can pickle it; returning only the
+    metrics dict (not the heavy :class:`ExperimentResult`) keeps the
+    inter-process payload small.
+    """
+    return experiment_metrics(run_awarepen_experiment(seed=seed,
+                                                      config=config))
+
+
 class MultiSeedRunner:
     """Run the full AwarePen pipeline across several data seeds.
 
@@ -106,10 +120,20 @@ class MultiSeedRunner:
         Data-generation seeds; each produces fully independent material.
     config:
         Construction configuration shared by all runs.
+    parallel:
+        Execution backend for the per-seed runs — a backend name
+        (``"serial"``/``"thread"``/``"process"``), a pre-built
+        :class:`repro.parallel.ParallelExecutor`, or ``None`` to resolve
+        from ``$REPRO_PARALLEL``.  Every run is fully determined by its
+        seed, so all backends aggregate to bit-identical reports.
+    max_workers:
+        Pool size for the pooled backends.
     """
 
     def __init__(self, seeds: Sequence[int] = (3, 7, 11, 19, 42),
-                 config: Optional[ConstructionConfig] = None) -> None:
+                 config: Optional[ConstructionConfig] = None,
+                 parallel: ParallelSpec = None,
+                 max_workers: Optional[int] = None) -> None:
         if len(seeds) < 2:
             raise ConfigurationError(
                 f"need >= 2 seeds for aggregation, got {len(seeds)}")
@@ -117,13 +141,12 @@ class MultiSeedRunner:
             raise ConfigurationError("seeds must be unique")
         self.seeds = tuple(int(s) for s in seeds)
         self.config = config if config is not None else ConstructionConfig()
+        self.executor = as_executor(parallel, max_workers=max_workers)
 
     def run(self) -> MultiSeedReport:
         """Execute all runs and aggregate their metrics."""
-        per_seed: List[Dict[str, float]] = []
-        for seed in self.seeds:
-            result = run_awarepen_experiment(seed=seed, config=self.config)
-            per_seed.append(experiment_metrics(result))
+        per_seed: List[Dict[str, float]] = self.executor.map(
+            functools.partial(_seed_metrics, config=self.config), self.seeds)
         common = set(per_seed[0])
         for metrics in per_seed[1:]:
             common &= set(metrics)

@@ -1,0 +1,121 @@
+"""Throughput measurement records and the ``BENCH_throughput.json`` report.
+
+``benchmarks/bench_throughput.py`` measures the repo's hot paths —
+windows/s of cue extraction, samples/s of the batched CQM, wall-clock
+speedup of parallel vs serial crossval/bootstrap — and writes them here
+as one JSON document so the perf trajectory is tracked from PR to PR:
+compare two checkouts by diffing their ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputRecord:
+    """One measured number with enough context to compare across PRs."""
+
+    name: str
+    value: float
+    unit: str
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "value": self.value,
+                                  "unit": self.unit}
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+class ThroughputReporter:
+    """Collects :class:`ThroughputRecord` rows and writes the report.
+
+    The JSON layout is flat and stable on purpose — tooling diffing two
+    reports should not need to understand the benchmark internals::
+
+        {
+          "schema": 1,
+          "environment": {"cpu_count": 8, ...},
+          "records": [{"name": ..., "value": ..., "unit": ...}, ...]
+        }
+    """
+
+    def __init__(self) -> None:
+        self._records: List[ThroughputRecord] = []
+
+    def record(self, name: str, value: float, unit: str,
+               note: str = "") -> ThroughputRecord:
+        """Add one measurement row (replacing any same-named older row)."""
+        rec = ThroughputRecord(name=name, value=float(value), unit=unit,
+                               note=note)
+        self._records = [r for r in self._records if r.name != name]
+        self._records.append(rec)
+        return rec
+
+    @property
+    def records(self) -> List[ThroughputRecord]:
+        return list(self._records)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "records": [r.as_dict() for r in self._records],
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the JSON report; returns the resolved path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5,
+            min_time: float = 0.0) -> float:
+    """Best-of-N wall-clock seconds for one call of *fn*.
+
+    Best-of (not mean) is the standard noise-robust estimator for
+    single-machine microbenchmarks: scheduling hiccups only ever make a
+    run *slower*.  With *min_time* > 0 each sample loops the call until
+    that much time has passed and reports the per-call average, keeping
+    microsecond-scale paths measurable.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        n_calls = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            n_calls += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time:
+                break
+        best = min(best, elapsed / n_calls)
+    return best
+
+
+def default_report_path(start: Optional[Path] = None) -> Path:
+    """``BENCH_throughput.json`` at the repository root.
+
+    Walks up from *start* (default: this file) to the first directory
+    containing ``pyproject.toml``; falls back to the current directory.
+    """
+    here = (start or Path(__file__)).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "BENCH_throughput.json"
+    return Path.cwd() / "BENCH_throughput.json"

@@ -16,13 +16,13 @@ from .norms import (get_s_norm, get_t_norm, s_max, s_probabilistic, t_min,
 from .partition import (grid_membership_centers, grid_partition_fis,
                         grid_rule_count)
 from .sets import FuzzySet, LinguisticVariable
-from .tsk import TSKRule, TSKSystem
+from .tsk import TSKComponents, TSKRule, TSKSystem
 
 __all__ = [
     "MembershipFunction", "GaussianMF", "TriangularMF", "TrapezoidalMF",
     "GeneralizedBellMF", "SigmoidMF", "gaussian_sigma_from_radius",
     "FuzzySet", "LinguisticVariable",
-    "TSKRule", "TSKSystem",
+    "TSKRule", "TSKSystem", "TSKComponents",
     "MamdaniRule", "MamdaniSystem",
     "t_min", "t_product", "s_max", "s_probabilistic",
     "get_t_norm", "get_s_norm",

@@ -25,7 +25,7 @@ gives ("IF F_1j(v_1) AND ... THEN f_j(v_Q)").
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,27 @@ from .membership import GaussianMF
 #: normalization then falls back to uniform weights so far-away inputs
 #: degrade gracefully instead of collapsing to zero output.
 _WEIGHT_FLOOR = 1e-300
+
+
+class TSKComponents(NamedTuple):
+    """Every intermediate of one fused TSK forward pass.
+
+    The first three fields are the tuple the trainer and the quality
+    measure unpack — ``(wbar, f, output)``; the raw strengths ``w`` and
+    their per-sample sums ``total`` ride along for the gradient pass,
+    which needs the *un-normalized* weights.
+    """
+
+    #: Normalized firing strengths, shape ``(n_samples, n_rules)``.
+    wbar: np.ndarray
+    #: Rule consequent values ``f_j(x)``, shape ``(n_samples, n_rules)``.
+    f: np.ndarray
+    #: System output ``S(x)``, shape ``(n_samples,)``.
+    output: np.ndarray
+    #: Raw firing strengths ``w_j(x)``, shape ``(n_samples, n_rules)``.
+    w: np.ndarray
+    #: Raw per-sample weight sums (before any underflow floor), ``(n_samples,)``.
+    total: np.ndarray
 
 
 @dataclasses.dataclass(frozen=True)
@@ -178,14 +199,24 @@ class TSKSystem:
                 f"input must have {self.n_inputs} columns, got shape {x.shape}")
         return x
 
+    def _memberships(self, x: np.ndarray) -> np.ndarray:
+        """Memberships for an already-validated ``(n, n_inputs)`` batch."""
+        z = (x[:, None, :] - self.means[None, :, :]) / self.sigmas[None, :, :]
+        return np.exp(-0.5 * z * z)
+
+    def _rule_outputs(self, x: np.ndarray) -> np.ndarray:
+        """Consequents for an already-validated ``(n, n_inputs)`` batch."""
+        if self.order == 0:
+            return np.broadcast_to(self.coefficients[:, -1],
+                                   (x.shape[0], self.n_rules)).copy()
+        return x @ self.coefficients[:, :-1].T + self.coefficients[:, -1]
+
     def memberships(self, x: np.ndarray) -> np.ndarray:
         """Per-rule, per-input Gaussian memberships.
 
         Returns an array of shape ``(n_samples, n_rules, n_inputs)``.
         """
-        x = self._validate_input(x)
-        z = (x[:, None, :] - self.means[None, :, :]) / self.sigmas[None, :, :]
-        return np.exp(-0.5 * z * z)
+        return self._memberships(self._validate_input(x))
 
     def firing_strengths(self, x: np.ndarray) -> np.ndarray:
         """Rule weights ``w_j`` for each sample, shape ``(n_samples, n_rules)``."""
@@ -199,6 +230,9 @@ class TSKSystem:
         input far outside the trained region.
         """
         w = self.firing_strengths(x)
+        return self._normalize(w)
+
+    def _normalize(self, w: np.ndarray) -> np.ndarray:
         total = np.sum(w, axis=1, keepdims=True)
         dead = total <= _WEIGHT_FLOOR
         safe_total = np.where(dead, 1.0, total)
@@ -209,22 +243,44 @@ class TSKSystem:
 
     def rule_outputs(self, x: np.ndarray) -> np.ndarray:
         """Consequent values ``f_j(x)``, shape ``(n_samples, n_rules)``."""
-        x = self._validate_input(x)
-        if self.order == 0:
-            return np.broadcast_to(self.coefficients[:, -1],
-                                   (x.shape[0], self.n_rules)).copy()
-        return x @ self.coefficients[:, :-1].T + self.coefficients[:, -1]
+        return self._rule_outputs(self._validate_input(x))
+
+    def evaluate_components(self, x: np.ndarray,
+                            validate: bool = True) -> TSKComponents:
+        """One fused forward pass: memberships through system output.
+
+        Validates the input (at most) once and computes every layer a
+        single time, returning :class:`TSKComponents` so callers that
+        need several intermediates — the hybrid trainer's RMSE, the
+        premise gradients, the batched quality measure — stop paying for
+        two or three redundant membership evaluations per call.
+
+        Parameters
+        ----------
+        x:
+            Input batch; a single vector is promoted to one row.
+        validate:
+            Pass ``False`` only when *x* is already a float matrix with
+            ``n_inputs`` columns (an internal fast path).
+        """
+        if validate:
+            x = self._validate_input(x)
+        w = np.prod(self._memberships(x), axis=2)
+        wbar = self._normalize(w)
+        f = self._rule_outputs(x)
+        output = np.sum(wbar * f, axis=1)
+        return TSKComponents(wbar=wbar, f=f, output=output, w=w,
+                             total=np.sum(w, axis=1))
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Weighted-sum-average output ``S(x)`` for a batch of inputs.
 
         Accepts a single vector or a matrix; always returns a 1-D array of
-        length ``n_samples``.
+        length ``n_samples``.  The input is validated exactly once (the
+        historical path re-validated inside both the weight and the
+        consequent computation).
         """
-        x2 = self._validate_input(x)
-        wbar = self.normalized_firing_strengths(x2)
-        f = self.rule_outputs(x2)
-        return np.sum(wbar * f, axis=1)
+        return self.evaluate_components(x).output
 
     def evaluate_scalar(self, v: np.ndarray) -> float:
         """Convenience scalar evaluation of a single input vector."""

@@ -1,0 +1,181 @@
+"""Execution backends for the embarrassingly-parallel outer loops.
+
+The paper's real-time claim covers one 0.5 s cue window; the production
+target in ROADMAP.md covers fleets of appliances, multi-seed replication
+runs, scenario cross-validation and thousand-resample bootstraps.  Those
+outer loops are embarrassingly parallel, and this module gives them a
+single execution abstraction:
+
+* ``serial`` — a plain ordered loop (the reference semantics);
+* ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`, useful
+  when the work releases the GIL (large numpy reductions) or is
+  I/O-bound;
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`,
+  sidestepping the GIL for CPU-bound Python work (the task callable and
+  its arguments must be picklable — module-level functions or
+  :func:`functools.partial` of them).
+
+Backend selection is layered: an explicit argument wins, then the
+``REPRO_PARALLEL`` environment variable, then the serial default — so a
+deployment can flip every loop in the repo to processes without touching
+call sites.  All backends preserve task order and therefore produce
+bit-identical aggregates; any randomness must be seeded *per task*
+(see :func:`spawn_seeds`) so that the schedule cannot leak into results.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+#: Recognized backend names, in "cheapest first" order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable consulted when no backend is given explicitly.
+ENV_VAR = "REPRO_PARALLEL"
+
+DEFAULT_BACKEND = "serial"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the effective backend name.
+
+    Precedence: explicit *backend* argument > ``$REPRO_PARALLEL`` >
+    ``serial``.  Unknown names raise :class:`ConfigurationError` so a
+    typo in an environment variable fails loudly instead of silently
+    running serial.
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    backend = str(backend).strip().lower()
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {backend!r}; "
+            f"choose one of {', '.join(BACKENDS)}")
+    return backend
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor:
+    """Ordered ``map`` over one of the execution backends.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``None`` (resolve
+        via ``$REPRO_PARALLEL``).
+    max_workers:
+        Pool size cap for the pooled backends; defaults to the core
+        count.  The serial backend ignores it.
+
+    The executor is stateless between calls — pools are created per
+    :meth:`map` invocation and torn down afterwards, so an executor can
+    be stored on a long-lived object (a runner, a validator) without
+    pinning OS resources.
+    """
+
+    def __init__(self, backend: Optional[str] = None,
+                 max_workers: Optional[int] = None) -> None:
+        self.backend = resolve_backend(backend)
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def _pool_size(self, n_tasks: int) -> int:
+        limit = self.max_workers or default_workers()
+        return max(1, min(limit, n_tasks))
+
+    def map(self, fn: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
+        """Apply *fn* to every item, returning results in input order.
+
+        Exceptions raised by a task propagate to the caller for every
+        backend (the pooled backends re-raise the first failing task's
+        exception), matching the serial ``for`` loop they replace.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.backend == "serial" or len(items) == 1:
+            return [fn(item) for item in items]
+        if self.backend == "thread":
+            pool_cls = concurrent.futures.ThreadPoolExecutor
+        else:
+            pool_cls = concurrent.futures.ProcessPoolExecutor
+        with pool_cls(max_workers=self._pool_size(len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., Any],
+                argument_tuples: Iterable[Sequence[Any]]) -> List[Any]:
+        """Like :meth:`map` but unpacking each item as positional args."""
+        return self.map(functools.partial(_apply_star, fn),
+                        [tuple(t) for t in argument_tuples])
+
+    def map_chunked(self, fn: Callable[[List[Any]], Any],
+                    items: Sequence[Any],
+                    n_chunks: Optional[int] = None) -> List[Any]:
+        """Apply a *chunk-level* callable to contiguous slices of *items*.
+
+        Splitting into one chunk per worker amortizes task dispatch for
+        very fine-grained work (e.g. thousand-resample bootstraps where
+        one resample is microseconds).  Chunks are contiguous and results
+        are returned in chunk order, so flattening them reproduces the
+        serial iteration order exactly.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if n_chunks is None:
+            n_chunks = self._pool_size(len(items))
+        n_chunks = max(1, min(n_chunks, len(items)))
+        bounds = np.linspace(0, len(items), n_chunks + 1).astype(int)
+        chunks = [items[bounds[i]:bounds[i + 1]] for i in range(n_chunks)
+                  if bounds[i] < bounds[i + 1]]
+        return self.map(fn, chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ParallelExecutor(backend={self.backend!r}, "
+                f"max_workers={self.max_workers!r})")
+
+
+def _apply_star(fn: Callable[..., Any], args: Sequence[Any]) -> Any:
+    """Module-level star-application so ``starmap`` survives pickling."""
+    return fn(*args)
+
+
+#: Anything a call site accepts as "how to parallelize": nothing, a
+#: backend name, or a pre-built executor.
+ParallelSpec = Union[None, str, ParallelExecutor]
+
+
+def as_executor(parallel: ParallelSpec = None,
+                max_workers: Optional[int] = None) -> ParallelExecutor:
+    """Coerce a user-facing ``parallel=`` argument into an executor."""
+    if isinstance(parallel, ParallelExecutor):
+        return parallel
+    return ParallelExecutor(backend=parallel, max_workers=max_workers)
+
+
+def spawn_seeds(base_seed: Optional[int],
+                n_tasks: int) -> List[np.random.SeedSequence]:
+    """Deterministic, independent per-task seed sequences.
+
+    ``SeedSequence.spawn`` guarantees statistically independent child
+    streams whose values depend only on ``(base_seed, task_index)`` —
+    never on which worker or backend runs the task — which is what makes
+    parallel and serial runs bit-identical.
+    """
+    if n_tasks < 0:
+        raise ConfigurationError(f"n_tasks must be >= 0, got {n_tasks}")
+    return list(np.random.SeedSequence(base_seed).spawn(n_tasks))

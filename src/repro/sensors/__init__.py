@@ -8,7 +8,7 @@ from .chair import (AWARECHAIR_CLASSES, CHAIR_MODELS, EMPTY, FIDGETING,
                     SITTING, EmptyChairModel, FidgetingModel, SittingModel)
 from .cues import (AWAREPEN_CUES, CueExtractor, CuePipeline, EnergyCue,
                    MeanCrossingRateCue, MeanCue, RangeCue, StdCue,
-                   sliding_windows)
+                   sliding_window_matrix, sliding_windows)
 from .node import CueWindow, Segment, SensorNode
 from .signal import (ADXL_SENSOR, IDEAL_SENSOR, FaultySensorModel,
                      SensorModel)
@@ -21,7 +21,7 @@ __all__ = [
     "SensorModel", "ADXL_SENSOR", "IDEAL_SENSOR", "FaultySensorModel",
     "CueExtractor", "StdCue", "MeanCue", "EnergyCue", "RangeCue",
     "MeanCrossingRateCue", "CuePipeline", "AWAREPEN_CUES",
-    "sliding_windows",
+    "sliding_windows", "sliding_window_matrix",
     "SensorNode", "Segment", "CueWindow",
     "EMPTY", "SITTING", "FIDGETING", "AWARECHAIR_CLASSES", "CHAIR_MODELS",
     "EmptyChairModel", "SittingModel", "FidgetingModel",

@@ -10,11 +10,13 @@ the threshold and the four selection probabilities.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Tuple
+import functools
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import CalibrationError, ConfigurationError
+from ..parallel import ParallelSpec, as_executor
 from .mle import estimate_populations
 from .probabilities import selection_probabilities
 from .threshold import intersection_threshold
@@ -40,15 +42,45 @@ class BootstrapInterval:
         return self.low <= value <= self.high
 
 
+def _resample_chunk(statistic: Callable[[np.ndarray, np.ndarray], float],
+                    qualities: np.ndarray, correct: np.ndarray,
+                    indices: np.ndarray) -> Tuple[List[float], int]:
+    """Evaluate *statistic* on a contiguous block of resample index rows.
+
+    Module-level (and therefore picklable) so the process backend can run
+    it; per-resample exceptions are swallowed and counted exactly like
+    the historical serial loop.
+    """
+    values: List[float] = []
+    failed = 0
+    for idx in indices:
+        try:
+            values.append(statistic(qualities[idx], correct[idx]))
+        except Exception:  # noqa: BLE001 - degenerate draws are expected
+            failed += 1
+    return values, failed
+
+
 def bootstrap_statistic(qualities: np.ndarray, correct: np.ndarray,
                         statistic: Callable[[np.ndarray, np.ndarray], float],
                         n_resamples: int = 1000, confidence: float = 0.95,
-                        seed: Optional[int] = 0) -> BootstrapInterval:
+                        seed: Optional[int] = 0,
+                        parallel: ParallelSpec = None,
+                        max_workers: Optional[int] = None
+                        ) -> BootstrapInterval:
     """Percentile bootstrap of an arbitrary ``(q, correct) -> float``.
 
     Resamples that break the statistic (e.g. a draw with no wrong points,
     making the MLE impossible) are skipped and counted in ``n_failed``;
     at least half of the resamples must succeed.
+
+    All resample index rows are drawn up front from one generator (a
+    single vectorized ``integers`` call that reproduces the historical
+    per-resample draws bit for bit) and only the statistic evaluations
+    fan out across the chosen backend, so serial, thread and process runs
+    return *identical* intervals for a fixed seed.  The process backend
+    additionally requires *statistic* to be picklable — a module-level
+    function or a :func:`functools.partial` of one.
     """
     qualities = np.asarray(qualities, dtype=float).ravel()
     correct = np.asarray(correct, dtype=bool).ravel()
@@ -70,15 +102,17 @@ def bootstrap_statistic(qualities: np.ndarray, correct: np.ndarray,
         raise CalibrationError(
             f"bootstrap failed: statistic is undefined on the full "
             f"sample ({exc!r})") from exc
-    values = []
-    failed = 0
     n = qualities.size
-    for _ in range(n_resamples):
-        idx = rng.integers(0, n, size=n)
-        try:
-            values.append(statistic(qualities[idx], correct[idx]))
-        except Exception:  # noqa: BLE001 - degenerate draws are expected
-            failed += 1
+    all_indices = rng.integers(0, n, size=(n_resamples, n))
+    executor = as_executor(parallel, max_workers=max_workers)
+    chunk_results = executor.map_chunked(
+        functools.partial(_resample_chunk, statistic, qualities, correct),
+        list(all_indices))
+    values: List[float] = []
+    failed = 0
+    for chunk_values, chunk_failed in chunk_results:
+        values.extend(chunk_values)
+        failed += chunk_failed
     if len(values) < n_resamples / 2:
         raise CalibrationError(
             f"bootstrap failed on {failed}/{n_resamples} resamples — the "
@@ -97,18 +131,33 @@ def _threshold_statistic(q: np.ndarray, c: np.ndarray) -> float:
 
 def bootstrap_threshold(qualities: np.ndarray, correct: np.ndarray,
                         n_resamples: int = 1000, confidence: float = 0.95,
-                        seed: Optional[int] = 0) -> BootstrapInterval:
+                        seed: Optional[int] = 0,
+                        parallel: ParallelSpec = None,
+                        max_workers: Optional[int] = None
+                        ) -> BootstrapInterval:
     """CI of the density-intersection threshold ``s``."""
     return bootstrap_statistic(qualities, correct, _threshold_statistic,
                                n_resamples=n_resamples,
-                               confidence=confidence, seed=seed)
+                               confidence=confidence, seed=seed,
+                               parallel=parallel, max_workers=max_workers)
+
+
+def _probability_statistic(q: np.ndarray, c: np.ndarray,
+                           which: str) -> float:
+    est = estimate_populations(q, c)
+    s = intersection_threshold(est.right, est.wrong).threshold
+    probs = selection_probabilities(est.right, est.wrong, s)
+    return getattr(probs, which)
 
 
 def bootstrap_probability(qualities: np.ndarray, correct: np.ndarray,
                           which: str = "right_given_above",
                           n_resamples: int = 1000,
                           confidence: float = 0.95,
-                          seed: Optional[int] = 0) -> BootstrapInterval:
+                          seed: Optional[int] = 0,
+                          parallel: ParallelSpec = None,
+                          max_workers: Optional[int] = None
+                          ) -> BootstrapInterval:
     """CI of one of the four selection probabilities at the per-resample
     intersection threshold.
 
@@ -120,37 +169,41 @@ def bootstrap_probability(qualities: np.ndarray, correct: np.ndarray,
     if which not in valid:
         raise ConfigurationError(
             f"which must be one of {sorted(valid)}, got {which!r}")
-
-    def statistic(q: np.ndarray, c: np.ndarray) -> float:
-        est = estimate_populations(q, c)
-        s = intersection_threshold(est.right, est.wrong).threshold
-        probs = selection_probabilities(est.right, est.wrong, s)
-        return getattr(probs, which)
-
+    statistic = functools.partial(_probability_statistic, which=which)
     return bootstrap_statistic(qualities, correct, statistic,
                                n_resamples=n_resamples,
-                               confidence=confidence, seed=seed)
+                               confidence=confidence, seed=seed,
+                               parallel=parallel, max_workers=max_workers)
+
+
+def _accuracy_after_statistic(q: np.ndarray, c: np.ndarray,
+                              threshold: float) -> float:
+    kept = q > threshold
+    if not np.any(kept):
+        raise CalibrationError("empty acceptance side")
+    return float(np.mean(c[kept]))
+
+
+def _discard_statistic(q: np.ndarray, c: np.ndarray,
+                       threshold: float) -> float:
+    return float(np.mean(q <= threshold))
 
 
 def bootstrap_improvement(qualities: np.ndarray, correct: np.ndarray,
                           threshold: float, n_resamples: int = 1000,
                           confidence: float = 0.95,
-                          seed: Optional[int] = 0
+                          seed: Optional[int] = 0,
+                          parallel: ParallelSpec = None,
+                          max_workers: Optional[int] = None
                           ) -> Tuple[BootstrapInterval, BootstrapInterval]:
     """CIs of (accuracy after filtering, discard fraction) at a fixed s."""
-
-    def after(q: np.ndarray, c: np.ndarray) -> float:
-        kept = q > threshold
-        if not np.any(kept):
-            raise CalibrationError("empty acceptance side")
-        return float(np.mean(c[kept]))
-
-    def discard(q: np.ndarray, c: np.ndarray) -> float:
-        return float(np.mean(q <= threshold))
-
+    after = functools.partial(_accuracy_after_statistic, threshold=threshold)
+    discard = functools.partial(_discard_statistic, threshold=threshold)
     return (bootstrap_statistic(qualities, correct, after,
                                 n_resamples=n_resamples,
-                                confidence=confidence, seed=seed),
+                                confidence=confidence, seed=seed,
+                                parallel=parallel, max_workers=max_workers),
             bootstrap_statistic(qualities, correct, discard,
                                 n_resamples=n_resamples,
-                                confidence=confidence, seed=seed))
+                                confidence=confidence, seed=seed,
+                                parallel=parallel, max_workers=max_workers))

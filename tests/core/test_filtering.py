@@ -119,6 +119,32 @@ class TestConstantBaseline:
             material.evaluation, threshold=0.0)
         assert outcome.n_kept == outcome.n_total
 
+    def test_vectorized_lookup_matches_dict_probe(self):
+        rng = np.random.default_rng(3)
+        predicted = rng.integers(0, 6, size=200)
+        correct = rng.random(200) < 0.7
+        baseline = ConstantQualityBaseline.from_training(predicted, correct)
+        queries = rng.integers(-2, 9, size=100)  # includes unseen classes
+        out = baseline.qualities_for(queries)
+        expected = [baseline.class_quality.get(int(p), 0.5)
+                    for p in queries]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_empty_baseline_defaults_everywhere(self):
+        baseline = ConstantQualityBaseline(class_quality={})
+        np.testing.assert_array_equal(
+            baseline.qualities_for(np.array([1, 2, 3])), [0.5, 0.5, 0.5])
+
+    def test_from_training_matches_per_class_means(self):
+        rng = np.random.default_rng(11)
+        predicted = rng.integers(0, 4, size=300)
+        correct = rng.random(300) < 0.6
+        baseline = ConstantQualityBaseline.from_training(predicted, correct)
+        for label in np.unique(predicted):
+            mask = predicted == label
+            assert baseline.class_quality[int(label)] == pytest.approx(
+                np.mean(correct[mask]))
+
 
 class TestHysteresisGate:
     def make(self, **kwargs):

@@ -113,6 +113,62 @@ class TestAdaptation:
         assert adapter.n_feedback == 20
 
 
+class TestBatchSequentialEquivalence:
+    """feedback_batch is a pure speedup: identical numbers, same state."""
+
+    def _fresh_pair(self, experiment):
+        source = quality_to_dict(experiment.augmented.quality)
+        return quality_from_dict(source), quality_from_dict(source)
+
+    def test_residuals_and_state_match_sequential(self, material,
+                                                  experiment):
+        q_seq, q_bat = self._fresh_pair(experiment)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)[:40]
+        seq = OnlineQualityAdapter(q_seq, warmup=5)
+        bat = OnlineQualityAdapter(q_bat, warmup=5)
+        residuals_seq = np.array([seq.feedback(r) for r in records])
+        residuals_bat = bat.feedback_batch(records)
+        np.testing.assert_array_equal(residuals_bat, residuals_seq)
+        assert seq.n_feedback == bat.n_feedback
+        np.testing.assert_array_equal(q_bat.system.coefficients,
+                                      q_seq.system.coefficients)
+        assert bat.recent_residual() == pytest.approx(
+            seq.recent_residual())
+
+    def test_split_batches_match_one_batch(self, material, experiment):
+        q_one, q_two = self._fresh_pair(experiment)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)[:30]
+        one = OnlineQualityAdapter(q_one, warmup=0)
+        two = OnlineQualityAdapter(q_two, warmup=0)
+        res_one = one.feedback_batch(records)
+        res_two = np.concatenate([two.feedback_batch(records[:13]),
+                                  two.feedback_batch(records[13:])])
+        np.testing.assert_array_equal(res_one, res_two)
+        np.testing.assert_array_equal(q_one.system.coefficients,
+                                      q_two.system.coefficients)
+
+    def test_empty_batch_is_a_noop(self, fresh_quality):
+        adapter = OnlineQualityAdapter(fresh_quality)
+        before = fresh_quality.system.coefficients.copy()
+        out = adapter.feedback_batch([])
+        assert out.size == 0
+        assert adapter.n_feedback == 0
+        np.testing.assert_array_equal(fresh_quality.system.coefficients,
+                                      before)
+
+    def test_batch_validates_every_record(self, fresh_quality, material,
+                                          experiment):
+        records = records_from(material, experiment.classifier,
+                               material.analysis)[:3]
+        bad = FeedbackRecord(cues=np.zeros(5), class_index=0,
+                             was_correct=True)
+        adapter = OnlineQualityAdapter(fresh_quality)
+        with pytest.raises(DimensionError):
+            adapter.feedback_batch(records + [bad])
+
+
 class TestUserShiftRecovery:
     def test_adaptation_recovers_shifted_user(self, experiment):
         """The headline online-adaptation property: a user style far

@@ -148,3 +148,46 @@ class TestCopy:
         x = [1.2, 3.4]
         assert clone.evaluate_scalar(x) == pytest.approx(
             sys.evaluate_scalar(x))
+
+
+class TestEvaluateComponents:
+    """The fused single-pass evaluation used by the hot paths."""
+
+    def test_output_matches_evaluate(self):
+        sys = two_rule_system()
+        xs = np.array([[0.5, 1.0], [3.0, 2.0], [5.0, 5.0]])
+        comps = sys.evaluate_components(xs)
+        np.testing.assert_array_equal(comps.output, sys.evaluate(xs))
+
+    def test_pieces_match_public_accessors(self):
+        sys = two_rule_system()
+        xs = np.array([[0.5, 1.0], [4.8, 5.2]])
+        comps = sys.evaluate_components(xs)
+        np.testing.assert_allclose(comps.w, sys.firing_strengths(xs))
+        np.testing.assert_allclose(
+            comps.wbar, sys.normalized_firing_strengths(xs))
+        np.testing.assert_allclose(comps.f, sys.rule_outputs(xs))
+        np.testing.assert_allclose(comps.total, comps.w.sum(axis=1))
+
+    def test_wbar_is_a_partition(self):
+        sys = two_rule_system()
+        comps = sys.evaluate_components(np.array([[2.5, 2.5]]))
+        np.testing.assert_allclose(comps.wbar.sum(axis=1), 1.0)
+
+    def test_output_is_weighted_sum(self):
+        sys = two_rule_system()
+        comps = sys.evaluate_components(np.array([[1.0, 2.0], [4.0, 4.0]]))
+        np.testing.assert_allclose(comps.output,
+                                   np.sum(comps.wbar * comps.f, axis=1))
+
+    def test_validate_false_skips_coercion(self):
+        sys = two_rule_system()
+        xs = np.array([[0.5, 1.0]])
+        trusted = sys.evaluate_components(xs, validate=False)
+        checked = sys.evaluate_components(xs)
+        np.testing.assert_array_equal(trusted.output, checked.output)
+
+    def test_validation_still_on_by_default(self):
+        sys = two_rule_system()
+        with pytest.raises(DimensionError):
+            sys.evaluate_components(np.zeros((3, 5)))

@@ -1,0 +1,147 @@
+"""Serial, thread and process backends must be *bit-identical*.
+
+The parallel layer's contract is stronger than "statistically the
+same": for a fixed seed, every backend has to reproduce the serial
+reference numbers exactly — otherwise a deployment flipping
+``$REPRO_PARALLEL`` would silently change published results.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ConstructionConfig
+from repro.datasets import evaluation_script, generate_dataset
+from repro.evaluation import MultiSeedRunner, ScenarioCrossValidator
+from repro.parallel import BACKENDS
+from repro.stats.bootstrap import (bootstrap_improvement,
+                                   bootstrap_probability,
+                                   bootstrap_statistic, bootstrap_threshold)
+
+POOLED = [b for b in BACKENDS if b != "serial"]
+
+CHEAP = ConstructionConfig(epochs=10)
+
+
+def _same_float(a: float, b: float) -> bool:
+    """Bitwise equality that also treats NaN == NaN (degenerate folds)."""
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def _assert_metrics_equal(a: dict, b: dict) -> None:
+    assert set(a) == set(b)
+    for key in a:
+        assert _same_float(a[key], b[key]), (
+            f"metric {key!r} differs: {a[key]!r} != {b[key]!r}")
+
+
+@pytest.fixture(scope="module")
+def labeled_q():
+    rng = np.random.default_rng(12)
+    n = 80
+    correct = rng.random(n) < 0.8
+    qualities = np.where(correct,
+                         rng.normal(0.85, 0.08, n),
+                         rng.normal(0.45, 0.12, n))
+    return np.clip(qualities, 0.0, 1.0), correct
+
+
+class TestBootstrapBackends:
+    @pytest.mark.parametrize("backend", POOLED)
+    def test_threshold_interval_identical(self, labeled_q, backend):
+        q, c = labeled_q
+        serial = bootstrap_threshold(q, c, n_resamples=200, seed=5,
+                                     parallel="serial")
+        pooled = bootstrap_threshold(q, c, n_resamples=200, seed=5,
+                                     parallel=backend, max_workers=2)
+        assert dataclasses.astuple(serial) == dataclasses.astuple(pooled)
+
+    @pytest.mark.parametrize("backend", POOLED)
+    def test_probability_interval_identical(self, labeled_q, backend):
+        q, c = labeled_q
+        serial = bootstrap_probability(q, c, n_resamples=120, seed=3)
+        pooled = bootstrap_probability(q, c, n_resamples=120, seed=3,
+                                       parallel=backend, max_workers=3)
+        assert dataclasses.astuple(serial) == dataclasses.astuple(pooled)
+
+    @pytest.mark.parametrize("backend", POOLED)
+    def test_improvement_intervals_identical(self, labeled_q, backend):
+        q, c = labeled_q
+        serial = bootstrap_improvement(q, c, threshold=0.7,
+                                       n_resamples=120, seed=9)
+        pooled = bootstrap_improvement(q, c, threshold=0.7,
+                                       n_resamples=120, seed=9,
+                                       parallel=backend, max_workers=2)
+        for s_interval, p_interval in zip(serial, pooled):
+            assert (dataclasses.astuple(s_interval)
+                    == dataclasses.astuple(p_interval))
+
+    def test_chunking_matches_unchunked_percentiles(self, labeled_q):
+        """Worker count must not leak into the interval."""
+        q, c = labeled_q
+        one = bootstrap_threshold(q, c, n_resamples=150, seed=1,
+                                  parallel="thread", max_workers=1)
+        four = bootstrap_threshold(q, c, n_resamples=150, seed=1,
+                                   parallel="thread", max_workers=4)
+        assert dataclasses.astuple(one) == dataclasses.astuple(four)
+
+    def test_statistic_failures_counted_identically(self):
+        rng = np.random.default_rng(0)
+        q = rng.random(12)
+        c = rng.random(12) < 0.5
+
+        def fragile(qq, cc):
+            if not np.any(cc):
+                raise ValueError("no right points")
+            return float(np.mean(qq[cc]))
+
+        serial = bootstrap_statistic(q, c, fragile, n_resamples=100, seed=2)
+        threaded = bootstrap_statistic(q, c, fragile, n_resamples=100,
+                                       seed=2, parallel="thread",
+                                       max_workers=3)
+        assert serial.n_failed == threaded.n_failed
+        assert dataclasses.astuple(serial) == dataclasses.astuple(threaded)
+
+
+class TestMultiSeedBackends:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return MultiSeedRunner(seeds=(7, 11), config=CHEAP).run()
+
+    @pytest.mark.parametrize("backend", POOLED)
+    def test_per_seed_metrics_identical(self, serial_report, backend):
+        pooled = MultiSeedRunner(seeds=(7, 11), config=CHEAP,
+                                 parallel=backend, max_workers=2).run()
+        assert len(pooled.per_seed) == len(serial_report.per_seed)
+        for serial_metrics, pooled_metrics in zip(serial_report.per_seed,
+                                                  pooled.per_seed):
+            _assert_metrics_equal(serial_metrics, pooled_metrics)
+
+
+class TestCrossValBackends:
+    @pytest.fixture(scope="class")
+    def factory(self):
+        def make(seed):
+            return generate_dataset(
+                lambda rng: evaluation_script(rng, blocks=2), seed=seed)
+        return make
+
+    @pytest.fixture(scope="class")
+    def serial_folds(self, experiment, factory):
+        cv = ScenarioCrossValidator(experiment.classifier, factory,
+                                    n_folds=2, config=CHEAP)
+        return cv.run().folds
+
+    @pytest.mark.parametrize("backend", POOLED)
+    def test_folds_identical(self, experiment, factory, serial_folds,
+                             backend):
+        cv = ScenarioCrossValidator(experiment.classifier, factory,
+                                    n_folds=2, config=CHEAP,
+                                    parallel=backend, max_workers=2)
+        pooled_folds = cv.run().folds
+        assert len(pooled_folds) == len(serial_folds)
+        for serial_fold, pooled_fold in zip(serial_folds, pooled_folds):
+            _assert_metrics_equal(dataclasses.asdict(serial_fold),
+                                  dataclasses.asdict(pooled_fold))

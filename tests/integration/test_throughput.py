@@ -1,0 +1,64 @@
+"""Tests for repro.evaluation.throughput — the bench report plumbing."""
+
+import json
+
+import pytest
+
+from repro.evaluation import ThroughputRecord, ThroughputReporter, best_of
+from repro.evaluation.throughput import default_report_path
+
+
+class TestThroughputRecord:
+    def test_as_dict_minimal(self):
+        rec = ThroughputRecord(name="x", value=2.5, unit="ops/s")
+        assert rec.as_dict() == {"name": "x", "value": 2.5, "unit": "ops/s"}
+
+    def test_note_included_when_set(self):
+        rec = ThroughputRecord(name="x", value=1.0, unit="s", note="why")
+        assert rec.as_dict()["note"] == "why"
+
+
+class TestThroughputReporter:
+    def test_record_and_replace(self):
+        reporter = ThroughputReporter()
+        reporter.record("a", 1.0, "s")
+        reporter.record("b", 2.0, "s")
+        reporter.record("a", 3.0, "s", note="rerun")
+        names = [r.name for r in reporter.records]
+        assert names == ["b", "a"]
+        assert reporter.records[1].value == 3.0
+
+    def test_as_dict_schema(self):
+        reporter = ThroughputReporter()
+        reporter.record("a", 1.0, "windows/s")
+        doc = reporter.as_dict()
+        assert doc["schema"] == 1
+        assert "cpu_count" in doc["environment"]
+        assert doc["records"] == [
+            {"name": "a", "value": 1.0, "unit": "windows/s"}]
+
+    def test_write_round_trips(self, tmp_path):
+        reporter = ThroughputReporter()
+        reporter.record("speedup", 5.5, "x", note="cue extraction")
+        out = reporter.write(tmp_path / "bench.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["records"][0]["value"] == 5.5
+
+
+class TestBestOf:
+    def test_measures_positive_time(self):
+        assert best_of(lambda: sum(range(100)), repeats=2) > 0.0
+
+    def test_min_time_amortizes_fast_calls(self):
+        per_call = best_of(lambda: None, repeats=1, min_time=0.01)
+        assert 0.0 < per_call < 0.01
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+
+
+def test_default_report_path_is_repo_root():
+    path = default_report_path()
+    assert path.name == "BENCH_throughput.json"
+    assert (path.parent / "pyproject.toml").exists()

@@ -2,11 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.exceptions import ConfigurationError, DimensionError
-from repro.sensors.cues import (AWAREPEN_CUES, CuePipeline, EnergyCue,
-                                MeanCrossingRateCue, MeanCue, RangeCue,
-                                StdCue, sliding_windows)
+from repro.sensors.cues import (AWAREPEN_CUES, CueExtractor, CuePipeline,
+                                EnergyCue, MeanCrossingRateCue, MeanCue,
+                                RangeCue, StdCue, sliding_window_matrix,
+                                sliding_windows)
 
 
 class TestSlidingWindows:
@@ -106,3 +108,110 @@ class TestCuePipeline:
 
     def test_awarepen_default_is_std_only(self):
         assert AWAREPEN_CUES.cue_names(3) == ["std_x", "std_y", "std_z"]
+
+
+class TestSlidingWindowMatrix:
+    @pytest.mark.parametrize("n,window,hop", [
+        (10, 4, 2),     # clean tiling
+        (7, 4, 4),      # ragged tail dropped
+        (100, 20, 7),   # hop not dividing anything
+        (5, 5, 1),      # exactly one window
+        (4, 5, 1),      # signal shorter than window
+    ])
+    def test_matches_generator(self, n, window, hop):
+        rng = np.random.default_rng(n * 1000 + window * 10 + hop)
+        signal = rng.normal(size=(n, 2))
+        starts, windows = sliding_window_matrix(signal, window, hop)
+        expected = list(sliding_windows(signal, window, hop))
+        assert list(starts) == [s for s, _ in expected]
+        assert windows.shape == (len(expected), window, 2)
+        for i, (_, w) in enumerate(expected):
+            np.testing.assert_array_equal(windows[i], w)
+
+    def test_validation_mirrors_generator(self):
+        with pytest.raises(DimensionError):
+            sliding_window_matrix(np.zeros(5), 2, 1)
+        with pytest.raises(ConfigurationError):
+            sliding_window_matrix(np.zeros((5, 1)), 0, 1)
+        with pytest.raises(ConfigurationError):
+            sliding_window_matrix(np.zeros((5, 1)), 2, 0)
+
+    def test_view_is_zero_copy_for_hop_one(self):
+        signal = np.arange(20.0).reshape(10, 2)
+        _, windows = sliding_window_matrix(signal, 4, 1)
+        assert np.shares_memory(windows, signal)
+
+
+class _MedianCue(CueExtractor):
+    """Scalar-only extractor: exercises the batch fallback loop."""
+
+    def extract(self, window):
+        return np.median(np.asarray(window, dtype=float), axis=0)
+
+    def cue_names(self, n_axes):
+        return [f"median_{i}" for i in range(n_axes)]
+
+
+class TestBatchedExtraction:
+    EXTRACTORS = (StdCue(), MeanCue(), EnergyCue(), RangeCue(),
+                  MeanCrossingRateCue())
+
+    @pytest.mark.parametrize("extractor", EXTRACTORS,
+                             ids=lambda e: type(e).__name__)
+    def test_builtin_batch_matches_per_window(self, extractor, rng):
+        _, windows = sliding_window_matrix(rng.normal(size=(120, 3)), 25, 10)
+        batch = extractor.extract_batch(windows)
+        loop = np.vstack([extractor.extract(w) for w in windows])
+        assert batch.shape == loop.shape
+        np.testing.assert_allclose(batch, loop, rtol=1e-10, atol=1e-12)
+
+    def test_base_class_fallback_loop(self, rng):
+        _, windows = sliding_window_matrix(rng.normal(size=(60, 2)), 10, 5)
+        cue = _MedianCue()
+        batch = cue.extract_batch(windows)
+        loop = np.vstack([cue.extract(w) for w in windows])
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_batch_dimension_validated(self):
+        with pytest.raises(DimensionError):
+            StdCue().extract_batch(np.zeros((4, 10)))
+        with pytest.raises(DimensionError):
+            StdCue().extract_batch(np.zeros((4, 1, 3)))
+
+    def test_pipeline_batch_stacks_columns(self, rng):
+        pipeline = CuePipeline(extractors=(StdCue(), _MedianCue()))
+        _, windows = sliding_window_matrix(rng.normal(size=(80, 3)), 20, 10)
+        batch = pipeline.extract_batch(windows)
+        loop = np.vstack([pipeline.extract(w) for w in windows])
+        assert batch.shape == loop.shape == (len(windows), 6)
+        np.testing.assert_allclose(batch, loop, rtol=1e-10, atol=1e-12)
+
+
+class TestExtractAllEquivalence:
+    """The batched fast path is a drop-in for the generator loop."""
+
+    @given(n_samples=st.integers(5, 150),
+           window=st.integers(2, 40),
+           hop=st.integers(1, 45),
+           n_axes=st.integers(1, 3),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_batched_matches_generator(self, n_samples, window, hop,
+                                       n_axes, seed):
+        assume(n_samples >= window)
+        signal = np.random.default_rng(seed).normal(size=(n_samples, n_axes))
+        pipeline = CuePipeline(extractors=(StdCue(), MeanCue(), RangeCue()))
+        starts_gen, cues_gen = pipeline.extract_all(signal, window, hop,
+                                                    batched=False)
+        starts_bat, cues_bat = pipeline.extract_all(signal, window, hop)
+        np.testing.assert_array_equal(starts_gen, starts_bat)
+        assert cues_gen.shape == cues_bat.shape
+        np.testing.assert_allclose(cues_bat, cues_gen,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_both_paths_reject_short_signal(self, rng):
+        signal = rng.normal(size=(5, 3))
+        for batched in (True, False):
+            with pytest.raises(DimensionError):
+                AWAREPEN_CUES.extract_all(signal, window=20, hop=10,
+                                          batched=batched)

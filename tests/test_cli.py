@@ -65,6 +65,29 @@ class TestParser:
             main(["frobnicate"])
 
 
+class TestMultiseedCommand:
+    def test_serial_run(self, capsys):
+        assert main(["multiseed", "--seeds", "7", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        assert "backend: serial" in out
+
+    def test_explicit_backend(self, capsys):
+        assert main(["multiseed", "--seeds", "7", "11",
+                     "--parallel", "thread", "--workers", "2"]) == 0
+        assert "backend: thread" in capsys.readouterr().out
+
+    def test_env_var_backend(self, capsys, monkeypatch):
+        from repro.parallel import ENV_VAR
+        monkeypatch.setenv(ENV_VAR, "thread")
+        assert main(["multiseed", "--seeds", "7", "11"]) == 0
+        assert "backend: thread" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["multiseed", "--parallel", "bogus"])
+
+
 class TestReportFigures:
     def test_figures_rendered(self, capsys):
         assert main(["report", "--seed", "7", "--figures"]) == 0

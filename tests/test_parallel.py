@@ -1,0 +1,135 @@
+"""Tests for repro.parallel — the execution-backend abstraction."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import (BACKENDS, ENV_VAR, ParallelExecutor, as_executor,
+                            default_workers, resolve_backend, spawn_seeds)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+def _chunk_sum(chunk):
+    return sum(chunk)
+
+
+class TestResolveBackend:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend() == "serial"
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "thread")
+        assert resolve_backend() == "thread"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "thread")
+        assert resolve_backend("process") == "process"
+
+    def test_case_and_whitespace_forgiven(self):
+        assert resolve_backend("  Thread ") == "thread"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with pytest.raises(ConfigurationError, match="bogus"):
+            resolve_backend("bogus")
+
+    def test_bad_env_var_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "paralel")
+        with pytest.raises(ConfigurationError):
+            resolve_backend()
+
+    def test_all_names_valid(self):
+        for name in BACKENDS:
+            assert resolve_backend(name) == name
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_preserves_order(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        assert executor.map(_square, range(10)) == [i * i for i in range(10)]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_input(self, backend):
+        assert ParallelExecutor(backend=backend).map(_square, []) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exception_propagates(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        with pytest.raises(ValueError, match="three"):
+            executor.map(_fail_on_three, range(6))
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(max_workers=0)
+
+    def test_starmap(self):
+        executor = ParallelExecutor(backend="thread", max_workers=2)
+        assert executor.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_map_chunked_covers_all_items(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=3)
+        chunks = executor.map_chunked(list, list(range(10)))
+        flat = [x for chunk in chunks for x in chunk]
+        assert flat == list(range(10))
+
+    def test_map_chunked_explicit_chunks(self):
+        executor = ParallelExecutor(backend="serial")
+        sums = executor.map_chunked(_chunk_sum, list(range(10)), n_chunks=2)
+        assert sum(sums) == sum(range(10))
+        assert len(sums) == 2
+
+    def test_map_chunked_empty(self):
+        assert ParallelExecutor().map_chunked(_chunk_sum, []) == []
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestAsExecutor:
+    def test_passthrough(self):
+        executor = ParallelExecutor(backend="thread")
+        assert as_executor(executor) is executor
+
+    def test_from_name(self):
+        assert as_executor("process").backend == "process"
+
+    def test_none_resolves_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "thread")
+        assert as_executor(None).backend == "thread"
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_independent(self):
+        a = spawn_seeds(42, 4)
+        b = spawn_seeds(42, 4)
+        values_a = [np.random.default_rng(s).integers(0, 1000) for s in a]
+        values_b = [np.random.default_rng(s).integers(0, 1000) for s in b]
+        assert values_a == values_b
+        assert len(set(values_a)) > 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seeds(0, -1)
+
+    def test_zero_tasks(self):
+        assert spawn_seeds(0, 0) == []
+
+
+@pytest.mark.skipif(os.name != "posix", reason="process backend smoke")
+def test_process_backend_runs_module_level_function():
+    executor = ParallelExecutor(backend="process", max_workers=2)
+    assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
