@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fault injection and graceful ε-degradation of the quality gate.
+
+Deployment story: the AwarePen's accelerometer bus starts losing
+samples mid-session (a failing solder joint), so cue windows arrive with
+NaN gaps and the CQM reports the paper's error state ε (section 2.1.3)
+instead of a quality.  The appliance must decide what an ε *means* —
+this example contrasts the four degradation policies on the same faulted
+stream, then draws the full fault-intensity degradation curves that
+extend the paper's with/without-measure comparison to noisy deployments.
+
+Run:  python examples/fault_injection.py
+"""
+
+import numpy as np
+
+from repro.core import DegradationPolicy, GracefulDegrader, apply_policy
+from repro.datasets import generate_dataset
+from repro.datasets.activities import evaluation_script
+from repro.evaluation.faults import run_faults_sweep
+from repro.experiment import run_awarepen_experiment
+from repro.sensors import (ADXL_SENSOR, DropoutFault, FaultInjectingSensor,
+                           FaultSchedule, ScheduledFault, SensorNode)
+
+
+def main():
+    experiment = run_awarepen_experiment(seed=7)
+    threshold = experiment.threshold
+    print(f"clean pipeline: s = {threshold:.3f}, evaluation accuracy "
+          f"{experiment.evaluation_outcome.accuracy_before:.3f} raw -> "
+          f"{experiment.evaluation_outcome.accuracy_after:.3f} gated\n")
+
+    # --- one faulted stream: the bus dies 20 s in, recovers at 50 s ----
+    schedule = FaultSchedule((
+        ScheduledFault(DropoutFault(rate=0.3, gap=5),
+                       start_s=20.0, end_s=50.0),
+    ))
+    node = SensorNode(sensor=FaultInjectingSensor(base=ADXL_SENSOR,
+                                                  fault=schedule))
+    stream = generate_dataset(lambda rng: evaluation_script(rng, blocks=2),
+                              seed=77, node=node)
+    predicted = experiment.classifier.predict_indices(stream.cues)
+    qualities = experiment.augmented.quality.measure_batch(
+        stream.cues, predicted.astype(float))
+    correct = predicted == stream.labels
+    n_eps = int(np.sum(np.isnan(qualities)))
+    print(f"scheduled dropout stream: {len(stream)} windows, "
+          f"{n_eps} epsilon ({n_eps / len(stream) * 100:.0f}%)\n")
+
+    print(f"{'policy':<20} {'accepted':>8} {'abstained':>9} "
+          f"{'accuracy':>9}")
+    for policy in DegradationPolicy:
+        degrader = GracefulDegrader(threshold=threshold, policy=policy)
+        outcome, _ = apply_policy(qualities, correct, threshold=threshold,
+                                  degrader=degrader)
+        print(f"{policy.value:<20} {outcome.n_accepted:>8d} "
+              f"{outcome.n_abstained:>9d} {outcome.accuracy_after:>9.3f}")
+
+    # --- the full degradation surface ---------------------------------
+    print("\nfault-intensity sweep (policy: reject):")
+    report = run_faults_sweep(seed=7, experiment=experiment)
+    print(report.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,9 @@ Usage::
     python -m repro inspect    PACKAGE.json
     python -m repro multiseed  [--seeds N N ...] [--parallel BACKEND]
                                [--workers N]
+    python -m repro faults-sweep [--seed N] [--faults NAME ...]
+                               [--intensities F F ...] [--policy POLICY]
+                               [--parallel BACKEND] [--workers N]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
@@ -16,7 +19,10 @@ probabilities); ``office`` simulates the AwareOffice with a gated (or
 ungated) camera; ``inspect`` describes a saved quality package;
 ``multiseed`` replicates the experiment across seeds, optionally fanning
 the runs out over the ``thread``/``process`` execution backends
-(``--parallel``, or the ``REPRO_PARALLEL`` environment variable).
+(``--parallel``, or the ``REPRO_PARALLEL`` environment variable);
+``faults-sweep`` runs the AwarePen pipeline across a sensor-fault
+intensity grid and reports the with/without-CQM degradation curves under
+a chosen ε-policy.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .core import ConstructionConfig, QualityFilter
+from .core import ConstructionConfig, DegradationPolicy, QualityFilter
 from .core.persistence import QualityPackage
 from .experiment import run_awarepen_experiment
 from .parallel import BACKENDS, ENV_VAR
@@ -85,6 +91,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help=f"execution backend: {', '.join(BACKENDS)} "
                             f"(default: ${ENV_VAR} or serial)")
     multi.add_argument("--workers", type=int, default=None,
+                       help="pool size for thread/process backends")
+
+    sweep = sub.add_parser(
+        "faults-sweep",
+        help="degradation curves under injected sensor faults")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--faults", nargs="+", default=None, metavar="NAME",
+                       help="fault names from the standard suite "
+                            "(default: all)")
+    sweep.add_argument("--intensities", type=float, nargs="+",
+                       default=None, metavar="F",
+                       help="fault intensities in (0, 1] "
+                            "(default: 0.25 0.5 1.0)")
+    sweep.add_argument("--policy", default="reject",
+                       choices=[p.value for p in DegradationPolicy],
+                       help="epsilon-degradation policy for the gate")
+    sweep.add_argument("--blocks", type=int, default=2,
+                       help="scenario length of each cell's stream")
+    sweep.add_argument("--parallel", choices=BACKENDS, default=None,
+                       metavar="BACKEND",
+                       help=f"execution backend: {', '.join(BACKENDS)} "
+                            f"(default: ${ENV_VAR} or serial)")
+    sweep.add_argument("--workers", type=int, default=None,
                        help="pool size for thread/process backends")
     return parser
 
@@ -217,9 +246,30 @@ def _cmd_multiseed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from .evaluation.faults import (DEFAULT_INTENSITIES, run_faults_sweep)
+    from .parallel import as_executor
+
+    executor = as_executor(args.parallel, max_workers=args.workers)
+    intensities = (tuple(args.intensities) if args.intensities
+                   else DEFAULT_INTENSITIES)
+    start = time.perf_counter()
+    report = run_faults_sweep(seed=args.seed, faults=args.faults,
+                              intensities=intensities, policy=args.policy,
+                              blocks=args.blocks, parallel=executor)
+    elapsed = time.perf_counter() - start
+    print(report.to_text())
+    print(f"backend: {executor.backend}, {len(report.cells)} cells "
+          f"in {elapsed:.2f}s")
+    return 0
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "multiseed": _cmd_multiseed,
+    "faults-sweep": _cmd_faults_sweep,
     "report": _cmd_report,
     "office": _cmd_office,
     "inspect": _cmd_inspect,

@@ -19,6 +19,9 @@ from .calibration import (Calibration, CalibrationData, ClassCalibration,
                           calibrate_unlabeled, collect_calibration_data)
 from .construction import (ConstructionConfig, ConstructionResult,
                            build_quality_measure, quality_training_data)
+from .degradation import (DegradationDecision, DegradationPolicy,
+                          DegradedOutcome, GateAction, GracefulDegrader,
+                          apply_policy, evaluate_degraded)
 from .filtering import (ConstantQualityBaseline, EpsilonPolicy,
                         HysteresisGate, QualityFilter,
                         evaluate_constant_baseline, evaluate_filtering)
@@ -47,6 +50,9 @@ __all__ = [
     "collect_calibration_data", "calibrate_per_class", "ClassCalibration",
     "QualityFilter", "EpsilonPolicy", "HysteresisGate",
     "evaluate_filtering",
+    "DegradationPolicy", "GateAction", "DegradationDecision",
+    "GracefulDegrader", "DegradedOutcome", "apply_policy",
+    "evaluate_degraded",
     "ConstantQualityBaseline", "evaluate_constant_baseline",
     "ContextChangePredictor", "ChangePrediction", "TrendEstimate",
     "QualityWeightedFusion", "FusedContext", "TemporalAggregator",

@@ -1,0 +1,309 @@
+"""Graceful ε-degradation policies for quality-gated appliances.
+
+The normalization ``L`` (paper section 2.1.3) maps unmappable quality
+outputs onto the explicit error state ε.  The paper leaves open what an
+appliance should *do* with an ε — and in a faulted deployment (see
+:mod:`repro.sensors.faults`) ε stops being rare.  This module makes the
+policy explicit and stateful:
+
+* ``reject`` — ε is treated like a below-threshold quality: the
+  classification is discarded (the safe default, matching
+  :class:`repro.core.filtering.EpsilonPolicy.REJECT`);
+* ``hold-last-good`` — the gate reuses the most recent non-ε quality,
+  provided it is at most ``hold_ttl`` decisions old: a brief sensor
+  glitch should not blank an appliance that was confidently right a
+  moment ago;
+* ``fallback-threshold`` — the gate falls back to the *recent track
+  record*: accept the ε-classification only if the exponentially
+  weighted mean of recent good qualities clears a stricter
+  ``fallback_threshold`` (trust the stream, not the sample);
+* ``abstain`` — ε yields an explicit third outcome: the appliance takes
+  no action at all, distinct from actively rejecting (a camera that
+  neither snapshots nor resets its session).
+
+On non-ε qualities every policy behaves identically (``q > s``), so
+policies only diverge where the paper's measure genuinely has nothing to
+say — pinned by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class DegradationPolicy(enum.Enum):
+    """How a gate degrades when the CQM reports the error state ε."""
+
+    REJECT = "reject"
+    HOLD_LAST_GOOD = "hold-last-good"
+    FALLBACK_THRESHOLD = "fallback-threshold"
+    ABSTAIN = "abstain"
+
+    @classmethod
+    def coerce(cls, value: Union["DegradationPolicy", str]
+               ) -> "DegradationPolicy":
+        """Accept a policy instance or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown degradation policy {value!r}; choose one of "
+                f"{', '.join(p.value for p in cls)}") from None
+
+
+class GateAction(enum.Enum):
+    """Outcome of one gate decision."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    ABSTAIN = "abstain"
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationDecision:
+    """One gate decision with its provenance.
+
+    ``quality_used`` is the value the gate actually compared — the
+    measured quality on the healthy path, the held or fallback estimate
+    on a degraded path, ``None`` when no usable estimate existed.
+    """
+
+    action: GateAction
+    quality_used: Optional[float]
+    degraded: bool
+
+    @property
+    def accepted(self) -> bool:
+        return self.action is GateAction.ACCEPT
+
+
+class GracefulDegrader:
+    """Stateful quality gate with an explicit ε-degradation policy.
+
+    Parameters
+    ----------
+    threshold:
+        Calibrated acceptance threshold ``s``; accept when ``q > s``.
+    policy:
+        ε-handling policy (a :class:`DegradationPolicy` or its string
+        value).
+    fallback_threshold:
+        Stricter bar used by ``fallback-threshold``; defaults to
+        ``min(1, s + 0.1)``.
+    hold_ttl:
+        Maximum age (in decisions) of a held quality for
+        ``hold-last-good``; older holds expire and ε is rejected.
+    ew_alpha:
+        Update rate of the exponentially weighted good-quality mean the
+        fallback policy consults.
+    """
+
+    def __init__(self, threshold: float,
+                 policy: Union[DegradationPolicy, str]
+                 = DegradationPolicy.REJECT,
+                 fallback_threshold: Optional[float] = None,
+                 hold_ttl: int = 5, ew_alpha: float = 0.2) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}")
+        self.policy = DegradationPolicy.coerce(policy)
+        if fallback_threshold is None:
+            fallback_threshold = min(1.0, threshold + 0.1)
+        if not 0.0 <= fallback_threshold <= 1.0:
+            raise ConfigurationError(
+                f"fallback_threshold must be in [0, 1], "
+                f"got {fallback_threshold}")
+        if hold_ttl < 1:
+            raise ConfigurationError(
+                f"hold_ttl must be >= 1, got {hold_ttl}")
+        if not 0.0 < ew_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ew_alpha must be in (0, 1], got {ew_alpha}")
+        self.threshold = float(threshold)
+        self.fallback_threshold = float(fallback_threshold)
+        self.hold_ttl = int(hold_ttl)
+        self.ew_alpha = float(ew_alpha)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear held state and counters (e.g. at a session boundary)."""
+        self._last_good: Optional[float] = None
+        self._last_good_age = 0
+        self._ew_mean: Optional[float] = None
+        self.n_decisions = 0
+        self.n_epsilon = 0
+        self.n_abstained = 0
+
+    @property
+    def epsilon_fraction(self) -> float:
+        """Fraction of decisions that hit the ε path so far."""
+        return self.n_epsilon / self.n_decisions if self.n_decisions else 0.0
+
+    # ------------------------------------------------------------------
+    def decide(self, quality: Optional[float]) -> DegradationDecision:
+        """Gate one quality value (``None``/NaN marks ε)."""
+        self.n_decisions += 1
+        is_eps = quality is None or (isinstance(quality, float)
+                                     and np.isnan(quality))
+        if not is_eps:
+            q = float(quality)
+            self._last_good = q
+            self._last_good_age = 0
+            self._ew_mean = (q if self._ew_mean is None else
+                             (1.0 - self.ew_alpha) * self._ew_mean
+                             + self.ew_alpha * q)
+            action = (GateAction.ACCEPT if q > self.threshold
+                      else GateAction.REJECT)
+            return DegradationDecision(action=action, quality_used=q,
+                                       degraded=False)
+
+        self.n_epsilon += 1
+        self._last_good_age += 1
+        decision = self._decide_epsilon()
+        if decision.action is GateAction.ABSTAIN:
+            self.n_abstained += 1
+        return decision
+
+    def _decide_epsilon(self) -> DegradationDecision:
+        if self.policy is DegradationPolicy.ABSTAIN:
+            return DegradationDecision(action=GateAction.ABSTAIN,
+                                       quality_used=None, degraded=True)
+        if self.policy is DegradationPolicy.HOLD_LAST_GOOD:
+            if (self._last_good is not None
+                    and self._last_good_age <= self.hold_ttl):
+                action = (GateAction.ACCEPT
+                          if self._last_good > self.threshold
+                          else GateAction.REJECT)
+                return DegradationDecision(action=action,
+                                           quality_used=self._last_good,
+                                           degraded=True)
+            return DegradationDecision(action=GateAction.REJECT,
+                                       quality_used=None, degraded=True)
+        if self.policy is DegradationPolicy.FALLBACK_THRESHOLD:
+            if self._ew_mean is not None:
+                action = (GateAction.ACCEPT
+                          if self._ew_mean > self.fallback_threshold
+                          else GateAction.REJECT)
+                return DegradationDecision(action=action,
+                                           quality_used=self._ew_mean,
+                                           degraded=True)
+            return DegradationDecision(action=GateAction.REJECT,
+                                       quality_used=None, degraded=True)
+        # REJECT: the safe default.
+        return DegradationDecision(action=GateAction.REJECT,
+                                   quality_used=None, degraded=True)
+
+    def decide_batch(self, qualities: np.ndarray
+                     ) -> List[DegradationDecision]:
+        """Gate a quality array in stream order (NaN marks ε).
+
+        Stateful policies depend on decision order, so the batch is
+        processed sequentially — identical to calling :meth:`decide`
+        value by value.
+        """
+        qualities = np.asarray(qualities, dtype=float).ravel()
+        return [self.decide(None if np.isnan(q) else float(q))
+                for q in qualities]
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedOutcome:
+    """Filtering outcome under an ε-degradation policy.
+
+    Abstentions are windows the appliance took no action on; they count
+    as not-accepted in the accounting but are reported separately so a
+    high abstention rate is visible, not silently folded into discards.
+    """
+
+    policy: DegradationPolicy
+    n_total: int
+    n_accepted: int
+    n_abstained: int
+    n_epsilon: int
+    n_degraded_accepts: int
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def accept_fraction(self) -> float:
+        return self.n_accepted / self.n_total if self.n_total else 0.0
+
+    @property
+    def epsilon_fraction(self) -> float:
+        return self.n_epsilon / self.n_total if self.n_total else 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Absolute accuracy gain of gating over acting on everything."""
+        return self.accuracy_after - self.accuracy_before
+
+
+def apply_policy(qualities: np.ndarray, correct: np.ndarray,
+                 threshold: float,
+                 policy: Union[DegradationPolicy, str]
+                 = DegradationPolicy.REJECT,
+                 degrader: Optional[GracefulDegrader] = None
+                 ) -> Tuple[DegradedOutcome, List[DegradationDecision]]:
+    """Run a quality stream through a degrader and account the outcome.
+
+    ``accuracy_after`` over zero accepted windows falls back to
+    ``accuracy_before`` (the appliance acts on nothing, so gating neither
+    helped nor hurt), mirroring
+    :func:`repro.stats.metrics.filter_outcome`.
+    """
+    qualities = np.asarray(qualities, dtype=float).ravel()
+    correct = np.asarray(correct, dtype=bool).ravel()
+    if qualities.shape != correct.shape:
+        raise ConfigurationError("qualities and correct must align")
+    if qualities.size == 0:
+        raise ConfigurationError("cannot gate an empty stream")
+    if degrader is None:
+        degrader = GracefulDegrader(threshold=threshold, policy=policy)
+    decisions = degrader.decide_batch(qualities)
+    accepted = np.array([d.accepted for d in decisions], dtype=bool)
+    n_accepted = int(np.sum(accepted))
+    accuracy_before = float(np.mean(correct))
+    accuracy_after = (float(np.mean(correct[accepted])) if n_accepted
+                      else accuracy_before)
+    outcome = DegradedOutcome(
+        policy=degrader.policy,
+        n_total=int(qualities.size),
+        n_accepted=n_accepted,
+        n_abstained=degrader.n_abstained,
+        n_epsilon=degrader.n_epsilon,
+        n_degraded_accepts=int(sum(1 for d in decisions
+                                   if d.degraded and d.accepted)),
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+    )
+    return outcome, decisions
+
+
+def evaluate_degraded(augmented, dataset, threshold: float,
+                      policy: Union[DegradationPolicy, str]
+                      = DegradationPolicy.REJECT,
+                      degrader: Optional[GracefulDegrader] = None
+                      ) -> DegradedOutcome:
+    """Measure a quality gate with an ε-policy on a labeled dataset.
+
+    The policy-aware sibling of
+    :func:`repro.core.filtering.evaluate_filtering`: classifications run
+    through the black box, the CQM qualifies them, and the degrader
+    gates the resulting quality stream in window order.
+    """
+    predicted = augmented.classifier.predict_indices(dataset.cues)
+    qualities = augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    outcome, _ = apply_policy(qualities, correct, threshold=threshold,
+                              policy=policy, degrader=degrader)
+    return outcome

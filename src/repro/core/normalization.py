@@ -71,11 +71,26 @@ def normalize_array(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def is_error_state(normalized: Union[float, np.ndarray, None]) -> np.ndarray:
-    """Boolean mask (or scalar bool) of epsilon entries."""
+def is_error_state(normalized: Union[float, np.ndarray, None]
+                   ) -> Union[bool, np.ndarray]:
+    """Epsilon test with an explicit scalar/array contract.
+
+    * Scalar input — ``None`` (the scalar-API epsilon), a float, or a
+      0-d array — returns a plain Python :class:`bool`.
+    * Array input (1-d or higher) returns a boolean :class:`numpy.ndarray`
+      of the same shape, ``True`` where the entry is NaN (the vectorized
+      epsilon encoding).
+
+    Earlier versions returned a 0-d ``np.bool_`` for the ``None`` path
+    and whatever ``np.isnan`` produced otherwise, so scalar callers got
+    a different type depending on which epsilon encoding reached them.
+    """
     if normalized is None:
-        return np.bool_(True)
-    return np.isnan(np.asarray(normalized, dtype=float))
+        return True
+    mask = np.isnan(np.asarray(normalized, dtype=float))
+    if mask.ndim == 0:
+        return bool(mask)
+    return mask
 
 
 def mapping_error(x: Union[float, np.ndarray]) -> np.ndarray:

@@ -47,11 +47,19 @@ class OnlineQualityAdapter:
     initial_covariance:
         Initial RLS covariance scale; smaller values trust the deployed
         offline solution more and adapt more cautiously.
+    guard_nonfinite:
+        When true (default), feedback whose cues are not finite — the
+        signature of a faulted sensor stream (NaN dropout gaps, ±inf
+        spikes) — is skipped and counted in :attr:`n_skipped` instead of
+        being folded into the RLS state.  A single NaN design row would
+        otherwise poison ``theta`` irreversibly and destroy the deployed
+        quality FIS on the next coefficient write-back.
     """
 
     def __init__(self, quality: QualityMeasure, forgetting: float = 0.995,
                  warmup: int = 10,
-                 initial_covariance: float = 1e4) -> None:
+                 initial_covariance: float = 1e4,
+                 guard_nonfinite: bool = True) -> None:
         if warmup < 0:
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
         self.quality = quality
@@ -69,7 +77,9 @@ class OnlineQualityAdapter:
         else:
             self._rls.theta = system.coefficients.reshape(-1).copy()
         self.warmup = int(warmup)
+        self.guard_nonfinite = bool(guard_nonfinite)
         self.n_feedback = 0
+        self.n_skipped = 0
         self._residuals: List[float] = []
 
     # ------------------------------------------------------------------
@@ -77,12 +87,18 @@ class OnlineQualityAdapter:
         """Absorb one ground-truth record; returns the pre-update residual.
 
         The designated output is 1.0 for a correct and 0.0 for a wrong
-        classification, exactly as in offline construction.
+        classification, exactly as in offline construction.  With the
+        non-finite guard enabled, a record carrying NaN/inf cues is
+        skipped (counted in :attr:`n_skipped`) and NaN is returned as its
+        residual.
         """
         cues = np.asarray(record.cues, dtype=float).ravel()
         if cues.shape[0] != self.quality.n_cues:
             raise DimensionError(
                 f"expected {self.quality.n_cues} cues, got {cues.shape[0]}")
+        if self.guard_nonfinite and not np.all(np.isfinite(cues)):
+            self.n_skipped += 1
+            return float("nan")
         v_q = np.append(cues, float(record.class_index)).reshape(1, -1)
         row = design_matrix(self.quality.system, v_q)[0]
         target = 1.0 if record.was_correct else 0.0
@@ -109,22 +125,30 @@ class OnlineQualityAdapter:
         if not records:
             return np.empty(0)
         cue_rows = []
-        for record in records:
+        usable = np.ones(len(records), dtype=bool)
+        for k, record in enumerate(records):
             cues = np.asarray(record.cues, dtype=float).ravel()
             if cues.shape[0] != self.quality.n_cues:
                 raise DimensionError(
                     f"expected {self.quality.n_cues} cues, "
                     f"got {cues.shape[0]}")
+            if self.guard_nonfinite and not np.all(np.isfinite(cues)):
+                usable[k] = False
             cue_rows.append(cues)
-        class_ids = np.array([float(r.class_index) for r in records])
-        v_q = np.hstack([np.vstack(cue_rows), class_ids[:, None]])
+        residuals = np.full(len(records), np.nan)
+        self.n_skipped += int(np.sum(~usable))
+        if not np.any(usable):
+            return residuals
+        kept = [k for k in range(len(records)) if usable[k]]
+        class_ids = np.array([float(records[k].class_index) for k in kept])
+        v_q = np.hstack([np.vstack([cue_rows[k] for k in kept]),
+                         class_ids[:, None]])
         rows = design_matrix(self.quality.system, v_q)
-        targets = np.where([r.was_correct for r in records], 1.0, 0.0)
-        residuals = np.empty(len(records))
-        for i in range(len(records)):
-            residuals[i] = self._rls.update(rows[i], targets[i])
-            self._residuals.append(abs(residuals[i]))
-        self.n_feedback += len(records)
+        targets = np.where([records[k].was_correct for k in kept], 1.0, 0.0)
+        for i, k in enumerate(kept):
+            residuals[k] = self._rls.update(rows[i], targets[i])
+            self._residuals.append(abs(residuals[k]))
+        self.n_feedback += len(kept)
         if self.n_feedback >= self.warmup:
             self.quality.system.coefficients = self._rls.coefficients_for(
                 self.quality.system)
@@ -184,12 +208,15 @@ class OnlineThresholdTracker:
     def observe(self, quality: Optional[float], was_correct: bool) -> None:
         """Fold one labeled quality value into the population estimates.
 
-        Epsilon (None) qualities carry no population information and are
-        ignored.
+        Epsilon qualities — ``None`` at the scalar API level, NaN in
+        vectorized arrays — carry no population information and are
+        ignored, as is anything else non-finite.
         """
         if quality is None:
             return
         q = float(quality)
+        if not np.isfinite(q):
+            return
         mu = self._mu[was_correct]
         var = self._var[was_correct]
         delta = q - mu

@@ -2,6 +2,8 @@
 
 from .crossval import (CrossValidationReport, FoldResult,
                        ScenarioCrossValidator, concatenate_datasets)
+from .faults import (DEFAULT_INTENSITIES, FaultCell, FaultSweepReport,
+                     degradation_margins, run_faults_sweep)
 from .report import generate_report
 from .runner import (MetricSummary, MultiSeedReport, MultiSeedRunner,
                      experiment_metrics)
@@ -13,5 +15,7 @@ __all__ = [
     "ScenarioCrossValidator", "CrossValidationReport", "FoldResult",
     "concatenate_datasets",
     "generate_report",
+    "FaultCell", "FaultSweepReport", "run_faults_sweep",
+    "degradation_margins", "DEFAULT_INTENSITIES",
     "ThroughputReporter", "ThroughputRecord", "best_of",
 ]

@@ -1,0 +1,238 @@
+"""Degradation-curve experiment: the CQM pipeline under injected faults.
+
+Extends the paper's evaluation (accuracy with vs without the quality
+gate, section 3) to noisy deployments: the AwarePen pipeline is trained
+on clean material, then evaluated on scenario streams whose sensor is
+wrapped in a :class:`repro.sensors.faults.FaultInjectingSensor` at every
+point of a fault-type × intensity grid.  Each cell reports
+
+* ``accuracy_raw`` — acting on every classification (no CQM), and
+* ``accuracy_gated`` — acting only on classifications the quality gate
+  accepts under a chosen ε-degradation policy,
+
+so the sweep draws the two degradation curves whose gap is the paper's
+claim under stress: the with-CQM appliance should degrade no worse than
+the raw one as faults intensify.
+
+Cells are independent, so the grid fans out over
+:class:`repro.parallel.ParallelExecutor`; every cell derives its data
+seed deterministically from the base seed and its grid position, making
+all backends bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.degradation import (DegradationPolicy, GracefulDegrader,
+                                apply_policy)
+from ..core.interconnection import QualityAugmentedClassifier
+from ..datasets.activities import evaluation_script
+from ..datasets.generator import generate_dataset
+from ..exceptions import ConfigurationError
+from ..experiment import run_awarepen_experiment
+from ..parallel import ParallelSpec, as_executor
+from ..sensors.faults import FaultInjectingSensor, standard_fault_suite
+from ..sensors.node import SensorNode
+from ..sensors.signal import ADXL_SENSOR
+
+#: Default severity grid for the sweep.
+DEFAULT_INTENSITIES = (0.25, 0.5, 1.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultCell:
+    """One (fault, intensity) point of the degradation surface."""
+
+    fault: str
+    intensity: float
+    n_windows: int
+    n_accepted: int
+    n_abstained: int
+    epsilon_fraction: float
+    accuracy_raw: float
+    accuracy_gated: float
+
+    @property
+    def accept_fraction(self) -> float:
+        return self.n_accepted / self.n_windows if self.n_windows else 0.0
+
+    @property
+    def gating_gain(self) -> float:
+        """How much better the gated appliance does than the raw one."""
+        return self.accuracy_gated - self.accuracy_raw
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSweepReport:
+    """The full degradation surface plus the clean reference point."""
+
+    seed: int
+    policy: DegradationPolicy
+    threshold: float
+    clean_accuracy_raw: float
+    clean_accuracy_gated: float
+    cells: Tuple[FaultCell, ...]
+
+    def curve(self, fault: str) -> List[FaultCell]:
+        """Cells of one fault type, ordered by intensity."""
+        picked = sorted((c for c in self.cells if c.fault == fault),
+                        key=lambda c: c.intensity)
+        if not picked:
+            raise KeyError(
+                f"no cells for fault {fault!r}; available: "
+                f"{sorted({c.fault for c in self.cells})}")
+        return picked
+
+    @property
+    def fault_names(self) -> List[str]:
+        return sorted({c.fault for c in self.cells})
+
+    def worst_gating_gain(self) -> float:
+        """The minimum with-vs-without-CQM margin across the surface."""
+        return min(c.gating_gain for c in self.cells)
+
+    def to_text(self) -> str:
+        """Human-readable degradation report."""
+        lines = [
+            f"fault sweep (seed {self.seed}, policy {self.policy.value}, "
+            f"s = {self.threshold:.3f})",
+            f"clean reference: raw {self.clean_accuracy_raw:.3f}, "
+            f"gated {self.clean_accuracy_gated:.3f}",
+            f"{'fault':<12} {'intensity':>9} {'windows':>8} {'eps%':>6} "
+            f"{'accept%':>8} {'raw':>6} {'gated':>6} {'gain':>7}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.fault:<12} {cell.intensity:>9.2f} "
+                f"{cell.n_windows:>8d} "
+                f"{cell.epsilon_fraction * 100:>5.1f}% "
+                f"{cell.accept_fraction * 100:>7.1f}% "
+                f"{cell.accuracy_raw:>6.3f} {cell.accuracy_gated:>6.3f} "
+                f"{cell.gating_gain:>+7.3f}")
+        lines.append(
+            f"worst gating gain across the surface: "
+            f"{self.worst_gating_gain():+.3f}")
+        return "\n".join(lines)
+
+
+def _cell_seed(base_seed: int, cell_index: int) -> int:
+    """Deterministic, well-separated per-cell data seed."""
+    return int(base_seed) + 10_000 + 17 * int(cell_index)
+
+
+def _sweep_cell(task: Tuple[int, str, float],
+                augmented: QualityAugmentedClassifier,
+                threshold: float, policy_value: str, base_seed: int,
+                blocks: int) -> FaultCell:
+    """Evaluate one (fault, intensity) cell.
+
+    Module-level and fed plain picklable arguments so the process
+    backend can ship it to a worker.
+    """
+    cell_index, fault_name, intensity = task
+    fault = standard_fault_suite()[fault_name].scaled(float(intensity))
+    node = SensorNode(sensor=FaultInjectingSensor(base=ADXL_SENSOR,
+                                                  fault=fault))
+    dataset = generate_dataset(
+        lambda rng: evaluation_script(rng, blocks=blocks),
+        seed=_cell_seed(base_seed, cell_index), node=node)
+
+    predicted = augmented.classifier.predict_indices(dataset.cues)
+    qualities = augmented.quality.measure_batch(
+        dataset.cues, predicted.astype(float))
+    correct = predicted == dataset.labels
+    degrader = GracefulDegrader(threshold=threshold, policy=policy_value)
+    outcome, _ = apply_policy(qualities, correct, threshold=threshold,
+                              degrader=degrader)
+    return FaultCell(
+        fault=fault_name,
+        intensity=float(intensity),
+        n_windows=outcome.n_total,
+        n_accepted=outcome.n_accepted,
+        n_abstained=outcome.n_abstained,
+        epsilon_fraction=outcome.epsilon_fraction,
+        accuracy_raw=outcome.accuracy_before,
+        accuracy_gated=outcome.accuracy_after,
+    )
+
+
+def run_faults_sweep(seed: int = 7,
+                     faults: Optional[Sequence[str]] = None,
+                     intensities: Sequence[float] = DEFAULT_INTENSITIES,
+                     policy: Union[DegradationPolicy, str]
+                     = DegradationPolicy.REJECT,
+                     blocks: int = 2,
+                     parallel: ParallelSpec = None,
+                     max_workers: Optional[int] = None,
+                     experiment=None) -> FaultSweepReport:
+    """Run the AwarePen degradation sweep over a fault-intensity grid.
+
+    Parameters
+    ----------
+    seed:
+        Master seed: trains the clean pipeline and (offset per cell)
+        generates each faulted evaluation stream.
+    faults:
+        Names from :func:`repro.sensors.faults.standard_fault_suite`
+        (default: the whole suite).
+    intensities:
+        Severity grid in ``(0, 1]``; each fault is ``scaled`` to each.
+    policy:
+        ε-degradation policy applied by the gate in every cell.
+    blocks:
+        Scenario length of each cell's evaluation stream.
+    parallel, max_workers:
+        Execution backend for the grid (see :mod:`repro.parallel`).
+    experiment:
+        Optional pre-trained :class:`repro.experiment.ExperimentResult`
+        to reuse (the sweep then skips its own training run).
+    """
+    suite = standard_fault_suite()
+    if faults is None:
+        faults = tuple(suite)
+    unknown = [f for f in faults if f not in suite]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault(s) {unknown}; available: {sorted(suite)}")
+    intensities = tuple(float(i) for i in intensities)
+    if not intensities:
+        raise ConfigurationError("need >= 1 intensity")
+    for i in intensities:
+        if not 0.0 < i <= 1.0:
+            raise ConfigurationError(
+                f"intensities must be in (0, 1], got {i}")
+    policy = DegradationPolicy.coerce(policy)
+
+    if experiment is None:
+        experiment = run_awarepen_experiment(seed=seed)
+    threshold = float(experiment.threshold)
+    clean = experiment.evaluation_outcome
+
+    tasks = [(k, fault, intensity)
+             for k, (fault, intensity)
+             in enumerate((f, i) for f in faults for i in intensities)]
+    executor = as_executor(parallel, max_workers=max_workers)
+    cells = executor.map(
+        functools.partial(_sweep_cell, augmented=experiment.augmented,
+                          threshold=threshold, policy_value=policy.value,
+                          base_seed=seed, blocks=blocks),
+        tasks)
+    return FaultSweepReport(
+        seed=int(seed),
+        policy=policy,
+        threshold=threshold,
+        clean_accuracy_raw=clean.accuracy_before,
+        clean_accuracy_gated=clean.accuracy_after,
+        cells=tuple(cells),
+    )
+
+
+def degradation_margins(report: FaultSweepReport) -> Dict[str, float]:
+    """Per-fault minimum gating gain — the headline robustness numbers."""
+    return {name: min(c.gating_gain for c in report.curve(name))
+            for name in report.fault_names}

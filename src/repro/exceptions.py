@@ -33,3 +33,12 @@ class CalibrationError(ReproError):
 
 class EmptyDatasetError(ReproError):
     """A dataset operation was attempted on an empty dataset."""
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel backend failed outside the task's own code.
+
+    Raised when a worker pool breaks (e.g. an unpicklable task on the
+    process backend, or an OOM-killed worker) — distinct from an
+    exception *raised by* a task, which propagates unchanged.
+    """

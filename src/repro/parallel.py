@@ -32,7 +32,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .exceptions import ConfigurationError
+from .exceptions import ConfigurationError, ParallelExecutionError
 
 #: Recognized backend names, in "cheapest first" order.
 BACKENDS = ("serial", "thread", "process")
@@ -62,8 +62,19 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
 
 def default_workers() -> int:
-    """Worker count used when none is requested: one per core."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used when none is requested: one per *usable* core.
+
+    ``os.cpu_count()`` reports the machine's cores, ignoring CPU
+    affinity masks and cgroup cpusets — inside a container pinned to 2
+    of 64 cores it would spawn a 64-process pool that oversubscribes
+    (and gets throttled on) the 2 cores actually granted.
+    ``os.sched_getaffinity`` reports the granted set where the platform
+    provides it (Linux); elsewhere fall back to the core count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 class ParallelExecutor:
@@ -102,7 +113,13 @@ class ParallelExecutor:
 
         Exceptions raised by a task propagate to the caller for every
         backend (the pooled backends re-raise the first failing task's
-        exception), matching the serial ``for`` loop they replace.
+        exception, annotated with the failing task index), matching the
+        serial ``for`` loop they replace.  A broken pool — a worker that
+        died before returning, e.g. an unpicklable task on the process
+        backend or an OOM kill — is re-raised as
+        :class:`~repro.exceptions.ParallelExecutionError` naming the
+        backend and the first affected task instead of the stdlib's
+        opaque ``BrokenProcessPool``.
         """
         items = list(items)
         if not items:
@@ -114,7 +131,29 @@ class ParallelExecutor:
         else:
             pool_cls = concurrent.futures.ProcessPoolExecutor
         with pool_cls(max_workers=self._pool_size(len(items))) as pool:
-            return list(pool.map(fn, items))
+            futures = [pool.submit(fn, item) for item in items]
+            results: List[Any] = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except concurrent.futures.BrokenExecutor as exc:
+                    raise ParallelExecutionError(
+                        f"{self.backend!r} pool broke at task {index} of "
+                        f"{len(items)}: a worker died before returning "
+                        f"({type(exc).__name__}). Common causes: the task "
+                        f"or its arguments are not picklable (the process "
+                        f"backend needs module-level callables), or a "
+                        f"worker was killed by the OS (out of memory). "
+                        f"Re-run with backend='serial' (or "
+                        f"{ENV_VAR}=serial) to surface the task's own "
+                        f"error inline.") from exc
+                except Exception as exc:
+                    if hasattr(exc, "add_note"):  # Python >= 3.11
+                        exc.add_note(
+                            f"raised by task {index} of {len(items)} on "
+                            f"the {self.backend!r} backend")
+                    raise
+            return results
 
     def starmap(self, fn: Callable[..., Any],
                 argument_tuples: Iterable[Sequence[Any]]) -> List[Any]:

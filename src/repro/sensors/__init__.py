@@ -9,6 +9,10 @@ from .chair import (AWARECHAIR_CLASSES, CHAIR_MODELS, EMPTY, FIDGETING,
 from .cues import (AWAREPEN_CUES, CueExtractor, CuePipeline, EnergyCue,
                    MeanCrossingRateCue, MeanCue, RangeCue, StdCue,
                    sliding_window_matrix, sliding_windows)
+from .faults import (DropoutFault, FaultChain, FaultInjectingSensor,
+                     FaultModel, FaultSchedule, JitterFault, NoiseBurstFault,
+                     SaturationFault, ScheduledFault, SpikeFault,
+                     StuckAtFault, standard_fault_suite)
 from .node import CueWindow, Segment, SensorNode
 from .signal import (ADXL_SENSOR, IDEAL_SENSOR, FaultySensorModel,
                      SensorModel)
@@ -19,6 +23,10 @@ __all__ = [
     "ACTIVITY_MODELS", "model_for", "blend",
     "UserStyle", "DEFAULT_STYLE", "ERRATIC_STYLE",
     "SensorModel", "ADXL_SENSOR", "IDEAL_SENSOR", "FaultySensorModel",
+    "FaultModel", "DropoutFault", "StuckAtFault", "SpikeFault",
+    "NoiseBurstFault", "SaturationFault", "JitterFault", "FaultChain",
+    "ScheduledFault", "FaultSchedule", "FaultInjectingSensor",
+    "standard_fault_suite",
     "CueExtractor", "StdCue", "MeanCue", "EnergyCue", "RangeCue",
     "MeanCrossingRateCue", "CuePipeline", "AWAREPEN_CUES",
     "sliding_windows", "sliding_window_matrix",

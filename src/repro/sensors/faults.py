@@ -1,0 +1,494 @@
+"""Composable sensor fault injection (the ε story of paper section 2.1.3).
+
+The normalization ``L`` defines an explicit error state ε for quality
+outputs that cannot be mapped onto ``[0, 1]`` — but in a clean simulation
+ε almost never occurs.  In a deployment it does: accelerometer streams
+drop samples, axes freeze, ADCs saturate, radio buses burst-corrupt the
+signal.  This module makes those failure modes first-class, seeded and
+composable so the pipeline's behaviour *under* fault is a measurable
+scenario instead of an accident:
+
+* :class:`DropoutFault` — lost samples become NaN gaps (data that truly
+  never arrived, as opposed to the sample-and-hold behaviour of
+  :class:`repro.sensors.signal.FaultySensorModel`);
+* :class:`StuckAtFault` — axes freeze at their last healthy value (or a
+  fixed level) for the tail of the stream;
+* :class:`SpikeFault` — impulsive outliers (loose wiring, ESD hits);
+* :class:`NoiseBurstFault` — contiguous windows of heavy additive noise
+  (motor interference, RF bursts);
+* :class:`SaturationFault` — a reduced clipping range (mechanical
+  over-range or a mis-configured ADC reference);
+* :class:`JitterFault` — sample-timing jitter: samples swap with close
+  neighbours, smearing the spectrum.
+
+Every fault is a frozen dataclass with a ``scaled(intensity)`` view, so a
+sweep over fault severity is ``fault.scaled(i) for i in grid``.  A
+:class:`FaultChain` composes faults; a :class:`FaultSchedule` turns them
+on and off over scenario time; and :class:`FaultInjectingSensor` wraps a
+healthy :class:`~repro.sensors.signal.SensorModel` so any
+:class:`~repro.sensors.node.SensorNode` can stream faulted cues without
+code changes.
+
+All randomness flows through the ``rng`` handed to :meth:`FaultModel.apply`
+— the same generator discipline as the rest of the sensing substrate — so
+faulted scenarios are exactly reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .signal import ADXL_SENSOR, SensorModel
+
+
+def _as_signal(signal: np.ndarray) -> np.ndarray:
+    """Validate a ``(n_samples, n_axes)`` signal and return a float copy."""
+    signal = np.array(signal, dtype=float)
+    if signal.ndim != 2:
+        raise ConfigurationError(
+            f"signal must be 2-D (samples x axes), got {signal.shape}")
+    return signal
+
+
+def _check_unit(name: str, value: float, *, closed_top: bool = True) -> None:
+    top_ok = value <= 1.0 if closed_top else value < 1.0
+    if not (0.0 <= value and top_ok):
+        bracket = "]" if closed_top else ")"
+        raise ConfigurationError(
+            f"{name} must be in [0, 1{bracket}, got {value}")
+
+
+class FaultModel(abc.ABC):
+    """One parametric fault applied to a ``(n_samples, n_axes)`` signal.
+
+    Implementations never modify the input array and must tolerate being
+    applied to a slice of a longer stream (the :class:`FaultSchedule`
+    hands them windows).  A faulted signal may contain NaN — downstream
+    cue extraction propagates the NaN and the CQM reports ε, which is
+    exactly the paper's "cannot be mapped in a semantically correct way".
+    """
+
+    @abc.abstractmethod
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Return a faulted copy of *signal*."""
+
+    @abc.abstractmethod
+    def scaled(self, intensity: float) -> "FaultModel":
+        """This fault at a fraction of its configured severity.
+
+        ``intensity`` is in ``[0, 1]``: 0 is (near-)benign, 1 is the
+        configured fault unchanged.  Used by the fault-intensity sweep.
+        """
+
+    @property
+    def name(self) -> str:
+        """Short kebab-case identifier used in reports."""
+        return type(self).__name__.replace("Fault", "").lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class DropoutFault(FaultModel):
+    """Samples lost in transit become NaN across all axes.
+
+    Parameters
+    ----------
+    rate:
+        Per-sample loss probability in ``[0, 1)``.
+    gap:
+        Minimum run length of each loss event in samples; losses come in
+        bursts of at least this length (a dying bus loses stretches, not
+        isolated samples).
+    """
+
+    rate: float = 0.2
+    gap: int = 3
+
+    def __post_init__(self) -> None:
+        _check_unit("rate", self.rate, closed_top=False)
+        if self.gap < 1:
+            raise ConfigurationError(f"gap must be >= 1, got {self.gap}")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        n = out.shape[0]
+        if self.rate <= 0.0 or n == 0:
+            return out
+        # Seed gaps so the expected lost fraction matches ``rate``.
+        starts = rng.random(n) < self.rate / self.gap
+        lost = np.zeros(n, dtype=bool)
+        for offset in range(self.gap):
+            lost[offset:] |= starts[:n - offset]
+        out[lost] = np.nan
+        return out
+
+    def scaled(self, intensity: float) -> "DropoutFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, rate=self.rate * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class StuckAtFault(FaultModel):
+    """Axes freeze for the last ``fraction`` of the stream.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of the stream (from the tail) that is stuck.
+    axes:
+        Affected axis indices (default: all axes).
+    level:
+        Value the stuck axes hold; ``None`` holds the last healthy
+        sample (frozen ADC), a float models a rail-stuck output.
+    """
+
+    fraction: float = 0.5
+    axes: Optional[Tuple[int, ...]] = None
+    level: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_unit("fraction", self.fraction)
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        n, n_axes = out.shape
+        onset = n - int(round(self.fraction * n))
+        if onset >= n:
+            return out
+        affected = (tuple(range(n_axes)) if self.axes is None
+                    else tuple(self.axes))
+        for axis in affected:
+            if not 0 <= axis < n_axes:
+                raise ConfigurationError(
+                    f"stuck axis {axis} outside 0..{n_axes - 1}")
+            held = (out[onset, axis] if self.level is None
+                    else float(self.level))
+            out[onset:, axis] = held
+        return out
+
+    def scaled(self, intensity: float) -> "StuckAtFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, fraction=self.fraction * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpikeFault(FaultModel):
+    """Impulsive outliers added to random samples.
+
+    Parameters
+    ----------
+    rate:
+        Per-sample spike probability.
+    magnitude:
+        Spike amplitude in g; each spike is ``+-magnitude`` with random
+        sign, on one random axis.
+    """
+
+    rate: float = 0.02
+    magnitude: float = 4.0
+
+    def __post_init__(self) -> None:
+        _check_unit("rate", self.rate, closed_top=False)
+        if self.magnitude <= 0:
+            raise ConfigurationError(
+                f"magnitude must be > 0, got {self.magnitude}")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        n, n_axes = out.shape
+        if self.rate <= 0.0 or n == 0:
+            return out
+        hit = np.flatnonzero(rng.random(n) < self.rate)
+        axes = rng.integers(0, n_axes, size=hit.size)
+        signs = rng.choice((-1.0, 1.0), size=hit.size)
+        out[hit, axes] += signs * self.magnitude
+        return out
+
+    def scaled(self, intensity: float) -> "SpikeFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, rate=self.rate * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseBurstFault(FaultModel):
+    """Contiguous windows of heavy additive Gaussian noise.
+
+    Parameters
+    ----------
+    fraction:
+        Total fraction of the stream covered by bursts.
+    noise_std:
+        Noise standard deviation inside a burst, in g.
+    n_bursts:
+        Number of bursts the covered fraction is split into.
+    """
+
+    fraction: float = 0.4
+    noise_std: float = 0.5
+    n_bursts: int = 3
+
+    def __post_init__(self) -> None:
+        _check_unit("fraction", self.fraction)
+        if self.noise_std <= 0:
+            raise ConfigurationError(
+                f"noise_std must be > 0, got {self.noise_std}")
+        if self.n_bursts < 1:
+            raise ConfigurationError(
+                f"n_bursts must be >= 1, got {self.n_bursts}")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        n, n_axes = out.shape
+        burst_len = int(round(self.fraction * n / self.n_bursts))
+        if burst_len < 1 or n == 0:
+            return out
+        for _ in range(self.n_bursts):
+            start = int(rng.integers(0, max(1, n - burst_len + 1)))
+            stop = min(n, start + burst_len)
+            out[start:stop] += rng.normal(
+                0.0, self.noise_std, size=(stop - start, n_axes))
+        return out
+
+    def scaled(self, intensity: float) -> "NoiseBurstFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, fraction=self.fraction * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class SaturationFault(FaultModel):
+    """Clipping at a reduced full-scale range.
+
+    The effective clip limit interpolates from ``full_scale`` (severity 0,
+    the healthy part) down to ``min_limit`` (severity 1): a severely
+    saturated stream flattens every active window toward identical cues.
+
+    Parameters
+    ----------
+    severity:
+        How far toward ``min_limit`` the range shrinks, in ``[0, 1]``.
+    full_scale:
+        Healthy clip magnitude in g.
+    min_limit:
+        Clip magnitude at full severity.
+    """
+
+    severity: float = 1.0
+    full_scale: float = 2.0
+    min_limit: float = 0.15
+
+    def __post_init__(self) -> None:
+        _check_unit("severity", self.severity)
+        if not 0 < self.min_limit <= self.full_scale:
+            raise ConfigurationError(
+                f"need 0 < min_limit <= full_scale, got "
+                f"min_limit={self.min_limit}, full_scale={self.full_scale}")
+
+    @property
+    def limit(self) -> float:
+        """Effective clip magnitude at the configured severity."""
+        return (self.full_scale
+                - self.severity * (self.full_scale - self.min_limit))
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        np.clip(out, -self.limit, self.limit, out=out)
+        return out
+
+    def scaled(self, intensity: float) -> "SaturationFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, severity=self.severity * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class JitterFault(FaultModel):
+    """Sample-timing jitter: samples swap with nearby neighbours.
+
+    Parameters
+    ----------
+    rate:
+        Per-sample probability of being read at a jittered time.
+    max_shift:
+        Maximum displacement in samples (either direction).
+    """
+
+    rate: float = 0.5
+    max_shift: int = 4
+
+    def __post_init__(self) -> None:
+        _check_unit("rate", self.rate)
+        if self.max_shift < 1:
+            raise ConfigurationError(
+                f"max_shift must be >= 1, got {self.max_shift}")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        n = out.shape[0]
+        if self.rate <= 0.0 or n == 0:
+            return out
+        jittered = rng.random(n) < self.rate
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1, size=n)
+        index = np.arange(n)
+        index[jittered] = np.clip(index[jittered] + shifts[jittered],
+                                  0, n - 1)
+        return out[index]
+
+    def scaled(self, intensity: float) -> "JitterFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(self, rate=self.rate * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultChain(FaultModel):
+    """Faults applied in sequence (left to right) to the whole stream."""
+
+    faults: Tuple[FaultModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ConfigurationError("fault chain needs >= 1 fault")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        for fault in self.faults:
+            out = fault.apply(out, rng)
+        return out
+
+    def scaled(self, intensity: float) -> "FaultChain":
+        return FaultChain(tuple(f.scaled(intensity) for f in self.faults))
+
+    @property
+    def name(self) -> str:
+        return "+".join(f.name for f in self.faults)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledFault:
+    """One fault active during ``[start_s, end_s)`` of scenario time."""
+
+    fault: FaultModel
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"start_s must be >= 0, got {self.start_s}")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"end_s must be > start_s, got [{self.start_s}, {self.end_s})")
+
+    def active_at(self, t_s: float) -> bool:
+        """Whether the fault is active at scenario time *t_s*."""
+        return (t_s >= self.start_s
+                and (self.end_s is None or t_s < self.end_s))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """Faults turning on and off over scenario time.
+
+    Each entry's fault is applied to the sample slice its time window
+    covers; entries apply in order, so overlapping windows compose like a
+    :class:`FaultChain` over the overlap.
+    """
+
+    entries: Tuple[ScheduledFault, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigurationError("fault schedule needs >= 1 entry")
+
+    def faults_at(self, t_s: float) -> List[FaultModel]:
+        """Every fault active at scenario time *t_s*, in entry order."""
+        return [e.fault for e in self.entries if e.active_at(t_s)]
+
+    def apply(self, signal: np.ndarray, rng: np.random.Generator,
+              rate_hz: float) -> np.ndarray:
+        """Fault-inject *signal* sampled at *rate_hz*."""
+        if rate_hz <= 0:
+            raise ConfigurationError(f"rate_hz must be > 0, got {rate_hz}")
+        out = _as_signal(signal)
+        n = out.shape[0]
+        for entry in self.entries:
+            start = min(n, int(round(entry.start_s * rate_hz)))
+            stop = (n if entry.end_s is None
+                    else min(n, int(round(entry.end_s * rate_hz))))
+            if start < stop:
+                out[start:stop] = entry.fault.apply(out[start:stop], rng)
+        return out
+
+    def scaled(self, intensity: float) -> "FaultSchedule":
+        """Every scheduled fault scaled to *intensity*."""
+        return FaultSchedule(tuple(
+            dataclasses.replace(e, fault=e.fault.scaled(intensity))
+            for e in self.entries))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjectingSensor:
+    """A :class:`SensorModel`-compatible wrapper that injects faults.
+
+    Drop-in for the ``sensor=`` argument of
+    :class:`~repro.sensors.node.SensorNode`: the healthy imperfection
+    model runs first (noise, bias walk, quantization), then the fault —
+    mirroring a physically degraded part feeding an otherwise healthy
+    signal chain.
+
+    Parameters
+    ----------
+    base:
+        Healthy degradation model applied before the fault.
+    fault:
+        A :class:`FaultModel` applied to the whole stream, or a
+        :class:`FaultSchedule` applied over scenario time.
+    rate_hz:
+        Sampling rate used to convert schedule times to samples; must
+        match the node's rate when a schedule is used.
+    """
+
+    base: SensorModel = ADXL_SENSOR
+    fault: Union[FaultModel, FaultSchedule, None] = None
+    rate_hz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigurationError(
+                f"rate_hz must be > 0, got {self.rate_hz}")
+
+    def apply(self, ideal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        """Degrade then fault-inject an ideal signal."""
+        out = self.base.apply(ideal, rng)
+        if self.fault is None:
+            return out
+        if isinstance(self.fault, FaultSchedule):
+            return self.fault.apply(out, rng, self.rate_hz)
+        return self.fault.apply(out, rng)
+
+
+def standard_fault_suite() -> Dict[str, FaultModel]:
+    """The named full-intensity faults the degradation sweep runs over.
+
+    Values are the ``intensity = 1.0`` configurations; sweep cells call
+    ``fault.scaled(intensity)`` to move along the severity axis.
+    """
+    return {
+        "dropout": DropoutFault(rate=0.35, gap=5),
+        "stuck": StuckAtFault(fraction=0.6),
+        "spikes": SpikeFault(rate=0.06, magnitude=3.0),
+        "noise-burst": NoiseBurstFault(fraction=0.6, noise_std=0.6),
+        "saturation": SaturationFault(severity=1.0),
+        "jitter": JitterFault(rate=0.8, max_shift=6),
+    }

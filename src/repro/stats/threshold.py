@@ -45,11 +45,26 @@ def density_intersections(a: Gaussian, b: Gaussian) -> List[float]:
     qc = (b.mu ** 2 * inv_b - a.mu ** 2 * inv_a
           + math.log(b.sigma / a.sigma))
     disc = qb * qb - 4.0 * qa * qc
-    if disc < 0:
+    # Near-equal variances drive qa -> 0 and the discriminant toward a
+    # perfect square; floating-point cancellation can then land it at a
+    # tiny *negative* value for what is mathematically a tangent/double
+    # root.  Clamp that rounding noise to zero instead of refusing to
+    # calibrate; a genuinely negative discriminant still raises.
+    disc_tol = 1e-9 * max(1.0, qb * qb, abs(4.0 * qa * qc))
+    if disc < -disc_tol:
         raise CalibrationError(
             "no real density intersection (numerically degenerate fit)")
-    root = math.sqrt(disc)
-    return sorted({(-qb - root) / (2.0 * qa), (-qb + root) / (2.0 * qa)})
+    root = math.sqrt(max(disc, 0.0))
+    lo = (-qb - root) / (2.0 * qa)
+    hi = (-qb + root) / (2.0 * qa)
+    if lo > hi:
+        lo, hi = hi, lo
+    # The same cancellation can leave the two roots distinct only in the
+    # last few ulps; exact set-dedup would report a spurious second
+    # intersection, so merge them by tolerance.
+    if math.isclose(lo, hi, rel_tol=1e-9, abs_tol=1e-12):
+        return [0.5 * (lo + hi)]
+    return [lo, hi]
 
 
 @dataclasses.dataclass(frozen=True)

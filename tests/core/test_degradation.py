@@ -1,0 +1,236 @@
+"""Tests for repro.core.degradation — graceful ε-policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import (DegradationPolicy, DegradedOutcome,
+                                    GateAction, GracefulDegrader,
+                                    apply_policy, evaluate_degraded)
+from repro.exceptions import ConfigurationError
+
+POLICIES = tuple(DegradationPolicy)
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ConfigurationError):
+            GracefulDegrader(threshold=1.2)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="bogus"):
+            GracefulDegrader(threshold=0.5, policy="bogus")
+
+    def test_policy_coercion_from_string(self):
+        degrader = GracefulDegrader(threshold=0.5, policy="hold-last-good")
+        assert degrader.policy is DegradationPolicy.HOLD_LAST_GOOD
+
+    def test_hold_ttl_positive(self):
+        with pytest.raises(ConfigurationError):
+            GracefulDegrader(threshold=0.5, hold_ttl=0)
+
+    def test_fallback_threshold_defaults_stricter(self):
+        degrader = GracefulDegrader(threshold=0.6)
+        assert degrader.fallback_threshold == pytest.approx(0.7)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_policy(np.array([]), np.array([], dtype=bool),
+                         threshold=0.5)
+
+
+class TestHealthyPathEquivalence:
+    """On non-ε qualities every policy is the plain ``q > s`` gate."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_agree_without_epsilon(self, policy):
+        qualities = np.array([0.9, 0.2, 0.71, 0.7, 1.0, 0.0])
+        degrader = GracefulDegrader(threshold=0.7, policy=policy)
+        decisions = degrader.decide_batch(qualities)
+        assert [d.accepted for d in decisions] == \
+            [True, False, True, False, True, False]
+        assert not any(d.degraded for d in decisions)
+        assert degrader.n_epsilon == 0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_quality_filter_on_healthy_stream(self, policy):
+        from repro.core.filtering import QualityFilter
+
+        rng = np.random.default_rng(4)
+        qualities = rng.random(100)
+        gate = QualityFilter(threshold=0.5)
+        degrader = GracefulDegrader(threshold=0.5, policy=policy)
+        accepted = [d.accepted for d in degrader.decide_batch(qualities)]
+        np.testing.assert_array_equal(accepted,
+                                      gate.accept_mask(qualities))
+
+
+class TestRejectPolicy:
+    def test_epsilon_rejected(self):
+        degrader = GracefulDegrader(threshold=0.5,
+                                    policy=DegradationPolicy.REJECT)
+        decision = degrader.decide(None)
+        assert decision.action is GateAction.REJECT
+        assert decision.degraded
+        assert degrader.n_epsilon == 1
+
+    def test_nan_treated_as_epsilon(self):
+        degrader = GracefulDegrader(threshold=0.5)
+        assert degrader.decide(float("nan")).action is GateAction.REJECT
+        assert degrader.n_epsilon == 1
+
+
+class TestHoldLastGood:
+    def test_holds_recent_good_quality(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD)
+        degrader.decide(0.9)
+        decision = degrader.decide(None)
+        assert decision.accepted
+        assert decision.degraded
+        assert decision.quality_used == pytest.approx(0.9)
+
+    def test_held_low_quality_still_rejects(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD)
+        degrader.decide(0.2)
+        decision = degrader.decide(None)
+        assert not decision.accepted
+        assert decision.quality_used == pytest.approx(0.2)
+
+    def test_hold_expires_after_ttl(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD,
+            hold_ttl=2)
+        degrader.decide(0.9)
+        assert degrader.decide(None).accepted        # age 1
+        assert degrader.decide(None).accepted        # age 2
+        expired = degrader.decide(None)              # age 3 > ttl
+        assert expired.action is GateAction.REJECT
+        assert expired.quality_used is None
+
+    def test_no_history_rejects(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD)
+        assert degrader.decide(None).action is GateAction.REJECT
+
+    def test_good_value_refreshes_age(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD,
+            hold_ttl=1)
+        degrader.decide(0.9)
+        assert degrader.decide(None).accepted
+        degrader.decide(0.8)                         # fresh good value
+        assert degrader.decide(None).accepted
+
+
+class TestFallbackThreshold:
+    def test_strong_track_record_accepts(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.FALLBACK_THRESHOLD,
+            fallback_threshold=0.7)
+        for _ in range(5):
+            degrader.decide(0.95)
+        decision = degrader.decide(None)
+        assert decision.accepted
+        assert decision.quality_used == pytest.approx(0.95)
+
+    def test_weak_track_record_rejects(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.FALLBACK_THRESHOLD,
+            fallback_threshold=0.7)
+        for _ in range(5):
+            degrader.decide(0.55)   # accepted, but below the fallback bar
+        assert degrader.decide(None).action is GateAction.REJECT
+
+    def test_no_history_rejects(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.FALLBACK_THRESHOLD)
+        assert degrader.decide(None).action is GateAction.REJECT
+
+
+class TestAbstain:
+    def test_epsilon_abstains(self):
+        degrader = GracefulDegrader(threshold=0.5,
+                                    policy=DegradationPolicy.ABSTAIN)
+        decision = degrader.decide(None)
+        assert decision.action is GateAction.ABSTAIN
+        assert not decision.accepted
+        assert degrader.n_abstained == 1
+
+    def test_abstentions_reported_separately(self):
+        qualities = np.array([0.9, np.nan, 0.2, np.nan])
+        correct = np.array([True, True, False, False])
+        outcome, _ = apply_policy(qualities, correct, threshold=0.5,
+                                  policy=DegradationPolicy.ABSTAIN)
+        assert outcome.n_abstained == 2
+        assert outcome.n_epsilon == 2
+        assert outcome.n_accepted == 1
+        assert outcome.accuracy_after == pytest.approx(1.0)
+
+
+class TestAccounting:
+    def test_reset_clears_state(self):
+        degrader = GracefulDegrader(
+            threshold=0.5, policy=DegradationPolicy.HOLD_LAST_GOOD)
+        degrader.decide(0.9)
+        degrader.decide(None)
+        degrader.reset()
+        assert degrader.n_decisions == 0
+        assert degrader.epsilon_fraction == 0.0
+        assert degrader.decide(None).action is GateAction.REJECT
+
+    def test_zero_accepts_falls_back_to_before_accuracy(self):
+        qualities = np.array([np.nan, np.nan])
+        correct = np.array([True, False])
+        outcome, _ = apply_policy(qualities, correct, threshold=0.5)
+        assert outcome.n_accepted == 0
+        assert outcome.accuracy_after == pytest.approx(0.5)
+
+    def test_degraded_accepts_counted(self):
+        qualities = np.array([0.9, np.nan])
+        correct = np.array([True, True])
+        outcome, decisions = apply_policy(
+            qualities, correct, threshold=0.5,
+            policy=DegradationPolicy.HOLD_LAST_GOOD)
+        assert outcome.n_degraded_accepts == 1
+        assert decisions[1].degraded and decisions[1].accepted
+
+    def test_outcome_fractions(self):
+        outcome = DegradedOutcome(
+            policy=DegradationPolicy.REJECT, n_total=10, n_accepted=4,
+            n_abstained=0, n_epsilon=3, n_degraded_accepts=0,
+            accuracy_before=0.5, accuracy_after=0.75)
+        assert outcome.accept_fraction == pytest.approx(0.4)
+        assert outcome.epsilon_fraction == pytest.approx(0.3)
+        assert outcome.improvement == pytest.approx(0.25)
+
+
+class TestEvaluateDegraded:
+    def test_reject_matches_evaluate_filtering(self, experiment, material):
+        """With the reject policy the degrader is exactly the paper's
+        ε-rejecting gate, so both accountings must agree."""
+        from repro.core.filtering import EpsilonPolicy, evaluate_filtering
+
+        legacy = evaluate_filtering(
+            experiment.augmented, material.evaluation,
+            threshold=experiment.threshold,
+            epsilon_policy=EpsilonPolicy.REJECT)
+        degraded = evaluate_degraded(
+            experiment.augmented, material.evaluation,
+            threshold=experiment.threshold,
+            policy=DegradationPolicy.REJECT)
+        assert degraded.n_total == legacy.n_total
+        assert degraded.n_accepted == legacy.n_kept
+        assert degraded.accuracy_before == \
+            pytest.approx(legacy.accuracy_before)
+        assert degraded.accuracy_after == \
+            pytest.approx(legacy.accuracy_after)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_run_end_to_end(self, experiment, material,
+                                         policy):
+        outcome = evaluate_degraded(
+            experiment.augmented, material.evaluation,
+            threshold=experiment.threshold, policy=policy)
+        assert outcome.n_total == len(material.evaluation)
+        assert 0.0 <= outcome.accuracy_after <= 1.0

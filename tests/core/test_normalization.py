@@ -99,3 +99,80 @@ class TestMappingError:
 
     def test_epsilon_nan(self):
         assert np.isnan(mapping_error(np.array([9.0]))[0])
+
+
+class TestBoundaryPins:
+    """Pin L at the exact band boundaries (ISSUE PR 2 satellite): the
+    scalar and array paths must agree at -0.5, 0, 1, 1.5, NaN and ±inf,
+    and is_error_state must honor its scalar/array type contract."""
+
+    #: (raw input, expected quality or None for epsilon)
+    PINS = [
+        (-0.5, 0.5),            # lowest mappable value, reflected
+        (0.0, 0.0),             # designated output "wrong"
+        (1.0, 1.0),             # designated output "right"
+        (1.5, 0.5),             # highest mappable value, reflected
+        (float("nan"), None),
+        (float("inf"), None),
+        (float("-inf"), None),
+    ]
+
+    @pytest.mark.parametrize("raw,expected", PINS)
+    def test_scalar_pin(self, raw, expected):
+        got = normalize_scalar(raw)
+        if expected is None:
+            assert got is EPSILON
+        else:
+            assert got == pytest.approx(expected, abs=0.0)
+
+    @pytest.mark.parametrize("raw,expected", PINS)
+    def test_array_pin_agrees_with_scalar(self, raw, expected):
+        got = normalize_array(np.array([raw]))[0]
+        if expected is None:
+            assert np.isnan(got)
+        else:
+            assert got == pytest.approx(expected, abs=0.0)
+
+    def test_just_outside_bands_is_epsilon(self):
+        for raw in (LOWER_LIMIT - 1e-12, UPPER_LIMIT + 1e-12,
+                    float(np.nextafter(LOWER_LIMIT, -1.0)),
+                    float(np.nextafter(UPPER_LIMIT, 2.0))):
+            assert normalize_scalar(raw) is EPSILON
+            assert np.isnan(normalize_array(np.array([raw]))[0])
+
+
+class TestIsErrorStateContract:
+    """Scalar in -> plain bool out; array in -> boolean ndarray out."""
+
+    @pytest.mark.parametrize("value,expected", [
+        (None, True),
+        (float("nan"), True),
+        (0.5, False),
+        (np.float64("nan"), True),
+        (np.float64(0.5), False),
+    ])
+    def test_scalar_returns_python_bool(self, value, expected):
+        got = is_error_state(value)
+        assert type(got) is bool
+        assert got is expected
+
+    def test_zero_d_array_returns_python_bool(self):
+        got = is_error_state(np.array(np.nan))
+        assert type(got) is bool and got is True
+
+    def test_array_returns_bool_ndarray(self):
+        got = is_error_state(np.array([0.5, np.nan]))
+        assert isinstance(got, np.ndarray)
+        assert got.dtype == bool
+        np.testing.assert_array_equal(got, [False, True])
+
+    def test_higher_dim_shape_preserved(self):
+        got = is_error_state(np.full((2, 3), np.nan))
+        assert isinstance(got, np.ndarray)
+        assert got.shape == (2, 3)
+        assert got.all()
+
+    def test_empty_array_stays_array(self):
+        got = is_error_state(np.array([]))
+        assert isinstance(got, np.ndarray)
+        assert got.shape == (0,)

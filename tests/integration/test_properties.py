@@ -112,3 +112,40 @@ class TestFilterOutcomeProperties:
         if threshold < 1.0:
             assert outcome.n_wrong_kept == 0
             assert outcome.accuracy_after == 1.0
+
+
+class TestQualityMeasureBatchAgreement:
+    """``measure`` and ``measure_batch`` are the same function (ISSUE
+    PR 2 satellite): batch entry i must equal the scalar call on row i,
+    with the scalar ``None`` epsilon matching the batch ``NaN``."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_elementwise_agreement(self, data, experiment):
+        quality = experiment.augmented.quality
+        n = data.draw(st.integers(1, 12))
+        cue_value = st.one_of(st.floats(-6, 6, allow_nan=False),
+                              st.just(float("nan")))
+        cues = np.array(data.draw(st.lists(
+            st.lists(cue_value, min_size=quality.n_cues,
+                     max_size=quality.n_cues),
+            min_size=n, max_size=n)))
+        indices = np.array(data.draw(st.lists(
+            st.integers(0, 4), min_size=n, max_size=n)))
+        batch = quality.measure_batch(cues, indices)
+        assert batch.shape == (n,)
+        for i in range(n):
+            scalar = quality.measure(cues[i], int(indices[i]))
+            if scalar is None:
+                assert np.isnan(batch[i]), (
+                    f"row {i}: scalar epsilon but batch {batch[i]!r}")
+            else:
+                assert not np.isnan(batch[i])
+                assert batch[i] == pytest.approx(scalar, abs=1e-12)
+
+    def test_nan_cues_force_epsilon_both_ways(self, experiment):
+        quality = experiment.augmented.quality
+        cues = np.full((3, quality.n_cues), np.nan)
+        batch = quality.measure_batch(cues, np.zeros(3))
+        assert np.all(np.isnan(batch))
+        assert quality.measure(cues[0], 0) is None

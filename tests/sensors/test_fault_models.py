@@ -1,0 +1,228 @@
+"""Tests for repro.sensors.faults — composable fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sensors.faults import (DropoutFault, FaultChain,
+                                  FaultInjectingSensor, FaultSchedule,
+                                  JitterFault, NoiseBurstFault,
+                                  SaturationFault, ScheduledFault,
+                                  SpikeFault, StuckAtFault,
+                                  standard_fault_suite)
+from repro.sensors.signal import IDEAL_SENSOR
+
+
+@pytest.fixture
+def ramp():
+    """A smooth, strictly increasing 3-axis test signal."""
+    t = np.linspace(0.0, 1.0, 400)
+    return np.column_stack([t, 1.4 * t, 1.8 * t])
+
+
+class TestValidation:
+    def test_dropout_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            DropoutFault(rate=1.0)
+
+    def test_dropout_gap_positive(self):
+        with pytest.raises(ConfigurationError):
+            DropoutFault(gap=0)
+
+    def test_stuck_fraction_range(self):
+        with pytest.raises(ConfigurationError):
+            StuckAtFault(fraction=1.5)
+
+    def test_stuck_bad_axis(self, ramp, rng):
+        with pytest.raises(ConfigurationError):
+            StuckAtFault(fraction=0.5, axes=(7,)).apply(ramp, rng)
+
+    def test_spike_magnitude_positive(self):
+        with pytest.raises(ConfigurationError):
+            SpikeFault(magnitude=0.0)
+
+    def test_saturation_limits_ordered(self):
+        with pytest.raises(ConfigurationError):
+            SaturationFault(min_limit=3.0, full_scale=2.0)
+
+    def test_jitter_shift_positive(self):
+        with pytest.raises(ConfigurationError):
+            JitterFault(max_shift=0)
+
+    def test_chain_needs_faults(self):
+        with pytest.raises(ConfigurationError):
+            FaultChain(faults=())
+
+    def test_schedule_window_ordered(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledFault(DropoutFault(), start_s=5.0, end_s=5.0)
+
+    def test_signal_must_be_2d(self, rng):
+        with pytest.raises(ConfigurationError):
+            DropoutFault().apply(np.zeros(10), rng)
+
+
+class TestFaultBehaviour:
+    def test_dropout_makes_nan_gaps(self, ramp, rng):
+        out = DropoutFault(rate=0.3, gap=4).apply(ramp, rng)
+        lost = np.isnan(out).any(axis=1)
+        assert 0.1 < np.mean(lost) < 0.6
+        # Lost samples are NaN across all axes (whole reading vanished).
+        assert np.all(np.isnan(out[lost]))
+
+    def test_dropout_input_untouched(self, ramp, rng):
+        before = ramp.copy()
+        DropoutFault(rate=0.5).apply(ramp, rng)
+        np.testing.assert_array_equal(ramp, before)
+
+    def test_stuck_freezes_tail(self, ramp, rng):
+        out = StuckAtFault(fraction=0.5).apply(ramp, rng)
+        onset = ramp.shape[0] - ramp.shape[0] // 2
+        np.testing.assert_array_equal(out[:onset], ramp[:onset])
+        assert np.all(out[onset:] == out[onset])
+
+    def test_stuck_level_overrides_held_value(self, ramp, rng):
+        out = StuckAtFault(fraction=0.25, level=9.0).apply(ramp, rng)
+        assert np.all(out[-10:] == 9.0)
+
+    def test_spikes_hit_single_axes(self, ramp, rng):
+        out = SpikeFault(rate=0.1, magnitude=50.0).apply(ramp, rng)
+        hit = np.abs(out - ramp) > 1.0
+        assert hit.any()
+        # Each spike lands on exactly one axis of its sample.
+        assert np.all(hit.sum(axis=1)[hit.any(axis=1)] == 1)
+
+    def test_noise_burst_is_localized(self, ramp):
+        fault = NoiseBurstFault(fraction=0.2, noise_std=0.5, n_bursts=1)
+        out = fault.apply(ramp, np.random.default_rng(5))
+        changed = np.abs(out - ramp).sum(axis=1) > 0
+        assert 0.05 < np.mean(changed) < 0.5
+
+    def test_saturation_clips_to_effective_limit(self, ramp, rng):
+        fault = SaturationFault(severity=1.0, full_scale=2.0, min_limit=0.5)
+        assert fault.limit == pytest.approx(0.5)
+        out = fault.apply(ramp, rng)
+        assert np.max(np.abs(out)) <= 0.5 + 1e-12
+
+    def test_jitter_permutes_locally(self, ramp, rng):
+        out = JitterFault(rate=1.0, max_shift=3).apply(ramp, rng)
+        # Every output sample is some input sample at most 3 steps away.
+        for i in (0, 100, 399):
+            window = ramp[max(0, i - 3):i + 4]
+            assert any(np.allclose(out[i], row) for row in window)
+
+    def test_chain_composes_left_to_right(self, ramp, rng):
+        chain = FaultChain((SaturationFault(severity=1.0, min_limit=0.5),
+                            DropoutFault(rate=0.3)))
+        out = chain.apply(ramp, np.random.default_rng(2))
+        finite = out[~np.isnan(out)]
+        assert np.isnan(out).any()
+        assert np.max(np.abs(finite)) <= 0.5 + 1e-12
+        assert chain.name == "saturation+dropout"
+
+    def test_deterministic_per_seed(self, ramp):
+        fault = DropoutFault(rate=0.3)
+        a = fault.apply(ramp, np.random.default_rng(9))
+        b = fault.apply(ramp, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name,fault",
+                             sorted(standard_fault_suite().items()))
+    def test_zero_intensity_is_benign(self, name, fault, ramp, rng):
+        out = fault.scaled(0.0).apply(ramp, rng)
+        np.testing.assert_allclose(out, ramp)
+
+    @pytest.mark.parametrize("name,fault",
+                             sorted(standard_fault_suite().items()))
+    def test_full_intensity_is_identity_scaling(self, name, fault):
+        assert fault.scaled(1.0) == fault
+
+    def test_intensity_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DropoutFault().scaled(1.5)
+
+    def test_intensity_orders_severity(self, ramp):
+        fault = DropoutFault(rate=0.6, gap=2)
+        lost = [np.mean(np.isnan(fault.scaled(i).apply(
+                    ramp, np.random.default_rng(3))))
+                for i in (0.2, 1.0)]
+        assert lost[0] < lost[1]
+
+
+class TestSchedule:
+    def test_faults_only_inside_window(self, ramp, rng):
+        schedule = FaultSchedule((
+            ScheduledFault(StuckAtFault(fraction=1.0, level=5.0),
+                           start_s=1.0, end_s=2.0),
+        ))
+        out = schedule.apply(ramp, rng, rate_hz=100.0)
+        np.testing.assert_array_equal(out[:100], ramp[:100])
+        assert np.all(out[100:200] == 5.0)
+        np.testing.assert_array_equal(out[200:], ramp[200:])
+
+    def test_open_ended_window_runs_to_end(self, ramp, rng):
+        schedule = FaultSchedule((
+            ScheduledFault(StuckAtFault(fraction=1.0, level=1.0),
+                           start_s=3.0),
+        ))
+        out = schedule.apply(ramp, rng, rate_hz=100.0)
+        assert np.all(out[300:] == 1.0)
+
+    def test_faults_at_reports_active_entries(self):
+        schedule = FaultSchedule((
+            ScheduledFault(DropoutFault(), start_s=0.0, end_s=10.0),
+            ScheduledFault(SpikeFault(), start_s=5.0),
+        ))
+        assert len(schedule.faults_at(2.0)) == 1
+        assert len(schedule.faults_at(7.0)) == 2
+        assert len(schedule.faults_at(15.0)) == 1
+
+    def test_scaled_schedule_scales_every_entry(self):
+        schedule = FaultSchedule((
+            ScheduledFault(DropoutFault(rate=0.4), start_s=0.0),
+        ))
+        assert schedule.scaled(0.5).entries[0].fault.rate == \
+            pytest.approx(0.2)
+
+
+class TestFaultInjectingSensor:
+    def test_acts_as_sensor_model(self, ramp, rng):
+        sensor = FaultInjectingSensor(base=IDEAL_SENSOR,
+                                      fault=DropoutFault(rate=0.3))
+        out = sensor.apply(ramp, rng)
+        assert out.shape == ramp.shape
+        assert np.isnan(out).any()
+
+    def test_no_fault_is_plain_base(self, ramp, rng):
+        sensor = FaultInjectingSensor(base=IDEAL_SENSOR)
+        np.testing.assert_array_equal(sensor.apply(ramp, rng), ramp)
+
+    def test_schedule_uses_rate(self, ramp, rng):
+        schedule = FaultSchedule((
+            ScheduledFault(StuckAtFault(fraction=1.0, level=2.0),
+                           start_s=2.0),
+        ))
+        sensor = FaultInjectingSensor(base=IDEAL_SENSOR, fault=schedule,
+                                      rate_hz=100.0)
+        out = sensor.apply(ramp, rng)
+        np.testing.assert_array_equal(out[:200], ramp[:200])
+        assert np.all(out[200:] == 2.0)
+
+    def test_streams_epsilon_windows_through_node(self, experiment, rng):
+        """End to end: a dropout sensor makes the node emit NaN cues and
+        the CQM reports ε for them — the deployment path of §2.1.3."""
+        from repro.datasets.activities import evaluation_script
+        from repro.datasets.generator import generate_dataset
+        from repro.sensors.node import SensorNode
+
+        node = SensorNode(sensor=FaultInjectingSensor(
+            fault=DropoutFault(rate=0.5, gap=10)))
+        data = generate_dataset(
+            lambda r: evaluation_script(r, blocks=1), seed=11, node=node)
+        qualities = experiment.augmented.qualities(data.cues)
+        assert np.isnan(qualities).any()
+
+    def test_suite_has_enough_fault_types(self):
+        assert len(standard_fault_suite()) >= 4

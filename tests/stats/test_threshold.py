@@ -1,5 +1,7 @@
 """Tests for repro.stats.threshold — density intersections."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -154,3 +156,60 @@ class TestEmpiricalThresholds:
             youden_threshold(np.zeros(3), np.zeros(2, bool))
         with pytest.raises(CalibrationError):
             max_accuracy_threshold(np.zeros(3), np.zeros(2, bool))
+
+
+class TestDiscriminantRobustness:
+    """Near-equal variances used to crash or duplicate (ISSUE PR 2
+    satellite): cancellation can make the discriminant a tiny negative
+    number, or leave a double root split by a few ulps."""
+
+    def test_near_equal_sigma_does_not_raise(self):
+        # Sigmas differ in the 13th digit: qa is ~1e-13 and the
+        # discriminant lands within rounding noise of zero.
+        a = Gaussian(0.7, 0.1)
+        b = Gaussian(0.3, 0.1 * (1.0 + 1e-13))
+        points = density_intersections(a, b)
+        assert len(points) >= 1
+        mid = [p for p in points if 0.3 < p < 0.7]
+        assert mid and mid[0] == pytest.approx(0.5, abs=1e-3)
+
+    @settings(max_examples=200)
+    @given(delta=st.floats(1e-15, 1e-10),
+           mu_gap=st.floats(0.1, 1.0))
+    def test_tiny_sigma_gap_never_raises(self, delta, mu_gap):
+        a = Gaussian(0.5 + mu_gap, 0.12)
+        b = Gaussian(0.5, 0.12 * (1.0 + delta))
+        points = density_intersections(a, b)
+        for x in points:
+            assert math.isfinite(x)
+
+    def test_near_identical_roots_deduped(self):
+        # A genuinely tangent configuration: both roots coincide up to
+        # ulps, so the function must report ONE intersection, not two
+        # copies separated by rounding noise.
+        a = Gaussian(0.6, 0.1)
+        b = Gaussian(0.4, 0.1 * (1.0 + 1e-12))
+        points = density_intersections(a, b)
+        between = [p for p in points if 0.4 < p < 0.6]
+        assert len(between) == 1
+        if len(points) == 2:
+            assert not math.isclose(points[0], points[1],
+                                    rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_distinct_roots_not_merged(self):
+        a = Gaussian(0.8, 0.1)
+        b = Gaussian(0.3, 0.25)
+        points = density_intersections(a, b)
+        assert len(points) == 2
+        assert abs(points[0] - points[1]) > 1e-6
+
+    def test_roots_returned_sorted(self):
+        a = Gaussian(0.8, 0.1)
+        b = Gaussian(0.3, 0.25)
+        points = density_intersections(a, b)
+        assert points == sorted(points)
+
+    def test_threshold_pipeline_survives_near_equal_variance(self):
+        result = intersection_threshold(
+            Gaussian(0.81, 0.09), Gaussian(0.45, 0.09 * (1.0 + 1e-13)))
+        assert 0.45 < result.threshold < 0.81

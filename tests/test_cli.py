@@ -66,7 +66,9 @@ class TestParser:
 
 
 class TestMultiseedCommand:
-    def test_serial_run(self, capsys):
+    def test_serial_run(self, capsys, monkeypatch):
+        from repro.parallel import ENV_VAR
+        monkeypatch.delenv(ENV_VAR, raising=False)
         assert main(["multiseed", "--seeds", "7", "11"]) == 0
         out = capsys.readouterr().out
         assert "threshold" in out
@@ -123,3 +125,28 @@ class TestFullReportCommand:
                      "--out", str(path)]) == 0
         assert path.exists()
         assert "Per-class thresholds" in path.read_text()
+
+
+class TestFaultsSweepCommand:
+    def test_small_sweep_runs(self, capsys):
+        assert main(["faults-sweep", "--seed", "7", "--blocks", "1",
+                     "--faults", "dropout", "saturation",
+                     "--intensities", "0.5", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "dropout" in out
+        assert "saturation" in out
+        assert "clean" in out
+        assert "worst gating gain" in out
+
+    def test_policy_flag(self, capsys):
+        assert main(["faults-sweep", "--seed", "7", "--blocks", "1",
+                     "--faults", "dropout", "--intensities", "1.0",
+                     "--policy", "abstain"]) == 0
+        out = capsys.readouterr().out
+        assert "abstain" in out
+
+    def test_unknown_fault_rejected(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["faults-sweep", "--faults", "gremlins",
+                  "--blocks", "1", "--intensities", "1.0"])

@@ -133,3 +133,79 @@ class TestSpawnSeeds:
 def test_process_backend_runs_module_level_function():
     executor = ParallelExecutor(backend="process", max_workers=2)
     assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+def _die(x):
+    # Kills the worker process without raising a picklable exception —
+    # the pool can only report this as "broken".
+    os._exit(13)
+
+
+class TestDefaultWorkers:
+    def test_positive_int(self):
+        got = default_workers()
+        assert isinstance(got, int) and got >= 1
+
+    def test_uses_sched_getaffinity_when_available(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 2, 5}, raising=False)
+        assert default_workers() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert default_workers() == 4
+
+    def test_fallback_survives_unknown_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+
+class TestFailureDiagnostics:
+    """Task failures must name the failing task and backend (ISSUE PR 2
+    satellite) without changing the exception's type or message."""
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_failing_task_index_noted(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        with pytest.raises(ValueError) as excinfo:
+            executor.map(_fail_on_three, range(6))
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("task 3 of 6" in note and repr(backend) in note
+                   for note in notes), notes
+
+    def test_serial_exception_unannotated(self):
+        # The serial loop is the reference semantics: the exception is
+        # the task's own, with no pool framing.
+        with pytest.raises(ValueError, match="three") as excinfo:
+            ParallelExecutor(backend="serial").map(_fail_on_three, range(6))
+        assert not getattr(excinfo.value, "__notes__", [])
+
+    @pytest.mark.skipif(os.name != "posix", reason="needs fork semantics")
+    def test_broken_pool_raises_parallel_execution_error(self):
+        from repro.exceptions import ParallelExecutionError, ReproError
+
+        executor = ParallelExecutor(backend="process", max_workers=2)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            executor.map(_die, range(4))
+        message = str(excinfo.value)
+        assert "'process'" in message
+        assert "task" in message
+        assert "serial" in message          # actionable debugging hint
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value.__cause__,
+                          __import__("concurrent.futures", fromlist=[""])
+                          .BrokenExecutor)
+
+    def test_unpicklable_task_is_diagnosed(self):
+        executor = ParallelExecutor(backend="process", max_workers=2)
+        from repro.exceptions import ParallelExecutionError
+
+        with pytest.raises((ParallelExecutionError, TypeError,
+                            AttributeError)) as excinfo:
+            executor.map(lambda x: x, [1, 2])
+        # Whichever layer catches it, the message must mention pickling.
+        text = str(excinfo.value).lower()
+        notes = " ".join(getattr(excinfo.value, "__notes__", [])).lower()
+        assert "pickl" in text or "pickl" in notes
