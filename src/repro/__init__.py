@@ -27,12 +27,14 @@ Subpackages
     interconnection, calibration, filtering, prediction and fusion.
 ``repro.appliances``
     The AwareOffice simulation: event bus, AwarePen, whiteboard camera.
+``repro.observability``
+    Metrics registry, span tracing and exporters watching the pipeline.
 ``repro.experiment``
     One-call end-to-end pipeline used by examples and benchmarks.
 """
 
 from . import (anfis, appliances, classifiers, clustering, core, datasets,
-               fuzzy, parallel, sensors, stats)
+               fuzzy, observability, parallel, sensors, stats)
 from .exceptions import (CalibrationError, ConfigurationError, DimensionError,
                          EmptyDatasetError, NotFittedError, ReproError,
                          TrainingError)
@@ -45,7 +47,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "fuzzy", "clustering", "anfis", "stats", "sensors", "classifiers",
-    "datasets", "core", "appliances", "parallel",
+    "datasets", "core", "appliances", "parallel", "observability",
     "ContextClass", "Classification", "QualifiedClassification",
     "LabeledWindow",
     "ReproError", "ConfigurationError", "NotFittedError", "DimensionError",

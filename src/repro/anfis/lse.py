@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import DimensionError, TrainingError
 from ..fuzzy.tsk import TSKSystem
 
@@ -63,6 +64,7 @@ class LSEDiagnostics:
         return self.rank < self.n_parameters
 
 
+@obs.traced("anfis.lse_fit")
 def fit_consequents(system: TSKSystem, x: np.ndarray, y: np.ndarray,
                     rcond: Optional[float] = None
                     ) -> Tuple[np.ndarray, LSEDiagnostics]:
@@ -90,6 +92,15 @@ def fit_consequents(system: TSKSystem, x: np.ndarray, y: np.ndarray,
         singular_value_ratio=sv_ratio,
         residual_rmse=rmse,
     )
+    if obs.STATE.enabled:
+        registry = obs.get_registry()
+        registry.inc("anfis.lse_fits_total")
+        registry.observe("anfis.lse_residual_rmse", rmse,
+                         edges=obs.LOSS_EDGES)
+        span = obs.current_span()
+        if span is not None:
+            span.attrs.update(rank=diagnostics.rank,
+                              n_parameters=diagnostics.n_parameters)
     if system.order == 0:
         coefficients = np.zeros_like(system.coefficients)
         coefficients[:, -1] = solution

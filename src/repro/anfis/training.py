@@ -20,10 +20,12 @@ by ``step_increase`` after four consecutive error reductions, decrease by
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import ConfigurationError, TrainingError
 from ..fuzzy.tsk import TSKSystem
 from .gradient import apply_gradient_step, premise_gradients
@@ -109,6 +111,7 @@ class HybridTrainer:
         self.step_decrease = float(step_decrease)
         self.min_sigma = float(min_sigma)
 
+    @obs.traced("anfis.train")
     def train(self, system: TSKSystem,
               x_train: np.ndarray, y_train: np.ndarray,
               x_check: Optional[np.ndarray] = None,
@@ -146,6 +149,7 @@ class HybridTrainer:
         system.coefficients = coefficients
 
         for epoch in range(1, self.epochs + 1):
+            epoch_start = time.perf_counter()
             # Backward pass: premise gradient step.
             grads = premise_gradients(system, x_train, y_train)
             apply_gradient_step(system, grads, lr, min_sigma=self.min_sigma)
@@ -160,6 +164,19 @@ class HybridTrainer:
                                        check_rmse=check_rmse,
                                        learning_rate=lr))
             train_errors.append(train_rmse)
+
+            if obs.STATE.enabled:
+                registry = obs.get_registry()
+                registry.inc("anfis.epochs_total")
+                registry.observe("anfis.epoch_wall_s",
+                                 time.perf_counter() - epoch_start)
+                registry.set_gauge("anfis.train_rmse", train_rmse)
+                registry.observe("anfis.epoch_train_rmse", train_rmse,
+                                 edges=obs.LOSS_EDGES)
+                if check_rmse is not None:
+                    registry.set_gauge("anfis.check_rmse", check_rmse)
+                    registry.observe("anfis.epoch_check_rmse", check_rmse,
+                                     edges=obs.LOSS_EDGES)
 
             if self.adapt_step:
                 lr = self._adapted_rate(lr, train_errors)
@@ -182,6 +199,13 @@ class HybridTrainer:
             system.means = best_snapshot.means
             system.sigmas = best_snapshot.sigmas
             system.coefficients = best_snapshot.coefficients
+
+        if obs.STATE.enabled:
+            span = obs.current_span()
+            if span is not None and span.name == "anfis.train":
+                span.attrs.update(n_epochs=len(history),
+                                  best_epoch=best_epoch,
+                                  stopped_early=stopped_early)
 
         return TrainingReport(
             history=history,

@@ -12,6 +12,7 @@ Usage::
     python -m repro faults-sweep [--seed N] [--faults NAME ...]
                                [--intensities F F ...] [--policy POLICY]
                                [--parallel BACKEND] [--workers N]
+    python -m repro trace      [--metrics-out TRACE.json] COMMAND [ARGS...]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
@@ -22,7 +23,10 @@ the runs out over the ``thread``/``process`` execution backends
 (``--parallel``, or the ``REPRO_PARALLEL`` environment variable);
 ``faults-sweep`` runs the AwarePen pipeline across a sensor-fault
 intensity grid and reports the with/without-CQM degradation curves under
-a chosen ε-policy.
+a chosen ε-policy; ``trace`` runs any other command with observability
+enabled and prints the span tree and metrics table afterwards
+(``--metrics-out`` additionally writes the round-trippable trace JSON,
+e.g. ``repro trace multiseed --seeds 3 --metrics-out out.json``).
 """
 
 from __future__ import annotations
@@ -83,7 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replicate the experiment across seeds (optionally parallel)")
     multi.add_argument("--seeds", type=int, nargs="+",
                        default=[3, 7, 11, 19, 42],
-                       help="data-generation seeds (>= 2, unique)")
+                       help="data-generation seeds (>= 1, unique)")
     multi.add_argument("--radius", type=float,
                        default=ConstructionConfig().radius)
     multi.add_argument("--parallel", choices=BACKENDS, default=None,
@@ -266,6 +270,48 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced(argv: List[str]) -> int:
+    """``repro trace [--metrics-out PATH] COMMAND [ARGS...]``.
+
+    Runs the inner command under :func:`repro.observability.observed`,
+    then prints the span tree and the metrics table.  ``--metrics-out``
+    may appear anywhere in *argv*; everything else is handed to the
+    inner command verbatim.
+    """
+    from . import observability as obs
+    from .observability.export import (render_span_tree, render_table,
+                                       write_trace_json)
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="run a repro command with observability enabled")
+    parser.add_argument("--metrics-out", metavar="TRACE.json", default=None,
+                        help="write the span trees + metrics snapshot as "
+                             "a round-trippable JSON document")
+    opts, inner = parser.parse_known_args(argv)
+    if not inner:
+        parser.error("trace needs a command to run, "
+                     "e.g. 'repro trace experiment --seed 7'")
+    if inner[0] == "trace":
+        parser.error("'trace' cannot be nested")
+
+    with obs.observed(fresh=True) as (registry, tracer):
+        code = main(inner)
+        snapshot = registry.snapshot()
+        roots = list(tracer.roots)
+    print()
+    print("-- trace " + "-" * 51)
+    print(render_span_tree(roots))
+    print()
+    print("-- metrics " + "-" * 49)
+    print(render_table(snapshot))
+    if opts.metrics_out:
+        path = write_trace_json(opts.metrics_out, roots, snapshot,
+                                command=inner)
+        print(f"\ntrace document written to {path}")
+    return code
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "multiseed": _cmd_multiseed,
@@ -279,6 +325,10 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _run_traced(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import ConfigurationError, TrainingError
 
 
@@ -113,6 +114,7 @@ class SubtractiveClustering:
         span = np.where(data_max - data_min > 0, data_max - data_min, 1.0)
         return (x - data_min) / span, data_min, data_max
 
+    @obs.traced("clustering.subtractive_fit")
     def fit(self, x: np.ndarray) -> SubtractiveClusteringResult:
         """Run the clustering on data *x* of shape ``(n_samples, d)``."""
         x = np.asarray(x, dtype=float)
@@ -178,6 +180,14 @@ class SubtractiveClustering:
                 "try a larger radius or lower reject_ratio")
 
         centers = x[np.array(centers_idx, dtype=int)]
+        if obs.STATE.enabled:
+            registry = obs.get_registry()
+            registry.inc("clustering.fits_total")
+            registry.set_gauge("clustering.n_clusters", len(centers_idx))
+            span_obj = obs.current_span()
+            if span_obj is not None:
+                span_obj.attrs.update(n_samples=n, n_clusters=len(centers_idx),
+                                      radius=self.radius)
         span = np.where(data_max - data_min > 0, data_max - data_min, 1.0)
         sigmas = self.radius * span / np.sqrt(8.0)
         return SubtractiveClusteringResult(

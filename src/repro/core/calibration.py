@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import observability as obs
 from ..datasets.generator import WindowDataset
 from ..exceptions import CalibrationError
 from ..stats.mle import (PopulationEstimates, estimate_populations,
@@ -82,21 +83,34 @@ def calibrate(augmented: QualityAugmentedClassifier,
     quality information by definition); their count is reported in the
     calibration data.
     """
-    data = collect_calibration_data(augmented, dataset)
-    mask = data.usable
-    if int(np.sum(mask)) < 4:
-        raise CalibrationError(
-            "fewer than 4 usable (non-epsilon) windows — cannot calibrate")
-    q = data.qualities[mask]
-    correct = data.correct[mask]
-    estimates = estimate_populations(q, correct)
-    threshold = intersection_threshold(estimates.right, estimates.wrong)
-    probabilities = selection_probabilities(
-        estimates.right, estimates.wrong, threshold.threshold,
-        prior_right=prior_right)
-    empirical = empirical_probabilities(q, correct, threshold.threshold)
-    return Calibration(data=data, estimates=estimates, threshold=threshold,
-                       probabilities=probabilities, empirical=empirical)
+    with obs.trace("calibration.calibrate") as span:
+        data = collect_calibration_data(augmented, dataset)
+        mask = data.usable
+        if int(np.sum(mask)) < 4:
+            raise CalibrationError(
+                "fewer than 4 usable (non-epsilon) windows — cannot "
+                "calibrate")
+        q = data.qualities[mask]
+        correct = data.correct[mask]
+        estimates = estimate_populations(q, correct)
+        threshold = intersection_threshold(estimates.right, estimates.wrong)
+        probabilities = selection_probabilities(
+            estimates.right, estimates.wrong, threshold.threshold,
+            prior_right=prior_right)
+        empirical = empirical_probabilities(q, correct, threshold.threshold)
+        if obs.STATE.enabled:
+            registry = obs.get_registry()
+            registry.set_gauge("calibration.n_windows", data.qualities.size)
+            registry.set_gauge("calibration.n_epsilon", data.n_epsilon)
+            registry.set_gauge("calibration.p_right_above",
+                               probabilities.right_given_above)
+            if span is not None:
+                span.attrs.update(n_windows=int(data.qualities.size),
+                                  n_epsilon=data.n_epsilon,
+                                  s=threshold.threshold)
+        return Calibration(data=data, estimates=estimates,
+                           threshold=threshold, probabilities=probabilities,
+                           empirical=empirical)
 
 
 def calibrate_unlabeled(augmented: QualityAugmentedClassifier,

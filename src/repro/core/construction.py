@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import observability as obs
 from ..anfis.initialization import fis_from_clusters
 from ..anfis.lse import fit_consequents
 from ..anfis.training import HybridTrainer, TrainingReport
@@ -98,6 +99,7 @@ def quality_training_data(classifier: ContextClassifier,
     return v_q, targets, float(np.mean(correct))
 
 
+@obs.traced("construction.build_quality_measure")
 def build_quality_measure(classifier: ContextClassifier,
                           train: WindowDataset,
                           check: WindowDataset,
@@ -140,6 +142,13 @@ def build_quality_measure(classifier: ContextClassifier,
         report = trainer.train(system, v_train, y_train, v_check, y_check)
 
     quality = QualityMeasure(system=system, n_cues=train.cues.shape[1])
+    if obs.STATE.enabled:
+        obs.get_registry().set_gauge("construction.n_rules", system.n_rules)
+        span = obs.current_span()
+        if span is not None and span.name == "construction.build_quality_measure":
+            span.attrs.update(n_rules=system.n_rules,
+                              train_accuracy=round(train_acc, 6),
+                              check_accuracy=round(check_acc, 6))
     return ConstructionResult(
         quality=quality,
         training_report=report,

@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import ConfigurationError
 
 
@@ -163,14 +164,22 @@ class GracefulDegrader:
                              + self.ew_alpha * q)
             action = (GateAction.ACCEPT if q > self.threshold
                       else GateAction.REJECT)
-            return DegradationDecision(action=action, quality_used=q,
-                                       degraded=False)
-
-        self.n_epsilon += 1
-        self._last_good_age += 1
-        decision = self._decide_epsilon()
-        if decision.action is GateAction.ABSTAIN:
-            self.n_abstained += 1
+            decision = DegradationDecision(action=action, quality_used=q,
+                                           degraded=False)
+        else:
+            self.n_epsilon += 1
+            self._last_good_age += 1
+            decision = self._decide_epsilon()
+            if decision.action is GateAction.ABSTAIN:
+                self.n_abstained += 1
+        if obs.STATE.enabled:
+            registry = obs.get_registry()
+            registry.inc("degradation.decisions_total")
+            registry.inc(f"degradation.{decision.action.value}_total")
+            if is_eps:
+                registry.inc("degradation.epsilon_total")
+            if decision.degraded:
+                registry.inc("degradation.degraded_total")
         return decision
 
     def _decide_epsilon(self) -> DegradationDecision:

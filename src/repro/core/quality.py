@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import DimensionError
 from ..fuzzy.tsk import TSKSystem
 from ..types import Classification, QualifiedClassification
@@ -60,7 +61,15 @@ class QualityMeasure:
             raise DimensionError(
                 f"expected {self.n_cues} cues, got {cues.shape[0]}")
         v_q = np.append(cues, float(class_index))
-        return normalize_scalar(float(self.raw(v_q)[0]))
+        q = normalize_scalar(float(self.raw(v_q)[0]))
+        if obs.STATE.enabled:
+            registry = obs.get_registry()
+            registry.inc("cqm.measures_total")
+            if q is None:
+                registry.inc("cqm.epsilon_total")
+            else:
+                registry.observe("cqm.q", q, edges=obs.UNIT_EDGES)
+        return q
 
     def measure_batch(self, cues: np.ndarray,
                       class_indices: np.ndarray) -> np.ndarray:
@@ -73,8 +82,17 @@ class QualityMeasure:
             raise DimensionError(
                 f"{cues.shape[0]} cue rows but "
                 f"{class_indices.shape[0]} class indices")
-        v_q = np.hstack([cues, class_indices[:, None]])
-        return normalize_array(self.raw(v_q))
+        with obs.trace("cqm.measure_batch"):
+            v_q = np.hstack([cues, class_indices[:, None]])
+            q = normalize_array(self.raw(v_q))
+        if obs.STATE.enabled:
+            registry = obs.get_registry()
+            epsilon_mask = np.isnan(q)
+            registry.inc("cqm.measures_total", int(q.size))
+            registry.inc("cqm.epsilon_total", int(np.sum(epsilon_mask)))
+            registry.observe_many("cqm.q", q[~epsilon_mask],
+                                  edges=obs.UNIT_EDGES)
+        return q
 
     # ------------------------------------------------------------------
     def qualify(self, classification: Classification

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import observability as obs
 from ..core.construction import ConstructionConfig
 from ..exceptions import ConfigurationError
 from ..experiment import ExperimentResult, run_awarepen_experiment
@@ -107,8 +108,9 @@ def _seed_metrics(seed: int,
     metrics dict (not the heavy :class:`ExperimentResult`) keeps the
     inter-process payload small.
     """
-    return experiment_metrics(run_awarepen_experiment(seed=seed,
-                                                      config=config))
+    with obs.trace("multiseed.seed_run", seed=seed):
+        return experiment_metrics(run_awarepen_experiment(seed=seed,
+                                                          config=config))
 
 
 class MultiSeedRunner:
@@ -118,6 +120,8 @@ class MultiSeedRunner:
     ----------
     seeds:
         Data-generation seeds; each produces fully independent material.
+        A single seed is allowed (degenerate aggregation with zero
+        spread — handy for traced smoke runs); seeds must be unique.
     config:
         Construction configuration shared by all runs.
     parallel:
@@ -134,9 +138,8 @@ class MultiSeedRunner:
                  config: Optional[ConstructionConfig] = None,
                  parallel: ParallelSpec = None,
                  max_workers: Optional[int] = None) -> None:
-        if len(seeds) < 2:
-            raise ConfigurationError(
-                f"need >= 2 seeds for aggregation, got {len(seeds)}")
+        if len(seeds) < 1:
+            raise ConfigurationError("need >= 1 seed, got none")
         if len(set(seeds)) != len(seeds):
             raise ConfigurationError("seeds must be unique")
         self.seeds = tuple(int(s) for s in seeds)

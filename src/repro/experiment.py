@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import observability as obs
 from .classifiers.base import ContextClassifier
 from .classifiers.fuzzy_classifier import TSKClassifier
 from .core.calibration import Calibration, calibrate
@@ -87,26 +88,32 @@ def run_awarepen_experiment(seed: int = 7,
     material:
         Optional pre-generated data roles (reuse across ablations).
     """
-    if material is None:
-        material = make_awarepen_material(seed=seed,
-                                          evaluation_size=evaluation_size)
-    if classifier is None:
-        classifier = train_default_classifier(material)
+    with obs.trace("experiment.run", seed=seed):
+        if material is None:
+            with obs.trace("experiment.material"):
+                material = make_awarepen_material(
+                    seed=seed, evaluation_size=evaluation_size)
+        if classifier is None:
+            with obs.trace("experiment.classifier_fit"):
+                classifier = train_default_classifier(material)
 
-    construction = build_quality_measure(
-        classifier, material.quality_train, material.quality_check,
-        config=config)
-    augmented = QualityAugmentedClassifier(classifier, construction.quality)
-    calibration = calibrate(augmented, material.analysis)
+        with obs.trace("experiment.construction"):
+            construction = build_quality_measure(
+                classifier, material.quality_train, material.quality_check,
+                config=config)
+        augmented = QualityAugmentedClassifier(classifier,
+                                               construction.quality)
+        calibration = calibrate(augmented, material.analysis)
 
-    outcome = evaluate_filtering(
-        augmented, material.evaluation, threshold=calibration.s,
-        epsilon_policy=EpsilonPolicy.REJECT)
+        with obs.trace("experiment.evaluation"):
+            outcome = evaluate_filtering(
+                augmented, material.evaluation, threshold=calibration.s,
+                epsilon_policy=EpsilonPolicy.REJECT)
 
-    predicted = classifier.predict_indices(material.evaluation.cues)
-    qualities = augmented.quality.measure_batch(
-        material.evaluation.cues, predicted.astype(float))
-    correct = predicted == material.evaluation.labels
+            predicted = classifier.predict_indices(material.evaluation.cues)
+            qualities = augmented.quality.measure_batch(
+                material.evaluation.cues, predicted.astype(float))
+            correct = predicted == material.evaluation.labels
 
     return ExperimentResult(
         material=material,

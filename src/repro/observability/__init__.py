@@ -1,0 +1,193 @@
+"""repro.observability — metrics, spans and profiling hooks for the CQM pipeline.
+
+The paper's claims are numeric (s = 0.81, P(right|q>s) = 0.8112, the 33%
+improvement); this subsystem continuously watches the pipeline that
+produces them.  Three pieces:
+
+* :mod:`~repro.observability.metrics` — a process-local
+  :class:`MetricsRegistry` of counters, gauges and fixed-edge histograms
+  (p50/p95/p99) with deterministic cross-process merge;
+* :mod:`~repro.observability.spans` — a :class:`Tracer` building nested,
+  thread/process-safe span trees with wall and CPU time per stage;
+* :mod:`~repro.observability.export` — JSON-lines, human-readable-table
+  and ``BENCH_*.json``-compatible exporters plus the round-trippable
+  trace document behind ``repro trace --metrics-out``.
+
+Instrumentation is **off by default** and every hook sits behind a no-op
+fast path: pipeline code guards each record with a single attribute
+check (``STATE.enabled``) or calls :class:`trace`, which allocates
+nothing but a tiny handle when disabled.  Enabled or not, hooks only
+*read* pipeline values — the instrumentation-equivalence tests pin that
+every numeric result is bit-identical either way.
+
+Typical use::
+
+    from repro import observability as obs
+
+    with obs.observed() as (registry, tracer):
+        run_awarepen_experiment(seed=7)
+    print(obs.export.render_table(registry.snapshot()))
+    print(obs.export.render_span_tree(tracer.roots))
+
+or, from the shell, ``python -m repro trace experiment --seed 7``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import export  # noqa: F401  (re-exported submodule)
+from .metrics import (LOSS_EDGES, TIME_EDGES, UNIT_EDGES, Counter, Gauge,
+                      Histogram, MetricsRegistry, linear_edges, log_edges,
+                      merge_snapshots)
+from .spans import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "Tracer",
+    "merge_snapshots", "log_edges", "linear_edges",
+    "TIME_EDGES", "UNIT_EDGES", "LOSS_EDGES",
+    "STATE", "enable", "disable", "is_enabled", "observed",
+    "get_registry", "get_tracer", "trace", "traced", "current_span",
+    "inc", "set_gauge", "observe", "observe_many", "export",
+]
+
+
+class _State:
+    """Global observability switch plus the active registry/tracer.
+
+    ``enabled`` is read on every hot-path hook, so it is a plain
+    attribute — one dictionary lookup when instrumentation is off.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+#: The process-wide observability state. Pipeline hooks read
+#: ``STATE.enabled`` directly; everything else goes through the helpers.
+STATE = _State()
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation hooks currently record anything."""
+    return STATE.enabled
+
+
+def enable(fresh: bool = False) -> Tuple[MetricsRegistry, Tracer]:
+    """Turn instrumentation on; returns the active (registry, tracer).
+
+    With ``fresh=True`` the previous registry and tracer are replaced by
+    empty ones (the common case for a traced run that should not inherit
+    earlier counts).
+    """
+    if fresh:
+        STATE.registry = MetricsRegistry()
+        STATE.tracer = Tracer()
+    STATE.enabled = True
+    return STATE.registry, STATE.tracer
+
+
+def disable() -> None:
+    """Turn instrumentation off (the registry/tracer are kept readable)."""
+    STATE.enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    return STATE.registry
+
+
+def get_tracer() -> Tracer:
+    return STATE.tracer
+
+
+@contextlib.contextmanager
+def observed(fresh: bool = True
+             ) -> Iterator[Tuple[MetricsRegistry, Tracer]]:
+    """Temporarily enable instrumentation; restores the prior state."""
+    prior = (STATE.enabled, STATE.registry, STATE.tracer)
+    try:
+        yield enable(fresh=fresh)
+    finally:
+        STATE.enabled, STATE.registry, STATE.tracer = prior
+
+
+class trace:
+    """Span context manager *and* decorator with a disabled no-op path.
+
+    ``with trace("stage") as span:`` yields the live :class:`Span` when
+    instrumentation is enabled and ``None`` when disabled — callers that
+    want to attach attributes guard on the yielded value.  As a
+    decorator (``@trace("stage")``) the enabled check happens per call,
+    so decorating a function costs nothing while observability is off.
+    """
+
+    __slots__ = ("name", "attrs", "_handle")
+
+    def __init__(self, name: str, **attrs: Union[int, float, str, bool]
+                 ) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> Optional[Span]:
+        if not STATE.enabled:
+            self._handle = None
+            return None
+        self._handle = STATE.tracer.span(self.name, **self.attrs)
+        return self._handle.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._handle is None:
+            return False
+        return self._handle.__exit__(exc_type, exc, tb)
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            with trace(self.name, **self.attrs):
+                return fn(*args, **kwargs)
+        return wrapper
+
+
+#: Decorator alias for readability at definition sites.
+traced = trace
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span, or ``None`` (also when disabled)."""
+    if not STATE.enabled:
+        return None
+    return STATE.tracer.current()
+
+
+# ----------------------------------------------------------------------
+# No-op-gated convenience writers used by the pipeline hooks.  Each is a
+# single enabled check away from free when instrumentation is off.
+
+def inc(name: str, n: Union[int, float] = 1) -> None:
+    if STATE.enabled:
+        STATE.registry.inc(name, n)
+
+
+def set_gauge(name: str, value: Union[int, float]) -> None:
+    if STATE.enabled:
+        STATE.registry.set_gauge(name, value)
+
+
+def observe(name: str, value: Union[int, float],
+            edges: Sequence[float] = TIME_EDGES) -> None:
+    if STATE.enabled:
+        STATE.registry.observe(name, value, edges=edges)
+
+
+def observe_many(name: str, values: Union[Sequence[float], np.ndarray],
+                 edges: Sequence[float] = TIME_EDGES) -> None:
+    if STATE.enabled:
+        STATE.registry.observe_many(name, values, edges=edges)

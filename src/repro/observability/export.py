@@ -1,0 +1,243 @@
+"""Exporters for metrics snapshots and span trees.
+
+Three output shapes, one source of truth (the snapshot/span dicts):
+
+* **JSON lines** — one self-describing object per line; greppable,
+  streamable, appendable (:func:`to_json_lines`);
+* **human-readable table** — aligned text for terminals
+  (:func:`render_table`, :func:`render_span_tree`);
+* **bench snapshot** — the flat ``{"schema", "environment", "records"}``
+  layout of ``BENCH_throughput.json`` so existing bench-diffing tooling
+  reads metrics unchanged (:func:`to_bench_snapshot`).
+
+Plus the round-trippable *trace document* written by
+``repro trace --metrics-out`` (:func:`write_trace_json` /
+:func:`read_trace_json`), bundling the span trees and the metrics
+snapshot of one traced run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .metrics import Histogram, MetricsRegistry
+from .spans import TRACE_SCHEMA, Span
+
+
+def _histogram_stats(hsnap: Mapping[str, object]
+                     ) -> Tuple[Histogram, Dict[str, float]]:
+    hist = Histogram.from_snapshot(hsnap)
+    return hist, {
+        "count": float(hist.count),
+        "mean": hist.mean,
+        "p50": hist.p50,
+        "p95": hist.p95,
+        "p99": hist.p99,
+    }
+
+
+def to_json_lines(snapshot: Mapping[str, object],
+                  spans: Sequence[Span] = ()) -> str:
+    """Snapshot + spans as JSON lines (one object per line)."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "value": value},
+            sort_keys=True))
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": value},
+            sort_keys=True))
+    for name, hsnap in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        record = {"type": "histogram", "name": name}
+        record.update(hsnap)
+        _, stats = _histogram_stats(hsnap)
+        record.update({k: v for k, v in stats.items() if k != "count"})
+        lines.append(json.dumps(record, sort_keys=True))
+    for span in spans:
+        lines.append(json.dumps({"type": "span", **span.as_dict()},
+                                sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_json_lines(text: str) -> Tuple[Dict[str, object], List[Span]]:
+    """Inverse of :func:`to_json_lines`: rebuild (snapshot, spans)."""
+    registry = MetricsRegistry()
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "counter":
+            registry.counter(obj["name"]).value = obj["value"]
+        elif kind == "gauge":
+            if obj["value"] is not None:
+                registry.gauge(obj["name"]).set(obj["value"])
+            else:
+                registry.gauge(obj["name"])
+        elif kind == "histogram":
+            registry.merge_snapshot({"histograms": {obj["name"]: obj}})
+        elif kind == "span":
+            spans.append(Span.from_dict(obj))
+        else:
+            raise ConfigurationError(
+                f"unknown JSONL record type {kind!r}")
+    return registry.snapshot(), spans
+
+
+def render_table(snapshot: Mapping[str, object]) -> str:
+    """Aligned, human-readable rendering of one metrics snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)  # type: ignore[arg-type]
+        for name, value in counters.items():  # type: ignore[union-attr]
+            lines.append(f"  {name:<{width}}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)  # type: ignore[arg-type]
+        for name, value in gauges.items():  # type: ignore[union-attr]
+            rendered = "-" if value is None else f"{value:.6g}"
+            lines.append(f"  {name:<{width}}  {rendered}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(n) for n in histograms)  # type: ignore[arg-type]
+        header = (f"  {'name':<{width}}  {'count':>8}  {'mean':>10}  "
+                  f"{'p50':>10}  {'p95':>10}  {'p99':>10}")
+        lines.append(header)
+        for name, hsnap in histograms.items():  # type: ignore[union-attr]
+            _, stats = _histogram_stats(hsnap)
+            lines.append(
+                f"  {name:<{width}}  {int(stats['count']):>8}  "
+                f"{stats['mean']:>10.4g}  {stats['p50']:>10.4g}  "
+                f"{stats['p95']:>10.4g}  {stats['p99']:>10.4g}")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def render_span_tree(spans: Sequence[Span], max_depth: int = 12,
+                     min_wall_s: float = 0.0) -> str:
+    """Indented wall/CPU-time rendering of completed span trees."""
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        if depth > max_depth or span.wall_s < min_wall_s:
+            return
+        attrs = ""
+        if span.attrs:
+            rendered = ", ".join(f"{k}={span.attrs[k]}"
+                                 for k in sorted(span.attrs))
+            attrs = f"  [{rendered}]"
+        lines.append(f"{'  ' * depth}{span.name}  "
+                     f"wall={span.wall_s * 1e3:.2f}ms "
+                     f"cpu={span.cpu_s * 1e3:.2f}ms{attrs}")
+        for child in span.children:
+            render(child, depth + 1)
+
+    for root in spans:
+        render(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def to_bench_records(snapshot: Mapping[str, object]
+                     ) -> List[Dict[str, object]]:
+    """Flatten a snapshot to ``BENCH_*.json``-style record rows.
+
+    Counters become one row each; gauges likewise; histograms expand to
+    ``.count/.mean/.p50/.p95/.p99`` rows.  Units follow the metric-name
+    convention: names ending ``_s`` are seconds, ``_total`` are counts.
+    """
+    records: List[Dict[str, object]] = []
+
+    def unit_for(name: str) -> str:
+        if name.endswith("_s"):
+            return "s"
+        if name.endswith("_total"):
+            return "count"
+        return "value"
+
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        records.append({"name": name, "value": float(value),
+                        "unit": unit_for(name)})
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        if value is not None:
+            records.append({"name": name, "value": float(value),
+                            "unit": unit_for(name)})
+    for name, hsnap in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        _, stats = _histogram_stats(hsnap)
+        unit = unit_for(name)
+        records.append({"name": f"{name}.count", "value": stats["count"],
+                        "unit": "count"})
+        for stat in ("mean", "p50", "p95", "p99"):
+            records.append({"name": f"{name}.{stat}",
+                            "value": stats[stat], "unit": unit})
+    return records
+
+
+def to_bench_snapshot(snapshot: Mapping[str, object]) -> Dict[str, object]:
+    """Snapshot in the ``BENCH_throughput.json`` document layout."""
+    return {
+        "schema": 1,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "records": to_bench_records(snapshot),
+    }
+
+
+# ----------------------------------------------------------------------
+# The trace document: span trees + metrics snapshot of one traced run.
+
+def trace_document(spans: Sequence[Span],
+                   snapshot: Mapping[str, object],
+                   command: Optional[Sequence[str]] = None
+                   ) -> Dict[str, object]:
+    """Build the JSON document written by ``repro trace --metrics-out``."""
+    doc: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "spans": [s.as_dict() for s in spans],
+        "metrics": dict(snapshot),
+    }
+    if command is not None:
+        doc["command"] = list(command)
+    return doc
+
+
+def write_trace_json(path: Union[str, Path], spans: Sequence[Span],
+                     snapshot: Mapping[str, object],
+                     command: Optional[Sequence[str]] = None) -> Path:
+    """Write the trace document; returns the resolved path."""
+    path = Path(path)
+    doc = trace_document(spans, snapshot, command=command)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace_json(path: Union[str, Path]
+                    ) -> Tuple[List[Span], Dict[str, object]]:
+    """Re-read a trace document into ``(spans, metrics snapshot)``.
+
+    The returned snapshot is normalized through a registry rebuild, so a
+    write → read → write round trip is byte-stable.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != TRACE_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported trace schema {doc.get('schema')!r} in {path}")
+    spans = [Span.from_dict(s) for s in doc.get("spans", [])]
+    snapshot = MetricsRegistry.from_snapshot(doc.get("metrics", {})
+                                             ).snapshot()
+    return spans, snapshot

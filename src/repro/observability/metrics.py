@@ -1,0 +1,419 @@
+"""Process-local metrics: counters, gauges and mergeable histograms.
+
+The registry is the numeric half of :mod:`repro.observability` (spans are
+the structural half).  Three metric kinds cover every pipeline signal:
+
+* :class:`Counter` — monotone event counts (windows extracted, ε hits,
+  gate decisions);
+* :class:`Gauge` — last-written value of a level (current threshold
+  ``s``, rule count, train RMSE);
+* :class:`Histogram` — fixed-bin-edge distribution sketch with exact
+  ``count/sum/min/max`` and quantile estimates (p50/p95/p99).
+
+Fixed bin edges are the load-bearing design decision: two histograms
+with identical edges merge by summing counts, so snapshots taken in
+process-pool workers combine deterministically regardless of which
+worker saw which sample.  Quantiles read off the merged bins are within
+one bin width of the exact order statistic (see
+:meth:`Histogram.quantile` for the precise bound), which is ample for
+watching a pipeline drift.
+
+Everything here is thread-safe; cross-process use goes through
+:meth:`MetricsRegistry.snapshot` / :func:`merge_snapshots` (plain JSON
+dicts, picklable and diffable).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+Number = Union[int, float]
+
+#: Snapshot schema version (bumped on layout changes).
+SNAPSHOT_SCHEMA = 1
+
+
+def log_edges(low: float, high: float, per_decade: int = 8
+              ) -> Tuple[float, ...]:
+    """Logarithmically spaced bin edges from *low* to *high*.
+
+    The default 8 bins per decade keeps the relative quantile error
+    under ~33% anywhere in range — plenty to see a stage get 2x slower.
+    """
+    if not (0.0 < low < high):
+        raise ConfigurationError(
+            f"need 0 < low < high, got low={low}, high={high}")
+    if per_decade < 1:
+        raise ConfigurationError(
+            f"per_decade must be >= 1, got {per_decade}")
+    n_decades = math.log10(high / low)
+    n_bins = max(1, int(round(n_decades * per_decade)))
+    return tuple(np.geomspace(low, high, n_bins + 1).tolist())
+
+
+def linear_edges(low: float, high: float, n_bins: int = 64
+                 ) -> Tuple[float, ...]:
+    """Uniformly spaced bin edges from *low* to *high*."""
+    if not low < high:
+        raise ConfigurationError(
+            f"need low < high, got low={low}, high={high}")
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    return tuple(np.linspace(low, high, n_bins + 1).tolist())
+
+
+#: Default edges for wall/CPU timing histograms: 1 µs .. 100 s.
+TIME_EDGES = log_edges(1e-6, 1e2, per_decade=8)
+
+#: Default edges for quantities living on the unit interval (CQM q
+#: values, accuracies): 64 uniform bins over [0, 1].
+UNIT_EDGES = linear_edges(0.0, 1.0, n_bins=64)
+
+#: Default edges for losses/RMSE-style positive quantities.
+LOSS_EDGES = log_edges(1e-6, 1e2, per_decade=8)
+
+
+class Counter:
+    """Monotone event counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ConfigurationError(
+                f"counters are monotone; cannot add {n}")
+        with self._lock:
+            self.value += n
+
+    def as_snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """Last-written value of a level (not mergeable by summation)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: Optional[float] = None
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def as_snapshot(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-edge histogram with exact moments and bounded-error quantiles.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing bin edges; value ``v`` lands in bin ``i``
+        when ``edges[i] <= v < edges[i+1]`` (the last bin also includes
+        its right edge, matching :func:`numpy.histogram`).  Values
+        outside the edges are tallied in ``n_underflow``/``n_overflow``
+        and still contribute to ``count``/``total``/``min``/``max``.
+
+    Quantile error bound
+    --------------------
+    For samples that fall inside the edge range,
+    ``quantile(q)`` is within one bin width of
+    ``numpy.percentile(samples, 100 * q, method='inverted_cdf')`` (the
+    exact order statistic at rank ``ceil(q * n)``): both lie inside the
+    same bin, whose width bounds their distance.  Under/overflow samples
+    degrade the estimate to the observed ``min``/``max``.  This bound is
+    pinned by ``tests/observability/test_properties.py``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, edges: Sequence[float] = TIME_EDGES) -> None:
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 2:
+            raise ConfigurationError("histogram needs >= 2 edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                "histogram edges must be strictly increasing")
+        self._lock = threading.Lock()
+        self.edges = edges
+        self._edges_arr = np.asarray(edges, dtype=float)
+        self.counts = np.zeros(len(edges) - 1, dtype=np.int64)
+        self.n_underflow = 0
+        self.n_overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def observe(self, value: Number) -> None:
+        """Tally one finite sample."""
+        self.observe_many([value])
+
+    def observe_many(self, values: Union[Sequence[Number], np.ndarray]
+                     ) -> None:
+        """Vectorized tally of a batch of samples (NaN/inf are skipped)."""
+        arr = np.asarray(values, dtype=float).ravel()
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            return
+        edges = self._edges_arr
+        in_counts, _ = np.histogram(arr, bins=edges)
+        n_under = int(np.sum(arr < edges[0]))
+        n_over = int(np.sum(arr > edges[-1]))
+        lo = float(np.min(arr))
+        hi = float(np.max(arr))
+        with self._lock:
+            self.counts += in_counts
+            self.n_underflow += n_under
+            self.n_overflow += n_over
+            self.count += int(arr.size)
+            self.total += float(np.sum(arr))
+            self.min = lo if self.min is None else min(self.min, lo)
+            self.max = hi if self.max is None else max(self.max, hi)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the bins."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return float("nan")
+            # Rank of the inverted-CDF order statistic, 1-indexed.
+            rank = min(max(1, math.ceil(q * self.count)), self.count)
+            if rank <= self.n_underflow:
+                return float(self.min)  # type: ignore[arg-type]
+            if rank > self.count - self.n_overflow:
+                return float(self.max)  # type: ignore[arg-type]
+            cum = self.n_underflow
+            for i, c in enumerate(self.counts):
+                if rank <= cum + c:
+                    left, right = self.edges[i], self.edges[i + 1]
+                    frac = (rank - cum) / c
+                    est = left + (right - left) * frac
+                    # The true order statistic also lies in [min, max].
+                    return float(min(max(est, self.min), self.max))
+                cum += int(c)
+            return float(self.max)  # type: ignore[arg-type]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    # ------------------------------------------------------------------
+    def as_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "edges": list(self.edges),
+                "counts": [int(c) for c in self.counts],
+                "underflow": int(self.n_underflow),
+                "overflow": int(self.n_overflow),
+                "count": int(self.count),
+                "total": float(self.total),
+                "min": self.min,
+                "max": self.max,
+            }
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, object]) -> "Histogram":
+        hist = cls(edges=snap["edges"])  # type: ignore[arg-type]
+        hist.counts = np.asarray(snap["counts"], dtype=np.int64)
+        hist.n_underflow = int(snap["underflow"])  # type: ignore[arg-type]
+        hist.n_overflow = int(snap["overflow"])  # type: ignore[arg-type]
+        hist.count = int(snap["count"])  # type: ignore[arg-type]
+        hist.total = float(snap["total"])  # type: ignore[arg-type]
+        hist.min = None if snap["min"] is None else float(snap["min"])  # type: ignore[arg-type]
+        hist.max = None if snap["max"] is None else float(snap["max"])  # type: ignore[arg-type]
+        return hist
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    Metric names are dotted paths (``"cqm.epsilon_total"``); get-or-create
+    accessors make call sites one-liners, and asking for an existing name
+    with a different metric kind fails loudly instead of silently
+    shadowing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, **kwargs: object
+                       ) -> Metric:
+        if not name:
+            raise ConfigurationError("metric name must be non-empty")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(**kwargs)  # type: ignore[arg-type]
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already exists as a "
+                    f"{metric.kind}, not a {kind.__name__.lower()}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = TIME_EDGES) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, Histogram, edges=edges)
+
+    # Convenience write paths -----------------------------------------
+    def inc(self, name: str, n: Number = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number,
+                edges: Sequence[float] = TIME_EDGES) -> None:
+        self.histogram(name, edges=edges).observe(value)
+
+    def observe_many(self, name: str,
+                     values: Union[Sequence[Number], np.ndarray],
+                     edges: Sequence[float] = TIME_EDGES) -> None:
+        self.histogram(name, edges=edges).observe_many(values)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic picklable/JSON view: sorted keys, plain types."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        counters = {n: m.as_snapshot() for n, m in items
+                    if isinstance(m, Counter)}
+        gauges = {n: m.as_snapshot() for n, m in items
+                  if isinstance(m, Gauge)}
+        histograms = {n: m.as_snapshot() for n, m in items
+                      if isinstance(m, Histogram)}
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` document."""
+        registry = cls()
+        for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
+            registry.counter(name).value = value
+        for name, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
+            if value is not None:
+                registry.gauge(name).set(value)
+            else:
+                registry.gauge(name)
+        for name, hsnap in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+            hist = Histogram.from_snapshot(hsnap)
+            with registry._lock:
+                registry._metrics[name] = hist
+        return registry
+
+    def merge_snapshot(self, snap: Mapping[str, object]) -> None:
+        """Fold one worker snapshot into this registry.
+
+        Merge semantics (deterministic given the order snapshots are
+        applied — callers merge in task-index order):
+
+        * counters add;
+        * gauges last-write-wins (the incoming snapshot's value
+          replaces, except ``None``);
+        * histograms require identical edges and add their bins.
+        """
+        for name, value in sorted(snap.get("counters", {}).items()):  # type: ignore[union-attr]
+            self.counter(name).inc(value)
+        for name, value in sorted(snap.get("gauges", {}).items()):  # type: ignore[union-attr]
+            if value is not None:
+                self.gauge(name).set(value)
+            else:
+                self.gauge(name)
+        for name, hsnap in sorted(snap.get("histograms", {}).items()):  # type: ignore[union-attr]
+            hist = self.histogram(name, edges=hsnap["edges"])
+            if list(hist.edges) != [float(e) for e in hsnap["edges"]]:
+                raise ConfigurationError(
+                    f"histogram {name!r} bin edges differ between "
+                    f"snapshots; edges must be stable to merge")
+            with hist._lock:
+                hist.counts += np.asarray(hsnap["counts"], dtype=np.int64)
+                hist.n_underflow += int(hsnap["underflow"])
+                hist.n_overflow += int(hsnap["overflow"])
+                hist.count += int(hsnap["count"])
+                hist.total += float(hsnap["total"])
+                for attr, pick in (("min", min), ("max", max)):
+                    incoming = hsnap[attr]
+                    if incoming is not None:
+                        current = getattr(hist, attr)
+                        setattr(hist, attr, float(incoming)
+                                if current is None
+                                else pick(current, float(incoming)))
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, object]]
+                    ) -> Dict[str, object]:
+    """Merge worker snapshots into one combined snapshot document.
+
+    Counter and histogram merges are order-independent (addition
+    commutes); gauge merges are defined as last-write-wins in the given
+    sequence order, so callers pass snapshots in task-index order to
+    keep the result independent of worker scheduling.
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+    return merged.snapshot()

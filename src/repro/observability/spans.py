@@ -1,0 +1,187 @@
+"""Span-based tracing: nested wall/CPU timings of pipeline stages.
+
+A span covers one stage execution (``clustering.subtractive_fit``, one
+``anfis.train`` run, a whole CLI command).  Spans nest lexically per
+thread — entering a span while another is active on the same thread
+makes it a child — so one traced experiment yields a tree mirroring the
+pipeline's call structure.  Spans record wall time
+(:func:`time.perf_counter`) and per-thread CPU time
+(:func:`time.thread_time`), plus free-form numeric/string attributes
+(epoch counts, rule counts, seeds).
+
+Thread safety: each thread keeps its own span stack (spans started in a
+worker thread form their own roots), and finished roots are appended to
+the tracer under a lock.  Process-pool workers serialize their roots
+with :meth:`Span.as_dict` and the parent grafts them back in task-index
+order, so traced parallel runs are deterministic in structure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from ..exceptions import ConfigurationError
+
+AttrValue = Union[int, float, str, bool]
+
+#: Trace document schema version.
+TRACE_SCHEMA = 1
+
+
+class Span:
+    """One timed stage execution, possibly with nested children."""
+
+    __slots__ = ("name", "start_s", "wall_s", "cpu_s", "children", "attrs")
+
+    def __init__(self, name: str,
+                 attrs: Optional[Mapping[str, AttrValue]] = None) -> None:
+        if not name:
+            raise ConfigurationError("span name must be non-empty")
+        self.name = name
+        self.start_s = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: List["Span"] = []
+        self.attrs: Dict[str, AttrValue] = dict(attrs or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def exclusive_wall_s(self) -> float:
+        """Wall time spent in this span minus its direct children."""
+        return self.wall_s - sum(c.wall_s for c in self.children)
+
+    @property
+    def n_descendants(self) -> int:
+        return sum(1 + c.n_descendants for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans in this subtree with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.attrs:
+            out["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Span":
+        span = cls(str(data["name"]), attrs=data.get("attrs"))  # type: ignore[arg-type]
+        span.start_s = float(data.get("start_s", 0.0))  # type: ignore[arg-type]
+        span.wall_s = float(data.get("wall_s", 0.0))  # type: ignore[arg-type]
+        span.cpu_s = float(data.get("cpu_s", 0.0))  # type: ignore[arg-type]
+        span.children = [cls.from_dict(c)
+                         for c in data.get("children", [])]  # type: ignore[union-attr]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, wall={self.wall_s:.6f}s, "
+                f"children={len(self.children)})")
+
+
+class _SpanHandle:
+    """Context manager that times one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start_s = time.perf_counter()
+        self._t0 = self._span.start_s
+        self._c0 = time.thread_time()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.wall_s = time.perf_counter() - self._t0
+        self._span.cpu_s = time.thread_time() - self._c0
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees, one stack per thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise ConfigurationError(
+                f"span stack corrupted: expected {span.name!r} on top")
+        stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: AttrValue) -> _SpanHandle:
+        """Context manager opening a span under the current one."""
+        return _SpanHandle(self, Span(name, attrs=attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def roots(self) -> List[Span]:
+        """Completed top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def adopt(self, span: Span) -> None:
+        """Graft a deserialized span: under the active span, else a root.
+
+        Used to merge span trees shipped back from process-pool workers;
+        callers adopt in task-index order for deterministic trees.
+        """
+        current = self.current()
+        if current is not None:
+            current.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()

@@ -28,11 +28,15 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import os
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+import time
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
+from . import observability as obs
 from .exceptions import ConfigurationError, ParallelExecutionError
+from .observability.spans import Span
 
 #: Recognized backend names, in "cheapest first" order.
 BACKENDS = ("serial", "thread", "process")
@@ -124,14 +128,35 @@ class ParallelExecutor:
         items = list(items)
         if not items:
             return []
+        observing = obs.STATE.enabled
         if self.backend == "serial" or len(items) == 1:
-            return [fn(item) for item in items]
+            if not observing:
+                return [fn(item) for item in items]
+            return [_timed_task(fn, time.perf_counter(), item)
+                    for item in items]
         if self.backend == "thread":
             pool_cls = concurrent.futures.ThreadPoolExecutor
         else:
             pool_cls = concurrent.futures.ProcessPoolExecutor
-        with pool_cls(max_workers=self._pool_size(len(items))) as pool:
-            futures = [pool.submit(fn, item) for item in items]
+        pool_size = self._pool_size(len(items))
+        if observing:
+            obs.get_registry().set_gauge("parallel.pool_size", pool_size)
+        with pool_cls(max_workers=pool_size) as pool:
+            if not observing:
+                futures = [pool.submit(fn, item) for item in items]
+            elif self.backend == "thread":
+                # Worker threads share this process's registry/tracer, so
+                # they record per-task metrics directly.
+                futures = [pool.submit(_timed_task, fn,
+                                       time.perf_counter(), item)
+                           for item in items]
+            else:
+                # Process workers start with observability off; the
+                # wrapper enables a fresh local registry and ships its
+                # snapshot (plus span trees) back with the result.
+                futures = [pool.submit(_observed_process_task, fn,
+                                       time.perf_counter(), item)
+                           for item in items]
             results: List[Any] = []
             for index, future in enumerate(futures):
                 try:
@@ -153,6 +178,8 @@ class ParallelExecutor:
                             f"raised by task {index} of {len(items)} on "
                             f"the {self.backend!r} backend")
                     raise
+            if observing and self.backend == "process":
+                return _merge_observed_results(results)
             return results
 
     def starmap(self, fn: Callable[..., Any],
@@ -191,6 +218,67 @@ class ParallelExecutor:
 def _apply_star(fn: Callable[..., Any], args: Sequence[Any]) -> Any:
     """Module-level star-application so ``starmap`` survives pickling."""
     return fn(*args)
+
+
+def _timed_task(fn: Callable[..., Any], submit_s: float, item: Any) -> Any:
+    """Run one task, recording queue wait and wall time in the active
+    registry (serial and thread backends — same process as the caller)."""
+    wait_s = max(0.0, time.perf_counter() - submit_s)
+    start = time.perf_counter()
+    result = fn(item)
+    wall_s = time.perf_counter() - start
+    registry = obs.get_registry()
+    registry.inc("parallel.tasks_total")
+    registry.observe("parallel.queue_wait_s", wait_s)
+    registry.observe("parallel.task_wall_s", wall_s)
+    return result
+
+
+def _observed_process_task(fn: Callable[..., Any], submit_s: float,
+                           item: Any
+                           ) -> Tuple[Any, Dict[str, object],
+                                      List[Dict[str, object]]]:
+    """Process-pool task wrapper: observe locally, ship the data back.
+
+    The worker enables a fresh local registry/tracer, runs the task, and
+    returns ``(result, metrics snapshot, serialized span roots)``.  The
+    queue wait compares ``perf_counter`` stamps taken in two processes —
+    exact on platforms with a system-wide monotonic clock (Linux), a
+    best-effort estimate elsewhere — and is clamped at zero either way.
+    """
+    wait_s = max(0.0, time.perf_counter() - submit_s)
+    with obs.observed(fresh=True) as (registry, tracer):
+        start = time.perf_counter()
+        result = fn(item)
+        wall_s = time.perf_counter() - start
+        registry.inc("parallel.tasks_total")
+        registry.observe("parallel.queue_wait_s", wait_s)
+        registry.observe("parallel.task_wall_s", wall_s)
+        snapshot = registry.snapshot()
+        spans = [root.as_dict() for root in tracer.roots]
+    return result, snapshot, spans
+
+
+def _merge_observed_results(wrapped: List[Tuple[Any, Dict[str, object],
+                                                List[Dict[str, object]]]]
+                            ) -> List[Any]:
+    """Unwrap process-task results, folding worker observations in.
+
+    Snapshots merge and spans are adopted in task-index order (never in
+    completion order), so the combined registry and trace are
+    deterministic regardless of worker scheduling.
+    """
+    registry = obs.get_registry()
+    tracer = obs.get_tracer()
+    results: List[Any] = []
+    for index, (result, snapshot, span_dicts) in enumerate(wrapped):
+        results.append(result)
+        registry.merge_snapshot(snapshot)
+        for span_dict in span_dicts:
+            span = Span.from_dict(span_dict)
+            span.attrs.setdefault("task_index", index)
+            tracer.adopt(span)
+    return results
 
 
 #: Anything a call site accepts as "how to parallelize": nothing, a

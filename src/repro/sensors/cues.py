@@ -15,6 +15,7 @@ from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import ConfigurationError, DimensionError
 
 
@@ -232,6 +233,7 @@ class CuePipeline:
             names.extend(e.cue_names(n_axes))
         return names
 
+    @obs.traced("cues.extract_all")
     def extract_all(self, signal: np.ndarray, window: int,
                     hop: int, batched: bool = True
                     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -250,6 +252,7 @@ class CuePipeline:
                 raise DimensionError(
                     f"signal of {np.asarray(signal).shape[0]} samples is "
                     f"shorter than one window of {window}")
+            obs.inc("cues.windows_total", int(starts.size))
             return starts, self.extract_batch(windows)
         starts_list: List[int] = []
         rows: List[np.ndarray] = []
@@ -260,6 +263,7 @@ class CuePipeline:
             raise DimensionError(
                 f"signal of {np.asarray(signal).shape[0]} samples is shorter "
                 f"than one window of {window}")
+        obs.inc("cues.windows_total", len(starts_list))
         return np.array(starts_list, dtype=int), np.vstack(rows)
 
 

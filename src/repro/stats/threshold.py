@@ -26,6 +26,7 @@ from typing import List
 
 import numpy as np
 
+from .. import observability as obs
 from ..exceptions import CalibrationError
 from .gaussian import Gaussian
 
@@ -93,12 +94,18 @@ def intersection_threshold(right: Gaussian, wrong: Gaussian
     candidates = density_intersections(right, wrong)
     between = [c for c in candidates if wrong.mu < c < right.mu]
     if between:
-        return ThresholdResult(threshold=float(between[0]),
-                               method="intersection",
-                               candidates=candidates)
-    return ThresholdResult(threshold=float(0.5 * (right.mu + wrong.mu)),
-                           method="midpoint-fallback",
-                           candidates=candidates)
+        result = ThresholdResult(threshold=float(between[0]),
+                                 method="intersection",
+                                 candidates=candidates)
+    else:
+        result = ThresholdResult(threshold=float(0.5 * (right.mu + wrong.mu)),
+                                 method="midpoint-fallback",
+                                 candidates=candidates)
+    if obs.STATE.enabled:
+        registry = obs.get_registry()
+        registry.inc("threshold.fits_total")
+        registry.set_gauge("threshold.s", result.threshold)
+    return result
 
 
 def equal_error_threshold(right: Gaussian, wrong: Gaussian,

@@ -33,9 +33,14 @@ class TestExperimentMetrics:
 class TestMultiSeedRunner:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            MultiSeedRunner(seeds=(7,))
+            MultiSeedRunner(seeds=())
         with pytest.raises(ConfigurationError):
             MultiSeedRunner(seeds=(7, 7))
+
+    def test_single_seed_allowed(self):
+        # Degenerate aggregation (zero spread) backs traced smoke runs.
+        runner = MultiSeedRunner(seeds=(7,))
+        assert runner.seeds == (7,)
 
     def test_aggregates_across_seeds(self):
         report = MultiSeedRunner(seeds=(7, 11, 19)).run()

@@ -1,0 +1,76 @@
+"""Golden regression pins for the paper-facing numbers (seed 7).
+
+The pipeline is deterministic for a fixed seed, so the headline numbers
+are pinned tightly: a drift here means a behavioural change somewhere in
+the cue → clustering → ANFIS → calibration chain, and must be a
+conscious decision (update the goldens in the same commit and note why).
+The looser paper-faithfulness ranges stay as a second line of defence —
+they fail only when a change breaks the reproduction qualitatively.
+"""
+
+import pytest
+
+# Golden values computed at seed 7 with the default ConstructionConfig
+# (numpy 2.x, see EXPERIMENTS.md).  GOLDEN_ABS is deliberately far
+# tighter than run-to-run noise (there is none — the run is
+# deterministic) but loose enough to survive BLAS/platform rounding.
+GOLDEN_ABS = 1e-6
+
+GOLDEN = {
+    "threshold": 0.6332453446766886,
+    "p_right_above": 0.7858216848525837,
+    "p_wrong_below": 0.8778012254295866,
+    "accuracy_before": 0.75,
+    "accuracy_after": 0.8888888888888888,
+    "improvement_ratio": 0.18518518518518512,
+    "discard_fraction": 0.25,
+    "n_rules": 3,
+}
+
+
+class TestGoldenNumbers:
+    def test_threshold(self, experiment):
+        assert experiment.threshold \
+            == pytest.approx(GOLDEN["threshold"], abs=GOLDEN_ABS)
+
+    def test_selection_probabilities(self, experiment):
+        probs = experiment.calibration.probabilities
+        assert probs.right_given_above \
+            == pytest.approx(GOLDEN["p_right_above"], abs=GOLDEN_ABS)
+        assert probs.wrong_given_below \
+            == pytest.approx(GOLDEN["p_wrong_below"], abs=GOLDEN_ABS)
+
+    def test_filtering_improvement(self, experiment):
+        outcome = experiment.evaluation_outcome
+        assert outcome.accuracy_before \
+            == pytest.approx(GOLDEN["accuracy_before"], abs=GOLDEN_ABS)
+        assert outcome.accuracy_after \
+            == pytest.approx(GOLDEN["accuracy_after"], abs=GOLDEN_ABS)
+        ratio = outcome.improvement / outcome.accuracy_before
+        assert ratio \
+            == pytest.approx(GOLDEN["improvement_ratio"], abs=GOLDEN_ABS)
+        assert outcome.discard_fraction \
+            == pytest.approx(GOLDEN["discard_fraction"], abs=GOLDEN_ABS)
+
+    def test_rule_count(self, experiment):
+        assert experiment.construction.n_rules == GOLDEN["n_rules"]
+
+
+class TestPaperFaithfulness:
+    """Qualitative claims of the paper, robust to golden updates."""
+
+    def test_threshold_separates_populations(self, experiment):
+        est = experiment.calibration.estimates
+        assert est.wrong.mu < experiment.threshold < est.right.mu
+
+    def test_gating_improves_accuracy(self, experiment):
+        outcome = experiment.evaluation_outcome
+        assert outcome.accuracy_after > outcome.accuracy_before
+        # Paper reports a 33% relative improvement on its 24 points;
+        # our simulated material must at least land in that regime.
+        assert outcome.improvement / outcome.accuracy_before > 0.10
+
+    def test_selection_probabilities_useful(self, experiment):
+        probs = experiment.calibration.probabilities
+        assert probs.right_given_above > 0.75
+        assert probs.wrong_given_below > 0.75

@@ -1,0 +1,60 @@
+"""Smoke tests: every example runs, every benchmark module imports.
+
+The examples are the user-facing documentation; a refactor that breaks
+one is a regression even when the library tests stay green.  Each runs
+as a real subprocess (fresh interpreter, ``PYTHONPATH=src``) exactly as
+the README tells users to run them.  The benchmark modules are imported
+the same way ``pytest benchmarks/`` would collect them, catching
+top-level breakage (renamed imports, moved helpers) without paying for
+a full benchmark run.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+BENCHMARKS = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+
+
+def _example_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10
+    assert len(BENCHMARKS) >= 20
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)], env=_example_env(),
+        cwd=str(REPO_ROOT), capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        f"{example.name} failed\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+    assert result.stdout.strip(), f"{example.name} printed nothing"
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda p: p.stem)
+def test_benchmark_module_imports(bench):
+    name = f"_smoke_{bench.stem}"
+    spec = importlib.util.spec_from_file_location(name, bench)
+    module = importlib.util.module_from_spec(spec)
+    try:
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    # Every bench module defines at least one pytest-collectable test.
+    assert any(attr.startswith(("test_", "Test"))
+               for attr in dir(module)), bench.name

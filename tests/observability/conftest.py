@@ -1,0 +1,16 @@
+"""Fixtures for the observability suite."""
+
+import pytest
+
+from repro import observability as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_observability_state():
+    """Every test starts and ends with instrumentation off and empty."""
+    prior = (obs.STATE.enabled, obs.STATE.registry, obs.STATE.tracer)
+    obs.disable()
+    obs.STATE.registry = obs.MetricsRegistry()
+    obs.STATE.tracer = obs.Tracer()
+    yield
+    obs.STATE.enabled, obs.STATE.registry, obs.STATE.tracer = prior

@@ -1,0 +1,77 @@
+"""Instrumentation-equivalence: observing the pipeline never changes it.
+
+The observability hooks only *read* pipeline values, so every numeric
+output — thresholds, qualities, aggregated metrics — must be
+bit-identical with instrumentation enabled or disabled, on every
+execution backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.core import ConstructionConfig
+from repro.evaluation import MultiSeedRunner
+from repro.experiment import run_awarepen_experiment
+
+FAST = ConstructionConfig(epochs=3)
+
+
+def _fingerprint(result):
+    return {
+        "threshold": result.threshold,
+        "n_rules": result.construction.n_rules,
+        "qualities": result.evaluation_qualities.tobytes(),
+        "correct": result.evaluation_correct.tobytes(),
+        "accuracy_after": result.evaluation_outcome.accuracy_after,
+        "p_right_above":
+            result.calibration.probabilities.right_given_above,
+    }
+
+
+class TestExperimentEquivalence:
+    def test_enabled_is_bit_identical(self):
+        plain = _fingerprint(run_awarepen_experiment(seed=11, config=FAST))
+        with obs.observed():
+            traced = _fingerprint(
+                run_awarepen_experiment(seed=11, config=FAST))
+        assert traced == plain
+
+    def test_enabled_actually_recorded(self):
+        with obs.observed() as (registry, tracer):
+            run_awarepen_experiment(seed=11, config=FAST)
+            snap = registry.snapshot()
+            roots = tracer.roots
+        assert snap["counters"]["cqm.measures_total"] > 0
+        assert snap["counters"]["anfis.epochs_total"] == 3
+        assert snap["gauges"]["threshold.s"] > 0
+        assert roots[0].name == "experiment.run"
+        assert roots[0].find("anfis.train")
+
+    def test_disabled_after_enabled_is_bit_identical(self):
+        # Enabling once must not leave state behind that changes later
+        # unobserved runs.
+        with obs.observed():
+            run_awarepen_experiment(seed=11, config=FAST)
+        after = _fingerprint(run_awarepen_experiment(seed=11, config=FAST))
+        plain = _fingerprint(run_awarepen_experiment(seed=11, config=FAST))
+        assert after == plain
+
+
+class TestMultiSeedEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_backend_equivalence_under_tracing(self, backend):
+        runner = MultiSeedRunner(seeds=(7, 11), config=FAST,
+                                 parallel=backend, max_workers=2)
+        plain = runner.run()
+        with obs.observed() as (registry, _):
+            traced = runner.run()
+            snap = registry.snapshot()
+        assert traced.per_seed == plain.per_seed
+        for name in plain.summaries:
+            assert np.array_equal(traced.summaries[name].values,
+                                  plain.summaries[name].values)
+        # The traced run still recorded per-seed pipeline metrics, even
+        # across the process boundary.
+        assert snap["counters"]["threshold.fits_total"] == 2
+        assert snap["counters"]["parallel.tasks_total"] == 2

@@ -1,0 +1,139 @@
+"""Tests for repro.observability.export — tables, JSONL, trace documents."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.export import (parse_json_lines, read_trace_json,
+                                        render_span_tree, render_table,
+                                        to_bench_records, to_bench_snapshot,
+                                        to_json_lines, trace_document,
+                                        write_trace_json)
+from repro.observability.metrics import UNIT_EDGES, MetricsRegistry
+from repro.observability.spans import Span, Tracer
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("pipeline.runs_total", 3)
+    reg.set_gauge("threshold.s", 0.81)
+    reg.gauge("unset.gauge")
+    reg.observe_many("cqm.q", [0.1, 0.5, 0.9], edges=UNIT_EDGES)
+    reg.observe_many("stage.wall_s", [0.01, 0.02])
+    return reg
+
+
+@pytest.fixture
+def spans():
+    tracer = Tracer()
+    with tracer.span("experiment.run", seed=7):
+        with tracer.span("stage.a"):
+            pass
+        with tracer.span("stage.b"):
+            pass
+    return tracer.roots
+
+
+class TestJsonLines:
+    def test_round_trip(self, registry, spans):
+        text = to_json_lines(registry.snapshot(), spans)
+        snapshot_back, spans_back = parse_json_lines(text)
+        assert snapshot_back == registry.snapshot()
+        assert len(spans_back) == 1
+        assert spans_back[0].as_dict() == spans[0].as_dict()
+
+    def test_one_valid_json_object_per_line(self, registry):
+        text = to_json_lines(registry.snapshot())
+        lines = text.strip().splitlines()
+        assert len(lines) == 5  # 1 counter + 2 gauges + 2 histograms
+        for line in lines:
+            obj = json.loads(line)
+            assert obj["type"] in ("counter", "gauge", "histogram")
+
+    def test_empty_snapshot(self):
+        assert to_json_lines(MetricsRegistry().snapshot()) == ""
+        snapshot, spans = parse_json_lines("")
+        assert snapshot["counters"] == {} and spans == []
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown JSONL"):
+            parse_json_lines('{"type": "mystery"}')
+
+
+class TestTable:
+    def test_renders_all_sections(self, registry):
+        text = render_table(registry.snapshot())
+        assert "counters:" in text and "gauges:" in text
+        assert "histograms:" in text and "p95" in text
+        assert "pipeline.runs_total" in text
+        assert "-" in text  # the unset gauge renders as a dash
+
+    def test_empty(self):
+        assert render_table(MetricsRegistry().snapshot()) \
+            == "(no metrics recorded)"
+
+
+class TestSpanTree:
+    def test_indentation_and_attrs(self, spans):
+        text = render_span_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("experiment.run")
+        assert "[seed=7]" in lines[0]
+        assert lines[1].startswith("  stage.a")
+
+    def test_min_wall_filter(self, spans):
+        assert render_span_tree(spans, min_wall_s=1e6) \
+            == "(no spans recorded)"
+
+
+class TestBenchExport:
+    def test_records_and_units(self, registry):
+        records = to_bench_records(registry.snapshot())
+        by_name = {r["name"]: r for r in records}
+        assert by_name["pipeline.runs_total"]["unit"] == "count"
+        assert by_name["stage.wall_s.p95"]["unit"] == "s"
+        assert by_name["cqm.q.mean"]["unit"] == "value"
+        assert "unset.gauge" not in by_name  # None gauges are dropped
+        # Histograms expand to count + 4 stats.
+        assert {"cqm.q.count", "cqm.q.mean", "cqm.q.p50", "cqm.q.p95",
+                "cqm.q.p99"} <= set(by_name)
+
+    def test_snapshot_layout(self, registry):
+        doc = to_bench_snapshot(registry.snapshot())
+        assert doc["schema"] == 1
+        assert "python" in doc["environment"]
+        assert isinstance(doc["records"], list)
+        json.dumps(doc)  # the whole document is JSON-serializable
+
+
+class TestTraceDocument:
+    def test_write_read_round_trip(self, registry, spans, tmp_path):
+        path = write_trace_json(tmp_path / "trace.json", spans,
+                                registry.snapshot(), command=["experiment"])
+        spans_back, snapshot_back = read_trace_json(path)
+        assert snapshot_back == registry.snapshot()
+        assert [s.as_dict() for s in spans_back] \
+            == [s.as_dict() for s in spans]
+        doc = json.loads(path.read_text())
+        assert doc["command"] == ["experiment"]
+
+    def test_write_is_byte_stable(self, registry, spans, tmp_path):
+        first = write_trace_json(tmp_path / "a.json", spans,
+                                 registry.snapshot())
+        spans_back, snapshot_back = read_trace_json(first)
+        second = write_trace_json(tmp_path / "b.json", spans_back,
+                                  snapshot_back)
+        assert first.read_text() == second.read_text()
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            read_trace_json(path)
+
+    def test_document_shape(self, registry, spans):
+        doc = trace_document(spans, registry.snapshot())
+        assert set(doc) == {"schema", "spans", "metrics"}
+        assert doc["spans"][0]["name"] == "experiment.run"

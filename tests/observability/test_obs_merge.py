@@ -1,0 +1,93 @@
+"""Thread/process merge semantics of observed parallel execution.
+
+The process backend ships each worker's registry snapshot and span roots
+back with its result; the parent merges them in task-index order, so the
+combined registry and trace must be identical across backends and across
+repeated runs — regardless of worker scheduling.
+"""
+
+import pytest
+
+from repro import observability as obs
+from repro.parallel import ParallelExecutor
+
+
+def _observed_square(x):
+    """Module-level so the process backend can pickle it."""
+    obs.inc("work.calls_total")
+    obs.observe("work.x", float(x), edges=obs.UNIT_EDGES)
+    with obs.trace("work.unit"):
+        pass
+    return x * x
+
+
+# Exact binary fractions: float addition over them is exact, so the
+# histogram totals are order-independent even under thread scheduling.
+ITEMS = [0.125, 0.25, 0.375, 0.5, 0.625]
+EXPECTED = [x * x for x in ITEMS]
+
+
+class TestBackendMerge:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_and_metrics_identical(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=3)
+        with obs.observed() as (registry, tracer):
+            results = executor.map(_observed_square, ITEMS)
+            snap = registry.snapshot()
+            n_roots = len(tracer.roots)
+        assert results == EXPECTED
+        assert snap["counters"]["work.calls_total"] == len(ITEMS)
+        assert snap["counters"]["parallel.tasks_total"] == len(ITEMS)
+        assert snap["histograms"]["work.x"]["count"] == len(ITEMS)
+        assert snap["histograms"]["parallel.task_wall_s"]["count"] \
+            == len(ITEMS)
+        assert n_roots == len(ITEMS)
+
+    def test_backends_agree_on_deterministic_metrics(self):
+        snaps = {}
+        for backend in ("serial", "thread", "process"):
+            executor = ParallelExecutor(backend=backend, max_workers=3)
+            with obs.observed() as (registry, _):
+                executor.map(_observed_square, ITEMS)
+                snaps[backend] = registry.snapshot()
+        # Timing histograms differ run to run; the *logical* metrics
+        # (what the work recorded) must be identical across backends.
+        logical = {
+            backend: (snap["counters"]["work.calls_total"],
+                      snap["histograms"]["work.x"])
+            for backend, snap in snaps.items()}
+        assert logical["serial"] == logical["thread"] == logical["process"]
+
+    def test_process_merge_is_repeatable(self):
+        executor = ParallelExecutor(backend="process", max_workers=3)
+        seen = []
+        for _ in range(2):
+            with obs.observed() as (registry, tracer):
+                executor.map(_observed_square, ITEMS)
+                snap = registry.snapshot()
+                roots = tracer.roots
+            seen.append((snap["counters"], snap["histograms"]["work.x"],
+                         [r.attrs.get("task_index") for r in roots]))
+        assert seen[0] == seen[1]
+
+    def test_process_spans_adopted_in_task_index_order(self):
+        executor = ParallelExecutor(backend="process", max_workers=3)
+        with obs.observed() as (_, tracer):
+            executor.map(_observed_square, ITEMS)
+            roots = tracer.roots
+        assert [r.attrs["task_index"] for r in roots] \
+            == list(range(len(ITEMS)))
+        assert all(r.name == "work.unit" for r in roots)
+
+    def test_pool_gauge_recorded(self):
+        executor = ParallelExecutor(backend="thread", max_workers=2)
+        with obs.observed() as (registry, _):
+            executor.map(_observed_square, ITEMS)
+            snap = registry.snapshot()
+        assert snap["gauges"]["parallel.pool_size"] == 2
+
+    def test_unobserved_parallel_records_nothing(self):
+        executor = ParallelExecutor(backend="thread", max_workers=2)
+        results = executor.map(_observed_square, ITEMS)
+        assert results == EXPECTED
+        assert len(obs.get_registry()) == 0

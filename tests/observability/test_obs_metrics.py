@@ -1,0 +1,209 @@
+"""Tests for repro.observability.metrics — counters, gauges, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.metrics import (TIME_EDGES, UNIT_EDGES, Counter,
+                                         Gauge, Histogram, MetricsRegistry,
+                                         linear_edges, log_edges,
+                                         merge_snapshots)
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        assert g.as_snapshot() is None
+        g.set(3)
+        g.set(7.5)
+        assert g.as_snapshot() == 7.5
+
+
+class TestEdges:
+    def test_log_edges_cover_range(self):
+        edges = log_edges(1e-6, 1e2, per_decade=8)
+        assert edges[0] == pytest.approx(1e-6)
+        assert edges[-1] == pytest.approx(1e2)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_linear_edges(self):
+        edges = linear_edges(0.0, 1.0, n_bins=4)
+        assert edges == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_edges(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            linear_edges(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            Histogram(edges=[1.0])
+        with pytest.raises(ConfigurationError):
+            Histogram(edges=[1.0, 1.0, 2.0])
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([0.1, 0.2, 0.3, 0.4])
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(0.25)
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(0.4)
+
+    def test_under_overflow_tallied(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([-1.0, 0.5, 2.0])
+        assert hist.n_underflow == 1
+        assert hist.n_overflow == 1
+        assert hist.count == 3
+        assert hist.min == -1.0 and hist.max == 2.0
+
+    def test_nan_inf_skipped(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([0.5, float("nan"), float("inf")])
+        assert hist.count == 1
+
+    def test_empty_quantile_nan(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        assert np.isnan(hist.quantile(0.5))
+        assert np.isnan(hist.mean)
+
+    def test_quantile_validation(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_quantiles_on_known_data(self):
+        hist = Histogram(edges=linear_edges(0.0, 1.0, n_bins=100))
+        samples = np.arange(1, 101) / 100.0  # 0.01 .. 1.00
+        hist.observe_many(samples)
+        # inverted-CDF order statistic: p50 -> 50th sample = 0.50;
+        # the estimate is within one bin width (0.01) of it.
+        assert hist.p50 == pytest.approx(0.50, abs=0.0101)
+        assert hist.p95 == pytest.approx(0.95, abs=0.0101)
+        assert hist.p99 == pytest.approx(0.99, abs=0.0101)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([0.301, 0.302])
+        for q in (0.0, 0.5, 1.0):
+            assert 0.301 <= hist.quantile(q) <= 0.302
+
+    def test_quantile_with_underflow(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([-5.0, -4.0, 0.5])
+        assert hist.quantile(0.01) == -5.0  # rank 1 is an underflow
+        assert hist.quantile(1.0) == 0.5
+
+    def test_snapshot_round_trip(self):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many([0.1, 0.5, 0.9, 1.5])
+        back = Histogram.from_snapshot(hist.as_snapshot())
+        assert back.as_snapshot() == hist.as_snapshot()
+        assert back.p50 == hist.p50
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError, match="already exists"):
+            reg.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("")
+
+    def test_convenience_writers(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.5, edges=UNIT_EDGES)
+        reg.observe_many("h", [0.1, 0.9], edges=UNIT_EDGES)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 3
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.mid"):
+            reg.inc(name)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert snap["schema"] == 1
+
+    def test_snapshot_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set_gauge("g", 2.0)
+        reg.gauge("g.unset")
+        reg.observe_many("h", [0.2, 0.4], edges=UNIT_EDGES)
+        back = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert back.snapshot() == reg.snapshot()
+
+
+class TestMergeSemantics:
+    def _snap(self, counter=0, gauge=None, values=()):
+        reg = MetricsRegistry()
+        if counter:
+            reg.inc("c", counter)
+        if gauge is not None:
+            reg.set_gauge("g", gauge)
+        if values:
+            reg.observe_many("h", values, edges=UNIT_EDGES)
+        return reg.snapshot()
+
+    def test_counters_add(self):
+        merged = merge_snapshots([self._snap(counter=2),
+                                  self._snap(counter=3)])
+        assert merged["counters"]["c"] == 5
+
+    def test_gauges_last_write_wins_in_order(self):
+        merged = merge_snapshots([self._snap(gauge=1.0),
+                                  self._snap(gauge=9.0)])
+        assert merged["gauges"]["g"] == 9.0
+        merged = merge_snapshots([self._snap(gauge=9.0),
+                                  self._snap(gauge=1.0)])
+        assert merged["gauges"]["g"] == 1.0
+
+    def test_none_gauge_does_not_clobber(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")  # registered, never set
+        merged = merge_snapshots([self._snap(gauge=4.0), reg.snapshot()])
+        assert merged["gauges"]["g"] == 4.0
+
+    def test_histograms_add(self):
+        merged = merge_snapshots([self._snap(values=[0.1, 0.2]),
+                                  self._snap(values=[0.3])])
+        h = merged["histograms"]["h"]
+        assert h["count"] == 3
+        assert h["min"] == pytest.approx(0.1)
+        assert h["max"] == pytest.approx(0.3)
+
+    def test_mismatched_edges_rejected(self):
+        a = MetricsRegistry()
+        a.observe("h", 0.5, edges=UNIT_EDGES)
+        b = MetricsRegistry()
+        b.observe("h", 0.5, edges=TIME_EDGES)
+        with pytest.raises(ConfigurationError, match="edges differ"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_into_empty_is_identity(self):
+        snap = self._snap(counter=4, gauge=2.0, values=[0.5])
+        assert merge_snapshots([snap]) == snap

@@ -1,0 +1,123 @@
+"""Property tests for the observability layer (hypothesis).
+
+Pins the documented guarantees:
+
+* snapshot merging is deterministic — counters and histograms are
+  shuffle-invariant, snapshot keys always come out sorted;
+* in a span tree, the children's wall time never exceeds the parent's
+  (so exclusive time is non-negative up to clock granularity);
+* histogram quantiles are within one bin width of the exact
+  inverted-CDF order statistic computed by numpy.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.observability.metrics import (UNIT_EDGES, Histogram,
+                                         MetricsRegistry, merge_snapshots)
+from repro.observability.spans import Tracer
+
+# Counter increments are small ints, histogram samples are exact binary
+# fractions so float summation commutes exactly across merge orders.
+_names = st.sampled_from(["a.total", "b.total", "c.total"])
+_exact_values = st.integers(min_value=0, max_value=64).map(
+    lambda k: k / 64.0)
+
+
+def _snapshot(counters, samples):
+    reg = MetricsRegistry()
+    for name, n in counters:
+        reg.inc(name, n)
+    if samples:
+        reg.observe_many("h", samples, edges=UNIT_EDGES)
+    return reg.snapshot()
+
+
+class TestMergeDeterminism:
+    @given(
+        snaps=st.lists(
+            st.tuples(
+                st.lists(st.tuples(_names,
+                                   st.integers(min_value=0, max_value=10)),
+                         max_size=4),
+                st.lists(_exact_values, max_size=6)),
+            min_size=1, max_size=5),
+        shuffle_seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_histograms_shuffle_invariant(self, snaps,
+                                                   shuffle_seed):
+        documents = [_snapshot(counters, samples)
+                     for counters, samples in snaps]
+        merged = merge_snapshots(documents)
+        shuffled = list(documents)
+        np.random.default_rng(shuffle_seed).shuffle(shuffled)
+        remerged = merge_snapshots(shuffled)
+        assert remerged["counters"] == merged["counters"]
+        assert remerged["histograms"] == merged["histograms"]
+
+    @given(
+        snaps=st.lists(
+            st.tuples(
+                st.lists(st.tuples(_names,
+                                   st.integers(min_value=0, max_value=10)),
+                         max_size=4),
+                st.lists(_exact_values, max_size=6)),
+            min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_merged_snapshot_keys_sorted(self, snaps):
+        merged = merge_snapshots([_snapshot(c, s) for c, s in snaps])
+        for section in ("counters", "gauges", "histograms"):
+            assert list(merged[section]) == sorted(merged[section])
+
+
+class TestSpanTreeProperty:
+    @given(shape=st.recursive(
+        st.just([]),
+        lambda children: st.lists(children, min_size=1, max_size=3),
+        max_leaves=10))
+    @settings(max_examples=50, deadline=None)
+    def test_children_wall_within_parent(self, shape):
+        tracer = Tracer()
+
+        def run(branches):
+            with tracer.span("node"):
+                for sub in branches:
+                    run(sub)
+
+        run(shape)
+        (root,) = tracer.roots
+
+        for span in root.walk():
+            child_sum = sum(c.wall_s for c in span.children)
+            # Children are timed strictly inside the parent, so their
+            # inclusive wall time sums to at most the parent's (a hair
+            # of slack for float rounding of the clock arithmetic).
+            assert child_sum <= span.wall_s + 1e-9
+            assert span.exclusive_wall_s >= -1e-9
+
+
+class TestQuantileErrorBound:
+    @given(samples=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                            min_size=1, max_size=200),
+           q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_within_one_bin_width_of_numpy(self, samples, q):
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many(samples)
+        estimate = hist.quantile(q)
+        exact = float(np.percentile(samples, q * 100.0,
+                                    method="inverted_cdf"))
+        bin_width = UNIT_EDGES[1] - UNIT_EDGES[0]
+        assert abs(estimate - exact) <= bin_width + 1e-12
+
+    @given(samples=st.lists(st.floats(min_value=-5.0, max_value=5.0),
+                            min_size=1, max_size=100),
+           q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_always_in_observed_range(self, samples, q):
+        # Even with under/overflow samples the estimate stays inside
+        # [min, max] of what was observed.
+        hist = Histogram(edges=UNIT_EDGES)
+        hist.observe_many(samples)
+        estimate = hist.quantile(q)
+        assert min(samples) <= estimate <= max(samples)

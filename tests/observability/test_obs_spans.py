@@ -1,0 +1,126 @@
+"""Tests for repro.observability.spans — nesting, timing, serialization."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.observability.spans import Span, Tracer
+
+
+class TestSpanBasics:
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            Span("")
+
+    def test_walk_and_find(self):
+        root = Span("root")
+        child = Span("stage")
+        grandchild = Span("stage")
+        child.children.append(grandchild)
+        root.children.append(child)
+        assert [s.name for s in root.walk()] == ["root", "stage", "stage"]
+        assert len(root.find("stage")) == 2
+        assert root.n_descendants == 2
+
+    def test_exclusive_wall(self):
+        root = Span("root")
+        root.wall_s = 1.0
+        for wall in (0.25, 0.5):
+            child = Span("c")
+            child.wall_s = wall
+            root.children.append(child)
+        assert root.exclusive_wall_s == pytest.approx(0.25)
+
+    def test_dict_round_trip(self):
+        root = Span("root", attrs={"seed": 7})
+        root.wall_s, root.cpu_s, root.start_s = 0.5, 0.4, 100.0
+        child = Span("child")
+        root.children.append(child)
+        back = Span.from_dict(root.as_dict())
+        assert back.as_dict() == root.as_dict()
+        assert back.children[0].name == "child"
+        assert back.attrs == {"seed": 7}
+
+
+class TestTracerNesting:
+    def test_lexical_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert root.children[0].children[0].name == "leaf"
+
+    def test_timing_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        (root,) = tracer.roots
+        assert root.wall_s >= root.children[0].wall_s >= 0.0
+        assert root.cpu_s >= 0.0
+
+    def test_current(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("a") as span:
+            assert tracer.current() is span
+        assert tracer.current() is None
+
+    def test_attrs_and_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("risky", seed=3):
+                raise ValueError("boom")
+        (root,) = tracer.roots
+        assert root.attrs["seed"] == 3
+        assert root.attrs["error"] == "ValueError"
+
+    def test_threads_get_separate_roots(self):
+        tracer = Tracer()
+
+        def work(tag):
+            with tracer.span(f"thread.{tag}"):
+                with tracer.span("leaf"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        with tracer.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        roots = tracer.roots
+        # Worker spans never nest under the main thread's span.
+        names = sorted(r.name for r in roots)
+        assert names == sorted(["main"] + [f"thread.{i}" for i in range(4)])
+        main_root = next(r for r in roots if r.name == "main")
+        assert main_root.children == []
+
+    def test_adopt_under_active_span(self):
+        tracer = Tracer()
+        grafted = Span("worker.root")
+        with tracer.span("parent"):
+            tracer.adopt(grafted)
+        (root,) = tracer.roots
+        assert root.children == [grafted]
+
+    def test_adopt_as_root(self):
+        tracer = Tracer()
+        grafted = Span("worker.root")
+        tracer.adopt(grafted)
+        assert tracer.roots == [grafted]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []

@@ -1,0 +1,132 @@
+"""Tests for the observability switch, trace API and disabled overhead."""
+
+import time
+
+import pytest
+
+from repro import observability as obs
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_enable_disable(self):
+        registry, tracer = obs.enable()
+        assert obs.is_enabled()
+        assert obs.get_registry() is registry
+        assert obs.get_tracer() is tracer
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_enable_fresh_replaces(self):
+        obs.enable()
+        obs.inc("stale")
+        registry, _ = obs.enable(fresh=True)
+        assert len(registry) == 0
+
+    def test_observed_restores_prior_state(self):
+        prior_registry = obs.get_registry()
+        with obs.observed() as (registry, tracer):
+            assert obs.is_enabled()
+            assert registry is not prior_registry
+        assert not obs.is_enabled()
+        assert obs.get_registry() is prior_registry
+
+    def test_observed_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_observed_nested(self):
+        with obs.observed() as (outer_reg, _):
+            obs.inc("outer")
+            with obs.observed() as (inner_reg, _):
+                obs.inc("inner")
+                assert "outer" not in inner_reg.snapshot()["counters"]
+            assert obs.get_registry() is outer_reg
+            obs.inc("outer")
+        assert outer_reg.snapshot()["counters"]["outer"] == 2
+
+
+class TestTraceApi:
+    def test_context_manager_yields_span_when_enabled(self):
+        with obs.observed() as (_, tracer):
+            with obs.trace("stage", seed=7) as span:
+                assert span is not None
+                assert span.attrs["seed"] == 7
+            assert tracer.roots[0].name == "stage"
+
+    def test_context_manager_yields_none_when_disabled(self):
+        with obs.trace("stage") as span:
+            assert span is None
+        assert obs.get_tracer().roots == []
+
+    def test_decorator_checks_per_call(self):
+        @obs.traced("compute")
+        def compute(x):
+            return x * 2
+
+        assert compute(3) == 6  # disabled: no span
+        assert obs.get_tracer().roots == []
+        with obs.observed() as (_, tracer):
+            assert compute(4) == 8
+            assert tracer.roots[0].name == "compute"
+
+    def test_current_span(self):
+        assert obs.current_span() is None
+        with obs.observed():
+            assert obs.current_span() is None
+            with obs.trace("stage") as span:
+                assert obs.current_span() is span
+
+    def test_gated_writers_noop_when_disabled(self):
+        obs.inc("c")
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        obs.observe_many("h", [0.1, 0.2])
+        assert len(obs.get_registry()) == 0
+
+    def test_gated_writers_record_when_enabled(self):
+        with obs.observed() as (registry, _):
+            obs.inc("c", 2)
+            obs.set_gauge("g", 1.0)
+            obs.observe("h", 0.5, edges=obs.UNIT_EDGES)
+            obs.observe_many("h", [0.1, 0.2], edges=obs.UNIT_EDGES)
+            snap = registry.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["histograms"]["h"]["count"] == 3
+
+
+class TestDisabledOverhead:
+    """Disabled instrumentation must be structurally and practically free."""
+
+    def test_structurally_no_op(self):
+        # Nothing is allocated in the registry/tracer while disabled.
+        for _ in range(100):
+            with obs.trace("stage"):
+                obs.inc("c")
+                obs.observe("h", 0.5)
+        assert len(obs.get_registry()) == 0
+        assert obs.get_tracer().roots == []
+
+    def test_per_call_cost_is_tiny(self):
+        # A generous absolute bound keeps this robust on loaded CI
+        # machines: a disabled hook is one attribute check, so even
+        # microseconds of slack is two orders of magnitude of headroom.
+        n = 10_000
+        start = time.perf_counter()
+        for _ in range(n):
+            obs.inc("c")
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 50e-6
+
+    def test_disabled_trace_context_cost_is_tiny(self):
+        n = 10_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with obs.trace("stage"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 50e-6

@@ -150,3 +150,45 @@ class TestFaultsSweepCommand:
         with pytest.raises(ConfigurationError):
             main(["faults-sweep", "--faults", "gremlins",
                   "--blocks", "1", "--intensities", "1.0"])
+
+
+class TestTraceCommand:
+    def test_traced_experiment(self, capsys):
+        from repro import observability as obs
+
+        assert main(["trace", "experiment", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        # The inner command's own output is preserved...
+        assert "threshold s" in out
+        # ...followed by the span tree and the metrics table.
+        assert "experiment.run" in out
+        assert "counters:" in out
+        assert "cqm.measures_total" in out
+        assert "p95" in out
+        # Tracing is scoped: the global switch is off again afterwards.
+        assert not obs.is_enabled()
+
+    def test_metrics_out_round_trips(self, capsys, tmp_path):
+        from repro.observability.export import read_trace_json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "multiseed", "--seeds", "3",
+                     "--metrics-out", str(path)]) == 0
+        assert "trace document written" in capsys.readouterr().out
+        spans, snapshot = read_trace_json(path)
+        assert spans[0].find("experiment.run")
+        assert snapshot["counters"]["threshold.fits_total"] == 1
+
+    def test_metrics_out_position_is_free(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--metrics-out", str(path),
+                     "experiment", "--seed", "7"]) == 0
+        assert path.exists()
+
+    def test_needs_inner_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_no_nesting(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "trace", "experiment"])
