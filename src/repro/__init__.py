@@ -29,15 +29,18 @@ Subpackages
     The AwareOffice simulation: event bus, AwarePen, whiteboard camera.
 ``repro.observability``
     Metrics registry, span tracing and exporters watching the pipeline.
+``repro.serving``
+    Micro-batching, quality-gated asyncio inference service with a
+    versioned model registry, ε load-shedding and hot-swap.
 ``repro.experiment``
     One-call end-to-end pipeline used by examples and benchmarks.
 """
 
 from . import (anfis, appliances, classifiers, clustering, core, datasets,
-               fuzzy, observability, parallel, sensors, stats)
+               fuzzy, observability, parallel, sensors, serving, stats)
 from .exceptions import (CalibrationError, ConfigurationError, DimensionError,
                          EmptyDatasetError, NotFittedError, ReproError,
-                         TrainingError)
+                         ServiceClosedError, TrainingError)
 from .experiment import (ExperimentResult, run_awarepen_experiment,
                          train_default_classifier)
 from .types import (Classification, ContextClass, LabeledWindow,
@@ -48,10 +51,12 @@ __version__ = "1.0.0"
 __all__ = [
     "fuzzy", "clustering", "anfis", "stats", "sensors", "classifiers",
     "datasets", "core", "appliances", "parallel", "observability",
+    "serving",
     "ContextClass", "Classification", "QualifiedClassification",
     "LabeledWindow",
     "ReproError", "ConfigurationError", "NotFittedError", "DimensionError",
     "TrainingError", "CalibrationError", "EmptyDatasetError",
+    "ServiceClosedError",
     "run_awarepen_experiment", "ExperimentResult",
     "train_default_classifier",
     "__version__",

@@ -70,12 +70,19 @@ class EventBus:
     def publish(self, event: ContextEvent) -> int:
         """Deliver *event* to all matching subscribers.
 
-        Returns the number of successful deliveries.
+        Returns the number of successful deliveries.  Delivery iterates
+        a snapshot, so handlers may subscribe or unsubscribe mid-event:
+        new subscriptions only see the *next* event, and a subscription
+        removed by an earlier handler is skipped instead of called on
+        its way out.
         """
         self._published += 1
         delivered = 0
-        for pattern, name, handler in list(self._subscribers):
+        for entry in list(self._subscribers):
+            pattern, name, handler = entry
             if not self._matches(pattern, event.topic):
+                continue
+            if entry not in self._subscribers:
                 continue
             try:
                 handler(event)

@@ -12,6 +12,13 @@ Usage::
     python -m repro faults-sweep [--seed N] [--faults NAME ...]
                                [--intensities F F ...] [--policy POLICY]
                                [--parallel BACKEND] [--workers N]
+    python -m repro serve      [--package PACKAGE.json] [--seed N]
+                               [--listen HOST:PORT] [--max-batch N]
+                               [--deadline-ms F] [--queue-capacity N]
+                               [--policy POLICY] [--max-requests N]
+    python -m repro loadgen    [--connect HOST:PORT] [--n-requests N]
+                               [--rate HZ] [--report BENCH.json]
+                               [--expect-complete]
     python -m repro trace      [--metrics-out TRACE.json] COMMAND [ARGS...]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
@@ -23,8 +30,14 @@ the runs out over the ``thread``/``process`` execution backends
 (``--parallel``, or the ``REPRO_PARALLEL`` environment variable);
 ``faults-sweep`` runs the AwarePen pipeline across a sensor-fault
 intensity grid and reports the with/without-CQM degradation curves under
-a chosen ε-policy; ``trace`` runs any other command with observability
-enabled and prints the span tree and metrics table afterwards
+a chosen ε-policy; ``serve`` runs the micro-batching inference service
+over a trained quality package, reading JSONL requests from stdin (the
+default) or a TCP socket (``--listen``); ``loadgen`` drives a seeded
+open-loop workload against an in-process service (default) or a running
+``serve --listen`` endpoint (``--connect``) and prints throughput,
+latency percentiles and the shed rate; ``trace`` runs any other command
+with observability enabled and prints the span tree and metrics table
+afterwards
 (``--metrics-out`` additionally writes the round-trippable trace JSON,
 e.g. ``repro trace multiseed --seeds 3 --metrics-out out.json``).
 """
@@ -119,7 +132,54 @@ def _build_parser() -> argparse.ArgumentParser:
                             f"(default: ${ENV_VAR} or serial)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="pool size for thread/process backends")
+
+    serve = sub.add_parser(
+        "serve", help="run the micro-batching inference service")
+    serve.add_argument("--package", metavar="PACKAGE.json", default=None,
+                       help="serve this saved quality package "
+                            "(default: train one from --seed)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="seed for the classifier (and, without "
+                            "--package, the quality package) training")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve JSONL over TCP instead of stdin/stdout")
+    _add_serving_knobs(serve)
+    serve.add_argument("--max-requests", type=int, default=None,
+                       metavar="N",
+                       help="socket mode: drain and exit after N requests")
+
+    gen = sub.add_parser(
+        "loadgen", help="seeded open-loop load generator for the service")
+    gen.add_argument("--seed", type=int, default=7,
+                     help="seed for both the workload and the model")
+    gen.add_argument("--n-requests", type=int, default=200)
+    gen.add_argument("--rate", type=float, default=2000.0, metavar="HZ",
+                     help="open-loop Poisson arrival rate")
+    gen.add_argument("--connect", metavar="HOST:PORT", default=None,
+                     help="drive a running 'serve --listen' endpoint "
+                          "(default: an in-process service)")
+    gen.add_argument("--report", metavar="REPORT.json", default=None,
+                     help="append this run to a JSON report document")
+    gen.add_argument("--expect-complete", action="store_true",
+                     help="exit nonzero if any admitted request went "
+                          "unanswered (the drain guarantee)")
+    _add_serving_knobs(gen)
     return parser
+
+
+def _add_serving_knobs(parser: argparse.ArgumentParser) -> None:
+    """Service-shape flags shared by ``serve`` and in-process ``loadgen``."""
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batch flush size")
+    parser.add_argument("--deadline-ms", type=float, default=2.0,
+                        help="micro-batch flush deadline (milliseconds)")
+    parser.add_argument("--queue-capacity", type=int, default=256,
+                        help="admission bound; beyond it requests are shed")
+    parser.add_argument("--policy", default="reject",
+                        choices=[p.value for p in DegradationPolicy],
+                        help="epsilon-degradation policy for the gate")
+    parser.add_argument("--serve-workers", type=int, default=1,
+                        metavar="N", help="concurrent batch workers")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -270,6 +330,100 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_config(args: argparse.Namespace) -> "object":
+    from .serving import ServingConfig
+    return ServingConfig(queue_capacity=args.queue_capacity,
+                         max_batch=args.max_batch,
+                         deadline_s=args.deadline_ms / 1e3,
+                         policy=DegradationPolicy(args.policy),
+                         n_workers=args.serve_workers)
+
+
+def _build_registry(args: argparse.Namespace) -> "object":
+    """Assemble the versioned registry behind ``serve``/``loadgen``.
+
+    With ``--package`` the saved quality package is served as-is and
+    only the classifier is (re)trained from the seed; otherwise the
+    whole pipeline runs once and v1 is the freshly calibrated package.
+    """
+    from .datasets.generator import make_awarepen_material
+    from .experiment import train_default_classifier
+    from .serving import ModelRegistry
+
+    registry = ModelRegistry()
+    package_path = getattr(args, "package", None)
+    if package_path:
+        package = QualityPackage.load(package_path)
+        material = make_awarepen_material(seed=args.seed)
+        classifier = train_default_classifier(material)
+        tag = f"loaded:{package_path}"
+    else:
+        result = run_awarepen_experiment(seed=args.seed)
+        package = QualityPackage.from_calibration(
+            result.augmented.quality, result.calibration)
+        material = result.material
+        classifier = result.classifier
+        tag = f"trained:seed={args.seed}"
+    registry.publish_and_activate(package, classifier=classifier, tag=tag)
+    return registry, material
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import serve_socket, serve_stdio
+
+    registry, _ = _build_registry(args)
+    config = _serving_config(args)
+    if args.listen is None:
+        n = serve_stdio(registry, sys.stdin, sys.stdout, config=config)
+        print(f"served {n} requests", file=sys.stderr)
+        return 0
+    host, _, port = args.listen.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--listen expects HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    asyncio.run(serve_socket(registry, host, int(port), config=config,
+                             max_requests=args.max_requests))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .datasets.generator import make_awarepen_material
+    from .serving import (InferenceService, LoadgenConfig, run_loadgen,
+                          run_loadgen_socket)
+
+    config = LoadgenConfig(n_requests=args.n_requests, rate_hz=args.rate,
+                           seed=args.seed)
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--connect expects HOST:PORT, got {args.connect!r}",
+                  file=sys.stderr)
+            return 2
+        cue_pool = make_awarepen_material(seed=args.seed).analysis.cues
+        report = run_loadgen_socket(host, int(port), config, cue_pool)
+    else:
+        registry, material = _build_registry(args)
+        serving_config = _serving_config(args)
+        report = run_loadgen(
+            lambda: InferenceService(registry, config=serving_config),
+            config, material.analysis.cues)
+    print(report.to_text())
+    if args.report:
+        import json
+        from pathlib import Path
+        Path(args.report).write_text(json.dumps(report.as_dict(), indent=2)
+                                     + "\n")
+        print(f"report written to {args.report}")
+    if args.expect_complete and report.n_unanswered > 0:
+        print(f"FAIL: {report.n_unanswered} admitted requests went "
+              f"unanswered", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_traced(argv: List[str]) -> int:
     """``repro trace [--metrics-out PATH] COMMAND [ARGS...]``.
 
@@ -320,6 +474,8 @@ _COMMANDS = {
     "office": _cmd_office,
     "inspect": _cmd_inspect,
     "full-report": _cmd_full_report,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

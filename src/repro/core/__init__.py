@@ -29,8 +29,8 @@ from .fusion import (FusedContext, QualityWeightedFusion, TemporalAggregator,
                      fuse_streams)
 from .interconnection import QualityAugmentedClassifier
 from .explanation import QualityExplanation, RuleContribution, explain
-from .online import (FeedbackRecord, OnlineQualityAdapter,
-                     OnlineThresholdTracker)
+from .online import (AdapterSnapshot, FeedbackRecord,
+                     OnlineQualityAdapter, OnlineThresholdTracker)
 from .persistence import (FORMAT_VERSION, QualityPackage, quality_from_dict,
                           quality_to_dict, tsk_from_dict, tsk_to_dict)
 from .normalization import (EPSILON, LOWER_LIMIT, UPPER_LIMIT, is_error_state,
@@ -57,7 +57,8 @@ __all__ = [
     "ContextChangePredictor", "ChangePrediction", "TrendEstimate",
     "QualityWeightedFusion", "FusedContext", "TemporalAggregator",
     "fuse_streams",
-    "OnlineQualityAdapter", "FeedbackRecord", "OnlineThresholdTracker",
+    "OnlineQualityAdapter", "FeedbackRecord", "AdapterSnapshot",
+    "OnlineThresholdTracker",
     "explain", "QualityExplanation", "RuleContribution",
     "QualityPackage", "FORMAT_VERSION",
     "tsk_to_dict", "tsk_from_dict", "quality_to_dict", "quality_from_dict",

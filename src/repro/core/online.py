@@ -29,6 +29,27 @@ class FeedbackRecord:
     was_correct: bool
 
 
+@dataclasses.dataclass(frozen=True)
+class AdapterSnapshot:
+    """Frozen, copy-owning capture of an adapter's full mutable state.
+
+    Everything :meth:`OnlineQualityAdapter.restore` needs to make the
+    adapter — and the FIS coefficients it manages — bit-identical to the
+    moment of :meth:`OnlineQualityAdapter.snapshot`: the RLS filter
+    state (``theta``, covariance ``p``, update count), the feedback
+    counters, the residual history and the coefficients currently
+    written into the quality system.
+    """
+
+    theta: np.ndarray
+    p: np.ndarray
+    rls_n_updates: int
+    n_feedback: int
+    n_skipped: int
+    residuals: tuple
+    coefficients: np.ndarray
+
+
 class OnlineQualityAdapter:
     """RLS adaptation of a quality FIS's consequents from feedback.
 
@@ -153,6 +174,47 @@ class OnlineQualityAdapter:
             self.quality.system.coefficients = self._rls.coefficients_for(
                 self.quality.system)
         return residuals
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> AdapterSnapshot:
+        """Capture the complete mutable state as an immutable value.
+
+        The intended uses are checkpointing a long-lived appliance
+        (pair with :class:`~repro.core.persistence.QualityPackage` for
+        the static parts) and speculative adaptation: snapshot, absorb
+        doubtful feedback, and :meth:`restore` if it made things worse.
+        """
+        return AdapterSnapshot(
+            theta=self._rls.theta.copy(),
+            p=self._rls.p.copy(),
+            rls_n_updates=self._rls.n_updates,
+            n_feedback=self.n_feedback,
+            n_skipped=self.n_skipped,
+            residuals=tuple(self._residuals),
+            coefficients=self.quality.system.coefficients.copy(),
+        )
+
+    def restore(self, snapshot: AdapterSnapshot) -> None:
+        """Rewind adapter *and* FIS coefficients to *snapshot*.
+
+        Bit-identical restoration: after this call, any feedback
+        sequence produces exactly the residuals and coefficient
+        trajectories it would have produced from the snapshot point.
+        """
+        expected = self._rls.theta.shape[0]
+        theta = np.asarray(snapshot.theta, dtype=float)
+        if theta.shape[0] != expected:
+            raise DimensionError(
+                f"snapshot has {theta.shape[0]} RLS parameters, this "
+                f"adapter has {expected}")
+        self._rls.theta = theta.copy()
+        self._rls.p = np.asarray(snapshot.p, dtype=float).copy()
+        self._rls.n_updates = int(snapshot.rls_n_updates)
+        self.n_feedback = int(snapshot.n_feedback)
+        self.n_skipped = int(snapshot.n_skipped)
+        self._residuals = list(snapshot.residuals)
+        self.quality.system.coefficients = np.asarray(
+            snapshot.coefficients, dtype=float).copy()
 
     # ------------------------------------------------------------------
     def recent_residual(self, window: int = 50) -> Optional[float]:

@@ -49,9 +49,13 @@ def tsk_from_dict(payload: Dict) -> TSKSystem:
     """Rebuild a TSK system from :func:`tsk_to_dict` output."""
     _check_kind(payload, "tsk_system")
     return TSKSystem(
-        means=np.asarray(payload["means"], dtype=float),
-        sigmas=np.asarray(payload["sigmas"], dtype=float),
-        coefficients=np.asarray(payload["coefficients"], dtype=float),
+        means=_require_finite("means",
+                              np.asarray(payload["means"], dtype=float)),
+        sigmas=_require_finite("sigmas",
+                               np.asarray(payload["sigmas"], dtype=float)),
+        coefficients=_require_finite(
+            "coefficients",
+            np.asarray(payload["coefficients"], dtype=float)),
         order=int(payload["order"]),
     )
 
@@ -116,9 +120,16 @@ class QualityPackage:
         _check_kind(payload, "quality_package")
         return cls(
             quality=quality_from_dict(payload["quality"]),
-            threshold=float(payload["threshold"]),
-            right=Gaussian(**payload["right"]),
-            wrong=Gaussian(**payload["wrong"]),
+            threshold=float(_require_finite("threshold",
+                                            payload["threshold"])),
+            right=Gaussian(
+                mu=_require_finite("right.mu", payload["right"]["mu"]),
+                sigma=_require_finite("right.sigma",
+                                      payload["right"]["sigma"])),
+            wrong=Gaussian(
+                mu=_require_finite("wrong.mu", payload["wrong"]["mu"]),
+                sigma=_require_finite("wrong.sigma",
+                                      payload["wrong"]["sigma"])),
         )
 
     def save(self, path: PathLike) -> None:
@@ -129,6 +140,23 @@ class QualityPackage:
     def load(cls, path: PathLike) -> "QualityPackage":
         """Read a package previously written by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _require_finite(field, value):
+    """Reject NaN/inf smuggled through JSON (``NaN`` is valid ``json``).
+
+    A corrupt artifact must fail loudly *at load time*, naming the
+    offending field — not as a silent permanent ε at inference time.
+    Returns *value* unchanged so the check composes inline.
+    """
+    arr = np.atleast_1d(np.asarray(value, dtype=float))
+    finite = np.isfinite(arr)
+    if not np.all(finite):
+        bad = float(arr[~finite].ravel()[0])
+        raise ConfigurationError(
+            f"non-finite value in field {field!r}: "
+            f"{bad!r} (corrupt or hand-edited artifact?)")
+    return value
 
 
 def _check_kind(payload: Dict, expected: str) -> None:

@@ -35,6 +35,11 @@ class EmptyDatasetError(ReproError):
     """A dataset operation was attempted on an empty dataset."""
 
 
+class ServiceClosedError(ReproError):
+    """A request was submitted to a serving instance that is draining
+    (or was never started); the request was not admitted."""
+
+
 class ParallelExecutionError(ReproError):
     """A parallel backend failed outside the task's own code.
 

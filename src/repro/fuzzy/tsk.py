@@ -205,11 +205,20 @@ class TSKSystem:
         return np.exp(-0.5 * z * z)
 
     def _rule_outputs(self, x: np.ndarray) -> np.ndarray:
-        """Consequents for an already-validated ``(n, n_inputs)`` batch."""
+        """Consequents for an already-validated ``(n, n_inputs)`` batch.
+
+        einsum (not ``@``) on purpose: BLAS matmul picks shape-dependent
+        kernels (gemv for one row, blocked gemm otherwise), so the same
+        row evaluated in different batch sizes can differ in the last
+        ULP.  einsum's fixed per-element reduction keeps every row's
+        result independent of how it was batched — the invariant the
+        serving layer's micro-batching equivalence rests on.
+        """
         if self.order == 0:
             return np.broadcast_to(self.coefficients[:, -1],
                                    (x.shape[0], self.n_rules)).copy()
-        return x @ self.coefficients[:, :-1].T + self.coefficients[:, -1]
+        return (np.einsum("ni,ri->nr", x, self.coefficients[:, :-1])
+                + self.coefficients[:, -1])
 
     def memberships(self, x: np.ndarray) -> np.ndarray:
         """Per-rule, per-input Gaussian memberships.

@@ -1,0 +1,91 @@
+"""Micro-batch coalescing over a bounded asyncio admission queue.
+
+The batched hot paths (:meth:`~repro.core.quality.QualityMeasure.
+measure_batch`, the classifiers' vectorized ``predict_indices``) amortize
+the fuzzy-system membership sweep across rows, so serving throughput
+comes from grouping concurrent requests into one numpy call.  The
+coalescing rule is the standard two-knob micro-batcher:
+
+* flush when ``max_batch`` requests have been gathered, or
+* flush when ``deadline_s`` has elapsed since the *first* request of the
+  batch arrived — the latency bound a single quiet request pays.
+
+Collection never reorders: the queue is FIFO and a batch is a contiguous
+run of it, which is what keeps the stateful ε-gate's decision order (and
+therefore the serving-vs-direct equivalence) exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any, List
+
+from ..exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs of the micro-batcher.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as this many requests are gathered.
+    deadline_s:
+        Flush this long after the batch's first request arrived; ``0``
+        disables coalescing waits entirely (each batch is whatever is
+        already queued, down to a single request).
+    """
+
+    max_batch: int = 32
+    deadline_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if self.deadline_s < 0.0:
+            raise ConfigurationError(
+                f"deadline_s must be >= 0, got {self.deadline_s}")
+
+
+async def collect_batch(queue: "asyncio.Queue[Any]",
+                        config: BatchingConfig) -> List[Any]:
+    """Gather the next micro-batch from *queue* (blocks for the first item).
+
+    Returns between 1 and ``config.max_batch`` items in FIFO order.  The
+    deadline clock starts when the first item is taken, so an idle
+    service adds no latency — the first request of a burst waits at most
+    ``deadline_s`` for company.
+    """
+    return await extend_batch(queue, config, [await queue.get()])
+
+
+async def extend_batch(queue: "asyncio.Queue[Any]", config: BatchingConfig,
+                       items: List[Any]) -> List[Any]:
+    """Top up an already-started batch until full or past its deadline.
+
+    The split from :func:`collect_batch` lets a caller that obtained the
+    first item its own way (e.g. a worker polling with a shutdown
+    timeout) still share the coalescing rule.  *items* is extended in
+    place and returned.
+    """
+    deadline = time.perf_counter() + config.deadline_s
+    while len(items) < config.max_batch:
+        # Fast path: take whatever is already queued without yielding.
+        try:
+            items.append(queue.get_nowait())
+            continue
+        except asyncio.QueueEmpty:
+            pass
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0.0:
+            break
+        try:
+            items.append(await asyncio.wait_for(queue.get(),
+                                                timeout=remaining))
+        except asyncio.TimeoutError:
+            break
+    return items

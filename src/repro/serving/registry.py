@@ -1,0 +1,143 @@
+"""Versioned model registry with atomic hot-swap.
+
+A deployed appliance outlives any single calibration: the paper trains
+offline and flashes the artifact, but a long-lived deployment re-trains
+(drifting users, :mod:`repro.core.online` adaptation) and must publish
+the re-calibrated :class:`~repro.core.persistence.QualityPackage`
+without dropping in-flight traffic.  The registry holds every published
+version and exposes exactly one *active* :class:`VersionedModel`;
+swapping the active version is a single reference assignment, so a
+worker that grabbed the current model mid-batch keeps computing against
+a consistent (package, classifier, threshold) triple while new batches
+see the new version — no torn reads, no locks on the read path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .. import observability as obs
+from ..classifiers.base import ContextClassifier
+from ..core.degradation import DegradationPolicy, GracefulDegrader
+from ..core.persistence import QualityPackage
+from ..core.quality import QualityMeasure
+from ..exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionedModel:
+    """One immutable published (package, classifier) pair.
+
+    The classifier is optional: without one the service only accepts
+    requests that already carry a class index (the pure paper add-on
+    mode, where classification happens in an external black box).
+    """
+
+    version: int
+    package: QualityPackage
+    classifier: Optional[ContextClassifier] = None
+    tag: str = ""
+
+    @property
+    def quality(self) -> QualityMeasure:
+        return self.package.quality
+
+    @property
+    def threshold(self) -> float:
+        return self.package.threshold
+
+    def make_degrader(self, policy: "DegradationPolicy | str"
+                      = DegradationPolicy.REJECT) -> GracefulDegrader:
+        """Fresh stateful ε-gate at this version's calibrated threshold."""
+        return GracefulDegrader(threshold=self.threshold, policy=policy)
+
+
+class ModelRegistry:
+    """Thread-safe registry of published model versions.
+
+    Versions are dense integers starting at 1 in publication order.
+    ``publish`` registers a version without activating it; ``activate``
+    atomically swaps the active pointer; ``publish_and_activate`` does
+    both — the hot-swap primitive the serving layer uses.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: Dict[int, VersionedModel] = {}
+        self._active: Optional[VersionedModel] = None
+        self._swaps: List[Tuple[Optional[int], int]] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, package: QualityPackage,
+                classifier: Optional[ContextClassifier] = None,
+                tag: str = "") -> int:
+        """Register a new version; returns its version number."""
+        with self._lock:
+            version = len(self._versions) + 1
+            self._versions[version] = VersionedModel(
+                version=version, package=package, classifier=classifier,
+                tag=tag)
+        obs.inc("serving.registry.published_total")
+        return version
+
+    def activate(self, version: int) -> VersionedModel:
+        """Atomically make *version* the active model."""
+        with self._lock:
+            model = self._versions.get(version)
+            if model is None:
+                raise ConfigurationError(
+                    f"unknown model version {version}; published: "
+                    f"{sorted(self._versions) or 'none'}")
+            previous = self._active
+            self._active = model
+            self._swaps.append(
+                (None if previous is None else previous.version, version))
+        obs.inc("serving.registry.swaps_total")
+        obs.set_gauge("serving.registry.active_version", version)
+        return model
+
+    def publish_and_activate(self, package: QualityPackage,
+                             classifier: Optional[ContextClassifier] = None,
+                             tag: str = "") -> int:
+        """Publish a package and atomically swap it in; returns the version."""
+        version = self.publish(package, classifier=classifier, tag=tag)
+        self.activate(version)
+        return version
+
+    # ------------------------------------------------------------------
+    def current(self) -> VersionedModel:
+        """The active model (a consistent immutable snapshot)."""
+        model = self._active
+        if model is None:
+            raise ConfigurationError(
+                "registry has no active model; publish_and_activate first")
+        return model
+
+    def get(self, version: int) -> VersionedModel:
+        with self._lock:
+            try:
+                return self._versions[version]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown model version {version}") from None
+
+    def versions(self) -> List[int]:
+        with self._lock:
+            return sorted(self._versions)
+
+    @property
+    def active_version(self) -> Optional[int]:
+        model = self._active
+        return None if model is None else model.version
+
+    @property
+    def swap_history(self) -> List[Tuple[Optional[int], int]]:
+        """``(from_version, to_version)`` pairs in activation order."""
+        with self._lock:
+            return list(self._swaps)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)

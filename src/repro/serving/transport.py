@@ -1,0 +1,144 @@
+"""Transports for ``repro serve``: JSONL over stdio or a TCP socket.
+
+The service itself (:mod:`repro.serving.service`) is transport-free;
+this module adapts it to the two deployment shapes the CLI offers:
+
+* **stdio** — read every JSONL request from a text stream, serve the
+  whole set with backpressure, write JSONL responses in request order
+  (batch-friendly, exercised by the CLI tests);
+* **socket** — an :func:`asyncio.start_server` JSONL endpoint where each
+  connection's lines become open-loop submissions and responses are
+  written back as their micro-batches complete.  Closing the write side
+  of a connection drains that connection: every admitted request is
+  answered before the server closes it (the CI smoke asserts zero
+  unanswered requests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import IO, List, Optional
+
+from ..exceptions import ConfigurationError
+from .protocol import ServeRequest, ServeResponse
+from .registry import ModelRegistry
+from .service import InferenceService, ServingConfig, serve_requests
+
+
+def read_requests(stream: IO[str]) -> List[ServeRequest]:
+    """Parse one JSONL request per non-empty line of *stream*."""
+    requests = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            requests.append(ServeRequest.from_json(line))
+    return requests
+
+
+def serve_stdio(registry: ModelRegistry, stream_in: IO[str],
+                stream_out: IO[str],
+                config: ServingConfig = ServingConfig()) -> int:
+    """Serve every request on *stream_in*; returns the response count."""
+    requests = read_requests(stream_in)
+    responses = serve_requests(registry, requests, config=config)
+    for response in responses:
+        stream_out.write(response.to_json() + "\n")
+    return len(responses)
+
+
+async def _handle_connection(service: InferenceService,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    """One JSONL connection: lines in, responses out, drain on EOF."""
+    write_lock = asyncio.Lock()
+    tasks: List["asyncio.Task[None]"] = []
+
+    async def _respond(request: ServeRequest) -> None:
+        try:
+            response = await service.submit(request.cues,
+                                            class_index=request.class_index,
+                                            request_id=request.request_id)
+        except Exception as exc:  # noqa: BLE001 - report, keep the connection
+            async with write_lock:
+                writer.write((f'{{"id": {request.request_id}, '
+                              f'"error": "{type(exc).__name__}"}}\n'
+                              ).encode())
+                await writer.drain()
+            return
+        async with write_lock:
+            writer.write((response.to_json() + "\n").encode())
+            await writer.drain()
+
+    loop = asyncio.get_running_loop()
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        text = line.decode().strip()
+        if not text:
+            continue
+        try:
+            request = ServeRequest.from_json(text)
+        except ConfigurationError as exc:
+            async with write_lock:
+                writer.write(
+                    (f'{{"error": "bad request: {exc}"}}\n').encode())
+                await writer.drain()
+            continue
+        tasks.append(loop.create_task(_respond(request)))
+    if tasks:
+        # Connection-level drain: every admitted request is answered
+        # before the stream closes.
+        await asyncio.gather(*tasks)
+    writer.close()
+    await writer.wait_closed()
+
+
+def _announce(message: str) -> None:
+    """Default announcement hook: unbuffered print (pipes included)."""
+    print(message, flush=True)
+
+
+async def serve_socket(registry: ModelRegistry, host: str, port: int,
+                       config: ServingConfig = ServingConfig(),
+                       ready: Optional["asyncio.Event"] = None,
+                       stop: Optional["asyncio.Event"] = None,
+                       max_requests: Optional[int] = None,
+                       announce=_announce) -> None:
+    """Run the JSONL TCP endpoint until *stop* is set (or forever).
+
+    *ready* (when given) is set once the socket is listening — the
+    announcement hook prints the bound address either way, so a shell
+    script can wait for the ``serving on`` line.  With *max_requests*
+    the server retires itself once that many requests have resolved
+    (answered or shed) — the CI smoke uses this for a clean exit.
+    Shutdown is graceful: the listener closes first, then the service
+    drains.
+    """
+    service = InferenceService(registry, config=config)
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port)
+    service.start()
+    stop = stop if stop is not None else asyncio.Event()
+
+    async def _retire() -> None:
+        while service.n_completed + service.n_shed < max_requests:
+            await asyncio.sleep(0.01)
+        stop.set()
+
+    watcher = (asyncio.get_running_loop().create_task(_retire())
+               if max_requests is not None else None)
+    bound = server.sockets[0].getsockname()
+    announce(f"serving on {bound[0]}:{bound[1]} "
+             f"(batch<={config.max_batch}, "
+             f"deadline={config.deadline_s * 1e3:.1f}ms, "
+             f"queue={config.queue_capacity})")
+    if ready is not None:
+        ready.set()
+    async with server:
+        await stop.wait()
+    if watcher is not None:
+        watcher.cancel()
+    await service.drain()
+    announce(f"drained: {service.n_completed} served, "
+             f"{service.n_shed} shed, {service.in_flight} in flight")

@@ -99,3 +99,78 @@ class TestEventBus:
         bus = EventBus()
         bus.subscribe("context.*", lambda e: None, name="camera")
         assert bus.subscriber_names() == {"context.*": ["camera"]}
+
+
+class TestReentrantUnsubscribe:
+    """Handlers may (un)subscribe during delivery without breakage."""
+
+    def test_handler_unsubscribing_itself(self):
+        bus = EventBus()
+        received = []
+
+        def once(event):
+            received.append(event)
+            bus.unsubscribe(once)
+
+        bus.subscribe("context.pen", once, name="once")
+        assert bus.publish(make_event()) == 1
+        assert bus.publish(make_event()) == 0
+        assert len(received) == 1
+        assert bus.delivery_errors == []
+
+    def test_earlier_handler_unsubscribes_later_one(self):
+        """A subscription removed mid-event is skipped, not called."""
+        bus = EventBus()
+        late_calls = []
+
+        def late(event):
+            late_calls.append(event)
+
+        def early(event):
+            bus.unsubscribe(late)
+
+        bus.subscribe("context.pen", early, name="early")
+        bus.subscribe("context.pen", late, name="late")
+        delivered = bus.publish(make_event())
+        assert delivered == 1
+        assert late_calls == []
+        assert bus.delivery_errors == []
+
+    def test_handler_subscribing_new_one_sees_next_event_only(self):
+        bus = EventBus()
+        new_calls = []
+
+        def newcomer(event):
+            new_calls.append(event)
+
+        def recruiter(event):
+            bus.unsubscribe(newcomer)  # idempotence guard
+            bus.subscribe("context.pen", newcomer, name="new")
+
+        bus.subscribe("context.pen", recruiter, name="recruiter")
+        bus.publish(make_event())
+        assert new_calls == []  # not the event that recruited it
+        bus.publish(make_event())
+        assert len(new_calls) == 1
+
+    def test_mutual_unsubscribe_is_safe(self):
+        """Two handlers each removing the other: exactly one survives."""
+        bus = EventBus()
+        calls = []
+
+        def a(event):
+            calls.append("a")
+            bus.unsubscribe(b)
+
+        def b(event):
+            calls.append("b")
+            bus.unsubscribe(a)
+
+        bus.subscribe("context.pen", a, name="a")
+        bus.subscribe("context.pen", b, name="b")
+        delivered = bus.publish(make_event())
+        assert delivered == 1
+        assert calls == ["a"]
+        assert bus.delivery_errors == []
+        # The survivor still receives subsequent events.
+        assert bus.publish(make_event()) == 1

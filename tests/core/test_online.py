@@ -279,3 +279,92 @@ class TestOnlineThresholdTracker:
                 tracker.observe(float(np.clip(est.wrong.sample(1, rng)[0],
                                               0, 1)), False)
         assert abs(tracker.threshold() - experiment.threshold) < 0.15
+
+
+class TestSnapshotRestore:
+    """snapshot()/restore(): bit-identical rewind of adapter + FIS."""
+
+    def _adapter_with_history(self, experiment, material, n=30):
+        quality = quality_from_dict(
+            quality_to_dict(experiment.augmented.quality))
+        adapter = OnlineQualityAdapter(quality, forgetting=0.999, warmup=5)
+        records = records_from(material, experiment.classifier,
+                               material.analysis)
+        for record in records[:n]:
+            adapter.feedback(record)
+        return adapter, records
+
+    def test_restore_is_bit_identical(self, experiment, material):
+        """After restore, replaying the same feedback reproduces the
+        exact residuals and coefficients — no drift, no ULP noise."""
+        adapter, records = self._adapter_with_history(experiment, material)
+        snap = adapter.snapshot()
+
+        first = [adapter.feedback(r) for r in records[30:60]]
+        coeffs_first = adapter.quality.system.coefficients.copy()
+        theta_first = adapter._rls.theta.copy()
+
+        adapter.restore(snap)
+        second = [adapter.feedback(r) for r in records[30:60]]
+
+        assert first == second  # float-exact residual trajectory
+        np.testing.assert_array_equal(adapter.quality.system.coefficients,
+                                      coeffs_first)
+        np.testing.assert_array_equal(adapter._rls.theta, theta_first)
+
+    def test_snapshot_owns_copies(self, experiment, material):
+        adapter, records = self._adapter_with_history(experiment, material)
+        snap = adapter.snapshot()
+        theta_at_snap = snap.theta.copy()
+        for record in records[30:45]:
+            adapter.feedback(record)
+        # Later feedback must not leak into the captured state.
+        np.testing.assert_array_equal(snap.theta, theta_at_snap)
+
+    def test_restore_rewinds_counters_and_residuals(self, experiment,
+                                                    material):
+        adapter, records = self._adapter_with_history(experiment, material)
+        snap = adapter.snapshot()
+        n_feedback = adapter.n_feedback
+        residuals = list(adapter._residuals)
+        for record in records[30:50]:
+            adapter.feedback(record)
+        assert adapter.n_feedback > n_feedback
+        adapter.restore(snap)
+        assert adapter.n_feedback == n_feedback
+        assert adapter.n_skipped == snap.n_skipped
+        assert adapter._residuals == residuals
+        assert adapter._rls.n_updates == snap.rls_n_updates
+
+    def test_restore_rejects_mismatched_shape(self, experiment, material,
+                                              fresh_quality):
+        adapter, _ = self._adapter_with_history(experiment, material, n=10)
+        snap = adapter.snapshot()
+        import dataclasses as dc
+        wrong = dc.replace(snap, theta=np.zeros(3))
+        with pytest.raises(DimensionError, match="RLS parameters"):
+            adapter.restore(wrong)
+        # The failed restore left the adapter untouched.
+        np.testing.assert_array_equal(adapter._rls.theta, snap.theta)
+
+    def test_speculative_adaptation_rollback(self, experiment, material):
+        """The motivating use: try doubtful feedback, roll it back."""
+        adapter, records = self._adapter_with_history(experiment, material)
+        snap = adapter.snapshot()
+        coeffs_before = adapter.quality.system.coefficients.copy()
+        # Absorb garbage feedback (all labels inverted).
+        for record in records[30:60]:
+            adapter.feedback(FeedbackRecord(
+                cues=record.cues, class_index=record.class_index,
+                was_correct=not record.was_correct))
+        assert not np.array_equal(adapter.quality.system.coefficients,
+                                  coeffs_before)
+        adapter.restore(snap)
+        np.testing.assert_array_equal(adapter.quality.system.coefficients,
+                                      coeffs_before)
+
+    def test_snapshot_is_frozen(self, experiment, material):
+        adapter, _ = self._adapter_with_history(experiment, material, n=10)
+        snap = adapter.snapshot()
+        with pytest.raises(Exception):
+            snap.n_feedback = 99  # type: ignore[misc]

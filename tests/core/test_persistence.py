@@ -145,3 +145,79 @@ class TestPropertyRoundTrips:
         np.testing.assert_allclose(restored.evaluate(x),
                                    system.evaluate(x),
                                    rtol=1e-12, atol=1e-12)
+
+
+class TestNonFiniteRejection:
+    """Corrupt artifacts fail at load time, naming the offending field.
+
+    JSON happily serializes ``NaN``/``Infinity``; loading such a value
+    into a quality system would make every inference a silent ε.
+    """
+
+    def _package_payload(self, experiment):
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        return package.to_dict()
+
+    @pytest.mark.parametrize("field", ["means", "sigmas", "coefficients"])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_tsk_arrays_guarded(self, system, field, bad):
+        payload = tsk_to_dict(system)
+        payload[field][0][0] = bad
+        with pytest.raises(ConfigurationError, match=f"'{field}'"):
+            tsk_from_dict(payload)
+
+    def test_quality_system_guarded(self, system):
+        quality = QualityMeasure(system, n_cues=3)
+        payload = quality_to_dict(quality)
+        payload["system"]["coefficients"][0][0] = float("nan")
+        with pytest.raises(ConfigurationError, match="coefficients"):
+            quality_from_dict(payload)
+
+    def test_package_threshold_guarded(self, experiment):
+        payload = self._package_payload(experiment)
+        payload["threshold"] = float("nan")
+        with pytest.raises(ConfigurationError, match="'threshold'"):
+            QualityPackage.from_dict(payload)
+
+    @pytest.mark.parametrize("population", ["right", "wrong"])
+    @pytest.mark.parametrize("parameter", ["mu", "sigma"])
+    def test_package_populations_guarded(self, experiment, population,
+                                         parameter):
+        payload = self._package_payload(experiment)
+        payload[population][parameter] = float("inf")
+        with pytest.raises(ConfigurationError,
+                           match=f"'{population}.{parameter}'"):
+            QualityPackage.from_dict(payload)
+
+    def test_error_message_names_field_and_value(self, system):
+        payload = tsk_to_dict(system)
+        payload["sigmas"][0][0] = float("nan")
+        with pytest.raises(ConfigurationError) as excinfo:
+            tsk_from_dict(payload)
+        message = str(excinfo.value)
+        assert "'sigmas'" in message
+        assert "nan" in message
+
+    def test_nan_survives_json_and_is_still_caught(self, experiment,
+                                                   tmp_path):
+        """The full save/corrupt/load round trip through a real file."""
+        payload = self._package_payload(experiment)
+        payload["quality"]["system"]["means"][0][0] = float("nan")
+        path = tmp_path / "corrupt.json"
+        path.write_text(json.dumps(payload))  # json emits bare NaN
+        with pytest.raises(ConfigurationError, match="'means'"):
+            QualityPackage.load(path)
+
+    def test_clean_package_file_round_trips(self, experiment, tmp_path):
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        path = tmp_path / "package.json"
+        package.save(path)
+        restored = QualityPackage.load(path)
+        assert restored.threshold == package.threshold
+        assert restored.right == package.right
+        np.testing.assert_array_equal(
+            restored.quality.system.coefficients,
+            package.quality.system.coefficients)

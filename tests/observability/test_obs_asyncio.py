@@ -1,0 +1,147 @@
+"""Observability inside an asyncio event loop (serving's environment).
+
+The metrics registry is lock-protected and spans keep thread-local
+stacks — both were built for threads.  The serving layer exercises them
+from coroutines instead: many concurrent tasks interleaving on one
+loop thread, plus worker threads feeding the same registry.  These
+tests pin that combination.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.observability.metrics import MetricsRegistry, linear_edges
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMetricsFromCoroutines:
+    def test_concurrent_tasks_share_one_registry(self):
+        async def scenario():
+            registry = obs.enable(fresh=True)[0]
+
+            async def worker(worker_id):
+                for k in range(50):
+                    registry.inc("async.iterations_total")
+                    registry.observe("async.value", worker_id + k,
+                                     edges=linear_edges(0, 100))
+                    if k % 10 == 0:
+                        await asyncio.sleep(0)  # force interleaving
+
+            await asyncio.gather(*(worker(w) for w in range(8)))
+            return registry.snapshot()
+
+        try:
+            snapshot = run(scenario())
+        finally:
+            obs.disable()
+        assert snapshot["counters"]["async.iterations_total"] == 400
+        assert snapshot["histograms"]["async.value"]["count"] == 400
+
+    def test_event_loop_plus_worker_threads(self):
+        """Coroutines and a thread pool hammer the same registry."""
+        registry = MetricsRegistry()
+
+        def thread_work():
+            for _ in range(200):
+                registry.inc("mixed.total")
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+
+            async def coro_work():
+                for k in range(200):
+                    registry.inc("mixed.total")
+                    if k % 50 == 0:
+                        await asyncio.sleep(0)
+
+            thread_jobs = [loop.run_in_executor(None, thread_work)
+                           for _ in range(3)]
+            await asyncio.gather(coro_work(), coro_work(), *thread_jobs)
+
+        run(scenario())
+        assert registry.snapshot()["counters"]["mixed.total"] == 1000
+
+
+class TestSpansFromCoroutines:
+    def test_span_nesting_within_one_task_step(self):
+        """Spans opened and closed without awaiting in between nest
+        correctly — the discipline the serving batch loop follows."""
+
+        async def scenario():
+            _, tracer = obs.enable(fresh=True)
+
+            async def batch(n):
+                # No awaits inside the span: it opens and closes within
+                # one scheduler step, so interleaved tasks cannot
+                # corrupt the thread-local stack.
+                with obs.trace("async.batch", n=n):
+                    with obs.trace("async.gate"):
+                        pass
+                await asyncio.sleep(0)
+
+            await asyncio.gather(*(batch(n) for n in range(10)))
+            return list(tracer.roots)
+
+        try:
+            roots = run(scenario())
+        finally:
+            obs.disable()
+        assert len(roots) == 10
+        for root in roots:
+            assert root.name == "async.batch"
+            assert [c.name for c in root.children] == ["async.gate"]
+
+    def test_trace_disabled_is_noop_under_asyncio(self):
+        async def scenario():
+            with obs.trace("async.ghost"):
+                await asyncio.sleep(0)
+            return True
+
+        assert run(scenario())
+        assert not obs.is_enabled()
+
+    def test_observed_around_a_whole_loop(self):
+        """The context-manager API wraps an entire asyncio run."""
+
+        async def scenario():
+            obs.inc("loop.events")
+            async with _noop():
+                obs.inc("loop.events")
+
+        with obs.observed(fresh=True) as (registry, _):
+            run(scenario())
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["loop.events"] == 2
+
+
+class _noop:
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        return False
+
+
+class TestServingMetricsUnderConcurrency:
+    def test_gauge_last_write_wins_across_tasks(self):
+        async def scenario():
+            registry = obs.enable(fresh=True)[0]
+
+            async def setter(value):
+                await asyncio.sleep(0.001 * value)
+                registry.set_gauge("async.depth", value)
+
+            await asyncio.gather(*(setter(v) for v in (3, 1, 2)))
+            return registry.snapshot()
+
+        try:
+            snapshot = run(scenario())
+        finally:
+            obs.disable()
+        assert snapshot["gauges"]["async.depth"] == 3

@@ -1,0 +1,47 @@
+"""Fixtures for the serving suite.
+
+The expensive part — training the quality package and classifier — is
+done once per session (reusing the root conftest's ``experiment``);
+each test builds cheap registries and services on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import QualityPackage
+from repro.serving import ModelRegistry, ServeRequest
+
+
+@pytest.fixture(scope="session")
+def package(experiment):
+    return QualityPackage.from_calibration(
+        experiment.augmented.quality, experiment.calibration)
+
+
+@pytest.fixture
+def registry(package, experiment):
+    """Fresh registry with the trained package active as v1."""
+    reg = ModelRegistry()
+    reg.publish_and_activate(package, classifier=experiment.classifier,
+                             tag="test")
+    return reg
+
+
+@pytest.fixture(scope="session")
+def cue_pool(experiment):
+    return experiment.material.analysis.cues
+
+
+def make_requests(cue_pool: np.ndarray, n: int, seed: int = 3,
+                  with_class_index: bool = False):
+    """Seeded request stream drawn from real cue data."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, cue_pool.shape[0], size=n)
+    requests = []
+    for k, row in enumerate(rows):
+        class_index = int(rng.integers(0, 3)) if with_class_index else None
+        requests.append(ServeRequest(request_id=k, cues=cue_pool[int(row)],
+                                     class_index=class_index))
+    return requests

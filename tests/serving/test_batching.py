@@ -1,0 +1,125 @@
+"""Micro-batch coalescing: flush rules, FIFO order, deadline bound."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import BatchingConfig, collect_batch, extend_batch
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBatchingConfig:
+    def test_defaults(self):
+        config = BatchingConfig()
+        assert config.max_batch == 32
+        assert config.deadline_s == pytest.approx(0.002)
+
+    @pytest.mark.parametrize("kwargs", [{"max_batch": 0},
+                                        {"deadline_s": -0.1}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(**kwargs)
+
+
+class TestCollectBatch:
+    def test_takes_everything_already_queued(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            for k in range(5):
+                queue.put_nowait(k)
+            return await collect_batch(
+                queue, BatchingConfig(max_batch=32, deadline_s=0.0))
+
+        assert run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_max_batch_caps_the_flush(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            for k in range(10):
+                queue.put_nowait(k)
+            return await collect_batch(
+                queue, BatchingConfig(max_batch=4, deadline_s=0.0))
+
+        batch = run(scenario())
+        assert batch == [0, 1, 2, 3]
+
+    def test_preserves_fifo_order(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            config = BatchingConfig(max_batch=8, deadline_s=0.05)
+
+            async def producer():
+                for k in range(8):
+                    await queue.put(k)
+                    await asyncio.sleep(0.001)
+
+            task = asyncio.get_running_loop().create_task(producer())
+            batch = await collect_batch(queue, config)
+            await task
+            return batch
+
+        assert run(scenario()) == list(range(8))
+
+    def test_blocks_for_the_first_item(self):
+        async def scenario():
+            queue = asyncio.Queue()
+
+            async def late_producer():
+                await asyncio.sleep(0.02)
+                await queue.put("late")
+
+            task = asyncio.get_running_loop().create_task(late_producer())
+            batch = await collect_batch(
+                queue, BatchingConfig(max_batch=4, deadline_s=0.0))
+            await task
+            return batch
+
+        assert run(scenario()) == ["late"]
+
+    def test_deadline_bounds_the_wait(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            queue.put_nowait("only")
+            start = time.perf_counter()
+            batch = await collect_batch(
+                queue, BatchingConfig(max_batch=32, deadline_s=0.02))
+            return batch, time.perf_counter() - start
+
+        batch, elapsed = run(scenario())
+        assert batch == ["only"]
+        # One lonely item: we waited roughly one deadline, not forever.
+        assert elapsed < 0.5
+
+
+class TestExtendBatch:
+    def test_extends_in_place(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            queue.put_nowait("b")
+            queue.put_nowait("c")
+            items = ["a"]
+            out = await extend_batch(
+                queue, BatchingConfig(max_batch=3, deadline_s=0.0), items)
+            return out, items
+
+        out, items = run(scenario())
+        assert out is items
+        assert items == ["a", "b", "c"]
+
+    def test_full_seed_skips_the_queue(self):
+        async def scenario():
+            queue = asyncio.Queue()
+            queue.put_nowait("never")
+            items = ["a", "b"]
+            await extend_batch(
+                queue, BatchingConfig(max_batch=2, deadline_s=0.0), items)
+            return items, queue.qsize()
+
+        items, remaining = run(scenario())
+        assert items == ["a", "b"]
+        assert remaining == 1

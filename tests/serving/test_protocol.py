@@ -1,0 +1,89 @@
+"""Wire-format round-trips and validation of the serving records."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import GateAction
+from repro.exceptions import ConfigurationError
+from repro.serving import ServeRequest, ServeResponse
+
+
+class TestServeRequest:
+    def test_round_trip_without_class(self):
+        request = ServeRequest(request_id=5, cues=np.array([1.0, 2.5, -3.0]))
+        back = ServeRequest.from_json(request.to_json())
+        assert back.request_id == 5
+        assert back.class_index is None
+        assert np.array_equal(back.cues, request.cues)
+
+    def test_round_trip_with_class(self):
+        request = ServeRequest(request_id=0, cues=np.ones(4), class_index=2)
+        back = ServeRequest.from_json(request.to_json())
+        assert back.class_index == 2
+
+    def test_cues_are_flattened_floats(self):
+        request = ServeRequest(request_id=1, cues=[[1, 2], [3, 4]])
+        assert request.cues.shape == (4,)
+        assert request.cues.dtype == float
+
+    def test_empty_cues_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty cue"):
+            ServeRequest(request_id=1, cues=np.empty(0))
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ServeRequest.from_json("{nope")
+
+    def test_missing_cues_rejected(self):
+        with pytest.raises(ConfigurationError, match="'cues'"):
+            ServeRequest.from_json('{"id": 3}')
+
+
+class TestServeResponse:
+    def _response(self, **overrides):
+        base = dict(request_id=7, class_index=1, class_name="writing",
+                    quality=0.83, action=GateAction.ACCEPT, degraded=False,
+                    shed=False, package_version=2, batch_size=16,
+                    latency_s=0.0031)
+        base.update(overrides)
+        return ServeResponse(**base)
+
+    def test_round_trip(self):
+        response = self._response()
+        back = ServeResponse.from_json(response.to_json())
+        assert back.request_id == 7
+        assert back.class_index == 1
+        assert back.class_name == "writing"
+        assert back.quality == pytest.approx(0.83)
+        assert back.action is GateAction.ACCEPT
+        assert back.package_version == 2
+        assert back.batch_size == 16
+        assert back.latency_s == pytest.approx(0.0031, rel=1e-3)
+
+    def test_epsilon_round_trip(self):
+        response = self._response(quality=None, action=GateAction.REJECT,
+                                  degraded=True)
+        back = ServeResponse.from_json(response.to_json())
+        assert back.quality is None
+        assert back.is_error_state
+        assert not back.accepted
+
+    def test_shed_response_has_no_version(self):
+        response = self._response(shed=True, package_version=None,
+                                  quality=None, action=GateAction.REJECT,
+                                  degraded=True, class_index=None,
+                                  class_name=None, batch_size=0)
+        back = ServeResponse.from_json(response.to_json())
+        assert back.shed
+        assert back.package_version is None
+        assert back.class_index is None
+
+    def test_key_excludes_scheduling_fields(self):
+        a = self._response(batch_size=4, latency_s=0.001, package_version=1)
+        b = self._response(batch_size=32, latency_s=0.9, package_version=2)
+        assert a.key() == b.key()
+
+    def test_key_includes_decision_fields(self):
+        a = self._response()
+        b = self._response(action=GateAction.REJECT)
+        assert a.key() != b.key()

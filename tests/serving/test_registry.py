@@ -1,0 +1,78 @@
+"""Versioned registry: publication, atomic activation, audit trail."""
+
+import pytest
+
+from repro import observability as obs
+from repro.core.degradation import DegradationPolicy
+from repro.exceptions import ConfigurationError
+from repro.serving import ModelRegistry
+
+
+class TestModelRegistry:
+    def test_empty_registry_has_no_current(self):
+        registry = ModelRegistry()
+        assert registry.active_version is None
+        with pytest.raises(ConfigurationError, match="no active model"):
+            registry.current()
+
+    def test_publish_assigns_dense_versions(self, package):
+        registry = ModelRegistry()
+        assert registry.publish(package) == 1
+        assert registry.publish(package) == 2
+        assert registry.versions() == [1, 2]
+        assert len(registry) == 2
+        # Publishing alone does not activate.
+        assert registry.active_version is None
+
+    def test_publish_and_activate(self, package, experiment):
+        registry = ModelRegistry()
+        version = registry.publish_and_activate(
+            package, classifier=experiment.classifier, tag="v1")
+        assert version == 1
+        model = registry.current()
+        assert model.version == 1
+        assert model.tag == "v1"
+        assert model.threshold == package.threshold
+        assert model.quality is package.quality
+
+    def test_activate_unknown_version(self, package):
+        registry = ModelRegistry()
+        registry.publish(package)
+        with pytest.raises(ConfigurationError, match="unknown model version"):
+            registry.activate(9)
+
+    def test_swap_history_records_transitions(self, package):
+        registry = ModelRegistry()
+        registry.publish_and_activate(package)
+        registry.publish(package)
+        registry.activate(2)
+        registry.activate(1)
+        assert registry.swap_history == [(None, 1), (1, 2), (2, 1)]
+        assert registry.active_version == 1
+
+    def test_get_returns_any_published_version(self, package):
+        registry = ModelRegistry()
+        registry.publish_and_activate(package, tag="a")
+        registry.publish_and_activate(package, tag="b")
+        assert registry.get(1).tag == "a"
+        assert registry.get(2).tag == "b"
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            registry.get(3)
+
+    def test_make_degrader_uses_package_threshold(self, package):
+        registry = ModelRegistry()
+        registry.publish_and_activate(package)
+        degrader = registry.current().make_degrader(
+            DegradationPolicy.ABSTAIN)
+        assert degrader.threshold == package.threshold
+        assert degrader.policy is DegradationPolicy.ABSTAIN
+
+    def test_registry_metrics(self, package):
+        with obs.observed(fresh=True) as (registry_obs, _):
+            registry = ModelRegistry()
+            registry.publish_and_activate(package)
+            registry.publish_and_activate(package)
+            snapshot = registry_obs.snapshot()
+        assert snapshot["counters"]["serving.registry.published_total"] == 2
+        assert snapshot["counters"]["serving.registry.swaps_total"] == 2
+        assert snapshot["gauges"]["serving.registry.active_version"] == 2

@@ -192,3 +192,69 @@ class TestTraceCommand:
     def test_no_nesting(self):
         with pytest.raises(SystemExit):
             main(["trace", "trace", "experiment"])
+
+
+class TestServeCommand:
+    def test_stdio_round_trip(self, capsys, monkeypatch, experiment):
+        import io
+        import json
+
+        import numpy as np
+
+        cues = experiment.material.analysis.cues[:5]
+        lines = "\n".join(
+            json.dumps({"id": k, "cues": row.tolist()})
+            for k, row in enumerate(cues))
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--seed", "7", "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines() if line]
+        assert [r["id"] for r in responses] == list(range(5))
+        assert all(r["version"] == 1 for r in responses)
+        assert all(not r["shed"] for r in responses)
+
+    def test_stdio_with_saved_package(self, capsys, monkeypatch, tmp_path,
+                                      experiment):
+        import io
+        import json
+
+        from repro.core.persistence import QualityPackage
+
+        package = QualityPackage.from_calibration(
+            experiment.augmented.quality, experiment.calibration)
+        path = tmp_path / "pkg.json"
+        package.save(path)
+        cues = experiment.material.analysis.cues[:3]
+        lines = "\n".join(
+            json.dumps({"id": k, "cues": row.tolist()})
+            for k, row in enumerate(cues))
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--package", str(path), "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines() if line]
+        assert len(responses) == 3
+
+    def test_bad_listen_spec(self, capsys):
+        assert main(["serve", "--listen", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestLoadgenCommand:
+    def test_in_process_run(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(["loadgen", "--seed", "7", "--n-requests", "30",
+                     "--rate", "5000", "--report", str(report_path),
+                     "--expect-complete"]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen: 30 sent" in out
+        assert "unanswered 0" in out
+        document = json.loads(report_path.read_text())
+        assert document["n_responses"] == 30
+        assert document["n_unanswered"] == 0
+        assert "latency_p95_ms" in document
+
+    def test_bad_connect_spec(self, capsys):
+        assert main(["loadgen", "--connect", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
