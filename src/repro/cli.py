@@ -20,6 +20,9 @@ Usage::
                                [--rate HZ] [--report BENCH.json]
                                [--expect-complete]
     python -m repro trace      [--metrics-out TRACE.json] COMMAND [ARGS...]
+    python -m repro verify     [--seeds N N ...] [--stage STAGE]
+                               [--fuzz-cases N] [--update-golden]
+                               [--golden-seed N]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
@@ -39,7 +42,12 @@ latency percentiles and the shed rate; ``trace`` runs any other command
 with observability enabled and prints the span tree and metrics table
 afterwards
 (``--metrics-out`` additionally writes the round-trippable trace JSON,
-e.g. ``repro trace multiseed --seeds 3 --metrics-out out.json``).
+e.g. ``repro trace multiseed --seeds 3 --metrics-out out.json``);
+``verify`` is the correctness gate: it sweeps the optimized kernels
+against the naive reference implementations (per-stage max-ULP/abs/rel
+divergence), diffs a fresh pipeline trace against the stored seed-7
+golden, and fuzzes degenerate datasets — exiting nonzero on any
+divergence (``--update-golden`` re-captures the golden trace instead).
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ from .core import ConstructionConfig, DegradationPolicy, QualityFilter
 from .core.persistence import QualityPackage
 from .experiment import run_awarepen_experiment
 from .parallel import BACKENDS, ENV_VAR
+from .verify import STAGE_NAMES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -147,6 +156,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        metavar="N",
                        help="socket mode: drain and exit after N requests")
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential/golden/fuzz correctness gate for the pipeline")
+    ver.add_argument("--seeds", type=int, nargs="+", default=[7, 11, 13],
+                     metavar="N",
+                     help="seeds swept by the differential runner")
+    ver.add_argument("--stage", default=None, choices=list(STAGE_NAMES),
+                     help="run a single differential stage (skips the "
+                          "golden and fuzz gates)")
+    ver.add_argument("--fuzz-cases", type=int, default=20, metavar="N",
+                     help="fuzzed degenerate datasets (0 disables)")
+    ver.add_argument("--update-golden", action="store_true",
+                     help="re-capture and store the golden trace, then "
+                          "exit")
+    ver.add_argument("--golden-seed", type=int, default=7,
+                     help="seed of the golden trace (and the fuzzer)")
 
     gen = sub.add_parser(
         "loadgen", help="seeded open-loop load generator for the service")
@@ -466,6 +492,36 @@ def _run_traced(argv: List[str]) -> int:
     return code
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import (DifferentialRunner, check_against_golden,
+                         run_fuzz, update_golden)
+
+    if args.update_golden:
+        path = update_golden(seed=args.golden_seed)
+        print(f"golden trace for seed {args.golden_seed} written to {path}")
+        return 0
+
+    stages = [args.stage] if args.stage else None
+    report = DifferentialRunner(seeds=tuple(args.seeds),
+                                stages=stages).run()
+    print(report.to_text())
+    ok = report.passed
+    if args.stage is None:
+        diff = check_against_golden(seed=args.golden_seed)
+        if diff is None:
+            print(f"no golden trace stored for seed {args.golden_seed}; "
+                  f"capture one with 'repro verify --update-golden'")
+        else:
+            print(diff.to_text())
+            ok = ok and diff.passed
+        if args.fuzz_cases > 0:
+            fuzz = run_fuzz(seed=args.golden_seed,
+                            n_cases=args.fuzz_cases)
+            print(fuzz.to_text())
+            ok = ok and fuzz.passed
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "multiseed": _cmd_multiseed,
@@ -476,6 +532,7 @@ _COMMANDS = {
     "full-report": _cmd_full_report,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "verify": _cmd_verify,
 }
 
 

@@ -37,6 +37,42 @@ from .. import observability as obs
 from ..exceptions import ConfigurationError, TrainingError
 
 
+def initial_potentials(xn: np.ndarray, radius: float) -> np.ndarray:
+    """Potential field ``P_i`` over unit-normalized data (vectorized).
+
+    This is the hot kernel of :meth:`SubtractiveClustering.fit`, exposed
+    so the differential verification harness (:mod:`repro.verify`) can
+    sweep it against the naive double-loop reference implementation.
+    Uses the ``||a||^2 + ||b||^2 - 2 a.b`` identity to avoid a 3-D
+    temporary.
+    """
+    xn = np.asarray(xn, dtype=float)
+    alpha = 4.0 / (float(radius) ** 2)
+    sq_norms = np.sum(xn * xn, axis=1)
+    sq_dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (xn @ xn.T)
+    np.maximum(sq_dists, 0.0, out=sq_dists)
+    return np.sum(np.exp(-alpha * sq_dists), axis=1)
+
+
+def potential_reduction(potentials: np.ndarray, xn: np.ndarray,
+                        center_index: int, radius: float,
+                        squash_factor: float = 1.25) -> np.ndarray:
+    """One revision step: subtract the accepted center's squashed field.
+
+    Returns the reduced potential field (the accepted center itself is
+    zeroed), exactly as :meth:`SubtractiveClustering.fit` applies it.
+    """
+    potentials = np.asarray(potentials, dtype=float)
+    xn = np.asarray(xn, dtype=float)
+    beta = 4.0 / ((float(squash_factor) * float(radius)) ** 2)
+    diff = xn - xn[center_index]
+    sq_dists = np.sum(diff * diff, axis=1)
+    p = float(potentials[center_index])
+    reduced = potentials - p * np.exp(-beta * sq_dists)
+    reduced[center_index] = 0.0
+    return reduced
+
+
 @dataclasses.dataclass(frozen=True)
 class SubtractiveClusteringResult:
     """Outcome of a subtractive-clustering run.

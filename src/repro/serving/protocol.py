@@ -79,10 +79,19 @@ class ServeRequest:
             raise ConfigurationError(
                 f"request line must be an object with 'cues': {line!r}")
         class_index = doc.get("class_index")
-        return cls(request_id=int(doc.get("id", 0)),
-                   cues=np.asarray(doc["cues"], dtype=float),
-                   class_index=None if class_index is None
-                   else int(class_index))
+        try:
+            request_id = int(doc.get("id", 0))
+            cues = np.asarray(doc["cues"], dtype=float)
+            class_index = (None if class_index is None
+                           else int(class_index))
+        except (TypeError, ValueError) as exc:
+            # Non-numeric ids, ragged or non-numeric cue payloads: a
+            # malformed frame must surface as a protocol error, never as
+            # a bare NumPy/int conversion crash.
+            raise ConfigurationError(
+                f"request fields are malformed: {line!r}") from exc
+        return cls(request_id=request_id, cues=cues,
+                   class_index=class_index)
 
 
 @dataclasses.dataclass(frozen=True)

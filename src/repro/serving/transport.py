@@ -17,6 +17,7 @@ this module adapts it to the two deployment shapes the CLI offers:
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import IO, List, Optional
 
 from ..exceptions import ConfigurationError
@@ -60,9 +61,9 @@ async def _handle_connection(service: InferenceService,
                                             request_id=request.request_id)
         except Exception as exc:  # noqa: BLE001 - report, keep the connection
             async with write_lock:
-                writer.write((f'{{"id": {request.request_id}, '
-                              f'"error": "{type(exc).__name__}"}}\n'
-                              ).encode())
+                writer.write((json.dumps(
+                    {"id": request.request_id,
+                     "error": type(exc).__name__}) + "\n").encode())
                 await writer.drain()
             return
         async with write_lock:
@@ -71,18 +72,44 @@ async def _handle_connection(service: InferenceService,
 
     loop = asyncio.get_running_loop()
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except ValueError:
+            # The frame exceeded the stream's line limit.  The framing
+            # is unrecoverable mid-line, so answer with a protocol error
+            # and close this connection instead of crashing the handler
+            # (the listener keeps accepting new connections).
+            async with write_lock:
+                writer.write(b'{"error": "bad request: frame exceeds '
+                             b'line limit"}\n')
+                await writer.drain()
+            # Discard the remainder of the stream before closing:
+            # dropping the socket with unread bytes pending would RST
+            # the connection and destroy the error reply in flight.
+            while await reader.read(1 << 16):
+                pass
+            break
         if not line:
             break
-        text = line.decode().strip()
+        try:
+            text = line.decode().strip()
+        except UnicodeDecodeError:
+            async with write_lock:
+                writer.write(b'{"error": "bad request: frame is not '
+                             b'valid UTF-8"}\n')
+                await writer.drain()
+            continue
         if not text:
             continue
         try:
             request = ServeRequest.from_json(text)
         except ConfigurationError as exc:
             async with write_lock:
-                writer.write(
-                    (f'{{"error": "bad request: {exc}"}}\n').encode())
+                # json.dumps, not string interpolation: the offending
+                # frame is echoed inside the message and may itself
+                # contain quotes or backslashes.
+                writer.write((json.dumps(
+                    {"error": f"bad request: {exc}"}) + "\n").encode())
                 await writer.drain()
             continue
         tasks.append(loop.create_task(_respond(request)))

@@ -1,0 +1,230 @@
+"""Seeded end-to-end fuzzing of the CQM construction pipeline.
+
+:func:`run_fuzz` generates degenerate datasets — constant cues, single
+points, near-duplicate clusters, extreme magnitudes, mixed per-column
+scales, tiny sample counts, single-class labels, gross outliers — and
+drives each through the construction mini-pipeline (subtractive
+clustering → initial FIS → LSE consequents → CQM queries, with a short
+hybrid-training run on a rotating subset).  The contract under test:
+
+* the pipeline either **succeeds** or raises a documented exception
+  from the :class:`repro.exceptions.ReproError` hierarchy — never a
+  bare ``ValueError``/``LinAlgError`` escaping from NumPy internals;
+* every produced quality is ``q ∈ [0, 1]`` or the epsilon encoding
+  (``NaN`` in batch, ``None`` scalar) — never ``±inf``, never a silent
+  out-of-range value.
+
+Everything is driven by one master seed, so a failing case is
+reproducible from its report line alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..anfis.initialization import fis_from_clusters
+from ..anfis.lse import fit_consequents
+from ..anfis.training import HybridTrainer
+from ..clustering.subtractive import SubtractiveClustering
+from ..core.quality import QualityMeasure
+from ..exceptions import ReproError
+from ..fuzzy.tsk import TSKSystem
+
+#: Degenerate dataset generators, cycled over the case budget.
+CASE_KINDS: Tuple[str, ...] = (
+    "gaussian-control", "constant-cues", "single-point",
+    "near-duplicate-clusters", "extreme-large", "extreme-small",
+    "mixed-scale", "tiny-set", "single-class", "gross-outlier",
+)
+
+
+def _dataset(rng: np.random.Generator,
+             kind: str) -> Tuple[np.ndarray, np.ndarray]:
+    """One degenerate (cues, class labels) pair for *kind*."""
+    d = int(rng.integers(2, 5))
+    n = int(rng.integers(12, 40))
+    labels = rng.integers(0, 3, size=n).astype(float)
+    if kind == "gaussian-control":
+        cues = rng.normal(0.0, 1.0, size=(n, d))
+    elif kind == "constant-cues":
+        cues = np.tile(rng.normal(size=d), (n, 1))
+    elif kind == "single-point":
+        n = 1
+        cues = rng.normal(size=(1, d))
+        labels = np.zeros(1)
+    elif kind == "near-duplicate-clusters":
+        base = rng.normal(size=(n // 2 + 1, d))
+        cues = np.vstack([base, base + 1e-12])[:n]
+    elif kind == "extreme-large":
+        cues = 1e8 * rng.normal(size=(n, d))
+    elif kind == "extreme-small":
+        cues = 1e-8 * rng.normal(size=(n, d))
+    elif kind == "mixed-scale":
+        scales = np.logspace(-8, 8, d)
+        cues = scales * rng.normal(size=(n, d))
+    elif kind == "tiny-set":
+        n = int(rng.integers(2, 5))
+        cues = rng.normal(size=(n, d))
+        labels = labels[:n]
+    elif kind == "single-class":
+        cues = rng.normal(size=(n, d))
+        labels = np.zeros(n)
+    elif kind == "gross-outlier":
+        cues = rng.normal(size=(n, d))
+        cues[int(rng.integers(0, n))] = 1e6
+    else:  # pragma: no cover - guarded by CASE_KINDS
+        raise ValueError(kind)
+    labels = labels[:cues.shape[0]]
+    return cues, labels
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzCase:
+    """Outcome of one fuzzed dataset."""
+
+    index: int
+    kind: str
+    n_samples: int
+    n_cues: int
+    outcome: str            # "ok" or "raised"
+    detail: str
+
+    def to_text(self) -> str:
+        return (f"case {self.index:>3} {self.kind:<24} "
+                f"n={self.n_samples:<3} d={self.n_cues} "
+                f"{self.outcome}: {self.detail}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzFailure:
+    """A contract violation: undocumented exception or invalid q."""
+
+    index: int
+    kind: str
+    message: str
+
+    def to_text(self) -> str:
+        return f"case {self.index} ({self.kind}): {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzReport:
+    seed: int
+    cases: Tuple[FuzzCase, ...]
+    failures: Tuple[FuzzFailure, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for c in self.cases if c.outcome == "ok")
+
+    @property
+    def n_raised(self) -> int:
+        return sum(1 for c in self.cases if c.outcome == "raised")
+
+    def to_text(self) -> str:
+        lines = [f"fuzz seed {self.seed}: {len(self.cases)} cases, "
+                 f"{self.n_ok} ok, {self.n_raised} raised documented "
+                 f"repro exceptions, {len(self.failures)} contract "
+                 f"violations"]
+        lines += ["  FAIL " + f.to_text() for f in self.failures]
+        return "\n".join(lines)
+
+
+def _check_qualities(q: np.ndarray, where: str) -> Optional[str]:
+    """Return a violation message, or ``None`` when the contract holds."""
+    q = np.asarray(q, dtype=float)
+    if np.any(np.isinf(q)):
+        return f"{where}: infinite quality produced"
+    finite = q[~np.isnan(q)]
+    if finite.size and (np.any(finite < 0.0) or np.any(finite > 1.0)):
+        return (f"{where}: quality outside [0, 1]: "
+                f"[{finite.min():.6g}, {finite.max():.6g}]")
+    return None
+
+
+def _run_case(rng: np.random.Generator, cues: np.ndarray,
+              labels: np.ndarray, train: bool) -> Tuple[str, List[str]]:
+    """Drive one dataset through the mini-pipeline.
+
+    Returns ``(detail, violations)``; documented ``ReproError``
+    exceptions are reported via *detail* and are not violations.
+    """
+    violations: List[str] = []
+    v_q = np.hstack([cues, labels[:, None]])
+    targets = rng.integers(0, 2, size=cues.shape[0]).astype(float)
+    clustering = SubtractiveClustering(radius=0.5).fit(v_q)
+    system = fis_from_clusters(clustering, order=1)
+    coefficients, _ = fit_consequents(system, v_q, targets)
+    system = TSKSystem(system.means, system.sigmas, coefficients,
+                       order=system.order)
+    if train:
+        HybridTrainer(epochs=3, learning_rate=0.02).train(
+            system, v_q, targets, v_q, targets)
+    quality = QualityMeasure(system, n_cues=cues.shape[1])
+
+    queries = np.vstack([
+        cues,
+        cues * 10.0 + 5.0,              # far outside the trained region
+        np.zeros((1, cues.shape[1])),
+    ])
+    classes = np.concatenate([labels, labels, [0.0]])
+    q = quality.measure_batch(queries, classes)
+    violation = _check_qualities(q, "measure_batch")
+    if violation:
+        violations.append(violation)
+
+    scalar = quality.measure(queries[0], int(classes[0]))
+    if scalar is not None:
+        violation = _check_qualities(np.array([scalar]), "measure")
+        if violation:
+            violations.append(violation)
+        batch_q = q[0]
+        if np.isnan(batch_q):
+            violations.append("measure/measure_batch disagree on epsilon")
+    elif not np.isnan(q[0]):
+        violations.append("measure/measure_batch disagree on epsilon")
+
+    n_eps = int(np.sum(np.isnan(q)))
+    detail = (f"{clustering.n_clusters} clusters, "
+              f"{q.size - n_eps} finite q, {n_eps} epsilon")
+    return detail, violations
+
+
+def run_fuzz(seed: int = 0, n_cases: int = 40) -> FuzzReport:
+    """Fuzz *n_cases* degenerate datasets derived from *seed*."""
+    cases: List[FuzzCase] = []
+    failures: List[FuzzFailure] = []
+    for index in range(int(n_cases)):
+        kind = CASE_KINDS[index % len(CASE_KINDS)]
+        rng = np.random.default_rng(int(seed) * 100003 + index)
+        cues, labels = _dataset(rng, kind)
+        try:
+            # Hybrid training is the slow path; exercise it on a
+            # rotating quarter of the budget.
+            detail, violations = _run_case(rng, cues, labels,
+                                           train=index % 4 == 0)
+            outcome = "ok"
+        except ReproError as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            violations = []
+            outcome = "raised"
+        except Exception as exc:   # noqa: BLE001 - the contract under test
+            detail = f"{type(exc).__name__}: {exc}"
+            violations = [f"undocumented exception {type(exc).__name__}: "
+                          f"{exc}"]
+            outcome = "raised"
+        cases.append(FuzzCase(index=index, kind=kind,
+                              n_samples=cues.shape[0],
+                              n_cues=cues.shape[1], outcome=outcome,
+                              detail=detail))
+        failures.extend(FuzzFailure(index=index, kind=kind, message=m)
+                        for m in violations)
+    return FuzzReport(seed=int(seed), cases=tuple(cases),
+                      failures=tuple(failures))

@@ -1,0 +1,377 @@
+"""Golden traces: content-hashed per-stage snapshots of the pipeline.
+
+:func:`capture_trace` runs the full AwarePen experiment for one seed and
+records, for every pipeline stage in order, a sha256 content hash plus a
+small set of numeric probes (shape, NaN count, sum, extrema, strided
+samples) of each stage artifact.  :func:`diff_traces` compares a freshly
+captured trace against a stored golden one and names the **first
+diverging stage** — turning "the numbers moved" into "the drift enters
+the pipeline at ``clustering``".
+
+The pass/fail criterion is the numeric probes compared under a relative
+tolerance; the content hashes are reported informationally.  Hashes pin
+bit-exactness on the platform that captured the golden, but BLAS or
+libm differences may legitimately change last-ULP bits elsewhere — the
+probes are what the CI gate enforces.
+
+The shipped golden for seed 7 lives in ``golden_data/seed7.json`` inside
+this package and is refreshed with ``repro verify --update-golden``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..anfis.initialization import fis_from_clusters
+from ..anfis.lse import fit_consequents
+from ..clustering.subtractive import SubtractiveClustering
+from ..core.construction import ConstructionConfig, quality_training_data
+from ..core.quality import QualityMeasure
+from ..exceptions import ConfigurationError
+from ..fuzzy.tsk import TSKSystem
+
+#: Pipeline stages in the order the drift diff walks them.
+STAGE_ORDER: Tuple[str, ...] = (
+    "material", "classifier", "quality_data", "clustering", "initial_lse",
+    "tsk", "cqm", "populations", "threshold", "probabilities", "evaluation",
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden_data"
+
+#: Number of strided flat samples probed per array.
+N_SAMPLES = 8
+
+
+def default_golden_path(seed: int = 7) -> pathlib.Path:
+    """Location of the stored golden trace for *seed*."""
+    return GOLDEN_DIR / f"seed{int(seed)}.json"
+
+
+def _fmt(value: float) -> str:
+    """Round-trippable text encoding (JSON has no NaN/inf literals)."""
+    return repr(float(value))
+
+
+def _content_hash(array: np.ndarray) -> str:
+    array = np.ascontiguousarray(array, dtype=float)
+    digest = hashlib.sha256()
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayRecord:
+    """Hash + numeric probes of one stage artifact."""
+
+    name: str
+    shape: Tuple[int, ...]
+    sha256: str
+    n_nan: int
+    probes: Dict[str, str]          # field -> repr(float)
+
+    @classmethod
+    def capture(cls, name: str, array: np.ndarray) -> "ArrayRecord":
+        array = np.asarray(array, dtype=float)
+        flat = array.ravel()
+        finite_sum = float(np.nansum(flat)) if flat.size else 0.0
+        probes = {"sum": _fmt(finite_sum)}
+        if flat.size:
+            probes["min"] = _fmt(np.nanmin(flat)) if not np.all(
+                np.isnan(flat)) else _fmt(np.nan)
+            probes["max"] = _fmt(np.nanmax(flat)) if not np.all(
+                np.isnan(flat)) else _fmt(np.nan)
+            stride = max(1, flat.size // N_SAMPLES)
+            for k, value in enumerate(flat[::stride][:N_SAMPLES]):
+                probes[f"sample{k}"] = _fmt(value)
+        return cls(name=name, shape=tuple(array.shape),
+                   sha256=_content_hash(array),
+                   n_nan=int(np.sum(np.isnan(flat))), probes=probes)
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "shape": list(self.shape),
+                "sha256": self.sha256, "n_nan": self.n_nan,
+                "probes": dict(self.probes)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ArrayRecord":
+        return cls(name=payload["name"], shape=tuple(payload["shape"]),
+                   sha256=payload["sha256"], n_nan=int(payload["n_nan"]),
+                   probes=dict(payload["probes"]))
+
+
+@dataclasses.dataclass(frozen=True)
+class StageRecord:
+    stage: str
+    arrays: Tuple[ArrayRecord, ...]
+
+    def to_dict(self) -> Dict:
+        return {"stage": self.stage,
+                "arrays": [a.to_dict() for a in self.arrays]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StageRecord":
+        return cls(stage=payload["stage"],
+                   arrays=tuple(ArrayRecord.from_dict(a)
+                                for a in payload["arrays"]))
+
+
+@dataclasses.dataclass(frozen=True)
+class GoldenTrace:
+    """Per-stage records of one full pipeline run."""
+
+    seed: int
+    stages: Tuple[StageRecord, ...]
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.stage == name:
+                return record
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict:
+        return {"kind": "golden_trace", "seed": self.seed,
+                "stage_order": list(STAGE_ORDER),
+                "stages": [s.to_dict() for s in self.stages]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "GoldenTrace":
+        if payload.get("kind") != "golden_trace":
+            raise ConfigurationError(
+                f"not a golden trace: kind={payload.get('kind')!r}")
+        return cls(seed=int(payload["seed"]),
+                   stages=tuple(StageRecord.from_dict(s)
+                                for s in payload["stages"]))
+
+    def save(self, path: pathlib.Path) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "GoldenTrace":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def capture_trace(seed: int = 7,
+                  config: ConstructionConfig = ConstructionConfig(),
+                  system_mutator: Optional[Callable[[TSKSystem],
+                                                    TSKSystem]] = None
+                  ) -> GoldenTrace:
+    """Run the full pipeline for *seed* and record every stage.
+
+    ``system_mutator`` receives a copy of the trained quality system and
+    returns the system used for the ``tsk``/``cqm`` stages — the hook
+    behind the negative control: a perturbed consequent must make the
+    drift diff name ``tsk``.  The early stages (clustering, initial LSE)
+    are recomputed from the experiment's own material; they are pure
+    deterministic functions, so the recomputation is exact.
+    """
+    from ..experiment import run_awarepen_experiment
+
+    result = run_awarepen_experiment(seed=seed, config=config)
+    material = result.material
+    classifier = result.classifier
+
+    v, y, _ = quality_training_data(classifier, material.quality_train)
+    clustering = SubtractiveClustering(radius=config.radius).fit(v)
+    initial = fis_from_clusters(clustering, order=config.order)
+    initial_coefficients, _ = fit_consequents(initial, v, y)
+
+    system = result.augmented.quality.system
+    if system_mutator is not None:
+        system = system_mutator(system.copy())
+    n_cues = material.analysis.cues.shape[1]
+    quality = QualityMeasure(system, n_cues=n_cues)
+    predicted = classifier.predict_indices(material.analysis.cues)
+    q = quality.measure_batch(material.analysis.cues,
+                              predicted.astype(float))
+
+    estimates = result.calibration.estimates
+    probabilities = result.calibration.probabilities.as_dict()
+
+    stage_arrays: List[Tuple[str, List[Tuple[str, np.ndarray]]]] = [
+        ("material", [
+            ("analysis_cues", material.analysis.cues),
+            ("analysis_labels", material.analysis.labels.astype(float)),
+            ("quality_train_cues", material.quality_train.cues),
+            ("quality_check_cues", material.quality_check.cues),
+        ]),
+        ("classifier", [("predicted_indices", predicted.astype(float))]),
+        ("quality_data", [("v_q", v), ("targets", y)]),
+        ("clustering", [
+            ("centers", clustering.centers),
+            ("potentials", clustering.potentials),
+            ("sigmas", clustering.sigmas),
+        ]),
+        ("initial_lse", [("coefficients", initial_coefficients)]),
+        ("tsk", [
+            ("means", system.means),
+            ("sigmas", system.sigmas),
+            ("coefficients", system.coefficients),
+        ]),
+        ("cqm", [("q", q)]),
+        ("populations", [
+            ("right", np.array([estimates.right.mu, estimates.right.sigma,
+                                float(estimates.n_right)])),
+            ("wrong", np.array([estimates.wrong.mu, estimates.wrong.sigma,
+                                float(estimates.n_wrong)])),
+        ]),
+        ("threshold", [("s", np.array([result.calibration.s]))]),
+        ("probabilities", [
+            ("values", np.array([probabilities[k]
+                                 for k in sorted(probabilities)])),
+        ]),
+        ("evaluation", [
+            ("accuracy", np.array([result.test_accuracy_before,
+                                   result.test_accuracy_after])),
+            ("qualities", result.evaluation_qualities),
+            ("correct", result.evaluation_correct.astype(float)),
+        ]),
+    ]
+    records = tuple(
+        StageRecord(stage=stage,
+                    arrays=tuple(ArrayRecord.capture(name, array)
+                                 for name, array in arrays))
+        for stage, arrays in stage_arrays)
+    return GoldenTrace(seed=int(seed), stages=records)
+
+
+@dataclasses.dataclass(frozen=True)
+class Drift:
+    """One probe that moved beyond tolerance."""
+
+    stage: str
+    array: str
+    field: str
+    golden: str
+    current: str
+
+    def to_text(self) -> str:
+        return (f"{self.stage}/{self.array}.{self.field}: "
+                f"golden={self.golden} current={self.current}")
+
+
+@dataclasses.dataclass(frozen=True)
+class GoldenDiff:
+    """Result of comparing a fresh trace against a stored golden."""
+
+    seed: int
+    drifts: Tuple[Drift, ...]
+    hash_mismatches: Tuple[str, ...]    # informational: "stage/array"
+    n_stages: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.drifts
+
+    @property
+    def first_diverging_stage(self) -> Optional[str]:
+        """Earliest pipeline stage with a numeric drift, or ``None``."""
+        for stage in STAGE_ORDER:
+            if any(d.stage == stage for d in self.drifts):
+                return stage
+        return self.drifts[0].stage if self.drifts else None
+
+    def to_text(self) -> str:
+        lines = [f"golden trace seed {self.seed}: "
+                 f"{self.n_stages} stages compared"]
+        if self.hash_mismatches:
+            lines.append("  content hashes differ (informational): "
+                         + ", ".join(self.hash_mismatches))
+        if self.passed:
+            lines.append("  all stage probes match the golden")
+        else:
+            lines.append(f"  FIRST DIVERGING STAGE: "
+                         f"{self.first_diverging_stage}")
+            lines += ["  drift " + d.to_text() for d in self.drifts[:12]]
+            if len(self.drifts) > 12:
+                lines.append(f"  ... and {len(self.drifts) - 12} more")
+        return "\n".join(lines)
+
+
+def _values_match(golden: str, current: str, rtol: float,
+                  atol: float) -> bool:
+    a, b = float(golden), float(current)
+    if np.isnan(a) and np.isnan(b):
+        return True
+    if np.isnan(a) or np.isnan(b):
+        return False
+    if np.isinf(a) or np.isinf(b):
+        return a == b
+    return abs(a - b) <= atol + rtol * abs(a)
+
+
+def diff_traces(current: GoldenTrace, golden: GoldenTrace,
+                rtol: float = 1e-9, atol: float = 1e-12) -> GoldenDiff:
+    """Compare *current* against *golden*, walking stages in order."""
+    if current.seed != golden.seed:
+        raise ConfigurationError(
+            f"seed mismatch: current={current.seed}, golden={golden.seed}")
+    drifts: List[Drift] = []
+    hash_mismatches: List[str] = []
+    n_stages = 0
+    for stage_name in STAGE_ORDER:
+        try:
+            golden_stage = golden.stage(stage_name)
+            current_stage = current.stage(stage_name)
+        except KeyError:
+            continue
+        n_stages += 1
+        current_arrays = {a.name: a for a in current_stage.arrays}
+        for g in golden_stage.arrays:
+            c = current_arrays.get(g.name)
+            if c is None:
+                drifts.append(Drift(stage_name, g.name, "presence",
+                                    "recorded", "missing"))
+                continue
+            if c.sha256 != g.sha256:
+                hash_mismatches.append(f"{stage_name}/{g.name}")
+            if c.shape != g.shape:
+                drifts.append(Drift(stage_name, g.name, "shape",
+                                    str(g.shape), str(c.shape)))
+                continue
+            if c.n_nan != g.n_nan:
+                drifts.append(Drift(stage_name, g.name, "n_nan",
+                                    str(g.n_nan), str(c.n_nan)))
+            for field, value in g.probes.items():
+                got = c.probes.get(field)
+                if got is None or not _values_match(value, got, rtol, atol):
+                    drifts.append(Drift(stage_name, g.name, field,
+                                        value, got if got is not None
+                                        else "missing"))
+    return GoldenDiff(seed=golden.seed, drifts=tuple(drifts),
+                      hash_mismatches=tuple(hash_mismatches),
+                      n_stages=n_stages)
+
+
+def check_against_golden(seed: int = 7,
+                         path: Optional[pathlib.Path] = None,
+                         rtol: float = 1e-9) -> Optional[GoldenDiff]:
+    """Capture a fresh trace and diff it against the stored golden.
+
+    Returns ``None`` when no golden exists for *seed* (the caller
+    reports "no golden stored" instead of failing).
+    """
+    path = pathlib.Path(path) if path is not None else default_golden_path(
+        seed)
+    if not path.exists():
+        return None
+    golden = GoldenTrace.load(path)
+    return diff_traces(capture_trace(seed=seed), golden, rtol=rtol)
+
+
+def update_golden(seed: int = 7,
+                  path: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Capture and store the golden trace for *seed*; returns the path."""
+    path = pathlib.Path(path) if path is not None else default_golden_path(
+        seed)
+    capture_trace(seed=seed).save(path)
+    return path

@@ -7,11 +7,56 @@ each test builds cheap registries and services on top.
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
+
 import numpy as np
 import pytest
 
 from repro.core.persistence import QualityPackage
-from repro.serving import ModelRegistry, ServeRequest
+from repro.serving import (ModelRegistry, ServeRequest, ServingConfig,
+                           serve_socket)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cwd(tmp_path, monkeypatch):
+    """Run every serving test from a private tmp directory.
+
+    Any incidental artifact write (saved packages, reports, metrics
+    dumps) lands in ``tmp_path`` instead of leaking into the repo, and
+    parallel test runs can't collide on shared relative paths.
+    """
+    monkeypatch.chdir(tmp_path)
+
+
+@contextlib.asynccontextmanager
+async def socket_server(registry, config: ServingConfig = None,
+                        max_requests: int = None):
+    """Serve JSONL over TCP on an OS-assigned free port (port 0).
+
+    Yields the bound port; always binds port 0 so concurrent test
+    sessions never race for a fixed port number.  On exit the server is
+    stopped (or, with ``max_requests``, awaited to retire on its own).
+    """
+    announcements = []
+    ready = asyncio.Event()
+    stop = asyncio.Event()
+    task = asyncio.get_running_loop().create_task(
+        serve_socket(registry, "127.0.0.1", 0,
+                     config=config if config is not None else
+                     ServingConfig(),
+                     ready=ready, stop=stop, max_requests=max_requests,
+                     announce=announcements.append))
+    await asyncio.wait_for(ready.wait(), timeout=5)
+    port = int(announcements[0].split()[2].rsplit(":", 1)[1])
+    try:
+        yield port
+    finally:
+        if max_requests is not None:
+            await asyncio.wait_for(task, timeout=10)
+        else:
+            stop.set()
+            await asyncio.wait_for(task, timeout=10)
 
 
 @pytest.fixture(scope="session")

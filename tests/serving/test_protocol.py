@@ -1,4 +1,9 @@
-"""Wire-format round-trips and validation of the serving records."""
+"""Wire-format round-trips, fuzzing, and validation of the serving
+records — malformed frames must produce protocol error responses,
+never a crash."""
+
+import asyncio
+import json
 
 import numpy as np
 import pytest
@@ -6,6 +11,8 @@ import pytest
 from repro.core.degradation import GateAction
 from repro.exceptions import ConfigurationError
 from repro.serving import ServeRequest, ServeResponse
+
+from .conftest import make_requests
 
 
 class TestServeRequest:
@@ -87,3 +94,189 @@ class TestServeResponse:
         a = self._response()
         b = self._response(action=GateAction.REJECT)
         assert a.key() != b.key()
+
+
+def _mangle(rng, line: str) -> str:
+    """One seeded mutation of a valid JSONL frame."""
+    mutation = rng.integers(0, 6)
+    if mutation == 0:                      # truncate mid-line
+        return line[:int(rng.integers(0, max(1, len(line))))]
+    if mutation == 1:                      # byte flip
+        k = int(rng.integers(0, len(line)))
+        return line[:k] + chr(int(rng.integers(32, 127))) + line[k + 1:]
+    if mutation == 2:                      # wrong JSON type
+        return rng.choice(['[]', '"cues"', '42', 'null', 'true'])
+    if mutation == 3:                      # non-numeric payloads
+        return rng.choice(['{"id": "x", "cues": [1.0]}',
+                           '{"cues": ["a", "b"]}',
+                           '{"cues": {"0": 1.0}}',
+                           '{"cues": [[1.0], [2.0, 3.0]]}',
+                           '{"cues": [1.0], "class_index": "zero"}'])
+    if mutation == 4:                      # empty-ish frames
+        return rng.choice(['{}', '{"cues": []}', '{"id": 1}'])
+    return line + line                     # doubled frame on one line
+
+
+class TestProtocolFuzz:
+    """Malformed frames must raise ConfigurationError — never anything
+    else — and valid frames must survive arbitrary round-trips."""
+
+    def test_mangled_frames_never_crash(self):
+        rng = np.random.default_rng(42)
+        base = ServeRequest(request_id=3, cues=np.array([0.1, 0.2, 0.3]),
+                            class_index=1).to_json()
+        outcomes = {"parsed": 0, "rejected": 0}
+        for _ in range(300):
+            frame = _mangle(rng, base)
+            try:
+                request = ServeRequest.from_json(frame)
+            except ConfigurationError:
+                outcomes["rejected"] += 1
+            else:
+                # A mutation may still be a valid frame; it must then
+                # satisfy the record's own invariants.
+                assert request.cues.size > 0
+                assert request.cues.dtype == float
+                outcomes["parsed"] += 1
+        assert outcomes["rejected"] > 0
+        assert outcomes["parsed"] > 0      # the fuzzer isn't vacuous
+
+    def test_random_requests_round_trip(self):
+        rng = np.random.default_rng(9)
+        for k in range(100):
+            cues = rng.normal(size=int(rng.integers(1, 9)))
+            class_index = (int(rng.integers(0, 5))
+                           if rng.random() < 0.5 else None)
+            request = ServeRequest(request_id=k, cues=cues,
+                                   class_index=class_index)
+            back = ServeRequest.from_json(request.to_json())
+            assert back.request_id == k
+            assert back.class_index == class_index
+            assert np.array_equal(back.cues, request.cues)
+
+    def test_random_responses_round_trip(self):
+        rng = np.random.default_rng(11)
+        actions = list(GateAction)
+        for k in range(100):
+            shed = bool(rng.random() < 0.2)
+            epsilon = shed or rng.random() < 0.2
+            response = ServeResponse(
+                request_id=k,
+                class_index=None if shed else int(rng.integers(0, 3)),
+                class_name=None if shed else "writing",
+                quality=None if epsilon else float(rng.random()),
+                action=actions[int(rng.integers(0, len(actions)))],
+                degraded=epsilon, shed=shed,
+                package_version=None if shed else int(rng.integers(1, 4)),
+                batch_size=int(rng.integers(0, 33)),
+                latency_s=float(rng.random() / 100))
+            back = ServeResponse.from_json(response.to_json())
+            assert back.key() == response.key()
+
+    def test_truncations_of_a_valid_frame_all_rejected_or_valid(self):
+        line = ServeRequest(request_id=1, cues=np.array([1.5, -2.0]),
+                            class_index=2).to_json()
+        for cut in range(len(line)):
+            try:
+                ServeRequest.from_json(line[:cut])
+            except ConfigurationError:
+                pass                        # the only acceptable failure
+
+
+class TestSocketFuzz:
+    """Socket-level robustness: bad frames get error replies and the
+    server keeps serving — never a crash, never a hung connection."""
+
+    @staticmethod
+    async def _exchange(port, payload: bytes):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(payload)
+        await writer.drain()
+        writer.write_eof()
+        lines = []
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=10)
+            if not line:
+                break
+            lines.append(json.loads(line))
+        writer.close()
+        await writer.wait_closed()
+        return lines
+
+    def test_malformed_then_valid_frames_on_one_connection(
+            self, registry, cue_pool):
+        from .conftest import socket_server
+
+        valid = ServeRequest(request_id=1,
+                             cues=cue_pool[0]).to_json().encode()
+
+        async def scenario():
+            async with socket_server(registry) as port:
+                return await self._exchange(
+                    port, b'{"nope": 1}\n' + b'not json at all\n'
+                    + b'\xff\xfe garbage bytes\n' + valid + b"\n")
+
+        replies = asyncio.run(scenario())
+        errors = [r for r in replies if "error" in r]
+        answers = [r for r in replies if "error" not in r]
+        assert len(errors) == 3
+        assert all("bad request" in r["error"] for r in errors)
+        assert len(answers) == 1
+        assert answers[0]["id"] == 1
+
+    def test_wrong_dimension_cues_get_error_response(self, registry,
+                                                     cue_pool):
+        from .conftest import socket_server
+
+        bad = ServeRequest(request_id=5, cues=np.ones(
+            cue_pool.shape[1] + 3)).to_json().encode()
+
+        async def scenario():
+            async with socket_server(registry) as port:
+                return await self._exchange(port, bad + b"\n")
+
+        replies = asyncio.run(scenario())
+        assert len(replies) == 1
+        assert replies[0]["id"] == 5
+        assert "Error" in replies[0]["error"]    # DimensionError
+
+    def test_oversized_frame_rejected_and_server_survives(
+            self, registry, cue_pool):
+        from .conftest import socket_server
+
+        # Far beyond asyncio's 64 KiB default stream line limit.
+        oversized = b'{"cues": [' + b"1.0, " * 60000 + b"1.0]}\n"
+        valid = ServeRequest(request_id=2,
+                             cues=cue_pool[0]).to_json().encode()
+
+        async def scenario():
+            async with socket_server(registry) as port:
+                first = await self._exchange(port, oversized)
+                # The listener must still accept fresh connections.
+                second = await self._exchange(port, valid + b"\n")
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert len(first) == 1
+        assert "line limit" in first[0]["error"]
+        assert len(second) == 1
+        assert second[0]["id"] == 2
+
+    def test_oversized_batch_of_frames_all_answered(self, registry,
+                                                    cue_pool):
+        from .conftest import socket_server
+        from repro.serving import ServingConfig
+
+        requests = make_requests(cue_pool, 64, seed=8)
+        payload = "".join(r.to_json() + "\n" for r in requests).encode()
+
+        async def scenario():
+            async with socket_server(
+                    registry,
+                    config=ServingConfig(max_batch=4,
+                                         deadline_s=0.001)) as port:
+                return await self._exchange(port, payload)
+
+        replies = asyncio.run(scenario())
+        assert {r["id"] for r in replies} == set(range(64))
+        assert all("error" not in r for r in replies)

@@ -258,3 +258,33 @@ class TestLoadgenCommand:
     def test_bad_connect_spec(self, capsys):
         assert main(["loadgen", "--connect", "nope"]) == 2
         assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_full_gate_passes(self, capsys):
+        assert main(["verify", "--seeds", "7", "--fuzz-cases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "all stages within tolerance" in out
+        assert "all stage probes match the golden" in out
+        assert "0 contract violations" in out
+
+    def test_single_stage_skips_golden_and_fuzz(self, capsys):
+        assert main(["verify", "--stage", "normalization",
+                     "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "normalization" in out
+        assert "golden" not in out
+        assert "fuzz" not in out
+
+    def test_update_golden_writes_package_data(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setattr("repro.verify.golden.GOLDEN_DIR", tmp_path)
+        assert main(["verify", "--update-golden"]) == 0
+        assert (tmp_path / "seed7.json").exists()
+        assert "written" in capsys.readouterr().out
+
+    def test_unknown_stage_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--stage", "einsum"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

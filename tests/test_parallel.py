@@ -209,3 +209,67 @@ class TestFailureDiagnostics:
         text = str(excinfo.value).lower()
         notes = " ".join(getattr(excinfo.value, "__notes__", [])).lower()
         assert "pickl" in text or "pickl" in notes
+
+
+class TestThreadVsProcessDifferential:
+    """Thread and process backends must agree with *each other*.
+
+    The integration suite pins each pooled backend against the serial
+    reference; this differential closes the triangle — a bug that
+    shifted both pooled paths identically away from serial would still
+    be caught by those tests, but one that made thread and process
+    disagree (e.g. fork-time state leaking into a worker) is caught
+    here directly, on the real multiseed and crossval drivers.
+    """
+
+    @staticmethod
+    def _metrics_equal(a: dict, b: dict) -> None:
+        import math
+
+        assert set(a) == set(b)
+        for key in a:
+            same = (a[key] == b[key]
+                    or (isinstance(a[key], float)
+                        and math.isnan(a[key]) and math.isnan(b[key])))
+            assert same, f"metric {key!r}: {a[key]!r} != {b[key]!r}"
+
+    def test_multiseed_thread_equals_process(self):
+        from repro.core import ConstructionConfig
+        from repro.evaluation import MultiSeedRunner
+
+        cheap = ConstructionConfig(epochs=10)
+        threaded = MultiSeedRunner(seeds=(7, 11), config=cheap,
+                                   parallel="thread", max_workers=2).run()
+        processed = MultiSeedRunner(seeds=(7, 11), config=cheap,
+                                    parallel="process",
+                                    max_workers=2).run()
+        assert len(threaded.per_seed) == len(processed.per_seed)
+        for thread_metrics, process_metrics in zip(threaded.per_seed,
+                                                   processed.per_seed):
+            self._metrics_equal(thread_metrics, process_metrics)
+
+    def test_crossval_thread_equals_process(self, experiment):
+        import dataclasses
+
+        from repro.core import ConstructionConfig
+        from repro.datasets import evaluation_script, generate_dataset
+        from repro.evaluation import ScenarioCrossValidator
+
+        cheap = ConstructionConfig(epochs=10)
+
+        def factory(seed):
+            return generate_dataset(
+                lambda rng: evaluation_script(rng, blocks=2), seed=seed)
+
+        def run(backend):
+            cv = ScenarioCrossValidator(experiment.classifier, factory,
+                                        n_folds=2, config=cheap,
+                                        parallel=backend, max_workers=2)
+            return cv.run().folds
+
+        thread_folds = run("thread")
+        process_folds = run("process")
+        assert len(thread_folds) == len(process_folds)
+        for thread_fold, process_fold in zip(thread_folds, process_folds):
+            self._metrics_equal(dataclasses.asdict(thread_fold),
+                                dataclasses.asdict(process_fold))

@@ -1,0 +1,1 @@
+"""Tests for repro.verify — the differential verification harness."""

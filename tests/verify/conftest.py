@@ -1,0 +1,22 @@
+"""Shared fixtures for the verification-harness tests.
+
+The differential runner and the golden capture both train a full
+seed-7 experiment; the expensive reports are session-scoped so each is
+paid once per test run.
+"""
+
+import pytest
+
+from repro.verify import DifferentialRunner, capture_trace
+
+
+@pytest.fixture(scope="session")
+def seed7_report():
+    """Full differential report over all stages for seed 7."""
+    return DifferentialRunner(seeds=(7,)).run()
+
+
+@pytest.fixture(scope="session")
+def seed7_trace():
+    """A freshly captured golden trace of the seed-7 pipeline."""
+    return capture_trace(seed=7)

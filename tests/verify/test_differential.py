@@ -1,0 +1,70 @@
+"""Tests of the differential runner: all stages agree, reports behave."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.verify import (DifferentialRunner, STAGE_NAMES, StageFault,
+                          ulp_distance)
+
+
+class TestFullSweep:
+    def test_all_stages_pass_for_seed7(self, seed7_report):
+        assert seed7_report.passed, seed7_report.to_text()
+        assert seed7_report.first_failure is None
+
+    def test_every_stage_compared_something(self, seed7_report):
+        names = [stage.stage for stage in seed7_report.stages]
+        assert names == list(STAGE_NAMES)
+        assert all(stage.n_values > 0 for stage in seed7_report.stages)
+
+    def test_exact_stages_report_zero_divergence(self, seed7_report):
+        by_name = {s.stage: s for s in seed7_report.stages}
+        # Serving and normalization claim bit identity - atol=rtol=0.
+        for name in ("normalization", "serving"):
+            assert by_name[name].max_abs == 0.0
+            assert by_name[name].max_ulp == 0.0
+
+    def test_report_text_names_every_stage(self, seed7_report):
+        text = seed7_report.to_text()
+        for name in STAGE_NAMES:
+            assert name in text
+        assert "all stages within tolerance" in text
+
+
+class TestStageSelection:
+    def test_single_fast_stage(self):
+        report = DifferentialRunner(seeds=(3,),
+                                    stages=["normalization"]).run()
+        assert [s.stage for s in report.stages] == ["normalization"]
+        assert report.passed
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown stage"):
+            DifferentialRunner(stages=["einsum"])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialRunner(seeds=())
+
+    def test_fault_on_unsupported_stage_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault injection"):
+            DifferentialRunner(fault=StageFault("cues", lambda s: s))
+
+
+class TestUlpDistance:
+    def test_identical_is_zero(self):
+        x = np.array([0.0, 1.0, -3.5, 1e300])
+        assert np.all(ulp_distance(x, x) == 0.0)
+
+    def test_adjacent_floats_are_one_ulp(self):
+        x = np.array([1.0])
+        assert ulp_distance(x, np.nextafter(x, 2.0))[0] == pytest.approx(
+            1.0)
+
+    def test_nan_pairs(self):
+        a = np.array([np.nan, np.nan])
+        b = np.array([np.nan, 1.0])
+        distance = ulp_distance(a, b)
+        assert distance[0] == 0.0          # shared epsilon encoding
+        assert np.isinf(distance[1])       # epsilon vs a real quality

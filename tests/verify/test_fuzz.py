@@ -1,0 +1,47 @@
+"""Pipeline fuzzer: degenerate datasets never crash or emit a bad q."""
+
+import numpy as np
+
+from repro.verify import run_fuzz
+from repro.verify.fuzz import CASE_KINDS, _check_qualities
+
+
+class TestFuzzContract:
+    def test_default_budget_passes(self):
+        report = run_fuzz(seed=0, n_cases=30)
+        assert report.passed, report.to_text()
+        assert report.n_ok + report.n_raised == 30
+
+    def test_every_kind_exercised(self):
+        report = run_fuzz(seed=1, n_cases=len(CASE_KINDS))
+        assert {case.kind for case in report.cases} == set(CASE_KINDS)
+
+    def test_deterministic_for_a_seed(self):
+        first = run_fuzz(seed=5, n_cases=8)
+        second = run_fuzz(seed=5, n_cases=8)
+        assert first == second
+
+    def test_distinct_seeds_differ(self):
+        a = run_fuzz(seed=2, n_cases=8)
+        b = run_fuzz(seed=3, n_cases=8)
+        assert a.cases != b.cases
+
+    def test_report_text_summarizes(self):
+        report = run_fuzz(seed=0, n_cases=10)
+        text = report.to_text()
+        assert "10 cases" in text
+        assert "contract violations" in text
+
+
+class TestQualityContract:
+    def test_accepts_unit_interval_and_epsilon(self):
+        assert _check_qualities(np.array([0.0, 0.5, 1.0, np.nan]),
+                                "x") is None
+
+    def test_rejects_out_of_range(self):
+        message = _check_qualities(np.array([0.5, 1.2]), "x")
+        assert message is not None and "outside" in message
+
+    def test_rejects_infinite(self):
+        message = _check_qualities(np.array([np.inf]), "x")
+        assert message is not None and "infinite" in message

@@ -1,0 +1,90 @@
+"""Golden-trace capture, round-trip, and drift-diff behavior."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.verify import (GoldenTrace, check_against_golden,
+                          default_golden_path, diff_traces)
+from repro.verify.golden import STAGE_ORDER, ArrayRecord
+
+
+class TestShippedGolden:
+    def test_seed7_golden_is_stored(self):
+        assert default_golden_path(7).exists()
+
+    def test_fresh_capture_matches_stored_golden(self, seed7_trace):
+        golden = GoldenTrace.load(default_golden_path(7))
+        diff = diff_traces(seed7_trace, golden)
+        assert diff.passed, diff.to_text()
+        assert diff.first_diverging_stage is None
+        assert diff.n_stages == len(STAGE_ORDER)
+
+    def test_check_against_golden_entrypoint(self):
+        diff = check_against_golden(seed=7)
+        assert diff is not None and diff.passed
+
+    def test_missing_golden_returns_none(self, tmp_path):
+        assert check_against_golden(
+            seed=7, path=tmp_path / "nope.json") is None
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_trace(self, seed7_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        seed7_trace.save(path)
+        loaded = GoldenTrace.load(path)
+        assert loaded == seed7_trace
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "quality_package"}')
+        with pytest.raises(ConfigurationError, match="not a golden trace"):
+            GoldenTrace.load(path)
+
+    def test_stage_order_covers_the_pipeline(self, seed7_trace):
+        assert tuple(s.stage for s in seed7_trace.stages) == STAGE_ORDER
+
+
+class TestDriftDetection:
+    def test_seed_mismatch_rejected(self, seed7_trace):
+        other = dataclasses.replace(seed7_trace, seed=8)
+        with pytest.raises(ConfigurationError, match="seed mismatch"):
+            diff_traces(seed7_trace, other)
+
+    def test_probe_drift_is_reported_with_values(self, seed7_trace):
+        stage = seed7_trace.stages[-1]         # evaluation
+        array = stage.arrays[0]
+        drifted_probes = dict(array.probes)
+        drifted_probes["sum"] = repr(float(array.probes["sum"]) + 0.5)
+        drifted_array = dataclasses.replace(array, probes=drifted_probes)
+        drifted_stage = dataclasses.replace(
+            stage, arrays=(drifted_array,) + stage.arrays[1:])
+        drifted = dataclasses.replace(
+            seed7_trace,
+            stages=seed7_trace.stages[:-1] + (drifted_stage,))
+        diff = diff_traces(drifted, seed7_trace)
+        assert not diff.passed
+        assert diff.first_diverging_stage == "evaluation"
+        assert any(d.field == "sum" for d in diff.drifts)
+
+    def test_shape_change_is_a_drift(self, seed7_trace):
+        stage = seed7_trace.stages[0]
+        array = stage.arrays[0]
+        drifted_array = dataclasses.replace(
+            array, shape=(array.shape[0] + 1,) + array.shape[1:])
+        drifted_stage = dataclasses.replace(
+            stage, arrays=(drifted_array,) + stage.arrays[1:])
+        drifted = dataclasses.replace(
+            seed7_trace, stages=(drifted_stage,) + seed7_trace.stages[1:])
+        diff = diff_traces(drifted, seed7_trace)
+        assert not diff.passed
+        assert diff.first_diverging_stage == "material"
+
+    def test_nan_probes_compare_equal(self):
+        import numpy as np
+        record = ArrayRecord.capture("q", np.array([0.5, np.nan, 0.7]))
+        assert record.n_nan == 1
+        clone = ArrayRecord.from_dict(record.to_dict())
+        assert clone == record

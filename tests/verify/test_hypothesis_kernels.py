@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the calibration-critical kernels.
+
+Satellite of the verification PR: the threshold intersection and the
+normalization ``L`` are the two places where a silent numerical slip
+changes *which classifications get discarded*, so their algebraic
+properties are pinned property-style rather than by examples alone.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.normalization import (LOWER_LIMIT, UPPER_LIMIT,
+                                      is_error_state, normalize_array,
+                                      normalize_scalar)
+from repro.stats.gaussian import Gaussian
+from repro.stats.threshold import density_intersections
+
+_mu = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+_sigma = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+class TestDensityIntersectionProperties:
+    @given(mu_a=_mu, mu_b=_mu, sigma=_sigma)
+    @settings(max_examples=150, deadline=None)
+    def test_equal_variance_root_lies_between_means(self, mu_a, mu_b,
+                                                    sigma):
+        assume(abs(mu_a - mu_b) > 1e-6)
+        roots = density_intersections(Gaussian(mu_a, sigma),
+                                      Gaussian(mu_b, sigma))
+        assert len(roots) == 1
+        lo, hi = sorted((mu_a, mu_b))
+        assert lo <= roots[0] <= hi
+        assert roots[0] == pytest.approx(0.5 * (mu_a + mu_b))
+
+    @given(mu_a=_mu, mu_b=_mu, sigma_a=_sigma, sigma_b=_sigma)
+    @settings(max_examples=150, deadline=None)
+    def test_invariant_under_swapping_densities(self, mu_a, mu_b,
+                                                sigma_a, sigma_b):
+        a, b = Gaussian(mu_a, sigma_a), Gaussian(mu_b, sigma_b)
+        assume(abs(mu_a - mu_b) > 1e-6 or abs(sigma_a - sigma_b) > 1e-6)
+        try:
+            forward = sorted(density_intersections(a, b))
+        except Exception as exc:
+            # Whatever happens must happen identically both ways.
+            with pytest.raises(type(exc)):
+                density_intersections(b, a)
+            return
+        backward = sorted(density_intersections(b, a))
+        assert forward == pytest.approx(backward, rel=1e-9, abs=1e-9)
+
+    @given(mu_a=_mu, mu_b=_mu, sigma_a=_sigma, sigma_b=_sigma)
+    @settings(max_examples=150, deadline=None)
+    def test_roots_really_are_intersections(self, mu_a, mu_b, sigma_a,
+                                            sigma_b):
+        assume(abs(sigma_a - sigma_b) > 1e-3)
+        a, b = Gaussian(mu_a, sigma_a), Gaussian(mu_b, sigma_b)
+        for root in density_intersections(a, b):
+            assume(abs(root) < 1e6)      # far tails underflow both pdfs
+            assert a.pdf(root) == pytest.approx(b.pdf(root), rel=1e-6,
+                                                abs=1e-12)
+
+
+_raw = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestNormalizationProperties:
+    @given(raw=_raw)
+    @settings(max_examples=200, deadline=None)
+    def test_range_is_unit_interval_or_epsilon(self, raw):
+        q = normalize_scalar(raw)
+        assert q is None or 0.0 <= q <= 1.0
+
+    @given(raw=_raw)
+    @settings(max_examples=200, deadline=None)
+    def test_epsilon_exactly_outside_the_limits(self, raw):
+        q = normalize_scalar(raw)
+        if LOWER_LIMIT <= raw <= UPPER_LIMIT:
+            assert q is not None
+        else:
+            assert q is None and is_error_state(q)
+
+    @given(raw=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_identity_then_idempotent_on_unit_interval(self, raw):
+        q = normalize_scalar(raw)
+        assert q == raw                      # already normalized: identity
+        assert normalize_scalar(q) == q      # and hence idempotent
+
+    @given(raw=st.floats(min_value=LOWER_LIMIT, max_value=UPPER_LIMIT,
+                         allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent_on_the_mapped_range(self, raw):
+        q = normalize_scalar(raw)
+        assert q is not None
+        assert normalize_scalar(q) == q
+
+    @given(raw=st.lists(st.floats(min_value=-10.0, max_value=10.0,
+                                  allow_nan=False), min_size=1,
+                        max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_array_agrees_with_scalar(self, raw):
+        array_q = normalize_array(np.array(raw))
+        for value, batch in zip(raw, array_q):
+            scalar = normalize_scalar(value)
+            if scalar is None:
+                assert math.isnan(batch)
+            else:
+                assert batch == scalar

@@ -1,0 +1,148 @@
+"""Unit tests of the naive reference kernels themselves.
+
+The reference implementations are the oracle of the differential
+harness, so they get their own direct checks against closed forms and
+hand-computed values — an oracle that is wrong in the same way as the
+optimized code would make the whole harness vacuous.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.stats.gaussian import Gaussian
+from repro.verify import reference
+
+
+class TestStdCues:
+    def test_hand_computed_window(self):
+        signal = np.array([[0.0], [2.0], [0.0], [2.0]])
+        starts, cues = reference.std_cues(signal, window=4, hop=4)
+        assert starts.tolist() == [0]
+        assert cues[0][0] == pytest.approx(1.0)
+
+    def test_constant_signal_is_zero(self):
+        # 3.5 is exactly representable, so the two-pass std is exactly 0;
+        # non-representable constants may leave ~1e-16 rounding residue.
+        signal = np.full((16, 2), 3.5)
+        _, cues = reference.std_cues(signal, window=8, hop=4)
+        assert all(value == 0.0 for row in cues for value in row)
+
+    def test_nonrepresentable_constant_is_rounding_noise(self):
+        signal = np.full((16, 2), 3.7)
+        _, cues = reference.std_cues(signal, window=8, hop=4)
+        assert all(value <= 1e-12 for row in cues for value in row)
+
+    def test_tail_window_dropped(self):
+        signal = np.zeros((10, 1))
+        starts, _ = reference.std_cues(signal, window=4, hop=3)
+        assert starts.tolist() == [0, 3, 6]
+
+
+class TestGaussianMF:
+    def test_peak_and_inflection(self):
+        assert reference.gaussian_mf(1.5, 1.5, 0.3) == 1.0
+        assert reference.gaussian_mf(2.0, 1.0, 1.0) == pytest.approx(
+            math.exp(-0.5))
+
+    def test_far_field_underflows_to_zero(self):
+        assert reference.gaussian_mf(1e6, 0.0, 1e-3) == 0.0
+
+
+class TestTSKEvaluate:
+    def test_single_rule_is_its_consequent(self):
+        means = [[0.0, 0.0]]
+        sigmas = [[1.0, 1.0]]
+        coefficients = [[2.0, -1.0, 0.5]]
+        x = [[1.0, 3.0]]
+        out = reference.tsk_evaluate(means, sigmas, coefficients, 1, x)
+        assert out[0] == pytest.approx(2.0 * 1.0 - 1.0 * 3.0 + 0.5)
+
+    def test_order0_ignores_linear_terms(self):
+        means = [[0.0], [4.0]]
+        sigmas = [[1.0], [1.0]]
+        coefficients = [[99.0, 1.0], [99.0, 3.0]]
+        out = reference.tsk_evaluate(means, sigmas, coefficients, 0,
+                                     [[0.0]])
+        # At x=0 rule 1 dominates; output stays inside the constants.
+        assert 1.0 <= out[0] <= 3.0
+        assert out[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_underflow_falls_back_to_uniform_weights(self):
+        means = [[0.0], [1.0]]
+        sigmas = [[1e-6], [1e-6]]
+        coefficients = [[0.0, 2.0], [0.0, 6.0]]
+        out = reference.tsk_evaluate(means, sigmas, coefficients, 0,
+                                     [[1e6]])
+        assert out[0] == pytest.approx(4.0)  # mean of the constants
+
+
+class TestSubtractivePotentials:
+    def test_tight_cluster_potentials_count_members(self):
+        xn = np.zeros((5, 2))
+        potentials = reference.subtractive_potentials(xn, radius=0.5)
+        assert potentials == pytest.approx([5.0] * 5)
+
+    def test_isolated_point_has_unit_potential(self):
+        xn = np.array([[0.0, 0.0], [100.0, 100.0]])
+        potentials = reference.subtractive_potentials(xn, radius=0.5)
+        assert potentials == pytest.approx([1.0, 1.0])
+
+    def test_fit_indices_two_blobs(self):
+        rng = np.random.default_rng(5)
+        x = np.vstack([rng.normal(0.0, 0.05, size=(20, 2)),
+                       rng.normal(1.0, 0.05, size=(20, 2))])
+        indices = reference.subtractive_fit_indices(x, radius=0.5)
+        assert len(indices) == 2
+        sides = {int(x[i, 0] > 0.5) for i in indices}
+        assert sides == {0, 1}
+
+
+class TestLSE:
+    def test_solve_exact_system(self):
+        a = np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]])
+        theta = np.array([3.0, -1.0])
+        solution = reference.lse_solve_svd(a, a @ theta)
+        assert solution == pytest.approx(theta)
+
+    def test_rank_deficient_uses_pseudoinverse(self):
+        a = np.array([[1.0, 1.0], [2.0, 2.0]])
+        y = np.array([1.0, 2.0])
+        solution = reference.lse_solve_svd(a, y)
+        # Minimum-norm least squares: both columns share the weight.
+        assert solution == pytest.approx([0.5, 0.5])
+
+
+class TestNormalize:
+    @pytest.mark.parametrize("raw, expected", [
+        (0.0, 0.0), (1.0, 1.0), (0.4, 0.4),
+        (-0.3, 0.3), (1.2, 0.8), (-0.5, 0.5), (1.5, 0.5),
+    ])
+    def test_mapping(self, raw, expected):
+        assert reference.normalize(np.array([raw]))[0] == pytest.approx(
+            expected)
+
+    @pytest.mark.parametrize("raw", [-0.6, 1.6, np.nan, np.inf, -np.inf])
+    def test_epsilon(self, raw):
+        assert np.isnan(reference.normalize(np.array([raw]))[0])
+
+
+class TestIntersectionBetweenMeans:
+    def test_equal_sigma_is_midpoint(self):
+        value = reference.intersection_between_means(
+            Gaussian(0.8, 0.1), Gaussian(0.4, 0.1))
+        assert value == pytest.approx(0.6)
+
+    def test_matches_closed_form_for_unequal_sigma(self):
+        right, wrong = Gaussian(0.85, 0.07), Gaussian(0.45, 0.16)
+        value = reference.intersection_between_means(right, wrong)
+        assert right.pdf(value) == pytest.approx(wrong.pdf(value),
+                                                 rel=1e-9)
+        assert wrong.mu < value < right.mu
+
+    def test_requires_ordered_means(self):
+        with pytest.raises(CalibrationError):
+            reference.intersection_between_means(Gaussian(0.3, 0.1),
+                                                 Gaussian(0.7, 0.1))
