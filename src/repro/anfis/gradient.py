@@ -24,10 +24,11 @@ Everything is vectorized over samples, rules and inputs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..backend import ForwardCache, get_backend
 from ..exceptions import DimensionError
 from ..fuzzy.tsk import TSKSystem
 
@@ -43,9 +44,16 @@ class PremiseGradients:
     loss: float
 
 
-def premise_gradients(system: TSKSystem, x: np.ndarray,
-                      y: np.ndarray) -> PremiseGradients:
+def premise_gradients(system: TSKSystem, x: np.ndarray, y: np.ndarray,
+                      cache: Optional[ForwardCache] = None
+                      ) -> PremiseGradients:
     """Gradient of ``0.5 * mean((S(x) - y)^2)`` w.r.t. means and sigmas.
+
+    Vectorized across samples, rules *and* inputs through the active
+    backend's :meth:`~repro.backend.base.ArrayBackend.premise_gradient_terms`
+    kernel (the naive per-rule loop survives as the oracle — see
+    :func:`numeric_premise_gradients` and
+    ``repro.verify.reference.premise_gradients_loop``).
 
     Parameters
     ----------
@@ -56,6 +64,11 @@ def premise_gradients(system: TSKSystem, x: np.ndarray,
     y:
         Designated outputs of shape ``(n_samples,)`` — 1 for a right and 0
         for a wrong contextual classification in the quality use case.
+    cache:
+        Optional :class:`~repro.backend.ForwardCache` bound to
+        ``(system, x)``; when supplied (the hybrid trainer does), the
+        premise-side firing sweep is reused instead of recomputed —
+        bit-identically, since a cache hit returns the same arrays.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float).ravel()
@@ -65,30 +78,19 @@ def premise_gradients(system: TSKSystem, x: np.ndarray,
     if y.shape[0] != x.shape[0]:
         raise DimensionError(
             f"y must have {x.shape[0]} entries, got {y.shape[0]}")
-    n = x.shape[0]
 
-    # Fused forward pass: one membership evaluation instead of the two
-    # separate (and separately validated) weight + consequent passes.
-    comps = system.evaluate_components(x, validate=False)
-    w, f = comps.w, comps.f                            # (N, m) each
-    total = np.maximum(comps.total, _WEIGHT_FLOOR)     # (N,)
-    s = np.sum(w * f, axis=1) / total                  # (N,)
-    err = s - y                                        # (N,)
-
-    # dL/dw_j for every sample and rule: err * (f_j - S) / total.
-    dl_dw = (err / total)[:, None] * (f - s[:, None])  # (N, m)
-
-    diff = x[:, None, :] - system.means[None, :, :]    # (N, m, d)
-    inv_sig_sq = 1.0 / (system.sigmas ** 2)            # (m, d)
-    # dw_j/dmu_ij = w_j * diff / sigma^2 ; dw_j/dsigma_ij = w_j * diff^2/sigma^3
-    w3 = w[:, :, None]                                 # (N, m, 1)
-    dw_dmu = w3 * diff * inv_sig_sq[None, :, :]
-    dw_dsigma = w3 * (diff ** 2) * (inv_sig_sq / system.sigmas)[None, :, :]
-
-    dl3 = dl_dw[:, :, None]                            # (N, m, 1)
-    d_means = np.sum(dl3 * dw_dmu, axis=0) / n
-    d_sigmas = np.sum(dl3 * dw_dsigma, axis=0) / n
-    loss = float(0.5 * np.mean(err ** 2))
+    backend = get_backend()
+    if cache is not None and cache.matches(system, x):
+        w, _, total = cache.firing()
+        f = backend.rule_consequents(x, system.coefficients, system.order)
+    else:
+        # Fused forward pass: one membership evaluation instead of the
+        # two separate (and separately validated) weight + consequent
+        # passes.
+        comps = system.evaluate_components(x, validate=False)
+        w, f, total = comps.w, comps.f, comps.total
+    d_means, d_sigmas, loss = backend.premise_gradient_terms(
+        x, system.means, system.sigmas, w, f, total, y)
     return PremiseGradients(d_means=d_means, d_sigmas=d_sigmas, loss=loss)
 
 
@@ -106,6 +108,7 @@ def apply_gradient_step(system: TSKSystem, grads: PremiseGradients,
     system.means -= learning_rate * grads.d_means
     system.sigmas -= learning_rate * grads.d_sigmas
     np.maximum(system.sigmas, min_sigma, out=system.sigmas)
+    system.touch_premises()
 
 
 def numeric_premise_gradients(system: TSKSystem, x: np.ndarray,

@@ -19,11 +19,13 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import observability as obs
+from ..backend import ForwardCache, get_backend
 from ..exceptions import DimensionError, TrainingError
 from ..fuzzy.tsk import TSKSystem
 
 
-def design_matrix(system: TSKSystem, x: np.ndarray) -> np.ndarray:
+def design_matrix(system: TSKSystem, x: np.ndarray,
+                  cache: Optional[ForwardCache] = None) -> np.ndarray:
     """Build the LSE design matrix for the consequent coefficients.
 
     For first-order consequents, sample ``s`` contributes the row
@@ -33,21 +35,22 @@ def design_matrix(system: TSKSystem, x: np.ndarray) -> np.ndarray:
     with ``w_j`` the *normalized* firing strengths, so that
     ``design @ vec(coefficients) = predictions``.  For zero-order systems
     only the per-rule constant columns are produced.
+
+    When a :class:`~repro.backend.ForwardCache` bound to ``(system, x)``
+    is supplied, the normalized firing strengths are reused from it
+    instead of recomputed (bit-identically on a hit).  The uncached path
+    stays polymorphic over ``system.normalized_firing_strengths`` so
+    non-Gaussian systems (e.g. the bell-MF variant) keep working.
     """
     x = np.asarray(x, dtype=float)
     if x.ndim != 2 or x.shape[1] != system.n_inputs:
         raise DimensionError(
             f"x must have shape (n, {system.n_inputs}), got {x.shape}")
-    wbar = system.normalized_firing_strengths(x)  # (N, m)
-    n_samples = x.shape[0]
-    m = system.n_rules
-    if system.order == 0:
-        return wbar
-    n_inputs = system.n_inputs
-    x_ext = np.hstack([x, np.ones((n_samples, 1))])  # (N, n+1)
-    # (N, m, n+1): normalized weight times extended input.
-    blocks = wbar[:, :, None] * x_ext[:, None, :]
-    return blocks.reshape(n_samples, m * (n_inputs + 1))
+    if cache is not None and cache.matches(system, x):
+        _, wbar, _ = cache.firing()
+    else:
+        wbar = system.normalized_firing_strengths(x)  # (N, m)
+    return get_backend().consequent_design_matrix(x, wbar, system.order)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,16 +69,20 @@ class LSEDiagnostics:
 
 @obs.traced("anfis.lse_fit")
 def fit_consequents(system: TSKSystem, x: np.ndarray, y: np.ndarray,
-                    rcond: Optional[float] = None
+                    rcond: Optional[float] = None,
+                    cache: Optional[ForwardCache] = None
                     ) -> Tuple[np.ndarray, LSEDiagnostics]:
     """Solve for the consequent coefficients minimizing ``||S(x) - y||``.
 
     Returns the new coefficient array (same shape as
     ``system.coefficients``) and solve diagnostics.  The *system* is not
     modified; assign the result to ``system.coefficients`` to apply it.
+    The design matrix's firing sweep can be served from a
+    :class:`~repro.backend.ForwardCache` (see :func:`design_matrix`);
+    the SVD solve itself is identical either way.
     """
     y = np.asarray(y, dtype=float).ravel()
-    a = design_matrix(system, x)
+    a = design_matrix(system, x, cache=cache)
     if a.shape[0] != y.shape[0]:
         raise DimensionError(
             f"x has {a.shape[0]} samples but y has {y.shape[0]}")

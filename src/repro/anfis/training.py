@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import observability as obs
+from ..backend import ForwardCache, get_backend
 from ..exceptions import ConfigurationError, TrainingError
 from ..fuzzy.tsk import TSKSystem
 from .gradient import apply_gradient_step, premise_gradients
@@ -60,9 +61,20 @@ class TrainingReport:
         return self.history[-1].train_rmse if self.history else float("nan")
 
 
-def _rmse(system: TSKSystem, x: np.ndarray, y: np.ndarray) -> float:
-    # Single fused forward pass (one validation, one membership sweep).
-    err = system.evaluate_components(x).output - y
+def _rmse(system: TSKSystem, x: np.ndarray, y: np.ndarray,
+          cache: Optional[ForwardCache] = None) -> float:
+    # Single fused forward pass (one validation, one membership sweep);
+    # with a matching cache the membership sweep is served from it and
+    # only the consequent einsum runs.  The cached expression is the
+    # same op sequence the backend's tsk_forward_components performs,
+    # so both paths produce identical bits per backend.
+    if cache is not None and cache.matches(system, x):
+        _, wbar, _ = cache.firing()
+        f = get_backend().rule_consequents(x, system.coefficients,
+                                           system.order)
+        err = np.sum(wbar * f, axis=1) - y
+    else:
+        err = system.evaluate_components(x).output - y
     return float(np.sqrt(np.mean(err ** 2)))
 
 
@@ -84,12 +96,18 @@ class HybridTrainer:
         Multiplicative factors for the adaptation.
     min_sigma:
         Floor applied to Gaussian widths after every backward pass.
+    use_cache:
+        Reuse the premise-side firing sweep across the three per-epoch
+        consumers (gradients, LSE design matrix, train RMSE) via a
+        :class:`~repro.backend.ForwardCache`.  On by default; the cached
+        run is bit-identical to the uncached one because cache hits
+        return the very arrays the first computation produced.
     """
 
     def __init__(self, epochs: int = 50, learning_rate: float = 0.05,
                  patience: int = 5, adapt_step: bool = True,
                  step_increase: float = 1.1, step_decrease: float = 0.9,
-                 min_sigma: float = 1e-4) -> None:
+                 min_sigma: float = 1e-4, use_cache: bool = True) -> None:
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
         if learning_rate <= 0:
@@ -110,6 +128,7 @@ class HybridTrainer:
         self.step_increase = float(step_increase)
         self.step_decrease = float(step_decrease)
         self.min_sigma = float(min_sigma)
+        self.use_cache = bool(use_cache)
 
     @obs.traced("anfis.train")
     def train(self, system: TSKSystem,
@@ -143,21 +162,24 @@ class HybridTrainer:
         best_snapshot = system.copy()
         degradation_streak = 0
         stopped_early = False
+        cache = ForwardCache(system, x_train) if self.use_cache else None
 
         # Epoch 0 forward pass: fit consequents for the initial premises.
-        coefficients, _ = fit_consequents(system, x_train, y_train)
+        coefficients, _ = fit_consequents(system, x_train, y_train,
+                                          cache=cache)
         system.coefficients = coefficients
 
         for epoch in range(1, self.epochs + 1):
             epoch_start = time.perf_counter()
             # Backward pass: premise gradient step.
-            grads = premise_gradients(system, x_train, y_train)
+            grads = premise_gradients(system, x_train, y_train, cache=cache)
             apply_gradient_step(system, grads, lr, min_sigma=self.min_sigma)
             # Forward pass: re-fit consequents for the adapted premises.
-            coefficients, _ = fit_consequents(system, x_train, y_train)
+            coefficients, _ = fit_consequents(system, x_train, y_train,
+                                              cache=cache)
             system.coefficients = coefficients
 
-            train_rmse = _rmse(system, x_train, y_train)
+            train_rmse = _rmse(system, x_train, y_train, cache=cache)
             check_rmse = (_rmse(system, x_check, y_check)
                           if has_check else None)
             history.append(EpochRecord(epoch=epoch, train_rmse=train_rmse,

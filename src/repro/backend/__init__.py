@@ -1,0 +1,165 @@
+"""Pluggable numeric backends for the TSK/ANFIS hot paths.
+
+The CQM pipeline's compute budget is spent in a handful of array
+kernels: Gaussian membership evaluation, rule firing, the LSE design
+matrix, the fused TSK forward pass and the premise gradients.  This
+package routes all of them through a narrow protocol
+(:class:`~repro.backend.base.ArrayBackend`) with three implementations:
+
+``numpy``
+    The default.  The historical inline-numpy kernels, preserved bit
+    for bit; its throughput win is the epoch-level
+    :class:`~repro.backend.cache.ForwardCache`.
+``fused``
+    Aggressively fused numpy kernels (log-space firing, matmul-shaped
+    gradients).  Not bit-identical — gated by ``repro verify --backend
+    fused`` at documented tolerances.
+``numba``
+    Optional JIT-compiled loop kernels; requires the soft dependency
+    ``numba`` and falls back to ``numpy`` with a logged warning when it
+    is missing.
+
+Selection precedence mirrors :mod:`repro.parallel`: an explicit
+argument (``repro --backend NAME`` or :func:`set_backend`) wins, then
+the ``REPRO_BACKEND`` environment variable, then the ``numpy`` default.
+Unknown names raise :class:`~repro.exceptions.BackendError` so a typo
+fails loudly instead of silently computing on the default backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+import warnings
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..exceptions import BackendError
+from .base import WEIGHT_FLOOR, ArrayBackend
+from .cache import ForwardCache
+from .fused import FusedNumpyBackend
+from .numpy_backend import NumpyBackend
+
+#: Environment variable consulted when no backend is given explicitly.
+ENV_VAR = "REPRO_BACKEND"
+
+DEFAULT_BACKEND = "numpy"
+
+#: Recognized backend names (``numba`` resolves only when importable).
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "fused", "numba")
+
+_LOG = logging.getLogger("repro.backend")
+
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+#: Explicit process-wide override (set_backend / use_backend); ``None``
+#: means "resolve from the environment on every lookup".
+_ACTIVE: Optional[ArrayBackend] = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency is importable."""
+    from . import numba_backend
+
+    return numba_backend.NUMBA_AVAILABLE
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names that can actually be instantiated right now."""
+    names = ["numpy", "fused"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve the effective backend name.
+
+    Precedence: explicit *name* argument > ``$REPRO_BACKEND`` >
+    ``numpy``.  Unknown names raise :class:`BackendError`; requesting
+    ``numba`` without numba installed warns and falls back to the
+    default backend.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    name = str(name).strip().lower()
+    if name not in BACKEND_NAMES:
+        raise BackendError(
+            f"unknown numeric backend {name!r}; "
+            f"choose one of {', '.join(BACKEND_NAMES)}")
+    if name == "numba" and not numba_available():
+        message = ("numba backend requested but the optional 'numba' "
+                   "package is not installed; falling back to the "
+                   f"'{DEFAULT_BACKEND}' backend")
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        _LOG.warning(message)
+        name = DEFAULT_BACKEND
+    return name
+
+
+def _instantiate(name: str) -> ArrayBackend:
+    if name == "numpy":
+        return NumpyBackend()
+    if name == "fused":
+        return FusedNumpyBackend()
+    if name == "numba":
+        from .numba_backend import NumbaBackend
+
+        return NumbaBackend()
+    raise BackendError(f"unknown numeric backend {name!r}")  # unreachable
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """The active backend (or the one named explicitly).
+
+    Without *name*, an explicit :func:`set_backend`/:func:`use_backend`
+    override wins; otherwise the environment is consulted on every call
+    so tests (and long-lived processes) can flip ``$REPRO_BACKEND``
+    without restarting.
+    """
+    if name is None and _ACTIVE is not None:
+        return _ACTIVE
+    resolved = resolve_backend_name(name)
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        instance = _instantiate(resolved)
+        _INSTANCES[resolved] = instance
+    return instance
+
+
+def set_backend(name: Optional[str]) -> Optional[ArrayBackend]:
+    """Set (or with ``None`` clear) the process-wide backend override."""
+    global _ACTIVE
+    _ACTIVE = None if name is None else get_backend(name)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str]) -> Iterator[ArrayBackend]:
+    """Scoped backend override (used by tests and the verify runner)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = get_backend(name) if name is not None else None
+    try:
+        yield get_backend()
+    finally:
+        _ACTIVE = previous
+
+
+__all__ = [
+    "ArrayBackend",
+    "BackendError",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "ForwardCache",
+    "FusedNumpyBackend",
+    "NumpyBackend",
+    "WEIGHT_FLOOR",
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "resolve_backend_name",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,164 @@
+"""The array-backend protocol for the TSK/ANFIS hot paths.
+
+Every numeric kernel the ANFIS hybrid trainer and the CQM scorer spend
+their time in is expressed as one of five narrow, array-in/array-out
+methods on :class:`ArrayBackend`:
+
+* :meth:`~ArrayBackend.gaussian_mf_batch` — the Gaussian membership
+  layer ``F_ij(v_i)`` (paper section 2.1.2, ANFIS layer 1);
+* :meth:`~ArrayBackend.rule_firing` — product t-norm rule weights
+  ``w_j = prod_i F_ij`` plus their normalization (layers 2-3);
+* :meth:`~ArrayBackend.consequent_design_matrix` — the LSE design
+  matrix of the forward pass (section 2.2.2);
+* :meth:`~ArrayBackend.tsk_forward_components` — the fused forward
+  pass producing every intermediate the trainer, the gradients and
+  the batched quality measure need;
+* :meth:`~ArrayBackend.premise_gradient_terms` — the backward-pass
+  gradients with respect to ``mu_ij`` and ``sigma_ij`` (section 2.2.4).
+
+Implementations only see plain ``numpy`` arrays (never a
+:class:`~repro.fuzzy.tsk.TSKSystem`), so a backend can be jitted,
+offloaded or vectorized without knowing anything about the rest of the
+package.  ``repro.fuzzy.tsk``, ``repro.anfis`` and the CQM scorer call
+whichever backend :func:`repro.backend.get_backend` resolves.
+
+Numerical contract: the ``numpy`` backend reproduces the historical
+inline-numpy results *bit for bit*; every other backend must stay
+within the per-stage tolerances enforced by ``repro verify --backend
+NAME`` and documented in ``docs/paper_mapping.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Total firing strengths at or below this are treated as "no rule
+#: fires"; normalization then falls back to uniform weights (mirrors
+#: ``repro.fuzzy.tsk._WEIGHT_FLOOR`` — kept in the backend layer so
+#: kernels need no import from the fuzzy package).
+WEIGHT_FLOOR = 1e-300
+
+#: ``(wbar, f, output, w, total)`` — the raw tuple behind
+#: :class:`repro.fuzzy.tsk.TSKComponents`.
+ForwardComponents = Tuple[np.ndarray, np.ndarray, np.ndarray,
+                          np.ndarray, np.ndarray]
+
+
+class ArrayBackend:
+    """Base class and reference documentation for numeric backends.
+
+    Subclasses override the five kernel methods; the composite helpers
+    (:meth:`tsk_forward_components` default, :meth:`normalize_firing`)
+    are shared where a backend has no cheaper fused form.
+    """
+
+    #: Registry name ("numpy", "fused", "numba").
+    name: str = "base"
+    #: True when the backend claims bit-identity with the historical
+    #: inline-numpy kernels (only the ``numpy`` backend does).
+    bit_identical: bool = False
+
+    # ------------------------------------------------------------------
+    # The five protocol kernels
+    # ------------------------------------------------------------------
+    def gaussian_mf_batch(self, x: np.ndarray, means: np.ndarray,
+                          sigmas: np.ndarray) -> np.ndarray:
+        """Memberships ``F_ij(x)`` of shape ``(n_samples, m, d)``.
+
+        *x* is an already-validated float matrix of shape ``(n, d)``;
+        *means*/*sigmas* are ``(m, d)``.
+        """
+        raise NotImplementedError
+
+    def rule_firing(self, memberships: np.ndarray) -> np.ndarray:
+        """Product-t-norm weights ``w``, shape ``(n_samples, m)``."""
+        raise NotImplementedError
+
+    def consequent_design_matrix(self, x: np.ndarray, wbar: np.ndarray,
+                                 order: int) -> np.ndarray:
+        """LSE design matrix from normalized weights.
+
+        For order-1 systems, row ``s`` is
+        ``[w1 x_s1 ... w1 x_sd, w1, w2 x_s1, ..., wm]`` with ``w_j``
+        the *normalized* firing strengths; for order 0 it is ``wbar``
+        itself.
+        """
+        raise NotImplementedError
+
+    def tsk_forward_components(self, x: np.ndarray, means: np.ndarray,
+                               sigmas: np.ndarray,
+                               coefficients: np.ndarray,
+                               order: int) -> ForwardComponents:
+        """One fused forward pass; returns ``(wbar, f, output, w, total)``.
+
+        The default composes the other kernels; fused backends override
+        :meth:`firing_strengths` (or this method) to skip intermediates
+        entirely.
+        """
+        w, wbar, total = self.firing_strengths(x, means, sigmas)
+        f = self.rule_consequents(x, coefficients, order)
+        output = np.sum(wbar * f, axis=1)
+        return wbar, f, output, w, total
+
+    def premise_gradient_terms(self, x: np.ndarray, means: np.ndarray,
+                               sigmas: np.ndarray, w: np.ndarray,
+                               f: np.ndarray, total: np.ndarray,
+                               y: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Gradients of the half-MSE loss w.r.t. premise parameters.
+
+        Consumes the forward-pass intermediates (raw weights *w*, rule
+        consequents *f*, raw weight sums *total*) so a cached forward
+        pass is reused instead of recomputed.  Returns
+        ``(d_means, d_sigmas, loss)``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared sub-kernels
+    # ------------------------------------------------------------------
+    def firing_strengths(self, x: np.ndarray, means: np.ndarray,
+                         sigmas: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw and normalized rule weights; returns ``(w, wbar, total)``.
+
+        This is the premise-side sweep the epoch cache stores — both
+        the cache and :meth:`tsk_forward_components` go through it so
+        cached and direct evaluations agree bit for bit per backend.
+        """
+        w = self.rule_firing(self.gaussian_mf_batch(x, means, sigmas))
+        wbar, total = self.normalize_firing(w)
+        return w, wbar, total
+
+    def normalize_firing(self, w: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalize weights per sample; returns ``(wbar, total)``.
+
+        Samples where every rule underflows to zero get uniform
+        ``1/m`` weights (graceful far-field degradation).
+        """
+        total = np.sum(w, axis=1)
+        dead = total <= WEIGHT_FLOOR
+        safe_total = np.where(dead, 1.0, total)
+        wbar = w / safe_total[:, None]
+        if np.any(dead):
+            wbar = np.where(dead[:, None], 1.0 / w.shape[1], wbar)
+        return wbar, total
+
+    def rule_consequents(self, x: np.ndarray, coefficients: np.ndarray,
+                         order: int) -> np.ndarray:
+        """Rule consequent values ``f_j(x)``, shape ``(n_samples, m)``.
+
+        einsum (not ``@``) in every backend on purpose: the per-row
+        reduction must not depend on batch size, or micro-batched
+        serving responses stop being bit-identical to the direct
+        pipeline (see ``TSKSystem._rule_outputs``).
+        """
+        if order == 0:
+            return np.broadcast_to(coefficients[:, -1],
+                                   (x.shape[0], coefficients.shape[0])
+                                   ).copy()
+        return (np.einsum("ni,ri->nr", x, coefficients[:, :-1])
+                + coefficients[:, -1])

@@ -1,0 +1,82 @@
+"""The fused numpy backend: fewer kernels, fewer temporaries.
+
+Where the default backend preserves the historical operation order bit
+for bit, this backend restructures the hot paths around two ideas:
+
+* **Log-space firing.**  The product t-norm ``w_j = prod_i F_ij`` with
+  Gaussian memberships is ``exp(-0.5 * sum_i z_ij^2)`` — one ``exp``
+  over ``(n, m)`` instead of ``(n, m, d)`` exponentials followed by a
+  product reduction.  ``exp(a + b)`` and ``exp(a) * exp(b)`` differ in
+  the last ULPs, so the result is *not* bit-identical; ``repro verify
+  --backend fused`` gates it at the tolerances documented in
+  ``docs/paper_mapping.md``.
+* **Matmul-shaped gradients.**  The backward pass collapses the chain
+  ``sum_n dl_dw * w * diff / sigma^2`` into two small GEMMs over a
+  flattened ``(n, m*d)`` view instead of six ``(n, m, d)``
+  temporaries; for the small rule bases the paper's pipeline produces
+  (a handful of rules, four inputs) this trades redundant element-wise
+  kernel launches for one BLAS call.
+
+Rule consequents deliberately stay on the same einsum as the default
+backend: the per-row reduction must remain independent of batch size so
+micro-batched serving responses stay bit-identical to the direct
+pipeline (the ``serving`` verify stage is exact under every backend).
+
+The membership *API* (:meth:`gaussian_mf_batch`, inherited) also keeps
+the element-wise form — only the fused forward/firing path goes through
+log space — so the ``membership`` verify stage stays bit-identical and
+callers inspecting individual memberships see the textbook values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import WEIGHT_FLOOR
+from .numpy_backend import NumpyBackend
+
+
+class FusedNumpyBackend(NumpyBackend):
+    """Aggressively fused numpy kernels (gated tolerance, not bit-exact)."""
+
+    name = "fused"
+    bit_identical = False
+
+    def firing_strengths(self, x: np.ndarray, means: np.ndarray,
+                         sigmas: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        z = (x[:, None, :] - means[None, :, :]) / sigmas[None, :, :]
+        # One exp over (n, m): w_j = exp(-0.5 * ||z_j||^2).
+        w = np.exp(-0.5 * np.einsum("nmd,nmd->nm", z, z))
+        wbar, total = self.normalize_firing(w)
+        return w, wbar, total
+
+    def premise_gradient_terms(self, x: np.ndarray, means: np.ndarray,
+                               sigmas: np.ndarray, w: np.ndarray,
+                               f: np.ndarray, total: np.ndarray,
+                               y: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray, float]:
+        n, d = x.shape
+        m = means.shape[0]
+        total = np.maximum(total, WEIGHT_FLOOR)
+        s = np.einsum("nm,nm->n", w, f) / total
+        err = s - y
+        # g = dL/dw * w, the shared factor of both parameter gradients.
+        g = (err / total)[:, None] * (f - s[:, None]) * w   # (n, m)
+
+        diff = (x[:, None, :] - means[None, :, :]).reshape(n, m * d)
+        # Two GEMMs compute sum_n g[n, j] * diff[n, j, :] (and diff^2)
+        # for every rule pair; only the diagonal blocks are the wanted
+        # per-rule reductions — the m^2 overcompute is negligible for
+        # the small rule bases this pipeline produces and far cheaper
+        # than materializing (n, m, d) products.
+        rows = np.arange(m)
+        gd = (g.T @ diff).reshape(m, m, d)[rows, rows]          # (m, d)
+        gd2 = (g.T @ (diff * diff)).reshape(m, m, d)[rows, rows]
+        inv_sig_sq = 1.0 / (sigmas * sigmas)
+        d_means = gd * inv_sig_sq / n
+        d_sigmas = gd2 * (inv_sig_sq / sigmas) / n
+        loss = float(0.5 * np.mean(err * err))
+        return d_means, d_sigmas, loss

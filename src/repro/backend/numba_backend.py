@@ -1,0 +1,170 @@
+"""Optional numba-jitted backend for the TSK/ANFIS kernels.
+
+``numba`` is a *soft* dependency: this module imports cleanly without
+it (``NUMBA_AVAILABLE`` is then ``False``) and backend resolution falls
+back to the default numpy backend with a logged warning — selecting
+``REPRO_BACKEND=numba`` on a machine without numba degrades gracefully
+instead of crashing the pipeline.
+
+The jitted kernels are deliberately written as the textbook loops of
+the paper's equations (one fused loop nest per kernel, no temporaries),
+which is exactly the form LLVM vectorizes well.  Like the fused numpy
+backend they compute firing strengths in log space (one ``exp`` per
+rule) and are therefore *not* bit-identical to the default backend;
+``repro verify --backend numba`` gates them at the tolerances
+documented in ``docs/paper_mapping.md``.
+
+Rule consequents and the design matrix stay on the inherited numpy
+einsum/block kernels: they are BLAS-bound already, and the einsum keeps
+the serving layer's batch-size-independence invariant.
+
+First use of a kernel pays numba's JIT compilation cost (seconds);
+:meth:`NumbaBackend.warmup` compiles all of them on toy inputs so
+latency-sensitive callers (the serving layer, benchmarks) can front-load
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import BackendError
+from .base import WEIGHT_FLOOR
+from .fused import FusedNumpyBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common case in this repo
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - compiled/run only with numba
+
+    @numba.njit(cache=True)
+    def _mf_kernel(x, means, sigmas):
+        n, d = x.shape
+        m = means.shape[0]
+        out = np.empty((n, m, d))
+        for i in range(n):
+            for j in range(m):
+                for k in range(d):
+                    z = (x[i, k] - means[j, k]) / sigmas[j, k]
+                    out[i, j, k] = np.exp(-0.5 * z * z)
+        return out
+
+    @numba.njit(cache=True)
+    def _firing_kernel(x, means, sigmas, floor):
+        n, d = x.shape
+        m = means.shape[0]
+        w = np.empty((n, m))
+        wbar = np.empty((n, m))
+        total = np.empty(n)
+        for i in range(n):
+            t = 0.0
+            for j in range(m):
+                acc = 0.0
+                for k in range(d):
+                    z = (x[i, k] - means[j, k]) / sigmas[j, k]
+                    acc += z * z
+                wj = np.exp(-0.5 * acc)
+                w[i, j] = wj
+                t += wj
+            total[i] = t
+            if t <= floor:
+                uniform = 1.0 / m
+                for j in range(m):
+                    wbar[i, j] = uniform
+            else:
+                for j in range(m):
+                    wbar[i, j] = w[i, j] / t
+        return w, wbar, total
+
+    @numba.njit(cache=True)
+    def _gradient_kernel(x, means, sigmas, w, f, total, y, floor):
+        n, d = x.shape
+        m = means.shape[0]
+        d_means = np.zeros((m, d))
+        d_sigmas = np.zeros((m, d))
+        sse = 0.0
+        for i in range(n):
+            t = total[i]
+            if t < floor:
+                t = floor
+            s = 0.0
+            for j in range(m):
+                s += w[i, j] * f[i, j]
+            s /= t
+            e = s - y[i]
+            sse += e * e
+            for j in range(m):
+                g = (e / t) * (f[i, j] - s) * w[i, j]
+                for k in range(d):
+                    diff = x[i, k] - means[j, k]
+                    sg = sigmas[j, k]
+                    d_means[j, k] += g * diff / (sg * sg)
+                    d_sigmas[j, k] += g * diff * diff / (sg * sg * sg)
+        inv_n = 1.0 / n
+        for j in range(m):
+            for k in range(d):
+                d_means[j, k] *= inv_n
+                d_sigmas[j, k] *= inv_n
+        return d_means, d_sigmas, 0.5 * sse * inv_n
+
+
+class NumbaBackend(FusedNumpyBackend):  # pragma: no cover - needs numba
+    """JIT-compiled kernels behind the same five-method protocol."""
+
+    name = "numba"
+    bit_identical = False
+
+    def __init__(self) -> None:
+        if not NUMBA_AVAILABLE:
+            raise BackendError(
+                "the numba backend requires the optional 'numba' package")
+
+    @staticmethod
+    def _as_c(a: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(a, dtype=np.float64)
+
+    def gaussian_mf_batch(self, x: np.ndarray, means: np.ndarray,
+                          sigmas: np.ndarray) -> np.ndarray:
+        return _mf_kernel(self._as_c(x), self._as_c(means),
+                          self._as_c(sigmas))
+
+    def firing_strengths(self, x: np.ndarray, means: np.ndarray,
+                         sigmas: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _firing_kernel(self._as_c(x), self._as_c(means),
+                              self._as_c(sigmas), WEIGHT_FLOOR)
+
+    def rule_firing(self, memberships: np.ndarray) -> np.ndarray:
+        # Product over the input axis; kept in numpy — the jitted
+        # firing path computes w directly from (x, means, sigmas).
+        return np.prod(memberships, axis=2)
+
+    def premise_gradient_terms(self, x: np.ndarray, means: np.ndarray,
+                               sigmas: np.ndarray, w: np.ndarray,
+                               f: np.ndarray, total: np.ndarray,
+                               y: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray, float]:
+        d_means, d_sigmas, loss = _gradient_kernel(
+            self._as_c(x), self._as_c(means), self._as_c(sigmas),
+            self._as_c(w), self._as_c(f), self._as_c(total),
+            self._as_c(y), WEIGHT_FLOOR)
+        return d_means, d_sigmas, float(loss)
+
+    def warmup(self) -> None:
+        """Compile every jitted kernel on toy inputs."""
+        x = np.zeros((2, 2))
+        params = np.ones((1, 2))
+        coeffs = np.zeros((1, 3))
+        self.gaussian_mf_batch(x, params, params)
+        w, wbar, total = self.firing_strengths(x, params, params)
+        f = self.rule_consequents(x, coeffs, 1)
+        self.premise_gradient_terms(x, params, params, w, f, total,
+                                    np.zeros(2))

@@ -29,12 +29,14 @@ from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from ..exceptions import ConfigurationError, DimensionError
 from .membership import GaussianMF
 
 #: Total firing strengths at or below this are treated as "no rule fires";
 #: normalization then falls back to uniform weights so far-away inputs
-#: degrade gracefully instead of collapsing to zero output.
+#: degrade gracefully instead of collapsing to zero output.  (Shared
+#: with the backend kernels as ``repro.backend.WEIGHT_FLOOR``.)
 _WEIGHT_FLOOR = 1e-300
 
 
@@ -154,6 +156,11 @@ class TSKSystem:
         self.sigmas = sigmas
         self.coefficients = coefficients
         self.order = order
+        #: Monotonic counter of premise-parameter updates; the
+        #: epoch-level :class:`repro.backend.ForwardCache` keys on it.
+        #: In-place mutation of ``means``/``sigmas`` must be followed
+        #: by :meth:`touch_premises` (the gradient step does this).
+        self.premise_version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -186,6 +193,16 @@ class TSKSystem:
         return TSKSystem(self.means.copy(), self.sigmas.copy(),
                          self.coefficients.copy(), order=self.order)
 
+    def touch_premises(self) -> None:
+        """Record an in-place premise-parameter mutation.
+
+        Bumps the version counter premise-side caches key on; callers
+        that mutate ``means``/``sigmas`` through the public attributes
+        (rather than in place) don't need this — caches also compare
+        array identity.
+        """
+        self.premise_version += 1
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
@@ -201,24 +218,21 @@ class TSKSystem:
 
     def _memberships(self, x: np.ndarray) -> np.ndarray:
         """Memberships for an already-validated ``(n, n_inputs)`` batch."""
-        z = (x[:, None, :] - self.means[None, :, :]) / self.sigmas[None, :, :]
-        return np.exp(-0.5 * z * z)
+        return get_backend().gaussian_mf_batch(x, self.means, self.sigmas)
 
     def _rule_outputs(self, x: np.ndarray) -> np.ndarray:
         """Consequents for an already-validated ``(n, n_inputs)`` batch.
 
-        einsum (not ``@``) on purpose: BLAS matmul picks shape-dependent
-        kernels (gemv for one row, blocked gemm otherwise), so the same
-        row evaluated in different batch sizes can differ in the last
-        ULP.  einsum's fixed per-element reduction keeps every row's
-        result independent of how it was batched — the invariant the
-        serving layer's micro-batching equivalence rests on.
+        Every backend keeps this an einsum (not ``@``) on purpose: BLAS
+        matmul picks shape-dependent kernels (gemv for one row, blocked
+        gemm otherwise), so the same row evaluated in different batch
+        sizes can differ in the last ULP.  einsum's fixed per-element
+        reduction keeps every row's result independent of how it was
+        batched — the invariant the serving layer's micro-batching
+        equivalence rests on.
         """
-        if self.order == 0:
-            return np.broadcast_to(self.coefficients[:, -1],
-                                   (x.shape[0], self.n_rules)).copy()
-        return (np.einsum("ni,ri->nr", x, self.coefficients[:, :-1])
-                + self.coefficients[:, -1])
+        return get_backend().rule_consequents(x, self.coefficients,
+                                              self.order)
 
     def memberships(self, x: np.ndarray) -> np.ndarray:
         """Per-rule, per-input Gaussian memberships.
@@ -229,7 +243,8 @@ class TSKSystem:
 
     def firing_strengths(self, x: np.ndarray) -> np.ndarray:
         """Rule weights ``w_j`` for each sample, shape ``(n_samples, n_rules)``."""
-        return np.prod(self.memberships(x), axis=2)
+        x = self._validate_input(x)
+        return get_backend().firing_strengths(x, self.means, self.sigmas)[0]
 
     def normalized_firing_strengths(self, x: np.ndarray) -> np.ndarray:
         """Weights normalized to sum to one per sample (ANFIS layer 3).
@@ -238,17 +253,11 @@ class TSKSystem:
         uniform weights ``1/m`` — the least-surprising degradation for an
         input far outside the trained region.
         """
-        w = self.firing_strengths(x)
-        return self._normalize(w)
+        x = self._validate_input(x)
+        return get_backend().firing_strengths(x, self.means, self.sigmas)[1]
 
     def _normalize(self, w: np.ndarray) -> np.ndarray:
-        total = np.sum(w, axis=1, keepdims=True)
-        dead = total <= _WEIGHT_FLOOR
-        safe_total = np.where(dead, 1.0, total)
-        wbar = w / safe_total
-        if np.any(dead):
-            wbar = np.where(dead, 1.0 / self.n_rules, wbar)
-        return wbar
+        return get_backend().normalize_firing(w)[0]
 
     def rule_outputs(self, x: np.ndarray) -> np.ndarray:
         """Consequent values ``f_j(x)``, shape ``(n_samples, n_rules)``."""
@@ -274,12 +283,10 @@ class TSKSystem:
         """
         if validate:
             x = self._validate_input(x)
-        w = np.prod(self._memberships(x), axis=2)
-        wbar = self._normalize(w)
-        f = self._rule_outputs(x)
-        output = np.sum(wbar * f, axis=1)
+        wbar, f, output, w, total = get_backend().tsk_forward_components(
+            x, self.means, self.sigmas, self.coefficients, self.order)
         return TSKComponents(wbar=wbar, f=f, output=output, w=w,
-                             total=np.sum(w, axis=1))
+                             total=total)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Weighted-sum-average output ``S(x)`` for a batch of inputs.

@@ -16,14 +16,17 @@ actually catch the regressions it claims to guard against.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend, resolve_backend_name, use_backend
 from ..clustering.subtractive import (SubtractiveClustering,
                                       initial_potentials,
                                       potential_reduction)
+from ..anfis.gradient import premise_gradients
 from ..anfis.lse import design_matrix, fit_consequents
 from ..core.normalization import normalize_array, normalize_scalar
 from ..exceptions import ConfigurationError
@@ -224,6 +227,38 @@ def _cases_tsk(ctx: _SeedContext,
         yield name, opt, ref
 
 
+def _cases_gradient(ctx: _SeedContext,
+                    mutate: Optional[Callable]) -> Iterator[CasePair]:
+    rng = ctx.rng(9)
+    batteries: Dict[str, Tuple[TSKSystem, np.ndarray]] = {}
+    for order in (0, 1):
+        system = _random_system(rng, 4, 3, order=order)
+        batteries[f"random-order{order}"] = (
+            system, rng.normal(0.0, 2.0, size=(24, 3)))
+    narrow = _random_system(rng, 3, 2, order=1, sigma_scale=1e-3)
+    batteries["narrow-sigma"] = (narrow, rng.normal(size=(16, 2)))
+    single = _random_system(rng, 1, 2, order=1)
+    batteries["single-rule"] = (single, rng.normal(size=(12, 2)))
+
+    quality = ctx.experiment.augmented.quality
+    from ..core.construction import quality_training_data
+    v, y_q, _ = quality_training_data(
+        ctx.experiment.classifier, ctx.experiment.material.quality_train)
+    batteries["trained-quality-fis"] = (quality.system, v)
+
+    for name, (system, x) in batteries.items():
+        y = (y_q if name == "trained-quality-fis"
+             else (ctx.rng(10).random(x.shape[0]) > 0.5).astype(float))
+        grads = premise_gradients(system, x, y)
+        ref_means, ref_sigmas, ref_loss = reference.premise_gradients_loop(
+            system.means, system.sigmas, system.coefficients, system.order,
+            x, y)
+        yield f"{name}/d_means", grads.d_means, ref_means
+        yield f"{name}/d_sigmas", grads.d_sigmas, ref_sigmas
+        yield (f"{name}/loss", np.array([grads.loss]),
+               np.array([ref_loss]))
+
+
 def _cases_clustering(ctx: _SeedContext,
                       mutate: Optional[Callable]) -> Iterator[CasePair]:
     rng = ctx.rng(4)
@@ -384,6 +419,7 @@ STAGES: Tuple[_StageSpec, ...] = (
     _StageSpec("cues", _cases_cues, atol=1e-12, rtol=1e-9),
     _StageSpec("membership", _cases_membership, atol=1e-300, rtol=1e-9),
     _StageSpec("tsk", _cases_tsk, atol=1e-9, rtol=1e-7),
+    _StageSpec("gradient", _cases_gradient, atol=1e-10, rtol=1e-6),
     _StageSpec("clustering", _cases_clustering, atol=1e-9, rtol=1e-9),
     _StageSpec("lse", _cases_lse, atol=1e-8, rtol=1e-6),
     _StageSpec("normalization", _cases_normalization, atol=0.0, rtol=0.0),
@@ -392,6 +428,30 @@ STAGES: Tuple[_StageSpec, ...] = (
 )
 
 STAGE_NAMES: Tuple[str, ...] = tuple(spec.name for spec in STAGES)
+
+#: Per-backend tolerance overrides, ``{backend: {stage: (atol, rtol)}}``.
+#: The default tolerances in :data:`STAGES` are the ``numpy`` gates (the
+#: backend that claims bit identity with the historical kernels); the
+#: non-bit-identical backends get wider gates only on the stages their
+#: fusion actually reassociates — log-space firing perturbs everything
+#: built on rule weights (tsk, gradient, lse), matmul-shaped gradient
+#: reductions perturb the gradient stage.  Exact-match stages
+#: (normalization, serving) stay exact under every backend: both sides
+#: of those comparisons run through the same backend.  The numbers are
+#: duplicated in ``docs/paper_mapping.md`` — keep the two in sync.
+BACKEND_TOLERANCES: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "fused": {
+        "tsk": (1e-9, 1e-6),
+        "gradient": (1e-9, 1e-5),
+        "lse": (1e-7, 1e-5),
+    },
+    "numba": {
+        "membership": (1e-300, 1e-6),
+        "tsk": (1e-9, 1e-6),
+        "gradient": (1e-9, 1e-5),
+        "lse": (1e-7, 1e-5),
+    },
+}
 
 #: Stages whose optimized side accepts a :class:`StageFault` mutation.
 FAULT_STAGES: Tuple[str, ...] = ("tsk",)
@@ -410,11 +470,18 @@ class DifferentialRunner:
     fault:
         Optional :class:`StageFault` applied to the optimized side —
         the negative-control hook.
+    backend:
+        Numeric backend name to run the optimized side under (resolved
+        through :func:`repro.backend.resolve_backend_name`, so the env
+        fallback semantics apply).  ``None`` uses whatever backend is
+        active.  Non-default backends are gated at the widened
+        tolerances in :data:`BACKEND_TOLERANCES`.
     """
 
     def __init__(self, seeds: Sequence[int] = (7, 11, 13),
                  stages: Optional[Sequence[str]] = None,
-                 fault: Optional[StageFault] = None) -> None:
+                 fault: Optional[StageFault] = None,
+                 backend: Optional[str] = None) -> None:
         if not seeds:
             raise ConfigurationError("need >= 1 seed")
         self.seeds = tuple(int(s) for s in seeds)
@@ -429,15 +496,27 @@ class DifferentialRunner:
                 f"stage {fault.stage!r} does not support fault injection; "
                 f"supported: {list(FAULT_STAGES)}")
         self.fault = fault
+        #: Resolved eagerly so a typo fails at construction (and the
+        #: numba-missing fallback warns once, here, not per stage).
+        self.backend = (resolve_backend_name(backend)
+                        if backend is not None else None)
 
     def run(self) -> DifferentialReport:
-        contexts = [_SeedContext(seed) for seed in self.seeds]
-        reports = []
-        for spec in self.stages:
-            mutate = (self.fault.mutate
-                      if self.fault is not None
-                      and self.fault.stage == spec.name else None)
-            reports.append(self._run_stage(spec, contexts, mutate))
+        with contextlib.ExitStack() as stack:
+            if self.backend is not None:
+                stack.enter_context(use_backend(self.backend))
+            backend_name = get_backend().name
+            overrides = BACKEND_TOLERANCES.get(backend_name, {})
+            contexts = [_SeedContext(seed) for seed in self.seeds]
+            reports = []
+            for spec in self.stages:
+                if spec.name in overrides:
+                    atol, rtol = overrides[spec.name]
+                    spec = dataclasses.replace(spec, atol=atol, rtol=rtol)
+                mutate = (self.fault.mutate
+                          if self.fault is not None
+                          and self.fault.stage == spec.name else None)
+                reports.append(self._run_stage(spec, contexts, mutate))
         return DifferentialReport(seeds=self.seeds, stages=tuple(reports))
 
     def _run_stage(self, spec: _StageSpec, contexts: List[_SeedContext],

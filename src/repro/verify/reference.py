@@ -141,6 +141,65 @@ def tsk_evaluate(means: np.ndarray, sigmas: np.ndarray,
 
 
 # ----------------------------------------------------------------------
+# Premise gradients of the ANFIS backward pass (paper section 2.2.4)
+# ----------------------------------------------------------------------
+def premise_gradients_loop(means: np.ndarray, sigmas: np.ndarray,
+                           coefficients: np.ndarray, order: int,
+                           x: np.ndarray, y: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Gradients of ``0.5 * mean((S(x) - y)^2)`` by scalar loops.
+
+    States the chain rule of section 2.2.4 term by term — one sample,
+    one rule, one input dimension at a time, no broadcasting, no shared
+    subexpressions.  Mirrors the optimized contract of
+    ``premise_gradient_terms``: the per-sample weight total is floored
+    at :data:`WEIGHT_FLOOR` (the gradient path does not use the uniform
+    fallback the inference path applies to dead samples).  Returns
+    ``(d_means, d_sigmas, loss)``.
+    """
+    means = np.asarray(means, dtype=float)
+    sigmas = np.asarray(sigmas, dtype=float)
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    memberships = tsk_memberships(means, sigmas, x)
+    f = tsk_rule_outputs(coefficients, order, x)
+    n, m, d = memberships.shape
+    d_means = np.zeros((m, d))
+    d_sigmas = np.zeros((m, d))
+    sse = 0.0
+    for s in range(n):
+        weights = []
+        for j in range(m):
+            w = 1.0
+            for i in range(d):
+                w *= memberships[s, j, i]
+            weights.append(w)
+        total = sum(weights)
+        if total < WEIGHT_FLOOR:
+            total = WEIGHT_FLOOR
+        numerator = 0.0
+        for j in range(m):
+            numerator += weights[j] * f[s, j]
+        s_out = numerator / total
+        err = s_out - float(y[s])
+        sse += err * err
+        for j in range(m):
+            # dL/dw_j = err * (f_j - S) / total
+            dl_dw = (err / total) * (f[s, j] - s_out)
+            for i in range(d):
+                diff = float(x[s, i]) - float(means[j, i])
+                sigma = float(sigmas[j, i])
+                dw_dmu = weights[j] * diff / (sigma * sigma)
+                dw_dsigma = weights[j] * diff * diff / (sigma ** 3)
+                d_means[j, i] += dl_dw * dw_dmu
+                d_sigmas[j, i] += dl_dw * dw_dsigma
+    d_means /= n
+    d_sigmas /= n
+    loss = 0.5 * sse / n
+    return d_means, d_sigmas, loss
+
+
+# ----------------------------------------------------------------------
 # Subtractive clustering (paper section 2.2.1, Chiu's potentials)
 # ----------------------------------------------------------------------
 def unit_normalize(x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,113 @@
+"""Property tests: every backend computes the same TSK forward pass.
+
+Satellite of the backend PR: :func:`hypothesis` drives random shapes,
+degenerate sigmas and single-rule systems through
+``tsk_forward_components`` on every available backend and demands
+ULP-bounded agreement with the default ``numpy`` backend (which itself
+is pinned bit-for-bit against the loop oracle by the differential
+runner).  The fused/numba kernels reassociate the firing product into
+log space, so their gate is a ULP budget, not bit identity — the same
+budgets ``repro verify --backend NAME`` enforces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import available_backends, get_backend
+
+#: Max ULP divergence tolerated per forward-pass component against the
+#: numpy backend.  exp(-0.5*sum(z^2)) vs prod(exp(-0.5*z^2)) differs in
+#: the last few bits per factor; the budget scales generously above the
+#: observed worst case (a few hundred ULP on adversarial sigmas).
+ULP_BUDGET = 1e6
+
+_NON_DEFAULT = [n for n in available_backends() if n != "numpy"]
+
+_dims = st.tuples(
+    st.integers(min_value=1, max_value=24),   # samples
+    st.integers(min_value=1, max_value=6),    # rules
+    st.integers(min_value=1, max_value=5),    # inputs
+)
+
+
+def _ulp(a, b):
+    from repro.verify import ulp_distance
+    return float(np.max(ulp_distance(a, b))) if a.size else 0.0
+
+
+def _workload(dims, seed, sigma_scale, order):
+    n, m, d = dims
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, 2.0, size=(n, d))
+    means = rng.normal(0.0, 2.0, size=(m, d))
+    sigmas = sigma_scale * rng.uniform(0.3, 2.0, size=(m, d))
+    coefficients = rng.normal(0.0, 1.5, size=(m, d + 1))
+    return x, means, sigmas, coefficients, order
+
+
+@pytest.mark.parametrize("backend", _NON_DEFAULT)
+class TestForwardComponentsAgree:
+    @given(dims=_dims, seed=st.integers(0, 2**32 - 1),
+           order=st.sampled_from([0, 1]))
+    @settings(max_examples=60, deadline=None)
+    def test_random_shapes(self, backend, dims, seed, order):
+        self._compare(backend, _workload(dims, seed, 1.0, order))
+
+    @given(dims=_dims, seed=st.integers(0, 2**32 - 1),
+           sigma_scale=st.sampled_from([1e-6, 1e-3, 1e3, 1e6]))
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_sigmas(self, backend, dims, seed, sigma_scale):
+        """Near-collapsed and near-flat Gaussians (underflow territory)."""
+        self._compare(backend, _workload(dims, seed, sigma_scale, 1))
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_single_rule(self, backend, seed, n):
+        """m=1: normalization must yield wbar == 1 on every backend."""
+        workload = _workload((n, 1, 3), seed, 1.0, 1)
+        self._compare(backend, workload)
+        x, means, sigmas, coefficients, order = workload
+        wbar = get_backend(backend).tsk_forward_components(
+            x, means, sigmas, coefficients, order)[0]
+        assert np.array_equal(wbar, np.ones_like(wbar))
+
+    @staticmethod
+    def _compare(backend, workload):
+        x, means, sigmas, coefficients, order = workload
+        base = get_backend("numpy").tsk_forward_components(
+            x, means, sigmas, coefficients, order)
+        other = get_backend(backend).tsk_forward_components(
+            x, means, sigmas, coefficients, order)
+        for name, a, b in zip(("wbar", "f", "output", "w", "total"),
+                              base, other):
+            assert a.shape == b.shape
+            assert _ulp(a, b) <= ULP_BUDGET, (
+                f"{name} diverges by {_ulp(a, b):.0f} ULP on backend "
+                f"{backend}")
+
+
+@pytest.mark.parametrize("backend", _NON_DEFAULT)
+class TestGradientTermsAgree:
+    @given(dims=_dims, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_gradients(self, backend, dims, seed):
+        x, means, sigmas, coefficients, order = _workload(dims, seed,
+                                                          1.0, 1)
+        rng = np.random.default_rng(seed ^ 0xA5A5)
+        y = (rng.random(x.shape[0]) > 0.5).astype(float)
+        base_bk = get_backend("numpy")
+        w, wbar, total = base_bk.firing_strengths(x, means, sigmas)
+        f = base_bk.rule_consequents(x, coefficients, order)
+        base = base_bk.premise_gradient_terms(x, means, sigmas, w, f,
+                                              total, y)
+        other = get_backend(backend).premise_gradient_terms(
+            x, means, sigmas, w, f, total, y)
+        # Gradients can legitimately be ~0, where ULP explodes; gate on
+        # abs+rel instead (the verify runner's gradient-stage gates).
+        for name, a, b in zip(("d_means", "d_sigmas"), base, other):
+            np.testing.assert_allclose(
+                np.asarray(b), np.asarray(a), atol=1e-9, rtol=1e-5,
+                err_msg=f"{name} diverges on backend {backend}")
+        assert other[2] == pytest.approx(base[2], rel=1e-9, abs=1e-12)

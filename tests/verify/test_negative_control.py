@@ -8,6 +8,7 @@ golden drift diff fail *naming the ``tsk`` stage*.
 
 import pytest
 
+from repro.backend import available_backends
 from repro.verify import (DifferentialRunner, GoldenTrace, StageFault,
                           default_golden_path, diff_traces, capture_trace)
 
@@ -43,6 +44,17 @@ class TestDifferentialNegativeControl:
         text = report.to_text()
         assert "FIRST DIVERGING STAGE: tsk" in text
         assert "worst:" in text
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_perturbation_caught_under_every_backend(self, backend):
+        """The harness must stay sharp under non-default backends: the
+        widened fused/numba tolerances are orders of magnitude below the
+        injected 1e-3 fault (numba runs only where it is installed)."""
+        report = DifferentialRunner(
+            seeds=(7,), stages=["tsk"], backend=backend,
+            fault=StageFault("tsk", _perturb_one_consequent)).run()
+        assert not report.passed
+        assert report.first_failure == "tsk"
 
 
 class TestGoldenNegativeControl:
