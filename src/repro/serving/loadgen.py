@@ -42,6 +42,7 @@ class LoadgenConfig:
     rate_hz: float = 2000.0
     seed: int = 7
     with_class_index: bool = False
+    n_streams: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -50,6 +51,9 @@ class LoadgenConfig:
         if self.rate_hz <= 0.0:
             raise ConfigurationError(
                 f"rate_hz must be > 0, got {self.rate_hz}")
+        if self.n_streams is not None and self.n_streams < 1:
+            raise ConfigurationError(
+                f"n_streams must be >= 1, got {self.n_streams}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,10 +91,21 @@ class LoadgenReport:
         return self.n_responses / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, object]:
+        def _ms(value_s: float) -> Optional[float]:
+            # A fully shed (or fully unanswered) run has no served
+            # latencies; its percentiles are NaN.  ``json.dumps`` would
+            # emit a bare ``NaN`` token — not valid JSON — so the report
+            # carries ``null`` instead and n_responses/n_shed tell the
+            # honest story.
+            if not np.isfinite(value_s):
+                return None
+            return round(value_s * 1e3, 4)
+
         return {
             "n_requests": self.config.n_requests,
             "rate_hz": self.config.rate_hz,
             "seed": self.config.seed,
+            "n_streams": self.config.n_streams,
             "n_sent": self.n_sent,
             "n_responses": self.n_responses,
             "n_unanswered": self.n_unanswered,
@@ -98,16 +113,21 @@ class LoadgenReport:
             "shed_rate": round(self.shed_rate, 6),
             "wall_s": round(self.wall_s, 6),
             "throughput_rps": round(self.throughput_rps, 2),
-            "latency_p50_ms": round(self.latency_p50_s * 1e3, 4),
-            "latency_p95_ms": round(self.latency_p95_s * 1e3, 4),
-            "latency_p99_ms": round(self.latency_p99_s * 1e3, 4),
-            "latency_mean_ms": round(self.latency_mean_s * 1e3, 4),
+            "latency_p50_ms": _ms(self.latency_p50_s),
+            "latency_p95_ms": _ms(self.latency_p95_s),
+            "latency_p99_ms": _ms(self.latency_p99_s),
+            "latency_mean_ms": _ms(self.latency_mean_s),
             "n_epsilon": self.n_epsilon,
             "n_accepted": self.n_accepted,
             "versions_seen": list(self.versions_seen),
         }
 
     def to_text(self) -> str:
+        def _fmt(value_s: float) -> str:
+            if not np.isfinite(value_s):
+                return "-"
+            return f"{value_s * 1e3:.2f}"
+
         lines = [
             f"loadgen: {self.n_sent} sent at {self.config.rate_hz:.0f}/s "
             f"(seed {self.config.seed})",
@@ -115,9 +135,9 @@ class LoadgenReport:
             f"({self.shed_rate * 100:.1f}%), unanswered {self.n_unanswered}",
             f"  throughput {self.throughput_rps:.0f} rps over "
             f"{self.wall_s * 1e3:.1f} ms",
-            f"  latency p50/p95/p99 = {self.latency_p50_s * 1e3:.2f} / "
-            f"{self.latency_p95_s * 1e3:.2f} / "
-            f"{self.latency_p99_s * 1e3:.2f} ms",
+            f"  latency p50/p95/p99 = {_fmt(self.latency_p50_s)} / "
+            f"{_fmt(self.latency_p95_s)} / "
+            f"{_fmt(self.latency_p99_s)} ms",
             f"  accepted {self.n_accepted}, epsilon {self.n_epsilon}, "
             f"versions {list(self.versions_seen) or '-'}",
         ]
@@ -131,7 +151,10 @@ def make_workload(config: LoadgenConfig, cue_pool: np.ndarray,
 
     Cue vectors are drawn with replacement from *cue_pool*; when the
     workload carries class indices they are drawn from *class_pool* row
-    for row.  Everything depends only on ``config.seed``.
+    for row.  With ``n_streams`` set, each request additionally carries
+    a seeded ``stream_key`` drawn from that many synthetic appliance
+    identities — the workload shape the sharded router hashes on.
+    Everything depends only on ``config.seed``.
     """
     cue_pool = np.asarray(cue_pool, dtype=float)
     if cue_pool.ndim != 2 or cue_pool.shape[0] == 0:
@@ -141,6 +164,8 @@ def make_workload(config: LoadgenConfig, cue_pool: np.ndarray,
     rows = rng.integers(0, cue_pool.shape[0], size=config.n_requests)
     arrivals = np.cumsum(rng.exponential(1.0 / config.rate_hz,
                                          size=config.n_requests))
+    streams = (rng.integers(0, config.n_streams, size=config.n_requests)
+               if config.n_streams is not None else None)
     requests = []
     for k, row in enumerate(rows):
         class_index: Optional[int] = None
@@ -149,8 +174,11 @@ def make_workload(config: LoadgenConfig, cue_pool: np.ndarray,
                 raise ConfigurationError(
                     "with_class_index=True needs a class_pool")
             class_index = int(np.asarray(class_pool).ravel()[int(row)])
+        stream_key = (None if streams is None
+                      else f"stream-{int(streams[k])}")
         requests.append(ServeRequest(request_id=k, cues=cue_pool[int(row)],
-                                     class_index=class_index))
+                                     class_index=class_index,
+                                     stream_key=stream_key))
     return requests, arrivals
 
 
@@ -199,7 +227,8 @@ async def drive_service(service: InferenceService,
             await asyncio.sleep(delay)
         tasks.append(asyncio.get_running_loop().create_task(
             service.submit(request.cues, class_index=request.class_index,
-                           request_id=request.request_id)))
+                           request_id=request.request_id,
+                           key=request.stream_key)))
     return list(await asyncio.gather(*tasks))
 
 
@@ -209,17 +238,23 @@ def run_loadgen(service_factory, config: LoadgenConfig,
     """Run one seeded open-loop load test against an in-process service.
 
     *service_factory* is a zero-argument callable building the (started
-    or startable) :class:`InferenceService` — constructed inside the
-    event loop so its queue binds to the right loop.
+    or startable) service — an :class:`InferenceService` or a
+    :class:`~repro.serving.sharding.ShardedService` — constructed inside
+    the event loop so its queues bind to the right loop.  The timed
+    window covers submissions and their responses only: startup (which
+    for a sharded fleet includes spawning the shard processes) and
+    teardown are excluded, so throughput numbers compare fairly across
+    deployment shapes.
     """
     requests, arrivals = make_workload(config, cue_pool, class_pool)
 
     async def _run() -> Tuple[List[ServeResponse], float]:
         service = service_factory()
-        t0 = time.perf_counter()
         async with service:
+            t0 = time.perf_counter()
             responses = await drive_service(service, requests, arrivals)
-        return responses, time.perf_counter() - t0
+            wall_s = time.perf_counter() - t0
+        return responses, wall_s
 
     responses, wall_s = asyncio.run(_run())
     return summarize(config, responses, n_sent=len(requests), wall_s=wall_s)

@@ -48,11 +48,18 @@ class ServeRequest:
     class_index:
         Optional externally produced class identifier ``c``; when
         ``None`` the service's registered classifier predicts it.
+    stream_key:
+        Optional stable stream identity (appliance id, user id).  The
+        sharded router consistent-hashes it so every request of one
+        stream lands on the same shard (and therefore the same stateful
+        ε-gate); without it, routing falls back to the request id.  The
+        single-process service ignores it.
     """
 
     request_id: int
     cues: np.ndarray
     class_index: Optional[int] = None
+    stream_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         cues = np.asarray(self.cues, dtype=float).ravel()
@@ -66,6 +73,8 @@ class ServeRequest:
                                   "cues": self.cues.tolist()}
         if self.class_index is not None:
             doc["class_index"] = int(self.class_index)
+        if self.stream_key is not None:
+            doc["key"] = self.stream_key
         return json.dumps(doc)
 
     @classmethod
@@ -79,11 +88,16 @@ class ServeRequest:
             raise ConfigurationError(
                 f"request line must be an object with 'cues': {line!r}")
         class_index = doc.get("class_index")
+        stream_key = doc.get("key")
         try:
             request_id = int(doc.get("id", 0))
             cues = np.asarray(doc["cues"], dtype=float)
             class_index = (None if class_index is None
                            else int(class_index))
+            if stream_key is not None and not isinstance(
+                    stream_key, (str, int)):
+                raise ValueError("stream key must be a string or int")
+            stream_key = None if stream_key is None else str(stream_key)
         except (TypeError, ValueError) as exc:
             # Non-numeric ids, ragged or non-numeric cue payloads: a
             # malformed frame must surface as a protocol error, never as
@@ -91,7 +105,7 @@ class ServeRequest:
             raise ConfigurationError(
                 f"request fields are malformed: {line!r}") from exc
         return cls(request_id=request_id, cues=cues,
-                   class_index=class_index)
+                   class_index=class_index, stream_key=stream_key)
 
 
 @dataclasses.dataclass(frozen=True)

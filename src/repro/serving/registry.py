@@ -75,25 +75,14 @@ class ModelRegistry:
                 tag: str = "") -> int:
         """Register a new version; returns its version number."""
         with self._lock:
-            version = len(self._versions) + 1
-            self._versions[version] = VersionedModel(
-                version=version, package=package, classifier=classifier,
-                tag=tag)
+            version = self._publish_locked(package, classifier, tag)
         obs.inc("serving.registry.published_total")
         return version
 
     def activate(self, version: int) -> VersionedModel:
         """Atomically make *version* the active model."""
         with self._lock:
-            model = self._versions.get(version)
-            if model is None:
-                raise ConfigurationError(
-                    f"unknown model version {version}; published: "
-                    f"{sorted(self._versions) or 'none'}")
-            previous = self._active
-            self._active = model
-            self._swaps.append(
-                (None if previous is None else previous.version, version))
+            model = self._activate_locked(version)
         obs.inc("serving.registry.swaps_total")
         obs.set_gauge("serving.registry.active_version", version)
         return model
@@ -101,10 +90,42 @@ class ModelRegistry:
     def publish_and_activate(self, package: QualityPackage,
                              classifier: Optional[ContextClassifier] = None,
                              tag: str = "") -> int:
-        """Publish a package and atomically swap it in; returns the version."""
-        version = self.publish(package, classifier=classifier, tag=tag)
-        self.activate(version)
+        """Publish a package and atomically swap it in; returns the version.
+
+        Publication and activation happen under one lock acquisition:
+        concurrent callers cannot interleave (publish A, publish B,
+        activate B, activate A), so the version each caller gets back is
+        the version its call activated, and ``swap_history`` stays a
+        connected chain of transitions.
+        """
+        with self._lock:
+            version = self._publish_locked(package, classifier, tag)
+            self._activate_locked(version)
+        obs.inc("serving.registry.published_total")
+        obs.inc("serving.registry.swaps_total")
+        obs.set_gauge("serving.registry.active_version", version)
         return version
+
+    def _publish_locked(self, package: QualityPackage,
+                        classifier: Optional[ContextClassifier],
+                        tag: str) -> int:
+        version = len(self._versions) + 1
+        self._versions[version] = VersionedModel(
+            version=version, package=package, classifier=classifier,
+            tag=tag)
+        return version
+
+    def _activate_locked(self, version: int) -> VersionedModel:
+        model = self._versions.get(version)
+        if model is None:
+            raise ConfigurationError(
+                f"unknown model version {version}; published: "
+                f"{sorted(self._versions) or 'none'}")
+        previous = self._active
+        self._active = model
+        self._swaps.append(
+            (None if previous is None else previous.version, version))
+        return model
 
     # ------------------------------------------------------------------
     def current(self) -> VersionedModel:

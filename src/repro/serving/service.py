@@ -146,6 +146,8 @@ class InferenceService:
         self._workers: List["asyncio.Task[None]"] = []
         self._closed = False
         self._started = False
+        self._drained = False
+        self._drain_done: Optional["asyncio.Event"] = None
         # Plain counters, kept regardless of the observability switch.
         self.n_submitted = 0
         self.n_shed = 0
@@ -197,11 +199,16 @@ class InferenceService:
     async def submit(self, cues: np.ndarray,
                      class_index: Optional[int] = None,
                      request_id: Optional[int] = None,
-                     wait: bool = False) -> ServeResponse:
+                     wait: bool = False,
+                     key: Optional[str] = None) -> ServeResponse:
         """Serve one request; resolves when its micro-batch completes.
 
         ``wait=False`` (open loop) sheds immediately on a full queue;
         ``wait=True`` (closed loop) applies backpressure instead.
+        ``key`` is the stream-routing identity the sharded tier hashes
+        on (:class:`~repro.serving.sharding.ShardedService` shares this
+        signature); a single-process service has nothing to route, so
+        it is accepted and ignored.
         """
         request = ServeRequest(
             request_id=self.n_submitted if request_id is None
@@ -330,14 +337,31 @@ class InferenceService:
 
     # ------------------------------------------------------------------
     async def drain(self) -> None:
-        """Stop admissions, flush everything queued, join the workers."""
+        """Stop admissions, flush everything queued, join the workers.
+
+        Idempotent: an explicit ``drain()`` followed by the ``async
+        with`` exit (or any repeated call) flushes and counts exactly
+        once — the first call does the work, later calls return
+        immediately.
+        """
         if not self._started:
             return
+        if self._drained:
+            # A drain is already done or in flight; wait it out instead
+            # of re-running the flush (and double-counting the metric).
+            await self._drain_done.wait()
+            return
+        # Flag first: this coroutine does not await between the check
+        # and the set, so concurrent drain() calls on the same loop
+        # cannot both pass the guard.
+        self._drained = True
+        self._drain_done = asyncio.Event()
         self._closed = True
         if self._workers:
             await asyncio.gather(*self._workers)
         self._workers = []
         obs.inc("serving.drains_total")
+        self._drain_done.set()
 
 
 def _class_name(model: VersionedModel, index: int) -> Optional[str]:

@@ -1,0 +1,201 @@
+"""Shared-memory publication of model artifacts for the shard fleet.
+
+The process backend of :mod:`repro.parallel` showed the cost of naive
+multi-process serving: every worker re-pickles the trained model through
+its spawn pipe, so N shards pay N serializations and hold N redundant
+copies in flight.  This module publishes the artifact **once**: the
+(package, classifier, tag) triple is pickled a single time into a named
+:class:`multiprocessing.shared_memory.SharedMemory` segment (or an
+mmap-able file, for filesystems where POSIX shm is unavailable), and
+every shard process *attaches* to the same bytes by name — the spawn
+arguments carry only a tiny :class:`ShmHandle`.
+
+The handle is JSON-safe on purpose: the coordinated hot-swap protocol
+(:mod:`repro.serving.sharding`) ships it to running shards inside a
+JSONL control frame, so a re-calibrated package is also serialized
+exactly once per fleet, not once per shard.  A SHA-256 digest rides
+along and is verified on attach — a shard never deserializes torn or
+stale bytes into a live model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import mmap
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+from ..classifiers.base import ContextClassifier
+from ..core.persistence import QualityPackage
+from ..exceptions import ConfigurationError
+
+#: Supported artifact transports.
+BACKENDS = ("shm", "mmap")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardArtifact:
+    """The model triple one shard needs to build its local registry."""
+
+    package: QualityPackage
+    classifier: Optional[ContextClassifier] = None
+    tag: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmHandle:
+    """A by-name reference to one published artifact.
+
+    ``name`` is the shm segment name (``backend="shm"``) or the file
+    path (``backend="mmap"``).  ``size`` and ``digest`` pin the exact
+    payload: attach fails loudly on any mismatch.
+    """
+
+    backend: str
+    name: str
+    size: int
+    digest: str
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown artifact backend {self.backend!r}; "
+                f"choose one of {', '.join(BACKENDS)}")
+        if self.size < 1:
+            raise ConfigurationError(
+                f"artifact size must be >= 1, got {self.size}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form, shipped in spawn args and control frames."""
+        return {"backend": self.backend, "name": self.name,
+                "size": int(self.size), "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "ShmHandle":
+        try:
+            return cls(backend=str(doc["backend"]), name=str(doc["name"]),
+                       size=int(doc["size"]), digest=str(doc["digest"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed artifact handle: {doc!r}") from exc
+
+
+def _untrack(segment) -> None:
+    """Detach an attached segment from the resource tracker.
+
+    Before 3.13 every ``SharedMemory`` attach registers the segment with
+    the process's resource tracker, which then both warns about and
+    *unlinks* the segment when the attaching process exits — destroying
+    a segment the publishing process still owns.  Unregistering after a
+    read-only attach restores single-owner semantics.
+    """
+    try:  # pragma: no cover - version/platform dependent best effort
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def publish_artifact(artifact: ShardArtifact, backend: str = "shm",
+                     directory: Optional[str] = None) -> ShmHandle:
+    """Serialize *artifact* once and publish it for by-name attachment.
+
+    Returns the :class:`ShmHandle` to hand to shard processes.  The
+    caller owns the published bytes and must :func:`unlink_artifact`
+    once every shard has attached (the handle is only needed during
+    fan-out; shards keep their deserialized models, not the segment).
+    """
+    payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    if backend == "shm":
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=len(payload))
+        try:
+            segment.buf[:len(payload)] = payload
+        finally:
+            segment.close()
+        return ShmHandle(backend="shm", name=segment.name,
+                         size=len(payload), digest=digest)
+    if backend == "mmap":
+        fd, path = tempfile.mkstemp(prefix="repro-artifact-",
+                                    suffix=".pkl", dir=directory)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        return ShmHandle(backend="mmap", name=path, size=len(payload),
+                         digest=digest)
+    raise ConfigurationError(
+        f"unknown artifact backend {backend!r}; "
+        f"choose one of {', '.join(BACKENDS)}")
+
+
+def load_artifact(handle: ShmHandle) -> ShardArtifact:
+    """Attach to a published artifact by name and deserialize it.
+
+    The digest is verified before unpickling; a mismatch (torn write,
+    wrong segment, publisher already unlinked and the name was reused)
+    raises :class:`ConfigurationError` instead of feeding corrupt bytes
+    to ``pickle``.
+    """
+    if handle.backend == "shm":
+        from multiprocessing import shared_memory
+        try:
+            segment = shared_memory.SharedMemory(name=handle.name)
+        except FileNotFoundError as exc:
+            raise ConfigurationError(
+                f"artifact segment {handle.name!r} does not exist "
+                f"(already unlinked?)") from exc
+        _untrack(segment)
+        try:
+            if segment.size < handle.size:
+                raise ConfigurationError(
+                    f"artifact segment {handle.name!r} holds "
+                    f"{segment.size} bytes but the handle promises "
+                    f"{handle.size}")
+            payload = bytes(segment.buf[:handle.size])
+        finally:
+            segment.close()
+    else:
+        try:
+            with open(handle.name, "rb") as stream:
+                with mmap.mmap(stream.fileno(), 0,
+                               access=mmap.ACCESS_READ) as view:
+                    payload = bytes(view[:handle.size])
+        except (FileNotFoundError, ValueError) as exc:
+            raise ConfigurationError(
+                f"artifact file {handle.name!r} is missing or "
+                f"empty") from exc
+    digest = hashlib.sha256(payload).hexdigest()
+    if len(payload) != handle.size or digest != handle.digest:
+        raise ConfigurationError(
+            f"artifact {handle.name!r} failed its integrity check "
+            f"(size {len(payload)}/{handle.size}, digest "
+            f"{digest[:12]}../{handle.digest[:12]}..)")
+    artifact = pickle.loads(payload)
+    if not isinstance(artifact, ShardArtifact):
+        raise ConfigurationError(
+            f"artifact {handle.name!r} deserialized to "
+            f"{type(artifact).__name__}, expected ShardArtifact")
+    return artifact
+
+
+def unlink_artifact(handle: ShmHandle) -> None:
+    """Release the published bytes (idempotent; missing is not an error)."""
+    if handle.backend == "shm":
+        from multiprocessing import shared_memory
+        try:
+            segment = shared_memory.SharedMemory(name=handle.name)
+        except FileNotFoundError:
+            return
+        try:
+            segment.unlink()
+        finally:
+            segment.close()
+    else:
+        try:
+            os.unlink(handle.name)
+        except FileNotFoundError:
+            pass

@@ -12,13 +12,24 @@ this module adapts it to the two deployment shapes the CLI offers:
   of a connection drains that connection: every admitted request is
   answered before the server closes it (the CI smoke asserts zero
   unanswered requests).
+
+The socket endpoint optionally speaks a **control plane**
+(``allow_control=True``): JSONL frames carrying a ``ctl`` key instead of
+``cues``.  This is how the sharded tier (:mod:`repro.serving.sharding`)
+drives its shard processes — ``publish`` (attach a shared-memory
+artifact and register it), ``activate`` (hot-swap by version),
+``stats`` and ``drain``.  Control frames are handled inline in frame
+order, so a router that writes *publish* then *activate* observes the
+acknowledgements in that order.  Public endpoints keep the control
+plane off: a ``ctl`` frame is then just a bad request.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
-from typing import IO, List, Optional
+from typing import Callable, IO, List, Optional
 
 from ..exceptions import ConfigurationError
 from .protocol import ServeRequest, ServeResponse
@@ -47,9 +58,58 @@ def serve_stdio(registry: ModelRegistry, stream_in: IO[str],
     return len(responses)
 
 
-async def _handle_connection(service: InferenceService,
-                             reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+async def _handle_control(doc: dict, service, registry: ModelRegistry,
+                          stop: "asyncio.Event") -> dict:
+    """Execute one control frame against this endpoint's registry.
+
+    Returns the acknowledgement document.  Failures come back as
+    ``ok=false`` replies instead of tearing the connection: the fleet
+    router needs the error, not an EOF.
+    """
+    op = doc.get("ctl")
+    try:
+        if op == "ping":
+            return {"ctl": "ping", "ok": True}
+        if op == "publish":
+            from .shm import ShmHandle, load_artifact
+            artifact = load_artifact(ShmHandle.from_dict(doc.get("shm")
+                                                         or {}))
+            version = registry.publish(artifact.package,
+                                       classifier=artifact.classifier,
+                                       tag=artifact.tag)
+            return {"ctl": "publish", "ok": True, "version": version}
+        if op == "activate":
+            model = registry.activate(int(doc["version"]))
+            return {"ctl": "activate", "ok": True,
+                    "version": model.version}
+        if op == "stats":
+            return {"ctl": "stats", "ok": True, "stats": {
+                "n_submitted": service.n_submitted,
+                "n_shed": service.n_shed,
+                "n_completed": service.n_completed,
+                "n_batches": service.n_batches,
+                "queue_depth": service.queue_depth,
+                "active_version": registry.active_version,
+                "versions": registry.versions(),
+            }}
+        if op == "drain":
+            # Acknowledge first (the caller is waiting on this frame),
+            # then let the serve loop tear down gracefully.
+            stop.set()
+            return {"ctl": "drain", "ok": True}
+        return {"ctl": op, "ok": False,
+                "error": f"unknown control op {op!r}"}
+    except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+        return {"ctl": op, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def _handle_connection(service, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter,
+                             registry: Optional[ModelRegistry] = None,
+                             allow_control: bool = False,
+                             stop: Optional["asyncio.Event"] = None
+                             ) -> None:
     """One JSONL connection: lines in, responses out, drain on EOF."""
     write_lock = asyncio.Lock()
     tasks: List["asyncio.Task[None]"] = []
@@ -58,12 +118,14 @@ async def _handle_connection(service: InferenceService,
         try:
             response = await service.submit(request.cues,
                                             class_index=request.class_index,
-                                            request_id=request.request_id)
+                                            request_id=request.request_id,
+                                            key=request.stream_key)
         except Exception as exc:  # noqa: BLE001 - report, keep the connection
             async with write_lock:
                 writer.write((json.dumps(
                     {"id": request.request_id,
-                     "error": type(exc).__name__}) + "\n").encode())
+                     "error": type(exc).__name__,
+                     "message": str(exc)}) + "\n").encode())
                 await writer.drain()
             return
         async with write_lock:
@@ -101,6 +163,20 @@ async def _handle_connection(service: InferenceService,
             continue
         if not text:
             continue
+        if allow_control:
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError:
+                doc = None
+            if isinstance(doc, dict) and "ctl" in doc:
+                # Control frames run inline (not as tasks) so their
+                # acknowledgements keep frame order on this connection.
+                reply = await _handle_control(doc, service, registry,
+                                              stop)
+                async with write_lock:
+                    writer.write((json.dumps(reply) + "\n").encode())
+                    await writer.drain()
+                continue
         try:
             request = ServeRequest.from_json(text)
         except ConfigurationError as exc:
@@ -126,27 +202,43 @@ def _announce(message: str) -> None:
     print(message, flush=True)
 
 
-async def serve_socket(registry: ModelRegistry, host: str, port: int,
-                       config: ServingConfig = ServingConfig(),
-                       ready: Optional["asyncio.Event"] = None,
-                       stop: Optional["asyncio.Event"] = None,
-                       max_requests: Optional[int] = None,
-                       announce=_announce) -> None:
-    """Run the JSONL TCP endpoint until *stop* is set (or forever).
+async def serve_connections(service, host: str, port: int,
+                            describe: str = "",
+                            registry: Optional[ModelRegistry] = None,
+                            ready: Optional["asyncio.Event"] = None,
+                            stop: Optional["asyncio.Event"] = None,
+                            max_requests: Optional[int] = None,
+                            announce=_announce,
+                            allow_control: bool = False,
+                            on_bound: Optional[Callable[[str, int], None]]
+                            = None) -> None:
+    """Run the JSONL TCP endpoint over an already-built service.
 
-    *ready* (when given) is set once the socket is listening — the
-    announcement hook prints the bound address either way, so a shell
-    script can wait for the ``serving on`` line.  With *max_requests*
-    the server retires itself once that many requests have resolved
-    (answered or shed) — the CI smoke uses this for a clean exit.
+    The transport core shared by the single-process ``repro serve``
+    (:func:`serve_socket`) and each shard process of the sharded tier
+    (which passes ``allow_control=True`` so its router can publish,
+    activate, inspect and drain it over the same connection).  *service*
+    must expose the :class:`~repro.serving.service.InferenceService`
+    surface: ``start``/``drain``, ``submit``, and the
+    ``n_completed``/``n_shed``/``in_flight`` counters.
+
+    *ready* (when given) is set once the socket is listening, and
+    *on_bound* (when given) is called with the bound ``(host, port)`` —
+    the hook a shard process uses to report its OS-assigned port 0
+    binding back to the router.  With *max_requests* the server retires
+    itself once that many requests have resolved (answered or shed).
     Shutdown is graceful: the listener closes first, then the service
     drains.
     """
-    service = InferenceService(registry, config=config)
-    server = await asyncio.start_server(
-        lambda r, w: _handle_connection(service, r, w), host, port)
-    service.start()
     stop = stop if stop is not None else asyncio.Event()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w, registry=registry,
+                                        allow_control=allow_control,
+                                        stop=stop),
+        host, port)
+    started = service.start()
+    if inspect.isawaitable(started):
+        await started
 
     async def _retire() -> None:
         while service.n_completed + service.n_shed < max_requests:
@@ -156,10 +248,9 @@ async def serve_socket(registry: ModelRegistry, host: str, port: int,
     watcher = (asyncio.get_running_loop().create_task(_retire())
                if max_requests is not None else None)
     bound = server.sockets[0].getsockname()
-    announce(f"serving on {bound[0]}:{bound[1]} "
-             f"(batch<={config.max_batch}, "
-             f"deadline={config.deadline_s * 1e3:.1f}ms, "
-             f"queue={config.queue_capacity})")
+    announce(f"serving on {bound[0]}:{bound[1]} {describe}".rstrip())
+    if on_bound is not None:
+        on_bound(bound[0], int(bound[1]))
     if ready is not None:
         ready.set()
     async with server:
@@ -169,3 +260,30 @@ async def serve_socket(registry: ModelRegistry, host: str, port: int,
     await service.drain()
     announce(f"drained: {service.n_completed} served, "
              f"{service.n_shed} shed, {service.in_flight} in flight")
+
+
+async def serve_socket(registry: ModelRegistry, host: str, port: int,
+                       config: ServingConfig = ServingConfig(),
+                       ready: Optional["asyncio.Event"] = None,
+                       stop: Optional["asyncio.Event"] = None,
+                       max_requests: Optional[int] = None,
+                       announce=_announce,
+                       allow_control: bool = False,
+                       on_bound: Optional[Callable[[str, int], None]]
+                       = None) -> None:
+    """Run the JSONL TCP endpoint until *stop* is set (or forever).
+
+    Builds a fresh :class:`InferenceService` over *registry* and
+    delegates to :func:`serve_connections`; see there for the lifecycle
+    knobs.  ``allow_control`` additionally enables the shard control
+    plane on this endpoint — leave it off for public endpoints.
+    """
+    service = InferenceService(registry, config=config)
+    await serve_connections(
+        service, host, port,
+        describe=(f"(batch<={config.max_batch}, "
+                  f"deadline={config.deadline_s * 1e3:.1f}ms, "
+                  f"queue={config.queue_capacity})"),
+        registry=registry, ready=ready, stop=stop,
+        max_requests=max_requests, announce=announce,
+        allow_control=allow_control, on_bound=on_bound)

@@ -1,5 +1,7 @@
 """Versioned registry: publication, atomic activation, audit trail."""
 
+import threading
+
 import pytest
 
 from repro import observability as obs
@@ -76,3 +78,53 @@ class TestModelRegistry:
         assert snapshot["counters"]["serving.registry.published_total"] == 2
         assert snapshot["counters"]["serving.registry.swaps_total"] == 2
         assert snapshot["gauges"]["serving.registry.active_version"] == 2
+
+
+class TestConcurrentPublishAndActivate:
+    """publish_and_activate is one atomic operation, not two.
+
+    Regression: publication and activation used to take the lock twice,
+    so two racing callers could interleave as publish(A)=1,
+    publish(B)=2, activate(2), activate(1) — caller B gets version 2
+    back while version 1 ends up active, and ``swap_history`` shows a
+    transition chain that never happened.
+    """
+
+    N_THREADS = 8
+    N_SWAPS = 25
+
+    def test_threaded_swap_history_stays_a_chain(self, package):
+        registry = ModelRegistry()
+        start = threading.Event()
+        results = [[] for _ in range(self.N_THREADS)]
+
+        def hammer(slot):
+            start.wait()
+            for k in range(self.N_SWAPS):
+                results[slot].append(registry.publish_and_activate(
+                    package, tag=f"t{slot}.{k}"))
+
+        threads = [threading.Thread(target=hammer, args=(slot,))
+                   for slot in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        start.set()
+        for t in threads:
+            t.join()
+
+        n_total = self.N_THREADS * self.N_SWAPS
+        history = registry.swap_history
+        assert len(history) == n_total
+        # Every activation starts where the previous one ended: a
+        # connected chain, no interleaved publish/activate pairs.
+        assert history[0][0] is None
+        for (_, to_a), (from_b, _) in zip(history, history[1:]):
+            assert to_a == from_b
+        # The active version is the last link of the chain, and each
+        # caller activated exactly the version it was handed back.
+        assert registry.active_version == history[-1][1]
+        versions = sorted(v for slot in results for v in slot)
+        assert versions == list(range(1, n_total + 1))
+        for slot, version in [(s, v) for s in range(self.N_THREADS)
+                              for v in results[s]]:
+            assert registry.get(version).tag.startswith(f"t{slot}.")

@@ -89,6 +89,70 @@ class TestLifecycle:
         assert [r.request_id for r in responses] == list(range(40))
 
 
+class TestDrainIdempotence:
+    """Regression: double drain used to double-count ``drains_total``.
+
+    ``drain()`` followed by ``__aexit__`` (or any explicit re-drain) is
+    the normal shutdown shape — e.g. a caller that drains to flush, then
+    leaves the ``async with`` block — and must tear down exactly once.
+    """
+
+    def test_explicit_drain_plus_context_exit_counts_once(self, registry,
+                                                          cue_pool):
+        async def scenario():
+            service = InferenceService(registry)
+            async with service:
+                await service.submit(cue_pool[0])
+                await service.drain()
+            return service
+
+        with obs.observed(fresh=True) as (metrics, _):
+            service = run(scenario())
+            counters = metrics.snapshot()["counters"]
+        assert counters["serving.drains_total"] == 1
+        assert service.n_completed == 1
+
+    def test_repeated_drain_is_a_noop(self, registry, cue_pool):
+        async def scenario():
+            service = InferenceService(registry)
+            async with service:
+                await service.submit(cue_pool[0])
+                await service.drain()
+                await service.drain()
+                await service.drain()
+            return service
+
+        with obs.observed(fresh=True) as (metrics, _):
+            run(scenario())
+            counters = metrics.snapshot()["counters"]
+        assert counters["serving.drains_total"] == 1
+
+    def test_concurrent_drains_complete_together(self, registry, cue_pool):
+        async def scenario():
+            service = InferenceService(registry)
+            async with service:
+                await service.submit(cue_pool[0])
+                await asyncio.gather(service.drain(), service.drain(),
+                                     service.drain())
+            return service
+
+        with obs.observed(fresh=True) as (metrics, _):
+            service = run(scenario())
+            counters = metrics.snapshot()["counters"]
+        assert counters["serving.drains_total"] == 1
+        assert service.in_flight == 0
+
+    def test_drain_before_start_is_a_noop(self, registry):
+        async def scenario():
+            service = InferenceService(registry)
+            await service.drain()
+
+        with obs.observed(fresh=True) as (metrics, _):
+            run(scenario())
+            counters = metrics.snapshot()["counters"]
+        assert counters.get("serving.drains_total", 0) == 0
+
+
 class TestValidation:
     def test_wrong_cue_count_rejected(self, registry):
         async def scenario():

@@ -1,0 +1,333 @@
+"""Sharded serving tier: ring math, shm artifacts, fleet semantics.
+
+The acceptance criterion mirrors ``test_equivalence.py``: responses
+from a sharded fleet must be **bit-identical** to the direct pipeline
+for a fixed request stream.  On top of that, the consistent-hash ring
+gets property-tested (resizing the fleet moves only the keys the new
+shard wins), the shared-memory artifact path is round-tripped and
+integrity-checked, and the coordinated hot-swap barrier is verified to
+partition versions cleanly fleet-wide.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import observability as obs
+from repro.exceptions import ConfigurationError, ServiceClosedError
+from repro.serving import (HashRing, ServeRequest, ServingConfig,
+                           ShardArtifact, ShardedService, ShardingConfig,
+                           ShmHandle, load_artifact, publish_artifact,
+                           serve_sharded_requests, unlink_artifact)
+
+from .conftest import make_requests
+from .test_equivalence import direct_reference
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="session")
+def artifact(package, experiment):
+    return ShardArtifact(package=package,
+                         classifier=experiment.classifier, tag="test")
+
+
+def keyed_requests(cue_pool, n, n_streams=7, seed=3):
+    """Request stream where every request carries an appliance key."""
+    plain = make_requests(cue_pool, n, seed=seed)
+    return [ServeRequest(request_id=r.request_id, cues=r.cues,
+                         class_index=r.class_index,
+                         stream_key=f"appliance-{k % n_streams}")
+            for k, r in enumerate(plain)]
+
+
+#: Small fleet shape used by the process-spawning tests: modest spawn
+#: cost, still exercises real cross-shard routing.
+FLEET = ShardingConfig(n_shards=2, serving=ServingConfig(
+    max_batch=8, deadline_s=0.001))
+
+
+class TestHashRing:
+    def test_routing_is_pinned(self):
+        """Stable BLAKE2b placement: these literals must never move.
+
+        The router and any external observer (logs, dashboards) agree
+        on stream placement across processes and Python versions —
+        which a salted ``hash()`` would silently break.
+        """
+        ring = HashRing(range(4), vnodes=64)
+        assert [ring.shard_for(k) for k in
+                ["appliance-0", "appliance-1", "appliance-2",
+                 "user:alice", "user:bob", 42]] == [2, 0, 3, 0, 1, 0]
+
+    def test_instances_agree(self):
+        keys = [f"key-{i}" for i in range(200)]
+        a = HashRing(range(5), vnodes=32)
+        b = HashRing(range(5), vnodes=32)
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k)
+                                                 for k in keys]
+
+    def test_every_shard_reachable_and_roughly_balanced(self):
+        ring = HashRing(range(4), vnodes=64)
+        counts = ring.distribution(f"k{i}" for i in range(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        mean = 2000 / 4
+        for shard, count in counts.items():
+            assert count > 0.5 * mean, (shard, counts)
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing([0], vnodes=8)
+        assert all(ring.shard_for(k) == 0 for k in range(50))
+
+    @pytest.mark.parametrize("shards,vnodes", [([], 8), ([1, 1], 8),
+                                               ([0], 0)])
+    def test_invalid_construction(self, shards, vnodes):
+        with pytest.raises(ConfigurationError):
+            HashRing(shards, vnodes=vnodes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=st.lists(st.one_of(st.text(min_size=1, max_size=24),
+                                   st.integers()),
+                         min_size=1, max_size=100),
+           n=st.integers(min_value=1, max_value=8),
+           vnodes=st.integers(min_value=1, max_value=96))
+    def test_resize_moves_keys_only_to_the_new_shard(self, keys, n,
+                                                     vnodes):
+        """Growing N → N+1 relocates a key only if the new shard wins
+        it; no key migrates between pre-existing shards."""
+        before = HashRing(range(n), vnodes=vnodes)
+        after = HashRing(range(n + 1), vnodes=vnodes)
+        for key in keys:
+            old, new = before.shard_for(key), after.shard_for(key)
+            assert new == old or new == n, (key, old, new)
+
+    def test_resize_churn_is_about_one_over_n(self):
+        """~K/N keys move on a grow — the consistent-hashing payoff."""
+        keys = [f"k{i}" for i in range(5000)]
+        before = HashRing(range(4), vnodes=64)
+        after = HashRing(range(5), vnodes=64)
+        moved = sum(1 for k in keys
+                    if before.shard_for(k) != after.shard_for(k))
+        # Expected 1/5 = 0.20; a naive ``hash(k) % n`` would move ~0.80.
+        assert 0.05 < moved / len(keys) < 0.40
+
+
+class TestShmArtifacts:
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_round_trip(self, artifact, cue_pool, backend):
+        handle = publish_artifact(artifact, backend=backend)
+        try:
+            loaded = load_artifact(handle)
+        finally:
+            unlink_artifact(handle)
+        assert loaded.tag == "test"
+        assert loaded.package.threshold == artifact.package.threshold
+        cues = cue_pool[:8]
+        indices = artifact.classifier.predict_indices(cues)
+        assert np.array_equal(loaded.classifier.predict_indices(cues),
+                              indices)
+        assert np.array_equal(
+            loaded.package.quality.measure_batch(cues, indices),
+            artifact.package.quality.measure_batch(cues, indices),
+            equal_nan=True)
+
+    def test_unlink_is_idempotent(self, artifact):
+        handle = publish_artifact(artifact, backend="shm")
+        unlink_artifact(handle)
+        unlink_artifact(handle)
+        with pytest.raises(ConfigurationError):
+            load_artifact(handle)
+
+    def test_corrupted_payload_is_refused(self, artifact, tmp_path):
+        handle = publish_artifact(artifact, backend="mmap",
+                                  directory=tmp_path)
+        try:
+            with open(handle.name, "r+b") as fh:
+                fh.seek(handle.size // 2)
+                byte = fh.read(1)
+                fh.seek(handle.size // 2)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+            with pytest.raises(ConfigurationError, match="digest"):
+                load_artifact(handle)
+        finally:
+            unlink_artifact(handle)
+
+    def test_handle_round_trips_as_json(self, artifact):
+        handle = publish_artifact(artifact, backend="shm")
+        try:
+            doc = json.loads(json.dumps(handle.to_dict()))
+            assert ShmHandle.from_dict(doc) == handle
+        finally:
+            unlink_artifact(handle)
+
+    @pytest.mark.parametrize("doc", [{}, {"backend": "tape"},
+                                     {"backend": "shm", "name": "x",
+                                      "size": -1, "digest": "00"}])
+    def test_malformed_handle_rejected(self, doc):
+        with pytest.raises(ConfigurationError):
+            ShmHandle.from_dict(dict({"backend": "shm", "name": "x",
+                                      "size": 1, "digest": "00"}, **doc)
+                                if doc else {})
+
+
+class TestShardingConfig:
+    @pytest.mark.parametrize("kwargs", [{"n_shards": 0}, {"vnodes": 0},
+                                        {"shm_backend": "tape"},
+                                        {"start_method": "teleport"},
+                                        {"spawn_timeout_s": 0.0}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShardingConfig(**kwargs)
+
+
+class TestShardedEquivalence:
+    """The acceptance criterion: sharded == direct, bit for bit."""
+
+    def test_sharded_matches_direct_with_stream_keys(self, artifact,
+                                                     experiment, package,
+                                                     cue_pool):
+        requests = keyed_requests(cue_pool, 60)
+        reference = direct_reference(experiment, package, requests)
+        responses = serve_sharded_requests(artifact, requests,
+                                           config=FLEET)
+        assert [r.key() for r in responses] == reference
+        assert {r.package_version for r in responses} == {1}
+
+    def test_sharded_matches_direct_without_keys(self, artifact,
+                                                 experiment, package,
+                                                 cue_pool):
+        """No stream keys: routing falls back to request ids and the
+        per-row results still match the direct pipeline exactly."""
+        requests = make_requests(cue_pool, 40)
+        reference = direct_reference(experiment, package, requests)
+        responses = serve_sharded_requests(artifact, requests,
+                                           config=FLEET)
+        assert [r.key() for r in responses] == reference
+
+
+class TestShardedFleet:
+    def test_stream_affinity(self, artifact, cue_pool):
+        """Every request of one stream lands on exactly one shard."""
+        requests = keyed_requests(cue_pool, 20, n_streams=1)
+
+        async def scenario():
+            async with ShardedService(artifact, config=FLEET) as service:
+                await service.serve_stream(requests)
+                return await service.stats()
+
+        stats = run(scenario())
+        submitted = [shard["n_submitted"]
+                     for shard in stats["shards"].values()]
+        assert sorted(submitted) == [0, 20]
+        assert stats["n_completed"] == 20
+
+    def test_coordinated_swap_partitions_versions(self, artifact, package,
+                                                  experiment, cue_pool):
+        requests = keyed_requests(cue_pool, 16)
+
+        async def scenario():
+            async with ShardedService(artifact, config=FLEET) as service:
+                pre = [await service.submit(r.cues, key=r.stream_key)
+                       for r in requests[:8]]
+                version = await service.publish_and_activate(
+                    package, classifier=experiment.classifier, tag="v2")
+                post = [await service.submit(r.cues, key=r.stream_key)
+                        for r in requests[8:]]
+                stats = await service.stats()
+                return pre, version, post, stats, service.swap_history
+
+        pre, version, post, stats, swaps = run(scenario())
+        assert version == 2
+        assert {r.package_version for r in pre} == {1}
+        assert {r.package_version for r in post} == {2}
+        assert swaps == [(None, 1), (1, 2)]
+        for shard in stats["shards"].values():
+            assert shard["active_version"] == 2
+            assert shard["versions"] == [1, 2]
+
+    def test_swap_under_concurrent_traffic(self, artifact, package,
+                                           experiment, cue_pool):
+        """The quiesce barrier holds under open submission: every
+        response is attributable to exactly one version and none is
+        lost or shed by the swap itself."""
+        requests = keyed_requests(cue_pool, 40)
+
+        async def scenario():
+            async with ShardedService(artifact, config=FLEET) as service:
+                async def one(r):
+                    return await service.submit(r.cues, key=r.stream_key,
+                                                wait=True)
+
+                first = [asyncio.ensure_future(one(r))
+                         for r in requests[:20]]
+                swap = asyncio.ensure_future(service.publish_and_activate(
+                    package, classifier=experiment.classifier))
+                second = [asyncio.ensure_future(one(r))
+                          for r in requests[20:]]
+                responses = await asyncio.gather(*(first + second))
+                await swap
+                return responses
+
+        responses = run(scenario())
+        assert len(responses) == 40
+        assert not any(r.shed for r in responses)
+        versions = {r.package_version for r in responses}
+        assert versions <= {1, 2} and versions
+
+    def test_per_shard_shedding_preserved(self, artifact, cue_pool):
+        """ε load-shedding keeps working inside each shard: open-loop
+        overload past the per-shard admission bound sheds honestly."""
+        requests = keyed_requests(cue_pool, 40, n_streams=1)
+        config = ShardingConfig(n_shards=2, serving=ServingConfig(
+            queue_capacity=2, max_batch=64, deadline_s=0.2))
+
+        async def scenario():
+            async with ShardedService(artifact, config=config) as service:
+                futures = [await service._submit_future(
+                    r.cues, class_index=None, request_id=r.request_id,
+                    wait=False, key=r.stream_key) for r in requests]
+                responses = await asyncio.gather(*futures)
+                return responses, service.n_shed
+
+        responses, n_shed = run(scenario())
+        shed = [r for r in responses if r.shed]
+        assert n_shed == len(shed) > 0
+        for r in shed:
+            assert r.is_error_state
+            assert r.package_version is None
+
+    def test_drain_is_idempotent_and_counted_once(self, artifact,
+                                                  cue_pool):
+        requests = keyed_requests(cue_pool, 6)
+
+        async def scenario():
+            service = ShardedService(artifact, config=FLEET)
+            async with service:
+                await service.serve_stream(requests)
+                await service.drain()
+                await service.drain()
+            with pytest.raises(ServiceClosedError):
+                await service.submit(requests[0].cues)
+            return service
+
+        with obs.observed(fresh=True) as (metrics, _):
+            service = run(scenario())
+            counters = metrics.snapshot()["counters"]
+        assert counters["serving.sharding.drains_total"] == 1
+        assert counters["serving.sharding.routed_total"] == 6
+        assert service.n_completed == 6
+        assert service.in_flight == 0
+
+    def test_validation_mirrors_single_process(self, artifact, cue_pool):
+        async def scenario(cues):
+            async with ShardedService(artifact, config=FLEET) as service:
+                await service.submit(cues)
+
+        with pytest.raises(ConfigurationError, match="cues"):
+            run(scenario(np.ones(2)))

@@ -238,6 +238,30 @@ class TestServeCommand:
         assert main(["serve", "--listen", "nope"]) == 2
         assert "HOST:PORT" in capsys.readouterr().err
 
+    def test_stdio_sharded_round_trip(self, capsys, monkeypatch,
+                                      experiment):
+        import io
+        import json
+
+        cues = experiment.material.analysis.cues[:6]
+        lines = "\n".join(
+            json.dumps({"id": k, "cues": row.tolist(),
+                        "key": f"appliance-{k % 3}"})
+            for k, row in enumerate(cues))
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--seed", "7", "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line)
+                     for line in captured.out.splitlines() if line]
+        assert [r["id"] for r in responses] == list(range(6))
+        assert all(r["version"] == 1 for r in responses)
+        assert all(not r["shed"] for r in responses)
+        assert "2 shards" in captured.err
+
+    def test_negative_shards_rejected(self, capsys):
+        assert main(["serve", "--shards", "-1"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestLoadgenCommand:
     def test_in_process_run(self, capsys, tmp_path):
