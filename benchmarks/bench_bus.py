@@ -1,0 +1,173 @@
+"""Experiment ``bus`` — distributed context-event bus throughput.
+
+Measures the hot paths of :mod:`repro.bus` with the same scripted pen
+workload the failure drills use (:func:`repro.bus.drill.scripted_pen_events`),
+so the numbers are directly comparable to the drill logs:
+
+* **publish + delivery** — events/s through a :class:`BrokerCore` with a
+  subscribed :class:`BusClient` over the in-process link, i.e. the full
+  log-append / partition-route / credit-window / ack round trip;
+* **log append** — raw :class:`EventLog` append rate at two fsync
+  cadences, showing what group-commit batching buys over fsync-per-record;
+* **replay** — events/s to re-read, validate, and dedupe a persisted
+  log, the cost floor of ``repro bus replay``;
+* **drill** — wall time for the in-process fault drill to converge with
+  drops, duplicates, and delays active.
+
+Every run lands in ``BENCH_bus.json`` at the repo root, diffable across
+PRs like the other ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.bus.broker import BrokerCore, BusConfig
+from repro.bus.client import BusClient, InProcLink
+from repro.bus.drill import run_inproc_fault_drill, scripted_pen_events
+from repro.bus.log import EventLog
+from repro.bus.replay import dedupe_events, read_log_events
+
+#: Events per timed run (seeded; identical workload across kinds).
+N_EVENTS = 2000
+SEED = 7
+
+#: fsync cadences for the append benchmark: every record vs group commit.
+FSYNC_CADENCES = (1, 64)
+
+#: The drill is the expensive case; keep it shorter than the raw sweeps.
+DRILL_EVENTS = 300
+
+
+def _report_path() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "BENCH_bus.json"
+    return Path.cwd() / "BENCH_bus.json"
+
+
+class BusReporter:
+    """Collects per-run measurements into ``BENCH_bus.json``."""
+
+    def __init__(self) -> None:
+        self.runs: List[Dict[str, object]] = []
+
+    def add(self, kind: str, n_events: int, elapsed_s: float,
+            extra: Dict[str, object] = None) -> None:
+        row: Dict[str, object] = {
+            "kind": kind,
+            "n_events": n_events,
+            "elapsed_s": elapsed_s,
+            "events_per_s": n_events / elapsed_s if elapsed_s else 0.0,
+        }
+        if extra:
+            row.update(extra)
+        self.runs.append(row)
+
+    def write(self, path: Path) -> Path:
+        document = {
+            "schema": 1,
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "runs": self.runs,
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
+
+
+@pytest.fixture(scope="module")
+def bus_report():
+    reporter = BusReporter()
+    yield reporter
+    reporter.write(_report_path())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return scripted_pen_events(SEED, N_EVENTS)
+
+
+def test_publish_delivery_throughput(tmp_path, workload, bus_report,
+                                     report):
+    """Full round trip: append, route, deliver under credits, ack."""
+    config = BusConfig(n_partitions=2, fsync_every=64)
+    received = []
+    with BrokerCore(tmp_path / "log", config) as core:
+        client = BusClient(InProcLink(core))
+        client.subscribe("context.*", received.append)
+        start = time.perf_counter()
+        for event in workload:
+            client.publish(event)
+        elapsed = time.perf_counter() - start
+        stats = core.stats()
+    bus_report.add("publish-delivery", N_EVENTS, elapsed,
+                   extra={"n_partitions": config.n_partitions,
+                          "fsync_every": config.fsync_every,
+                          "n_acked": stats["n_acked"]})
+    report.row("bus", "publish+delivery", "-",
+               f"{N_EVENTS / elapsed:.0f} events/s, 2 partitions")
+    assert len(received) == N_EVENTS
+    assert stats["n_acked"] == N_EVENTS
+
+
+@pytest.mark.parametrize("fsync_every", FSYNC_CADENCES)
+def test_log_append_throughput(tmp_path, workload, bus_report, report,
+                               fsync_every):
+    """Raw append rate: fsync-per-record vs group commit."""
+    log = EventLog(tmp_path / f"log-{fsync_every}",
+                   fsync_every=fsync_every)
+    records = [{"event": e.to_wire(), "partition": 0} for e in workload]
+    start = time.perf_counter()
+    for record in records:
+        log.append(record)
+    log.sync()
+    elapsed = time.perf_counter() - start
+    bus_report.add("log-append", N_EVENTS, elapsed,
+                   extra={"fsync_every": fsync_every,
+                          "n_fsyncs": log.n_fsyncs})
+    report.row("bus", f"log append (fsync_every={fsync_every})", "-",
+               f"{N_EVENTS / elapsed:.0f} events/s, "
+               f"{log.n_fsyncs} fsyncs")
+    assert log.next_offset == N_EVENTS
+
+
+def test_replay_read_throughput(tmp_path, workload, bus_report, report):
+    """Read + validate + dedupe rate over a persisted log."""
+    config = BusConfig(n_partitions=2, fsync_every=64)
+    with BrokerCore(tmp_path / "log", config) as core:
+        for event in workload:
+            core.publish(event.to_wire())
+    start = time.perf_counter()
+    events = dedupe_events(read_log_events(tmp_path / "log"))
+    elapsed = time.perf_counter() - start
+    bus_report.add("replay-read", N_EVENTS, elapsed)
+    report.row("bus", "replay read+dedupe", "-",
+               f"{N_EVENTS / elapsed:.0f} events/s")
+    assert len(events) == N_EVENTS
+
+
+def test_fault_drill_wall_time(tmp_path, bus_report, report):
+    """Convergence time with drops, duplicates, and delays active."""
+    start = time.perf_counter()
+    drill = run_inproc_fault_drill(tmp_path / "log", seed=SEED,
+                                   n_events=DRILL_EVENTS)
+    elapsed = time.perf_counter() - start
+    bus_report.add("fault-drill", DRILL_EVENTS, elapsed,
+                   extra={"n_redelivered": drill.n_redelivered,
+                          "dedupe_dropped": drill.dedupe_dropped,
+                          "passed": drill.passed})
+    report.row("bus", "fault drill", "converges under faults",
+               f"{elapsed:.2f}s for {DRILL_EVENTS} events, "
+               f"{drill.n_redelivered} redelivered")
+    assert drill.passed

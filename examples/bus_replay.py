@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Distributed bus, persistent log, and bit-identical replay.
+
+The in-process :class:`EventBus` generalises to a partitioned broker
+(:mod:`repro.bus`) with an append-only event log.  This example streams
+the scripted pen workload through a broker over a lossy channel that
+drops, duplicates, and delays frames, shows the at-least-once machinery
+converging anyway (redeliveries + consumer dedupe), and then replays the
+persisted log to prove the run is reconstructible bit-for-bit.
+
+Run:  python examples/bus_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.bus import BrokerCore, BusClient, BusConfig, InProcLink
+from repro.bus.drill import scripted_pen_events
+from repro.bus.faults import (FaultyChannel, FrameFault,
+                              FrameFaultSchedule, ScheduledFrameFault)
+from repro.bus.replay import dedupe_events, read_log_events
+
+N_EVENTS = 120
+SEED = 7
+
+
+def main() -> None:
+    events = scripted_pen_events(SEED, N_EVENTS)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = Path(tmp) / "bus-log"
+        schedule = FrameFaultSchedule((
+            ScheduledFrameFault(FrameFault("drop", every=9)),
+            ScheduledFrameFault(FrameFault("duplicate", every=7)),
+            ScheduledFrameFault(FrameFault("delay", every=11)),
+        ))
+        channel = {}
+
+        def lossy(send):
+            channel["c"] = FaultyChannel(send, schedule)
+            return channel["c"]
+
+        config = BusConfig(n_partitions=2, fsync_every=8)
+        received = []
+        with BrokerCore(log_dir, config) as core:
+            client = BusClient(InProcLink(core, wrap_send=lossy),
+                               from_start=True)
+            client.subscribe("context.*", received.append)
+            for event in events:
+                client.publish(event)
+            # Drive redelivery ticks until every dropped frame is back.
+            redelivered = 0
+            while len(received) < N_EVENTS:
+                redelivered += core.tick()
+            channel["c"].flush()
+            counters = channel["c"].counters()
+            core.log.sync()
+            logged = read_log_events(log_dir)
+
+        print(f"published {N_EVENTS} pen events through a lossy channel")
+        print(f"faults injected: {counters['dropped']} dropped, "
+              f"{counters['duplicated']} duplicated, "
+              f"{counters['delayed']} delayed")
+        print(f"broker redelivered {redelivered} frames; consumer "
+              f"dedupe dropped {client.dedupe_dropped} duplicates")
+        print(f"delivered {len(received)} events, in order: "
+              f"{[e.seq for e in received] == list(range(1, N_EVENTS + 1))}")
+
+        replayed = dedupe_events(logged)
+        print(f"\nevent log holds {len(logged)} records "
+              f"-> {len(replayed)} unique events after dedupe")
+        identical = replayed == events
+        print(f"replayed events bit-identical to the published run: "
+              f"{identical}")
+        if not identical:
+            raise SystemExit("replay diverged")
+
+
+if __name__ == "__main__":
+    main()

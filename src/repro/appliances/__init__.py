@@ -2,7 +2,7 @@
 
 from .awarepen import PEN_TOPIC, AwarePen
 from .base import Appliance
-from .bus import DeliveryError, EventBus
+from .bus import DeliveryError, EventBus, topic_matches
 from .camera import Snapshot, WhiteboardCamera
 from .chair import CHAIR_TOPIC, AwareChair
 from .display import OfficeDisplay
@@ -10,12 +10,12 @@ from .lossy import LossyBus
 from .situation import (DEFAULT_RULES, DISCUSSION, IDLE, SITUATION_TOPIC,
                         SITUATIONS, SituationDetector, SituationState,
                         WRITING_SESSION)
-from .messages import ContextEvent
+from .messages import ContextEvent, derive_event_id
 from .office import AwareOffice, OfficeRunReport
 
 __all__ = [
-    "ContextEvent",
-    "EventBus", "DeliveryError",
+    "ContextEvent", "derive_event_id",
+    "EventBus", "DeliveryError", "topic_matches",
     "Appliance",
     "AwarePen", "PEN_TOPIC",
     "WhiteboardCamera", "Snapshot",

@@ -26,15 +26,23 @@ class Appliance(abc.ABC):
         self.name = name
         self.bus = bus
         self._published: List[ContextEvent] = []
+        self._seq = 0
 
     # ------------------------------------------------------------------
     def publish_context(self, topic: str, context: ContextClass,
                         quality: Optional[float], time_s: float
                         ) -> ContextEvent:
-        """Publish one qualified context observation on the bus."""
+        """Publish one qualified context observation on the bus.
+
+        The appliance owns its event numbering: each published event
+        carries the next value of this instance's sequence counter, so
+        ``(source, seq)`` identities are deterministic per run and never
+        depend on what other publishers (or tests) did first.
+        """
+        self._seq += 1
         event = ContextEvent.create(source=self.name, topic=topic,
                                     context=context, quality=quality,
-                                    time_s=time_s)
+                                    time_s=time_s, seq=self._seq)
         self._published.append(event)
         self.bus.publish(event)
         return event

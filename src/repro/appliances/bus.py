@@ -3,22 +3,42 @@
 Substitute for the Particle RF network of the AwareOffice (see DESIGN.md):
 appliances publish :class:`ContextEvent` objects on topics; subscribers
 receive them synchronously in publication order.  Topic patterns support a
-trailing ``*`` wildcard (``"context.*"``).
+trailing ``*`` wildcard (``"context.*"``); the matching rule is shared
+with the distributed broker (:mod:`repro.bus`) through
+:func:`topic_matches`, so both buses route identically.
 
 Delivery failures in one subscriber are isolated: they are recorded on the
-bus and do not prevent delivery to other subscribers — a lost radio packet
-must not take the office down.
+bus (in a bounded ring — a flapping subscriber cannot grow memory without
+bound over a long simulation) and do not prevent delivery to other
+subscribers — a lost radio packet must not take the office down.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Tuple
 
 from ..exceptions import ConfigurationError
 from .messages import ContextEvent
 
 Handler = Callable[[ContextEvent], None]
+
+#: Default bound on the recorded delivery-error ring.
+MAX_DELIVERY_ERRORS = 256
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Whether *pattern* routes *topic*.
+
+    A pattern is either an exact topic or a prefix ending in ``*``; the
+    bare pattern ``"*"`` matches every topic (including the empty one).
+    ``"a*"`` matches the topic ``"a"`` itself — a prefix pattern always
+    matches its own stem.
+    """
+    if pattern.endswith("*"):
+        return topic.startswith(pattern[:-1])
+    return topic == pattern
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,12 +52,32 @@ class DeliveryError:
 
 
 class EventBus:
-    """Synchronous topic-based pub/sub with wildcard subscriptions."""
+    """Synchronous topic-based pub/sub with wildcard subscriptions.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_delivery_errors:
+        Bound on the retained :class:`DeliveryError` ring; older records
+        are evicted (and counted in ``n_delivery_errors_dropped``) once
+        the ring is full.
+    """
+
+    def __init__(self, max_delivery_errors: int = MAX_DELIVERY_ERRORS
+                 ) -> None:
+        if max_delivery_errors < 1:
+            raise ConfigurationError(
+                f"max_delivery_errors must be >= 1, got "
+                f"{max_delivery_errors}")
         self._subscribers: List[Tuple[str, str, Handler]] = []
-        self._delivery_errors: List[DeliveryError] = []
+        self._delivery_errors: Deque[DeliveryError] = deque(
+            maxlen=max_delivery_errors)
+        self._errors_dropped: int = 0
         self._published: int = 0
+        # Stack of per-publish tombstone maps (id -> subscription entry
+        # removed mid-delivery); a stack because a handler may itself
+        # publish re-entrantly.  Keeping the entry value lets subscribe
+        # resurrect an equal re-subscription (continuity semantics).
+        self._tombstones: List[Dict[int, Tuple[str, str, Handler]]] = []
 
     # ------------------------------------------------------------------
     def subscribe(self, pattern: str, handler: Handler,
@@ -48,7 +88,15 @@ class EventBus:
         """
         if not pattern:
             raise ConfigurationError("pattern must be non-empty")
-        self._subscribers.append((pattern, name, handler))
+        entry = (pattern, name, handler)
+        self._subscribers.append(entry)
+        # An unsubscribe immediately followed by an equal re-subscribe
+        # within the same delivery is subscription *continuity*: lift
+        # the matching tombstones so the refreshed entry still receives
+        # the in-flight event (pinned by the reentrancy tests).
+        for stones in self._tombstones:
+            for key in [k for k, v in stones.items() if v == entry]:
+                del stones[key]
 
     def unsubscribe(self, handler: Handler) -> int:
         """Remove every subscription using *handler*; returns the count.
@@ -56,15 +104,22 @@ class EventBus:
         Equality (not identity) comparison is used so bound methods — which
         are recreated on each attribute access — unsubscribe correctly.
         """
-        before = len(self._subscribers)
-        self._subscribers = [s for s in self._subscribers if s[2] != handler]
-        return before - len(self._subscribers)
+        kept: List[Tuple[str, str, Handler]] = []
+        removed: List[Tuple[str, str, Handler]] = []
+        for entry in self._subscribers:
+            (removed if entry[2] == handler else kept).append(entry)
+        self._subscribers = kept
+        if removed and self._tombstones:
+            # Mark the removed entry objects dead for every publish
+            # currently in flight, so delivery skips them in O(1)
+            # instead of re-scanning the subscriber list per entry.
+            for stones in self._tombstones:
+                stones.update((id(entry), entry) for entry in removed)
+        return len(removed)
 
     @staticmethod
     def _matches(pattern: str, topic: str) -> bool:
-        if pattern.endswith("*"):
-            return topic.startswith(pattern[:-1])
-        return topic == pattern
+        return topic_matches(pattern, topic)
 
     # ------------------------------------------------------------------
     def publish(self, event: ContextEvent) -> int:
@@ -74,24 +129,34 @@ class EventBus:
         a snapshot, so handlers may subscribe or unsubscribe mid-event:
         new subscriptions only see the *next* event, and a subscription
         removed by an earlier handler is skipped instead of called on
-        its way out.
+        its way out (pinned by the reentrancy tests).
         """
         self._published += 1
         delivered = 0
-        for entry in list(self._subscribers):
-            pattern, name, handler = entry
-            if not self._matches(pattern, event.topic):
-                continue
-            if entry not in self._subscribers:
-                continue
-            try:
-                handler(event)
-                delivered += 1
-            except Exception as exc:  # noqa: BLE001 - isolation is the point
-                self._delivery_errors.append(DeliveryError(
-                    topic=event.topic, event_id=event.event_id,
-                    subscriber=name, error=repr(exc)))
+        tombstones: Dict[int, Tuple[str, str, Handler]] = {}
+        self._tombstones.append(tombstones)
+        try:
+            for entry in list(self._subscribers):
+                pattern, name, handler = entry
+                if not self._matches(pattern, event.topic):
+                    continue
+                if id(entry) in tombstones:
+                    continue
+                try:
+                    handler(event)
+                    delivered += 1
+                except Exception as exc:  # noqa: BLE001 - isolation is the point
+                    self._record_error(DeliveryError(
+                        topic=event.topic, event_id=event.event_id,
+                        subscriber=name, error=repr(exc)))
+        finally:
+            self._tombstones.pop()
         return delivered
+
+    def _record_error(self, error: DeliveryError) -> None:
+        if len(self._delivery_errors) == self._delivery_errors.maxlen:
+            self._errors_dropped += 1
+        self._delivery_errors.append(error)
 
     # ------------------------------------------------------------------
     @property
@@ -101,8 +166,17 @@ class EventBus:
 
     @property
     def delivery_errors(self) -> List[DeliveryError]:
-        """Errors raised by subscriber callbacks (isolated, recorded)."""
+        """Errors raised by subscriber callbacks (isolated, recorded).
+
+        Only the most recent ``max_delivery_errors`` records are kept;
+        ``n_delivery_errors_dropped`` counts the evicted ones.
+        """
         return list(self._delivery_errors)
+
+    @property
+    def n_delivery_errors_dropped(self) -> int:
+        """Delivery-error records evicted from the bounded ring."""
+        return self._errors_dropped
 
     def subscriber_names(self) -> Dict[str, List[str]]:
         """Mapping pattern -> subscriber names (diagnostics)."""
@@ -110,3 +184,13 @@ class EventBus:
         for pattern, name, _ in self._subscribers:
             out.setdefault(pattern, []).append(name)
         return out
+
+    def diagnostics(self) -> Dict[str, object]:
+        """One JSON-safe view of the bus state for health reporting."""
+        return {
+            "n_published": self._published,
+            "n_subscriptions": len(self._subscribers),
+            "subscribers": self.subscriber_names(),
+            "n_delivery_errors": len(self._delivery_errors),
+            "n_delivery_errors_dropped": self._errors_dropped,
+        }

@@ -49,8 +49,9 @@ class AwareOffice:
     def __init__(self, augmented: QualityAugmentedClassifier,
                  gate: Optional[QualityFilter] = None,
                  node: Optional[SensorNode] = None,
-                 classes: Sequence[ContextClass] = AWAREPEN_CLASSES) -> None:
-        self.bus = EventBus()
+                 classes: Sequence[ContextClass] = AWAREPEN_CLASSES,
+                 bus: Optional[EventBus] = None) -> None:
+        self.bus = bus if bus is not None else EventBus()
         self.node = node if node is not None else SensorNode()
         self.classes = tuple(classes)
         self.pen = AwarePen(self.bus, augmented)

@@ -1,0 +1,177 @@
+"""Frame-level fault injection for failure-domain drills.
+
+The wire counterpart of :mod:`repro.sensors.faults`: where that module
+corrupts *signals* before the pipeline, this one mangles *delivery
+frames* between broker and consumer — the radio-bus failure modes the
+AwareOffice's Particle network would actually exhibit.  Three faults:
+
+* ``drop`` — the frame vanishes (lost packet; the broker's retry timer
+  must redeliver it);
+* ``duplicate`` — the frame arrives twice (a link-layer retransmit the
+  consumer must dedupe on ``(source, seq)``);
+* ``delay`` — the frame is held back and arrives *after* the next
+  healthy frame (reordering; the consumer's per-source pending buffer
+  must restore sequence order).
+
+Faults are scheduled over **event time** (the ``time_s`` of the carried
+:class:`~repro.appliances.messages.ContextEvent`), mirroring
+:class:`~repro.sensors.faults.FaultSchedule` — so a drill script reads
+"drop frames during seconds 2–4 of the scenario" and is exactly
+reproducible with no wall clock involved.
+
+:class:`FaultyChannel` wraps a broker→client delivery callback (the
+``wrap_send`` hook of :class:`~repro.bus.client.InProcLink`) and keeps
+per-kind counters, so a drill can assert not only that the system
+converged but that the faults actually fired.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+Frame = Dict[str, object]
+SendFn = Callable[[Frame], None]
+
+#: The frame-fault kinds understood by :class:`FaultyChannel`.
+FRAME_FAULT_KINDS = ("drop", "duplicate", "delay")
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameFault:
+    """One frame-mangling behaviour.
+
+    Parameters
+    ----------
+    kind:
+        ``"drop"``, ``"duplicate"`` or ``"delay"``.
+    every:
+        Apply to every *n*-th matching frame (1 = all of them), counted
+        per fault entry — a deterministic stand-in for a loss rate.
+    """
+
+    kind: str
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FRAME_FAULT_KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {FRAME_FAULT_KINDS}, got "
+                f"{self.kind!r}")
+        if self.every < 1:
+            raise ConfigurationError(
+                f"every must be >= 1, got {self.every}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledFrameFault:
+    """A :class:`FrameFault` active over a window of event time.
+
+    ``end_s=None`` means "until the end of the stream", as in
+    :class:`~repro.sensors.faults.ScheduledFault`.
+    """
+
+    fault: FrameFault
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"start_s must be >= 0, got {self.start_s}")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"end_s must be > start_s, got "
+                f"[{self.start_s}, {self.end_s}]")
+
+    def active_at(self, t_s: float) -> bool:
+        return t_s >= self.start_s and (self.end_s is None
+                                        or t_s < self.end_s)
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameFaultSchedule:
+    """Frame faults turning on and off over event time."""
+
+    entries: Tuple[ScheduledFrameFault, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigurationError("frame-fault schedule needs >= 1 entry")
+
+    def faults_at(self, t_s: float) -> List[FrameFault]:
+        """Every fault active at event time *t_s*, in entry order."""
+        return [e.fault for e in self.entries if e.active_at(t_s)]
+
+
+class FaultyChannel:
+    """A delivery callback wrapper that drops, duplicates and delays.
+
+    Wraps the broker→consumer ``send`` of one subscription.  For each
+    delivery frame, the event's ``time_s`` selects the active faults;
+    the *first* active fault (in schedule order) whose ``every`` counter
+    fires decides the frame's fate.  Delayed frames are emitted after
+    the next frame that passes through (a one-slot reorder), or by
+    :meth:`flush`.
+
+    Frames without an event payload (never produced by the broker, but
+    cheap to be safe about) pass through unharmed.
+    """
+
+    def __init__(self, send: SendFn, schedule: FrameFaultSchedule) -> None:
+        self._send = send
+        self.schedule = schedule
+        self._counts = [0] * len(schedule.entries)
+        self._delayed: List[Frame] = []
+        self.n_passed = 0
+        self.n_dropped = 0
+        self.n_duplicated = 0
+        self.n_delayed = 0
+
+    def _pick(self, t_s: float) -> Optional[FrameFault]:
+        for i, entry in enumerate(self.schedule.entries):
+            if not entry.active_at(t_s):
+                continue
+            self._counts[i] += 1
+            if self._counts[i] % entry.fault.every == 0:
+                return entry.fault
+        return None
+
+    def __call__(self, frame: Frame) -> None:
+        event = frame.get("event")
+        t_s = (float(event.get("time_s", 0.0))
+               if isinstance(event, dict) else 0.0)
+        fault = self._pick(t_s)
+        if fault is not None and fault.kind == "drop":
+            self.n_dropped += 1
+            return
+        if fault is not None and fault.kind == "delay":
+            self.n_delayed += 1
+            self._delayed.append(frame)
+            return
+        self.n_passed += 1
+        self._send(frame)
+        if fault is not None and fault.kind == "duplicate":
+            self.n_duplicated += 1
+            self._send(frame)
+        if self._delayed:
+            held, self._delayed = self._delayed, []
+            for late in held:
+                self.n_passed += 1
+                self._send(late)
+
+    def flush(self) -> int:
+        """Deliver any still-held delayed frames; returns the count."""
+        held, self._delayed = self._delayed, []
+        for late in held:
+            self.n_passed += 1
+            self._send(late)
+        return len(held)
+
+    def counters(self) -> Dict[str, int]:
+        """JSON-safe fault counters for drill reports."""
+        return {"passed": self.n_passed, "dropped": self.n_dropped,
+                "duplicated": self.n_duplicated, "delayed": self.n_delayed,
+                "still_held": len(self._delayed)}

@@ -1,0 +1,220 @@
+"""Append-only JSONL event log with segment rotation and offset replay.
+
+The durable half of :mod:`repro.bus`: every record the broker accepts is
+appended here before delivery, so any incident becomes a deterministic
+replay test (:mod:`repro.bus.replay`).  Design points:
+
+* **Offsets are global and contiguous** — record ``n`` is the ``n``-th
+  append since the log was created, across segment boundaries.  Replay
+  is offset-addressed: ``log.read(start=1200)``.
+* **Segments rotate** every ``segment_records`` appends into
+  ``events-<start_offset>.jsonl`` files, so a long-running broker never
+  grows one unbounded file and old segments can be archived wholesale.
+* **fsync batching** — appends are flushed+fsynced every
+  ``fsync_every`` records (and on rotation, ``sync`` and ``close``), a
+  group-commit compromise between durability and append rate.
+* **Crash recovery** — a torn final line (the classic crash artifact)
+  is detected on open and truncated away; at-least-once semantics mean
+  the unlogged event will be retried by its publisher.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..exceptions import BusError, ConfigurationError
+
+#: Segment filename shape: ``events-<start_offset>.jsonl``.
+_SEGMENT_RE = re.compile(r"^events-(\d{12})\.jsonl$")
+
+
+def _segment_name(start_offset: int) -> str:
+    return f"events-{start_offset:012d}.jsonl"
+
+
+class EventLog:
+    """Append-only, segment-rotated JSONL log of JSON-safe records.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the segments (created if missing).
+    segment_records:
+        Records per segment before rotation.
+    fsync_every:
+        Group-commit size: fsync after this many appends.  ``1`` is
+        fsync-per-record (slowest, most durable); larger values batch.
+    """
+
+    def __init__(self, root: os.PathLike, segment_records: int = 4096,
+                 fsync_every: int = 64) -> None:
+        if segment_records < 1:
+            raise ConfigurationError(
+                f"segment_records must be >= 1, got {segment_records}")
+        if fsync_every < 1:
+            raise ConfigurationError(
+                f"fsync_every must be >= 1, got {fsync_every}")
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_records = int(segment_records)
+        self.fsync_every = int(fsync_every)
+        self.n_fsyncs = 0
+        self._unsynced = 0
+        self._file = None
+        self._segment_start = 0
+        self._segment_count = 0
+        self._next_offset = self._recover()
+
+    # -- recovery ------------------------------------------------------
+    def _segment_starts(self) -> List[int]:
+        starts = []
+        for path in self.root.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                starts.append(int(match.group(1)))
+        return sorted(starts)
+
+    def _recover(self) -> int:
+        """Find the next offset; truncate a torn tail line if present."""
+        starts = self._segment_starts()
+        if not starts:
+            return 0
+        last_start = starts[-1]
+        path = self.root / _segment_name(last_start)
+        good_bytes = 0
+        n_records = 0
+        with path.open("rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # torn tail: crash mid-append
+                try:
+                    json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                good_bytes += len(line)
+                n_records += 1
+        if good_bytes < path.stat().st_size:
+            with path.open("r+b") as handle:
+                handle.truncate(good_bytes)
+        self._segment_start = last_start
+        self._segment_count = n_records
+        return last_start + n_records
+
+    # -- appending -----------------------------------------------------
+    @property
+    def next_offset(self) -> int:
+        """Offset the next :meth:`append` will be assigned."""
+        return self._next_offset
+
+    def _open_segment(self, start: int, count: int = 0) -> None:
+        self._close_file()
+        path = self.root / _segment_name(start)
+        self._file = path.open("a", encoding="utf-8")
+        self._segment_start = start
+        self._segment_count = count
+
+    def append(self, record: Dict[str, object]) -> int:
+        """Durably append one JSON-safe record; returns its offset."""
+        if self._file is None:
+            # Reopen the recovered tail segment (keeping its record
+            # count so rotation stays on the configured boundary) or
+            # start the first segment of an empty log.
+            if self._segment_count:
+                self._open_segment(self._segment_start, self._segment_count)
+            else:
+                self._open_segment(self._next_offset)
+        if self._segment_count >= self.segment_records:
+            self.sync()
+            self._open_segment(self._next_offset)
+        offset = self._next_offset
+        line = json.dumps({"offset": offset, "record": record},
+                          sort_keys=True, separators=(",", ":"))
+        self._file.write(line + "\n")
+        self._next_offset += 1
+        self._segment_count += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+        return offset
+
+    def sync(self) -> None:
+        """Flush and fsync pending appends (group commit)."""
+        if self._file is not None and self._unsynced:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.n_fsyncs += 1
+            self._unsynced = 0
+
+    def _close_file(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+    def close(self) -> None:
+        self._close_file()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def segments(self) -> List[pathlib.Path]:
+        """Segment files in offset order."""
+        return [self.root / _segment_name(s) for s in self._segment_starts()]
+
+    def read(self, start: int = 0, count: Optional[int] = None
+             ) -> Iterator[Tuple[int, Dict[str, object]]]:
+        """Yield ``(offset, record)`` from *start*, at most *count* records.
+
+        Reads go through the filesystem, so a reader sees exactly what
+        has been flushed; call :meth:`sync` first to read your own
+        latest appends.  Contiguity is verified — a gap or reordering
+        means the log directory was tampered with and raises
+        :class:`~repro.exceptions.BusError`.
+        """
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start}")
+        self.sync()
+        remaining = count
+        expected = None
+        for seg_start in self._segment_starts():
+            if remaining is not None and remaining <= 0:
+                return
+            # Skip segments that end before the requested start.
+            path = self.root / _segment_name(seg_start)
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                        offset = int(doc["offset"])
+                        record = doc["record"]
+                    except (json.JSONDecodeError, KeyError, TypeError,
+                            ValueError) as exc:
+                        raise BusError(
+                            f"corrupt log line in {path.name}: "
+                            f"{line[:80]!r}") from exc
+                    if expected is not None and offset != expected:
+                        raise BusError(
+                            f"log offset gap in {path.name}: expected "
+                            f"{expected}, found {offset}")
+                    expected = offset + 1
+                    if offset < start:
+                        continue
+                    if remaining is not None:
+                        if remaining <= 0:
+                            return
+                        remaining -= 1
+                    yield offset, record
+
+    def __len__(self) -> int:
+        return self._next_offset

@@ -1,0 +1,304 @@
+"""Asyncio TCP endpoint for the context-event broker.
+
+Speaks the same hardened JSONL framing as ``repro serve``
+(:mod:`repro.serving.framing`); on top of it, a tiny frame protocol.
+Requests carry a ``bus`` op and an optional ``rid`` the reply echoes
+(the :class:`~repro.bus.client.SocketLink` correlates on it, so a retry
+cannot be satisfied by a stale reply):
+
+========  =========================================  ==================
+op        request fields                             reply
+========  =========================================  ==================
+sub       pattern, name, from_start                  sub_ok: sid, starts
+pub       event (wire form), key?                    pub_ok: partition, offset
+ack       sid, topic, partition, index               *(none — fire and forget)*
+unsub     sid                                        unsub_ok
+stats     —                                          stats_ok: stats
+kill      partition                                  kill_ok: lost
+revive    partition                                  revive_ok
+shutdown  —                                          shutdown_ok
+========  =========================================  ==================
+
+Deliveries are pushed asynchronously on the subscriber's connection as
+``{"bus": "ev", "sid": ..., "event": ..., ...}`` frames via a
+per-connection outbox task.  A disconnect drops the connection's
+subscriptions; whatever was inflight to them is simply unacked state
+the broker forgets with the subscription.
+
+A background task calls :meth:`~repro.bus.broker.BrokerCore.tick`
+periodically, driving at-least-once redelivery of unacked frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import BusError, ConfigurationError
+from ..serving.framing import iter_jsonl_frames, write_frame
+from .broker import BrokerCore, BusConfig
+
+
+def _announce(message: str) -> None:
+    print(message, flush=True)
+
+
+async def _handle_bus_connection(core: BrokerCore,
+                                 reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter,
+                                 stop: "asyncio.Event") -> None:
+    """One broker connection: control frames in, replies + events out."""
+    write_lock = asyncio.Lock()
+    outbox: "asyncio.Queue[Dict[str, object]]" = asyncio.Queue()
+    state = {"closed": False}
+    sids: List[int] = []
+
+    def send(frame: Dict[str, object]) -> None:
+        # Called synchronously by the broker core while delivering;
+        # raising tells it this subscriber is gone.
+        if state["closed"]:
+            raise BusError("connection closed")
+        outbox.put_nowait(frame)
+
+    async def _drain_outbox() -> None:
+        while True:
+            frame = await outbox.get()
+            await write_frame(writer, write_lock, frame)
+
+    pusher = asyncio.get_running_loop().create_task(_drain_outbox())
+    try:
+        async for text in iter_jsonl_frames(reader, writer, write_lock):
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError:
+                await write_frame(writer, write_lock,
+                                  {"error": "bad request: frame is not "
+                                            "valid JSON"})
+                continue
+            if not isinstance(doc, dict):
+                await write_frame(writer, write_lock,
+                                  {"error": "bad request: frame must be "
+                                            "an object"})
+                continue
+            rid = doc.get("rid")
+            op = doc.get("bus")
+            try:
+                reply = _dispatch(core, doc, op, send, sids, stop)
+            except (BusError, ConfigurationError, KeyError, TypeError,
+                    ValueError) as exc:
+                reply = {"error": f"{type(exc).__name__}: {exc}"}
+            if reply is None:
+                continue  # ack: fire-and-forget
+            if rid is not None:
+                reply["rid"] = rid
+            await write_frame(writer, write_lock, reply)
+    except asyncio.CancelledError:
+        # Loop teardown (server stop) cancels live connections; treat it
+        # as a disconnect rather than letting the cancellation surface
+        # through the streams callback as shutdown noise.
+        pass
+    finally:
+        state["closed"] = True
+        for sid in sids:
+            core.unsubscribe(sid)
+        pusher.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # The loop is tearing down (server stop) while this
+            # connection drains its close handshake; the transport is
+            # closed either way, so don't let the cancellation escape
+            # as loop-shutdown noise.
+            pass
+
+
+def _dispatch(core: BrokerCore, doc: Dict[str, object], op: object,
+              send: Callable[[Dict[str, object]], None], sids: List[int],
+              stop: "asyncio.Event") -> Optional[Dict[str, object]]:
+    """Execute one control frame; returns the reply (None: no reply).
+
+    *send* is the connection's outbox writer — the delivery callback a
+    ``sub`` frame registers with the core.
+    """
+    if op == "sub":
+        pattern = doc.get("pattern")
+        if not isinstance(pattern, str):
+            raise BusError(f"sub pattern must be a string, got {pattern!r}")
+        sid, starts = core.subscribe(pattern, send,
+                                     name=str(doc.get("name", "anonymous")),
+                                     from_start=bool(doc.get("from_start")))
+        sids.append(sid)
+        return {"bus": "sub_ok", "sid": sid, "starts": starts}
+    if op == "pub":
+        event = doc.get("event")
+        if not isinstance(event, dict):
+            raise BusError(f"pub event must be an object, got {event!r}")
+        key = doc.get("key")
+        partition, offset = core.publish(
+            event, key=str(key) if key is not None else None)
+        return {"bus": "pub_ok", "partition": partition, "offset": offset}
+    if op == "ack":
+        core.ack(int(doc["sid"]), str(doc["topic"]),  # type: ignore[arg-type]
+                 int(doc["partition"]), int(doc["index"]))  # type: ignore[arg-type]
+        return None
+    if op == "unsub":
+        sid = int(doc["sid"])  # type: ignore[arg-type]
+        core.unsubscribe(sid)
+        if sid in sids:
+            sids.remove(sid)
+        return {"bus": "unsub_ok"}
+    if op == "stats":
+        return {"bus": "stats_ok", "stats": core.stats()}
+    if op == "kill":
+        lost = core.kill_partition(int(doc["partition"]))  # type: ignore[arg-type]
+        return {"bus": "kill_ok", "lost": lost}
+    if op == "revive":
+        core.revive_partition(int(doc["partition"]))  # type: ignore[arg-type]
+        return {"bus": "revive_ok"}
+    if op == "shutdown":
+        stop.set()
+        return {"bus": "shutdown_ok"}
+    raise BusError(f"unknown bus op {op!r}")
+
+
+async def serve_bus(log_dir, host: str, port: int,
+                    config: Optional[BusConfig] = None,
+                    core: Optional[BrokerCore] = None,
+                    ready: Optional["asyncio.Event"] = None,
+                    stop: Optional["asyncio.Event"] = None,
+                    tick_interval_s: float = 0.05,
+                    announce=_announce,
+                    on_bound: Optional[Callable[[str, int], None]] = None
+                    ) -> BrokerCore:
+    """Run the broker TCP endpoint until *stop* is set.
+
+    Builds (or adopts) a :class:`BrokerCore` over the event log at
+    *log_dir* and serves the frame protocol above; a background task
+    ticks the core's redelivery timer every *tick_interval_s*.  Returns
+    the core (its counters are the post-mortem of the run).
+    """
+    if tick_interval_s <= 0:
+        raise ConfigurationError(
+            f"tick_interval_s must be > 0, got {tick_interval_s}")
+    own_core = core is None
+    core = core if core is not None else BrokerCore(log_dir, config)
+    stop = stop if stop is not None else asyncio.Event()
+
+    async def _handler(reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        await _handle_bus_connection(core, reader, writer, stop)
+
+    server = await asyncio.start_server(_handler, host, port)
+
+    async def _ticker() -> None:
+        while True:
+            await asyncio.sleep(tick_interval_s)
+            core.tick()
+
+    ticker = asyncio.get_running_loop().create_task(_ticker())
+    bound = server.sockets[0].getsockname()
+    announce(f"bus broker on {bound[0]}:{bound[1]} "
+             f"(partitions={core.config.n_partitions}, "
+             f"credits={core.config.credits}, log={core.log.root})")
+    if on_bound is not None:
+        on_bound(bound[0], int(bound[1]))
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        ticker.cancel()
+        core.log.sync()
+        if own_core:
+            core.close()
+    announce(f"bus broker stopped: {core.n_published} published, "
+             f"{core.n_delivered} delivered, "
+             f"{core.n_redelivered} redelivered")
+    return core
+
+
+class BrokerServer:
+    """Thread wrapper running :func:`serve_bus` on a private event loop.
+
+    For tests, drills and examples that need a live TCP broker in the
+    current process::
+
+        server = BrokerServer(log_dir)
+        host, port = server.start()
+        ...
+        server.stop()
+    """
+
+    def __init__(self, log_dir, host: str = "127.0.0.1", port: int = 0,
+                 config: Optional[BusConfig] = None,
+                 tick_interval_s: float = 0.05) -> None:
+        self.log_dir = log_dir
+        self.host = host
+        self.port = port
+        self.config = config
+        self.tick_interval_s = float(tick_interval_s)
+        self.core: Optional[BrokerCore] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional["asyncio.Event"] = None
+        self._bound: Optional[Tuple[str, int]] = None
+        self._started = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self, timeout_s: float = 10.0) -> Tuple[str, int]:
+        """Start the broker thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise ConfigurationError("broker server already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise BusError(f"broker did not bind within {timeout_s}s")
+        if self._failure is not None:
+            raise BusError(f"broker failed to start: {self._failure!r}")
+        assert self._bound is not None
+        return self._bound
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start/stop
+            self._failure = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+
+        def _on_bound(host: str, port: int) -> None:
+            self._bound = (host, port)
+            self._started.set()
+
+        self.core = BrokerCore(self.log_dir, self.config)
+        await serve_bus(self.log_dir, self.host, self.port,
+                        core=self.core, stop=self._stop,
+                        tick_interval_s=self.tick_interval_s,
+                        announce=lambda _msg: None, on_bound=_on_bound)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Signal the loop to stop and join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout_s)
+        if self.core is not None:
+            self.core.close()
+        self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

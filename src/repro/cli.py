@@ -24,6 +24,8 @@ Usage::
     python -m repro verify     [--seeds N N ...] [--stage STAGE]
                                [--fuzz-cases N] [--update-golden]
                                [--golden-seed N]
+    python -m repro bus        {serve,publish,tail,record,replay,drill}
+                               [options...]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
@@ -50,7 +52,13 @@ e.g. ``repro trace multiseed --seeds 3 --metrics-out out.json``);
 against the naive reference implementations (per-stage max-ULP/abs/rel
 divergence), diffs a fresh pipeline trace against the stored seed-7
 golden, and fuzzes degenerate datasets — exiting nonzero on any
-divergence (``--update-golden`` re-captures the golden trace instead).
+divergence (``--update-golden`` re-captures the golden trace instead);
+``bus`` is the distributed context-event bus: ``bus serve`` runs the
+persistent-log TCP broker, ``bus publish`` streams scripted pen events
+at it, ``bus tail`` prints the logged records, ``bus record`` captures
+an office-on-bus run plus its golden trace, ``bus replay`` rebuilds the
+run from the log alone (exiting nonzero unless bit-identical to the
+golden), and ``bus drill`` runs the failure-domain drills.
 
 Every command additionally accepts the global flag
 ``--backend {numpy,fused,numba}`` (anywhere on the line), selecting the
@@ -208,6 +216,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="exit nonzero if any admitted request went "
                           "unanswered (the drain guarantee)")
     _add_serving_knobs(gen)
+
+    from .bus.cli import add_bus_parser
+    add_bus_parser(sub)
     return parser
 
 
@@ -590,6 +601,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bus(args: argparse.Namespace) -> int:
+    from .bus.cli import run_bus_command
+    return run_bus_command(args)
+
+
 _COMMANDS = {
     "experiment": _cmd_experiment,
     "multiseed": _cmd_multiseed,
@@ -601,6 +617,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "verify": _cmd_verify,
+    "bus": _cmd_bus,
 }
 
 

@@ -50,6 +50,16 @@ class BackendError(ConfigurationError):
     """
 
 
+class BusError(ReproError):
+    """A distributed-bus operation failed (broker, log, or protocol).
+
+    Raised for malformed bus frames, corrupt event-log segments and
+    publishes that cannot be accepted — distinct from
+    :class:`ConfigurationError`, which still covers bad construction
+    parameters of bus objects.
+    """
+
+
 class ParallelExecutionError(ReproError):
     """A parallel backend failed outside the task's own code.
 

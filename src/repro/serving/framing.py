@@ -1,0 +1,75 @@
+"""Hardened JSONL framing shared by the serving and bus endpoints.
+
+Both TCP surfaces of this package — ``repro serve`` / the sharded tier
+(:mod:`repro.serving.transport`) and the context-event broker
+(:mod:`repro.bus.server`) — speak newline-delimited JSON.  This module
+owns the part of that protocol that is about surviving hostile input,
+so the hardening (and its tests) exists exactly once:
+
+* a frame exceeding the stream's line limit raises ``ValueError`` from
+  ``readline`` with the framing unrecoverable mid-line — answer with a
+  protocol error, *drain* the remaining bytes (dropping the socket with
+  unread data pending would RST the connection and destroy the error
+  reply in flight), then close this connection;
+* a frame that is not valid UTF-8 gets an error reply and the
+  connection continues — the next line may be fine;
+* blank lines are skipped.
+
+:func:`iter_jsonl_frames` yields each surviving frame as text; the
+caller owns parsing and semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      write_lock: asyncio.Lock,
+                      doc: Dict[str, object]) -> None:
+    """Serialize and write one JSONL frame under the connection lock."""
+    async with write_lock:
+        writer.write((json.dumps(doc) + "\n").encode())
+        await writer.drain()
+
+
+async def iter_jsonl_frames(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            write_lock: asyncio.Lock
+                            ) -> AsyncIterator[str]:
+    """Yield each well-framed JSONL line of a connection as text.
+
+    Ends at EOF or after an unrecoverable framing error (oversized
+    line); recoverable problems (bad UTF-8, blank lines) are reported or
+    skipped and iteration continues.  Error replies go out under
+    *write_lock* so they interleave safely with the caller's responses.
+    """
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            # The frame exceeded the stream's line limit.  The framing
+            # is unrecoverable mid-line, so answer with a protocol error
+            # and end this connection (the listener keeps accepting new
+            # connections).
+            await write_frame(writer, write_lock,
+                              {"error": "bad request: frame exceeds "
+                                        "line limit"})
+            # Discard the remainder of the stream before closing.
+            while await reader.read(1 << 16):
+                pass
+            return
+        if not line:
+            return
+        try:
+            text = line.decode().strip()
+        except UnicodeDecodeError:
+            await write_frame(writer, write_lock,
+                              {"error": "bad request: frame is not "
+                                        "valid UTF-8"})
+            continue
+        if not text:
+            continue
+        yield text

@@ -32,6 +32,7 @@ import json
 from typing import Callable, IO, List, Optional
 
 from ..exceptions import ConfigurationError
+from .framing import iter_jsonl_frames
 from .protocol import ServeRequest, ServeResponse
 from .registry import ModelRegistry
 from .service import InferenceService, ServingConfig, serve_requests
@@ -133,36 +134,9 @@ async def _handle_connection(service, reader: asyncio.StreamReader,
             await writer.drain()
 
     loop = asyncio.get_running_loop()
-    while True:
-        try:
-            line = await reader.readline()
-        except ValueError:
-            # The frame exceeded the stream's line limit.  The framing
-            # is unrecoverable mid-line, so answer with a protocol error
-            # and close this connection instead of crashing the handler
-            # (the listener keeps accepting new connections).
-            async with write_lock:
-                writer.write(b'{"error": "bad request: frame exceeds '
-                             b'line limit"}\n')
-                await writer.drain()
-            # Discard the remainder of the stream before closing:
-            # dropping the socket with unread bytes pending would RST
-            # the connection and destroy the error reply in flight.
-            while await reader.read(1 << 16):
-                pass
-            break
-        if not line:
-            break
-        try:
-            text = line.decode().strip()
-        except UnicodeDecodeError:
-            async with write_lock:
-                writer.write(b'{"error": "bad request: frame is not '
-                             b'valid UTF-8"}\n')
-                await writer.drain()
-            continue
-        if not text:
-            continue
+    # Framing hardening (line limit, bad UTF-8, blank lines) lives in
+    # the shared iterator so the bus endpoint behaves identically.
+    async for text in iter_jsonl_frames(reader, writer, write_lock):
         if allow_control:
             try:
                 doc = json.loads(text)

@@ -267,6 +267,7 @@ class GoldenDiff:
     drifts: Tuple[Drift, ...]
     hash_mismatches: Tuple[str, ...]    # informational: "stage/array"
     n_stages: int
+    stage_order: Tuple[str, ...] = STAGE_ORDER
 
     @property
     def passed(self) -> bool:
@@ -274,8 +275,8 @@ class GoldenDiff:
 
     @property
     def first_diverging_stage(self) -> Optional[str]:
-        """Earliest pipeline stage with a numeric drift, or ``None``."""
-        for stage in STAGE_ORDER:
+        """Earliest compared stage with a numeric drift, or ``None``."""
+        for stage in self.stage_order:
             if any(d.stage == stage for d in self.drifts):
                 return stage
         return self.drifts[0].stage if self.drifts else None
@@ -311,14 +312,20 @@ def _values_match(golden: str, current: str, rtol: float,
 
 def diff_traces(current: GoldenTrace, golden: GoldenTrace,
                 rtol: float = 1e-9, atol: float = 1e-12) -> GoldenDiff:
-    """Compare *current* against *golden*, walking stages in order."""
+    """Compare *current* against *golden*, walking stages in order.
+
+    The walk follows the *golden's* recorded stage sequence, so the diff
+    works for any trace shape — the AwarePen pipeline golden and the bus
+    replay traces of :mod:`repro.bus.replay` alike.
+    """
     if current.seed != golden.seed:
         raise ConfigurationError(
             f"seed mismatch: current={current.seed}, golden={golden.seed}")
     drifts: List[Drift] = []
     hash_mismatches: List[str] = []
     n_stages = 0
-    for stage_name in STAGE_ORDER:
+    stage_order = tuple(s.stage for s in golden.stages)
+    for stage_name in stage_order:
         try:
             golden_stage = golden.stage(stage_name)
             current_stage = current.stage(stage_name)
@@ -349,7 +356,7 @@ def diff_traces(current: GoldenTrace, golden: GoldenTrace,
                                         else "missing"))
     return GoldenDiff(seed=golden.seed, drifts=tuple(drifts),
                       hash_mismatches=tuple(hash_mismatches),
-                      n_stages=n_stages)
+                      n_stages=n_stages, stage_order=stage_order)
 
 
 def check_against_golden(seed: int = 7,

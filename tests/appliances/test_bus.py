@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.appliances.bus import EventBus
-from repro.appliances.messages import ContextEvent
+from repro.appliances.bus import EventBus, topic_matches
+from repro.appliances.messages import ContextEvent, derive_event_id
 from repro.exceptions import ConfigurationError
 from repro.types import ContextClass
 
@@ -24,6 +24,96 @@ class TestContextEvent:
     def test_has_quality(self):
         assert make_event(quality=0.5).has_quality
         assert not make_event(quality=None).has_quality
+
+    def test_identity_is_source_and_seq(self):
+        a = ContextEvent.create(source="pen-a", topic="t", context=CTX,
+                                quality=0.5, time_s=0.0, seq=3)
+        b = ContextEvent.create(source="pen-b", topic="t", context=CTX,
+                                quality=0.5, time_s=0.0, seq=3)
+        assert a.event_id != b.event_id
+        assert a.event_id == derive_event_id("pen-a", 3)
+
+
+class TestWireRoundTrip:
+    def test_exact_roundtrip(self):
+        event = ContextEvent.create(source="awarepen", topic="context.pen",
+                                    context=CTX, quality=0.654321,
+                                    time_s=12.5, seq=41)
+        assert ContextEvent.from_wire(event.to_wire()) == event
+
+    def test_epsilon_quality_roundtrip(self):
+        event = make_event(quality=None)
+        wire = event.to_wire()
+        assert wire["quality"] is None
+        restored = ContextEvent.from_wire(wire)
+        assert restored == event
+        assert not restored.has_quality
+
+    @pytest.mark.parametrize("mutation", [
+        {"source": ""},
+        {"source": 7},
+        {"seq": -1},
+        {"seq": True},
+        {"seq": "3"},
+        {"topic": None},
+        {"context": "writing"},
+        {"context": {"index": "x", "name": "writing"}},
+        {"quality": "high"},
+        {"quality": float("nan")},
+        {"time_s": float("inf")},
+    ])
+    def test_invalid_wire_forms_rejected(self, mutation):
+        doc = make_event().to_wire()
+        doc.update(mutation)
+        with pytest.raises(ConfigurationError):
+            ContextEvent.from_wire(doc)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContextEvent.from_wire("not an object")
+
+
+#: Wildcard matching edge cases, shared by both buses via topic_matches.
+WILDCARD_CASES = [
+    ("context.pen", "context.pen", True),
+    ("context.pen", "context.pen.raw", False),
+    ("context.*", "context.pen", True),
+    ("context.*", "context.", True),
+    ("context.*", "context", False),
+    ("context.*", "status.pen", False),
+    ("*", "anything.at.all", True),
+    ("*", "", True),          # bare "*" matches even the empty topic
+    ("a*", "a", True),        # a prefix pattern matches its own stem
+    ("a*", "ab", True),
+    ("a*", "b", False),
+]
+
+
+class TestWildcardMatching:
+    @pytest.mark.parametrize("pattern,topic,expected", WILDCARD_CASES)
+    def test_topic_matches(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+    @pytest.mark.parametrize("pattern,topic,expected", WILDCARD_CASES)
+    def test_eventbus_agrees(self, pattern, topic, expected):
+        bus = EventBus()
+        received = []
+        bus.subscribe(pattern, received.append)
+        bus.publish(make_event(topic=topic))
+        assert (len(received) == 1) is expected
+
+    @pytest.mark.parametrize("pattern,topic,expected", WILDCARD_CASES)
+    def test_distributed_bus_agrees(self, pattern, topic, expected,
+                                    tmp_path):
+        from repro.bus import BrokerCore, BusClient, BusConfig, InProcLink
+
+        with BrokerCore(tmp_path,
+                        BusConfig(n_partitions=1, fsync_every=1)) as core:
+            client = BusClient(InProcLink(core))
+            received = []
+            client.subscribe(pattern, received.append)
+            client.publish(make_event(topic=topic))
+            assert (len(received) == 1) is expected
 
 
 class TestEventBus:
@@ -174,3 +264,70 @@ class TestReentrantUnsubscribe:
         assert bus.delivery_errors == []
         # The survivor still receives subsequent events.
         assert bus.publish(make_event()) == 1
+
+    def test_mass_unsubscribe_mid_delivery(self):
+        """One handler removing many later ones: all skipped, no calls.
+
+        Pins the tombstone bookkeeping that keeps delivery linear in
+        subscriber count — every removed entry must be skipped via the
+        per-publish tombstone map, not by rescanning the subscriber
+        list.
+        """
+        bus = EventBus()
+        late_calls = []
+
+        def make_late(i):
+            def late(event):
+                late_calls.append(i)
+            return late
+
+        laters = [make_late(i) for i in range(50)]
+
+        def reaper(event):
+            for handler in laters:
+                bus.unsubscribe(handler)
+
+        bus.subscribe("context.pen", reaper, name="reaper")
+        for i, handler in enumerate(laters):
+            bus.subscribe("context.pen", handler, name=f"late-{i}")
+        assert bus.publish(make_event()) == 1  # only the reaper ran
+        assert late_calls == []
+        assert bus.delivery_errors == []
+        assert bus.publish(make_event()) == 1
+
+
+class TestBoundedDeliveryErrors:
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        bus = EventBus(max_delivery_errors=2)
+
+        def broken(event):
+            raise RuntimeError(f"boom {event.seq}")
+
+        bus.subscribe("context.pen", broken, name="flapping")
+        events = [make_event() for _ in range(5)]
+        for event in events:
+            bus.publish(event)
+        errors = bus.delivery_errors
+        assert len(errors) == 2
+        assert errors[0].event_id == events[3].event_id
+        assert errors[1].event_id == events[4].event_id
+        assert bus.n_delivery_errors_dropped == 3
+
+    def test_drop_count_in_diagnostics(self):
+        bus = EventBus(max_delivery_errors=1)
+
+        def broken(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("context.pen", broken, name="flapping")
+        bus.publish(make_event())
+        bus.publish(make_event())
+        diag = bus.diagnostics()
+        assert diag["n_delivery_errors"] == 1
+        assert diag["n_delivery_errors_dropped"] == 1
+        assert diag["n_published"] == 2
+        assert diag["subscribers"] == {"context.pen": ["flapping"]}
+
+    def test_bound_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventBus(max_delivery_errors=0)

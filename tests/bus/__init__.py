@@ -1,0 +1,1 @@
+"""Tests for repro.bus — the distributed context-event bus."""

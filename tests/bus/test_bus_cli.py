@@ -1,0 +1,86 @@
+"""Tests for the ``repro bus`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.bus.broker import BrokerCore, BusConfig
+from repro.bus.drill import scripted_pen_events
+from repro.bus.replay import RunMeta
+from repro.cli import main
+
+
+def make_log(path, n=12, seed=3):
+    config = BusConfig(n_partitions=1, fsync_every=1)
+    with BrokerCore(path, config) as core:
+        for e in scripted_pen_events(seed, n):
+            core.publish(e.to_wire())
+
+
+class TestBusTail:
+    def test_prints_jsonl_records(self, capsys, tmp_path):
+        make_log(tmp_path / "log", n=5)
+        assert main(["bus", "tail", "--log-dir",
+                     str(tmp_path / "log")]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+        first = json.loads(out[0])
+        assert first["offset"] == 0
+        assert first["record"]["event"]["seq"] == 1
+
+    def test_start_and_count(self, capsys, tmp_path):
+        make_log(tmp_path / "log", n=8)
+        assert main(["bus", "tail", "--log-dir", str(tmp_path / "log"),
+                     "--start", "2", "--count", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(line)["offset"] for line in out] == [2, 3, 4]
+
+
+class TestBusReplay:
+    def test_replay_without_golden(self, capsys, tmp_path):
+        make_log(tmp_path / "log", n=6)
+        RunMeta(seed=3).save(tmp_path / "log")
+        assert main(["bus", "replay", "--log-dir",
+                     str(tmp_path / "log")]) == 0
+        assert "no golden" in capsys.readouterr().out
+
+    def test_replay_writes_trace(self, capsys, tmp_path):
+        make_log(tmp_path / "log", n=6)
+        RunMeta(seed=3).save(tmp_path / "log")
+        out_path = tmp_path / "trace.json"
+        assert main(["bus", "replay", "--log-dir", str(tmp_path / "log"),
+                     "--out", str(out_path)]) == 0
+        assert out_path.exists()
+
+    def test_missing_explicit_golden_fails(self, capsys, tmp_path):
+        make_log(tmp_path / "log", n=6)
+        RunMeta(seed=3).save(tmp_path / "log")
+        assert main(["bus", "replay", "--log-dir", str(tmp_path / "log"),
+                     "--golden", str(tmp_path / "nope.json")]) == 2
+
+
+class TestBusDrill:
+    def test_inproc_drill_passes(self, capsys, tmp_path):
+        assert main(["bus", "drill", "--log-dir", str(tmp_path / "log"),
+                     "--events", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "drill inproc-fault: PASS" in out
+        assert "redelivered" in out
+
+    def test_drill_then_replay_diverges_nowhere(self, capsys, tmp_path):
+        assert main(["bus", "drill", "--log-dir", str(tmp_path / "log"),
+                     "--events", "60"]) == 0
+        capsys.readouterr()
+        assert main(["bus", "replay", "--log-dir",
+                     str(tmp_path / "log")]) == 0
+
+
+class TestParser:
+    def test_bus_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bus"])
+
+    def test_bad_listen_address(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bus", "serve", "--log-dir", str(tmp_path),
+                  "--listen", "nonsense"])

@@ -1,0 +1,251 @@
+"""Tests for repro.bus.client — the EventBus-compatible adapter."""
+
+import pytest
+
+from repro.appliances.bus import EventBus
+from repro.appliances.messages import ContextEvent
+from repro.bus.broker import BrokerCore, BusConfig
+from repro.bus.client import BusClient, InProcLink
+from repro.bus.faults import (FaultyChannel, FrameFault, FrameFaultSchedule,
+                              ScheduledFrameFault)
+from repro.exceptions import ConfigurationError
+from repro.types import ContextClass
+
+CTX = ContextClass(1, "writing")
+TOPIC = "context.pen"
+
+
+def event(seq, source="pen", topic=TOPIC, quality=0.9):
+    return ContextEvent.create(source=source, topic=topic, context=CTX,
+                               quality=quality, time_s=float(seq), seq=seq)
+
+
+def make_client(tmp_path, wrap_send=None, **client_kwargs):
+    core = BrokerCore(tmp_path, BusConfig(n_partitions=1, fsync_every=1))
+    client = BusClient(InProcLink(core, wrap_send=wrap_send),
+                       **client_kwargs)
+    return core, client
+
+
+def always(kind, every=1):
+    return FrameFaultSchedule(entries=(
+        ScheduledFrameFault(FrameFault(kind, every=every)),))
+
+
+class TestEventBusSurface:
+    def test_synchronous_local_delivery(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append, name="camera")
+            assert client.publish(event(1)) == 1
+            assert [e.seq for e in seen] == [1]
+            assert client.n_published == 1
+            assert client.last_publish == (0, 0)
+
+    def test_matches_eventbus_delivery(self, tmp_path):
+        """Fault-free, the client delivers exactly what EventBus does."""
+        core, client = make_client(tmp_path)
+        with core:
+            bus = EventBus()
+            on_bus, on_client = [], []
+            bus.subscribe("context.*", on_bus.append)
+            client.subscribe("context.*", on_client.append)
+            for seq in range(1, 8):
+                e = event(seq, quality=None if seq % 3 == 0 else 0.5)
+                assert bus.publish(e) == client.publish(e) == 1
+            assert on_bus == on_client  # same events, same order
+
+    def test_wire_roundtrip_preserves_event(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            original = event(1, quality=None)
+            client.publish(original)
+            assert seen == [original]  # exact dataclass equality
+
+    def test_multiple_handlers_same_pattern(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            a, b = [], []
+            client.subscribe(TOPIC, a.append, name="a")
+            client.subscribe(TOPIC, b.append, name="b")
+            assert client.publish(event(1)) == 2
+            assert len(a) == len(b) == 1
+
+    def test_unsubscribe(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            assert client.unsubscribe(seen.append) == 1
+            client.publish(event(1))
+            assert seen == []
+
+    def test_empty_pattern_rejected(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            with pytest.raises(ConfigurationError):
+                client.subscribe("", lambda e: None)
+
+    def test_subscriber_names(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            client.subscribe("context.*", lambda e: None, name="camera")
+            assert client.subscriber_names() == {"context.*": ["camera"]}
+
+
+class TestDedupeAndReorder:
+    def test_duplicates_deduped(self, tmp_path):
+        channel_ref = {}
+
+        def wrap(send):
+            channel = FaultyChannel(send, always("duplicate"))
+            channel_ref["channel"] = channel
+            return channel
+
+        core, client = make_client(tmp_path, wrap_send=wrap)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            for seq in range(1, 6):
+                client.publish(event(seq))
+            assert [e.seq for e in seen] == [1, 2, 3, 4, 5]
+            assert client.dedupe_dropped == 5
+            assert channel_ref["channel"].n_duplicated == 5
+
+    def test_delayed_frames_released_in_sequence_order(self, tmp_path):
+        channel_ref = {}
+
+        def wrap(send):
+            channel = FaultyChannel(send, always("delay", every=2))
+            channel_ref["channel"] = channel
+            return channel
+
+        core, client = make_client(tmp_path, wrap_send=wrap)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            for seq in range(1, 9):
+                client.publish(event(seq))
+            channel_ref["channel"].flush()  # the last frame was held
+            # Every 2nd frame arrives late, but the per-source pending
+            # buffer restores sequence order for the handler.
+            assert [e.seq for e in seen] == list(range(1, 9))
+            assert channel_ref["channel"].n_delayed > 0
+            assert client.n_pending == 0
+
+    def test_dropped_frames_recovered_by_redelivery(self, tmp_path):
+        def wrap(send):
+            return FaultyChannel(send, always("drop", every=3))
+
+        core, client = make_client(tmp_path, wrap_send=wrap)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            for seq in range(1, 10):
+                client.publish(event(seq))
+            assert len(seen) < 9  # some frames vanished on the wire
+            for _ in range(30):
+                core.tick()
+                if len(seen) == 9:
+                    break
+            assert [e.seq for e in seen] == list(range(1, 10))
+            assert client.redeliveries_seen > 0
+            assert core.n_redelivered > 0
+
+    def test_acks_stay_contiguous_across_a_gap(self, tmp_path):
+        """A lost frame must hold the ack watermark below it."""
+        fate = {"dropped": False}
+
+        def wrap(send):
+            def channel(frame):
+                if frame["index"] == 0 and not fate["dropped"]:
+                    fate["dropped"] = True
+                    return
+                send(frame)
+            return channel
+
+        core, client = make_client(tmp_path, wrap_send=wrap,
+                                   from_start=True)
+        with core:
+            seen = []
+            client.subscribe(TOPIC, seen.append)
+            client.publish(event(1))  # dropped on the wire
+            client.publish(event(2))
+            client.publish(event(3))
+            # Frames 1-2 arrived but frame 0 did not: nothing acked.
+            assert client.acks_sent == 0
+            assert [e.seq for e in seen] == []  # reorder buffer waits
+            for _ in range(10):
+                core.tick()
+                if len(seen) == 3:
+                    break
+            assert [e.seq for e in seen] == [1, 2, 3]
+            assert client.acks_sent > 0
+            assert client.n_pending == 0
+
+    def test_hold_and_release_acks(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            client.subscribe(TOPIC, lambda e: None)
+            client.hold_acks()
+            client.publish(event(1))
+            client.publish(event(2))
+            assert client.acks_sent == 0
+            client.release_acks()
+            assert client.acks_sent == 1  # one cumulative watermark ack
+            assert core.n_acked == 2
+
+
+class TestDeliveryErrors:
+    def test_bounded_ring_with_drop_count(self, tmp_path):
+        core, client = make_client(tmp_path, max_delivery_errors=2)
+        with core:
+            def broken(e):
+                raise RuntimeError(f"boom {e.seq}")
+
+            client.subscribe(TOPIC, broken, name="flapping")
+            for seq in range(1, 6):
+                client.publish(event(seq))
+            errors = client.delivery_errors
+            assert len(errors) == 2
+            assert "boom 4" in errors[0].error
+            assert "boom 5" in errors[1].error
+            assert client.n_delivery_errors_dropped == 3
+
+    def test_failing_handler_does_not_block_peer(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            seen = []
+
+            def broken(e):
+                raise RuntimeError("boom")
+
+            client.subscribe(TOPIC, broken, name="broken")
+            client.subscribe(TOPIC, seen.append, name="good")
+            assert client.publish(event(1)) == 1
+            assert len(seen) == 1
+            [err] = client.delivery_errors
+            assert err.subscriber == "broken"
+
+    def test_max_delivery_errors_bound(self, tmp_path):
+        with BrokerCore(tmp_path, BusConfig(n_partitions=1)) as core:
+            with pytest.raises(ConfigurationError):
+                BusClient(InProcLink(core), max_delivery_errors=0)
+
+    def test_diagnostics_shape(self, tmp_path):
+        core, client = make_client(tmp_path)
+        with core:
+            client.subscribe(TOPIC, lambda e: None, name="camera")
+            client.publish(event(1))
+            diag = client.diagnostics()
+        assert diag["n_published"] == 1
+        assert diag["n_handled"] == 1
+        assert diag["n_subscriptions"] == 1
+        assert diag["subscribers"] == {TOPIC: ["camera"]}
+        assert diag["n_delivery_errors"] == 0
+        assert diag["n_delivery_errors_dropped"] == 0
+        assert diag["dedupe_dropped"] == 0
+        assert diag["n_pending"] == 0

@@ -1,0 +1,80 @@
+"""Tests for repro.bus.drill — failure-domain drills."""
+
+from repro.bus.drill import (DrillReport, run_inproc_fault_drill,
+                             run_network_drill, scripted_pen_events)
+
+
+class TestScriptedPenEvents:
+    def test_deterministic(self):
+        a = scripted_pen_events(7, 30)
+        b = scripted_pen_events(7, 30)
+        assert a == b
+
+    def test_sequences_are_contiguous(self):
+        events = scripted_pen_events(7, 25)
+        assert [e.seq for e in events] == list(range(1, 26))
+
+    def test_contains_writing_bursts_and_epsilon(self):
+        events = scripted_pen_events(7, 200)
+        assert any(e.context.name == "writing" for e in events)
+        assert any(e.context.name != "writing" for e in events)
+        assert any(e.quality is None for e in events)
+
+
+class TestDrillReport:
+    def test_passed_requires_both_gates(self):
+        base = dict(name="x", n_events=1, n_delivered=1, n_redelivered=0,
+                    dedupe_dropped=0, lost_inflight=0, fault_counters={})
+        good = DrillReport(converged=True, replay_passed=True, **base)
+        assert good.passed
+        assert not DrillReport(converged=False, replay_passed=True,
+                               **base).passed
+        assert not DrillReport(converged=True, replay_passed=False,
+                               **base).passed
+
+    def test_text_and_dict_views(self):
+        report = DrillReport(name="demo", n_events=5, n_delivered=5,
+                             n_redelivered=2, dedupe_dropped=1,
+                             lost_inflight=1,
+                             fault_counters={"dropped": 3},
+                             converged=True, replay_passed=True)
+        text = report.to_text()
+        assert "drill demo: PASS" in text
+        assert "2 redelivered" in text
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["fault_counters"] == {"dropped": 3}
+
+
+class TestInprocFaultDrill:
+    def test_converges_with_visible_redeliveries(self, tmp_path):
+        report = run_inproc_fault_drill(tmp_path / "log", seed=7,
+                                        n_events=120)
+        assert report.passed
+        assert report.converged
+        assert report.replay_passed
+        assert report.n_delivered == 120
+        # The drill must actually exercise the failure domains.
+        assert report.n_redelivered > 0
+        assert report.dedupe_dropped > 0
+        assert report.lost_inflight > 0
+        assert report.fault_counters["dropped"] > 0
+        assert report.fault_counters["duplicated"] > 0
+        assert report.fault_counters["delayed"] > 0
+        assert report.fault_counters["still_held"] == 0
+
+    def test_different_seeds_still_converge(self, tmp_path):
+        report = run_inproc_fault_drill(tmp_path / "log", seed=11,
+                                        n_events=80)
+        assert report.passed
+
+
+class TestNetworkDrill:
+    def test_partition_kill_converges(self, tmp_path):
+        report = run_network_drill(tmp_path / "log", n_publishers=2,
+                                   events_per_publisher=40, seed=7,
+                                   timeout_s=60.0)
+        assert report.passed
+        assert report.n_events == 80
+        assert report.n_redelivered > 0
+        assert report.replay_passed

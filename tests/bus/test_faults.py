@@ -1,0 +1,118 @@
+"""Tests for repro.bus.faults — frame-level fault injection."""
+
+import pytest
+
+from repro.bus.faults import (FaultyChannel, FrameFault, FrameFaultSchedule,
+                              ScheduledFrameFault)
+from repro.exceptions import ConfigurationError
+
+
+def frame(time_s, n=0):
+    return {"bus": "ev", "index": n, "event": {"time_s": time_s, "seq": n}}
+
+
+def channel_for(sink, *entries):
+    return FaultyChannel(sink.append, FrameFaultSchedule(entries=entries))
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FrameFault("corrupt")
+
+    def test_every_bound(self):
+        with pytest.raises(ConfigurationError):
+            FrameFault("drop", every=0)
+
+    def test_window_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledFrameFault(FrameFault("drop"), start_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ScheduledFrameFault(FrameFault("drop"), start_s=2.0, end_s=1.0)
+
+    def test_empty_schedule(self):
+        with pytest.raises(ConfigurationError):
+            FrameFaultSchedule(entries=())
+
+
+class TestScheduling:
+    def test_active_window(self):
+        entry = ScheduledFrameFault(FrameFault("drop"), start_s=2.0,
+                                    end_s=4.0)
+        assert not entry.active_at(1.9)
+        assert entry.active_at(2.0)
+        assert entry.active_at(3.9)
+        assert not entry.active_at(4.0)
+
+    def test_open_ended_window(self):
+        entry = ScheduledFrameFault(FrameFault("drop"), start_s=1.0)
+        assert entry.active_at(1e9)
+
+    def test_faults_at_preserves_entry_order(self):
+        schedule = FrameFaultSchedule(entries=(
+            ScheduledFrameFault(FrameFault("delay")),
+            ScheduledFrameFault(FrameFault("drop"), start_s=5.0),
+        ))
+        assert [f.kind for f in schedule.faults_at(0.0)] == ["delay"]
+        assert [f.kind for f in schedule.faults_at(6.0)] == ["delay",
+                                                            "drop"]
+
+
+class TestFaultyChannel:
+    def test_drop(self):
+        sink = []
+        channel = channel_for(
+            sink, ScheduledFrameFault(FrameFault("drop", every=2)))
+        for i in range(4):
+            channel(frame(float(i), i))
+        assert [f["index"] for f in sink] == [0, 2]
+        assert channel.counters() == {"passed": 2, "dropped": 2,
+                                      "duplicated": 0, "delayed": 0,
+                                      "still_held": 0}
+
+    def test_duplicate(self):
+        sink = []
+        channel = channel_for(sink, ScheduledFrameFault(FrameFault(
+            "duplicate")))
+        channel(frame(0.0, 0))
+        assert [f["index"] for f in sink] == [0, 0]
+        assert channel.n_duplicated == 1
+
+    def test_delay_is_one_slot_reorder(self):
+        sink = []
+        channel = channel_for(
+            sink, ScheduledFrameFault(FrameFault("delay", every=2)))
+        for i in range(4):
+            channel(frame(float(i), i))
+        # Frames 1 and 3 are held and re-emitted after the next pass.
+        assert [f["index"] for f in sink] == [0, 2, 1]
+        assert channel.counters()["still_held"] == 1
+        assert channel.flush() == 1
+        assert [f["index"] for f in sink] == [0, 2, 1, 3]
+
+    def test_only_scheduled_window_faults(self):
+        sink = []
+        channel = channel_for(sink, ScheduledFrameFault(
+            FrameFault("drop"), start_s=1.0, end_s=3.0))
+        for t in (0.0, 1.0, 2.0, 3.0):
+            channel(frame(t))
+        assert channel.n_dropped == 2
+        assert channel.n_passed == 2
+
+    def test_first_active_entry_wins(self):
+        sink = []
+        channel = channel_for(
+            sink,
+            ScheduledFrameFault(FrameFault("drop")),
+            ScheduledFrameFault(FrameFault("duplicate")))
+        channel(frame(0.0))
+        assert sink == []
+        assert channel.n_dropped == 1
+        assert channel.n_duplicated == 0
+
+    def test_frame_without_event_passes_through(self):
+        sink = []
+        channel = channel_for(sink, ScheduledFrameFault(
+            FrameFault("drop"), start_s=1.0))
+        channel({"bus": "ev", "index": 7})  # treated as time 0.0
+        assert len(sink) == 1

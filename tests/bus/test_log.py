@@ -1,0 +1,144 @@
+"""Tests for repro.bus.log — the append-only segmented event log."""
+
+import json
+
+import pytest
+
+from repro.bus.log import EventLog
+from repro.exceptions import BusError, ConfigurationError
+
+
+def rec(i):
+    return {"topic": "context.pen", "n": i}
+
+
+class TestAppendRead:
+    def test_offsets_contiguous(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            offsets = [log.append(rec(i)) for i in range(5)]
+        assert offsets == [0, 1, 2, 3, 4]
+
+    def test_roundtrip(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for i in range(4):
+                log.append(rec(i))
+            got = list(log.read())
+        assert got == [(i, rec(i)) for i in range(4)]
+
+    def test_read_start_and_count(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for i in range(10):
+                log.append(rec(i))
+            window = list(log.read(start=3, count=4))
+        assert [offset for offset, _ in window] == [3, 4, 5, 6]
+
+    def test_len_and_next_offset(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            assert len(log) == 0
+            log.append(rec(0))
+            assert log.next_offset == 1
+            assert len(log) == 1
+
+    def test_read_negative_start_rejected(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            with pytest.raises(ConfigurationError):
+                list(log.read(start=-1))
+
+
+class TestSegments:
+    def test_rotation_creates_segments(self, tmp_path):
+        with EventLog(tmp_path, segment_records=3) as log:
+            for i in range(8):
+                log.append(rec(i))
+            segments = log.segments()
+        assert [p.name for p in segments] == [
+            "events-000000000000.jsonl",
+            "events-000000000003.jsonl",
+            "events-000000000006.jsonl",
+        ]
+
+    def test_read_spans_segments(self, tmp_path):
+        with EventLog(tmp_path, segment_records=2) as log:
+            for i in range(7):
+                log.append(rec(i))
+            got = [offset for offset, _ in log.read()]
+        assert got == list(range(7))
+
+    def test_reopen_continues_offsets(self, tmp_path):
+        with EventLog(tmp_path, segment_records=3) as log:
+            for i in range(4):
+                log.append(rec(i))
+        with EventLog(tmp_path, segment_records=3) as log:
+            assert log.next_offset == 4
+            assert log.append(rec(4)) == 4
+            got = [offset for offset, _ in log.read()]
+        assert got == list(range(5))
+
+    def test_reopened_tail_segment_still_rotates(self, tmp_path):
+        """A recovered tail keeps its record count toward rotation."""
+        with EventLog(tmp_path, segment_records=3) as log:
+            log.append(rec(0))
+            log.append(rec(1))
+        with EventLog(tmp_path, segment_records=3) as log:
+            for i in range(2, 7):
+                log.append(rec(i))
+            names = [p.name for p in log.segments()]
+        assert "events-000000000003.jsonl" in names
+        assert "events-000000000006.jsonl" in names
+
+
+class TestDurability:
+    def test_fsync_batching(self, tmp_path):
+        with EventLog(tmp_path, fsync_every=4) as log:
+            for i in range(8):
+                log.append(rec(i))
+            assert log.n_fsyncs == 2
+            log.append(rec(8))
+            log.sync()
+            assert log.n_fsyncs == 3
+            log.sync()  # nothing pending: no extra fsync
+            assert log.n_fsyncs == 3
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            log.append(rec(0))
+            log.append(rec(1))
+            [segment] = log.segments()
+        with segment.open("a", encoding="utf-8") as handle:
+            handle.write('{"offset": 2, "record"')  # crash mid-append
+        with EventLog(tmp_path) as log:
+            assert log.next_offset == 2
+            assert log.append(rec(2)) == 2
+            got = [record["n"] for _, record in log.read()]
+        assert got == [0, 1, 2]
+
+    def test_offset_gap_detected(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for i in range(3):
+                log.append(rec(i))
+            [segment] = log.segments()
+        lines = segment.read_text().strip().splitlines()
+        segment.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with EventLog(tmp_path) as log:
+            with pytest.raises(BusError, match="gap"):
+                list(log.read())
+
+    def test_corrupt_line_detected(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            log.append(rec(0))
+            [segment] = log.segments()
+        with segment.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"no_offset": True}) + "\n")
+        with EventLog(tmp_path) as log:
+            with pytest.raises(BusError, match="corrupt"):
+                list(log.read())
+
+
+class TestValidation:
+    def test_segment_records_bound(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            EventLog(tmp_path, segment_records=0)
+
+    def test_fsync_every_bound(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            EventLog(tmp_path, fsync_every=0)

@@ -1,0 +1,77 @@
+"""The tentpole pin: AwareOffice runs unmodified on the distributed bus.
+
+Same appliances, same ``subscribe``/``publish`` surface — an office
+wired to a :class:`~repro.bus.client.BusClient` over an in-process
+broker must produce *bit-identical* results to one on the plain
+:class:`~repro.appliances.bus.EventBus`, and the broker's event log
+must replay to the same golden trace (ISSUE 9 acceptance criterion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.appliances.awarepen import PEN_TOPIC
+from repro.appliances.bus import EventBus
+from repro.appliances.office import AwareOffice
+from repro.bus.broker import BrokerCore, BusConfig
+from repro.bus.client import BusClient, InProcLink
+from repro.bus.replay import (RunMeta, capture_bus_trace, check_replay,
+                              dedupe_events, read_log_events)
+from repro.core.filtering import QualityFilter
+from repro.datasets.activities import evaluation_script
+
+
+def run_office(experiment, bus, seed=123, blocks=2):
+    office = AwareOffice(experiment.augmented,
+                         gate=QualityFilter(experiment.threshold),
+                         bus=bus)
+    script = evaluation_script(np.random.default_rng(seed), blocks=blocks)
+    report = office.run_scenario(script, np.random.default_rng(seed))
+    return office, report
+
+
+@pytest.fixture
+def broker(tmp_path):
+    config = BusConfig(n_partitions=2, fsync_every=8)
+    with BrokerCore(tmp_path / "log", config) as core:
+        yield core
+
+
+class TestOfficeOnBus:
+    def test_reports_bit_identical_to_eventbus(self, experiment, broker):
+        _office_a, on_eventbus = run_office(experiment, EventBus())
+        client = BusClient(InProcLink(broker))
+        _office_b, on_busclient = run_office(experiment, client)
+        assert on_busclient == on_eventbus  # same dataclass, same bits
+
+    def test_snapshots_identical(self, experiment, broker):
+        office_a, _ = run_office(experiment, EventBus())
+        client = BusClient(InProcLink(broker))
+        office_b, _ = run_office(experiment, client)
+        assert office_b.camera.snapshots == office_a.camera.snapshots
+
+    def test_every_pen_event_logged(self, experiment, broker):
+        client = BusClient(InProcLink(broker))
+        _office, report = run_office(experiment, client)
+        broker.log.sync()  # readers see only flushed appends
+        events = read_log_events(broker.log.root)
+        assert len(events) == report.n_windows
+        assert all(e.topic == PEN_TOPIC for e in events)
+        assert [e.seq for e in events] == list(range(1,
+                                                     len(events) + 1))
+
+    def test_logged_run_replays_bit_identically(self, experiment, broker):
+        seed = 123
+        client = BusClient(InProcLink(broker))
+        office, _report = run_office(experiment, client, seed=seed)
+        broker.log.sync()
+        RunMeta(seed=seed, gate_threshold=experiment.threshold,
+                camera_topic=PEN_TOPIC).save(broker.log.root)
+        live = capture_bus_trace(
+            seed, dedupe_events(read_log_events(broker.log.root)),
+            camera=office.camera)
+        golden_path = broker.log.root / "golden.json"
+        live.save(golden_path)
+        diff = check_replay(broker.log.root, golden_path)
+        assert diff.passed, diff.to_text()
+        assert diff.first_diverging_stage is None

@@ -1,0 +1,159 @@
+"""Tests for repro.bus.server — the JSONL-over-TCP broker endpoint."""
+
+import time
+
+import pytest
+
+from repro.appliances.messages import ContextEvent
+from repro.bus.broker import BusConfig, partition_for
+from repro.bus.client import BusClient, SocketLink
+from repro.bus.server import BrokerServer
+from repro.exceptions import BusError
+from repro.types import ContextClass
+
+CTX = ContextClass(1, "writing")
+TOPIC = "context.pen"
+
+
+def event(seq, source="pen", quality=0.9):
+    return ContextEvent.create(source=source, topic=TOPIC, context=CTX,
+                               quality=quality, time_s=float(seq), seq=seq)
+
+
+def wait_for(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = BusConfig(n_partitions=2, fsync_every=1)
+    with BrokerServer(tmp_path / "log", config=config,
+                      tick_interval_s=0.02) as broker:
+        yield broker
+
+
+def link_to(server):
+    host, port = server._bound
+    return SocketLink(host, port, timeout_s=10.0)
+
+
+class TestSocketLink:
+    def test_publish_and_stats(self, server):
+        link = link_to(server)
+        try:
+            partition, offset = link.publish(event(1).to_wire())
+            assert partition == partition_for("pen", 2)
+            assert offset == 0
+            assert link.publish(event(2).to_wire()) == (partition, 1)
+            stats = link.stats()
+            assert stats["n_published"] == 2
+            assert stats["next_offset"] == 2
+        finally:
+            link.close()
+
+    def test_malformed_publish_rejected(self, server):
+        link = link_to(server)
+        try:
+            with pytest.raises(BusError, match="rejected"):
+                link.publish({"source": "pen"})
+        finally:
+            link.close()
+
+    def test_subscribe_receives_pushed_frames(self, server):
+        consumer = link_to(server)
+        publisher = link_to(server)
+        try:
+            frames = []
+            _sid, starts = consumer.subscribe(TOPIC, "camera", False,
+                                              frames.append)
+            assert starts == {}
+            publisher.publish(event(1).to_wire())
+            assert wait_for(lambda: len(frames) >= 1)
+            assert frames[0]["event"]["seq"] == 1
+        finally:
+            consumer.close()
+            publisher.close()
+
+    def test_unsubscribe_stops_frames(self, server):
+        consumer = link_to(server)
+        publisher = link_to(server)
+        try:
+            frames = []
+            sid, _ = consumer.subscribe(TOPIC, "camera", False,
+                                        frames.append)
+            consumer.unsubscribe(sid)
+            publisher.publish(event(1).to_wire())
+            time.sleep(0.1)
+            assert frames == []
+        finally:
+            consumer.close()
+            publisher.close()
+
+
+class TestBusClientOverTcp:
+    def test_end_to_end_delivery_with_acks(self, server):
+        consumer_link = link_to(server)
+        publisher_link = link_to(server)
+        client = BusClient(consumer_link, from_start=True)
+        try:
+            seen = []
+            client.subscribe(TOPIC, seen.append, name="camera")
+            for seq in range(1, 11):
+                publisher_link.publish(event(seq).to_wire())
+            assert wait_for(lambda: len(seen) == 10)
+            assert [e.seq for e in seen] == list(range(1, 11))
+            # Acks are asynchronous; the broker converges to all-acked.
+            assert wait_for(
+                lambda: publisher_link.stats()["n_acked"] == 10)
+        finally:
+            client.close()
+            publisher_link.close()
+
+    def test_kill_revive_redelivers_over_tcp(self, server):
+        consumer_link = link_to(server)
+        publisher_link = link_to(server)
+        client = BusClient(consumer_link, from_start=True)
+        try:
+            seen = []
+            client.subscribe(TOPIC, seen.append, name="camera")
+            client.hold_acks()
+            target = partition_for("pen", 2)
+            for seq in range(1, 6):
+                publisher_link.publish(event(seq).to_wire())
+            wait_for(lambda: len(seen) == 5)
+            lost = publisher_link.kill_partition(target)
+            assert lost >= 0
+            for seq in range(6, 9):  # logged while killed
+                publisher_link.publish(event(seq).to_wire())
+            client.release_acks()
+            publisher_link.revive_partition(target)
+            assert wait_for(
+                lambda: {e.seq for e in seen} == set(range(1, 9)))
+            assert [e.seq for e in seen][:8] == list(range(1, 9))
+        finally:
+            client.close()
+            publisher_link.close()
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent(self, tmp_path):
+        broker = BrokerServer(tmp_path / "log")
+        broker.start()
+        broker.stop()
+        broker.stop()
+
+    def test_counters_survive_stop(self, tmp_path):
+        broker = BrokerServer(tmp_path / "log",
+                              config=BusConfig(fsync_every=1))
+        broker.start()
+        link = link_to(broker)
+        link.publish(event(1).to_wire())
+        link.close()
+        broker.stop()
+        assert broker.core.n_published == 1
+        assert broker.core.log.next_offset == 1
