@@ -1,0 +1,137 @@
+"""Experiment ``scenarios`` — declarative zoo execution throughput.
+
+Measures the scenario layer's end-to-end costs so regressions in the
+runner (window merging, appliance dispatch, trace capture) show up as
+diffable numbers:
+
+* **run** — windows/s through :func:`repro.scenarios.run_scenario` for
+  a single-pen scenario and for the multi-appliance office scenario
+  (models primed from the session experiment, so the numbers isolate
+  the runner, not classifier training);
+* **validate** — schema validations/s over the whole zoo, the cost
+  floor of ``repro scenario validate`` and of registry discovery;
+* **capture** — golden-trace reductions/s, the overhead the
+  conformance matrix adds per scenario.
+
+Every run lands in ``BENCH_scenarios.json`` at the repo root, diffable
+across PRs like the other ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.scenarios import (capture_scenario_trace, models, registry,
+                             run_scenario)
+
+RUN_SCENARIOS = ("awarepen-ungated", "awareoffice-situations")
+VALIDATE_ROUNDS = 20
+CAPTURE_ROUNDS = 50
+
+
+def _report_path() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "BENCH_scenarios.json"
+    return Path.cwd() / "BENCH_scenarios.json"
+
+
+class ScenarioReporter:
+    """Collects per-run measurements into ``BENCH_scenarios.json``."""
+
+    def __init__(self) -> None:
+        self.runs: List[Dict[str, object]] = []
+
+    def add(self, kind: str, n_items: int, elapsed_s: float,
+            extra: Dict[str, object] = None) -> None:
+        row: Dict[str, object] = {
+            "kind": kind,
+            "n_items": n_items,
+            "elapsed_s": elapsed_s,
+            "items_per_s": n_items / elapsed_s if elapsed_s else 0.0,
+        }
+        if extra:
+            row.update(extra)
+        self.runs.append(row)
+
+    def write(self, path: Path) -> Path:
+        document = {
+            "schema": 1,
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "runs": self.runs,
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
+
+
+@pytest.fixture(scope="module")
+def scenario_report():
+    reporter = ScenarioReporter()
+    yield reporter
+    reporter.write(_report_path())
+
+
+@pytest.fixture(scope="module")
+def primed(experiment, material):
+    """Isolate runner cost from model construction."""
+    models.prime_pen_model(experiment.augmented, experiment.threshold,
+                           seed=7)
+    models.prime_pen_material(material, seed=7)
+
+
+@pytest.mark.parametrize("name", RUN_SCENARIOS)
+def test_run_throughput(name, primed, scenario_report, report):
+    """Windows/s through the full runner (models already cached)."""
+    spec = registry.get(name)
+    run_scenario(spec, seed=7)          # warm model + material caches
+    start = time.perf_counter()
+    result = run_scenario(spec, seed=7)
+    elapsed = time.perf_counter() - start
+    scenario_report.add("run", result.n_windows, elapsed,
+                        extra={"scenario": name,
+                               "n_appliances": len(spec.appliances)})
+    report.row("scenarios", f"run:{name}", "-",
+               f"{result.n_windows / elapsed:.0f} windows/s")
+    assert result.n_windows > 0
+
+
+def test_validate_throughput(scenario_report, report):
+    """Schema validations/s across the whole zoo."""
+    specs = list(registry.iter_specs())
+    start = time.perf_counter()
+    for _ in range(VALIDATE_ROUNDS):
+        for spec in specs:
+            spec.validate()
+    elapsed = time.perf_counter() - start
+    n = VALIDATE_ROUNDS * len(specs)
+    scenario_report.add("validate", n, elapsed,
+                        extra={"n_scenarios": len(specs)})
+    report.row("scenarios", "validate", "-",
+               f"{n / elapsed:.0f} validations/s over {len(specs)}")
+    assert len(specs) >= 10
+
+
+def test_capture_throughput(primed, scenario_report, report):
+    """Golden-trace reductions/s (the conformance-matrix overhead)."""
+    result = run_scenario(registry.get("awarepen-ungated"), seed=7)
+    start = time.perf_counter()
+    for _ in range(CAPTURE_ROUNDS):
+        trace = capture_scenario_trace(result)
+    elapsed = time.perf_counter() - start
+    scenario_report.add("capture", CAPTURE_ROUNDS, elapsed,
+                        extra={"n_stages": len(trace.stages)})
+    report.row("scenarios", "capture", "-",
+               f"{CAPTURE_ROUNDS / elapsed:.0f} traces/s")
+    assert trace.stages[-1].stage == "summary"

@@ -2,6 +2,7 @@
 
 from .base import ContextClassifier
 from .centroid import NearestCentroidClassifier
+from .ensemble import VotingEnsemble
 from .fuzzy_classifier import TSKClassifier
 from .knn import KNNClassifier
 from .mlp import MLPClassifier
@@ -12,4 +13,5 @@ __all__ = [
     "NearestCentroidClassifier",
     "KNNClassifier",
     "MLPClassifier",
+    "VotingEnsemble",
 ]

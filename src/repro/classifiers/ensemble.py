@@ -1,0 +1,69 @@
+"""A majority-vote ensemble over several black-box classifiers.
+
+The paper's CQM is "applicable as an add-on to any context recognition
+system" — including one that is itself a committee.  The ensemble is a
+single :class:`ContextClassifier` black box: the quality layer sees one
+emitted class identifier and never learns that three models voted, so a
+whole committee shares **one** quality system (the multi-classifier
+scenario of the zoo).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import ContextClass, as_cue_matrix
+from .base import ContextClassifier
+
+
+class VotingEnsemble(ContextClassifier):
+    """Hard majority vote over member classifiers.
+
+    Ties break deterministically toward the lowest class index (the
+    ``np.argmax`` convention), so ensemble decisions are exactly
+    reproducible — a requirement of the scenario golden traces.
+
+    Parameters
+    ----------
+    classes:
+        Registered context classes (shared by every member).
+    members:
+        At least two :class:`ContextClassifier` instances built over the
+        same class set; :meth:`fit` trains them all on the same data.
+    """
+
+    def __init__(self, classes: Sequence[ContextClass],
+                 members: Sequence[ContextClassifier]) -> None:
+        super().__init__(classes)
+        if len(members) < 2:
+            raise ConfigurationError(
+                f"an ensemble needs >= 2 members, got {len(members)}")
+        own = tuple(c.index for c in self.classes)
+        for member in members:
+            if tuple(c.index for c in member.classes) != own:
+                raise ConfigurationError(
+                    f"member {type(member).__name__} has classes "
+                    f"{[c.index for c in member.classes]}, ensemble has "
+                    f"{list(own)}")
+        self.members = tuple(members)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "VotingEnsemble":
+        x, y = self._validate_training(x, y)
+        for member in self.members:
+            member.fit(x, y)
+        self._mark_fitted()
+        return self
+
+    def predict_indices(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = as_cue_matrix(x)
+        votes = np.stack([m.predict_indices(x) for m in self.members])
+        n_bins = max(c.index for c in self.classes) + 1
+        out = np.empty(votes.shape[1], dtype=int)
+        for j in range(votes.shape[1]):
+            counts = np.bincount(votes[:, j], minlength=n_bins)
+            out[j] = int(np.argmax(counts))
+        return out

@@ -26,6 +26,7 @@ Usage::
                                [--golden-seed N]
     python -m repro bus        {serve,publish,tail,record,replay,drill}
                                [options...]
+    python -m repro scenario   {list,validate,run,record} [options...]
 
 ``experiment`` runs the full pipeline and prints the evaluation summary;
 ``report`` prints the paper-style statistics (populations, threshold,
@@ -58,7 +59,12 @@ persistent-log TCP broker, ``bus publish`` streams scripted pen events
 at it, ``bus tail`` prints the logged records, ``bus record`` captures
 an office-on-bus run plus its golden trace, ``bus replay`` rebuilds the
 run from the log alone (exiting nonzero unless bit-identical to the
-golden), and ``bus drill`` runs the failure-domain drills.
+golden), and ``bus drill`` runs the failure-domain drills; ``scenario``
+is the declarative scenario zoo: ``scenario list`` names the registered
+scenarios, ``scenario validate`` schema-checks them (or a YAML file via
+``--file``), ``scenario run`` executes one on the in-process bus or the
+broker (``--bus broker``), and ``scenario record`` writes per-scenario
+golden traces.
 
 Every command additionally accepts the global flag
 ``--backend {numpy,fused,numba}`` (anywhere on the line), selecting the
@@ -219,6 +225,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from .bus.cli import add_bus_parser
     add_bus_parser(sub)
+    from .scenarios.cli import add_scenario_parser
+    add_scenario_parser(sub)
     return parser
 
 
@@ -562,6 +570,7 @@ def _run_traced(argv: List[str]) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .backend import get_backend
+    from .exceptions import ScenarioError
     from .verify import (DifferentialRunner, check_against_golden,
                          run_fuzz, update_golden)
 
@@ -594,8 +603,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"golden gate skipped: backend {backend_name!r} does "
                   f"not claim bit identity (goldens pin 'numpy')")
         if args.fuzz_cases > 0:
+            corpus = None
+            try:
+                from .scenarios.corpus import scenario_corpus
+                corpus = scenario_corpus()
+            except ScenarioError as exc:
+                print(f"scenario corpus unavailable ({exc}); fuzzing "
+                      f"built-in kinds only")
             fuzz = run_fuzz(seed=args.golden_seed,
-                            n_cases=args.fuzz_cases)
+                            n_cases=args.fuzz_cases, corpus=corpus)
             print(fuzz.to_text())
             ok = ok and fuzz.passed
     return 0 if ok else 1
@@ -604,6 +620,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_bus(args: argparse.Namespace) -> int:
     from .bus.cli import run_bus_command
     return run_bus_command(args)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios.cli import run_scenario_command
+    return run_scenario_command(args)
 
 
 _COMMANDS = {
@@ -618,6 +639,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "verify": _cmd_verify,
     "bus": _cmd_bus,
+    "scenario": _cmd_scenario,
 }
 
 

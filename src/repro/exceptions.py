@@ -50,6 +50,17 @@ class BackendError(ConfigurationError):
     """
 
 
+class ScenarioError(ConfigurationError):
+    """A declarative scenario spec failed schema validation.
+
+    Subclasses :class:`ConfigurationError` (and therefore
+    :class:`ReproError`): a malformed scenario is a configuration
+    problem, but callers of :mod:`repro.scenarios` can catch the
+    narrower type to distinguish spec errors (with their actionable
+    field-level messages) from other construction failures.
+    """
+
+
 class BusError(ReproError):
     """A distributed-bus operation failed (broker, log, or protocol).
 

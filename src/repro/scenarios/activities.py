@@ -1,0 +1,94 @@
+"""Activity registries and scripts used by the scenario zoo.
+
+Adds what the hard-coded experiments never needed:
+
+* a **novel activity** — :class:`ShakingModel` — for out-of-distribution
+  streams and for zoo scenarios whose classifier has never seen the
+  class it is asked about (the generality claim of paper section 1);
+* named chair scripts with *fixed* durations, so the declarative
+  scenario layer can build AwareChair models deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..sensors.accelerometer import (ACTIVITY_MODELS, AWAREPEN_CLASSES,
+                                     DEFAULT_STYLE, ActivityModel, UserStyle,
+                                     _gravity)
+from ..sensors.chair import AWARECHAIR_CLASSES, CHAIR_MODELS
+from ..sensors.node import Segment
+from ..types import ContextClass
+
+#: A context class no shipped classifier is trained on: violently shaking
+#: the pen (e.g. to restart a dried-out marker).
+SHAKING = ContextClass(index=3, name="shaking")
+
+
+class ShakingModel(ActivityModel):
+    """Vigorous pen shaking: a high-frequency, large-amplitude oscillation.
+
+    Deliberately unlike all three AwarePen training classes — higher
+    frequency than writing, larger amplitude than playing — so windows of
+    it are true out-of-distribution inputs for the quality system.
+    """
+
+    context = SHAKING
+
+    def generate(self, n_samples: int, rate_hz: float,
+                 rng: np.random.Generator,
+                 style: UserStyle = DEFAULT_STYLE) -> np.ndarray:
+        self._check(n_samples, rate_hz)
+        t = np.arange(n_samples) / rate_hz
+        g = _gravity(rng)
+        trace = np.tile(g, (n_samples, 1))
+        freq = rng.uniform(6.0, 9.0) * style.tempo_scale
+        amp = 1.8 * style.amplitude_scale
+        for axis in range(3):
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            trace[:, axis] += amp * rng.uniform(0.7, 1.0) * np.sin(
+                2.0 * math.pi * freq * rng.uniform(0.95, 1.05) * t + phase)
+        trace += rng.normal(0.0, 0.2 * style.amplitude_scale,
+                            size=(n_samples, 3))
+        return trace
+
+
+#: Pen-family activity registry: canonical models plus the novel class.
+PEN_MODELS: Dict[str, ActivityModel] = {
+    **ACTIVITY_MODELS,
+    SHAKING.name: ShakingModel(),
+}
+
+#: Label classes covering every pen-family activity a scenario can emit.
+#: A superset of the classifier's classes is harmless for label mapping.
+PEN_CLASSES: Tuple[ContextClass, ...] = AWAREPEN_CLASSES + (SHAKING,)
+
+#: Per-family activity registries / label classes.
+FAMILY_MODELS = {"pen": PEN_MODELS, "chair": CHAIR_MODELS}
+FAMILY_CLASSES = {"pen": PEN_CLASSES, "chair": AWARECHAIR_CLASSES}
+
+
+def chair_training_script(rng: np.random.Generator,
+                          repetitions: int = 3) -> List[Segment]:
+    """Clean per-class blocks for pre-training an AwareChair classifier."""
+    segments: List[Segment] = []
+    for _ in range(repetitions):
+        for name in ("empty", "sitting", "fidgeting"):
+            segments.append(Segment(CHAIR_MODELS[name],
+                                    duration_s=float(rng.uniform(4, 7))))
+    return segments
+
+
+def chair_mixed_script(rng: np.random.Generator,
+                       blocks: int = 3) -> List[Segment]:
+    """Realistic occupancy mix for quality training / analysis roles."""
+    names = ("sitting", "fidgeting", "sitting", "empty")
+    segments: List[Segment] = []
+    for _ in range(blocks):
+        for name in names:
+            segments.append(Segment(CHAIR_MODELS[name],
+                                    duration_s=float(rng.uniform(3, 6))))
+    return segments

@@ -1,0 +1,141 @@
+"""CLI for the scenario zoo: ``repro scenario {list,validate,run,record}``.
+
+Wired into the main parser the same way the bus commands are; all
+output is plain text, exit codes follow the usual convention (0 ok,
+1 failure, 2 usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..exceptions import ScenarioError
+from . import registry
+from .runner import (TRANSPORTS, capture_scenario_trace, run_scenario_on)
+
+
+def add_scenario_parser(sub) -> None:
+    """Register the ``scenario`` subcommand on the main parser."""
+    parser = sub.add_parser(
+        "scenario", help="declarative scenario zoo (list/validate/run/record)")
+    ssub = parser.add_subparsers(dest="scenario_command", required=True)
+
+    ssub.add_parser("list", help="list registered scenarios")
+
+    val = ssub.add_parser(
+        "validate", help="schema-validate scenarios (default: all)")
+    val.add_argument("names", nargs="*", metavar="NAME",
+                     help="registered scenario names (default: all)")
+    val.add_argument("--file", metavar="PATH", default=None,
+                     help="validate a scenario YAML file instead")
+
+    run = ssub.add_parser("run", help="execute one scenario")
+    run.add_argument("name", metavar="NAME")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--bus", choices=TRANSPORTS, default="eventbus",
+                     help="transport to run on (default: eventbus)")
+    run.add_argument("--log-dir", metavar="DIR", default=None,
+                     help="broker log directory (default: a temp dir)")
+
+    rec = ssub.add_parser(
+        "record", help="run scenarios and write their golden traces")
+    rec.add_argument("names", nargs="*", metavar="NAME",
+                     help="scenario names (default with --all: every one)")
+    rec.add_argument("--all", action="store_true",
+                     help="record every registered scenario")
+    rec.add_argument("--out", metavar="DIR", required=True,
+                     help="directory the <name>.json goldens go to")
+    rec.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_list() -> int:
+    for name in registry.names():
+        spec = registry.get(name)
+        n_faults = sum(len(s.faults) for s in spec.sensors)
+        print(f"{name:<28} sensors={len(spec.sensors)} "
+              f"appliances={len(spec.appliances)} faults={n_faults} "
+              f"classifier={spec.classifier.kind}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    if args.file is not None:
+        targets = [("file " + args.file,
+                    lambda: registry.load_scenario_file(args.file))]
+    else:
+        names = args.names if args.names else registry.names()
+        targets = [(name, lambda name=name: registry.get(name))
+                   for name in names]
+    for label, load in targets:
+        try:
+            load().validate()
+        except ScenarioError as exc:
+            print(f"FAIL {label}: {exc}")
+            failures += 1
+        else:
+            print(f"ok   {label}")
+    print(f"{len(targets) - failures}/{len(targets)} scenarios valid")
+    return 1 if failures else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = registry.get(args.name)
+    result = run_scenario_on(
+        spec, seed=args.seed, transport=args.bus,
+        log_dir=None if args.log_dir is None else Path(args.log_dir))
+    print(f"scenario {result.scenario!r} (seed {result.seed}, "
+          f"{args.bus}): {result.n_windows} windows, "
+          f"accuracy {result.accuracy:.3f}")
+    for rec in result.events:
+        import numpy as np
+        n_eps = int(np.sum(np.isnan(rec.qualities)))
+        print(f"  {rec.name}: {rec.times.size} events, "
+              f"{n_eps} epsilon")
+    for cam in result.cameras:
+        print(f"  {cam.name}: accepted {cam.accepted_events}, rejected "
+              f"{cam.rejected_events}, snapshots {cam.n_snapshots}")
+    for sit in result.situations:
+        print(f"  {sit.name}: {sit.n_states} states, "
+              f"{sit.n_published} published, "
+              f"{sit.ignored_events} ignored")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    if args.all:
+        names = registry.names()
+    elif args.names:
+        names = list(args.names)
+    else:
+        print("record needs scenario NAMEs or --all", file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        spec = registry.get(name)
+        result = run_scenario_on(spec, seed=args.seed)
+        trace = capture_scenario_trace(result)
+        path = out / f"{name}.json"
+        trace.save(path)
+        print(f"{name}: golden written to {path}")
+    return 0
+
+
+def run_scenario_command(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``scenario`` subcommand."""
+    try:
+        if args.scenario_command == "list":
+            return _cmd_list()
+        if args.scenario_command == "validate":
+            return _cmd_validate(args)
+        if args.scenario_command == "run":
+            return _cmd_run(args)
+        if args.scenario_command == "record":
+            return _cmd_record(args)
+    except ScenarioError as exc:
+        print(f"repro scenario: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(args.scenario_command)  # pragma: no cover

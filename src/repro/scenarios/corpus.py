@@ -1,0 +1,76 @@
+"""Feed every zoo scenario's dataset generator into the verify fuzzer.
+
+Each registered scenario contributes one degenerate-dataset case kind:
+a duration-capped render of its first sensor stream (faults and all),
+reduced to ``(cues, labels)`` arrays.  The fuzzer then drives the whole
+construction/filtering pipeline over data shaped by dropouts, stuck
+axes, miscalibration, novel activities, etc. — exactly the streams the
+zoo declares — and enforces the global contract (ReproError-only
+failures, q in [0, 1] or epsilon).
+
+Rows whose cues are non-finite (a total dropout window) are removed
+before handing data to the pipeline, since the construction contract
+requires finite cue vectors; if nothing survives, a small gaussian
+fallback keeps the case kind exercisable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .activities import FAMILY_CLASSES, FAMILY_MODELS
+from .registry import iter_specs
+from .spec import ScenarioSpec, SegmentSpec
+
+#: Cap on the simulated duration of one corpus render, in seconds.
+MAX_CORPUS_SECONDS = 8.0
+
+CorpusCase = Callable[[np.random.Generator],
+                      Tuple[np.ndarray, np.ndarray]]
+
+
+def _capped_sensor(spec: ScenarioSpec):
+    """The scenario's first sensor with durations scaled to the cap."""
+    sensor = spec.sensors[0]
+    total = sum(seg.duration_s for seg in sensor.segments)
+    if total <= MAX_CORPUS_SECONDS:
+        return sensor
+    factor = MAX_CORPUS_SECONDS / total
+    floor = max(sensor.window / sensor.rate_hz, 0.25)
+    segments = tuple(
+        dataclasses.replace(seg, duration_s=max(seg.duration_s * factor,
+                                                floor))
+        for seg in sensor.segments)
+    return dataclasses.replace(sensor, segments=segments)
+
+
+def scenario_case(spec: ScenarioSpec) -> CorpusCase:
+    """Build the fuzz-case generator for one scenario."""
+    def generate(rng: np.random.Generator
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        sensor = _capped_sensor(spec)
+        node = sensor.build_node()
+        segments = sensor.build_segments(spec.resolved_styles(),
+                                         FAMILY_MODELS[sensor.family])
+        windows = node.collect(segments, rng,
+                               FAMILY_CLASSES[sensor.family])
+        cues = np.vstack([w.cues for w in windows])
+        labels = np.array([w.true_context.index for w in windows],
+                          dtype=int)
+        finite = np.all(np.isfinite(cues), axis=1)
+        cues, labels = cues[finite], labels[finite]
+        if cues.shape[0] < 4:
+            cues = rng.normal(size=(12, 3))
+            labels = rng.integers(0, 3, size=12)
+        return cues, labels
+
+    return generate
+
+
+def scenario_corpus() -> Dict[str, CorpusCase]:
+    """Case kinds for every registered scenario, ``scenario:<name>``."""
+    return {f"scenario:{spec.name}": scenario_case(spec)
+            for spec in iter_specs()}

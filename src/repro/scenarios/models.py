@@ -1,0 +1,152 @@
+"""Deterministic classifier + quality-system construction for scenarios.
+
+Every sensing appliance of a scenario needs a trained black box and its
+quality FIS.  Building one is the expensive part of a run, so models are
+cached per ``(family, classifier spec, seed)`` — two scenarios sharing
+the default AwarePen stack build it once, and the test suite can prime
+the cache from its session-scoped experiment fixture.
+
+The pen family with the default TSK classifier reuses the *exact* paper
+pipeline (:func:`repro.experiment.run_awarepen_experiment`), so the
+declarative ``awarepen-baseline`` scenario runs the same model the
+hard-coded experiment does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+from ..classifiers import (ContextClassifier, KNNClassifier, MLPClassifier,
+                           NearestCentroidClassifier, TSKClassifier,
+                           VotingEnsemble)
+from ..core.calibration import calibrate
+from ..core.construction import ConstructionConfig, build_quality_measure
+from ..core.interconnection import QualityAugmentedClassifier
+from ..datasets.generator import (WindowDataset, generate_dataset,
+                                  make_awarepen_material)
+from ..exceptions import CalibrationError, ScenarioError
+from ..experiment import run_awarepen_experiment
+from ..sensors.accelerometer import AWAREPEN_CLASSES
+from ..sensors.chair import AWARECHAIR_CLASSES
+from ..types import ContextClass
+from .activities import chair_mixed_script, chair_training_script
+from .spec import ClassifierSpec
+
+#: Threshold used when calibration degenerates (documented fallback).
+FALLBACK_THRESHOLD = 0.5
+
+#: The spec value meaning "the paper's default AwarePen stack".
+DEFAULT_CLASSIFIER = ClassifierSpec()
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioModel:
+    """A trained, quality-augmented classifier plus its threshold."""
+
+    augmented: QualityAugmentedClassifier
+    threshold: float
+
+
+_Roles = Tuple[WindowDataset, WindowDataset, WindowDataset, WindowDataset,
+               Tuple[ContextClass, ...]]
+
+_MODELS: Dict[Tuple[str, ClassifierSpec, int], ScenarioModel] = {}
+_MATERIALS: Dict[Tuple[str, int], _Roles] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached models and materials (test isolation helper)."""
+    _MODELS.clear()
+    _MATERIALS.clear()
+
+
+def prime_pen_model(augmented: QualityAugmentedClassifier,
+                    threshold: float, seed: int = 7) -> None:
+    """Inject a pre-built default pen model (e.g. a test fixture)."""
+    _MODELS[("pen", DEFAULT_CLASSIFIER, seed)] = ScenarioModel(
+        augmented=augmented, threshold=float(threshold))
+
+
+def prime_pen_material(material, seed: int = 7) -> None:
+    """Inject pre-generated AwarePen material (e.g. a test fixture)."""
+    _MATERIALS[("pen", seed)] = (
+        material.classifier_train, material.quality_train,
+        material.quality_check, material.analysis,
+        tuple(AWAREPEN_CLASSES))
+
+
+def build_classifier(spec: ClassifierSpec,
+                     classes: Sequence[ContextClass]) -> ContextClassifier:
+    """Construct the (untrained) black box a classifier spec declares."""
+    params = dict(spec.params)
+    if spec.kind == "tsk":
+        return TSKClassifier(classes, radius=float(params.get("radius", 0.5)))
+    if spec.kind == "centroid":
+        return NearestCentroidClassifier(classes)
+    if spec.kind == "knn":
+        return KNNClassifier(classes, k=int(params.get("k", 5)))
+    if spec.kind == "mlp":
+        return MLPClassifier(classes, hidden=int(params.get("hidden", 16)),
+                             epochs=int(params.get("epochs", 150)),
+                             seed=int(params.get("seed", 0)))
+    if spec.kind == "ensemble":
+        members = [build_classifier(ClassifierSpec(kind=m), classes)
+                   for m in spec.members]
+        return VotingEnsemble(classes, members)
+    raise ScenarioError(f"classifier kind {spec.kind!r} is unknown")
+
+
+def _material(family: str, seed: int) -> _Roles:
+    key = (family, seed)
+    if key in _MATERIALS:
+        return _MATERIALS[key]
+    if family == "pen":
+        m = make_awarepen_material(seed=seed)
+        roles: _Roles = (m.classifier_train, m.quality_train,
+                         m.quality_check, m.analysis,
+                         tuple(AWAREPEN_CLASSES))
+    elif family == "chair":
+        base = seed + 40
+        roles = (
+            generate_dataset(lambda rng: chair_training_script(rng, 3),
+                             seed=base, classes=AWARECHAIR_CLASSES),
+            generate_dataset(lambda rng: chair_mixed_script(rng, 3),
+                             seed=base + 1, classes=AWARECHAIR_CLASSES),
+            generate_dataset(lambda rng: chair_mixed_script(rng, 2),
+                             seed=base + 2, classes=AWARECHAIR_CLASSES),
+            generate_dataset(lambda rng: chair_mixed_script(rng, 3),
+                             seed=base + 3, classes=AWARECHAIR_CLASSES),
+            tuple(AWARECHAIR_CLASSES),
+        )
+    else:
+        raise ScenarioError(f"sensor family {family!r} is unknown")
+    _MATERIALS[key] = roles
+    return roles
+
+
+def model_for(family: str, spec: ClassifierSpec, seed: int) -> ScenarioModel:
+    """The trained quality-augmented model for one sensing appliance."""
+    key = (family, spec, seed)
+    if key in _MODELS:
+        return _MODELS[key]
+    if family == "pen" and spec == DEFAULT_CLASSIFIER:
+        result = run_awarepen_experiment(seed=seed)
+        model = ScenarioModel(augmented=result.augmented,
+                              threshold=float(result.threshold))
+    else:
+        train, q_train, q_check, analysis, classes = _material(family, seed)
+        classifier = build_classifier(spec, classes)
+        classifier.fit(train.cues, train.labels)
+        construction = build_quality_measure(
+            classifier, q_train, q_check,
+            config=ConstructionConfig(epochs=10))
+        augmented = QualityAugmentedClassifier(classifier,
+                                               construction.quality)
+        try:
+            threshold = float(calibrate(augmented, analysis).s)
+        except CalibrationError:
+            threshold = FALLBACK_THRESHOLD
+        model = ScenarioModel(augmented=augmented, threshold=threshold)
+    _MODELS[key] = model
+    return model

@@ -1,0 +1,127 @@
+"""Scenario registry with entry-point-style discovery.
+
+Built-in zoo scenarios ship as YAML files in ``repro/scenarios/data/``;
+additional scenario files can be announced through the
+``REPRO_SCENARIOS`` environment variable (an ``os.pathsep``-separated
+list of YAML files or directories), mirroring how entry points extend a
+package without code changes.
+
+YAML is an *optional* dependency: dataclass specs and dict loading work
+without it; only the YAML file loaders raise :class:`ScenarioError`
+when PyYAML is missing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+from ..exceptions import ScenarioError
+from .spec import ScenarioSpec
+
+#: Environment variable listing extra scenario YAML files/directories.
+ENV_VAR = "REPRO_SCENARIOS"
+
+#: Directory of the built-in zoo.
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+_DISCOVERED = False
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - env without pyyaml
+        raise ScenarioError(
+            "loading scenario YAML files needs the optional dependency "
+            "PyYAML (pip install pyyaml); dict-based specs via "
+            "ScenarioSpec.from_dict work without it") from exc
+    return yaml
+
+
+def load_scenario_file(path: os.PathLike) -> ScenarioSpec:
+    """Load and schema-validate one scenario YAML file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError(f"scenario file {str(path)!r} does not exist")
+    yaml = _yaml()
+    try:
+        payload = yaml.safe_load(path.read_text())
+    except yaml.YAMLError as exc:
+        raise ScenarioError(
+            f"scenario file {str(path)!r} is not valid YAML: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ScenarioError(
+            f"scenario file {str(path)!r} must contain a mapping, got "
+            f"{type(payload).__name__}")
+    return ScenarioSpec.from_dict(payload)
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Register a scenario spec under its name."""
+    if not replace and spec.name in _REGISTRY:
+        raise ScenarioError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass replace=True to override")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def clear(rediscover: bool = False) -> None:
+    """Drop all registered scenarios (test isolation helper)."""
+    global _DISCOVERED
+    _REGISTRY.clear()
+    _DISCOVERED = False
+    if rediscover:
+        discover()
+
+
+def _candidate_files(root: Path) -> List[Path]:
+    if root.is_dir():
+        return sorted(p for p in root.iterdir()
+                      if p.suffix in (".yaml", ".yml"))
+    return [root]
+
+
+def discover(force: bool = False) -> None:
+    """Load built-in zoo scenarios plus any ``$REPRO_SCENARIOS`` extras."""
+    global _DISCOVERED
+    if _DISCOVERED and not force:
+        return
+    _DISCOVERED = True
+    if DATA_DIR.is_dir():
+        for path in sorted(DATA_DIR.glob("*.yaml")):
+            register(load_scenario_file(path), replace=True)
+    extra = os.environ.get(ENV_VAR, "")
+    for token in filter(None, extra.split(os.pathsep)):
+        root = Path(token)
+        if not root.exists():
+            raise ScenarioError(
+                f"{ENV_VAR} entry {token!r} does not exist")
+        for path in _candidate_files(root):
+            register(load_scenario_file(path), replace=True)
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {names()}") from None
+
+
+def names() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    discover()
+    return sorted(_REGISTRY)
+
+
+def iter_specs() -> Iterator[ScenarioSpec]:
+    """All registered scenarios in name order."""
+    discover()
+    for name in sorted(_REGISTRY):
+        yield _REGISTRY[name]

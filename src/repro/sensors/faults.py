@@ -349,6 +349,46 @@ class JitterFault(FaultModel):
 
 
 @dataclasses.dataclass(frozen=True)
+class MiscalibrationFault(FaultModel):
+    """A mis-calibrated signal chain: wrong gain and a constant offset.
+
+    Models a part whose sensitivity drifted from its datasheet value (or
+    whose calibration constants were written for a different batch): the
+    whole stream is scaled by ``gain`` and shifted by ``offset``.  Unlike
+    the stochastic faults this one is deterministic — the same window
+    always miscalibrates the same way — which is exactly what makes it
+    insidious: every cue is consistently, quietly wrong.
+
+    Parameters
+    ----------
+    gain:
+        Multiplicative sensitivity error (1.0 is healthy); must be > 0.
+    offset:
+        Additive bias in g applied to all axes.
+    """
+
+    gain: float = 1.5
+    offset: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ConfigurationError(
+                f"gain must be > 0, got {self.gain}")
+
+    def apply(self, signal: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+        out = _as_signal(signal)
+        return out * self.gain + self.offset
+
+    def scaled(self, intensity: float) -> "MiscalibrationFault":
+        _check_unit("intensity", intensity)
+        return dataclasses.replace(
+            self,
+            gain=1.0 + (self.gain - 1.0) * intensity,
+            offset=self.offset * intensity)
+
+
+@dataclasses.dataclass(frozen=True)
 class FaultChain(FaultModel):
     """Faults applied in sequence (left to right) to the whole stream."""
 
@@ -400,8 +440,13 @@ class FaultSchedule:
     """Faults turning on and off over scenario time.
 
     Each entry's fault is applied to the sample slice its time window
-    covers; entries apply in order, so overlapping windows compose like a
-    :class:`FaultChain` over the overlap.
+    covers; entries apply **strictly in entry order**, so overlapping
+    windows compose like a :class:`FaultChain` over the overlap: the
+    second entry sees (and further degrades) the first entry's output.
+    This order is part of the schedule's contract — swapping two
+    overlapping entries is a different schedule (pinned by the
+    composition-order regression tests) — so scenarios that declare
+    several concurrent faults are exactly reproducible.
     """
 
     entries: Tuple[ScheduledFault, ...]
@@ -409,6 +454,24 @@ class FaultSchedule:
     def __post_init__(self) -> None:
         if not self.entries:
             raise ConfigurationError("fault schedule needs >= 1 entry")
+
+    @classmethod
+    def merged(cls, schedules: Sequence["FaultSchedule"]) -> "FaultSchedule":
+        """Compose several schedules into one, schedule-major.
+
+        The merged entry order is deterministic: all entries of the
+        first schedule (in their order), then all entries of the second,
+        and so on.  Where two schedules overlap the same time window the
+        earlier schedule's faults therefore apply first and the later
+        schedule's faults degrade their output — the same left-to-right
+        composition a :class:`FaultChain` uses.
+        """
+        if not schedules:
+            raise ConfigurationError("merged() needs >= 1 schedule")
+        entries: List[ScheduledFault] = []
+        for schedule in schedules:
+            entries.extend(schedule.entries)
+        return cls(entries=tuple(entries))
 
     def faults_at(self, t_s: float) -> List[FaultModel]:
         """Every fault active at scenario time *t_s*, in entry order."""

@@ -21,7 +21,7 @@ reproducible from its report line alone.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -197,14 +197,30 @@ def _run_case(rng: np.random.Generator, cues: np.ndarray,
     return detail, violations
 
 
-def run_fuzz(seed: int = 0, n_cases: int = 40) -> FuzzReport:
-    """Fuzz *n_cases* degenerate datasets derived from *seed*."""
+def run_fuzz(seed: int = 0, n_cases: int = 40,
+             corpus: Optional[Mapping[str, Callable[
+                 [np.random.Generator],
+                 Tuple[np.ndarray, np.ndarray]]]] = None) -> FuzzReport:
+    """Fuzz *n_cases* degenerate datasets derived from *seed*.
+
+    *corpus* extends the built-in degenerate kinds with named external
+    dataset generators (e.g. the scenario zoo's per-scenario streams,
+    keyed ``scenario:<name>``); the extra kinds join the cycle after
+    :data:`CASE_KINDS` and are held to the same contract.
+    """
+    corpus = dict(corpus) if corpus else {}
+    kinds: Tuple[str, ...] = CASE_KINDS + tuple(sorted(corpus))
     cases: List[FuzzCase] = []
     failures: List[FuzzFailure] = []
     for index in range(int(n_cases)):
-        kind = CASE_KINDS[index % len(CASE_KINDS)]
+        kind = kinds[index % len(kinds)]
         rng = np.random.default_rng(int(seed) * 100003 + index)
-        cues, labels = _dataset(rng, kind)
+        if kind in corpus:
+            cues, labels = corpus[kind](rng)
+            cues = np.asarray(cues, dtype=float)
+            labels = np.asarray(labels, dtype=float).ravel()
+        else:
+            cues, labels = _dataset(rng, kind)
         try:
             # Hybrid training is the slow path; exercise it on a
             # rotating quarter of the budget.

@@ -1,0 +1,1 @@
+"""Tests for repro.scenarios — the declarative scenario zoo."""

@@ -1,0 +1,39 @@
+"""Fixtures for the scenario-zoo tests.
+
+Scenario runs are the expensive part of the conformance matrix: the
+session-scoped run cache executes each ``(scenario, transport)`` pair
+exactly once and every matrix dimension reads from it.  The model cache
+of :mod:`repro.scenarios.models` is primed from the session experiment
+fixture so the default AwarePen stack is never rebuilt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import models, registry
+from repro.scenarios.runner import run_scenario_on
+
+
+@pytest.fixture(scope="session", autouse=True)
+def primed_models(experiment, material):
+    """Share the session experiment with the scenario model cache."""
+    models.prime_pen_model(experiment.augmented, experiment.threshold,
+                           seed=7)
+    models.prime_pen_material(material, seed=7)
+    yield
+
+
+@pytest.fixture(scope="session")
+def scenario_runs(primed_models):
+    """Memoized seed-7 scenario executor keyed (name, transport)."""
+    cache = {}
+
+    def run(name: str, transport: str = "eventbus"):
+        key = (name, transport)
+        if key not in cache:
+            cache[key] = run_scenario_on(registry.get(name), seed=7,
+                                         transport=transport)
+        return cache[key]
+
+    return run

@@ -1,0 +1,99 @@
+"""Tests for the ``repro scenario`` CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import registry
+from repro.verify.golden import GoldenTrace
+
+GOOD_YAML = """\
+name: cli-extra
+sensors:
+  - name: accel
+    family: pen
+    segments:
+      - {activity: writing, duration_s: 2.0}
+appliances:
+  - name: pen
+    kind: pen
+    sensor: accel
+"""
+
+BAD_YAML = """\
+name: cli-broken
+sensors:
+  - name: accel
+    family: pen
+    segments:
+      - {activity: juggling, duration_s: 2.0}
+appliances:
+  - name: pen
+    kind: pen
+    sensor: accel
+"""
+
+
+class TestList:
+    def test_lists_every_registered_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == len(registry.names())
+        assert any(line.startswith("awarepen-baseline") for line in out)
+
+
+class TestValidate:
+    def test_all_shipped_scenarios_are_valid(self, capsys):
+        assert main(["scenario", "validate"]) == 0
+        out = capsys.readouterr().out
+        n = len(registry.names())
+        assert f"{n}/{n} scenarios valid" in out
+
+    def test_named_subset(self, capsys):
+        assert main(["scenario", "validate", "awarepen-baseline"]) == 0
+        assert "ok   awarepen-baseline" in capsys.readouterr().out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["scenario", "validate", "nope"]) == 1
+        assert "FAIL nope" in capsys.readouterr().out
+
+    def test_file_mode_accepts_valid_yaml(self, tmp_path, capsys):
+        path = tmp_path / "extra.yaml"
+        path.write_text(GOOD_YAML)
+        assert main(["scenario", "validate", "--file", str(path)]) == 0
+        assert "1/1 scenarios valid" in capsys.readouterr().out
+
+    def test_file_mode_rejects_broken_yaml(self, tmp_path, capsys):
+        path = tmp_path / "broken.yaml"
+        path.write_text(BAD_YAML)
+        assert main(["scenario", "validate", "--file", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_reports_summary(self, primed_models, capsys):
+        assert main(["scenario", "run", "awarepen-ungated",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'awarepen-ungated'" in out
+        assert "windows" in out and "accuracy" in out
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRecord:
+    def test_record_writes_loadable_goldens(self, primed_models,
+                                            tmp_path, capsys):
+        assert main(["scenario", "record", "awarepen-ungated",
+                     "--out", str(tmp_path), "--seed", "7"]) == 0
+        path = tmp_path / "awarepen-ungated.json"
+        assert path.exists()
+        trace = GoldenTrace.load(path)
+        assert trace.seed == 7
+        assert trace.stages[-1].stage == "summary"
+
+    def test_record_without_names_is_a_usage_error(self, tmp_path,
+                                                   capsys):
+        assert main(["scenario", "record",
+                     "--out", str(tmp_path)]) == 2

@@ -1,0 +1,79 @@
+"""Cross-scenario conformance matrix.
+
+Every registered scenario — including ones added later by dropping a
+YAML file into the zoo — must
+
+(a) validate against the declarative schema,
+(b) reproduce its stored seed-7 golden trace,
+(c) run identically on the in-process EventBus and the repro.bus
+    broker (compared at zero tolerance, no content-hash mismatches),
+(d) keep every published quality in [0, 1] or the epsilon encoding.
+
+The parametrization reads the registry at collection time, so a new
+scenario is covered automatically; the golden-inventory test fails
+when its golden was not recorded.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.scenarios import capture_scenario_trace, registry
+from repro.verify.golden import GoldenTrace, diff_traces
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+ALL_SCENARIOS = registry.names()
+
+
+def test_zoo_is_big_enough():
+    assert len(ALL_SCENARIOS) >= 10
+
+
+def test_every_scenario_has_a_golden_and_vice_versa():
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert recorded == set(ALL_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+class TestConformance:
+    def test_validates_against_schema(self, name):
+        spec = registry.get(name)
+        assert spec.validate() is spec
+
+    def test_matches_stored_golden(self, name, scenario_runs):
+        golden = GoldenTrace.load(GOLDEN_DIR / f"{name}.json")
+        trace = capture_scenario_trace(scenario_runs(name))
+        diff = diff_traces(trace, golden)
+        assert diff.passed, diff.to_text()
+        assert not diff.hash_mismatches, diff.to_text()
+
+    def test_eventbus_and_broker_agree_bitwise(self, name, scenario_runs):
+        on_bus = capture_scenario_trace(scenario_runs(name, "eventbus"))
+        on_broker = capture_scenario_trace(scenario_runs(name, "broker"))
+        diff = diff_traces(on_broker, on_bus, rtol=0.0, atol=0.0)
+        assert diff.passed, diff.to_text()
+        assert not diff.hash_mismatches, diff.to_text()
+
+    def test_quality_contract_holds(self, name, scenario_runs):
+        result = scenario_runs(name)
+        assert result.events, "scenario published no context events"
+        for record in result.events:
+            q = record.qualities
+            assert not np.any(np.isinf(q)), record.name
+            finite = q[~np.isnan(q)]
+            if finite.size:
+                assert finite.min() >= 0.0, record.name
+                assert finite.max() <= 1.0, record.name
+
+    def test_run_reduces_consistently(self, name, scenario_runs):
+        result = scenario_runs(name)
+        assert result.scenario == name
+        assert result.seed == 7
+        assert result.n_correct + result.n_wrong == result.n_windows
+        assert result.n_windows == sum(r.times.size for r in result.events)
+        for record in result.events:
+            assert np.all(np.diff(record.times) >= 0.0)

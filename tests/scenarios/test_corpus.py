@@ -1,0 +1,56 @@
+"""The scenario zoo feeds the verification fuzzer (PR-5 harness)."""
+
+import numpy as np
+
+from repro.scenarios import registry
+from repro.scenarios.corpus import MAX_CORPUS_SECONDS, scenario_corpus
+from repro.verify.fuzz import CASE_KINDS, run_fuzz
+
+
+class TestCorpusShape:
+    def test_one_case_per_registered_scenario(self):
+        corpus = scenario_corpus()
+        assert set(corpus) == {f"scenario:{name}"
+                               for name in registry.names()}
+
+    def test_cases_yield_usable_datasets(self):
+        corpus = scenario_corpus()
+        case = corpus["scenario:faults-overlap-composed"]
+        cues, labels = case(np.random.default_rng(3))
+        assert cues.ndim == 2 and cues.shape[0] >= 4
+        assert labels.shape == (cues.shape[0],)
+        assert np.all(np.isfinite(cues))
+
+    def test_cases_are_deterministic_per_seed(self):
+        case = scenario_corpus()["scenario:drifting-sensor"]
+        a_cues, a_labels = case(np.random.default_rng(11))
+        b_cues, b_labels = case(np.random.default_rng(11))
+        np.testing.assert_array_equal(a_cues, b_cues)
+        np.testing.assert_array_equal(a_labels, b_labels)
+
+    def test_durations_are_capped(self):
+        from repro.scenarios.corpus import _capped_sensor
+        for spec in registry.iter_specs():
+            sensor = _capped_sensor(spec)
+            total = sum(s.duration_s for s in sensor.segments)
+            original = sum(s.duration_s for s in spec.sensors[0].segments)
+            # Per-segment floors (one window's worth) may keep a
+            # many-segment scenario slightly above the cap.
+            floor = max(sensor.window / sensor.rate_hz, 0.25)
+            cap = MAX_CORPUS_SECONDS + len(sensor.segments) * floor
+            assert total <= min(cap, original) + 1e-9
+
+
+class TestFuzzIntegration:
+    def test_fuzz_cycles_scenario_kinds(self):
+        corpus = scenario_corpus()
+        subset = {k: corpus[k] for k in sorted(corpus)[:2]}
+        n_kinds = len(CASE_KINDS) + len(subset)
+        report = run_fuzz(seed=5, n_cases=n_kinds, corpus=subset)
+        assert report.passed, report.to_text()
+        seen = {case.kind for case in report.cases}
+        assert set(subset) <= seen
+
+    def test_fuzz_without_corpus_unchanged(self):
+        report = run_fuzz(seed=5, n_cases=4)
+        assert {case.kind for case in report.cases} <= set(CASE_KINDS)

@@ -1,0 +1,136 @@
+"""Tests for the scenario registry and its file-based discovery."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios import registry
+from repro.scenarios.spec import (ApplianceSpec, ScenarioSpec,
+                                  SegmentSpec, SensorSpec)
+
+EXTRA_YAML = """\
+name: extra-one
+sensors:
+  - name: accel
+    family: pen
+    segments:
+      - {activity: writing, duration_s: 2.0}
+appliances:
+  - name: pen
+    kind: pen
+    sensor: accel
+"""
+
+
+def tiny_spec(name="tiny"):
+    return ScenarioSpec(
+        name=name,
+        sensors=(SensorSpec(
+            name="s", family="pen",
+            segments=(SegmentSpec(activity="lying", duration_s=1.0),)),),
+        appliances=(ApplianceSpec(name="pen", kind="pen", sensor="s"),))
+
+
+@pytest.fixture
+def fresh_registry():
+    """Restore the builtin-only registry after the test."""
+    registry.clear(rediscover=False)
+    yield registry
+    registry.clear(rediscover=False)
+
+
+class TestBuiltinDiscovery:
+    def test_builtin_zoo_loads(self):
+        names = registry.names()
+        assert len(names) >= 10
+        assert "awarepen-baseline" in names
+        assert names == sorted(names)
+
+    def test_get_returns_valid_specs(self):
+        spec = registry.get("awarepen-baseline")
+        assert spec.validate() is spec
+        assert spec.appliance("camera").kind == "camera"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ScenarioError,
+                           match="unknown scenario 'nope'.*awarepen"):
+            registry.get("nope")
+
+    def test_iter_specs_in_name_order(self):
+        specs = list(registry.iter_specs())
+        assert [s.name for s in specs] == registry.names()
+
+
+class TestRegister:
+    def test_register_and_get(self, fresh_registry):
+        registry.register(tiny_spec())
+        assert registry.get("tiny").name == "tiny"
+
+    def test_duplicate_rejected(self, fresh_registry):
+        registry.register(tiny_spec())
+        with pytest.raises(ScenarioError, match="already registered"):
+            registry.register(tiny_spec())
+
+    def test_replace_overrides(self, fresh_registry):
+        registry.register(tiny_spec())
+        replacement = tiny_spec()
+        assert registry.register(replacement,
+                                 replace=True) is replacement
+
+    def test_registered_joins_discovered(self, fresh_registry):
+        registry.register(tiny_spec())
+        names = registry.names()
+        assert "tiny" in names and "awarepen-baseline" in names
+
+
+class TestEnvDiscovery:
+    def test_env_var_extends_the_zoo(self, fresh_registry, tmp_path,
+                                     monkeypatch):
+        path = tmp_path / "extra.yaml"
+        path.write_text(EXTRA_YAML)
+        monkeypatch.setenv(registry.ENV_VAR, str(path))
+        assert "extra-one" in registry.names()
+
+    def test_env_var_accepts_directories(self, fresh_registry, tmp_path,
+                                         monkeypatch):
+        (tmp_path / "extra.yaml").write_text(EXTRA_YAML)
+        monkeypatch.setenv(registry.ENV_VAR, str(tmp_path))
+        assert "extra-one" in registry.names()
+
+    def test_missing_env_entry_is_an_error(self, fresh_registry,
+                                           tmp_path, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR,
+                           str(tmp_path / "missing.yaml"))
+        with pytest.raises(ScenarioError, match="does not exist"):
+            registry.names()
+
+
+class TestLoadScenarioFile:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="does not exist"):
+            registry.load_scenario_file(tmp_path / "nope.yaml")
+
+    def test_invalid_yaml(self, tmp_path):
+        path = tmp_path / "broken.yaml"
+        path.write_text("name: [unclosed\n")
+        with pytest.raises(ScenarioError, match="not valid YAML"):
+            registry.load_scenario_file(path)
+
+    def test_non_mapping_document(self, tmp_path):
+        path = tmp_path / "listy.yaml"
+        path.write_text("- 1\n- 2\n")
+        with pytest.raises(ScenarioError, match="must contain a mapping"):
+            registry.load_scenario_file(path)
+
+    def test_valid_file_loads(self, tmp_path):
+        path = tmp_path / "extra.yaml"
+        path.write_text(EXTRA_YAML)
+        spec = registry.load_scenario_file(path)
+        assert spec.validate().name == "extra-one"
+
+    def test_every_shipped_file_matches_its_name(self):
+        for path in sorted(registry.DATA_DIR.glob("*.yaml")):
+            spec = registry.load_scenario_file(path)
+            assert spec.name == path.stem
+            assert spec.description

@@ -1,0 +1,135 @@
+"""Tests for the scenario runner and trace capture."""
+
+import numpy as np
+import pytest
+
+from repro.appliances.office import AwareOffice
+from repro.core.filtering import QualityFilter
+from repro.exceptions import ScenarioError
+from repro.scenarios import registry
+from repro.scenarios.activities import FAMILY_MODELS
+from repro.scenarios.runner import (capture_scenario_trace, run_scenario,
+                                    run_scenario_on)
+from repro.scenarios.spec import (ApplianceSpec, ScenarioSpec,
+                                  SegmentSpec, SensorSpec)
+from repro.verify.golden import diff_traces
+
+
+class TestAwareOfficeEquivalence:
+    def test_baseline_matches_hardcoded_office(self, experiment,
+                                               scenario_runs):
+        """The declarative awarepen-baseline reproduces the imperative
+        AwareOffice run bit-for-bit: same windows, same decisions, same
+        camera gating — the zoo re-expresses the paper scenario, it does
+        not approximate it."""
+        spec = registry.get("awarepen-baseline")
+        sensor = spec.sensors[0]
+        segments = sensor.build_segments(spec.resolved_styles(),
+                                         FAMILY_MODELS["pen"])
+        office = AwareOffice(
+            experiment.augmented,
+            gate=QualityFilter(threshold=experiment.threshold),
+            node=sensor.build_node())
+        report = office.run_scenario(segments,
+                                     np.random.default_rng([7, 0]))
+
+        result = scenario_runs("awarepen-baseline")
+        camera = result.cameras[0]
+        assert report.n_windows == result.n_windows
+        assert report.correct_decisions == result.n_correct
+        assert report.wrong_decisions == result.n_wrong
+        assert report.accepted_events == camera.accepted_events
+        assert report.rejected_events == camera.rejected_events
+        assert report.n_snapshots == camera.n_snapshots
+
+    def test_gate_rejects_something_ungated_accepts(self, scenario_runs):
+        gated = scenario_runs("awarepen-baseline").cameras[0]
+        ungated = scenario_runs("awarepen-ungated").cameras[0]
+        assert gated.rejected_events > 0
+        assert ungated.rejected_events == 0
+        assert (ungated.accepted_events
+                == gated.accepted_events + gated.rejected_events)
+
+
+class TestDeterminism:
+    def test_rerun_is_bit_identical(self, scenario_runs):
+        cached = capture_scenario_trace(scenario_runs("awarepen-ungated"))
+        fresh = capture_scenario_trace(
+            run_scenario(registry.get("awarepen-ungated"), seed=7))
+        diff = diff_traces(fresh, cached, rtol=0.0, atol=0.0)
+        assert diff.passed, diff.to_text()
+        assert not diff.hash_mismatches
+
+    def test_seed_changes_the_stream(self, scenario_runs):
+        seed7 = scenario_runs("faults-overlap-composed")
+        seed8 = run_scenario(registry.get("faults-overlap-composed"),
+                             seed=8)
+        assert not np.array_equal(seed7.events[0].qualities,
+                                  seed8.events[0].qualities)
+
+
+class TestRunnerSurface:
+    def test_events_follow_spec_appliance_order(self, scenario_runs):
+        spec = registry.get("awareoffice-situations")
+        result = scenario_runs("awareoffice-situations")
+        sensing = [a.name for a in spec.sensing_appliances()]
+        assert [r.name for r in result.events] == sensing
+        assert [s.name for s in result.situations] == ["situations"]
+
+    def test_situation_report_is_consistent(self, scenario_runs):
+        report = scenario_runs("awareoffice-situations").situations[0]
+        assert report.n_states == report.confidences.size
+        assert report.n_states > 0
+
+    def test_multipen_merges_both_streams(self, scenario_runs):
+        result = scenario_runs("awareoffice-multipen")
+        assert len(result.events) == 2
+        assert len(result.cameras) == 2
+        assert result.n_windows == sum(r.times.size
+                                       for r in result.events)
+
+    def test_invalid_spec_rejected_before_running(self):
+        bad = ScenarioSpec(
+            name="bad",
+            sensors=(SensorSpec(
+                name="s", family="pen",
+                segments=(SegmentSpec(activity="writing",
+                                      duration_s=1.0),)),),
+            appliances=(ApplianceSpec(name="pen", kind="pen",
+                                      sensor="ghost"),))
+        with pytest.raises(ScenarioError, match="dangling"):
+            run_scenario(bad, seed=7)
+
+    def test_unknown_transport(self):
+        spec = registry.get("awarepen-ungated")
+        with pytest.raises(ScenarioError, match="transport 'carrier'"):
+            run_scenario_on(spec, transport="carrier")
+
+    def test_broker_transport_persists_a_log(self, tmp_path):
+        spec = registry.get("faults-overlap-composed")
+        result = run_scenario_on(spec, seed=7, transport="broker",
+                                 log_dir=tmp_path)
+        assert result.n_windows > 0
+        assert any(tmp_path.rglob("*"))
+
+
+class TestTraceCapture:
+    def test_trace_covers_every_report(self, scenario_runs):
+        result = scenario_runs("awareoffice-situations")
+        trace = capture_scenario_trace(result)
+        stages = [s.stage for s in trace.stages]
+        for record in result.events:
+            assert f"events:{record.name}" in stages
+        for sit in result.situations:
+            assert f"situation:{sit.name}" in stages
+        assert stages[-1] == "summary"
+
+    def test_trace_roundtrips_through_json(self, tmp_path, scenario_runs):
+        from repro.verify.golden import GoldenTrace
+
+        trace = capture_scenario_trace(scenario_runs("awarepen-ungated"))
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = GoldenTrace.load(path)
+        diff = diff_traces(trace, loaded, rtol=0.0, atol=0.0)
+        assert diff.passed and not diff.hash_mismatches

@@ -1,0 +1,152 @@
+"""Property tests for the spec loader (hypothesis).
+
+Pins the documented round-trip guarantee — for any constructible spec
+``s``, ``ScenarioSpec.from_dict(s.to_dict()) == s`` exactly — and the
+strictness guarantees: unknown fields, dangling references and cyclic
+graphs are rejected with actionable :class:`ScenarioError` messages no
+matter where in the document they appear.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.spec import (ApplianceSpec, ClassifierSpec,
+                                  FAULT_KINDS, FaultWindowSpec,
+                                  ScenarioSpec, SegmentSpec, SensorSpec,
+                                  StyleSpec)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+ACTIVITIES = {"pen": ("lying", "writing", "playing"),
+              "chair": ("empty", "sitting", "fidgeting")}
+
+names = st.from_regex(r"[a-z][a-z0-9-]{0,11}", fullmatch=True)
+durations = st.floats(0.3, 20.0, allow_nan=False, allow_infinity=False)
+unit_floats = st.floats(0.0, 1.0, allow_nan=False)
+
+
+def segments(family: str):
+    return st.builds(
+        SegmentSpec,
+        activity=st.sampled_from(ACTIVITIES[family]),
+        duration_s=durations,
+        style=st.sampled_from(("default", "erratic", "heavy", "light")))
+
+
+fault_windows = st.builds(
+    FaultWindowSpec,
+    kind=st.sampled_from(sorted(FAULT_KINDS)),
+    start_s=st.floats(0.0, 5.0, allow_nan=False),
+    end_s=st.one_of(st.none(), st.floats(6.0, 30.0, allow_nan=False)),
+    intensity=unit_floats)
+
+classifiers = st.one_of(
+    st.builds(ClassifierSpec, kind=st.just("tsk"),
+              params=st.sampled_from(((), (("radius", 0.4),)))),
+    st.builds(ClassifierSpec, kind=st.just("centroid")),
+    st.builds(ClassifierSpec, kind=st.just("knn"),
+              params=st.sampled_from(((), (("k", 3.0),)))),
+    st.builds(ClassifierSpec, kind=st.just("ensemble"),
+              members=st.just(("centroid", "knn"))))
+
+
+@st.composite
+def scenario_specs(draw):
+    """Constructible scenarios: 1-2 sensing chains plus optional extras."""
+    n = draw(st.integers(1, 2))
+    families = [draw(st.sampled_from(("pen", "chair"))) for _ in range(n)]
+    sensors, appliances = [], []
+    for i, family in enumerate(families):
+        sensors.append(SensorSpec(
+            name=f"sensor-{i}", family=family,
+            segments=tuple(draw(st.lists(segments(family), min_size=1,
+                                         max_size=3))),
+            rate_hz=draw(st.sampled_from((50.0, 100.0))),
+            transition_s=draw(st.sampled_from((0.3, 0.5))),
+            faults=tuple(draw(st.lists(fault_windows, max_size=2)))))
+        appliances.append(ApplianceSpec(name=f"app-{i}", kind=family,
+                                        sensor=f"sensor-{i}"))
+    if families[0] == "pen" and draw(st.booleans()):
+        appliances.append(ApplianceSpec(
+            name="cam", kind="camera", inputs=("app-0",),
+            gated=draw(st.booleans()),
+            threshold=draw(st.one_of(st.none(), unit_floats))))
+    if draw(st.booleans()):
+        appliances.append(ApplianceSpec(name="hud", kind="display"))
+    styles = ()
+    if draw(st.booleans()):
+        styles = (StyleSpec(name="custom-style",
+                            amplitude_scale=draw(st.floats(0.5, 3.0))),)
+    return ScenarioSpec(
+        name=draw(names), sensors=tuple(sensors),
+        appliances=tuple(appliances),
+        description=draw(st.sampled_from(("", "generated scenario"))),
+        classifier=draw(classifiers), styles=styles)
+
+
+@SETTINGS
+@given(spec=scenario_specs())
+def test_roundtrip_is_exact_identity(spec):
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@SETTINGS
+@given(spec=scenario_specs(), field=names)
+def test_unknown_fields_rejected_everywhere(spec, field):
+    payload = spec.to_dict()
+    allowed = ("name", "description", "sensors", "appliances",
+               "classifier", "styles")
+    if field in allowed:
+        return
+    payload[field] = 1
+    with pytest.raises(ScenarioError, match="unknown field"):
+        ScenarioSpec.from_dict(payload)
+    payload.pop(field)
+    payload["sensors"][0][field] = 1
+    if field not in ("name", "family", "segments", "rate_hz", "window",
+                     "hop", "transition_s", "noise_std", "bias_walk_std",
+                     "faults"):
+        with pytest.raises(ScenarioError, match="unknown field"):
+            ScenarioSpec.from_dict(payload)
+
+
+@SETTINGS
+@given(spec=scenario_specs(), ghost=names)
+def test_dangling_sensor_reference_rejected(spec, ghost):
+    if any(s.name == ghost for s in spec.sensors):
+        return
+    payload = spec.to_dict()
+    payload["appliances"][0]["sensor"] = ghost
+    loaded = ScenarioSpec.from_dict(payload)
+    with pytest.raises(ScenarioError, match="dangling|not attached"):
+        loaded.validate()
+
+
+@SETTINGS
+@given(spec=scenario_specs())
+def test_cyclic_graph_rejected_with_path(spec):
+    payload = spec.to_dict()
+    payload["appliances"] = [
+        a for a in payload["appliances"]
+        if a["name"] not in ("cam", "hud")]
+    payload["appliances"] += [
+        {"name": "x-disp", "kind": "display", "inputs": ["y-disp"]},
+        {"name": "y-disp", "kind": "display", "inputs": ["x-disp"]},
+    ]
+    loaded = ScenarioSpec.from_dict(payload)
+    with pytest.raises(ScenarioError, match="cycle"):
+        loaded.validate()
+
+
+@SETTINGS
+@given(spec=scenario_specs())
+def test_validation_errors_name_the_scenario(spec):
+    payload = spec.to_dict()
+    payload["appliances"][0]["sensor"] = "no-such-sensor"
+    loaded = ScenarioSpec.from_dict(payload)
+    with pytest.raises(ScenarioError, match=spec.name):
+        loaded.validate()

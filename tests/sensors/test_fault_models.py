@@ -187,6 +187,67 @@ class TestSchedule:
             pytest.approx(0.2)
 
 
+class TestScheduleComposition:
+    """Overlapping entries apply strictly in entry order (regression:
+    the scenario zoo's composed fault schedules depend on it)."""
+
+    STUCK = ScheduledFault(StuckAtFault(fraction=1.0, level=5.0),
+                           start_s=1.0, end_s=3.0)
+    SATURATE = ScheduledFault(SaturationFault(severity=1.0,
+                                              min_limit=0.5),
+                              start_s=1.0, end_s=3.0)
+
+    def test_stuck_then_saturation_clips_the_held_level(self, ramp):
+        schedule = FaultSchedule((self.STUCK, self.SATURATE))
+        out = schedule.apply(ramp, np.random.default_rng(4),
+                             rate_hz=100.0)
+        assert np.all(out[100:300] == 0.5)
+
+    def test_saturation_then_stuck_keeps_the_held_level(self, ramp):
+        schedule = FaultSchedule((self.SATURATE, self.STUCK))
+        out = schedule.apply(ramp, np.random.default_rng(4),
+                             rate_hz=100.0)
+        assert np.all(out[100:300] == 5.0)
+
+    def test_partial_overlap_composes_only_inside_it(self, ramp):
+        schedule = FaultSchedule((
+            ScheduledFault(StuckAtFault(fraction=1.0, level=5.0),
+                           start_s=0.0, end_s=2.0),
+            ScheduledFault(SaturationFault(severity=1.0, min_limit=0.5),
+                           start_s=1.0, end_s=3.0),
+        ))
+        out = schedule.apply(ramp, np.random.default_rng(4),
+                             rate_hz=100.0)
+        assert np.all(out[:100] == 5.0)        # stuck alone
+        assert np.all(out[100:200] == 0.5)     # both: clip wins
+        assert np.max(np.abs(out[200:300])) <= 0.5 + 1e-12  # sat alone
+        np.testing.assert_array_equal(out[300:], ramp[300:])
+
+    def test_merged_is_schedule_major(self, ramp):
+        a = FaultSchedule((self.STUCK,))
+        b = FaultSchedule((self.SATURATE,))
+        merged = FaultSchedule.merged([a, b])
+        assert merged.entries == (self.STUCK, self.SATURATE)
+        out = merged.apply(ramp, np.random.default_rng(4), rate_hz=100.0)
+        expected = FaultSchedule((self.STUCK, self.SATURATE)).apply(
+            ramp, np.random.default_rng(4), rate_hz=100.0)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_merged_order_matters_for_overlaps(self, ramp):
+        a = FaultSchedule((self.STUCK,))
+        b = FaultSchedule((self.SATURATE,))
+        forward = FaultSchedule.merged([a, b]).apply(
+            ramp, np.random.default_rng(4), rate_hz=100.0)
+        backward = FaultSchedule.merged([b, a]).apply(
+            ramp, np.random.default_rng(4), rate_hz=100.0)
+        assert np.all(forward[100:300] == 0.5)
+        assert np.all(backward[100:300] == 5.0)
+
+    def test_merged_needs_schedules(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.merged([])
+
+
 class TestFaultInjectingSensor:
     def test_acts_as_sensor_model(self, ramp, rng):
         sensor = FaultInjectingSensor(base=IDEAL_SENSOR,
